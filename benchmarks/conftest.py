@@ -1,0 +1,41 @@
+"""Benchmark-suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one reported result of the paper (see
+DESIGN.md's per-experiment index); reproduction numbers are attached as
+``extra_info`` on the benchmark records and echoed to the terminal.
+"""
+
+import pytest
+
+from repro.sysc.kernel import set_current_kernel
+
+
+@pytest.fixture(autouse=True)
+def _isolate_kernel_context():
+    yield
+    set_current_kernel(None)
+
+
+def pytest_terminal_summary(terminalreporter):
+    lines = getattr(terminalreporter.config, "_repro_summary", [])
+    if lines:
+        terminalreporter.write_sep("=", "paper reproduction summary")
+        for line in lines:
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture
+def summary(request):
+    """Append lines to the end-of-run reproduction summary."""
+    config = request.config
+    if not hasattr(config, "_repro_summary"):
+        config._repro_summary = []
+
+    def add(text):
+        config._repro_summary.append(text)
+
+    return add

@@ -1,0 +1,68 @@
+"""Ablation: synchronisation quantum (SystemC clock period).
+
+The co-simulation grants the ISS its cycle budget once per SystemC
+timestep, so the clock period is the synchronisation quantum.  A finer
+quantum tightens timing fidelity (hardware observes guest effects
+sooner) but costs host time — more scheduler iterations and more
+per-cycle synchronisation work, which hits the lock-step GDB-Wrapper
+hardest.  This is the trade-off the paper's "tight integration"
+argument lives in.
+"""
+
+import time
+
+import pytest
+
+from repro.router.system import RouterConfig, RouterSystem
+from repro.sysc.simtime import MS, NS, US
+
+SIM_TIME = 2 * MS
+DELAY = 30 * US
+QUANTA = {"fine-250ns": 250 * NS, "default-1us": 1 * US,
+          "coarse-4us": 4 * US}
+
+
+def _run(scheme, quantum):
+    system = RouterSystem(RouterConfig(scheme=scheme,
+                                       inter_packet_delay=DELAY,
+                                       clock_period=quantum))
+    system.run(SIM_TIME)
+    return system
+
+
+@pytest.mark.parametrize("scheme", ["gdb-wrapper", "gdb-kernel",
+                                    "driver-kernel"])
+@pytest.mark.parametrize("quantum", list(QUANTA))
+def test_quantum_cost(benchmark, scheme, quantum, summary):
+    system = benchmark.pedantic(_run, args=(scheme, QUANTA[quantum]),
+                                rounds=1, iterations=1)
+    stats = system.stats()
+    benchmark.extra_info["scheme"] = scheme
+    benchmark.extra_info["quantum"] = quantum
+    benchmark.extra_info["forwarded_percent"] = \
+        round(stats.forwarded_percent, 1)
+    summary("quantum[%s, %s]: wall=%.3fs forwarded=%.1f%%" % (
+        scheme, quantum, benchmark.stats.stats.mean,
+        stats.forwarded_percent))
+    # Functional behaviour must not depend on the quantum.
+    assert stats.corrupt == 0
+    assert stats.forwarded_percent > 90.0
+
+
+def test_wrapper_suffers_most_from_fine_quantum(benchmark, summary):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """The per-cycle RSP round-trips scale with 1/quantum for the
+    wrapper, while the kernel scheme only pays cheap polls."""
+    costs = {}
+    for scheme in ("gdb-wrapper", "gdb-kernel"):
+        start = time.perf_counter()
+        _run(scheme, 250 * NS)
+        fine = time.perf_counter() - start
+        start = time.perf_counter()
+        _run(scheme, 4 * US)
+        coarse = time.perf_counter() - start
+        costs[scheme] = fine / coarse
+    summary("quantum sensitivity (fine/coarse wall ratio): wrapper "
+            "%.1fx, kernel %.1fx" % (costs["gdb-wrapper"],
+                                     costs["gdb-kernel"]))
+    assert costs["gdb-wrapper"] > costs["gdb-kernel"]

@@ -1,0 +1,81 @@
+"""Figure 7 — Performance analysis: forwarded packets vs delay.
+
+Paper: percentage of packets forwarded by the router as a function of
+the inter-packet delay, for GDB-Kernel and Driver-Kernel.  Both curves
+rise toward 100% with increasing delay; the Driver-Kernel curve sits
+*below* GDB-Kernel at equal delay — the gap is the RTOS overhead.
+"""
+
+import pytest
+
+from repro.router.system import RouterConfig, RouterSystem
+from repro.sysc.simtime import MS, US
+
+SCHEMES = ("gdb-kernel", "driver-kernel")
+DELAYS_US = (3, 5, 8, 12, 20, 40)
+SIM_TIME = 2 * MS
+
+
+def _run(scheme, delay_us):
+    system = RouterSystem(RouterConfig(
+        scheme=scheme, inter_packet_delay=delay_us * US))
+    system.run(SIM_TIME)
+    return system
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("delay_us", DELAYS_US)
+def test_fig7_point(benchmark, scheme, delay_us, summary):
+    system = benchmark.pedantic(_run, args=(scheme, delay_us),
+                                rounds=1, iterations=1)
+    stats = system.stats()
+    benchmark.extra_info["scheme"] = scheme
+    benchmark.extra_info["inter_packet_delay_us"] = delay_us
+    benchmark.extra_info["forwarded_percent"] = \
+        round(stats.forwarded_percent, 1)
+    summary("fig7[%s, delay=%dus]: forwarded %.1f%% (%d/%d)" % (
+        scheme, delay_us, stats.forwarded_percent, stats.forwarded,
+        stats.generated))
+
+
+def test_fig7_shape(benchmark, summary):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Assert the figure's qualitative claims."""
+    results = {scheme: {} for scheme in SCHEMES}
+    for scheme in SCHEMES:
+        for delay_us in (5, 12, 40):
+            stats = _run(scheme, delay_us).stats()
+            results[scheme][delay_us] = stats.forwarded_percent
+    # Rising toward 100% with delay.  Tolerance: once saturated, the
+    # constant in-flight tail is a larger share of the (fewer) packets
+    # a longer delay generates, so near-100% points may dip ~2%.
+    for scheme in SCHEMES:
+        series = results[scheme]
+        assert series[5] <= series[12] + 2.5
+        assert series[12] <= series[40] + 2.5
+        assert series[40] > 90.0
+    # OS overhead: Driver-Kernel below GDB-Kernel in the contended zone.
+    assert results["driver-kernel"][5] < results["gdb-kernel"][5]
+    assert results["driver-kernel"][12] < results["gdb-kernel"][12]
+    summary("fig7 shape: driver-kernel below gdb-kernel at 5us "
+            "(%.1f%% vs %.1f%%) and 12us (%.1f%% vs %.1f%%); both "
+            ">90%% at 40us" % (
+                results["driver-kernel"][5], results["gdb-kernel"][5],
+                results["driver-kernel"][12], results["gdb-kernel"][12]))
+
+
+def test_fig7_min_delay_reading(benchmark, summary):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """The paper's alternative reading: minimum inter-packet delay for
+    a required forwarding percentage."""
+    from repro.analysis.fig7 import min_delay_for_percent, run_fig7
+
+    data = run_fig7(delays=tuple(d * US for d in DELAYS_US),
+                    sim_time=SIM_TIME)
+    for required in (80.0, 95.0):
+        gdb = min_delay_for_percent(data["gdb-kernel"], required)
+        drv = min_delay_for_percent(data["driver-kernel"], required)
+        assert gdb is not None and drv is not None
+        assert gdb <= drv  # the OS costs headroom
+        summary("fig7 min delay for %.0f%%: gdb-kernel %dus, "
+                "driver-kernel %dus" % (required, gdb // US, drv // US))

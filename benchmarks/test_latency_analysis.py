@@ -1,0 +1,45 @@
+"""Extension experiment: per-packet latency by scheme.
+
+The Figure 7 forwarding gap, re-expressed as the latency a packet pays
+for the software checksum under each scheme.  Expected ordering at an
+uncontended delay: local (ideal hardware) < gdb-kernel (bare-metal
+software) < driver-kernel (software + RTOS + interrupt + messages).
+"""
+
+import pytest
+
+from repro.analysis.latency import run_point
+from repro.sysc.simtime import MS, US
+
+DELAY = 40 * US
+SIM_TIME = 2 * MS
+
+
+@pytest.mark.parametrize("scheme", ["local", "gdb-kernel",
+                                    "driver-kernel"])
+def test_latency_point(benchmark, scheme, summary):
+    point = benchmark.pedantic(run_point, args=(scheme, DELAY, SIM_TIME),
+                               rounds=1, iterations=1)
+    benchmark.extra_info["scheme"] = scheme
+    benchmark.extra_info["latency_mean_us"] = round(point.mean_fs / US, 2)
+    benchmark.extra_info["latency_p95_us"] = round(point.p95_fs / US, 2)
+    summary("latency[%s]: mean=%.2fus p50=%.2fus p95=%.2fus (n=%d)" % (
+        scheme, point.mean_fs / US, point.p50_fs / US,
+        point.p95_fs / US, point.samples))
+    assert point.samples > 0
+
+
+def test_latency_ordering(benchmark, summary):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    points = {scheme: run_point(scheme, DELAY, SIM_TIME)
+              for scheme in ("local", "gdb-kernel", "driver-kernel")}
+    summary("latency ordering: local %.2fus < gdb-kernel %.2fus < "
+            "driver-kernel %.2fus" % (
+                points["local"].mean_fs / US,
+                points["gdb-kernel"].mean_fs / US,
+                points["driver-kernel"].mean_fs / US))
+    assert points["local"].mean_fs < points["gdb-kernel"].mean_fs
+    assert points["gdb-kernel"].mean_fs < points["driver-kernel"].mean_fs
+    # The RTOS adds at least several microseconds per packet.
+    assert (points["driver-kernel"].mean_fs
+            - points["gdb-kernel"].mean_fs) > 5 * US

@@ -1,0 +1,97 @@
+"""Substrate microbenchmarks.
+
+Not paper results — performance characterisation of the building
+blocks, so regressions in the hot paths (ISS interpretation, DES
+scheduling, RSP transactions, message marshaling) are visible across
+versions.  These use pytest-benchmark's statistical timing (multiple
+rounds), unlike the single-shot experiment benches.
+"""
+
+from repro.cosim.channels import Pipe
+from repro.cosim.messages import pack_message, unpack_message, write_message
+from repro.gdb.client import GdbClient
+from repro.gdb.stub import GdbStub
+from repro.iss.assembler import assemble
+from repro.iss.cpu import Cpu
+from repro.iss.loader import load_program
+from repro.sysc.event import Event
+from repro.sysc.kernel import Kernel, set_current_kernel
+from repro.sysc.simtime import NS
+
+_SPIN = """
+    li r0, 0
+loop:
+    addi r0, r0, 1
+    b loop
+"""
+
+
+def test_iss_interpretation_rate(benchmark):
+    """Instructions interpreted per benchmark call (10k budget)."""
+    cpu = Cpu()
+    load_program(cpu, assemble(_SPIN))
+
+    def run():
+        cpu.run(max_instructions=10_000)
+
+    benchmark(run)
+    benchmark.extra_info["instructions_per_call"] = 10_000
+
+
+def test_des_delta_cycle_rate(benchmark):
+    """Delta cycles driven by a self-notifying method process."""
+    def run():
+        kernel = Kernel("micro")
+        event = Event("e")
+        kernel.add_method("osc", event.notify_delta, [event])
+        kernel.run(max_deltas=5_000)
+        set_current_kernel(None)
+
+    benchmark(run)
+    benchmark.extra_info["deltas_per_call"] = 5_000
+
+
+def test_des_timed_event_rate(benchmark):
+    """Timestep advancement throughput."""
+    def run():
+        kernel = Kernel("micro")
+
+        def ticker():
+            while True:
+                yield 10 * NS
+
+        kernel.add_thread("t", ticker)
+        kernel.run(20_000 * NS)
+        set_current_kernel(None)
+
+    benchmark(run)
+    benchmark.extra_info["timesteps_per_call"] = 2_000
+
+
+def test_rsp_transaction_rate(benchmark):
+    """Full register-read round trips over the in-process pipe."""
+    cpu = Cpu()
+    load_program(cpu, assemble("nop\nhalt"))
+    pipe = Pipe("micro")
+    stub = GdbStub(cpu, pipe.b)
+    client = GdbClient(pipe.a, pump=stub.service_pending)
+
+    def run():
+        for __ in range(100):
+            client.read_register(0)
+
+    benchmark(run)
+    benchmark.extra_info["transactions_per_call"] = 100
+
+
+def test_message_marshal_rate(benchmark):
+    """Driver-Kernel message pack+unpack round trips."""
+    message = write_message({"pkt_data": 0xDEADBEEF,
+                             "chk_result": 0x12345678}, 42)
+
+    def run():
+        for __ in range(100):
+            unpack_message(pack_message(message))
+
+    benchmark(run)
+    benchmark.extra_info["roundtrips_per_call"] = 100

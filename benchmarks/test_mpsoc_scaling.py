@@ -1,0 +1,48 @@
+"""Extension experiment: MPSoC scaling of the case study.
+
+The paper's title promises Multi-Processor SoC co-simulation; this
+bench measures it on the paper's own case study: checksum load spread
+over 1, 2 and 4 ISS instances, each co-simulated with the
+Driver-Kernel scheme, under a saturating packet rate.  Throughput
+should scale until the input streams are drained.
+"""
+
+import pytest
+
+from repro.router.system import RouterConfig, RouterSystem
+from repro.sysc.simtime import MS, US
+
+SIM_TIME = 2 * MS
+SATURATING_DELAY = 6 * US
+
+
+def _run(num_cpus, scheme="driver-kernel"):
+    system = RouterSystem(RouterConfig(scheme=scheme,
+                                       inter_packet_delay=SATURATING_DELAY,
+                                       num_cpus=num_cpus))
+    system.run(SIM_TIME)
+    return system
+
+
+@pytest.mark.parametrize("num_cpus", [1, 2, 4])
+def test_mpsoc_throughput(benchmark, num_cpus, summary):
+    system = benchmark.pedantic(_run, args=(num_cpus,), rounds=1,
+                                iterations=1)
+    stats = system.stats()
+    benchmark.extra_info["num_cpus"] = num_cpus
+    benchmark.extra_info["forwarded"] = stats.forwarded
+    benchmark.extra_info["forwarded_percent"] = \
+        round(stats.forwarded_percent, 1)
+    summary("mpsoc[%d cpu]: forwarded=%d (%.1f%%) wall=%.3fs" % (
+        num_cpus, stats.forwarded, stats.forwarded_percent,
+        benchmark.stats.stats.mean))
+    assert stats.corrupt == 0
+
+
+def test_mpsoc_scaling_shape(benchmark, summary):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    forwarded = {n: _run(n).stats().forwarded for n in (1, 2, 4)}
+    summary("mpsoc scaling: 1->%d, 2->%d, 4->%d packets" % (
+        forwarded[1], forwarded[2], forwarded[4]))
+    assert forwarded[2] > 1.5 * forwarded[1]
+    assert forwarded[4] > forwarded[2]

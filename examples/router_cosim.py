@@ -1,0 +1,52 @@
+"""The full case study (paper Figure 6) on a scheme of your choice.
+
+Run:  python examples/router_cosim.py [local|gdb-wrapper|gdb-kernel|driver-kernel]
+
+Builds the 4x4 router with producers, consumers and the checksum
+application on the ISS, runs 2 ms of simulated time, and prints the
+traffic statistics plus the co-simulation metrics.
+"""
+
+import sys
+
+from repro.router.system import build_system
+from repro.sysc.simtime import MS, US
+
+
+def main():
+    scheme = sys.argv[1] if len(sys.argv) > 1 else "gdb-kernel"
+    system = build_system(scheme=scheme, inter_packet_delay=20 * US)
+    print("scheme: %s" % scheme)
+    print("running 2 ms of simulated time...")
+    system.run(2 * MS)
+    stats = system.stats()
+    print()
+    print("traffic:")
+    print("  generated       %6d" % stats.generated)
+    print("  forwarded       %6d  (%.1f%%)" % (stats.forwarded,
+                                               stats.forwarded_percent))
+    print("  received        %6d" % stats.received)
+    print("  corrupt         %6d" % stats.corrupt)
+    print("  input drops     %6d" % stats.input_drops)
+    print()
+    print("per-consumer counts: %s"
+          % [consumer.received for consumer in system.consumers])
+    print()
+    print("co-simulation metrics:")
+    for key, value in stats.metrics.items():
+        if value and key != "scheme":
+            print("  %-24s %s" % (key, value))
+    if system.cpu is not None:
+        print()
+        print("guest CPU: %d instructions, %d cycles"
+              % (system.cpu.instructions, system.cpu.cycles))
+    if system.rtos is not None:
+        print("RTOS: %d context switches, %d ISRs, %d ticks, "
+              "%d idle cycles" % (system.rtos.context_switches,
+                                  system.rtos.isr_count,
+                                  system.rtos.tick_count,
+                                  system.rtos.idle_cycles))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Regenerate Table 1: simulation performance of the three schemes.
+
+Run:  python examples/table1_performance.py [--quick]
+
+The paper's columns are three simulated-time lengths with a 1:10:100
+geometry; speedups should be stable across columns (GDB-Kernel ~1.3x,
+Driver-Kernel ~3x over the GDB-Wrapper baseline).
+"""
+
+import sys
+
+from repro.analysis.table1 import run_table1
+from repro.analysis.tables import render_table
+from repro.sysc.simtime import MS
+
+
+def main():
+    quick = "--quick" in sys.argv
+    sim_times = (1 * MS, 4 * MS) if quick else (1 * MS, 10 * MS, 100 * MS)
+    print("running Table 1 (%s)..." % (
+        "quick" if quick else "full; use --quick for a fast pass"))
+    rows = run_table1(sim_times=sim_times)
+    baseline = rows[0]
+
+    headers = ["scheme"] + ["%d ms" % (t // MS) for t in sim_times]
+    table_rows = [[row.scheme] + ["%.3f s" % w for w in row.wall_seconds]
+                  for row in rows]
+    print()
+    print(render_table(headers, table_rows,
+                       title="Table 1 - co-simulation wall-clock time"))
+    print()
+    speedup_rows = []
+    for row in rows[1:]:
+        speedups = row.speedup_against(baseline)
+        speedup_rows.append([row.scheme]
+                            + ["%.2fx" % value for value in speedups])
+    print(render_table(headers, speedup_rows,
+                       title="Speedup vs %s (paper: ~1.3x / ~3x)"
+                       % baseline.scheme))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — reproduction of "Native ISS-SystemC Integration for the
+Co-Simulation of Multi-Processor SoC" (Fummi, Martini, Perbellini,
+Poncino — DATE 2004).
+
+The package provides:
+
+- :mod:`repro.sysc` — a SystemC-like discrete-event simulation kernel
+  (modules, signals, ports, FIFOs, clocks, delta cycles) with the kernel
+  extension hooks the paper's schemes patch into.
+- :mod:`repro.iss` — a cycle-counted 32-bit RISC instruction-set
+  simulator with assembler, disassembler, breakpoints and watchpoints.
+- :mod:`repro.gdb` — a GDB Remote Serial Protocol stub and client.
+- :mod:`repro.rtos` — a small eCos-like RTOS running guest threads on
+  the ISS, with interrupts and a device-driver framework.
+- :mod:`repro.cosim` — the three co-simulation schemes: GDB-Wrapper
+  (the Benini et al. 2003 baseline), GDB-Kernel and Driver-Kernel.
+- :mod:`repro.router` — the 4x4 packet-router case study of the paper.
+- :mod:`repro.apps` — the guest checksum applications (bare-metal and
+  RTOS/driver variants).
+- :mod:`repro.analysis` — experiment harnesses for Table 1, Figure 7
+  and the Section 5 code-complexity metric.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,25 @@
+"""Experiment harnesses.
+
+One module per reported result:
+
+- :mod:`repro.analysis.table1` — the simulation-performance comparison
+  (paper Table 1);
+- :mod:`repro.analysis.fig7` — forwarded packets vs inter-packet delay
+  (paper Figure 7);
+- :mod:`repro.analysis.loc` — the software-complexity (lines-of-code)
+  overheads quoted in Section 5;
+- :mod:`repro.analysis.tables` — plain-text table rendering shared by
+  the example scripts and benchmarks.
+"""
+
+from repro.analysis.tables import render_table
+from repro.analysis.table1 import Table1Row, run_table1, TABLE1_SIM_TIMES
+from repro.analysis.fig7 import Fig7Point, run_fig7, DEFAULT_DELAYS
+from repro.analysis.loc import (count_effective_lines, loc_report,
+                                LocReport)
+
+__all__ = [
+    "render_table", "Table1Row", "run_table1", "TABLE1_SIM_TIMES",
+    "Fig7Point", "run_fig7", "DEFAULT_DELAYS", "count_effective_lines",
+    "loc_report", "LocReport",
+]

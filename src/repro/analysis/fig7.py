@@ -1,0 +1,66 @@
+"""Figure 7: forwarded packets vs inter-packet delay.
+
+"The plot shows the percentage of packets forwarded by the router vs.
+the inter-packet delay … The difference is a measure of the overhead
+imposed by the OS; in the Driver-Kernel scheme, this overhead slows
+down the execution of the application, which manages to forward a
+smaller number of packets with respect to the GDB-Kernel scheme."
+(paper Section 5.1)
+
+The sweep also supports the alternative reading the paper suggests:
+"the plot can provide the minimum inter-packet delay (maximum
+frequency) for a given forwarding percentage" — see
+:func:`min_delay_for_percent`.
+"""
+
+from dataclasses import dataclass
+
+from repro.router.system import RouterConfig, RouterSystem
+from repro.sysc.simtime import MS, US
+
+FIG7_SCHEMES = ("gdb-kernel", "driver-kernel")
+DEFAULT_DELAYS = tuple(d * US for d in (2, 3, 5, 8, 10, 12, 15, 20, 30, 40))
+DEFAULT_SIM_TIME = 3 * MS
+
+
+@dataclass
+class Fig7Point:
+    """One (scheme, delay) measurement."""
+
+    scheme: str
+    delay: int
+    generated: int
+    forwarded: int
+    forwarded_percent: float
+
+
+def run_point(scheme, delay, sim_time=DEFAULT_SIM_TIME, seed=42):
+    """Measure one (scheme, delay) point of the figure."""
+    config = RouterConfig(scheme=scheme, inter_packet_delay=delay, seed=seed)
+    system = RouterSystem(config)
+    system.run(sim_time)
+    stats = system.stats()
+    return Fig7Point(scheme, delay, stats.generated, stats.forwarded,
+                     stats.forwarded_percent)
+
+
+def run_fig7(delays=DEFAULT_DELAYS, schemes=FIG7_SCHEMES,
+             sim_time=DEFAULT_SIM_TIME, seed=42):
+    """The full figure: ``{scheme: [Fig7Point, ...]}``."""
+    return {scheme: [run_point(scheme, delay, sim_time, seed)
+                     for delay in delays]
+            for scheme in schemes}
+
+
+def min_delay_for_percent(points, required_percent):
+    """Smallest swept delay achieving *required_percent* forwarding.
+
+    The paper's alternative reading of Figure 7: the minimum
+    inter-packet delay (i.e. maximum packet frequency) that guarantees
+    a required level of service.  Returns None when no swept delay
+    reaches it.
+    """
+    for point in sorted(points, key=lambda p: p.delay):
+        if point.forwarded_percent >= required_percent:
+            return point.delay
+    return None

@@ -1,0 +1,62 @@
+"""Packet-latency analysis (extension experiment).
+
+Figure 7 shows the OS overhead as lost *throughput*; the same overhead
+is directly visible as per-packet *latency* (creation at the producer
+to verification at the consumer).  This harness measures the latency
+distribution per scheme and delay — the quantity a router designer
+would actually budget against.
+"""
+
+from dataclasses import dataclass
+
+from repro.router.system import RouterConfig, RouterSystem
+from repro.sysc.simtime import MS, US
+
+LATENCY_SCHEMES = ("local", "gdb-kernel", "driver-kernel")
+DEFAULT_DELAYS = tuple(d * US for d in (20, 40, 80))
+
+
+@dataclass
+class LatencyPoint:
+    """Latency distribution of one (scheme, delay) run."""
+
+    scheme: str
+    delay: int
+    samples: int
+    mean_fs: float
+    p50_fs: float
+    p95_fs: float
+    max_fs: int
+
+    def mean_us(self):
+        """Mean latency in microseconds."""
+        return self.mean_fs / US
+
+
+def run_point(scheme, delay, sim_time=2 * MS, seed=42):
+    """Measure the latency distribution of one (scheme, delay) run."""
+    system = RouterSystem(RouterConfig(scheme=scheme,
+                                       inter_packet_delay=delay,
+                                       seed=seed))
+    system.run(sim_time)
+    latencies = sorted(latency for consumer in system.consumers
+                       for latency in consumer.latencies)
+    if not latencies:
+        return LatencyPoint(scheme, delay, 0, 0.0, 0.0, 0.0, 0)
+    return LatencyPoint(
+        scheme=scheme,
+        delay=delay,
+        samples=len(latencies),
+        mean_fs=sum(latencies) / len(latencies),
+        p50_fs=latencies[len(latencies) // 2],
+        p95_fs=latencies[int(0.95 * (len(latencies) - 1))],
+        max_fs=latencies[-1],
+    )
+
+
+def run_latency(delays=DEFAULT_DELAYS, schemes=LATENCY_SCHEMES,
+                sim_time=2 * MS, seed=42):
+    """``{scheme: [LatencyPoint, ...]}`` over the delay sweep."""
+    return {scheme: [run_point(scheme, delay, sim_time, seed)
+                     for delay in delays]
+            for scheme in schemes}

@@ -1,0 +1,24 @@
+"""Plain-text table rendering."""
+
+
+def render_table(headers, rows, title=None):
+    """Render a list-of-lists as an aligned text table."""
+    columns = len(headers)
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        if len(row) != columns:
+            raise ValueError("row %r does not match %d headers"
+                             % (row, columns))
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i])
+                           for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)

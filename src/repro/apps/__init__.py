@@ -1,0 +1,28 @@
+"""Guest applications (software side of the case study).
+
+Both applications implement the same job — compute the checksum of
+router packets — against the two programming models the paper
+contrasts:
+
+- :func:`gdb_app_source` — the bare-metal application of the GDB
+  schemes: ordinary variables + pragmas mark the communication points;
+  no operating system ("hardware interaction is managed by the
+  application itself", Section 5.1);
+- :func:`driver_app_source` — the RTOS application of the
+  Driver-Kernel scheme: device driver API calls (open / ioctl / read /
+  write traps) and an interrupt service routine.
+
+The checksum inner loop is textually identical in both, so every
+measured difference comes from the co-simulation scheme and the OS.
+"""
+
+from repro.apps.sources import (checksum_routine, gdb_app_source,
+                                driver_app_source, CHECKSUM_DEVICE_ID,
+                                DATA_SEMAPHORE_ID)
+from repro.apps.build import (build_gdb_app, build_driver_app, AppImage)
+
+__all__ = [
+    "checksum_routine", "gdb_app_source", "driver_app_source",
+    "CHECKSUM_DEVICE_ID", "DATA_SEMAPHORE_ID", "build_gdb_app",
+    "build_driver_app", "AppImage",
+]

@@ -1,0 +1,36 @@
+"""Assembling and packaging the guest applications."""
+
+from dataclasses import dataclass
+
+from repro.apps.sources import driver_app_source, gdb_app_source
+from repro.cosim.pragmas import PragmaMap, build_pragma_map
+from repro.iss.assembler import Program, assemble
+
+
+@dataclass
+class AppImage:
+    """An assembled guest application ready to load."""
+
+    program: Program
+    pragma_map: PragmaMap  # empty map for the driver app
+    entry: int
+    source: str
+
+    @property
+    def symbols(self):
+        return self.program.symbols
+
+
+def build_gdb_app(origin=0x1000, algorithm="sum"):
+    """Assemble the bare-metal app and run the pragma filter over it."""
+    source = gdb_app_source(origin, algorithm)
+    program = assemble(source)
+    return AppImage(program, build_pragma_map(program), program.entry,
+                    source)
+
+
+def build_driver_app(origin=0x1000, algorithm="sum"):
+    """Assemble the RTOS/driver app (no pragmas: no breakpoints)."""
+    source = driver_app_source(origin, algorithm)
+    program = assemble(source)
+    return AppImage(program, PragmaMap([]), program.entry, source)

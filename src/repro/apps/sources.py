@@ -1,0 +1,190 @@
+"""R32 assembly sources of the guest checksum applications."""
+
+CHECKSUM_DEVICE_ID = 1
+DATA_SEMAPHORE_ID = 1
+
+
+def _packet_words():
+    # Imported lazily: repro.router's package __init__ imports the
+    # system builder, which imports this module (circular otherwise).
+    from repro.router.packet import PACKET_WORDS
+
+    return PACKET_WORDS
+
+
+_SUM_ROUTINE = """
+; --- shared checksum routine (complemented word sum) --------------
+checksum_words:
+        li   r2, 0              ; running sum
+        li   r3, 0              ; constant zero
+chk_loop:
+        beq  r1, r3, chk_done
+        lw   r5, [r0]
+        add  r2, r2, r5
+        addi r0, r0, 4
+        addi r1, r1, -1
+        b    chk_loop
+chk_done:
+        not  r0, r2
+        ret
+"""
+
+_CRC32_ROUTINE = """
+; --- shared checksum routine (reflected CRC-32, bitwise) -----------
+checksum_words:
+        shli r1, r1, 2          ; words -> bytes
+        li32 r2, 0xFFFFFFFF     ; crc
+        li   r3, 0              ; constant zero
+chk_loop:
+        beq  r1, r3, chk_done
+        lbu  r5, [r0]
+        xor  r2, r2, r5
+        li   r6, 8
+crc_bit_loop:
+        andi r7, r2, 1
+        shri r2, r2, 1
+        beq  r7, r3, crc_skip
+        li32 r8, 0xEDB88320
+        xor  r2, r2, r8
+crc_skip:
+        addi r6, r6, -1
+        bne  r6, r3, crc_bit_loop
+        addi r0, r0, 1
+        addi r1, r1, -1
+        b    chk_loop
+chk_done:
+        not  r0, r2             ; final xor with all-ones
+        ret
+"""
+
+_ROUTINES = {"sum": _SUM_ROUTINE, "crc32": _CRC32_ROUTINE}
+
+
+def checksum_routine(algorithm="sum"):
+    """The shared checksum subroutine for *algorithm*.
+
+    ABI: r0 = buffer address, r1 = word count; returns the checksum in
+    r0 — matching :func:`repro.router.checksum.reference_checksum` for
+    the same algorithm.  Clobbers r2/r3/r5/r6/r7/r8.
+    """
+    try:
+        return _ROUTINES[algorithm]
+    except KeyError:
+        raise ValueError("unknown checksum algorithm %r" % (algorithm,))
+
+
+def _gdb_word_reads():
+    """The unrolled per-word synchronised reads of the bare-metal app.
+
+    Each packet word is a guest variable with an ``iss_out`` pragma;
+    the breakpoint on the load stops the ISS until the kernel has
+    copied fresh data into the variable (the load itself then observes
+    the new value).
+    """
+    lines = []
+    for index in range(_packet_words()):
+        variable = "pkt_w%d" % index
+        lines.append("        la   r10, %s" % variable)
+        lines.append("        ;#pragma iss_out %s" % variable)
+        lines.append("        lw   r5, [r10]")
+    return "\n".join(lines)
+
+
+def gdb_app_source(origin=0x1000, algorithm="sum"):
+    """Bare-metal checksum application (GDB-Wrapper / GDB-Kernel)."""
+    return """
+; checksum offload application - bare metal (GDB schemes)
+        .entry main
+        .org 0x%x
+main:
+        li   r9, 0              ; packets processed (debug counter)
+loop:
+        ; Synchronising read: blocks (ISS held at the breakpoint)
+        ; until the router posts a new packet.
+        la   r10, pkt_len
+        ;#pragma iss_out pkt_len
+        lw   r8, [r10]
+%s
+        ; checksum over the packet-word variables (consecutive words)
+        la   r0, pkt_w0
+        mov  r1, r8
+        call checksum_words
+        ; Publish the result: the kernel collects the variable at the
+        ; breakpoint on the line after the store.
+        la   r10, chk_result
+        ;#pragma iss_in chk_result
+        sw   r0, [r10]
+        addi r9, r9, 1
+        b    loop
+%s
+; --- communication variables -------------------------------------
+pkt_len:    .word 0
+%s
+chk_result: .word 0
+""" % (origin, _gdb_word_reads(), checksum_routine(algorithm),
+       "\n".join("pkt_w%d:     .word 0" % i
+                 for i in range(_packet_words())))
+
+
+def driver_app_source(origin=0x1000, algorithm="sum"):
+    """RTOS checksum application (Driver-Kernel scheme).
+
+    Uses the driver API of :mod:`repro.rtos.driver` through SYS traps
+    and registers a guest ISR that releases the data semaphore.
+    """
+    return """
+; checksum offload application - RTOS + device driver (Driver-Kernel)
+        .entry main
+        .org 0x%x
+        .equ DEV_CHK, %d
+        .equ SEM_DATA, %d
+        .equ IOCTL_REGISTER_ISR, 1
+        .equ SYS_SEM_WAIT, 18
+        .equ SYS_SEM_POST, 19
+        .equ SYS_DEV_OPEN, 32
+        .equ SYS_DEV_READ, 33
+        .equ SYS_DEV_WRITE, 34
+        .equ SYS_DEV_IOCTL, 35
+        .equ SYS_IRET, 48
+main:
+        ; open the SystemC checksum device
+        li   r0, DEV_CHK
+        sys  SYS_DEV_OPEN
+        mov  r4, r0             ; device handle
+        ; register the interrupt service routine with the driver
+        mov  r0, r4
+        li   r1, IOCTL_REGISTER_ISR
+        la   r2, isr
+        sys  SYS_DEV_IOCTL
+loop:
+        ; wait for the ISR to signal that the device has data
+        li   r0, SEM_DATA
+        sys  SYS_SEM_WAIT
+        ; read the packet from the device (blocks for the READ reply)
+        mov  r0, r4
+        la   r1, buf
+        li   r2, %d
+        sys  SYS_DEV_READ
+        mov  r1, r0             ; word count actually read
+        la   r0, buf
+        call checksum_words
+        la   r10, result_buf
+        sw   r0, [r10]
+        ; write the result back to the device
+        mov  r0, r4
+        la   r1, result_buf
+        li   r2, 1
+        sys  SYS_DEV_WRITE
+        b    loop
+
+; --- interrupt service routine -----------------------------------
+isr:
+        li   r0, SEM_DATA
+        sys  SYS_SEM_POST
+        sys  SYS_IRET
+%s
+; --- buffers -------------------------------------------------------
+buf:        .space %d
+result_buf: .word 0
+""" % (origin, CHECKSUM_DEVICE_ID, DATA_SEMAPHORE_ID, _packet_words(),
+       checksum_routine(algorithm), 4 * (_packet_words() + 1))

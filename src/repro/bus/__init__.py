@@ -1,0 +1,22 @@
+"""Shared-bus interconnect.
+
+The paper's architectural template (Section 3) is "several processors
+interacting with hardware blocks, and communicating between them
+through a common bus".  This package provides that bus:
+
+- :class:`~repro.bus.bus.SharedBus` — an arbitrated, address-decoded
+  shared bus with per-transfer latency and contention accounting;
+- :class:`~repro.bus.slave.MemorySlave` /
+  :class:`~repro.bus.slave.RegisterSlave` — bus targets;
+- :class:`~repro.bus.bridge.CpuBusBridge` — maps a window of guest
+  (ISS) address space onto the bus, so guest software reaches bus
+  slaves with ordinary loads/stores, paying wait-state cycles that
+  reflect bus latency and contention.
+"""
+
+from repro.bus.bus import SharedBus, Arbitration
+from repro.bus.slave import BusSlave, MemorySlave, RegisterSlave
+from repro.bus.bridge import CpuBusBridge
+
+__all__ = ["SharedBus", "Arbitration", "BusSlave", "MemorySlave",
+           "RegisterSlave", "CpuBusBridge"]

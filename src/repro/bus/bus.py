@@ -1,0 +1,179 @@
+"""The arbitrated shared bus.
+
+Transactions are word transfers decoded to one registered slave.  Two
+access styles serve the two kinds of masters:
+
+- *timed* (:meth:`SharedBus.transfer`): SystemC thread masters issue a
+  request and block (``yield from``) until the bus grants and completes
+  it; one transfer occupies the bus for ``transfer_time``.  Arbitration
+  among simultaneous requesters is fixed-priority (by master id) or
+  round-robin.
+- *immediate* (:meth:`SharedBus.transfer_now`): the CPU bridge performs
+  the slave access synchronously between SystemC cycles (the ISS runs
+  in the gaps of simulated time), and the bus reports the wait-state
+  cost the access *would* have had, which the bridge charges to the
+  guest in cycles.  Utilisation accounting is shared by both styles.
+"""
+
+import enum
+
+from repro.errors import SimulationError
+from repro.sysc.event import Event
+from repro.sysc.module import Module
+from repro.sysc.simtime import NS, check_duration
+
+
+class Arbitration(enum.Enum):
+    """Bus arbitration policies."""
+    FIXED_PRIORITY = "fixed"
+    ROUND_ROBIN = "round-robin"
+
+
+class _Mapping:
+    def __init__(self, slave, base, size):
+        self.slave = slave
+        self.base = base
+        self.size = size
+
+    def contains(self, address):
+        return self.base <= address < self.base + self.size
+
+
+class SharedBus(Module):
+    """A single-channel, word-granular shared bus."""
+
+    def __init__(self, name="bus", transfer_time=100 * NS,
+                 arbitration=Arbitration.ROUND_ROBIN, kernel=None):
+        super().__init__(name, kernel)
+        check_duration(transfer_time)
+        if transfer_time <= 0:
+            raise SimulationError("bus transfer time must be positive")
+        self.transfer_time = transfer_time
+        self.arbitration = arbitration
+        self.mappings = []
+        self._pending = []          # (master_id, done_event, txn dict)
+        self._grant_event = Event(name + ".grant")
+        self._busy = False
+        self._last_granted = -1
+        self.transfer_count = 0
+        self.immediate_count = 0
+        self.contention_count = 0   # requests that found the bus busy
+        self.per_master_transfers = {}
+        self.busy_time = 0
+        self.thread(self._arbiter, name="arbiter")
+
+    # -- topology ----------------------------------------------------------
+
+    def add_slave(self, slave, base, size):
+        """Map *slave* at ``[base, base+size)``; ranges must not overlap."""
+        if base % 4 or size % 4 or size <= 0:
+            raise SimulationError("slave mapping must be word-aligned")
+        for mapping in self.mappings:
+            if (base < mapping.base + mapping.size
+                    and mapping.base < base + size):
+                raise SimulationError(
+                    "mapping for %r overlaps %r"
+                    % (slave.name, mapping.slave.name))
+        self.mappings.append(_Mapping(slave, base, size))
+        return slave
+
+    def decode(self, address):
+        """The (slave, offset) for *address*; error when unmapped."""
+        for mapping in self.mappings:
+            if mapping.contains(address):
+                return mapping.slave, address - mapping.base
+        raise SimulationError("bus %r: no slave at address 0x%08x"
+                              % (self.name, address))
+
+    # -- accounting ----------------------------------------------------------
+
+    def _account(self, master_id):
+        self.transfer_count += 1
+        self.per_master_transfers[master_id] = \
+            self.per_master_transfers.get(master_id, 0) + 1
+        self.busy_time += self.transfer_time
+
+    @property
+    def utilization(self):
+        """Fraction of elapsed simulated time the bus was occupied."""
+        if self.kernel.now == 0:
+            return 0.0
+        return min(1.0, self.busy_time / self.kernel.now)
+
+    # -- timed access (SystemC thread masters) -------------------------------
+
+    def transfer(self, master_id, write, address, value=0):
+        """Blocking word transfer; use as
+        ``data = yield from bus.transfer(...)``."""
+        done = Event("%s.done.%d" % (self.name, master_id))
+        transaction = {"write": write, "address": address, "value": value,
+                       "result": None}
+        if self._busy or self._pending:
+            self.contention_count += 1
+        self._pending.append((master_id, done, transaction))
+        self._grant_event.notify_delta()
+        yield done
+        return transaction["result"]
+
+    def read(self, master_id, address):
+        """Blocking word read (``yield from``)."""
+        result = yield from self.transfer(master_id, False, address)
+        return result
+
+    def write(self, master_id, address, value):
+        """Blocking word write (``yield from``)."""
+        result = yield from self.transfer(master_id, True, address, value)
+        return result
+
+    def _select(self):
+        if self.arbitration is Arbitration.FIXED_PRIORITY:
+            index = min(range(len(self._pending)),
+                        key=lambda i: self._pending[i][0])
+        else:
+            # Round-robin: first requester with id > last granted,
+            # wrapping.
+            ids = [entry[0] for entry in self._pending]
+            after = [i for i, mid in enumerate(ids)
+                     if mid > self._last_granted]
+            index = after[0] if after else 0
+        return self._pending.pop(index)
+
+    def _arbiter(self):
+        while True:
+            if not self._pending:
+                yield self._grant_event
+                continue
+            master_id, done, transaction = self._select()
+            self._last_granted = master_id
+            self._busy = True
+            yield self.transfer_time
+            slave, offset = self.decode(transaction["address"])
+            if transaction["write"]:
+                slave.write_word(offset, transaction["value"])
+            else:
+                transaction["result"] = slave.read_word(offset)
+            self._account(master_id)
+            self._busy = False
+            done.notify()
+
+    # -- immediate access (the CPU bridge) ------------------------------------
+
+    def transfer_now(self, master_id, write, address, value=0):
+        """Synchronous transfer; returns ``(result, wait_time_fs)``.
+
+        The wait time is the bus occupancy the access would experience:
+        one transfer slot, plus the backlog of queued timed requests.
+        """
+        slave, offset = self.decode(address)
+        if self._busy or self._pending:
+            self.contention_count += 1
+        backlog = len(self._pending) + (1 if self._busy else 0)
+        wait_time = self.transfer_time * (1 + backlog)
+        if write:
+            result = None
+            slave.write_word(offset, value)
+        else:
+            result = slave.read_word(offset)
+        self._account(master_id)
+        self.immediate_count += 1
+        return result, wait_time

@@ -1,0 +1,81 @@
+"""Bus targets."""
+
+from repro.errors import SimulationError
+
+
+class BusSlave:
+    """Base class: word-granular read/write targets."""
+
+    def __init__(self, name):
+        self.name = name
+        self.read_count = 0
+        self.write_count = 0
+
+    def read_word(self, offset):
+        """Read the word at *offset*; overridden by concrete slaves."""
+        raise SimulationError("slave %r is not readable" % self.name)
+
+    def write_word(self, offset, value):
+        """Write the word at *offset*; overridden by concrete slaves."""
+        raise SimulationError("slave %r is not writable" % self.name)
+
+
+class MemorySlave(BusSlave):
+    """On-bus RAM."""
+
+    def __init__(self, size, name="ram"):
+        super().__init__(name)
+        if size <= 0 or size % 4:
+            raise SimulationError("memory slave size must be a positive "
+                                  "multiple of 4")
+        self.size = size
+        self.data = bytearray(size)
+
+    def read_word(self, offset):
+        """Read a RAM word."""
+        self.read_count += 1
+        return int.from_bytes(self.data[offset:offset + 4], "little")
+
+    def write_word(self, offset, value):
+        """Write a RAM word."""
+        self.write_count += 1
+        self.data[offset:offset + 4] = (value & 0xFFFFFFFF).to_bytes(
+            4, "little")
+
+
+class RegisterSlave(BusSlave):
+    """Callback-backed register file (device front-ends)."""
+
+    def __init__(self, name="regs"):
+        super().__init__(name)
+        self._read_handlers = {}
+        self._write_handlers = {}
+
+    def define(self, offset, read=None, write=None):
+        """Register handlers for the word register at *offset*."""
+        if offset % 4:
+            raise SimulationError("register offset must be word-aligned")
+        if read is not None:
+            self._read_handlers[offset] = read
+        if write is not None:
+            self._write_handlers[offset] = write
+
+    def read_word(self, offset):
+        """Invoke the read handler registered at *offset*."""
+        handler = self._read_handlers.get(offset)
+        if handler is None:
+            raise SimulationError(
+                "slave %r: no readable register at offset 0x%x"
+                % (self.name, offset))
+        self.read_count += 1
+        return handler() & 0xFFFFFFFF
+
+    def write_word(self, offset, value):
+        """Invoke the write handler registered at *offset*."""
+        handler = self._write_handlers.get(offset)
+        if handler is None:
+            raise SimulationError(
+                "slave %r: no writable register at offset 0x%x"
+                % (self.name, offset))
+        self.write_count += 1
+        handler(value & 0xFFFFFFFF)

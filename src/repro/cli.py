@@ -1,0 +1,185 @@
+"""Command-line interface.
+
+``python -m repro <command>`` runs the paper's experiments from the
+shell:
+
+- ``table1 [--quick]`` — the Table 1 performance comparison;
+- ``fig7 [--sim-ms N]`` — the Figure 7 forwarding sweep;
+- ``loc`` — the Section 5 code-complexity report;
+- ``router --scheme S [--delay-us N] [--sim-ms N] [--cpus N]`` — one
+  case-study run with statistics;
+- ``version``.
+"""
+
+import argparse
+
+from repro.sysc.simtime import MS, US
+from repro.version import __version__
+
+
+def _cmd_table1(args):
+    from repro.analysis.table1 import run_table1
+    from repro.analysis.tables import render_table
+
+    sim_times = ((1 * MS, 4 * MS) if args.quick
+                 else (1 * MS, 10 * MS, 100 * MS))
+    rows = run_table1(sim_times=sim_times)
+    headers = ["scheme"] + ["%d ms" % (t // MS) for t in sim_times]
+    print(render_table(
+        headers,
+        [[row.scheme] + ["%.3f s" % w for w in row.wall_seconds]
+         for row in rows],
+        title="Table 1 - co-simulation wall-clock time"))
+    baseline = rows[0]
+    print()
+    print(render_table(
+        headers,
+        [[row.scheme] + ["%.2fx" % s
+                         for s in row.speedup_against(baseline)]
+         for row in rows[1:]],
+        title="Speedup vs %s (paper: ~1.3x / ~3x)" % baseline.scheme))
+    return 0
+
+
+def _cmd_fig7(args):
+    from repro.analysis.fig7 import DEFAULT_DELAYS, run_fig7
+    from repro.analysis.tables import render_table
+
+    data = run_fig7(sim_time=args.sim_ms * MS)
+    rows = []
+    for index, delay in enumerate(DEFAULT_DELAYS):
+        rows.append(["%d us" % (delay // US),
+                     "%.1f" % data["gdb-kernel"][index].forwarded_percent,
+                     "%.1f" % data["driver-kernel"][index]
+                     .forwarded_percent])
+    print(render_table(["delay", "gdb-kernel %", "driver-kernel %"], rows,
+                       title="Figure 7 - forwarding vs inter-packet "
+                             "delay"))
+    return 0
+
+
+def _cmd_loc(args):
+    from repro.analysis.loc import loc_report
+
+    report = loc_report()
+    print("Section 5 code-complexity report")
+    print("  SystemC side: gdb-kernel %d, driver-kernel %d lines "
+          "(+%.0f%%, paper ~+40%%)" % (report.gdb_systemc,
+                                       report.driver_systemc,
+                                       report.systemc_overhead_percent))
+    print("  guest side:   gdb-kernel %d, driver-kernel %d lines "
+          "(%.1fx, paper ~9x in C)" % (report.gdb_guest,
+                                       report.driver_guest,
+                                       report.guest_factor))
+    return 0
+
+
+def _cmd_router(args):
+    from repro.router.system import build_system
+
+    system = build_system(scheme=args.scheme,
+                          inter_packet_delay=args.delay_us * US,
+                          num_cpus=args.cpus)
+    system.run(args.sim_ms * MS)
+    stats = system.stats()
+    print("scheme=%s cpus=%d delay=%dus sim=%dms" % (
+        args.scheme, args.cpus, args.delay_us, args.sim_ms))
+    print("generated=%d forwarded=%d (%.1f%%) received=%d corrupt=%d "
+          "input_drops=%d" % (stats.generated, stats.forwarded,
+                              stats.forwarded_percent, stats.received,
+                              stats.corrupt, stats.input_drops))
+    return 0 if stats.corrupt == 0 else 1
+
+
+def _cmd_stream(args):
+    from repro.stream import build_stream_system
+
+    system = build_stream_system(scheme=args.scheme,
+                                 total_samples=args.samples,
+                                 block_words=args.block,
+                                 window=args.window)
+    system.run(args.sim_ms * MS)
+    done = system.sink.completed_at
+    print("scheme=%s samples=%d block=%d window=%d" % (
+        args.scheme, args.samples, args.block, args.window))
+    print("filtered=%d mismatches=%d completed_at=%s" % (
+        len(system.sink.received), system.sink.mismatches,
+        ("%.2f ms" % (done / 1e12)) if done else "incomplete"))
+    return 0 if system.sink.mismatches == 0 else 1
+
+
+def _cmd_report(args):
+    from repro.analysis.report import generate_report
+
+    text = generate_report(quick=not args.full)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print("wrote %s" % args.output)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_version(args):
+    print(__version__)
+    return 0
+
+
+def build_parser():
+    """Construct the argparse parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DATE 2004 ISS-SystemC co-simulation reproduction")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    table1 = commands.add_parser("table1", help="Table 1 experiment")
+    table1.add_argument("--quick", action="store_true",
+                        help="short simulated times")
+    table1.set_defaults(func=_cmd_table1)
+
+    fig7 = commands.add_parser("fig7", help="Figure 7 sweep")
+    fig7.add_argument("--sim-ms", type=int, default=2,
+                      help="simulated ms per point")
+    fig7.set_defaults(func=_cmd_fig7)
+
+    loc = commands.add_parser("loc", help="Section 5 LoC report")
+    loc.set_defaults(func=_cmd_loc)
+
+    router = commands.add_parser("router", help="one case-study run")
+    router.add_argument("--scheme", default="gdb-kernel",
+                        choices=["local", "gdb-wrapper", "gdb-kernel",
+                                 "driver-kernel"])
+    router.add_argument("--delay-us", type=int, default=20)
+    router.add_argument("--sim-ms", type=int, default=2)
+    router.add_argument("--cpus", type=int, default=1)
+    router.set_defaults(func=_cmd_router)
+
+    stream = commands.add_parser("stream",
+                                 help="the streaming DSP case study")
+    stream.add_argument("--scheme", default="driver-kernel",
+                        choices=["driver-kernel", "gdb-kernel"])
+    stream.add_argument("--samples", type=int, default=192)
+    stream.add_argument("--block", type=int, default=16)
+    stream.add_argument("--window", type=int, default=4)
+    stream.add_argument("--sim-ms", type=int, default=20)
+    stream.set_defaults(func=_cmd_stream)
+
+    report = commands.add_parser(
+        "report", help="run every experiment, render a markdown report")
+    report.add_argument("--full", action="store_true",
+                        help="full-length runs (minutes)")
+    report.add_argument("-o", "--output", default=None,
+                        help="write to a file instead of stdout")
+    report.set_defaults(func=_cmd_report)
+
+    version = commands.add_parser("version", help="print the version")
+    version.set_defaults(func=_cmd_version)
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,40 @@
+"""The co-simulation time binding.
+
+Both engines keep their own notion of time: the SystemC kernel counts
+femtoseconds, the ISS counts cycles.  A :class:`ClockBinding` ties them
+together: every time the SystemC kernel advances to a new timestep, the
+ISS earns a proportional cycle budget.  The schemes spend that budget
+through their master-side advance calls.
+"""
+
+from repro.errors import CosimError
+
+
+class ClockBinding:
+    """Maps SystemC simulated time to ISS cycle budgets."""
+
+    def __init__(self, cpu_hz, time_per_step_fs):
+        if cpu_hz <= 0 or time_per_step_fs <= 0:
+            raise CosimError("clock binding needs positive frequencies")
+        self.cpu_hz = cpu_hz
+        self.time_per_step_fs = time_per_step_fs
+        self._last_time_fs = 0
+        self._cycle_carry = 0.0
+        self.granted_cycles = 0
+
+    def cycles_for_advance(self, now_fs):
+        """Cycle budget earned by advancing SystemC time to *now_fs*."""
+        delta_fs = now_fs - self._last_time_fs
+        if delta_fs < 0:
+            raise CosimError("simulation time moved backwards")
+        self._last_time_fs = now_fs
+        exact = delta_fs * self.cpu_hz / 1e15 + self._cycle_carry
+        budget = int(exact)
+        self._cycle_carry = exact - budget
+        self.granted_cycles += budget
+        return budget
+
+    def reset(self, now_fs=0):
+        """Re-base the binding at *now_fs* (discards the carry)."""
+        self._last_time_fs = now_fs
+        self._cycle_carry = 0.0

@@ -1,0 +1,104 @@
+"""Inter-process-communication channel models.
+
+The paper's implementations use a Unix pipe (GDB-Kernel) and two TCP
+sockets (Driver-Kernel) between the SystemC process and the ISS
+process.  Here both engines live in one Python process, so a *channel*
+is a pair of linked endpoints with message-boundary-preserving queues.
+
+What is preserved from the real thing is the *cost asymmetry* the paper
+exploits: checking whether data is pending (:meth:`Endpoint.poll` — the
+paper's "checking the content of the data structure of the IPC
+mechanism") is far cheaper than a full send/receive transaction, and
+every operation is counted so the ablation benchmark can attribute the
+measured speedups.
+"""
+
+from collections import deque
+
+from repro.errors import CosimError
+
+
+class Endpoint:
+    """One side of a channel."""
+
+    def __init__(self, channel, label):
+        self._channel = channel
+        self.label = label
+        self._inbox = deque()
+        self.sent_messages = 0
+        self.sent_bytes = 0
+        self.received_messages = 0
+        self.received_bytes = 0
+        self.poll_count = 0
+        self.peer = None  # wired by the channel
+        # Optional link-fault model: callable(payload) -> payload,
+        # applied to outgoing messages (tests inject corruption here).
+        self.fault_injector = None
+
+    def __repr__(self):
+        return "Endpoint(%s.%s)" % (self._channel.name, self.label)
+
+    def send(self, payload):
+        """Transmit one message (bytes) to the peer endpoint."""
+        if not isinstance(payload, (bytes, bytearray)):
+            raise CosimError("channel payload must be bytes, got %r"
+                             % (payload,))
+        self.sent_messages += 1
+        self.sent_bytes += len(payload)
+        self._channel.transfer_count += 1
+        payload = bytes(payload)
+        if self.fault_injector is not None:
+            payload = self.fault_injector(payload)
+        self.peer._inbox.append(payload)
+
+    def poll(self):
+        """Cheap readiness check; no data is consumed."""
+        self.poll_count += 1
+        return bool(self._inbox)
+
+    def recv(self):
+        """Dequeue the oldest pending message, or None."""
+        if not self._inbox:
+            return None
+        payload = self._inbox.popleft()
+        self.received_messages += 1
+        self.received_bytes += len(payload)
+        return payload
+
+    def recv_all(self):
+        """Drain the inbox; returns a (possibly empty) list."""
+        messages = []
+        while self._inbox:
+            messages.append(self.recv())
+        return messages
+
+    @property
+    def pending(self):
+        return len(self._inbox)
+
+
+class Pipe:
+    """A bidirectional pipe with two endpoints ``a`` and ``b``."""
+
+    def __init__(self, name="pipe"):
+        self.name = name
+        self.a = Endpoint(self, "a")
+        self.b = Endpoint(self, "b")
+        self.a.peer = self.b
+        self.b.peer = self.a
+        self.transfer_count = 0
+
+    def __repr__(self):
+        return "%s(%r)" % (type(self).__name__, self.name)
+
+
+class Socket(Pipe):
+    """A pipe dressed as a TCP socket bound to a port number.
+
+    The Driver-Kernel scheme uses two: the *socket data port* (4444)
+    and the *socket interrupt port* (4445) — paper Section 4.1.
+    """
+
+    def __init__(self, port, name=None):
+        super().__init__(name or ("socket:%d" % port))
+        self.port = port

@@ -1,0 +1,172 @@
+"""The Driver-Kernel co-simulation scheme (paper Section 4).
+
+The ISS masters the co-simulation: guest applications talk to the
+SystemC hardware through a device driver inside the RTOS.  The driver
+exchanges messages with the SystemC kernel on the *socket data port*
+(4444); the kernel notifies interrupts on the *socket interrupt port*
+(4445).  The SystemC scheduler is modified (paper Figure 5) to:
+
+- at the beginning of each simulation cycle, check for driver messages:
+  a WRITE stores data into the named ``iss_in`` port and starts the
+  ``iss_process``es sensitive to it; a READ is answered with the
+  current values of the named ``iss_out`` ports;
+- at the end of each cycle, check whether hardware raised an interrupt
+  and, if so, send it on the interrupt socket.
+
+There is no GDB anywhere in this scheme — "the GDB interface overhead
+has been removed from the ISS side" — which is where its speed comes
+from; the price is writing the driver (Section 5's 9x guest-side code
+overhead) and the RTOS overhead visible in Figure 7.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import CosimError
+from repro.cosim.binding import ClockBinding
+from repro.cosim.channels import Socket
+from repro.cosim.messages import (DATA_PORT, INTERRUPT_PORT, Message,
+                                  MessageType, interrupt_message,
+                                  pack_message, unpack_message)
+from repro.cosim.metrics import CosimMetrics
+from repro.sysc.hooks import KernelHook
+
+
+@dataclass
+class _RtosContext:
+    """One attached ISS+RTOS with its two sockets."""
+
+    name: str
+    rtos: object
+    binding: ClockBinding
+    data_socket: Socket = None
+    interrupt_socket: Socket = None
+    ports: dict = field(default_factory=dict)  # port name -> Iss{In,Out}Port
+
+    @property
+    def finished(self):
+        return self.rtos.cpu.halted
+
+
+class DriverKernelHook(KernelHook):
+    """The scheduler modification of paper Figure 5."""
+
+    def __init__(self, metrics):
+        self.metrics = metrics
+        self.contexts = []
+        self._pending_interrupts = []   # (context, vector)
+
+    # Hardware modules call this (via the scheme) during evaluate.
+    def queue_interrupt(self, context, vector):
+        """Hardware side: queue *vector* for delivery at cycle end."""
+        self._pending_interrupts.append((context, vector))
+
+    def on_cycle_begin(self, kernel):
+        """Drain driver messages at the start of the cycle (Fig. 5)."""
+        for context in self.contexts:
+            self.metrics.cheap_polls += 1
+            if not context.data_socket.a.poll():
+                continue
+            while True:
+                payload = context.data_socket.a.recv()
+                if payload is None:
+                    break
+                self._handle_message(context, unpack_message(payload))
+
+    def on_cycle_end(self, kernel):
+        """Forward interrupts raised this cycle (Fig. 5)."""
+        if not self._pending_interrupts:
+            return
+        pending, self._pending_interrupts = self._pending_interrupts, []
+        for context, vector in pending:
+            context.interrupt_socket.a.send(
+                pack_message(interrupt_message(vector)))
+            self.metrics.interrupts_posted += 1
+
+    def on_time_advance(self, kernel):
+        """Grant each guest RTOS its cycle budget."""
+        self.metrics.sc_timesteps += 1
+        for context in self.contexts:
+            if context.finished:
+                continue
+            budget = context.binding.cycles_for_advance(kernel.now)
+            if budget > 0:
+                self.metrics.iss_cycles += context.rtos.advance(budget)
+
+    def _handle_message(self, context, message):
+        self.metrics.messages_received += 1
+        if message.type is MessageType.WRITE:
+            for block in message.blocks:
+                port = self._port(context, block.port, "iss_in")
+                if len(block.data) == 4:
+                    port.deliver(int.from_bytes(block.data, "little"))
+                else:
+                    port.deliver(block.data)
+        elif message.type is MessageType.READ:
+            reply = Message(MessageType.READ_REPLY, [], message.sequence)
+            for block in message.blocks:
+                port = self._port(context, block.port, "iss_out")
+                value = port.collect()
+                if isinstance(value, int):
+                    value = (value & 0xFFFFFFFF).to_bytes(4, "little")
+                elif not isinstance(value, (bytes, bytearray)):
+                    raise CosimError(
+                        "iss_out port %r holds unserialisable value %r"
+                        % (block.port, value))
+                block.data = bytes(value)
+                reply.blocks.append(block)
+            context.data_socket.a.send(pack_message(reply))
+            self.metrics.messages_sent += 1
+        else:
+            raise CosimError("unexpected %s message from driver"
+                             % message.type.name)
+
+    @staticmethod
+    def _port(context, port_name, expected):
+        port = context.ports.get(port_name)
+        if port is None:
+            raise CosimError("driver referenced unknown SystemC port %r"
+                             % port_name)
+        return port
+
+
+class DriverKernelScheme:
+    """Builds and owns the Driver-Kernel machinery."""
+
+    name = "driver-kernel"
+
+    def __init__(self, kernel, metrics=None):
+        self.kernel = kernel
+        self.metrics = metrics if metrics is not None else CosimMetrics()
+        self.metrics.scheme = self.name
+        self.hook = DriverKernelHook(self.metrics)
+        kernel.add_hook(self.hook)
+
+    def attach_rtos(self, rtos, ports, cpu_hz, name=None):
+        """Connect one guest RTOS; wires both sockets."""
+        context = _RtosContext(
+            name=name or rtos.name,
+            rtos=rtos,
+            binding=ClockBinding(cpu_hz, 1),
+        )
+        context.data_socket = Socket(DATA_PORT, "data:" + context.name)
+        context.interrupt_socket = Socket(INTERRUPT_PORT,
+                                          "irq:" + context.name)
+        context.ports = dict(ports)
+        rtos.attach_cosim(context.data_socket.b, context.interrupt_socket.b)
+        self.hook.contexts.append(context)
+        return context
+
+    def raise_interrupt(self, context, vector):
+        """Hardware-side interrupt request (delivered at cycle end)."""
+        self.hook.queue_interrupt(context, vector)
+        return vector
+
+    def elaborate(self):
+        """Start every attached guest RTOS."""
+        for context in self.hook.contexts:
+            if not context.rtos.started:
+                context.rtos.start()
+
+    @property
+    def finished(self):
+        return all(context.finished for context in self.hook.contexts)

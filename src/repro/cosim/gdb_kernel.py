@@ -1,0 +1,110 @@
+"""The GDB-Kernel co-simulation scheme (paper Section 3).
+
+The wrapper is *embedded into the SystemC kernel*: a scheduler hook
+checks, at the beginning of every simulation cycle, whether the GDB
+stub of any attached ISS has stopped at a breakpoint — by inspecting
+the IPC pipe's data structure, an O(1) poll — and only then performs
+the variable transfer over the remote-debugging interface:
+
+- a breakpoint associated with an ``iss_in`` port: the kernel reads the
+  guest variable (RSP ``m``), stores the value into the port, and any
+  ``iss_process`` sensitive to it runs;
+- a breakpoint associated with an ``iss_out`` port: the port's value is
+  copied into the guest variable (RSP ``M``) before the guest statement
+  that reads it executes — held until the port has fresh data.
+
+The hook also grants each ISS its cycle budget whenever simulated time
+advances.  User modules never see any of this — they only declare
+``iss_in``/``iss_out`` ports and ``iss_process``es.
+"""
+
+from dataclasses import dataclass
+
+from repro.cosim.binding import ClockBinding
+from repro.cosim.channels import Pipe
+from repro.cosim.metrics import CosimMetrics
+from repro.cosim.transfer import TargetDriver
+from repro.gdb.client import GdbClient
+from repro.gdb.stub import GdbStub
+from repro.sysc.hooks import KernelHook
+
+
+@dataclass
+class _CpuContext:
+    """Everything the hook needs about one attached ISS."""
+
+    name: str
+    cpu: object
+    binding: ClockBinding
+    pipe: Pipe
+    stub: GdbStub
+    client: GdbClient
+    driver: TargetDriver
+
+    @property
+    def finished(self):
+        return self.driver.finished
+
+
+class GdbKernelHook(KernelHook):
+    """The scheduler modification of paper Figure 3."""
+
+    def __init__(self, metrics):
+        self.metrics = metrics
+        self.contexts = []
+
+    def on_cycle_begin(self, kernel):
+        """Poll each ISS pipe; service stops when data is pending."""
+        # "checks ... if the GDB is stopped to a breakpoint ... by
+        # checking the content of the data structure of the IPC
+        # mechanism used to connect the ISS and the wrapper (a pipe)".
+        for context in self.contexts:
+            self.metrics.cheap_polls += 1
+            if context.driver.needs_attention:
+                context.driver.drive()
+
+    def on_time_advance(self, kernel):
+        """Grant each ISS its cycle budget and drive it."""
+        self.metrics.sc_timesteps += 1
+        for context in self.contexts:
+            if context.finished:
+                continue
+            budget = context.binding.cycles_for_advance(kernel.now)
+            if budget > 0:
+                context.driver.grant(budget)
+                context.driver.drive()
+
+
+class GdbKernelScheme:
+    """Builds and owns the kernel-embedded co-simulation machinery."""
+
+    name = "gdb-kernel"
+
+    def __init__(self, kernel, metrics=None):
+        self.kernel = kernel
+        self.metrics = metrics if metrics is not None else CosimMetrics()
+        self.metrics.scheme = self.name
+        self.hook = GdbKernelHook(self.metrics)
+        kernel.add_hook(self.hook)
+
+    def attach_cpu(self, cpu, pragma_map, ports, cpu_hz, name=None):
+        """Connect one ISS: its pragma map and variable->port mapping."""
+        label = name or cpu.name
+        pipe = Pipe("gdb:" + label)
+        stub = GdbStub(cpu, pipe.b)
+        client = GdbClient(pipe.a, pump=stub.service_pending)
+        driver = TargetDriver(client, stub, cpu, pragma_map, dict(ports),
+                              self.metrics)
+        context = _CpuContext(label, cpu, ClockBinding(cpu_hz, 1), pipe,
+                              stub, client, driver)
+        self.hook.contexts.append(context)
+        return context
+
+    def elaborate(self):
+        """Set every pragma breakpoint and put the targets in run mode."""
+        for context in self.hook.contexts:
+            context.driver.elaborate()
+
+    @property
+    def finished(self):
+        return all(context.finished for context in self.hook.contexts)

@@ -1,0 +1,109 @@
+"""The GDB-Wrapper baseline (Benini et al. 2003 — reference [14]).
+
+The state of the art the paper improves upon: the HW designer is
+*aware* of the wrapper, which is explicitly instantiated as a SystemC
+module.  Its communication control is "implemented by explicitly
+writing a sc_method": a process sensitive to the system clock that, on
+every single clock cycle, performs a full remote-debug round trip
+(``qStatus``) to learn whether the ISS needs attention — the per-cycle
+host-IPC overhead responsible for the scheme's limited performance
+(paper Section 2: "the ISS and the SystemC simulators evolve in
+lock-step, because synchronization is driven by the host operating
+system via IPC").
+
+Execution and variable transfers at breakpoints work exactly like the
+GDB-Kernel scheme (the two share :class:`~repro.cosim.transfer.
+TargetDriver`), so the measured difference between the schemes isolates
+what the paper changed: where the synchronisation check lives and what
+it costs per cycle.
+"""
+
+from repro.cosim.binding import ClockBinding
+from repro.cosim.channels import Pipe
+from repro.cosim.metrics import CosimMetrics
+from repro.cosim.transfer import TargetDriver
+from repro.gdb.client import GdbClient
+from repro.gdb.stub import GdbStub
+from repro.sysc.module import Module
+
+
+class GdbWrapperModule(Module):
+    """The explicitly-instantiated wrapper module of [14].
+
+    One wrapper serves one ISS; it "loads the ISS, and establishes
+    IPCs between SystemC and the ISS".
+    """
+
+    def __init__(self, name, clock, cpu, pragma_map, ports, cpu_hz,
+                 metrics, kernel=None):
+        super().__init__(name, kernel)
+        self.cpu = cpu
+        self.binding = ClockBinding(cpu_hz, 1)
+        self.metrics = metrics
+        self.pipe = Pipe("gdbw:" + name)
+        self.stub = GdbStub(cpu, self.pipe.b)
+        self.client = GdbClient(self.pipe.a, pump=self.stub.service_pending)
+        self.driver = TargetDriver(self.client, self.stub, cpu, pragma_map,
+                                   dict(ports), metrics)
+        self.method(self._sync_cycle, sensitive=[clock.posedge],
+                    dont_initialize=True, name="sync")
+
+    @property
+    def finished(self):
+        return self.driver.finished
+
+    def elaborate(self):
+        """Set the pragma breakpoints and put the target in run mode."""
+        self.driver.elaborate()
+
+    def _sync_cycle(self):
+        """The lock-step sc_method: runs on every clock posedge."""
+        if self.driver.finished:
+            return
+        # 1. The per-cycle synchronisation over the RDI — the overhead
+        #    that distinguishes this baseline.  The lock-step wrapper
+        #    of [14] exchanges both the target state and the execution
+        #    state (program counter) with the ISS every cycle.
+        self.metrics.sync_transactions += 2
+        status = self.client.query_status()
+        self.client.read_register(16)  # the pc, by register number
+        if status.get("Status") == "exited":
+            self.driver.finished = True
+            return
+        # 2. Grant the ISS the cycles corresponding to one clock period
+        #    and drive it, servicing breakpoint transfers.
+        budget = self.binding.cycles_for_advance(self.kernel.now)
+        if budget > 0:
+            self.driver.grant(budget)
+        self.metrics.sc_timesteps += 1
+        self.driver.drive()
+
+
+class GdbWrapperScheme:
+    """Convenience builder mirroring the other schemes' interface."""
+
+    name = "gdb-wrapper"
+
+    def __init__(self, kernel, clock, metrics=None):
+        self.kernel = kernel
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else CosimMetrics()
+        self.metrics.scheme = self.name
+        self.wrappers = []
+
+    def attach_cpu(self, cpu, pragma_map, ports, cpu_hz, name=None):
+        """Instantiate a wrapper module for one ISS."""
+        wrapper = GdbWrapperModule(
+            name or ("wrapper:" + cpu.name), self.clock, cpu, pragma_map,
+            ports, cpu_hz, self.metrics, self.kernel)
+        self.wrappers.append(wrapper)
+        return wrapper
+
+    def elaborate(self):
+        """Elaborate every wrapper module."""
+        for wrapper in self.wrappers:
+            wrapper.elaborate()
+
+    @property
+    def finished(self):
+        return all(wrapper.finished for wrapper in self.wrappers)

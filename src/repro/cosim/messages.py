@@ -1,0 +1,139 @@
+"""The Driver-Kernel message protocol (paper Section 4.2).
+
+Messages exchanged between the guest device driver and the SystemC
+kernel consist of the fields:
+
+- *Packet Size* — size of the whole message;
+- *Type* — READ or WRITE;
+- per data block *i*: *DataSize_i*, *Data_i* (WRITE only) and
+  *SC_Port_i* — the name of the ``iss_in`` port to write or the
+  ``iss_out`` port to read.
+
+The wire format here is explicit little-endian binary: a real packet is
+built and parsed byte-for-byte, so marshaling has a genuine cost that
+the metrics layer can attribute.
+
+Layout::
+
+    u32 packet_size        (whole message, bytes)
+    u8  type               (1=READ, 2=WRITE, 3=INTERRUPT, 4=READ_REPLY)
+    u8  block_count
+    u16 sequence
+    repeated block_count times:
+        u16 port_name_length
+        u16 data_size      (bytes; 0 for READ requests)
+        bytes port_name
+        bytes data
+"""
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import CosimError
+
+DATA_PORT = 4444        # "socket data port"      — paper Section 4.1
+INTERRUPT_PORT = 4445   # "socket interrupt port" — paper Section 4.1
+
+_HEADER = struct.Struct("<IBBH")
+_BLOCK_HEADER = struct.Struct("<HH")
+
+
+class MessageType(enum.IntEnum):
+    """Message types of the Section 4.2 protocol."""
+    READ = 1
+    WRITE = 2
+    INTERRUPT = 3
+    READ_REPLY = 4
+
+
+@dataclass
+class Block:
+    """One port-addressed data block."""
+
+    port: str
+    data: bytes = b""
+
+
+@dataclass
+class Message:
+    """A Driver-Kernel protocol message."""
+
+    type: MessageType
+    blocks: list = field(default_factory=list)
+    sequence: int = 0
+
+    @property
+    def packet_size(self):
+        size = _HEADER.size
+        for block in self.blocks:
+            size += _BLOCK_HEADER.size + len(block.port) + len(block.data)
+        return size
+
+
+def pack_message(message):
+    """Serialise *message* to its binary wire form."""
+    if len(message.blocks) > 255:
+        raise CosimError("message has too many blocks: %d"
+                         % len(message.blocks))
+    parts = [_HEADER.pack(message.packet_size, int(message.type),
+                          len(message.blocks), message.sequence & 0xFFFF)]
+    for block in message.blocks:
+        name = block.port.encode("ascii")
+        if len(name) > 0xFFFF or len(block.data) > 0xFFFF:
+            raise CosimError("oversized block for port %r" % block.port)
+        parts.append(_BLOCK_HEADER.pack(len(name), len(block.data)))
+        parts.append(name)
+        parts.append(block.data)
+    return b"".join(parts)
+
+
+def unpack_message(payload):
+    """Parse binary wire form back into a :class:`Message`."""
+    if len(payload) < _HEADER.size:
+        raise CosimError("short message: %d bytes" % len(payload))
+    packet_size, type_value, block_count, sequence = _HEADER.unpack_from(
+        payload, 0)
+    if packet_size != len(payload):
+        raise CosimError("packet size field %d does not match payload %d"
+                         % (packet_size, len(payload)))
+    try:
+        message_type = MessageType(type_value)
+    except ValueError:
+        raise CosimError("unknown message type %d" % type_value)
+    message = Message(message_type, [], sequence)
+    offset = _HEADER.size
+    for __ in range(block_count):
+        if offset + _BLOCK_HEADER.size > len(payload):
+            raise CosimError("truncated block header")
+        name_length, data_size = _BLOCK_HEADER.unpack_from(payload, offset)
+        offset += _BLOCK_HEADER.size
+        end = offset + name_length + data_size
+        if end > len(payload):
+            raise CosimError("truncated block body")
+        port = payload[offset:offset + name_length].decode("ascii")
+        data = payload[offset + name_length:end]
+        message.blocks.append(Block(port, data))
+        offset = end
+    if offset != len(payload):
+        raise CosimError("trailing bytes after last block")
+    return message
+
+
+def write_message(port_values, sequence=0):
+    """Convenience: a WRITE message from ``{port_name: word_value}``."""
+    blocks = [Block(port, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+              for port, value in port_values.items()]
+    return Message(MessageType.WRITE, blocks, sequence)
+
+
+def read_message(port_names, sequence=0):
+    """Convenience: a READ request for the named ``iss_out`` ports."""
+    return Message(MessageType.READ, [Block(port) for port in port_names],
+                   sequence)
+
+
+def interrupt_message(vector, sequence=0):
+    """An interrupt notification carrying its vector number."""
+    return Message(MessageType.INTERRUPT,
+                   [Block("irq", bytes([vector & 0xFF]))], sequence)

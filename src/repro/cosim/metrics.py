@@ -1,0 +1,45 @@
+"""Co-simulation metrics.
+
+Counters that attribute where co-simulation time goes, powering the
+ablation benchmark (DESIGN.md Section 5): per-cycle synchronisation
+transactions (the GDB-Wrapper bottleneck), cheap polls (the GDB-Kernel
+replacement), data-transfer transactions at breakpoints, and
+Driver-Kernel messages.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CosimMetrics:
+    """Mutable counter bundle shared by a scheme's components."""
+
+    scheme: str = ""
+    sync_transactions: int = 0      # per-cycle RSP round-trips (wrapper)
+    cheap_polls: int = 0            # per-cycle pipe checks (kernel schemes)
+    transfer_transactions: int = 0  # RSP m/M/c exchanges at breakpoints
+    breakpoint_hits: int = 0
+    messages_sent: int = 0          # Driver-Kernel data messages
+    messages_received: int = 0
+    interrupts_posted: int = 0
+    isr_dispatches: int = 0
+    iss_cycles: int = 0
+    sc_timesteps: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self):
+        """All counters as a plain dict (for stats reporting)."""
+        return {
+            "scheme": self.scheme,
+            "sync_transactions": self.sync_transactions,
+            "cheap_polls": self.cheap_polls,
+            "transfer_transactions": self.transfer_transactions,
+            "breakpoint_hits": self.breakpoint_hits,
+            "messages_sent": self.messages_sent,
+            "messages_received": self.messages_received,
+            "interrupts_posted": self.interrupts_posted,
+            "isr_dispatches": self.isr_dispatches,
+            "iss_cycles": self.iss_cycles,
+            "sc_timesteps": self.sc_timesteps,
+            **self.extra,
+        }

@@ -1,0 +1,105 @@
+"""The paper's kernel-level co-simulation port types (Section 3.1).
+
+``iss_in`` / ``iss_out`` are "devoted exclusively to the communication
+between a SystemC module and an ISS", derived from ``sc_in`` and
+``sc_out``.  Each owns its backing signal (there is no user-visible
+channel to bind) and carries the association with a guest variable:
+
+- an :class:`IssInPort` receives the value of a guest *variable* when
+  the ISS stops at the associated breakpoint — any ``iss_process``
+  sensitive to the port then runs;
+- an :class:`IssOutPort` holds a value that the kernel copies *into*
+  the guest variable when the associated breakpoint is hit.
+
+The `iss_process` of the paper is an ordinary method process made
+sensitive to an ``IssInPort``; :func:`make_iss_process` builds one.
+"""
+
+from repro.sysc.event import Event
+from repro.sysc.port import InPort, OutPort
+from repro.sysc.signal import Signal
+
+
+class IssInPort(InPort):
+    """Data path ISS -> SystemC (derived from sc_in).
+
+    Unlike a plain signal, *every* delivery is an event — "an
+    iss_process will start execution when a new data is present on a
+    iss_in port" — even when the delivered value equals the previous
+    one, so sensitivity uses the dedicated ``received`` event.
+    """
+
+    def __init__(self, name, variable=None, kernel=None):
+        super().__init__(name)
+        self.variable = variable if variable is not None else name
+        self.bind(Signal(0, name + ".sig", kernel))
+        self.received = Event(name + ".received", kernel)
+        self.transfer_count = 0
+
+    @property
+    def changed(self):
+        """Sensitivity hook: new-data event (not value-change)."""
+        return self.received
+
+    def deliver(self, value):
+        """Kernel-side: store a value read from the guest variable."""
+        self.transfer_count += 1
+        self.signal.write(value)
+        self.received.notify_delta()
+
+
+class IssOutPort(OutPort):
+    """Data path SystemC -> ISS (derived from sc_out).
+
+    Hardware models publish with :meth:`post`, which also marks the
+    port *fresh*.  When a guest stops at an ``iss_out`` breakpoint and
+    the port is not fresh, the kernel holds the ISS stopped until new
+    data is posted — the kernel-mastered blocking read that implements
+    flow control in the GDB schemes (the Driver-Kernel scheme manages
+    freshness at application level through interrupts instead and
+    samples with ``consume=False`` semantics preserved).
+    """
+
+    def __init__(self, name, variable=None, kernel=None):
+        super().__init__(name)
+        self.variable = variable if variable is not None else name
+        self.bind(Signal(0, name + ".sig", kernel))
+        self.transfer_count = 0
+        self._fresh = False
+
+    @property
+    def fresh(self):
+        """Fresh only once the posted value has committed.
+
+        A post() during the evaluate phase is pending until the update
+        phase; advertising freshness earlier would let a transfer
+        running in the same evaluate phase collect the *previous*
+        value (a stale-read race between the wrapper's sc_method and
+        the posting process).
+        """
+        return self._fresh and not self.signal._update_pending
+
+    def post(self, value):
+        """Hardware-side publish: write the value and mark it fresh."""
+        self._fresh = True
+        self.signal.write(value)
+
+    def collect(self, consume=True):
+        """Kernel-side: the value to copy into the guest variable."""
+        self.transfer_count += 1
+        if consume:
+            self._fresh = False
+        return self.signal.read()
+
+
+def make_iss_process(module, func, ports, name=None):
+    """Register *func* as an iss_process sensitive to the given ports.
+
+    Mirrors the paper: "similarly to a sc_method, an iss_process will
+    start execution when a new data is present on a iss_in port to
+    which the process is sensitive" — and is *not* run at
+    initialisation, so it executes "only when data are effectively
+    transmitted or received" (Section 3.3).
+    """
+    return module.method(func, sensitive=list(ports), dont_initialize=True,
+                         name=name or getattr(func, "__name__", "iss_process"))

@@ -1,0 +1,125 @@
+"""Target driving and breakpoint-to-port transfers for the GDB schemes.
+
+When an ISS stops at a pragma breakpoint, each associated binding is a
+variable transfer over the remote-debugging interface:
+
+- ``iss_in``: read the guest variable (RSP ``m``) and deliver it to the
+  SystemC port;
+- ``iss_out``: copy the port value into the guest variable (RSP ``M``)
+  — *only if the port holds fresh data*.  Otherwise the ISS is held
+  stopped; the scheme retries at a later simulation cycle.  This is the
+  master-side kernel implementing blocking guest reads (flow control)
+  without the guest burning cycles.
+
+:class:`TargetDriver` owns the execution side: the ISS earns cycle
+budgets as SystemC time advances and spends them through
+:meth:`TargetDriver.drive`, which services any number of breakpoint
+stops back-to-back.  Stops therefore cost *host* work (the RSP
+exchanges the paper's Table 1 measures) but no simulated time — in the
+real system the ISS runs in a separate host process while SystemC's
+clock is frozen at the synchronisation point.
+"""
+
+from repro.errors import CosimError
+from repro.gdb.client import StopKind
+
+
+def attempt_transfer(client, pragma_map, ports, breakpoint_address, metrics):
+    """Try to service a breakpoint stop; returns resume-allowed."""
+    bindings = pragma_map.bindings_at(breakpoint_address)
+    if not bindings:
+        raise CosimError("ISS stopped at unassociated breakpoint 0x%08x"
+                         % breakpoint_address)
+    # Flow control first: every iss_out port involved must be fresh.
+    for binding in bindings:
+        if binding.kind == "iss_out":
+            port = _port_for(ports, binding.variable)
+            if not port.fresh:
+                return False
+    for binding in bindings:
+        port = _port_for(ports, binding.variable)
+        if binding.kind == "iss_in":
+            value = client.read_memory_word(binding.variable_address)
+            port.deliver(value)
+        else:
+            client.write_memory_word(binding.variable_address,
+                                     port.collect())
+        metrics.transfer_transactions += 2  # the m/M plus the continue
+    return True
+
+
+def _port_for(ports, variable):
+    port = ports.get(variable)
+    if port is None:
+        raise CosimError("no SystemC port associated with guest variable %r"
+                         % variable)
+    return port
+
+
+class TargetDriver:
+    """Budget-carrying execution and stop servicing for one GDB target."""
+
+    def __init__(self, client, stub, cpu, pragma_map, ports, metrics):
+        self.client = client
+        self.stub = stub
+        self.cpu = cpu
+        self.pragma_map = pragma_map
+        self.ports = ports
+        self.metrics = metrics
+        self.budget_remaining = 0
+        self.held_at = None
+        self.finished = False
+
+    @property
+    def needs_attention(self):
+        """True when drive() has (or may have) work to do right now."""
+        return self.held_at is not None or self.client.poll_cheap()
+
+    def grant(self, cycles):
+        """Award execution budget (called as SystemC time advances)."""
+        self.budget_remaining += cycles
+
+    def drive(self):
+        """Spend budget and service stops until held, starved or running.
+
+        Multiple breakpoint stops are serviced back-to-back within one
+        call; only a flow-control hold (an ``iss_out`` port without
+        fresh data) or budget exhaustion leaves work pending.
+        """
+        while not self.finished:
+            if self.held_at is not None:
+                if not attempt_transfer(self.client, self.pragma_map,
+                                        self.ports, self.held_at,
+                                        self.metrics):
+                    return
+                self.held_at = None
+                self.client.continue_()
+            if self.budget_remaining > 0 and self.stub.running:
+                before = self.cpu.cycles
+                self.stub.execute(self.budget_remaining)
+                consumed = self.cpu.cycles - before
+                self.budget_remaining -= consumed
+                self.metrics.iss_cycles += consumed
+            if not self.client.poll_cheap():
+                return
+            event = self.client.poll_stop()
+            if event is None:
+                return
+            if event.kind is StopKind.EXITED:
+                self.finished = True
+                return
+            if event.kind is not StopKind.BREAKPOINT:
+                continue
+            self.metrics.breakpoint_hits += 1
+            if attempt_transfer(self.client, self.pragma_map, self.ports,
+                                event.pc, self.metrics):
+                self.client.continue_()
+            else:
+                self.held_at = event.pc
+                return
+
+    def elaborate(self):
+        """Set every pragma breakpoint and put the target in run mode."""
+        for address in self.pragma_map.breakpoint_addresses():
+            self.client.set_breakpoint(address)
+        self.client.continue_()

@@ -1,0 +1,45 @@
+"""Exception hierarchy shared by all repro subsystems."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation kernel."""
+
+
+class BindingError(SimulationError):
+    """Raised when ports/signals are wired incorrectly."""
+
+
+class IssError(ReproError):
+    """Base class for instruction-set-simulator errors."""
+
+
+class AssemblerError(IssError):
+    """Raised for syntax or semantic errors in guest assembly sources."""
+
+
+class MemoryAccessError(IssError):
+    """Raised for out-of-range or misaligned guest memory accesses."""
+
+
+class IllegalInstructionError(IssError):
+    """Raised when the CPU decodes an invalid opcode."""
+
+
+class GuestFault(IssError):
+    """Raised when guest software performs an unrecoverable operation."""
+
+
+class RspError(ReproError):
+    """Raised for malformed GDB Remote Serial Protocol traffic."""
+
+
+class RtosError(ReproError):
+    """Raised for misuse of the guest RTOS layer."""
+
+
+class CosimError(ReproError):
+    """Raised for co-simulation configuration or protocol errors."""

@@ -1,0 +1,20 @@
+"""GDB Remote Serial Protocol (RSP) support.
+
+The paper builds on the idea (from reference [14]) of using gdb's
+remote debugging interface as a *standardised* wrapper<->ISS interface:
+any ISS that can talk to gdb can join the co-simulation.  This package
+implements the protocol itself (:mod:`repro.gdb.rsp`), a stub serving
+an R32 CPU (:mod:`repro.gdb.stub`) and the debugger-side client used by
+the wrappers (:mod:`repro.gdb.client`).
+"""
+
+from repro.gdb.rsp import (frame, unframe, escape_binary, unescape_binary,
+                           encode_hex, decode_hex, checksum)
+from repro.gdb.stub import GdbStub
+from repro.gdb.client import GdbClient, StopEvent, StopKind
+
+__all__ = [
+    "frame", "unframe", "escape_binary", "unescape_binary", "encode_hex",
+    "decode_hex", "checksum", "GdbStub", "GdbClient", "StopEvent",
+    "StopKind",
+]

@@ -1,0 +1,218 @@
+"""Debugger-side RSP client used by the co-simulation wrappers.
+
+A transaction is a synchronous request/reply exchange; the "remote"
+stub is serviced through a pump callback that stands in for the host
+operating system scheduling the ISS process.  Stop replies generated
+while the target runs arrive asynchronously and are surfaced through
+:meth:`GdbClient.poll_stop`; the pre-parse :meth:`GdbClient.poll_cheap`
+is the O(1) pipe check the GDB-Kernel scheduler performs each cycle.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import RspError
+from repro.gdb import rsp
+from repro.iss.cpu import NUM_REGS
+
+
+class StopKind(enum.Enum):
+    """Categories of asynchronous stop replies."""
+    BREAKPOINT = "breakpoint"
+    WATCH_WRITE = "watch_write"
+    WATCH_READ = "watch_read"
+    EXITED = "exited"
+
+
+@dataclass
+class StopEvent:
+    """A parsed asynchronous stop reply."""
+
+    kind: StopKind
+    pc: Optional[int] = None
+    address: Optional[int] = None
+    exit_code: Optional[int] = None
+
+
+def parse_stop_reply(text):
+    """Parse a ``T05…`` / ``W…`` stop reply into a :class:`StopEvent`."""
+    if text.startswith("W"):
+        return StopEvent(StopKind.EXITED, exit_code=int(text[1:] or "0", 16))
+    if not text.startswith("T"):
+        raise RspError("not a stop reply: %r" % text[:32])
+    event = StopEvent(StopKind.BREAKPOINT)
+    for field in text[3:].split(";"):
+        if not field:
+            continue
+        key, __, value = field.partition(":")
+        if key == "pc":
+            event.pc = int(value, 16)
+        elif key == "watch":
+            event.kind = StopKind.WATCH_WRITE
+            event.address = int(value, 16)
+        elif key == "rwatch":
+            event.kind = StopKind.WATCH_READ
+            event.address = int(value, 16)
+    return event
+
+
+class GdbClient:
+    """Synchronous RSP client over a channel endpoint."""
+
+    def __init__(self, endpoint, pump, name="gdb-client",
+                 max_attempts=3):
+        self.endpoint = endpoint
+        self._pump = pump
+        self.name = name
+        self.max_attempts = max_attempts
+        self.transaction_count = 0
+        self.retransmissions = 0
+        self.target_exited = False
+        self._stashed_stops = []
+
+    # -- transport ---------------------------------------------------------
+
+    def transact(self, request):
+        """One synchronous request/reply round trip.
+
+        A reply failing its RSP checksum is the link-level NAK case:
+        the request is retransmitted, up to ``max_attempts`` times.
+        (A corrupted asynchronous *stop* reply is not recoverable by
+        retransmission and raises immediately.)
+        """
+        last_error = None
+        for __ in range(self.max_attempts):
+            self.transaction_count += 1
+            self.endpoint.send(rsp.frame(request))
+            self._pump()
+            messages = self.endpoint.recv_all()
+            if not messages:
+                raise RspError("no reply to %r" % request[:32])
+            # Messages queued before our reply are asynchronous stops.
+            for stop_packet in messages[:-1]:
+                self._stash(rsp.unframe(stop_packet).decode("ascii"))
+            try:
+                return rsp.unframe(messages[-1]).decode("ascii")
+            except RspError as error:
+                last_error = error
+                self.retransmissions += 1
+        raise RspError("reply corrupt after %d attempts: %s"
+                       % (self.max_attempts, last_error))
+
+    def _stash(self, text):
+        event = parse_stop_reply(text)
+        if event.kind is StopKind.EXITED:
+            self.target_exited = True
+        self._stashed_stops.append(event)
+
+    # -- stop handling --------------------------------------------------------
+
+    def poll_cheap(self):
+        """O(1): is *anything* pending (stashed or on the pipe)?"""
+        return bool(self._stashed_stops) or self.endpoint.poll()
+
+    def poll_stop(self):
+        """Return the next pending :class:`StopEvent`, or None."""
+        if self._stashed_stops:
+            return self._stashed_stops.pop(0)
+        packet = self.endpoint.recv()
+        if packet is None:
+            return None
+        event = parse_stop_reply(rsp.unframe(packet).decode("ascii"))
+        if event.kind is StopKind.EXITED:
+            self.target_exited = True
+        return event
+
+    # -- commands -------------------------------------------------------------
+
+    def monitor(self, command):
+        """gdb's ``monitor`` escape: run a stub inspection command."""
+        reply = self.transact("qRcmd," + rsp.encode_hex(
+            command.encode("ascii")))
+        if reply.startswith("E"):
+            raise RspError("monitor %r failed: %s" % (command, reply))
+        return rsp.decode_hex(reply).decode("ascii") if reply else ""
+
+    def query_status(self):
+        """The lock-step wrapper's per-cycle ``qStatus`` round trip."""
+        reply = self.transact("qStatus")
+        fields = {}
+        for field in reply.split(";"):
+            key, __, value = field.partition(":")
+            fields[key] = value
+        return fields
+
+    def read_registers(self):
+        """Read all registers (``g``); returns (regs, pc)."""
+        reply = self.transact("g")
+        data = rsp.decode_hex(reply)
+        values = [int.from_bytes(data[4 * i:4 * i + 4], "little")
+                  for i in range(NUM_REGS + 1)]
+        return values[:NUM_REGS], values[NUM_REGS]
+
+    def write_register(self, index, value):
+        """Write one register (``P``)."""
+        reply = self.transact("P%x=%s" % (index, rsp.encode_register(value)))
+        self._expect_ok(reply, "P")
+
+    def read_register(self, index):
+        """Read one register (``p``); index 0x10 is the pc."""
+        return rsp.decode_register(self.transact("p%x" % index))
+
+    def read_memory(self, address, length):
+        """Read *length* bytes of guest memory (``m``)."""
+        reply = self.transact("m%x,%x" % (address, length))
+        if reply.startswith("E"):
+            raise RspError("memory read failed: %s" % reply)
+        return rsp.decode_hex(reply)
+
+    def write_memory(self, address, data):
+        """Write guest memory (``M``)."""
+        reply = self.transact("M%x,%x:%s" % (address, len(data),
+                                             rsp.encode_hex(data)))
+        self._expect_ok(reply, "M")
+
+    def write_memory_binary(self, address, data):
+        """Fast download via the binary ``X`` packet."""
+        request = b"X" + ("%x,%x:" % (address, len(data))).encode("ascii")
+        reply = self.transact(request + bytes(data))
+        self._expect_ok(reply, "X")
+
+    def read_memory_word(self, address):
+        """Read a little-endian 32-bit word of guest memory."""
+        return int.from_bytes(self.read_memory(address, 4), "little")
+
+    def write_memory_word(self, address, value):
+        """Write a little-endian 32-bit word of guest memory."""
+        self.write_memory(address, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    def set_breakpoint(self, address):
+        """Insert a software breakpoint (``Z0``)."""
+        self._expect_ok(self.transact("Z0,%x,4" % address), "Z0")
+
+    def clear_breakpoint(self, address):
+        """Remove a software breakpoint (``z0``)."""
+        self._expect_ok(self.transact("z0,%x,4" % address), "z0")
+
+    def set_watchpoint(self, address, length=4, write=True):
+        """Insert a write (or read) watchpoint (``Z2``/``Z3``)."""
+        kind = "2" if write else "3"
+        self._expect_ok(
+            self.transact("Z%s,%x,%x" % (kind, address, length)), "Z")
+
+    def continue_(self):
+        """Resume the target (no reply until the next stop)."""
+        self.transaction_count += 1
+        self.endpoint.send(rsp.frame("c"))
+        self._pump()
+
+    def step(self):
+        """Single-step the target (``s``)."""
+        reply = self.transact("s")
+        return parse_stop_reply(reply) if reply[0] in "TW" else None
+
+    @staticmethod
+    def _expect_ok(reply, what):
+        if reply != "OK":
+            raise RspError("%s failed: %r" % (what, reply))

@@ -1,0 +1,97 @@
+"""GDB Remote Serial Protocol packet layer.
+
+Implements the real wire format: ``$<payload>#<2-hex-checksum>`` with
+run-length-free binary escaping (``}`` = 0x7d, escaped byte XOR 0x20).
+Acknowledgement characters (``+``/``-``) are modelled at the transport
+level by re-sending on checksum failure; since our channels are
+reliable, acks are counted but always positive.
+"""
+
+from repro.errors import RspError
+
+ESCAPE = 0x7D
+ESCAPE_XOR = 0x20
+_SPECIAL = frozenset((0x23, 0x24, 0x7D))  # '#', '$', '}'
+
+
+def checksum(payload):
+    """Modulo-256 sum of the payload bytes."""
+    return sum(payload) & 0xFF
+
+
+def escape_binary(payload):
+    """Escape '$', '#' and '}' for inclusion in a packet body."""
+    out = bytearray()
+    for byte in payload:
+        if byte in _SPECIAL:
+            out.append(ESCAPE)
+            out.append(byte ^ ESCAPE_XOR)
+        else:
+            out.append(byte)
+    return bytes(out)
+
+
+def unescape_binary(payload):
+    """Inverse of :func:`escape_binary`."""
+    out = bytearray()
+    index = 0
+    while index < len(payload):
+        byte = payload[index]
+        if byte == ESCAPE:
+            index += 1
+            if index >= len(payload):
+                raise RspError("dangling escape at end of packet")
+            out.append(payload[index] ^ ESCAPE_XOR)
+        else:
+            out.append(byte)
+        index += 1
+    return bytes(out)
+
+
+def frame(payload):
+    """Wrap *payload* (bytes or str) into ``$payload#xx``."""
+    if isinstance(payload, str):
+        payload = payload.encode("ascii")
+    escaped = escape_binary(payload)
+    return b"$" + escaped + b"#" + b"%02x" % checksum(escaped)
+
+
+def unframe(packet):
+    """Extract and verify the payload of a framed packet."""
+    if len(packet) < 4 or packet[0:1] != b"$":
+        raise RspError("malformed packet %r" % (packet[:32],))
+    hash_index = packet.rfind(b"#")
+    if hash_index == -1 or len(packet) < hash_index + 3:
+        raise RspError("packet missing checksum: %r" % (packet[:32],))
+    body = packet[1:hash_index]
+    declared = int(packet[hash_index + 1:hash_index + 3], 16)
+    actual = checksum(body)
+    if declared != actual:
+        raise RspError("checksum mismatch: declared %02x, actual %02x"
+                       % (declared, actual))
+    return unescape_binary(body)
+
+
+def encode_hex(payload):
+    """Binary -> lowercase hex text (RSP memory/register payloads)."""
+    return payload.hex()
+
+
+def decode_hex(text):
+    """Hex text -> binary."""
+    if isinstance(text, bytes):
+        text = text.decode("ascii")
+    try:
+        return bytes.fromhex(text)
+    except ValueError:
+        raise RspError("bad hex payload %r" % (text[:32],))
+
+
+def encode_register(value):
+    """32-bit register value -> little-endian hex (RSP convention)."""
+    return (value & 0xFFFFFFFF).to_bytes(4, "little").hex()
+
+
+def decode_register(text):
+    """Little-endian hex -> 32-bit register value."""
+    return int.from_bytes(decode_hex(text), "little")

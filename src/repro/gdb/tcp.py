@@ -1,0 +1,158 @@
+"""Serve a CPU's GDB stub on a real TCP socket.
+
+The paper's standardisation argument (via [14]) is that the remote
+debugging interface makes *any* gdb-capable ISS pluggable.  This module
+closes the loop in the other direction: it exposes our ISS on
+localhost TCP speaking genuine RSP — including '+'/'-'
+acknowledgements — so a stock ``gdb`` (or any RSP client) can attach,
+set breakpoints and inspect the guest while the host drives execution.
+
+The server is intentionally synchronous and single-client: call
+:meth:`TcpStubServer.service` from the simulation loop (or use
+:meth:`TcpStubServer.serve_until_detach` for standalone debugging).
+"""
+
+import socket
+
+from repro.errors import RspError
+from repro.gdb import rsp
+from repro.gdb.stub import GdbStub
+
+
+class _SocketEndpoint:
+    """Adapts a TCP connection to the Endpoint interface GdbStub uses.
+
+    Handles the RSP ack layer: every well-formed packet received is
+    acknowledged with '+'; malformed ones get '-' (requesting a
+    retransmission); every packet sent expects the client's ack.
+    """
+
+    def __init__(self, connection, fill_timeout=0.02):
+        self.connection = connection
+        # Bounded wait for in-flight bytes: loopback TCP delivery is
+        # asynchronous, so a strictly non-blocking read would race the
+        # sender.
+        self.fill_timeout = fill_timeout
+        self._buffer = b""
+        self.sent_messages = 0
+        self.received_messages = 0
+        self.nak_count = 0
+
+    # -- Endpoint interface ---------------------------------------------------
+
+    def send(self, payload):
+        self.connection.sendall(payload)
+        self.sent_messages += 1
+
+    def recv(self):
+        """One framed packet from the stream, or None when idle."""
+        while True:
+            packet = self._extract_packet()
+            if packet is not None:
+                try:
+                    rsp.unframe(packet)
+                except RspError:
+                    self.nak_count += 1
+                    self.connection.sendall(b"-")
+                    continue
+                self.connection.sendall(b"+")
+                self.received_messages += 1
+                return packet
+            if not self._fill(blocking=False):
+                return None
+
+    def recv_all(self):
+        messages = []
+        while True:
+            packet = self.recv()
+            if packet is None:
+                return messages
+            messages.append(packet)
+
+    def poll(self):
+        self._fill(blocking=False)
+        return b"$" in self._buffer
+
+    # -- stream handling ------------------------------------------------------
+
+    def _fill(self, blocking):
+        self.connection.settimeout(None if blocking else self.fill_timeout)
+        try:
+            chunk = self.connection.recv(4096)
+        except (socket.timeout, BlockingIOError, InterruptedError):
+            return False
+        finally:
+            self.connection.settimeout(None)
+        if not chunk:
+            raise ConnectionError("RSP client disconnected")
+        self._buffer += chunk
+        return True
+
+    def _extract_packet(self):
+        # Skip acks and interrupt characters between packets.
+        start = self._buffer.find(b"$")
+        if start == -1:
+            self._buffer = b""
+            return None
+        end = self._buffer.find(b"#", start)
+        if end == -1 or len(self._buffer) < end + 3:
+            return None
+        packet = self._buffer[start:end + 3]
+        self._buffer = self._buffer[end + 3:]
+        return packet
+
+
+class TcpStubServer:
+    """Listens on localhost and serves one RSP client."""
+
+    def __init__(self, cpu, host="127.0.0.1", port=0):
+        self.cpu = cpu
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(1)
+        self.address = self._listener.getsockname()
+        self.endpoint = None
+        self.stub = None
+
+    @property
+    def port(self):
+        return self.address[1]
+
+    def accept(self, timeout=None):
+        """Block until a debugger connects; returns the stub."""
+        self._listener.settimeout(timeout)
+        connection, __ = self._listener.accept()
+        connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.endpoint = _SocketEndpoint(connection)
+        self.stub = GdbStub(self.cpu, self.endpoint)
+        return self.stub
+
+    def service(self):
+        """Handle any pending client requests (non-blocking)."""
+        if self.stub is None:
+            raise RspError("no client connected; call accept() first")
+        return self.stub.service_pending()
+
+    def execute(self, cycle_budget):
+        """Drive the target and emit stop replies, like the schemes do."""
+        return self.stub.execute(cycle_budget)
+
+    def serve_until_detach(self, cycle_budget=10_000):
+        """Simple standalone loop: serve requests, run when continued."""
+        try:
+            while True:
+                self.service()
+                if self.stub.running:
+                    self.execute(cycle_budget)
+                elif not self.endpoint.poll():
+                    # Idle and stopped: block until the client speaks.
+                    self.endpoint._fill(blocking=True)
+        except ConnectionError:
+            return
+
+    def close(self):
+        """Close the client connection (if any) and the listener."""
+        if self.endpoint is not None:
+            self.endpoint.connection.close()
+        self._listener.close()

@@ -1,0 +1,31 @@
+"""A cycle-counted 32-bit RISC instruction-set simulator.
+
+This package stands in for the commercial i386 ISS of the paper.  It
+provides everything the co-simulation schemes need from a processor
+model: a binary instruction encoding (:mod:`repro.iss.isa`), a two-pass
+assembler with symbol and source-line tables (:mod:`repro.iss.assembler`,
+:mod:`repro.iss.symbols`), byte-addressable memory with MMIO regions
+(:mod:`repro.iss.memory`), a fetch/decode/execute core with cycle
+accounting, breakpoints and watchpoints (:mod:`repro.iss.cpu`,
+:mod:`repro.iss.breakpoints`), a syscall/trap interface for the RTOS
+layer (:mod:`repro.iss.syscalls`) and a disassembler
+(:mod:`repro.iss.disasm`).
+"""
+
+from repro.iss.isa import OPS_BY_NAME, OPS_BY_OPCODE, OpSpec, Decoded, encode, decode
+from repro.iss.memory import Memory, MmioRegion
+from repro.iss.assembler import assemble, Program
+from repro.iss.symbols import SymbolTable
+from repro.iss.disasm import disassemble, disassemble_word
+from repro.iss.cpu import Cpu, StopReason, REG_SP, REG_LR, NUM_REGS
+from repro.iss.breakpoints import BreakpointSet, Watchpoint, WatchKind
+from repro.iss.syscalls import SyscallTable
+from repro.iss.loader import load_program
+
+__all__ = [
+    "OPS_BY_NAME", "OPS_BY_OPCODE", "OpSpec", "Decoded", "encode", "decode",
+    "Memory", "MmioRegion", "assemble", "Program", "SymbolTable",
+    "disassemble", "disassemble_word", "Cpu", "StopReason", "REG_SP",
+    "REG_LR", "NUM_REGS", "BreakpointSet", "Watchpoint", "WatchKind",
+    "SyscallTable", "load_program",
+]

@@ -1,0 +1,459 @@
+"""Two-pass assembler for the R32 ISA.
+
+Syntax overview::
+
+    ; comment            # comment
+    label:
+        li   r0, 42          ; 16-bit signed immediates
+        la   r1, buffer      ; pseudo: lui+ori, any 32-bit address
+        lw   r2, [r1 + 4]    ; loads/stores use [base +/- offset]
+        sw   r2, [r1]
+        beq  r0, r2, done    ; branch targets are labels
+        call subroutine      ; pseudo: jal
+        ret                  ; pseudo: jr r14
+    buffer: .word 0, 1, 2
+    msg:    .asciz "hello"
+            .byte 1, 2, 3
+            .space 64
+            .org  0x400
+            .equ  LIMIT, 100
+
+Co-simulation pragmas (paper Section 3.2) are comments of the form
+``;#pragma iss_in <variable>`` / ``;#pragma iss_out <variable>`` placed
+before the statement that touches the variable; they are collected into
+:attr:`Program.pragmas` for :mod:`repro.cosim.pragmas` to process.
+"""
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblerError
+from repro.iss import isa
+from repro.iss.symbols import SymbolTable
+
+_PRAGMA_RE = re.compile(r"^[;#]\s*#?pragma\s+(iss_in|iss_out)\s+(\w+)\s*$")
+_LABEL_RE = re.compile(r"^([A-Za-z_]\w*):\s*(.*)$")
+_MEM_RE = re.compile(
+    r"^\[\s*(r\d+|sp|lr)\s*(?:([+-])\s*([^\]]+?))?\s*\]$"
+)
+
+# Pseudo-instructions and their expanded size in bytes.
+_PSEUDO_SIZES = {"la": 8, "li32": 8, "ret": 4, "call": 4, "b": 4}
+
+_REG_ALIASES = {"sp": 13, "lr": 14}
+
+
+@dataclass
+class Pragma:
+    """A co-simulation pragma found in the source."""
+
+    line: int        # 1-based source line of the pragma itself
+    kind: str        # "iss_in" or "iss_out"
+    variable: str
+
+
+@dataclass
+class Program:
+    """The output of :func:`assemble`."""
+
+    entry: int
+    chunks: list            # list of (address, bytes)
+    symbols: SymbolTable
+    pragmas: list = field(default_factory=list)
+    source: str = ""
+
+    @property
+    def size(self):
+        return sum(len(data) for __, data in self.chunks)
+
+    def flatten(self):
+        """All bytes as one (base_address, bytes) image."""
+        if not self.chunks:
+            return 0, b""
+        base = min(addr for addr, __ in self.chunks)
+        end = max(addr + len(data) for addr, data in self.chunks)
+        image = bytearray(end - base)
+        for addr, data in self.chunks:
+            image[addr - base:addr - base + len(data)] = data
+        return base, bytes(image)
+
+
+def _parse_register(token, line):
+    token = token.strip().lower()
+    if token in _REG_ALIASES:
+        return _REG_ALIASES[token]
+    if token.startswith("r") and token[1:].isdigit():
+        index = int(token[1:])
+        if 0 <= index <= 15:
+            return index
+    raise AssemblerError("line %d: bad register %r" % (line, token))
+
+
+def _parse_int(token, line):
+    token = token.strip()
+    try:
+        if len(token) == 3 and token[0] == token[2] == "'":
+            return ord(token[1])
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError("line %d: bad integer %r" % (line, token))
+
+
+class _Expr:
+    """A (symbol, offset) expression resolved in pass 2."""
+
+    def __init__(self, symbol, offset=0):
+        self.symbol = symbol
+        self.offset = offset
+
+    def resolve(self, symbols):
+        return symbols.resolve(self.symbol) + self.offset
+
+
+def _parse_value(token, line):
+    """An integer literal, or a symbol[+/-offset] expression."""
+    token = token.strip()
+    match = re.match(r"^([A-Za-z_]\w*)\s*(?:([+-])\s*(\w+))?$", token)
+    if match and not (token.lstrip("+-").isdigit() or token.startswith("0x")):
+        symbol, sign, offset_text = match.groups()
+        offset = 0
+        if offset_text is not None:
+            offset = _parse_int(offset_text, line)
+            if sign == "-":
+                offset = -offset
+        return _Expr(symbol, offset)
+    return _parse_int(token, line)
+
+
+def _split_operands(text, line):
+    """Split an operand string on top-level commas (not inside [])."""
+    operands, depth, current = [], 0, []
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    if depth != 0:
+        raise AssemblerError("line %d: unbalanced brackets" % line)
+    return operands
+
+
+def _parse_mem_operand(token, line):
+    """``[base]``, ``[base + off]``, ``[base - off]`` -> (reg, value)."""
+    match = _MEM_RE.match(token.strip())
+    if not match:
+        raise AssemblerError("line %d: bad memory operand %r" % (line, token))
+    base_token, sign, offset_text = match.groups()
+    base = _parse_register(base_token, line)
+    if offset_text is None:
+        return base, 0
+    value = _parse_value(offset_text, line)
+    if sign == "-":
+        if isinstance(value, _Expr):
+            raise AssemblerError(
+                "line %d: negative symbolic offsets are not supported" % line
+            )
+        value = -value
+    return base, value
+
+
+@dataclass
+class _Item:
+    """One assembled item (instruction, pseudo or data) from pass 1."""
+
+    line: int
+    address: int
+    kind: str          # "insn", "pseudo", "data"
+    mnemonic: str = ""
+    operands: tuple = ()
+    data: bytes = b""
+
+
+def _resolve(value, symbols):
+    return value.resolve(symbols) if isinstance(value, _Expr) else value
+
+
+class _Assembler:
+    def __init__(self, source, origin):
+        self.source = source
+        self.origin = origin
+        self.symbols = SymbolTable()
+        self.pragmas = []
+        self.items = []
+        self.location = origin
+        self.entry = origin
+        self._pending_label = None
+
+    # -- pass 1 -------------------------------------------------------------
+
+    def scan(self):
+        for number, raw in enumerate(self.source.splitlines(), start=1):
+            self._scan_line(number, raw)
+
+    def _scan_line(self, number, raw):
+        stripped = raw.strip()
+        pragma = _PRAGMA_RE.match(stripped)
+        if pragma:
+            self.pragmas.append(Pragma(number, pragma.group(1), pragma.group(2)))
+            return
+        code = self._strip_comment(stripped)
+        if not code:
+            return
+        label_match = _LABEL_RE.match(code)
+        if label_match:
+            name, rest = label_match.groups()
+            self.symbols.define_label(name, self.location)
+            self._pending_label = name
+            code = rest.strip()
+            if not code:
+                return
+        if code.startswith("."):
+            self._scan_directive(number, code)
+            return
+        self._scan_instruction(number, code)
+
+    @staticmethod
+    def _strip_comment(text):
+        for index, char in enumerate(text):
+            if char in ";#":
+                return text[:index].strip()
+            if char == '"':
+                # Don't strip inside string literals; find closing quote.
+                closing = text.find('"', index + 1)
+                if closing == -1:
+                    return text
+                continue
+        return text
+
+    def _scan_directive(self, number, code):
+        parts = code.split(None, 1)
+        directive = parts[0].lower()
+        argument = parts[1] if len(parts) > 1 else ""
+        if directive == ".org":
+            self.location = _parse_int(argument, number)
+        elif directive == ".align":
+            boundary = _parse_int(argument, number)
+            if boundary <= 0 or boundary & (boundary - 1):
+                raise AssemblerError(
+                    "line %d: .align needs a power of two" % number)
+            padding = -self.location % boundary
+            if padding:
+                self._emit_data(number, bytes(padding))
+        elif directive == ".equ":
+            operands = _split_operands(argument, number)
+            if len(operands) != 2:
+                raise AssemblerError("line %d: .equ needs name, value" % number)
+            self.symbols.define_constant(operands[0],
+                                         _parse_int(operands[1], number))
+        elif directive == ".entry":
+            # Entry point symbol is resolved in pass 2.
+            self._entry_expr = _parse_value(argument, number)
+        elif directive == ".word":
+            values = [_parse_value(tok, number)
+                      for tok in _split_operands(argument, number)]
+            self._emit_data(number, b"", word_values=values)
+        elif directive == ".byte":
+            values = [_parse_int(tok, number)
+                      for tok in _split_operands(argument, number)]
+            self._emit_data(number, bytes(v & 0xFF for v in values))
+        elif directive == ".space":
+            self._emit_data(number, bytes(_parse_int(argument, number)))
+        elif directive in (".ascii", ".asciz"):
+            text = argument.strip()
+            if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+                raise AssemblerError("line %d: %s needs a quoted string"
+                                     % (number, directive))
+            payload = (text[1:-1].encode("latin-1")
+                       .decode("unicode_escape").encode("latin-1"))
+            if directive == ".asciz":
+                payload += b"\x00"
+            self._emit_data(number, payload)
+        else:
+            raise AssemblerError("line %d: unknown directive %r"
+                                 % (number, directive))
+
+    def _emit_data(self, number, payload, word_values=None):
+        if word_values is not None:
+            size = 4 * len(word_values)
+            item = _Item(number, self.location, "data",
+                         mnemonic=".word", operands=tuple(word_values))
+        else:
+            size = len(payload)
+            item = _Item(number, self.location, "data", data=payload)
+        self.items.append(item)
+        if self._pending_label:
+            self.symbols.define_data(self._pending_label, self.location, size)
+            self._pending_label = None
+        self.location += size
+
+    def _scan_instruction(self, number, code):
+        parts = code.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        operands = tuple(_split_operands(operand_text, number)) \
+            if operand_text else ()
+        if mnemonic in _PSEUDO_SIZES:
+            kind, size = "pseudo", _PSEUDO_SIZES[mnemonic]
+        elif mnemonic in isa.OPS_BY_NAME:
+            kind, size = "insn", isa.INSTRUCTION_BYTES
+        else:
+            raise AssemblerError("line %d: unknown mnemonic %r"
+                                 % (number, mnemonic))
+        self.symbols.record_line(number, self.location)
+        self.items.append(_Item(number, self.location, kind,
+                                mnemonic=mnemonic, operands=operands))
+        self._pending_label = None
+        self.location += size
+
+    # -- pass 2 -------------------------------------------------------------
+
+    def emit(self):
+        chunks = []
+        for item in self.items:
+            if item.kind == "data":
+                payload = item.data
+                if item.mnemonic == ".word":
+                    payload = b"".join(
+                        (_resolve(v, self.symbols) & 0xFFFFFFFF)
+                        .to_bytes(4, "little")
+                        for v in item.operands
+                    )
+                chunks.append((item.address, payload))
+            else:
+                words = self._encode_item(item)
+                payload = b"".join(w.to_bytes(4, "little") for w in words)
+                chunks.append((item.address, payload))
+        entry = self.origin
+        if hasattr(self, "_entry_expr"):
+            entry = _resolve(self._entry_expr, self.symbols)
+        return Program(entry, chunks, self.symbols, self.pragmas, self.source)
+
+    def _encode_item(self, item):
+        try:
+            return self._encode_item_inner(item)
+        except AssemblerError:
+            raise
+        except Exception as exc:
+            hint = ""
+            if item.mnemonic == "li" and "does not fit" in str(exc):
+                hint = " (use li32 for values beyond 16 signed bits)"
+            raise AssemblerError("line %d: %s%s" % (item.line, exc, hint))
+
+    def _encode_item_inner(self, item):
+        mnemonic, operands, line = item.mnemonic, item.operands, item.line
+        if item.kind == "pseudo":
+            return self._encode_pseudo(item)
+        spec = isa.OPS_BY_NAME[mnemonic]
+        fmt = spec.fmt
+        if fmt == isa.FMT_NONE:
+            self._expect(operands, 0, line)
+            return [isa.encode(mnemonic)]
+        if fmt == isa.FMT_SYS:
+            self._expect(operands, 1, line)
+            value = _resolve(_parse_value(operands[0], line), self.symbols)
+            return [isa.encode(mnemonic, imm=value)]
+        if fmt == isa.FMT_R3:
+            self._expect(operands, 3, line)
+            return [isa.encode(mnemonic,
+                               rd=_parse_register(operands[0], line),
+                               rs1=_parse_register(operands[1], line),
+                               rs2=_parse_register(operands[2], line))]
+        if fmt == isa.FMT_R2:
+            self._expect(operands, 2, line)
+            return [isa.encode(mnemonic,
+                               rd=_parse_register(operands[0], line),
+                               rs1=_parse_register(operands[1], line))]
+        if fmt == isa.FMT_R1:
+            self._expect(operands, 1, line)
+            return [isa.encode(mnemonic,
+                               rd=_parse_register(operands[0], line))]
+        if fmt == isa.FMT_RI:
+            self._expect(operands, 3, line)
+            value = _resolve(_parse_value(operands[2], line), self.symbols)
+            return [isa.encode(mnemonic,
+                               rd=_parse_register(operands[0], line),
+                               rs1=_parse_register(operands[1], line),
+                               imm=value)]
+        if fmt == isa.FMT_RI2:
+            self._expect(operands, 2, line)
+            value = _resolve(_parse_value(operands[1], line), self.symbols)
+            return [isa.encode(mnemonic,
+                               rd=_parse_register(operands[0], line),
+                               imm=value)]
+        if fmt in (isa.FMT_MEM, isa.FMT_MEMS):
+            self._expect(operands, 2, line)
+            base, offset = _parse_mem_operand(operands[1], line)
+            offset = _resolve(offset, self.symbols)
+            return [isa.encode(mnemonic,
+                               rd=_parse_register(operands[0], line),
+                               rs1=base, imm=offset)]
+        if fmt == isa.FMT_BRANCH:
+            self._expect(operands, 3, line)
+            target = _resolve(_parse_value(operands[2], line), self.symbols)
+            offset = self._word_offset(target, item.address, line)
+            return [isa.encode(mnemonic,
+                               rd=_parse_register(operands[0], line),
+                               rs1=_parse_register(operands[1], line),
+                               imm=offset)]
+        if fmt == isa.FMT_JUMP:
+            self._expect(operands, 1, line)
+            target = _resolve(_parse_value(operands[0], line), self.symbols)
+            offset = self._word_offset(target, item.address, line)
+            return [isa.encode(mnemonic, imm=offset)]
+        raise AssemblerError("line %d: unhandled format %r" % (line, fmt))
+
+    def _encode_pseudo(self, item):
+        mnemonic, operands, line = item.mnemonic, item.operands, item.line
+        if mnemonic == "ret":
+            self._expect(operands, 0, line)
+            return [isa.encode("jr", rd=14)]
+        if mnemonic == "call":
+            self._expect(operands, 1, line)
+            target = _resolve(_parse_value(operands[0], line), self.symbols)
+            offset = self._word_offset(target, item.address, line)
+            return [isa.encode("jal", imm=offset)]
+        if mnemonic == "b":
+            self._expect(operands, 1, line)
+            target = _resolve(_parse_value(operands[0], line), self.symbols)
+            offset = self._word_offset(target, item.address, line)
+            return [isa.encode("jmp", imm=offset)]
+        if mnemonic in ("la", "li32"):
+            self._expect(operands, 2, line)
+            rd = _parse_register(operands[0], line)
+            value = _resolve(_parse_value(operands[1], line), self.symbols)
+            value &= 0xFFFFFFFF
+            return [isa.encode("lui", rd=rd, imm=(value >> 16) & 0xFFFF),
+                    isa.encode("ori", rd=rd, rs1=rd, imm=value & 0xFFFF)]
+        raise AssemblerError("line %d: unknown pseudo %r" % (line, mnemonic))
+
+    @staticmethod
+    def _expect(operands, count, line):
+        if len(operands) != count:
+            raise AssemblerError(
+                "line %d: expected %d operands, got %d"
+                % (line, count, len(operands))
+            )
+
+    @staticmethod
+    def _word_offset(target, address, line):
+        delta = target - (address + isa.INSTRUCTION_BYTES)
+        if delta % isa.INSTRUCTION_BYTES:
+            raise AssemblerError(
+                "line %d: branch target 0x%x not word-aligned" % (line, target)
+            )
+        return delta // isa.INSTRUCTION_BYTES
+
+
+def assemble(source, origin=0):
+    """Assemble *source* text into a :class:`Program` based at *origin*."""
+    worker = _Assembler(source, origin)
+    worker.scan()
+    return worker.emit()

@@ -1,0 +1,108 @@
+"""Code breakpoints and data watchpoints for the ISS.
+
+Breakpoints follow GDB semantics: the CPU stops *before* executing the
+instruction at a breakpoint address (paper Section 3.2 relies on this
+to poke ``iss_out`` values into a variable before the guest reads it).
+Watchpoints stop *after* the matching access, reporting the address and
+value, like GDB write/read watchpoints.
+"""
+
+import enum
+
+from repro.errors import IssError
+
+
+class WatchKind(enum.Enum):
+    """Access directions a watchpoint can trigger on."""
+    WRITE = "write"
+    READ = "read"
+    ACCESS = "access"
+
+
+class Watchpoint:
+    """A data watchpoint over ``[address, address+length)``."""
+
+    def __init__(self, address, length=4, kind=WatchKind.WRITE):
+        if length <= 0:
+            raise IssError("watchpoint length must be positive")
+        self.address = address
+        self.length = length
+        self.kind = kind
+        self.hit_count = 0
+
+    def matches(self, address, is_write):
+        """True when an access of this direction hits our range."""
+        if is_write and self.kind is WatchKind.READ:
+            return False
+        if not is_write and self.kind is WatchKind.WRITE:
+            return False
+        return self.address <= address < self.address + self.length
+
+    def __repr__(self):
+        return "Watchpoint(0x%08x, %d, %s)" % (
+            self.address, self.length, self.kind.value)
+
+
+class BreakpointSet:
+    """The set of active breakpoints/watchpoints of one CPU."""
+
+    def __init__(self):
+        self._code = {}        # address -> hit count
+        self._watch = []
+        self.code_hit_count = 0
+        self.watch_hit_count = 0
+
+    # -- code breakpoints ---------------------------------------------------
+
+    def add_code(self, address):
+        """Insert a code breakpoint at *address*."""
+        self._code.setdefault(address, 0)
+
+    def remove_code(self, address):
+        """Remove the code breakpoint at *address* (no-op if absent)."""
+        self._code.pop(address, None)
+
+    def has_code(self, address):
+        """True when a code breakpoint is set at *address*."""
+        return address in self._code
+
+    def code_addresses(self):
+        """Sorted list of active code-breakpoint addresses."""
+        return sorted(self._code)
+
+    def record_code_hit(self, address):
+        """Record a stop at the breakpoint at *address*."""
+        self.code_hit_count += 1
+        self._code[address] = self._code.get(address, 0) + 1
+
+    def hits_at(self, address):
+        """Hit count of the breakpoint at *address*."""
+        return self._code.get(address, 0)
+
+    # -- watchpoints ---------------------------------------------------------
+
+    def add_watch(self, address, length=4, kind=WatchKind.WRITE):
+        """Insert a data watchpoint; returns it."""
+        watchpoint = Watchpoint(address, length, kind)
+        self._watch.append(watchpoint)
+        return watchpoint
+
+    def remove_watch(self, address, kind=None):
+        """Remove watchpoints at *address* (optionally by kind)."""
+        self._watch = [
+            wp for wp in self._watch
+            if not (wp.address == address and (kind is None or wp.kind is kind))
+        ]
+
+    @property
+    def has_watchpoints(self):
+        return bool(self._watch)
+
+    def check_access(self, address, is_write):
+        """Return the first matching watchpoint, updating hit counts."""
+        for watchpoint in self._watch:
+            if watchpoint.matches(address, is_write):
+                watchpoint.hit_count += 1
+                self.watch_hit_count += 1
+                return watchpoint
+        return None

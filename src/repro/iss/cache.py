@@ -1,0 +1,78 @@
+"""Cache timing models.
+
+Set-associative LRU caches that refine the CPU's cycle accounting: an
+instruction cache charges miss penalties on fetches, a data cache on
+explicit loads/stores (``lw/lb/lbu/sw/sb``; stack ``push``/``pop`` are
+treated as always-hitting, like a register-window).  The models carry
+*timing only* — data still moves through :class:`repro.iss.memory.
+Memory` — which is the standard trade-off for co-simulation-speed ISSs.
+
+Attach with::
+
+    cpu.attach_icache(CacheModel(size=4096))
+    cpu.attach_dcache(CacheModel(size=2048, ways=4))
+"""
+
+from repro.errors import IssError
+
+
+def _is_power_of_two(value):
+    return value > 0 and value & (value - 1) == 0
+
+
+class CacheModel:
+    """A set-associative LRU cache (timing only)."""
+
+    def __init__(self, size=4096, line_size=16, ways=2, miss_cycles=20,
+                 name="cache"):
+        if not (_is_power_of_two(size) and _is_power_of_two(line_size)
+                and _is_power_of_two(ways)):
+            raise IssError("cache geometry must be powers of two")
+        if size % (line_size * ways):
+            raise IssError("cache size must divide into lines and ways")
+        self.name = name
+        self.size = size
+        self.line_size = line_size
+        self.ways = ways
+        self.miss_cycles = miss_cycles
+        self.num_sets = size // (line_size * ways)
+        # Each set is an LRU-ordered list of tags (front = most recent).
+        self._sets = [[] for __ in range(self.num_sets)]
+        self._line_shift = line_size.bit_length() - 1
+        self._set_mask = self.num_sets - 1
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self):
+        return "CacheModel(%r, %dB, %d-way, %d sets)" % (
+            self.name, self.size, self.ways, self.num_sets)
+
+    def access(self, address):
+        """Record an access; returns the cycle penalty (0 on a hit)."""
+        line = address >> self._line_shift
+        index = line & self._set_mask
+        tag = line >> (self.num_sets.bit_length() - 1)
+        ways = self._sets[index]
+        if tag in ways:
+            self.hits += 1
+            if ways[0] != tag:
+                ways.remove(tag)
+                ways.insert(0, tag)
+            return 0
+        self.misses += 1
+        ways.insert(0, tag)
+        if len(ways) > self.ways:
+            ways.pop()
+        return self.miss_cycles
+
+    def invalidate(self):
+        """Flush every line (e.g. after a debugger code download)."""
+        self._sets = [[] for __ in range(self.num_sets)]
+
+    @property
+    def accesses(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        return self.hits / self.accesses if self.accesses else 0.0

@@ -1,0 +1,399 @@
+"""The R32 processor core.
+
+A fetch/decode/execute interpreter with:
+
+- per-instruction cycle accounting (see :mod:`repro.iss.isa` costs);
+- a decode cache keyed by address (flushed when the debugger writes
+  code memory);
+- GDB-style breakpoints (stop *before* the instruction) and
+  watchpoints (stop *after* the access);
+- an external interrupt line with an enable flag — delivery itself is
+  performed by the host RTOS layer (:mod:`repro.rtos.interrupts`), the
+  core only *stops* when an enabled interrupt is pending;
+- a trap (SYS) interface dispatching to host-registered handlers.
+"""
+
+import enum
+
+from repro.errors import GuestFault, IssError
+from repro.iss import isa
+from repro.iss.breakpoints import BreakpointSet
+from repro.iss.memory import Memory
+from repro.iss.syscalls import SyscallTable
+
+NUM_REGS = 16
+REG_SP = 13
+REG_LR = 14
+
+_WORD = isa.WORD_MASK
+
+_signed = isa.to_signed32
+
+_BRANCHES = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: _signed(a) < _signed(b),
+    "bge": lambda a, b: _signed(a) >= _signed(b),
+    "bltu": lambda a, b: a < b,
+    "bgeu": lambda a, b: a >= b,
+}
+
+
+class StopReason(enum.Enum):
+    """Why a run() call returned."""
+    HALT = "halt"
+    BREAKPOINT = "breakpoint"
+    WATCHPOINT = "watchpoint"
+    INTERRUPT = "interrupt"
+    WFI = "wfi"
+    CYCLE_LIMIT = "cycle_limit"
+    INSTRUCTION_LIMIT = "instruction_limit"
+
+
+class Cpu:
+    """One R32 core attached to a :class:`~repro.iss.memory.Memory`."""
+
+    def __init__(self, memory=None, name="cpu0"):
+        self.name = name
+        self.memory = memory if memory is not None else Memory()
+        self.regs = [0] * NUM_REGS
+        self.pc = 0
+        self.cycles = 0
+        self.instructions = 0
+        self.halted = False
+        self.waiting = False            # parked by WFI
+        self.exit_code = None
+        self.breakpoints = BreakpointSet()
+        self.syscalls = SyscallTable()
+        self.irq_pending = False
+        self.irq_vector = 0             # informational; host RTOS delivers
+        self.interrupts_enabled = False
+        self._decode_cache = {}
+        self._icache = None             # optional timing models
+        self._dcache = None
+        self._observers = []            # retire-callback observers
+        self._resume_skip = None        # bp address we are stepping past
+        self._watch_hit = None          # (watchpoint, address, value, is_write)
+        self._last_stop = None
+
+    def __repr__(self):
+        return "Cpu(%r, pc=0x%08x, cycles=%d)" % (self.name, self.pc, self.cycles)
+
+    # -- register helpers ----------------------------------------------------
+
+    @property
+    def sp(self):
+        return self.regs[REG_SP]
+
+    @sp.setter
+    def sp(self, value):
+        self.regs[REG_SP] = value & _WORD
+
+    @property
+    def lr(self):
+        return self.regs[REG_LR]
+
+    @lr.setter
+    def lr(self, value):
+        self.regs[REG_LR] = value & _WORD
+
+    def read_reg(self, index):
+        """Read general-purpose register *index*."""
+        return self.regs[index]
+
+    def write_reg(self, index, value):
+        """Write general-purpose register *index* (masked to 32 bits)."""
+        self.regs[index] = value & _WORD
+
+    # -- debugger-facing helpers ----------------------------------------------
+
+    def flush_decode_cache(self):
+        """Must be called after writing code memory from the host."""
+        self._decode_cache.clear()
+
+    def attach_observer(self, observer):
+        """Attach a retire observer (tracer/profiler); returns it.
+
+        The observer's ``on_retire(cpu, pc, decoded, cycles)`` is
+        called once per retired instruction.
+        """
+        self._observers.append(observer)
+        return observer
+
+    def detach_observer(self, observer):
+        """Remove a retire observer."""
+        self._observers.remove(observer)
+
+    def attach_icache(self, cache):
+        """Install an instruction-cache timing model; returns it."""
+        self._icache = cache
+        return cache
+
+    def attach_dcache(self, cache):
+        """Install a data-cache timing model; returns it."""
+        self._dcache = cache
+        return cache
+
+    @property
+    def icache(self):
+        return self._icache
+
+    @property
+    def dcache(self):
+        return self._dcache
+
+    def raise_irq(self, vector=0):
+        """Assert the external interrupt line (host hardware side)."""
+        self.irq_pending = True
+        self.irq_vector = vector
+        # An interrupt wakes a WFI-parked core even before delivery.
+        self.waiting = False
+
+    def clear_irq(self):
+        """Deassert the external interrupt line."""
+        self.irq_pending = False
+
+    def snapshot(self):
+        """Capture full architectural state (registers, pc, counters,
+        memory) for later :meth:`restore` — checkpoint/replay debugging.
+
+        Host-side attachments (breakpoints, syscall handlers, caches,
+        observers) are configuration, not architectural state, and are
+        not captured."""
+        return {
+            "regs": list(self.regs),
+            "pc": self.pc,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "halted": self.halted,
+            "waiting": self.waiting,
+            "exit_code": self.exit_code,
+            "interrupts_enabled": self.interrupts_enabled,
+            "irq_pending": self.irq_pending,
+            "irq_vector": self.irq_vector,
+            "memory": bytes(self.memory.data),
+        }
+
+    def restore(self, snapshot):
+        """Reinstall state captured by :meth:`snapshot`."""
+        if len(snapshot["memory"]) != self.memory.size:
+            raise IssError(
+                "snapshot memory size %d does not match CPU memory %d"
+                % (len(snapshot["memory"]), self.memory.size))
+        self.regs[:] = snapshot["regs"]
+        self.pc = snapshot["pc"]
+        self.cycles = snapshot["cycles"]
+        self.instructions = snapshot["instructions"]
+        self.halted = snapshot["halted"]
+        self.waiting = snapshot["waiting"]
+        self.exit_code = snapshot["exit_code"]
+        self.interrupts_enabled = snapshot["interrupts_enabled"]
+        self.irq_pending = snapshot["irq_pending"]
+        self.irq_vector = snapshot["irq_vector"]
+        self.memory.data[:] = snapshot["memory"]
+        self.flush_decode_cache()
+        self._resume_skip = None
+        self._watch_hit = None
+
+    @property
+    def last_stop(self):
+        return self._last_stop
+
+    @property
+    def watch_hit(self):
+        return self._watch_hit
+
+    # -- execution ------------------------------------------------------------
+
+    def _decode_at(self, address):
+        decoded = self._decode_cache.get(address)
+        if decoded is None:
+            word = self.memory.load_word(address)
+            self.memory.load_count -= 1   # fetches aren't data accesses
+            decoded = isa.decode(word)
+            self._decode_cache[address] = decoded
+        return decoded
+
+    def run(self, max_instructions=None, max_cycles=None):
+        """Execute until a stop condition; returns a :class:`StopReason`.
+
+        ``max_cycles`` is a *budget* relative to the current cycle
+        counter — the unit the co-simulation clock bindings hand out.
+        """
+        cycle_limit = None if max_cycles is None else self.cycles + max_cycles
+        instruction_limit = (None if max_instructions is None
+                             else self.instructions + max_instructions)
+        self._watch_hit = None
+        regs = self.regs
+        memory = self.memory
+        while True:
+            if self.halted:
+                return self._stop(StopReason.HALT)
+            if self.waiting:
+                return self._stop(StopReason.WFI)
+            if self.irq_pending and self.interrupts_enabled:
+                return self._stop(StopReason.INTERRUPT)
+            pc = self.pc
+            if self.breakpoints.has_code(pc) and pc != self._resume_skip:
+                self.breakpoints.record_code_hit(pc)
+                return self._stop(StopReason.BREAKPOINT)
+            self._resume_skip = None
+            decoded = self._decode_at(pc)
+            spec = decoded.spec
+            self.pc = (pc + 4) & _WORD
+            cycles = spec.cycles
+            if self._icache is not None:
+                cycles += self._icache.access(pc)
+            name = spec.name
+            # -- ALU and move ------------------------------------------------
+            if name == "add":
+                regs[decoded.rd] = (regs[decoded.rs1] + regs[decoded.rs2]) & _WORD
+            elif name == "addi":
+                regs[decoded.rd] = (regs[decoded.rs1] + decoded.imm) & _WORD
+            elif name == "sub":
+                regs[decoded.rd] = (regs[decoded.rs1] - regs[decoded.rs2]) & _WORD
+            elif name == "lw":
+                address = (regs[decoded.rs1] + decoded.imm) & _WORD
+                regs[decoded.rd] = memory.load_word(address)
+                cycles += self._note_access(address, False, regs[decoded.rd])
+            elif name == "sw":
+                address = (regs[decoded.rs1] + decoded.imm) & _WORD
+                memory.store_word(address, regs[decoded.rd])
+                cycles += self._note_access(address, True, regs[decoded.rd])
+            elif name in _BRANCHES:
+                if _BRANCHES[name](regs[decoded.rs1], regs[decoded.rs2]):
+                    self.pc = (pc + 4 + 4 * decoded.imm) & _WORD
+                    cycles += spec.taken_extra
+            elif name == "li":
+                regs[decoded.rd] = decoded.imm & _WORD
+            elif name == "lui":
+                regs[decoded.rd] = (decoded.imm << 16) & _WORD
+            elif name == "mov":
+                regs[decoded.rd] = regs[decoded.rs1]
+            elif name == "mul":
+                regs[decoded.rd] = (regs[decoded.rs1] * regs[decoded.rs2]) & _WORD
+            elif name == "divu":
+                divisor = regs[decoded.rs2]
+                if divisor == 0:
+                    raise GuestFault("division by zero at pc=0x%08x" % pc)
+                regs[decoded.rd] = (regs[decoded.rs1] // divisor) & _WORD
+            elif name == "remu":
+                divisor = regs[decoded.rs2]
+                if divisor == 0:
+                    raise GuestFault("remainder by zero at pc=0x%08x" % pc)
+                regs[decoded.rd] = (regs[decoded.rs1] % divisor) & _WORD
+            elif name == "and":
+                regs[decoded.rd] = regs[decoded.rs1] & regs[decoded.rs2]
+            elif name == "or":
+                regs[decoded.rd] = regs[decoded.rs1] | regs[decoded.rs2]
+            elif name == "xor":
+                regs[decoded.rd] = regs[decoded.rs1] ^ regs[decoded.rs2]
+            elif name == "not":
+                regs[decoded.rd] = (~regs[decoded.rs1]) & _WORD
+            elif name == "shl":
+                regs[decoded.rd] = (regs[decoded.rs1]
+                                    << (regs[decoded.rs2] & 31)) & _WORD
+            elif name == "shr":
+                regs[decoded.rd] = regs[decoded.rs1] >> (regs[decoded.rs2] & 31)
+            elif name == "sar":
+                regs[decoded.rd] = (isa.to_signed32(regs[decoded.rs1])
+                                    >> (regs[decoded.rs2] & 31)) & _WORD
+            elif name == "slt":
+                regs[decoded.rd] = int(isa.to_signed32(regs[decoded.rs1])
+                                       < isa.to_signed32(regs[decoded.rs2]))
+            elif name == "sltu":
+                regs[decoded.rd] = int(regs[decoded.rs1] < regs[decoded.rs2])
+            elif name == "andi":
+                regs[decoded.rd] = regs[decoded.rs1] & decoded.imm
+            elif name == "ori":
+                regs[decoded.rd] = regs[decoded.rs1] | decoded.imm
+            elif name == "xori":
+                regs[decoded.rd] = regs[decoded.rs1] ^ decoded.imm
+            elif name == "shli":
+                regs[decoded.rd] = (regs[decoded.rs1]
+                                    << (decoded.imm & 31)) & _WORD
+            elif name == "shri":
+                regs[decoded.rd] = regs[decoded.rs1] >> (decoded.imm & 31)
+            # -- memory (byte) ------------------------------------------------
+            elif name == "lb":
+                address = (regs[decoded.rs1] + decoded.imm) & _WORD
+                regs[decoded.rd] = isa.to_unsigned32(
+                    isa.sign_extend(memory.load_byte(address), 8))
+                cycles += self._note_access(address, False, regs[decoded.rd])
+            elif name == "lbu":
+                address = (regs[decoded.rs1] + decoded.imm) & _WORD
+                regs[decoded.rd] = memory.load_byte(address)
+                cycles += self._note_access(address, False, regs[decoded.rd])
+            elif name == "sb":
+                address = (regs[decoded.rs1] + decoded.imm) & _WORD
+                memory.store_byte(address, regs[decoded.rd] & 0xFF)
+                cycles += self._note_access(address, True,
+                                            regs[decoded.rd] & 0xFF)
+            # -- control flow -------------------------------------------------
+            elif name == "jmp":
+                self.pc = (pc + 4 + 4 * decoded.imm) & _WORD
+            elif name == "jal":
+                regs[REG_LR] = self.pc
+                self.pc = (pc + 4 + 4 * decoded.imm) & _WORD
+            elif name == "jr":
+                self.pc = regs[decoded.rd]
+            elif name == "jalr":
+                target = regs[decoded.rd]
+                regs[REG_LR] = self.pc
+                self.pc = target
+            elif name == "push":
+                address = (regs[REG_SP] - 4) & _WORD
+                memory.store_word(address, regs[decoded.rd])
+                regs[REG_SP] = address
+            elif name == "pop":
+                value = memory.load_word(regs[REG_SP])
+                regs[decoded.rd] = value
+                regs[REG_SP] = (regs[REG_SP] + 4) & _WORD
+            # -- system -------------------------------------------------------
+            elif name == "nop":
+                pass
+            elif name == "halt":
+                self.halted = True
+            elif name == "wfi":
+                self.waiting = True
+            elif name == "sys":
+                cycles += self.syscalls.dispatch(self, decoded.imm)
+            else:  # pragma: no cover - table is exhaustive
+                raise IssError("unexecutable instruction %r" % name)
+            self.cycles += cycles
+            self.instructions += 1
+            if self._observers:
+                for observer in self._observers:
+                    observer.on_retire(self, pc, decoded, cycles)
+            if self._watch_hit is not None:
+                return self._stop(StopReason.WATCHPOINT)
+            if instruction_limit is not None and \
+                    self.instructions >= instruction_limit:
+                return self._stop(StopReason.INSTRUCTION_LIMIT)
+            if cycle_limit is not None and self.cycles >= cycle_limit:
+                return self._stop(StopReason.CYCLE_LIMIT)
+
+    def step(self):
+        """Execute exactly one instruction (debugger single-step)."""
+        if self.breakpoints.has_code(self.pc):
+            # Single-step is allowed to step *off* a breakpoint.
+            self._resume_skip = self.pc
+        return self.run(max_instructions=1)
+
+    def resume_from_breakpoint(self):
+        """Arm the step-past logic so run() does not re-trip the current bp."""
+        self._resume_skip = self.pc
+
+    def _note_access(self, address, is_write, value):
+        extra = 0
+        if self._dcache is not None:
+            extra = self._dcache.access(address)
+        if self.breakpoints.has_watchpoints:
+            watchpoint = self.breakpoints.check_access(address, is_write)
+            if watchpoint is not None:
+                self._watch_hit = (watchpoint, address, value, is_write)
+        return extra
+
+    def _stop(self, reason):
+        self._last_stop = reason
+        return reason

@@ -1,0 +1,79 @@
+"""Disassembler for the R32 ISA.
+
+Produces assembler-compatible text, used for debugger output and for
+round-trip testing of the encoder.
+"""
+
+from repro.iss import isa
+
+
+def _reg(index):
+    if index == 13:
+        return "sp"
+    if index == 14:
+        return "lr"
+    return "r%d" % index
+
+
+def disassemble_word(word, address=0):
+    """One instruction word -> its mnemonic text.
+
+    *address* resolves branch/jump offsets to absolute targets.
+    """
+    decoded = isa.decode(word)
+    spec = decoded.spec
+    fmt = spec.fmt
+    name = spec.name
+    if fmt == isa.FMT_NONE:
+        return name
+    if fmt == isa.FMT_SYS:
+        return "%s %d" % (name, decoded.imm)
+    if fmt == isa.FMT_R3:
+        return "%s %s, %s, %s" % (name, _reg(decoded.rd),
+                                  _reg(decoded.rs1), _reg(decoded.rs2))
+    if fmt == isa.FMT_R2:
+        return "%s %s, %s" % (name, _reg(decoded.rd), _reg(decoded.rs1))
+    if fmt == isa.FMT_R1:
+        return "%s %s" % (name, _reg(decoded.rd))
+    if fmt == isa.FMT_RI:
+        return "%s %s, %s, %d" % (name, _reg(decoded.rd),
+                                  _reg(decoded.rs1), decoded.imm)
+    if fmt == isa.FMT_RI2:
+        return "%s %s, %d" % (name, _reg(decoded.rd), decoded.imm)
+    if fmt in (isa.FMT_MEM, isa.FMT_MEMS):
+        if decoded.imm == 0:
+            return "%s %s, [%s]" % (name, _reg(decoded.rd), _reg(decoded.rs1))
+        sign = "+" if decoded.imm >= 0 else "-"
+        return "%s %s, [%s %s %d]" % (name, _reg(decoded.rd),
+                                      _reg(decoded.rs1), sign,
+                                      abs(decoded.imm))
+    if fmt == isa.FMT_BRANCH:
+        target = address + 4 + 4 * decoded.imm
+        return "%s %s, %s, 0x%x" % (name, _reg(decoded.rs1),
+                                    _reg(decoded.rs2), target)
+    if fmt == isa.FMT_JUMP:
+        target = address + 4 + 4 * decoded.imm
+        return "%s 0x%x" % (name, target)
+    raise isa.IllegalInstructionError  # pragma: no cover
+
+
+def disassemble(memory, start, count, symbols=None):
+    """Disassemble *count* instructions starting at *start*.
+
+    Returns a list of ``(address, text)``; when *symbols* is given,
+    label names are prefixed at their addresses.
+    """
+    lines = []
+    labels = {}
+    if symbols is not None:
+        labels = {addr: name for name, addr in symbols.labels.items()}
+    address = start
+    for __ in range(count):
+        word = memory.load_word(address)
+        memory.load_count -= 1
+        text = disassemble_word(word, address)
+        if address in labels:
+            text = "%s: %s" % (labels[address], text)
+        lines.append((address, text))
+        address += 4
+    return lines

@@ -1,0 +1,88 @@
+"""A simple textual image format for guest programs.
+
+Lets assembled programs be saved and distributed without re-running
+the assembler — each line is ``@<hex address>`` (set the cursor) or
+hex bytes; ``#`` starts a comment.  A header comment records the entry
+point, which :func:`load_hex` restores.
+
+Example::
+
+    # repro image, entry 0x1000
+    @00001000
+    13 00 00 00 1A 04 00 00
+"""
+
+from repro.errors import IssError
+from repro.iss.assembler import Program
+from repro.iss.symbols import SymbolTable
+
+_BYTES_PER_LINE = 16
+_ENTRY_PREFIX = "# entry "
+
+
+def dump_hex(program):
+    """Serialise a :class:`Program`'s memory image to text."""
+    lines = ["# repro guest image", _ENTRY_PREFIX + "0x%08x"
+             % program.entry]
+    for address, data in sorted(program.chunks):
+        lines.append("@%08x" % address)
+        for offset in range(0, len(data), _BYTES_PER_LINE):
+            chunk = data[offset:offset + _BYTES_PER_LINE]
+            lines.append(" ".join("%02x" % byte for byte in chunk))
+    return "\n".join(lines) + "\n"
+
+
+def load_hex(text):
+    """Parse image text back into a :class:`Program`.
+
+    Symbols are not part of the image (like any binary format); the
+    returned program has an empty symbol table.
+    """
+    entry = 0
+    chunks = []
+    cursor = None
+    pending = bytearray()
+
+    def flush():
+        nonlocal pending, cursor
+        if pending:
+            chunks.append((cursor - len(pending), bytes(pending)))
+            pending = bytearray()
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if line.startswith(_ENTRY_PREFIX):
+            entry = int(line[len(_ENTRY_PREFIX):], 16)
+            continue
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("@"):
+            flush()
+            cursor = int(line[1:], 16)
+            continue
+        if cursor is None:
+            raise IssError("hex image line %d: data before any @address"
+                           % line_number)
+        try:
+            data = bytes(int(token, 16) for token in line.split())
+        except ValueError:
+            raise IssError("hex image line %d: bad byte in %r"
+                           % (line_number, line))
+        pending.extend(data)
+        cursor += len(data)
+    flush()
+    if not chunks:
+        raise IssError("hex image contains no data")
+    return Program(entry, chunks, SymbolTable())
+
+
+def save_hex(program, path):
+    """Serialise *program* to a hex image file."""
+    with open(path, "w") as handle:
+        handle.write(dump_hex(program))
+
+
+def read_hex(path):
+    """Read and parse a hex image file."""
+    with open(path) as handle:
+        return load_hex(handle.read())

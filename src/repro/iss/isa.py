@@ -1,0 +1,223 @@
+"""The R32 instruction-set architecture.
+
+A 32-bit load/store RISC with sixteen general-purpose registers
+(``r0``-``r15``; ``r13`` is the stack pointer, ``r14`` the link
+register) and fixed-width 32-bit instructions.
+
+Encoding (big fields first)::
+
+    [31:26] opcode
+    [25:22] rd      (or source register of stores / PUSH)
+    [21:18] rs1
+    [17:14] rs2
+    [15:0]  imm16   (I-format; overlaps rs2's low bits, never both used)
+    [25:0]  imm26   (J-format)
+
+Immediates are sign-extended except for the logical immediates
+(ANDI/ORI/XORI) and LUI, which zero-extend.  Branch and jump immediates
+are counted in 32-bit words relative to the *next* instruction.
+
+Per-instruction cycle costs model a simple in-order core: single-cycle
+ALU, 3-cycle multiply, 12-cycle divide, 2-cycle memory accesses and
+taken branches, 8-cycle trap entry.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import IllegalInstructionError
+
+WORD_BITS = 32
+WORD_MASK = 0xFFFFFFFF
+INSTRUCTION_BYTES = 4
+
+# Operand formats.
+FMT_NONE = "none"        # no operands
+FMT_SYS = "sys"          # imm16 trap number
+FMT_R3 = "r3"            # rd, rs1, rs2
+FMT_R2 = "r2"            # rd, rs1
+FMT_R1 = "r1"            # single register (in rd field)
+FMT_RI = "ri"            # rd, rs1, imm16
+FMT_RI2 = "ri2"          # rd, imm16
+FMT_MEM = "mem"          # rd, [rs1 + imm16]          (loads)
+FMT_MEMS = "mems"        # rd(source), [rs1 + imm16]  (stores)
+FMT_BRANCH = "branch"    # rs1(in rd field), rs2(in rs1 field), imm16
+FMT_JUMP = "jump"        # imm26
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one instruction."""
+
+    name: str
+    opcode: int
+    fmt: str
+    cycles: int
+    # Extra cycles when a branch is taken.
+    taken_extra: int = 0
+    signed_imm: bool = True
+
+
+def _spec(name, opcode, fmt, cycles, taken_extra=0, signed_imm=True):
+    return OpSpec(name, opcode, fmt, cycles, taken_extra, signed_imm)
+
+
+_SPECS = [
+    _spec("nop", 0x00, FMT_NONE, 1),
+    _spec("halt", 0x01, FMT_NONE, 1),
+    _spec("sys", 0x02, FMT_SYS, 8, signed_imm=False),
+    _spec("wfi", 0x03, FMT_NONE, 1),
+    _spec("mov", 0x04, FMT_R2, 1),
+    _spec("not", 0x05, FMT_R2, 1),
+    _spec("add", 0x06, FMT_R3, 1),
+    _spec("sub", 0x07, FMT_R3, 1),
+    _spec("mul", 0x08, FMT_R3, 3),
+    _spec("divu", 0x09, FMT_R3, 12),
+    _spec("remu", 0x0A, FMT_R3, 12),
+    _spec("and", 0x0B, FMT_R3, 1),
+    _spec("or", 0x0C, FMT_R3, 1),
+    _spec("xor", 0x0D, FMT_R3, 1),
+    _spec("shl", 0x0E, FMT_R3, 1),
+    _spec("shr", 0x0F, FMT_R3, 1),
+    _spec("sar", 0x10, FMT_R3, 1),
+    _spec("slt", 0x11, FMT_R3, 1),
+    _spec("sltu", 0x12, FMT_R3, 1),
+    _spec("addi", 0x13, FMT_RI, 1),
+    _spec("andi", 0x14, FMT_RI, 1, signed_imm=False),
+    _spec("ori", 0x15, FMT_RI, 1, signed_imm=False),
+    _spec("xori", 0x16, FMT_RI, 1, signed_imm=False),
+    _spec("shli", 0x17, FMT_RI, 1, signed_imm=False),
+    _spec("shri", 0x18, FMT_RI, 1, signed_imm=False),
+    _spec("li", 0x19, FMT_RI2, 1),
+    _spec("lui", 0x1A, FMT_RI2, 1, signed_imm=False),
+    _spec("lw", 0x1B, FMT_MEM, 2),
+    _spec("lb", 0x1C, FMT_MEM, 2),
+    _spec("lbu", 0x1D, FMT_MEM, 2),
+    _spec("sw", 0x1E, FMT_MEMS, 2),
+    _spec("sb", 0x1F, FMT_MEMS, 2),
+    _spec("beq", 0x20, FMT_BRANCH, 1, taken_extra=1),
+    _spec("bne", 0x21, FMT_BRANCH, 1, taken_extra=1),
+    _spec("blt", 0x22, FMT_BRANCH, 1, taken_extra=1),
+    _spec("bge", 0x23, FMT_BRANCH, 1, taken_extra=1),
+    _spec("bltu", 0x24, FMT_BRANCH, 1, taken_extra=1),
+    _spec("bgeu", 0x25, FMT_BRANCH, 1, taken_extra=1),
+    _spec("jmp", 0x26, FMT_JUMP, 2),
+    _spec("jal", 0x27, FMT_JUMP, 2),
+    _spec("jr", 0x28, FMT_R1, 2),
+    _spec("jalr", 0x29, FMT_R1, 2),
+    _spec("push", 0x2A, FMT_R1, 2),
+    _spec("pop", 0x2B, FMT_R1, 2),
+]
+
+OPS_BY_NAME = {spec.name: spec for spec in _SPECS}
+OPS_BY_OPCODE = {spec.opcode: spec for spec in _SPECS}
+
+_IMM16_MASK = 0xFFFF
+_IMM26_MASK = 0x3FFFFFF
+
+
+def sign_extend(value, bits):
+    """Interpret the low *bits* of *value* as two's complement."""
+    sign_bit = 1 << (bits - 1)
+    value &= (1 << bits) - 1
+    return value - (1 << bits) if value & sign_bit else value
+
+
+def to_signed32(value):
+    """Reinterpret a 32-bit value as signed."""
+    return sign_extend(value, 32)
+
+
+def to_unsigned32(value):
+    """Mask a Python int to its unsigned 32-bit representation."""
+    return value & WORD_MASK
+
+
+def _check_reg(name, value):
+    if not isinstance(value, int) or not 0 <= value <= 15:
+        raise IllegalInstructionError(
+            "register operand %s out of range: %r" % (name, value)
+        )
+    return value
+
+
+def _check_imm(value, bits, signed):
+    if signed:
+        low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        low, high = 0, (1 << bits) - 1
+    if not isinstance(value, int) or not low <= value <= high:
+        raise IllegalInstructionError(
+            "immediate %r does not fit in %d %s bits"
+            % (value, bits, "signed" if signed else "unsigned")
+        )
+    return value & ((1 << bits) - 1)
+
+
+def encode(name, rd=0, rs1=0, rs2=0, imm=0):
+    """Encode an instruction to its 32-bit word."""
+    spec = OPS_BY_NAME.get(name)
+    if spec is None:
+        raise IllegalInstructionError("unknown mnemonic %r" % name)
+    word = spec.opcode << 26
+    fmt = spec.fmt
+    if fmt in (FMT_R3,):
+        word |= (_check_reg("rd", rd) << 22 | _check_reg("rs1", rs1) << 18
+                 | _check_reg("rs2", rs2) << 14)
+    elif fmt in (FMT_R2,):
+        word |= _check_reg("rd", rd) << 22 | _check_reg("rs1", rs1) << 18
+    elif fmt in (FMT_R1,):
+        word |= _check_reg("rd", rd) << 22
+    elif fmt in (FMT_RI, FMT_MEM, FMT_MEMS):
+        word |= (_check_reg("rd", rd) << 22 | _check_reg("rs1", rs1) << 18
+                 | _check_imm(imm, 16, spec.signed_imm))
+    elif fmt in (FMT_RI2,):
+        word |= (_check_reg("rd", rd) << 22
+                 | _check_imm(imm, 16, spec.signed_imm))
+    elif fmt in (FMT_BRANCH,):
+        word |= (_check_reg("rs1", rd) << 22 | _check_reg("rs2", rs1) << 18
+                 | _check_imm(imm, 16, True))
+    elif fmt in (FMT_SYS,):
+        word |= _check_imm(imm, 16, False)
+    elif fmt in (FMT_JUMP,):
+        word |= _check_imm(imm, 26, True)
+    elif fmt in (FMT_NONE,):
+        pass
+    else:  # pragma: no cover - exhaustive over formats
+        raise IllegalInstructionError("unhandled format %r" % fmt)
+    return word
+
+
+@dataclass(frozen=True)
+class Decoded:
+    """A decoded instruction: its spec plus extracted operand fields."""
+
+    spec: OpSpec
+    rd: int
+    rs1: int
+    rs2: int
+    imm: int  # already sign-/zero-extended per the spec
+
+    @property
+    def name(self):
+        return self.spec.name
+
+
+def decode(word):
+    """Decode a 32-bit instruction word."""
+    opcode = (word >> 26) & 0x3F
+    spec = OPS_BY_OPCODE.get(opcode)
+    if spec is None:
+        raise IllegalInstructionError("illegal opcode 0x%02x (word 0x%08x)"
+                                      % (opcode, word))
+    rd = (word >> 22) & 0xF
+    rs1 = (word >> 18) & 0xF
+    rs2 = (word >> 14) & 0xF
+    if spec.fmt == FMT_JUMP:
+        imm = sign_extend(word & _IMM26_MASK, 26)
+    else:
+        raw = word & _IMM16_MASK
+        imm = sign_extend(raw, 16) if spec.signed_imm else raw
+    if spec.fmt == FMT_BRANCH:
+        # Branch register operands live in the rd/rs1 fields.
+        return Decoded(spec, 0, rd, rs1, imm)
+    return Decoded(spec, rd, rs1, rs2, imm)

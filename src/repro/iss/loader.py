@@ -1,0 +1,30 @@
+"""Program loading.
+
+Copies an assembled :class:`~repro.iss.assembler.Program` into a CPU's
+memory, sets the entry point and initialises the stack pointer.
+"""
+
+from repro.errors import IssError
+from repro.iss.cpu import REG_SP
+
+
+def load_program(cpu, program, stack_top=None):
+    """Load *program* into *cpu*; returns the program for chaining.
+
+    *stack_top* defaults to the top of memory (word-aligned).
+    """
+    if not program.chunks:
+        raise IssError("cannot load an empty program")
+    for address, data in program.chunks:
+        cpu.memory.write_bytes(address, data)
+    cpu.flush_decode_cache()
+    cpu.pc = program.entry
+    if stack_top is None:
+        stack_top = cpu.memory.size
+    if stack_top % 4:
+        raise IssError("stack top must be word-aligned")
+    cpu.regs[REG_SP] = stack_top
+    cpu.halted = False
+    cpu.waiting = False
+    cpu.exit_code = None
+    return program

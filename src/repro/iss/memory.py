@@ -1,0 +1,140 @@
+"""Byte-addressable guest memory with memory-mapped I/O regions.
+
+Little-endian, bounds-checked, with word accesses required to be
+4-byte aligned.  An :class:`MmioRegion` intercepts loads and stores in
+an address window — used by tests and by hardware device models that
+expose registers to the guest.
+"""
+
+from repro.errors import MemoryAccessError
+from repro.iss.isa import WORD_MASK
+
+
+class MmioRegion:
+    """A load/store-intercepting address window.
+
+    Subclasses override :meth:`load_word` / :meth:`store_word` (and the
+    byte variants when byte access is meaningful).
+    """
+
+    def __init__(self, base, size, name="mmio"):
+        if base % 4 or size % 4:
+            raise MemoryAccessError("MMIO region must be word-aligned")
+        self.base = base
+        self.size = size
+        self.name = name
+
+    def contains(self, address):
+        """True when *address* falls inside this window."""
+        return self.base <= address < self.base + self.size
+
+    def load_word(self, offset):
+        """Word read at *offset*; override in readable regions."""
+        raise MemoryAccessError("region %r is not readable" % self.name)
+
+    def store_word(self, offset, value):
+        """Word write at *offset*; override in writable regions."""
+        raise MemoryAccessError("region %r is not writable" % self.name)
+
+    def load_byte(self, offset):
+        """Byte read, derived from the containing word by default."""
+        word = self.load_word(offset & ~3)
+        return (word >> (8 * (offset & 3))) & 0xFF
+
+    def store_byte(self, offset, value):
+        """Byte write; unsupported unless overridden."""
+        raise MemoryAccessError("region %r does not support byte stores"
+                                % self.name)
+
+
+class Memory:
+    """Flat guest RAM plus registered MMIO regions."""
+
+    def __init__(self, size=1 << 20):
+        if size <= 0 or size % 4:
+            raise MemoryAccessError("memory size must be a positive multiple of 4")
+        self.size = size
+        self.data = bytearray(size)
+        self.regions = []
+        self.load_count = 0
+        self.store_count = 0
+
+    def add_region(self, region):
+        """Register an MMIO region; it shadows RAM at its addresses."""
+        for existing in self.regions:
+            if (region.base < existing.base + existing.size
+                    and existing.base < region.base + region.size):
+                raise MemoryAccessError(
+                    "MMIO region %r overlaps %r" % (region.name, existing.name)
+                )
+        self.regions.append(region)
+        return region
+
+    def _find_region(self, address):
+        for region in self.regions:
+            if region.contains(address):
+                return region
+        return None
+
+    def _check(self, address, width):
+        if not 0 <= address <= self.size - width:
+            raise MemoryAccessError(
+                "access of %d bytes at 0x%08x outside memory of %d bytes"
+                % (width, address, self.size)
+            )
+        if width == 4 and address % 4:
+            raise MemoryAccessError("misaligned word access at 0x%08x" % address)
+
+    # -- word access ---------------------------------------------------------
+
+    def load_word(self, address):
+        """Read an aligned 32-bit word (RAM or MMIO)."""
+        self._check(address, 4)
+        self.load_count += 1
+        region = self._find_region(address)
+        if region is not None:
+            return region.load_word(address - region.base) & WORD_MASK
+        return int.from_bytes(self.data[address:address + 4], "little")
+
+    def store_word(self, address, value):
+        """Write an aligned 32-bit word (RAM or MMIO)."""
+        self._check(address, 4)
+        self.store_count += 1
+        region = self._find_region(address)
+        if region is not None:
+            region.store_word(address - region.base, value & WORD_MASK)
+            return
+        self.data[address:address + 4] = (value & WORD_MASK).to_bytes(4, "little")
+
+    # -- byte access ---------------------------------------------------------
+
+    def load_byte(self, address):
+        """Read one byte (RAM or MMIO)."""
+        self._check(address, 1)
+        self.load_count += 1
+        region = self._find_region(address)
+        if region is not None:
+            return region.load_byte(address - region.base) & 0xFF
+        return self.data[address]
+
+    def store_byte(self, address, value):
+        """Write one byte (RAM or MMIO)."""
+        self._check(address, 1)
+        self.store_count += 1
+        region = self._find_region(address)
+        if region is not None:
+            region.store_byte(address - region.base, value & 0xFF)
+            return
+        self.data[address] = value & 0xFF
+
+    # -- bulk access (host-side only: loader, GDB stub) -----------------------
+
+    def read_bytes(self, address, length):
+        """Host-side bulk read (loader/debugger; no MMIO dispatch)."""
+        self._check(address, max(length, 1))
+        return bytes(self.data[address:address + length])
+
+    def write_bytes(self, address, payload):
+        """Host-side bulk write (loader/debugger; no MMIO dispatch)."""
+        self._check(address, max(len(payload), 1))
+        self.data[address:address + len(payload)] = payload

@@ -1,0 +1,96 @@
+"""Execution tracing and profiling.
+
+Two observers attachable to a CPU:
+
+- :class:`InstructionTracer` — a bounded ring of the most recent
+  (pc, disassembly) pairs, for post-mortem debugging of guest code;
+- :class:`CycleProfiler` — per-address cycle and execution counts,
+  aggregated to symbols on demand: the "software timing analysis"
+  workflow that HW/SW co-simulation enables (Liu et al., CODES'98 —
+  reference [11] of the paper).
+
+Observers cost one callback per retired instruction, so they are
+opt-in: attach with :meth:`repro.iss.cpu.Cpu.attach_observer`.
+"""
+
+from collections import deque
+
+from repro.iss.disasm import disassemble_word
+
+
+class InstructionTracer:
+    """Ring buffer of recently executed instructions."""
+
+    def __init__(self, capacity=64):
+        self.capacity = capacity
+        self._ring = deque(maxlen=capacity)
+        self.total = 0
+
+    def on_retire(self, cpu, pc, decoded, cycles):
+        """Retire callback: record (pc, instruction word)."""
+        self.total += 1
+        word = int.from_bytes(cpu.memory.read_bytes(pc, 4), "little")
+        self._ring.append((pc, word))
+
+    def entries(self):
+        """The trace as (pc, disassembly-text) pairs, oldest first."""
+        return [(pc, disassemble_word(word, pc))
+                for pc, word in self._ring]
+
+    def format(self):
+        """The trace ring as 'address  disassembly' lines."""
+        return "\n".join("0x%08x  %s" % entry for entry in self.entries())
+
+
+class CycleProfiler:
+    """Per-address cycle/instruction accounting."""
+
+    def __init__(self):
+        self.cycles_by_pc = {}
+        self.counts_by_pc = {}
+        self.total_cycles = 0
+        self.total_instructions = 0
+
+    def on_retire(self, cpu, pc, decoded, cycles):
+        """Retire callback: accumulate cycles/counts for this pc."""
+        self.cycles_by_pc[pc] = self.cycles_by_pc.get(pc, 0) + cycles
+        self.counts_by_pc[pc] = self.counts_by_pc.get(pc, 0) + 1
+        self.total_cycles += cycles
+        self.total_instructions += 1
+
+    def hot_addresses(self, top=10):
+        """The *top* addresses by cycles, as (pc, cycles, count)."""
+        ranked = sorted(self.cycles_by_pc.items(), key=lambda kv: -kv[1])
+        return [(pc, cycles, self.counts_by_pc[pc])
+                for pc, cycles in ranked[:top]]
+
+    def by_symbol(self, symbols):
+        """Aggregate cycles per label region.
+
+        Addresses are attributed to the nearest preceding code label,
+        giving a flat function-level profile.
+        """
+        if not symbols.labels:
+            return {}
+        boundaries = sorted(symbols.labels.items(), key=lambda kv: kv[1])
+        totals = {}
+        for pc, cycles in self.cycles_by_pc.items():
+            owner = None
+            for name, address in boundaries:
+                if address <= pc:
+                    owner = name
+                else:
+                    break
+            if owner is not None:
+                totals[owner] = totals.get(owner, 0) + cycles
+        return totals
+
+    def format_by_symbol(self, symbols):
+        """The per-symbol profile as aligned text with shares."""
+        totals = self.by_symbol(symbols)
+        lines = []
+        for name, cycles in sorted(totals.items(), key=lambda kv: -kv[1]):
+            share = 100.0 * cycles / max(1, self.total_cycles)
+            lines.append("%-20s %10d cycles  %5.1f%%"
+                         % (name, cycles, share))
+        return "\n".join(lines)

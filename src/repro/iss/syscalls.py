@@ -1,0 +1,62 @@
+"""Guest trap (SYS) dispatch.
+
+The ``sys imm16`` instruction transfers control to a host-registered
+handler.  The RTOS layer registers its kernel entry points here; the
+bare-metal runtime registers a tiny set of host services (console
+output, program exit).  A handler receives the CPU and may return an
+``int`` of *extra guest cycles* to charge — that is how RTOS service
+cost is accounted in guest time (the mechanism behind Figure 7).
+"""
+
+from repro.errors import GuestFault
+
+# Well-known trap numbers used by the bundled runtimes.
+SYS_EXIT = 0
+SYS_PUTCHAR = 1
+SYS_YIELD = 16
+SYS_SLEEP = 17
+SYS_SEM_WAIT = 18
+SYS_SEM_POST = 19
+SYS_MBOX_PUT = 20
+SYS_MBOX_GET = 21
+SYS_GETTIME = 22
+SYS_DEV_OPEN = 32
+SYS_DEV_READ = 33
+SYS_DEV_WRITE = 34
+SYS_DEV_IOCTL = 35
+SYS_IRET = 48
+
+
+class SyscallTable:
+    """Trap number -> handler registry for one CPU."""
+
+    def __init__(self):
+        self._handlers = {}
+        self.call_counts = {}
+
+    def register(self, number, handler, name=None):
+        """Register *handler(cpu)* for trap *number*."""
+        self._handlers[number] = (handler, name or getattr(
+            handler, "__name__", "sys_%d" % number))
+        return handler
+
+    def unregister(self, number):
+        """Remove the handler for trap *number* (no-op if absent)."""
+        self._handlers.pop(number, None)
+
+    def registered(self, number):
+        """True when a handler exists for trap *number*."""
+        return number in self._handlers
+
+    def dispatch(self, cpu, number):
+        """Invoke the handler; returns extra cycles to charge (int)."""
+        entry = self._handlers.get(number)
+        if entry is None:
+            raise GuestFault(
+                "guest executed SYS %d at pc=0x%08x with no handler"
+                % (number, cpu.pc)
+            )
+        handler, name = entry
+        self.call_counts[name] = self.call_counts.get(name, 0) + 1
+        extra = handler(cpu)
+        return extra if isinstance(extra, int) else 0

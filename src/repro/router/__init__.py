@@ -1,0 +1,26 @@
+"""The paper's case study (Section 5): a 4x4 packet router.
+
+An extension of the *Multicast Helix Packet Switch* example shipped
+with SystemC 2.0.1: four input ports, four output ports, FIFO input
+queues, a static routing table, and packets carrying source address,
+destination address, packet identifier, data and checksum.  The
+checksum is computed by an application executing on the ISS — via
+either co-simulation scheme — "as commonly done in embedded routers".
+"""
+
+from repro.router.packet import Packet, PACKET_WORDS, DATA_WORDS
+from repro.router.checksum import reference_checksum, verify_packet
+from repro.router.routing_table import RoutingTable
+from repro.router.producer import Producer
+from repro.router.consumer import Consumer
+from repro.router.router import Router
+from repro.router.engines import (ChecksumEngine, LocalChecksumEngine,
+                                  GdbChecksumEngine, DriverChecksumEngine)
+from repro.router.system import RouterConfig, RouterSystem, build_system
+
+__all__ = [
+    "Packet", "PACKET_WORDS", "DATA_WORDS", "reference_checksum",
+    "verify_packet", "RoutingTable", "Producer", "Consumer", "Router",
+    "ChecksumEngine", "LocalChecksumEngine", "GdbChecksumEngine",
+    "DriverChecksumEngine", "RouterConfig", "RouterSystem", "build_system",
+]

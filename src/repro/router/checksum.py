@@ -1,0 +1,58 @@
+"""Reference checksums.
+
+Host-side references for the algorithms the guest applications
+implement in R32 assembly (:mod:`repro.apps.sources`):
+
+- ``"sum"`` — sum the packet words modulo 2**32 and complement.
+  Carry-free, so host and guest are bit-identical; the light workload
+  of the paper's case study.
+- ``"crc32"`` — the reflected IEEE CRC-32 (the zlib/ethernet
+  polynomial), computed bitwise over the payload bytes.  A realistic
+  heavier workload (~70x the guest cycles of ``"sum"``) used by the
+  workload-sensitivity experiments.
+"""
+
+MASK = 0xFFFFFFFF
+CRC32_POLYNOMIAL = 0xEDB88320
+ALGORITHMS = ("sum", "crc32")
+
+
+def sum_checksum(words):
+    """Complemented modulo-2**32 sum of 32-bit words."""
+    total = 0
+    for word in words:
+        total = (total + (word & MASK)) & MASK
+    return (~total) & MASK
+
+
+def crc32_checksum(words):
+    """Reflected CRC-32 over the words' little-endian byte stream."""
+    crc = MASK
+    for word in words:
+        for shift in (0, 8, 16, 24):
+            crc ^= (word >> shift) & 0xFF
+            for __ in range(8):
+                crc = (crc >> 1) ^ (CRC32_POLYNOMIAL if crc & 1 else 0)
+    return crc ^ MASK
+
+
+_REFERENCES = {"sum": sum_checksum, "crc32": crc32_checksum}
+
+
+def reference_checksum(words, algorithm="sum"):
+    """Checksum of an iterable of 32-bit words."""
+    try:
+        return _REFERENCES[algorithm](words)
+    except KeyError:
+        raise ValueError("unknown checksum algorithm %r (one of %s)"
+                         % (algorithm, ", ".join(ALGORITHMS)))
+
+
+def packet_checksum(packet, algorithm="sum"):
+    """Checksum of a :class:`~repro.router.packet.Packet`."""
+    return reference_checksum(packet.words(), algorithm)
+
+
+def verify_packet(packet, algorithm="sum"):
+    """True when the packet's checksum field matches its contents."""
+    return packet.checksum == packet_checksum(packet, algorithm)

@@ -1,0 +1,33 @@
+"""Packet consumer.
+
+"The consumer is also a SystemC module attached to an output port of
+the router, that analyzes the integrity of the received packet."
+(paper Section 5)
+"""
+
+from repro.router.checksum import verify_packet
+from repro.sysc.module import Module
+
+
+class Consumer(Module):
+    """Drains one router output FIFO, verifying checksums."""
+
+    def __init__(self, name, output_fifo, algorithm="sum", kernel=None):
+        super().__init__(name, kernel)
+        self.output_fifo = output_fifo
+        self.algorithm = algorithm
+        self.received = 0
+        self.corrupt = 0
+        self.by_source = {}
+        self.latencies = []          # femtoseconds, per packet
+        self.thread(self._consume, name="consume")
+
+    def _consume(self):
+        while True:
+            packet = yield from self.output_fifo.get()
+            self.received += 1
+            self.by_source[packet.source] = \
+                self.by_source.get(packet.source, 0) + 1
+            self.latencies.append(self.kernel.now - packet.created_at)
+            if not verify_packet(packet, self.algorithm):
+                self.corrupt += 1

@@ -1,0 +1,171 @@
+"""Checksum engines: how the router reaches the software checksum.
+
+"In our testcase, the checksum calculation is performed by an
+application executed by a CPU, as commonly done in embedded routers."
+(paper Section 5)
+
+Three engines share one interface (submit / wait / take_result):
+
+- :class:`LocalChecksumEngine` — an ideal hardware checksum unit with
+  configurable latency; the no-co-simulation control used by tests and
+  as the ablation baseline.
+- :class:`GdbChecksumEngine` — the GDB-Wrapper/GDB-Kernel device: the
+  packet words are published on ``iss_out`` ports (one per guest
+  variable of the bare-metal application); the result arrives on an
+  ``iss_in`` port from the result-variable breakpoint.
+- :class:`DriverChecksumEngine` — the Driver-Kernel device: the whole
+  packet payload is posted on one ``iss_out`` port as a byte block, an
+  interrupt announces it, and the result arrives as a WRITE message to
+  the ``iss_in`` port.
+"""
+
+from repro.errors import CosimError
+from repro.cosim.ports import IssInPort, IssOutPort, make_iss_process
+from repro.router.checksum import reference_checksum
+from repro.router.packet import PACKET_WORDS
+from repro.sysc.event import Event
+from repro.sysc.module import Module
+
+# Guest variable names of the bare-metal checksum application.
+GDB_LEN_VAR = "pkt_len"
+GDB_WORD_VARS = ["pkt_w%d" % i for i in range(PACKET_WORDS)]
+GDB_RESULT_VAR = "chk_result"
+
+# SystemC port names of the Driver-Kernel checksum device.
+DRIVER_DATA_PORT = "pkt_data"
+DRIVER_RESULT_PORT = "chk_result"
+CHECKSUM_IRQ_VECTOR = 5
+
+
+class ChecksumEngine(Module):
+    """Common submit/wait/result machinery."""
+
+    def __init__(self, name, kernel=None):
+        super().__init__(name, kernel)
+        self.result_ready = Event(name + ".result_ready", kernel)
+        self.busy = False
+        self.submitted = 0
+        self.completed = 0
+        self._result = None
+
+    def submit(self, packet):
+        """Accept one packet; the engine must be idle."""
+        if self.busy:
+            raise CosimError("engine %r already has a packet in flight"
+                             % self.name)
+        self.busy = True
+        self.submitted += 1
+        self._result = None
+        self._start(packet)
+
+    def _start(self, packet):
+        raise NotImplementedError
+
+    def _finish(self, checksum):
+        self._result = checksum & 0xFFFFFFFF
+        self.completed += 1
+        self.busy = False
+        self.result_ready.notify()
+
+    def take_result(self):
+        """Consume the completed checksum (raises if none)."""
+        if self._result is None:
+            raise CosimError("engine %r has no result ready" % self.name)
+        result, self._result = self._result, None
+        return result
+
+    def compute(self, packet):
+        """Blocking helper for thread processes: ``yield from`` it."""
+        self.submit(packet)
+        while self._result is None:
+            yield self.result_ready
+        return self.take_result()
+
+
+class LocalChecksumEngine(ChecksumEngine):
+    """Ideal hardware: computes host-side after a fixed latency."""
+
+    def __init__(self, name="chk_local", latency=0, algorithm="sum",
+                 kernel=None):
+        super().__init__(name, kernel)
+        self.latency = latency
+        self.algorithm = algorithm
+        self._done = Event(name + ".done", kernel)
+        self._pending_words = None
+        self.method(self._complete, sensitive=[self._done],
+                    dont_initialize=True, name="complete")
+
+    def _start(self, packet):
+        self._pending_words = packet.words()
+        if self.latency > 0:
+            self._done.notify_after(self.latency)
+        else:
+            self._done.notify_delta()
+
+    def _complete(self):
+        words, self._pending_words = self._pending_words, None
+        self._finish(reference_checksum(words, self.algorithm))
+
+
+class GdbChecksumEngine(ChecksumEngine):
+    """The checksum device of the two GDB co-simulation schemes."""
+
+    def __init__(self, name="chk_gdb", kernel=None):
+        super().__init__(name, kernel)
+        self.len_port = IssOutPort(name + ".len", GDB_LEN_VAR, kernel)
+        self.word_ports = [
+            IssOutPort("%s.w%d" % (name, i), GDB_WORD_VARS[i], kernel)
+            for i in range(PACKET_WORDS)
+        ]
+        self.result_port = IssInPort(name + ".result", GDB_RESULT_VAR,
+                                     kernel)
+        make_iss_process(self, self._on_result, [self.result_port],
+                         name="on_result")
+
+    def variable_ports(self):
+        """Guest-variable -> port map for the scheme's attach_cpu."""
+        ports = {GDB_LEN_VAR: self.len_port, GDB_RESULT_VAR: self.result_port}
+        for variable, port in zip(GDB_WORD_VARS, self.word_ports):
+            ports[variable] = port
+        return ports
+
+    def _start(self, packet):
+        words = packet.words()
+        for port, word in zip(self.word_ports, words):
+            port.post(word)
+        # Posting the length last releases the guest's blocking read.
+        self.len_port.post(len(words))
+
+    def _on_result(self):
+        self._finish(self.result_port.read())
+
+
+class DriverChecksumEngine(ChecksumEngine):
+    """The checksum device of the Driver-Kernel scheme."""
+
+    def __init__(self, name="chk_drv", raise_irq=None, kernel=None):
+        super().__init__(name, kernel)
+        self.data_port = IssOutPort(name + ".data", DRIVER_DATA_PORT,
+                                    kernel)
+        self.result_port = IssInPort(name + ".result", DRIVER_RESULT_PORT,
+                                     kernel)
+        self.raise_irq = raise_irq    # injected: scheme interrupt request
+        self.interrupts_raised = 0
+        make_iss_process(self, self._on_result, [self.result_port],
+                         name="on_result")
+
+    def socket_ports(self):
+        """SC-port-name -> port map for the scheme's attach_rtos."""
+        return {DRIVER_DATA_PORT: self.data_port,
+                DRIVER_RESULT_PORT: self.result_port}
+
+    def _start(self, packet):
+        if self.raise_irq is None:
+            raise CosimError("engine %r has no interrupt line wired"
+                             % self.name)
+        self.data_port.post(packet.payload_bytes())
+        self.raise_irq(CHECKSUM_IRQ_VECTOR)
+        self.interrupts_raised += 1
+
+    def _on_result(self):
+        self._finish(self.result_port.read())

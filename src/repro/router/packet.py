@@ -1,0 +1,60 @@
+"""Packets.
+
+"The packet consists of the following fields: Source address,
+Destination address, Packet identifier (used for debugging purposes),
+Data field, and Checksum." (paper Section 5)
+
+The data field is four 32-bit words; the checksum covers the seven
+header+data words (:data:`PACKET_WORDS`).
+"""
+
+from dataclasses import dataclass, replace
+
+DATA_WORDS = 4
+PACKET_WORDS = 3 + DATA_WORDS  # source, destination, id, data[4]
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One router packet.
+
+    ``created_at`` is testbench metadata (simulated creation time in
+    femtoseconds) used for latency measurements; it is not part of the
+    wire format and is excluded from the checksummed words.
+    """
+
+    source: int
+    destination: int
+    packet_id: int
+    data: tuple
+    checksum: int = 0
+    created_at: int = 0
+
+    def __post_init__(self):
+        if len(self.data) != DATA_WORDS:
+            raise ValueError("packet data must be %d words, got %d"
+                             % (DATA_WORDS, len(self.data)))
+
+    def words(self):
+        """The checksummed words: header then data."""
+        return [self.source & 0xFFFFFFFF,
+                self.destination & 0xFFFFFFFF,
+                self.packet_id & 0xFFFFFFFF] + \
+               [word & 0xFFFFFFFF for word in self.data]
+
+    def with_checksum(self, checksum):
+        """A copy of this packet with the checksum field set."""
+        return replace(self, checksum=checksum & 0xFFFFFFFF)
+
+    def payload_bytes(self):
+        """Little-endian serialisation of the checksummed words."""
+        return b"".join(word.to_bytes(4, "little") for word in self.words())
+
+    @classmethod
+    def from_payload_bytes(cls, payload, checksum=0):
+        if len(payload) != 4 * PACKET_WORDS:
+            raise ValueError("payload must be %d bytes, got %d"
+                             % (4 * PACKET_WORDS, len(payload)))
+        words = [int.from_bytes(payload[4 * i:4 * i + 4], "little")
+                 for i in range(PACKET_WORDS)]
+        return cls(words[0], words[1], words[2], tuple(words[3:]), checksum)

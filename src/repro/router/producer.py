@@ -1,0 +1,73 @@
+"""Packet producer.
+
+"The producer is a SystemC module attached to an input port of the
+router. It generates packets with a random destination address."
+(paper Section 5)
+
+Generation is paced by the *inter-packet delay* — the x axis of
+Figure 7.  Packets are offered to the router input FIFO with a
+non-blocking put: when the router cannot keep up and the queue is
+full, the packet is *dropped*, which is what makes the forwarded
+percentage fall below 100%.
+"""
+
+import random
+
+from repro.errors import SimulationError
+from repro.router.packet import DATA_WORDS, Packet
+from repro.sysc.module import Module
+
+
+class Producer(Module):
+    """Generates a paced random packet stream into one input FIFO."""
+
+    def __init__(self, name, input_fifo, inter_packet_delay,
+                 num_addresses=16, seed=1, source_address=0,
+                 max_packets=None, burst=1, kernel=None):
+        """*burst* > 1 makes traffic bursty: *burst* packets are
+        offered back-to-back, then the producer idles for
+        ``burst * inter_packet_delay`` — the same mean rate as the
+        smooth stream, but with a peak arrival rate that stresses the
+        input queues."""
+        super().__init__(name, kernel)
+        if inter_packet_delay <= 0:
+            raise SimulationError("inter-packet delay must be positive")
+        if burst < 1:
+            raise SimulationError("burst must be >= 1")
+        self.input_fifo = input_fifo
+        self.inter_packet_delay = inter_packet_delay
+        self.num_addresses = num_addresses
+        self.source_address = source_address
+        self.max_packets = max_packets
+        self.burst = burst
+        self.generated = 0
+        self.dropped = 0
+        self._rng = random.Random(seed)
+        self.thread(self._generate, name="generate")
+
+    @property
+    def offered(self):
+        return self.generated
+
+    @property
+    def accepted(self):
+        return self.generated - self.dropped
+
+    def _make_packet(self):
+        destination = self._rng.randrange(self.num_addresses)
+        data = tuple(self._rng.randrange(1 << 32)
+                     for __ in range(DATA_WORDS))
+        return Packet(self.source_address, destination, self.generated,
+                      data, created_at=self.kernel.now)
+
+    def _generate(self):
+        while self.max_packets is None or self.generated < self.max_packets:
+            for __ in range(self.burst):
+                if (self.max_packets is not None
+                        and self.generated >= self.max_packets):
+                    break
+                packet = self._make_packet()
+                self.generated += 1
+                if not self.input_fifo.nb_put(packet):
+                    self.dropped += 1
+            yield self.burst * self.inter_packet_delay

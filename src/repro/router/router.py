@@ -1,0 +1,84 @@
+"""The 4x4 router.
+
+"All packets coming into the router are buffered into a FIFO queue …
+The main process of the router takes the first packet in the queue and
+reads its destination address. By looking in the routing table the
+correct output port is used to send out the packet. Before sending the
+packet, the checksum is computed on the packet to detect possible
+errors." (paper Section 5)
+"""
+
+from repro.errors import SimulationError
+from repro.sysc.fifo import Fifo
+from repro.sysc.module import Module
+
+
+class Router(Module):
+    """FIFO-buffered store-and-forward router with checksum offload."""
+
+    def __init__(self, name, routing_table, engine, num_ports=4,
+                 input_capacity=8, output_capacity=32, kernel=None):
+        """*engine* may be a single checksum engine or a list of them;
+        with a list, the router runs one forwarding worker per engine
+        (the multi-processor configuration: checksum load is spread
+        over several CPUs)."""
+        super().__init__(name, kernel)
+        if num_ports < 1:
+            raise SimulationError("router needs at least one port")
+        self.routing_table = routing_table
+        self.engines = list(engine) if isinstance(engine, (list, tuple)) \
+            else [engine]
+        if not self.engines:
+            raise SimulationError("router needs at least one engine")
+        self.engine = self.engines[0]
+        self.num_ports = num_ports
+        self.inputs = [Fifo(input_capacity, "%s.in%d" % (name, i), kernel)
+                       for i in range(num_ports)]
+        self.outputs = [Fifo(output_capacity, "%s.out%d" % (name, i), kernel)
+                        for i in range(num_ports)]
+        self.forwarded = 0
+        self.output_drops = 0
+        self._scan_position = 0
+        for index, worker_engine in enumerate(self.engines):
+            self.thread(self._make_worker(worker_engine),
+                        name="forward%d" % index)
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def input_drops(self):
+        """Packets rejected at the input queues (producer-side puts)."""
+        return sum(fifo.rejected_count for fifo in self.inputs)
+
+    @property
+    def accepted(self):
+        return sum(fifo.put_count for fifo in self.inputs)
+
+    # -- behaviour ------------------------------------------------------------
+
+    def _next_packet(self):
+        """Round-robin scan of the input queues."""
+        for offset in range(self.num_ports):
+            index = (self._scan_position + offset) % self.num_ports
+            packet = self.inputs[index].nb_get()
+            if packet is not None:
+                self._scan_position = (index + 1) % self.num_ports
+                return packet
+        return None
+
+    def _make_worker(self, engine):
+        def _forward():
+            wait_events = [fifo.data_written for fifo in self.inputs]
+            while True:
+                packet = self._next_packet()
+                if packet is None:
+                    yield tuple(wait_events)
+                    continue
+                checksum = yield from engine.compute(packet)
+                packet = packet.with_checksum(checksum)
+                port = self.routing_table.lookup(packet.destination)
+                if self.outputs[port].nb_put(packet):
+                    self.forwarded += 1
+                else:
+                    self.output_drops += 1
+        return _forward

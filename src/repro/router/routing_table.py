@@ -1,0 +1,43 @@
+"""The static routing table.
+
+"The forwarding process is based on a static routing table embedded
+into the router … each entry matches a destination address and an
+output port." (paper Section 5)
+"""
+
+from repro.errors import ReproError
+
+
+class RoutingTable:
+    """destination address -> output port index."""
+
+    def __init__(self, entries=None, default_port=None):
+        self._entries = dict(entries or {})
+        self.default_port = default_port
+        self.lookup_count = 0
+        self.miss_count = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def add(self, destination, port):
+        """Add (or replace) the route for *destination*."""
+        self._entries[destination] = port
+
+    def lookup(self, destination):
+        """Output port for *destination*; default route on a miss."""
+        self.lookup_count += 1
+        port = self._entries.get(destination)
+        if port is None:
+            self.miss_count += 1
+            if self.default_port is None:
+                raise ReproError("no route for destination %d and no "
+                                 "default route" % destination)
+            return self.default_port
+        return port
+
+    @classmethod
+    def modulo(cls, num_addresses, num_ports):
+        """The case-study table: address *a* exits on port ``a % ports``."""
+        return cls({address: address % num_ports
+                    for address in range(num_addresses)})

@@ -1,0 +1,246 @@
+"""Full case-study scenario builder.
+
+Assembles the complete Figure 6 system — router, producers, consumers,
+checksum application on the ISS — wired through any of the three
+co-simulation schemes (or an ideal local engine as the control), and
+exposes the statistics the paper's evaluation reports.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps.build import build_driver_app, build_gdb_app
+from repro.apps.sources import CHECKSUM_DEVICE_ID, DATA_SEMAPHORE_ID
+from repro.cosim.driver_kernel import DriverKernelScheme
+from repro.cosim.gdb_kernel import GdbKernelScheme
+from repro.cosim.gdb_wrapper import GdbWrapperScheme
+from repro.cosim.metrics import CosimMetrics
+from repro.errors import CosimError
+from repro.iss.cpu import Cpu
+from repro.iss.loader import load_program
+from repro.router.consumer import Consumer
+from repro.router.engines import (CHECKSUM_IRQ_VECTOR, DriverChecksumEngine,
+                                  GdbChecksumEngine, LocalChecksumEngine)
+from repro.router.producer import Producer
+from repro.router.router import Router
+from repro.router.routing_table import RoutingTable
+from repro.rtos.costs import CostModel
+from repro.rtos.driver import CosimPortDriver
+from repro.rtos.kernel import RtosKernel
+from repro.sysc.clock import Clock
+from repro.sysc.kernel import Kernel
+from repro.sysc.simtime import US
+
+SCHEMES = ("local", "gdb-wrapper", "gdb-kernel", "driver-kernel")
+
+
+@dataclass
+class RouterConfig:
+    """Parameters of one case-study run."""
+
+    scheme: str = "gdb-kernel"
+    num_ports: int = 4
+    num_addresses: int = 16
+    clock_period: int = 1 * US        # SystemC sync quantum
+    cpu_hz: int = 100_000_000         # ISS clock
+    inter_packet_delay: int = 40 * US  # Figure 7's x axis
+    input_capacity: int = 8
+    output_capacity: int = 64
+    seed: int = 42
+    max_packets: Optional[int] = None
+    app_origin: int = 0x1000
+    memory_size: int = 1 << 20
+    stack_top: int = 0x80000
+    rtos_costs: Optional[CostModel] = None
+    local_latency: int = 0
+    producer_count: Optional[int] = None  # defaults to num_ports
+    num_cpus: int = 1                     # checksum CPUs (MPSoC config)
+    algorithm: str = "sum"                # "sum" (paper) or "crc32"
+    burst: int = 1                        # producer burstiness
+
+
+@dataclass
+class SystemStats:
+    """The numbers the evaluation section reports."""
+
+    generated: int
+    input_drops: int
+    forwarded: int
+    received: int
+    corrupt: int
+    output_drops: int
+    forwarded_percent: float
+    latency_mean_fs: float = 0.0
+    latency_p95_fs: float = 0.0
+    metrics: dict = field(default_factory=dict)
+
+
+class RouterSystem:
+    """A fully-wired case-study instance."""
+
+    def __init__(self, config):
+        if config.scheme not in SCHEMES:
+            raise CosimError("unknown scheme %r (one of %s)"
+                             % (config.scheme, ", ".join(SCHEMES)))
+        self.config = config
+        if config.num_cpus < 1:
+            raise CosimError("num_cpus must be >= 1")
+        self.kernel = Kernel("system:" + config.scheme)
+        self.clock = Clock(config.clock_period, "clk")
+        self.metrics = CosimMetrics()
+        self.cpus = []
+        self.rtoses = []
+        self.scheme = None
+        self.app = None
+        self.engines = self._build_engines()
+        self.engine = self.engines[0]
+        self.table = RoutingTable.modulo(config.num_addresses,
+                                         config.num_ports)
+        self.router = Router("router", self.table, self.engines,
+                             config.num_ports, config.input_capacity,
+                             config.output_capacity)
+        producer_count = config.producer_count or config.num_ports
+        self.producers = [
+            Producer("producer%d" % index,
+                     self.router.inputs[index % config.num_ports],
+                     config.inter_packet_delay,
+                     config.num_addresses,
+                     seed=config.seed + index,
+                     source_address=index,
+                     max_packets=config.max_packets,
+                     burst=config.burst)
+            for index in range(producer_count)
+        ]
+        self.consumers = [
+            Consumer("consumer%d" % index, self.router.outputs[index],
+                     algorithm=config.algorithm)
+            for index in range(config.num_ports)
+        ]
+        self._wire_scheme()
+
+    # -- construction helpers -------------------------------------------------
+
+    @property
+    def cpu(self):
+        """The first checksum CPU (None for the local scheme)."""
+        return self.cpus[0] if self.cpus else None
+
+    @property
+    def rtos(self):
+        """The first guest RTOS (Driver-Kernel scheme only)."""
+        return self.rtoses[0] if self.rtoses else None
+
+    def _build_engines(self):
+        scheme = self.config.scheme
+        count = self.config.num_cpus
+        if scheme == "local":
+            return [LocalChecksumEngine("chk_local%d" % i,
+                                        latency=self.config.local_latency,
+                                        algorithm=self.config.algorithm)
+                    for i in range(count)]
+        if scheme in ("gdb-wrapper", "gdb-kernel"):
+            return [GdbChecksumEngine("chk_gdb%d" % i)
+                    for i in range(count)]
+        return [DriverChecksumEngine("chk_drv%d" % i)
+                for i in range(count)]
+
+    def _wire_scheme(self):
+        scheme_name = self.config.scheme
+        if scheme_name == "local":
+            return
+        if scheme_name in ("gdb-wrapper", "gdb-kernel"):
+            self._wire_gdb(scheme_name)
+        else:
+            self._wire_driver()
+
+    def _wire_gdb(self, scheme_name):
+        config = self.config
+        self.app = build_gdb_app(config.app_origin, config.algorithm)
+        if scheme_name == "gdb-kernel":
+            self.scheme = GdbKernelScheme(self.kernel, self.metrics)
+        else:
+            self.scheme = GdbWrapperScheme(self.kernel, self.clock,
+                                           self.metrics)
+        for index, engine in enumerate(self.engines):
+            cpu = Cpu(name="cpu%d" % index)
+            load_program(cpu, self.app.program,
+                         stack_top=config.stack_top)
+            self.cpus.append(cpu)
+            self.scheme.attach_cpu(cpu, self.app.pragma_map,
+                                   engine.variable_ports(),
+                                   config.cpu_hz)
+        self.scheme.elaborate()
+
+    def _wire_driver(self):
+        config = self.config
+        self.app = build_driver_app(config.app_origin, config.algorithm)
+        self.scheme = DriverKernelScheme(self.kernel, self.metrics)
+        self.drivers = []
+        for index, engine in enumerate(self.engines):
+            cpu = Cpu(name="cpu%d" % index)
+            load_program(cpu, self.app.program,
+                         stack_top=config.stack_top)
+            self.cpus.append(cpu)
+            rtos = RtosKernel(cpu, config.rtos_costs,
+                              name="rtos%d" % index)
+            rtos.create_semaphore(DATA_SEMAPHORE_ID, 0, "data_ready")
+            rtos.create_thread("checksum_main", self.app.entry,
+                               config.stack_top)
+            self.rtoses.append(rtos)
+            context = self.scheme.attach_rtos(rtos,
+                                              engine.socket_ports(),
+                                              config.cpu_hz)
+            driver = CosimPortDriver(
+                CHECKSUM_DEVICE_ID, "chk_dev%d" % index,
+                rx_ports=[engine.data_port.variable],
+                tx_port=engine.result_port.variable,
+                irq_vector=CHECKSUM_IRQ_VECTOR,
+                data_endpoint=context.data_socket.b,
+            )
+            rtos.register_driver(driver)
+            self.drivers.append(driver)
+            engine.raise_irq = (
+                lambda vector, ctx=context:
+                self.scheme.raise_interrupt(ctx, vector))
+        self.driver = self.drivers[0]
+        self.scheme.elaborate()
+
+    # -- running --------------------------------------------------------------
+
+    def run(self, duration):
+        """Advance the co-simulation by *duration* femtoseconds."""
+        return self.kernel.run(duration)
+
+    def stats(self):
+        """Collect the evaluation statistics of the run so far."""
+        generated = sum(producer.generated for producer in self.producers)
+        received = sum(consumer.received for consumer in self.consumers)
+        corrupt = sum(consumer.corrupt for consumer in self.consumers)
+        forwarded = self.router.forwarded
+        percent = 100.0 * forwarded / generated if generated else 0.0
+        latencies = sorted(latency for consumer in self.consumers
+                           for latency in consumer.latencies)
+        mean = (sum(latencies) / len(latencies)) if latencies else 0.0
+        p95 = latencies[int(0.95 * (len(latencies) - 1))] \
+            if latencies else 0.0
+        return SystemStats(
+            generated=generated,
+            input_drops=self.router.input_drops,
+            forwarded=forwarded,
+            received=received,
+            corrupt=corrupt,
+            output_drops=self.router.output_drops,
+            forwarded_percent=percent,
+            latency_mean_fs=mean,
+            latency_p95_fs=p95,
+            metrics=self.metrics.as_dict(),
+        )
+
+
+def build_system(config=None, **overrides):
+    """Build a :class:`RouterSystem` from a config or keyword overrides."""
+    if config is None:
+        config = RouterConfig(**overrides)
+    elif overrides:
+        raise CosimError("pass either a config object or overrides")
+    return RouterSystem(config)

@@ -1,0 +1,28 @@
+"""A small eCos-like RTOS running guest software on the ISS.
+
+The paper's Driver-Kernel scheme "explicitly assumes the presence of an
+OS" (Section 5.1); the forwarding-rate gap of Figure 7 *is* the OS
+overhead.  This package provides that OS: guest threads with saved
+register contexts, a priority round-robin scheduler with a timer tick,
+counting semaphores and mailboxes, interrupt dispatch that executes
+guest-code ISRs on the CPU, and a device-driver framework whose
+co-simulation driver speaks the Section 4.2 message protocol.
+
+Every kernel service charges *guest cycles* according to the
+:class:`~repro.rtos.costs.CostModel` — host-side bookkeeping stands in
+for the eCos kernel code a real port would execute, with its time cost
+preserved (see DESIGN.md, substitutions table).
+"""
+
+from repro.rtos.costs import CostModel
+from repro.rtos.thread import GuestThread, ThreadState
+from repro.rtos.sync import Semaphore, Mailbox
+from repro.rtos.interrupts import VectorTable
+from repro.rtos.driver import DeviceDriver, CosimPortDriver
+from repro.rtos.kernel import RtosKernel, IDLE_PC
+
+__all__ = [
+    "CostModel", "GuestThread", "ThreadState", "Semaphore", "Mailbox",
+    "VectorTable", "DeviceDriver", "CosimPortDriver", "RtosKernel",
+    "IDLE_PC",
+]

@@ -1,0 +1,40 @@
+"""Guest-cycle cost model of RTOS services.
+
+Each figure is the number of guest cycles a kernel service consumes —
+the stand-in for executing the corresponding eCos kernel path on the
+ISS.  The defaults are loosely calibrated to published eCos numbers on
+~100 MHz embedded cores (tens to a couple of hundred cycles per
+primitive).  Figure 7's GDB-Kernel vs Driver-Kernel gap scales with
+these values; the ablation benchmark varies them.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CostModel:
+    """Cycle charges for kernel services."""
+
+    syscall: int = 40          # trap entry + exit path
+    context_switch: int = 60   # save + restore + queue management
+    isr_entry: int = 50        # vectoring, context save, mask
+    isr_exit: int = 35         # unmask, context restore
+    tick: int = 25             # timer interrupt bookkeeping
+    sem_operation: int = 20    # semaphore fast path (on top of syscall)
+    driver_call: int = 30      # driver entry glue
+    driver_per_word: int = 8   # copy + marshal per 32-bit word
+    tick_period: int = 10_000  # guest cycles between scheduler ticks
+
+    def scaled(self, factor):
+        """A copy with all charges scaled by *factor* (ablations)."""
+        return CostModel(
+            syscall=int(self.syscall * factor),
+            context_switch=int(self.context_switch * factor),
+            isr_entry=int(self.isr_entry * factor),
+            isr_exit=int(self.isr_exit * factor),
+            tick=int(self.tick * factor),
+            sem_operation=int(self.sem_operation * factor),
+            driver_call=int(self.driver_call * factor),
+            driver_per_word=max(1, int(self.driver_per_word * factor)),
+            tick_period=self.tick_period,
+        )

@@ -1,0 +1,144 @@
+"""Device-driver framework.
+
+The paper's Driver-Kernel scheme requires "a specific driver for each
+new (SystemC) device" consisting of (i) the code that handles the
+interaction with the external device through proper ports, (ii) the ISR
+to handle interrupts, and (iii) a suitable API to interact with the
+driver from application code (Section 4.1).
+
+:class:`DeviceDriver` is the in-kernel driver interface; the guest
+reaches it through the SYS_DEV_* traps.  :class:`CosimPortDriver` is
+the co-simulation driver: its read side samples named ``iss_out``
+SystemC ports with a READ message and blocks the caller until the
+READ_REPLY arrives; its write side marshals guest memory into a WRITE
+message addressed to an ``iss_in`` port.  All marshaling costs are
+charged in guest cycles.
+"""
+
+from repro.errors import RtosError
+from repro.cosim.messages import (Message, MessageType, Block, pack_message)
+from repro.rtos.thread import ThreadState
+
+# ioctl command numbers understood by CosimPortDriver.
+IOCTL_REGISTER_ISR = 1
+IOCTL_RX_PENDING = 2
+
+
+class DeviceDriver:
+    """Base class: in-kernel entry points of one device."""
+
+    def __init__(self, device_id, name):
+        self.device_id = device_id
+        self.name = name
+        self.kernel = None  # set by RtosKernel.register_driver
+        self.open_count = 0
+
+    def attach(self, kernel):
+        """Called by the kernel at registration."""
+        self.kernel = kernel
+
+    def open(self, thread):
+        """Returns the handle value placed in r0."""
+        self.open_count += 1
+        return self.device_id
+
+    def read(self, thread, buffer_address, max_words):
+        """Read from the device; unsupported by default."""
+        raise RtosError("driver %r does not support read" % self.name)
+
+    def write(self, thread, buffer_address, word_count):
+        """Write to the device; unsupported by default."""
+        raise RtosError("driver %r does not support write" % self.name)
+
+    def ioctl(self, thread, command, argument):
+        """Device-specific control; unsupported by default."""
+        raise RtosError("driver %r ioctl %d unsupported"
+                        % (self.name, command))
+
+
+class CosimPortDriver(DeviceDriver):
+    """The SystemC-device driver of the Driver-Kernel scheme."""
+
+    def __init__(self, device_id, name, rx_ports, tx_port, irq_vector,
+                 data_endpoint):
+        super().__init__(device_id, name)
+        self.rx_ports = list(rx_ports)   # iss_out port names we READ
+        self.tx_port = tx_port           # iss_in port name we WRITE
+        self.irq_vector = irq_vector
+        self.data_endpoint = data_endpoint
+        self._sequence = 0
+        self._pending_read = None   # (thread, buffer_address, max_words, seq)
+        self.reads_issued = 0
+        self.writes_issued = 0
+        self.read_replies = 0
+
+    def _next_sequence(self):
+        self._sequence = (self._sequence + 1) & 0xFFFF
+        return self._sequence
+
+    # -- guest-facing entry points (called from trap context) ----------------
+
+    def read(self, thread, buffer_address, max_words):
+        """Issue a READ for our rx ports; block *thread* until the reply.
+
+        Returns None — the result (word count in r0) is delivered by
+        :meth:`complete_read` when the READ_REPLY message arrives.
+        """
+        if self._pending_read is not None:
+            raise RtosError("driver %r supports one outstanding read"
+                            % self.name)
+        sequence = self._next_sequence()
+        message = Message(MessageType.READ,
+                          [Block(port) for port in self.rx_ports], sequence)
+        self.data_endpoint.send(pack_message(message))
+        self.reads_issued += 1
+        thread.state = ThreadState.BLOCKED_IO
+        thread.wait_object = self
+        self._pending_read = (thread, buffer_address, max_words, sequence)
+        return None
+
+    def write(self, thread, buffer_address, word_count):
+        """Marshal guest memory into a WRITE message to our tx port."""
+        memory = self.kernel.cpu.memory
+        payload = memory.read_bytes(buffer_address, 4 * word_count)
+        message = Message(MessageType.WRITE,
+                          [Block(self.tx_port, payload)],
+                          self._next_sequence())
+        self.data_endpoint.send(pack_message(message))
+        self.writes_issued += 1
+        return word_count
+
+    def ioctl(self, thread, command, argument):
+        """IOCTL_REGISTER_ISR / IOCTL_RX_PENDING commands."""
+        if command == IOCTL_REGISTER_ISR:
+            self.kernel.vectors.register(self.irq_vector, argument)
+            return 0
+        if command == IOCTL_RX_PENDING:
+            return 1 if self._pending_read is None else 0
+        return super().ioctl(thread, command, argument)
+
+    # -- kernel-facing completion --------------------------------------------
+
+    def complete_read(self, message):
+        """A READ_REPLY arrived: copy into the guest buffer, wake thread."""
+        if self._pending_read is None:
+            raise RtosError("unexpected READ_REPLY for driver %r" % self.name)
+        thread, buffer_address, max_words, sequence = self._pending_read
+        if message.sequence != sequence:
+            raise RtosError(
+                "READ_REPLY sequence %d does not match pending %d"
+                % (message.sequence, sequence)
+            )
+        self._pending_read = None
+        self.read_replies += 1
+        payload = b"".join(block.data for block in message.blocks)
+        words = min(max_words, len(payload) // 4)
+        memory = self.kernel.cpu.memory
+        memory.write_bytes(buffer_address, payload[:4 * words])
+        thread.regs[0] = words
+        thread.state = ThreadState.READY
+        thread.wait_object = None
+        # Copying the reply runs driver code on the guest.
+        cost = self.kernel.costs
+        self.kernel.charge(cost.driver_call + cost.driver_per_word * words)
+        return thread

@@ -1,0 +1,69 @@
+"""Interrupt vectoring.
+
+The Driver-Kernel scheme's hardware interrupts arrive as messages on
+the socket interrupt port; the kernel turns them into guest ISR
+executions: the interrupted context is saved, the CPU is pointed at the
+registered guest handler on a dedicated interrupt stack, and the
+handler returns through the SYS_IRET trap (paper Section 4.1: "the ISR
+written by the programmer has to be started to manage the interrupt").
+"""
+
+from collections import deque
+
+from repro.errors import RtosError
+
+
+class VectorTable:
+    """vector number -> guest ISR entry address."""
+
+    def __init__(self, max_vectors=32):
+        self.max_vectors = max_vectors
+        self._handlers = {}
+        self.pending = deque()
+        self.delivered_count = 0
+        self.dropped_count = 0
+
+    def register(self, vector, handler_address):
+        """Install the guest ISR at *handler_address* for *vector*."""
+        if not 0 <= vector < self.max_vectors:
+            raise RtosError("vector %d out of range" % vector)
+        self._handlers[vector] = handler_address
+
+    def unregister(self, vector):
+        """Remove the handler for *vector* (no-op if absent)."""
+        self._handlers.pop(vector, None)
+
+    def handler_for(self, vector):
+        """Guest ISR address registered for *vector*, or None."""
+        return self._handlers.get(vector)
+
+    def post(self, vector):
+        """Queue *vector* for delivery.
+
+        Interrupt requests are level-like: a vector without a handler
+        stays pending (the line stays asserted) and is delivered as
+        soon as a handler is registered — this covers the boot-time
+        race where hardware raises before the driver has installed its
+        ISR.  Returns True when the vector is deliverable right now.
+        """
+        if not 0 <= vector < self.max_vectors:
+            raise RtosError("vector %d out of range" % vector)
+        self.pending.append(vector)
+        return vector in self._handlers
+
+    def next_deliverable(self):
+        """Pop the first pending vector that has a handler, or None."""
+        for index, vector in enumerate(self.pending):
+            if vector in self._handlers:
+                del self.pending[index]
+                self.delivered_count += 1
+                return vector
+        return None
+
+    @property
+    def has_deliverable(self):
+        return any(vector in self._handlers for vector in self.pending)
+
+    @property
+    def has_pending(self):
+        return bool(self.pending)

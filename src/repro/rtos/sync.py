@@ -1,0 +1,92 @@
+"""Kernel synchronisation objects: counting semaphores and mailboxes.
+
+Guest code reaches them through the SYS_SEM_* traps (registered by the
+kernel); ISRs may post from interrupt context.  The objects themselves
+live host-side (the TCB substitution of DESIGN.md) but all costs are
+charged in guest cycles by the kernel.
+"""
+
+from collections import deque
+
+from repro.errors import RtosError
+from repro.rtos.thread import ThreadState
+
+
+class Semaphore:
+    """A counting semaphore with FIFO wait queue."""
+
+    def __init__(self, sem_id, initial=0, name=None):
+        if initial < 0:
+            raise RtosError("semaphore initial count must be >= 0")
+        self.sem_id = sem_id
+        self.name = name or ("sem%d" % sem_id)
+        self.count = initial
+        self.waiters = deque()
+        self.post_count = 0
+        self.wait_count = 0
+
+    def __repr__(self):
+        return "Semaphore(%r, count=%d, waiters=%d)" % (
+            self.name, self.count, len(self.waiters))
+
+    def try_wait(self, thread):
+        """Non-blocking side of wait: True if acquired, else enqueue."""
+        self.wait_count += 1
+        if self.count > 0:
+            self.count -= 1
+            return True
+        thread.state = ThreadState.BLOCKED
+        thread.wait_object = self
+        self.waiters.append(thread)
+        return False
+
+    def post(self):
+        """Release one unit; returns the thread to wake, if any."""
+        self.post_count += 1
+        if self.waiters:
+            thread = self.waiters.popleft()
+            thread.state = ThreadState.READY
+            thread.wait_object = None
+            return thread
+        self.count += 1
+        return None
+
+
+class Mailbox:
+    """A bounded word-message queue with blocking receive."""
+
+    def __init__(self, box_id, capacity=16, name=None):
+        if capacity < 1:
+            raise RtosError("mailbox capacity must be >= 1")
+        self.box_id = box_id
+        self.name = name or ("mbox%d" % box_id)
+        self.capacity = capacity
+        self.messages = deque()
+        self.waiters = deque()
+
+    def __repr__(self):
+        return "Mailbox(%r, %d/%d)" % (self.name, len(self.messages),
+                                       self.capacity)
+
+    def try_put(self, value):
+        """Post a word; returns (accepted, thread_to_wake)."""
+        if self.waiters:
+            thread = self.waiters.popleft()
+            thread.state = ThreadState.READY
+            thread.wait_object = None
+            # Hand the value directly to the receiver via r0.
+            thread.regs[0] = value & 0xFFFFFFFF
+            return True, thread
+        if len(self.messages) >= self.capacity:
+            return False, None
+        self.messages.append(value & 0xFFFFFFFF)
+        return True, None
+
+    def try_get(self, thread):
+        """Non-blocking side of receive: (ok, value) or enqueue."""
+        if self.messages:
+            return True, self.messages.popleft()
+        thread.state = ThreadState.BLOCKED
+        thread.wait_object = self
+        self.waiters.append(thread)
+        return False, None

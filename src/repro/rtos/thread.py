@@ -1,0 +1,61 @@
+"""Guest threads.
+
+A :class:`GuestThread` is a schedulable guest-code activity: its
+context (the sixteen registers plus the program counter) lives in the
+thread control block and is swapped into/out of the CPU by the kernel.
+"""
+
+import enum
+
+from repro.iss.cpu import NUM_REGS, REG_SP
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle states of a guest thread."""
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"      # on a semaphore/mailbox
+    BLOCKED_IO = "blocked_io"  # awaiting a driver reply
+    DONE = "done"
+
+
+STACK_CANARY = 0x57ACCA4D
+
+
+class GuestThread:
+    """A thread control block.
+
+    *stack_limit* (optional) enables overflow detection: the kernel
+    plants a canary word at the limit and checks it on every context
+    switch out of the thread.
+    """
+
+    def __init__(self, name, entry, stack_top, priority=1,
+                 stack_limit=None):
+        self.name = name
+        self.priority = priority
+        self.regs = [0] * NUM_REGS
+        self.regs[REG_SP] = stack_top
+        self.pc = entry
+        self.stack_top = stack_top
+        self.stack_limit = stack_limit
+        self.state = ThreadState.READY
+        self.wait_object = None      # semaphore/mailbox/driver we block on
+        self.io_continuation = None  # driver-specific completion data
+        self.run_count = 0
+        self.switched_in_cycles = 0
+
+    def __repr__(self):
+        return "GuestThread(%r, %s, prio=%d)" % (
+            self.name, self.state.value, self.priority)
+
+    def save_from(self, cpu):
+        """Capture the CPU context into this TCB."""
+        self.regs = list(cpu.regs)
+        self.pc = cpu.pc
+
+    def restore_to(self, cpu):
+        """Install this TCB's context on the CPU."""
+        cpu.regs[:] = self.regs
+        cpu.pc = self.pc
+        cpu.waiting = False

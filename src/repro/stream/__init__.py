@@ -1,0 +1,26 @@
+"""Second case study: a streaming DSP offload.
+
+Where the router (:mod:`repro.router`) is request/response — one
+checksum per packet — this system streams *blocks* of samples through
+guest software: a SystemC sample source posts blocks to the ISS, the
+guest runs a moving-average filter (integer, window a power of two,
+with history carried across block boundaries), and a SystemC sink
+verifies every output word against the host reference.
+
+It exercises parts of the co-simulation the router does not: multi-word
+block payloads in both directions of the Section 4.2 message protocol,
+sustained back-to-back streaming, and guest-side state spanning
+transfers.
+"""
+
+from repro.stream.reference import moving_average, generate_samples
+from repro.stream.source import SampleSource
+from repro.stream.sink import SampleSink
+from repro.stream.filter_app import filter_app_source, build_filter_app
+from repro.stream.system import StreamConfig, StreamSystem, build_stream_system
+
+__all__ = [
+    "moving_average", "generate_samples", "SampleSource", "SampleSink",
+    "filter_app_source", "build_filter_app", "StreamConfig",
+    "StreamSystem", "build_stream_system",
+]

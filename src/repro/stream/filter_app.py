@@ -1,0 +1,155 @@
+"""The guest moving-average filter (R32 assembly)."""
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.iss.assembler import Program, assemble
+
+FILTER_DEVICE_ID = 1
+FILTER_SEMAPHORE_ID = 1
+
+
+def filter_app_source(block_words=16, window=4, origin=0x1000):
+    """RTOS application: read a block, filter, write the block back.
+
+    The filter is an integer moving average over *window* samples
+    (a power of two; division is a shift), with the last ``window-1``
+    inputs carried in guest memory across blocks — matching
+    :func:`repro.stream.reference.moving_average` exactly.
+    """
+    if window < 1 or window & (window - 1):
+        raise ReproError("window must be a power of two, got %d" % window)
+    shift = window.bit_length() - 1
+    window_minus_1 = window - 1
+    return """
+; streaming moving-average filter (Driver-Kernel scheme)
+        .entry main
+        .org 0x%x
+        .equ DEV, %d
+        .equ SEM, %d
+        .equ WINDOW, %d
+        .equ WM1, %d
+        .equ SHIFT, %d
+        .equ BLOCK, %d
+main:
+        li   r0, DEV
+        sys  32                 ; dev_open
+        mov  r4, r0
+        mov  r0, r4
+        li   r1, 1
+        la   r2, isr
+        sys  35                 ; register ISR
+        ; zero the history window
+        la   r5, hist
+        li   r7, WM1
+        li   r8, 0
+zero_hist:
+        beq  r7, r8, loop
+        sw   r8, [r5]
+        addi r5, r5, 4
+        addi r7, r7, -1
+        b    zero_hist
+loop:
+        li   r0, SEM
+        sys  18                 ; wait for a block
+        mov  r0, r4
+        la   r1, inbuf
+        li   r2, BLOCK
+        sys  33                 ; dev_read -> n words in r0
+        mov  r9, r0
+        li   r8, 0
+        ; work = hist ++ inbuf[0..n-1]
+        la   r5, hist
+        la   r6, work
+        li   r7, WM1
+copy_hist:
+        beq  r7, r8, copy_input
+        lw   r3, [r5]
+        sw   r3, [r6]
+        addi r5, r5, 4
+        addi r6, r6, 4
+        addi r7, r7, -1
+        b    copy_hist
+copy_input:
+        la   r5, inbuf
+        mov  r7, r9
+copy_in_loop:
+        beq  r7, r8, filter
+        lw   r3, [r5]
+        sw   r3, [r6]
+        addi r5, r5, 4
+        addi r6, r6, 4
+        addi r7, r7, -1
+        b    copy_in_loop
+filter:
+        ; out[i] = (sum of work[i .. i+WINDOW-1]) >> SHIFT
+        la   r5, work
+        la   r6, outbuf
+        mov  r7, r9
+filter_loop:
+        beq  r7, r8, update_hist
+        li   r10, 0
+        li   r11, WINDOW
+        mov  r12, r5
+sum_window:
+        beq  r11, r8, window_done
+        lw   r3, [r12]
+        add  r10, r10, r3
+        addi r12, r12, 4
+        addi r11, r11, -1
+        b    sum_window
+window_done:
+        shri r10, r10, SHIFT
+        sw   r10, [r6]
+        addi r6, r6, 4
+        addi r5, r5, 4
+        addi r7, r7, -1
+        b    filter_loop
+update_hist:
+        ; hist = work[n .. n+WINDOW-2]
+        la   r5, work
+        shli r3, r9, 2
+        add  r5, r5, r3
+        la   r6, hist
+        li   r7, WM1
+hist_loop:
+        beq  r7, r8, send
+        lw   r3, [r5]
+        sw   r3, [r6]
+        addi r5, r5, 4
+        addi r6, r6, 4
+        addi r7, r7, -1
+        b    hist_loop
+send:
+        mov  r0, r4
+        la   r1, outbuf
+        mov  r2, r9
+        sys  34                 ; dev_write the filtered block
+        b    loop
+isr:
+        li   r0, SEM
+        sys  19
+        sys  48
+hist:   .space %d
+inbuf:  .space %d
+work:   .space %d
+outbuf: .space %d
+""" % (origin, FILTER_DEVICE_ID, FILTER_SEMAPHORE_ID, window,
+       window_minus_1, shift, block_words,
+       4 * max(window_minus_1, 1), 4 * block_words,
+       4 * (window_minus_1 + block_words), 4 * block_words)
+
+
+@dataclass
+class FilterApp:
+    program: Program
+    entry: int
+    block_words: int
+    window: int
+
+
+def build_filter_app(block_words=16, window=4, origin=0x1000):
+    """Assemble the filter application for the given geometry."""
+    source = filter_app_source(block_words, window, origin)
+    program = assemble(source)
+    return FilterApp(program, program.entry, block_words, window)

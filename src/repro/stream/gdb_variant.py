@@ -1,0 +1,129 @@
+"""Per-sample streaming under the GDB-Kernel scheme.
+
+The Driver-Kernel stream moves *blocks* through driver messages; the
+bare-metal GDB-Kernel equivalent moves one sample per synchronised
+variable access — two breakpoint transfers per sample.  The guest
+computes the same moving average incrementally (ring buffer +
+running sum), so results are bit-identical with the block variant and
+the host reference; only the co-simulation cost profile differs.
+"""
+
+from repro.cosim.ports import IssInPort, IssOutPort, make_iss_process
+from repro.errors import ReproError
+from repro.iss.assembler import assemble
+from repro.stream.reference import generate_samples, moving_average
+from repro.sysc.event import Event
+from repro.sysc.module import Module
+
+SAMPLE_IN_VAR = "sample_in"
+SAMPLE_OUT_VAR = "sample_out"
+
+
+def gdb_filter_source(window=4, origin=0x1000):
+    """Bare-metal incremental moving-average filter."""
+    if window < 1 or window & (window - 1):
+        raise ReproError("window must be a power of two, got %d" % window)
+    shift = window.bit_length() - 1
+    return """
+; per-sample streaming moving-average filter (GDB-Kernel scheme)
+        .entry main
+        .org 0x%x
+        .equ WINDOW, %d
+        .equ SHIFT, %d
+main:
+        ; zero the ring buffer
+        la   r6, ring
+        li   r7, WINDOW
+        li   r8, 0
+zero_ring:
+        beq  r7, r8, start
+        sw   r8, [r6]
+        addi r6, r6, 4
+        addi r7, r7, -1
+        b    zero_ring
+start:
+        li   r5, 0              ; running window sum
+        li   r11, 0             ; ring index
+loop:
+        ; Synchronised read: held at the breakpoint until the source
+        ; posts a fresh sample.
+        la   r10, sample_in
+        ;#pragma iss_out sample_in
+        lw   r0, [r10]
+        ; acc += x - ring[idx]; ring[idx] = x
+        la   r6, ring
+        shli r3, r11, 2
+        add  r6, r6, r3
+        lw   r2, [r6]
+        sub  r5, r5, r2
+        add  r5, r5, r0
+        sw   r0, [r6]
+        addi r11, r11, 1
+        li   r3, WINDOW
+        bne  r11, r3, no_wrap
+        li   r11, 0
+no_wrap:
+        shri r12, r5, SHIFT
+        ; Publish: the kernel collects the variable at the breakpoint
+        ; on the line after the store.
+        la   r10, sample_out
+        ;#pragma iss_in sample_out
+        sw   r12, [r10]
+        nop
+        b    loop
+ring:       .space %d
+sample_in:  .word 0
+sample_out: .word 0
+""" % (origin, window, shift, 4 * window)
+
+
+class PerSampleSource(Module):
+    """Posts one sample at a time to the guest variable port."""
+
+    def __init__(self, sink, total_samples, inter_sample_delay, seed=1,
+                 kernel=None):
+        super().__init__("source", kernel)
+        self.sink = sink
+        self.inter_sample_delay = inter_sample_delay
+        self.port = IssOutPort(SAMPLE_IN_VAR, SAMPLE_IN_VAR, kernel)
+        self.samples = generate_samples(total_samples, seed)
+        self.samples_sent = 0
+        self.thread(self._stream, name="stream")
+
+    def _stream(self):
+        for sample in self.samples:
+            self.port.post(sample)
+            self.samples_sent += 1
+            while len(self.sink.received) < self.samples_sent:
+                yield self.sink.sample_event
+            yield self.inter_sample_delay
+
+
+class PerSampleSink(Module):
+    """Receives filtered samples one at a time; verifies each."""
+
+    def __init__(self, total_samples, window, seed=1, kernel=None):
+        super().__init__("sink", kernel)
+        self.port = IssInPort(SAMPLE_OUT_VAR, SAMPLE_OUT_VAR, kernel)
+        self.sample_event = Event("sink.sample", kernel)
+        self.total_samples = total_samples
+        expected, __ = moving_average(generate_samples(total_samples,
+                                                       seed), window)
+        self._expected = expected
+        self.received = []
+        self.mismatches = 0
+        self.completed_at = None
+        make_iss_process(self, self._on_sample, [self.port],
+                         name="on_sample")
+
+    def _on_sample(self):
+        value = self.port.read()
+        index = len(self.received)
+        if index < len(self._expected) \
+                and value != self._expected[index]:
+            self.mismatches += 1
+        self.received.append(value)
+        if (self.completed_at is None
+                and len(self.received) >= self.total_samples):
+            self.completed_at = self.kernel.now
+        self.sample_event.notify()

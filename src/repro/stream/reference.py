@@ -1,0 +1,38 @@
+"""Host reference for the streaming filter."""
+
+import random
+
+from repro.errors import ReproError
+
+
+def generate_samples(count, seed=1, amplitude=1000):
+    """A deterministic pseudo-signal: ramp + seeded noise, 16-bit."""
+    rng = random.Random(seed)
+    samples = []
+    for index in range(count):
+        ramp = (index * 13) % amplitude
+        noise = rng.randrange(amplitude // 4)
+        samples.append((ramp + noise) & 0xFFFF)
+    return samples
+
+
+def moving_average(samples, window, history=None):
+    """Integer moving average with carried history.
+
+    ``y[i] = floor(sum of the last `window` inputs / window)``, where
+    inputs before the first sample come from *history* (zeros when
+    omitted) — exactly what the guest filter computes.
+    """
+    if window < 1 or window & (window - 1):
+        raise ReproError("window must be a power of two, got %d" % window)
+    carried = list(history) if history is not None else [0] * (window - 1)
+    if len(carried) != window - 1:
+        raise ReproError("history must hold window-1 samples")
+    extended = carried + list(samples)
+    output = []
+    for index in range(len(samples)):
+        total = sum(extended[index:index + window])
+        output.append(total // window)
+    new_history = extended[len(extended) - (window - 1):] \
+        if window > 1 else []
+    return output, new_history

@@ -1,0 +1,53 @@
+"""The SystemC sample sink: collects and verifies filtered blocks."""
+
+from repro.cosim.ports import IssInPort, make_iss_process
+from repro.stream.reference import generate_samples, moving_average
+from repro.sysc.event import Event
+from repro.sysc.module import Module
+
+SAMPLES_OUT_PORT = "samples_out"
+
+
+class SampleSink(Module):
+    """Receives filtered blocks; checks every word against the host
+    reference filter (tracking the same carried history)."""
+
+    def __init__(self, total_samples, block_words, window, seed=1,
+                 kernel=None):
+        super().__init__("sink", kernel)
+        self.port = IssInPort(SAMPLES_OUT_PORT, SAMPLES_OUT_PORT, kernel)
+        self.block_event = Event("sink.block", kernel)
+        self.window = window
+        self.block_words = block_words
+        self.total_samples = total_samples
+        self._inputs = generate_samples(total_samples, seed)
+        self._position = 0
+        self._history = [0] * (window - 1)
+        self.received = []
+        self.blocks_received = 0
+        self.mismatches = 0
+        self.first_mismatch = None
+        self.completed_at = None   # simulated time the stream finished
+        make_iss_process(self, self._on_block, [self.port],
+                         name="on_block")
+
+    def _on_block(self):
+        payload = self.port.read()
+        words = [int.from_bytes(payload[i:i + 4], "little")
+                 for i in range(0, len(payload), 4)]
+        inputs = self._inputs[self._position:self._position + len(words)]
+        self._position += len(words)
+        expected, self._history = moving_average(inputs, self.window,
+                                                 self._history)
+        for index, (got, want) in enumerate(zip(words, expected)):
+            if got != want:
+                self.mismatches += 1
+                if self.first_mismatch is None:
+                    self.first_mismatch = (self.blocks_received, index,
+                                           got, want)
+        self.received.extend(words)
+        self.blocks_received += 1
+        if (self.completed_at is None
+                and len(self.received) >= self.total_samples):
+            self.completed_at = self.kernel.now
+        self.block_event.notify()

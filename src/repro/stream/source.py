@@ -1,0 +1,47 @@
+"""The SystemC sample source."""
+
+from repro.cosim.ports import IssOutPort
+from repro.stream.reference import generate_samples
+from repro.sysc.module import Module
+
+SAMPLES_IN_PORT = "samples_in"
+FILTER_IRQ_VECTOR = 6
+
+
+class SampleSource(Module):
+    """Streams sample blocks to the guest filter.
+
+    One block is posted (as a byte payload of little-endian words) and
+    announced with an interrupt; the next block follows after
+    *inter_block_delay* once the sink has confirmed the filtered block
+    came back — the same handshaked streaming a real double-buffered
+    DMA front-end would do.
+    """
+
+    def __init__(self, sink, total_samples, block_words,
+                 inter_block_delay, seed=1, raise_irq=None, kernel=None):
+        super().__init__("source", kernel)
+        self.sink = sink
+        self.block_words = block_words
+        self.inter_block_delay = inter_block_delay
+        self.raise_irq = raise_irq
+        self.port = IssOutPort(SAMPLES_IN_PORT, SAMPLES_IN_PORT, kernel)
+        self.samples = generate_samples(total_samples, seed)
+        self.blocks_sent = 0
+        self.samples_sent = 0
+        self.thread(self._stream, name="stream")
+
+    def _stream(self):
+        position = 0
+        while position < len(self.samples):
+            block = self.samples[position:position + self.block_words]
+            payload = b"".join(sample.to_bytes(4, "little")
+                               for sample in block)
+            self.port.post(payload)
+            self.raise_irq(FILTER_IRQ_VECTOR)
+            self.blocks_sent += 1
+            self.samples_sent += len(block)
+            position += len(block)
+            while self.sink.blocks_received < self.blocks_sent:
+                yield self.sink.block_event
+            yield self.inter_block_delay

@@ -1,0 +1,84 @@
+"""Bounded FIFO channel (sc_fifo).
+
+Thread processes block on :meth:`Fifo.put` / :meth:`Fifo.get` by
+delegating with ``yield from``; method processes and co-simulation hooks
+use the non-blocking :meth:`Fifo.nb_put` / :meth:`Fifo.nb_get`.
+"""
+
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.sysc.event import Event
+
+
+class Fifo:
+    """A bounded first-in/first-out channel between processes."""
+
+    def __init__(self, capacity=16, name="fifo", kernel=None):
+        if capacity < 1:
+            raise SimulationError("fifo capacity must be >= 1, got %d" % capacity)
+        self.name = name
+        self.capacity = capacity
+        self._items = deque()
+        self.data_written = Event(name + ".data_written", kernel)
+        self.data_read = Event(name + ".data_read", kernel)
+        self.put_count = 0
+        self.get_count = 0
+        self.rejected_count = 0
+        self.high_water = 0   # maximum occupancy ever reached
+
+    def __repr__(self):
+        return "Fifo(%r, %d/%d)" % (self.name, len(self._items), self.capacity)
+
+    def __len__(self):
+        return len(self._items)
+
+    @property
+    def free(self):
+        """Number of empty slots."""
+        return self.capacity - len(self._items)
+
+    def peek(self):
+        """The oldest item without removing it; None when empty."""
+        return self._items[0] if self._items else None
+
+    # -- non-blocking interface --------------------------------------------
+
+    def nb_put(self, item):
+        """Append *item* if a slot is free. Returns success."""
+        if len(self._items) >= self.capacity:
+            self.rejected_count += 1
+            return False
+        self._items.append(item)
+        self.put_count += 1
+        if len(self._items) > self.high_water:
+            self.high_water = len(self._items)
+        self.data_written.notify_delta()
+        return True
+
+    def nb_get(self):
+        """Remove and return the oldest item, or None when empty."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        self.get_count += 1
+        self.data_read.notify_delta()
+        return item
+
+    # -- blocking interface (thread processes, via ``yield from``) ----------
+
+    def put(self, item):
+        """Blocking write: suspends the calling thread until a slot frees."""
+        while not self.nb_put(item):
+            yield self.data_read
+
+    def get(self):
+        """Blocking read: suspends the calling thread until data arrives.
+
+        Usage: ``item = yield from fifo.get()``.
+        """
+        while True:
+            item = self.nb_get()
+            if item is not None:
+                return item
+            yield self.data_written

@@ -1,0 +1,31 @@
+"""Kernel extension hooks.
+
+The paper's two schemes are implemented as *modifications of the SystemC
+scheduler* (Figures 3 and 5).  Our kernel exposes those exact insertion
+points as a hook interface, so that the schemes in :mod:`repro.cosim`
+extend the scheduler without the user's SystemC code being aware of them
+— the property the paper calls "transparent to the SystemC code written
+by the user".
+"""
+
+
+class KernelHook:
+    """Base class for scheduler extensions.
+
+    Subclasses override any of the three callbacks; the defaults do
+    nothing so a hook only pays for what it uses.
+    """
+
+    def on_cycle_begin(self, kernel):
+        """Called at the beginning of every simulation (delta) cycle,
+        before evaluate — where GDB-Kernel polls the breakpoint pipe
+        (Fig. 3) and Driver-Kernel drains driver messages (Fig. 5)."""
+
+    def on_cycle_end(self, kernel):
+        """Called after update/delta-notification of every cycle — where
+        Driver-Kernel checks for interrupts raised by hardware and
+        forwards them on the interrupt socket (Fig. 5)."""
+
+    def on_time_advance(self, kernel):
+        """Called whenever simulated time advances to a new timestep —
+        where co-simulation bindings grant the ISS its cycle budget."""

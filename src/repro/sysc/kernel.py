@@ -1,0 +1,299 @@
+"""The discrete-event scheduler.
+
+The scheduler implements the SystemC evaluate/update/delta-notify loop:
+
+1. *evaluate* — run every runnable process to completion/suspension;
+2. *update*   — apply pending signal writes;
+3. *delta notification* — trigger events notified with delta semantics,
+   making their waiters runnable for the next delta cycle;
+4. if nothing is runnable, advance time to the earliest timed event.
+
+Co-simulation hooks (:class:`~repro.sysc.hooks.KernelHook`) are invoked
+at the two points the paper patches (Figures 3 and 5): the *beginning*
+of every simulation cycle, before event handling, and the *end* of the
+cycle, after event handling — where the Driver-Kernel scheme checks for
+pending interrupts.
+"""
+
+import heapq
+import itertools
+from collections import deque
+
+from repro.errors import ReproError, SimulationError
+from repro.sysc.process import Process, ProcessKind
+from repro.sysc.simtime import check_duration, format_time
+
+_current = None
+
+
+def current_kernel():
+    """Return the kernel most recently constructed or installed."""
+    if _current is None:
+        raise SimulationError(
+            "no simulation kernel exists; construct a repro.sysc.Kernel first"
+        )
+    return _current
+
+
+def set_current_kernel(kernel):
+    """Install *kernel* as the ambient simulation context (or None)."""
+    global _current
+    _current = kernel
+
+
+class Kernel:
+    """A single-threaded discrete-event simulation kernel."""
+
+    def __init__(self, name="kernel"):
+        self.name = name
+        self.now = 0
+        self.delta_count = 0
+        self.timestep_count = 0
+        self.hooks = []
+        self.modules = []
+        self.processes = []
+        self.trace_sinks = []
+        self._runnable = deque()
+        self._update_queue = []
+        self._delta_events = []
+        self._delta_processes = []
+        self._timed = []
+        self._seq = itertools.count()
+        self._started = False
+        self._stop_requested = False
+        self._running_process = None
+        set_current_kernel(self)
+
+    def __repr__(self):
+        return "Kernel(%r, now=%s)" % (self.name, format_time(self.now))
+
+    # -- registration ------------------------------------------------------
+
+    def add_hook(self, hook):
+        """Attach a scheduler extension hook (paper Sections 3.3 / 4.2)."""
+        self.hooks.append(hook)
+        return hook
+
+    def remove_hook(self, hook):
+        """Detach a scheduler extension hook."""
+        self.hooks.remove(hook)
+
+    def add_module(self, module):
+        """Register a module with the kernel (done by Module)."""
+        self.modules.append(module)
+
+    def add_trace(self, sink):
+        """Attach a trace sink sampled at every timestep."""
+        self.trace_sinks.append(sink)
+        return sink
+
+    def add_process(self, name, kind, func, sensitivity=(), dont_initialize=False):
+        """Create and register a process directly on the kernel."""
+        if self._started:
+            raise SimulationError(
+                "cannot create process %r after simulation has started" % name
+            )
+        process = Process(name, kind, func, sensitivity, dont_initialize)
+        self.processes.append(process)
+        return process
+
+    def add_method(self, name, func, sensitivity=(), dont_initialize=False):
+        """Create a method (sc_method-like) process on the kernel."""
+        return self.add_process(
+            name, ProcessKind.METHOD, func, sensitivity, dont_initialize
+        )
+
+    def add_thread(self, name, func):
+        """Create a thread (sc_thread-like) process on the kernel."""
+        return self.add_process(name, ProcessKind.THREAD, func)
+
+    # -- scheduling primitives (used by Event/Signal/Process) ---------------
+
+    def _make_runnable(self, process, triggering_event=None):
+        if process.terminated or process._queued:
+            return
+        process._queued = True
+        self._runnable.append(process)
+
+    def _queue_delta_event(self, event):
+        if event not in self._delta_events:
+            self._delta_events.append(event)
+
+    def _queue_delta_process(self, process):
+        self._delta_processes.append(process)
+
+    def _queue_timed_event(self, event, delay):
+        heapq.heappush(self._timed, (self.now + delay, next(self._seq), event))
+
+    def _queue_timed_process(self, process, delay):
+        process._waiting_timeout = True
+        heapq.heappush(self._timed, (self.now + delay, next(self._seq), process))
+
+    def _queue_update(self, signal):
+        self._update_queue.append(signal)
+
+    def _cancel_event(self, event):
+        if event in self._delta_events:
+            self._delta_events.remove(event)
+        self._timed = [entry for entry in self._timed if entry[2] is not event]
+        heapq.heapify(self._timed)
+
+    # -- queries -------------------------------------------------------------
+
+    def pending_activity(self):
+        """True if any process can still run now or in the future."""
+        return bool(
+            self._runnable
+            or self._update_queue
+            or self._delta_events
+            or self._delta_processes
+            or self._timed
+        )
+
+    def next_event_time(self):
+        """Absolute time of the earliest timed event, or None."""
+        return self._timed[0][0] if self._timed else None
+
+    def stop(self):
+        """Request simulation stop (sc_stop): honoured at cycle boundary."""
+        self._stop_requested = True
+
+    def describe(self):
+        """A text tree of the elaborated design (for debugging)."""
+        lines = ["kernel %r (now=%s, %d deltas)"
+                 % (self.name, format_time(self.now), self.delta_count)]
+        top_level = [m for m in self.modules
+                     if not any(m in parent.children
+                                for parent in self.modules)]
+
+        def walk(module, depth):
+            indent = "  " * depth
+            lines.append("%s- %s (%s, %d processes)"
+                         % (indent, module.name, type(module).__name__,
+                            len(module.processes)))
+            for process in module.processes:
+                state = "terminated" if process.terminated else "alive"
+                lines.append("%s    * %s [%s, %s]"
+                             % (indent, process.name, process.kind.value,
+                                state))
+            for child in module.children:
+                walk(child, depth + 1)
+
+        for module in top_level:
+            walk(module, 1)
+        orphans = [p for p in self.processes
+                   if not any(p in m.processes for m in self.modules)]
+        for process in orphans:
+            lines.append("  * %s [%s, kernel-owned]"
+                         % (process.name, process.kind.value))
+        for hook in self.hooks:
+            lines.append("  + hook %s" % type(hook).__name__)
+        return "\n".join(lines)
+
+    # -- the scheduler --------------------------------------------------------
+
+    def _initialize(self):
+        self._started = True
+        for process in self.processes:
+            if not process.dont_initialize:
+                self._make_runnable(process)
+
+    def _evaluate(self):
+        while self._runnable:
+            process = self._runnable.popleft()
+            process._queued = False
+            self._running_process = process
+            try:
+                process.run(self)
+            except ReproError as error:
+                # Attach simulation context to model/guest errors so a
+                # failure names its process and time, then terminate
+                # the process so the kernel stays usable.
+                process.terminated = True
+                raise type(error)(
+                    "%s [in process %r at %s]"
+                    % (error, process.name, format_time(self.now))
+                ) from error
+            finally:
+                self._running_process = None
+
+    def _update(self):
+        if not self._update_queue:
+            return
+        queue, self._update_queue = self._update_queue, []
+        for signal in queue:
+            signal._apply_update()
+
+    def _delta_notify(self):
+        if self._delta_events:
+            events, self._delta_events = self._delta_events, []
+            for event in events:
+                event._trigger()
+        if self._delta_processes:
+            procs, self._delta_processes = self._delta_processes, []
+            for process in procs:
+                self._make_runnable(process)
+
+    def _advance_time(self):
+        """Pop all timed entries at the earliest timestamp; trigger them."""
+        target_time = self._timed[0][0]
+        if target_time < self.now:
+            raise SimulationError("timed event in the past: %d < %d"
+                                  % (target_time, self.now))
+        self.now = target_time
+        self.timestep_count += 1
+        while self._timed and self._timed[0][0] == target_time:
+            __, __, entry = heapq.heappop(self._timed)
+            if isinstance(entry, Process):
+                entry._waiting_timeout = False
+                self._make_runnable(entry)
+            else:
+                entry._trigger()
+        for hook in self.hooks:
+            hook.on_time_advance(self)
+        for sink in self.trace_sinks:
+            sink.sample(self)
+
+    def run(self, duration=None, max_deltas=None):
+        """Run the simulation.
+
+        *duration* bounds simulated time (relative, femtoseconds); when
+        omitted the kernel runs until event starvation or :meth:`stop`.
+        *max_deltas* bounds the total number of delta cycles, which
+        guards against combinational loops in tests.
+        """
+        end_time = None
+        if duration is not None:
+            check_duration(duration)
+            end_time = self.now + duration
+        if not self._started:
+            self._initialize()
+        deltas_executed = 0
+        while not self._stop_requested:
+            for hook in self.hooks:
+                hook.on_cycle_begin(self)
+            self._evaluate()
+            self._update()
+            self._delta_notify()
+            for hook in self.hooks:
+                hook.on_cycle_end(self)
+            self.delta_count += 1
+            deltas_executed += 1
+            if self._stop_requested:
+                break
+            if max_deltas is not None and deltas_executed >= max_deltas:
+                break
+            if self._runnable:
+                continue
+            if not self._timed:
+                break
+            if end_time is not None and self._timed[0][0] > end_time:
+                # Do not consume events beyond the horizon; leave them for
+                # a later run() call and settle the clock at the horizon.
+                self.now = end_time
+                break
+            self._advance_time()
+        if end_time is not None and self.now < end_time and not self._stop_requested:
+            self.now = end_time
+        self._stop_requested = False
+        return self.now

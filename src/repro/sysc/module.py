@@ -1,0 +1,52 @@
+"""Module base class (sc_module).
+
+A module is a named container for processes, ports and child modules.
+Behaviour is registered with :meth:`Module.method` (sc_method-like) and
+:meth:`Module.thread` (sc_thread-like, generator functions).
+"""
+
+from repro.sysc.kernel import current_kernel
+from repro.sysc.process import ProcessKind
+
+
+class Module:
+    """A hierarchical design unit owning processes."""
+
+    def __init__(self, name, kernel=None):
+        self.name = name
+        self.kernel = kernel if kernel is not None else current_kernel()
+        self.children = []
+        self.processes = []
+        self.kernel.add_module(self)
+
+    def __repr__(self):
+        return "%s(%r)" % (type(self).__name__, self.name)
+
+    def add_child(self, module):
+        """Register *module* as a child; returns it."""
+        self.children.append(module)
+        return module
+
+    def method(self, func, sensitive=(), dont_initialize=False, name=None):
+        """Register a method process sensitive to the given events/ports."""
+        events = [item.changed if hasattr(item, "changed") else item
+                  for item in sensitive]
+        process = self.kernel.add_process(
+            "%s.%s" % (self.name, name or func.__name__),
+            ProcessKind.METHOD,
+            func,
+            events,
+            dont_initialize,
+        )
+        self.processes.append(process)
+        return process
+
+    def thread(self, func, name=None):
+        """Register a thread process (a generator function)."""
+        process = self.kernel.add_process(
+            "%s.%s" % (self.name, name or func.__name__),
+            ProcessKind.THREAD,
+            func,
+        )
+        self.processes.append(process)
+        return process

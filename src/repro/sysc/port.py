@@ -1,0 +1,78 @@
+"""Ports: typed access points of modules, bound to signals.
+
+``InPort`` / ``OutPort`` mirror sc_in / sc_out: they carry no state of
+their own and delegate reads and writes to the bound signal.  The
+co-simulation port types of the paper (``iss_in`` / ``iss_out``,
+Section 3.1) derive from these classes in :mod:`repro.cosim.ports`.
+"""
+
+from repro.errors import BindingError
+from repro.sysc.signal import Signal
+
+
+class PortBase:
+    """Common binding behaviour of input and output ports."""
+
+    direction = "port"
+
+    def __init__(self, name="port"):
+        self.name = name
+        self._signal = None
+
+    def __repr__(self):
+        bound = self._signal.name if self._signal is not None else "<unbound>"
+        return "%s(%r -> %s)" % (type(self).__name__, self.name, bound)
+
+    def bind(self, signal):
+        """Bind this port to *signal*; a port binds exactly once."""
+        if self._signal is not None:
+            raise BindingError("port %r is already bound" % self.name)
+        if not isinstance(signal, Signal):
+            raise BindingError(
+                "port %r must bind to a Signal, got %r" % (self.name, signal)
+            )
+        self._signal = signal
+        return self
+
+    @property
+    def bound(self):
+        return self._signal is not None
+
+    @property
+    def signal(self):
+        if self._signal is None:
+            raise BindingError("port %r is not bound" % self.name)
+        return self._signal
+
+    @property
+    def changed(self):
+        """The bound signal's value-changed event (for sensitivity)."""
+        return self.signal.changed
+
+
+class InPort(PortBase):
+    """Read-only access to a bound signal (sc_in)."""
+
+    direction = "in"
+
+    def read(self):
+        """Current value of the bound signal."""
+        return self.signal.read()
+
+    @property
+    def value(self):
+        return self.signal.read()
+
+
+class OutPort(PortBase):
+    """Write access to a bound signal (sc_out)."""
+
+    direction = "out"
+
+    def read(self):
+        """Current value of the bound signal."""
+        return self.signal.read()
+
+    def write(self, value):
+        """Schedule a write on the bound signal (update phase)."""
+        self.signal.write(value)

@@ -1,0 +1,155 @@
+"""Simulation processes.
+
+Two process kinds mirror SystemC:
+
+- ``METHOD`` (sc_method): a plain callable, re-invoked from the top on
+  every trigger; it never suspends.
+- ``THREAD`` (sc_thread): a generator that suspends by yielding a wait
+  condition and resumes when it is satisfied.
+
+Thread wait conditions (the values a thread may ``yield``):
+
+- an :class:`~repro.sysc.event.Event` — wait for that event;
+- a tuple/list of events — wait for *any* of them;
+- an ``int`` — wait for that many femtoseconds;
+- a tuple/list mixing events and one ``int`` — wait for any event OR
+  the timeout, whichever first (the sc_thread wait-with-timeout);
+- ``None`` — wait one delta cycle.
+"""
+
+import enum
+
+from repro.errors import SimulationError
+from repro.sysc.event import Event
+from repro.sysc.simtime import check_duration
+
+
+class ProcessKind(enum.Enum):
+    """The two SystemC process flavours."""
+    METHOD = "method"
+    THREAD = "thread"
+
+
+class Process:
+    """A schedulable unit of behaviour owned by a module or the kernel."""
+
+    def __init__(self, name, kind, func, sensitivity=(), dont_initialize=False):
+        self.name = name
+        self.kind = kind
+        self.func = func
+        self.dont_initialize = dont_initialize
+        self.static_sensitivity = list(sensitivity)
+        self.terminated = False
+        self.trigger_count = 0
+        # Scheduling state, managed by the kernel.
+        self._queued = False
+        self._generator = None
+        # Events this thread is dynamically waiting on (cleared on wake).
+        self._wait_events = []
+        self._waiting_timeout = False
+        # One-shot timeout event of a wait-any-with-timeout, if active.
+        self._timeout_event = None
+        for event in self.static_sensitivity:
+            event.add_static(self)
+
+    def __repr__(self):
+        return "Process(%r, %s)" % (self.name, self.kind.value)
+
+    # -- sensitivity ------------------------------------------------------
+
+    def make_sensitive_to(self, event):
+        """Add *event* to this process's static sensitivity list."""
+        if event not in self.static_sensitivity:
+            self.static_sensitivity.append(event)
+            event.add_static(self)
+
+    # -- dynamic wait bookkeeping ----------------------------------------
+
+    def _dynamic_triggered(self, event):
+        """One of our dynamic wait events fired; clear the others."""
+        for other in self._wait_events:
+            if other is not event:
+                other.remove_dynamic(self)
+        self._wait_events = []
+        if self._timeout_event is not None:
+            if self._timeout_event is not event:
+                # Woken by a real event: drop the pending timeout so it
+                # does not accumulate in the kernel's timed queue.
+                self._timeout_event.cancel()
+            self._timeout_event = None
+
+    def _begin_dynamic_wait(self, events):
+        self._wait_events = list(events)
+        for event in self._wait_events:
+            event.add_dynamic(self)
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, kernel):
+        """Execute one activation. Returns when the process suspends."""
+        if self.terminated:
+            return
+        self.trigger_count += 1
+        if self.kind is ProcessKind.METHOD:
+            self.func()
+            return
+        if self._generator is None:
+            self._generator = self.func()
+            if self._generator is None:
+                # A thread function that returns immediately is legal but
+                # one-shot: it terminates on its first activation.
+                self.terminated = True
+                return
+        try:
+            condition = next(self._generator)
+        except StopIteration:
+            self.terminated = True
+            return
+        self._suspend_on(kernel, condition)
+
+    def _suspend_on(self, kernel, condition):
+        """Register the wait condition yielded by a thread."""
+        if condition is None:
+            kernel._queue_delta_process(self)
+        elif isinstance(condition, Event):
+            self._begin_dynamic_wait((condition,))
+        elif isinstance(condition, (tuple, list)):
+            if not condition:
+                raise SimulationError(
+                    "thread %r yielded an empty wait list" % self.name
+                )
+            events = []
+            timeout = None
+            for item in condition:
+                if isinstance(item, Event):
+                    events.append(item)
+                elif isinstance(item, int):
+                    if timeout is not None:
+                        raise SimulationError(
+                            "thread %r yielded a wait list with more than "
+                            "one timeout" % self.name
+                        )
+                    check_duration(item)
+                    timeout = item
+                else:
+                    raise SimulationError(
+                        "thread %r yielded a wait list containing %r; only "
+                        "events and one timeout are allowed"
+                        % (self.name, item)
+                    )
+            if timeout is not None:
+                # Wait-any with timeout: a one-shot event fires at the
+                # deadline and competes with the real events.
+                timeout_event = Event("%s.timeout" % self.name)
+                timeout_event.notify_after(timeout)
+                events.append(timeout_event)
+                self._timeout_event = timeout_event
+            self._begin_dynamic_wait(events)
+        elif isinstance(condition, int):
+            check_duration(condition)
+            kernel._queue_timed_process(self, condition)
+        else:
+            raise SimulationError(
+                "thread %r yielded unsupported wait condition %r"
+                % (self.name, condition)
+            )

@@ -1,0 +1,55 @@
+"""Structured reporting (sc_report-like).
+
+Models, testbenches and the co-simulation layers emit diagnostics
+through a shared :class:`Report` object so that tests can assert on
+them and benchmarks can silence them.
+"""
+
+import enum
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity levels, ordered."""
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+    FATAL = 3
+
+
+class Report:
+    """Collects (severity, source, message) records."""
+
+    def __init__(self, echo=False, min_severity=Severity.INFO):
+        self.echo = echo
+        self.min_severity = min_severity
+        self.records = []
+        self.counts = {severity: 0 for severity in Severity}
+
+    def emit(self, severity, source, message):
+        """Record a diagnostic; echo it when enabled."""
+        self.counts[severity] += 1
+        if severity >= self.min_severity:
+            self.records.append((severity, source, message))
+            if self.echo:
+                print("[%s] %s: %s" % (severity.name, source, message))
+
+    def info(self, source, message):
+        """Record an INFO diagnostic."""
+        self.emit(Severity.INFO, source, message)
+
+    def warning(self, source, message):
+        """Record a WARNING diagnostic."""
+        self.emit(Severity.WARNING, source, message)
+
+    def error(self, source, message):
+        """Record an ERROR diagnostic."""
+        self.emit(Severity.ERROR, source, message)
+
+    def fatal(self, source, message):
+        """Record a FATAL diagnostic."""
+        self.emit(Severity.FATAL, source, message)
+
+    def messages(self, severity=None):
+        """All recorded messages, optionally filtered by severity."""
+        return [message for (sev, __, message) in self.records
+                if severity is None or sev == severity]

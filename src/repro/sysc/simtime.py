@@ -1,0 +1,42 @@
+"""Simulation time units.
+
+Time is a plain non-negative ``int`` counted in femtoseconds, the finest
+unit SystemC supports.  The constants below convert the usual units to
+the base unit, e.g. ``10 * NS`` is ten nanoseconds.
+"""
+
+FS = 1
+PS = 1000 * FS
+NS = 1000 * PS
+US = 1000 * NS
+MS = 1000 * US
+SEC = 1000 * MS
+
+_UNIT_NAMES = [(SEC, "s"), (MS, "ms"), (US, "us"), (NS, "ns"), (PS, "ps"), (FS, "fs")]
+
+
+def format_time(time_fs):
+    """Render a femtosecond count using the largest unit that divides it.
+
+    >>> format_time(5 * NS)
+    '5 ns'
+    >>> format_time(1500 * PS)
+    '1500 ps'
+    """
+    if time_fs < 0:
+        raise ValueError("simulation time cannot be negative: %r" % (time_fs,))
+    if time_fs == 0:
+        return "0 s"
+    for scale, suffix in _UNIT_NAMES:
+        if time_fs % scale == 0:
+            return "%d %s" % (time_fs // scale, suffix)
+    return "%d fs" % time_fs
+
+
+def check_duration(duration):
+    """Validate a relative time value; returns it unchanged."""
+    if not isinstance(duration, int):
+        raise TypeError("time must be an int of femtoseconds, got %r" % (duration,))
+    if duration < 0:
+        raise ValueError("time must be non-negative, got %d" % duration)
+    return duration

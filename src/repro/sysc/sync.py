@@ -1,0 +1,89 @@
+"""Synchronisation channels for thread processes (sc_mutex/sc_semaphore).
+
+These serve SystemC-side *hardware model* threads; guest-software
+synchronisation lives in :mod:`repro.rtos.sync`.
+
+Blocking acquire uses the ``yield from`` discipline of the rest of the
+kernel::
+
+    yield from mutex.lock()
+    ... critical section ...
+    mutex.unlock()
+"""
+
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.sysc.event import Event
+
+
+class Mutex:
+    """A non-recursive mutex with FIFO granting."""
+
+    def __init__(self, name="mutex", kernel=None):
+        self.name = name
+        self._locked = False
+        self._released = Event(name + ".released", kernel)
+        self.lock_count = 0
+        self.contention_count = 0
+
+    @property
+    def locked(self):
+        return self._locked
+
+    def try_lock(self):
+        """Non-blocking acquire; returns success."""
+        if self._locked:
+            return False
+        self._locked = True
+        self.lock_count += 1
+        return True
+
+    def lock(self):
+        """Blocking acquire (``yield from``)."""
+        while not self.try_lock():
+            self.contention_count += 1
+            yield self._released
+
+    def unlock(self):
+        """Release the mutex; wakes the next waiter."""
+        if not self._locked:
+            raise SimulationError("mutex %r unlocked while free" % self.name)
+        self._locked = False
+        self._released.notify()
+
+
+class Semaphore:
+    """A counting semaphore for thread processes."""
+
+    def __init__(self, initial=0, name="semaphore", kernel=None):
+        if initial < 0:
+            raise SimulationError("semaphore count must be >= 0")
+        self.name = name
+        self._count = initial
+        self._posted = Event(name + ".posted", kernel)
+        self.wait_count = 0
+        self.post_count = 0
+
+    @property
+    def count(self):
+        return self._count
+
+    def try_wait(self):
+        """Non-blocking acquire; returns success."""
+        if self._count == 0:
+            return False
+        self._count -= 1
+        self.wait_count += 1
+        return True
+
+    def wait(self):
+        """Blocking acquire (``yield from``)."""
+        while not self.try_wait():
+            yield self._posted
+
+    def post(self):
+        """Release one unit; wakes a waiter if any."""
+        self._count += 1
+        self.post_count += 1
+        self._posted.notify()

@@ -1,0 +1,58 @@
+"""Fast sanity tests of the Table 1 / Figure 7 harnesses.
+
+The benchmarks regenerate the full tables; these tests only check the
+harness mechanics and the headline orderings on reduced workloads.
+"""
+
+from repro.analysis.fig7 import min_delay_for_percent, run_fig7, run_point
+from repro.analysis.table1 import run_once, run_table1
+from repro.sysc.simtime import MS, US
+
+
+class TestTable1Harness:
+    def test_run_once_returns_wall_and_packets(self):
+        wall, forwarded = run_once("local", 1 * MS, delay=20 * US)
+        assert wall > 0 and forwarded > 0
+
+    def test_rows_cover_all_schemes_and_lengths(self):
+        rows = run_table1(sim_times=(200 * US, 400 * US),
+                          schemes=("local", "gdb-kernel"))
+        assert [row.scheme for row in rows] == ["local", "gdb-kernel"]
+        assert all(len(row.wall_seconds) == 2 for row in rows)
+
+    def test_speedup_computation(self):
+        rows = run_table1(sim_times=(200 * US,),
+                          schemes=("gdb-wrapper", "driver-kernel"))
+        speedups = rows[1].speedup_against(rows[0])
+        assert len(speedups) == 1 and speedups[0] > 0
+
+
+class TestFig7Harness:
+    def test_point_measures_forwarding(self):
+        point = run_point("local", 20 * US, sim_time=500 * US)
+        assert point.generated > 0
+        assert 0 <= point.forwarded_percent <= 100
+
+    def test_sweep_structure(self):
+        data = run_fig7(delays=(20 * US, 40 * US),
+                        schemes=("local",), sim_time=300 * US)
+        assert set(data) == {"local"}
+        assert [p.delay for p in data["local"]] == [20 * US, 40 * US]
+
+    def test_forwarding_monotone_with_delay_for_local(self):
+        data = run_fig7(delays=(5 * US, 50 * US), schemes=("local",),
+                        sim_time=500 * US)
+        points = data["local"]
+        assert points[0].forwarded_percent <= \
+            points[1].forwarded_percent + 1.0
+
+    def test_min_delay_for_percent(self):
+        data = run_fig7(delays=(5 * US, 50 * US), schemes=("local",),
+                        sim_time=500 * US)
+        delay = min_delay_for_percent(data["local"], 50.0)
+        assert delay in (5 * US, 50 * US)
+
+    def test_min_delay_unreachable_returns_none(self):
+        data = run_fig7(delays=(5 * US,), schemes=("local",),
+                        sim_time=300 * US)
+        assert min_delay_for_percent(data["local"], 1000.0) is None

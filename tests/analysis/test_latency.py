@@ -1,0 +1,30 @@
+from repro.analysis.latency import (LatencyPoint, run_latency, run_point)
+from repro.sysc.simtime import MS, US
+
+
+class TestLatencyHarness:
+    def test_point_structure(self):
+        point = run_point("local", 20 * US, sim_time=500 * US)
+        assert point.samples > 0
+        assert point.mean_fs >= 0
+        assert point.p50_fs <= point.p95_fs <= point.max_fs
+
+    def test_empty_run_gives_zero_point(self):
+        point = run_point("local", 400 * US, sim_time=100 * US)
+        # At most a handful of packets; possibly zero received yet.
+        assert isinstance(point, LatencyPoint)
+
+    def test_sweep_structure(self):
+        data = run_latency(delays=(30 * US,), schemes=("local",),
+                           sim_time=500 * US)
+        assert set(data) == {"local"}
+        assert len(data["local"]) == 1
+
+    def test_driver_kernel_latency_above_gdb_kernel(self):
+        gdb = run_point("gdb-kernel", 40 * US, sim_time=1 * MS)
+        driver = run_point("driver-kernel", 40 * US, sim_time=1 * MS)
+        assert driver.mean_fs > gdb.mean_fs
+
+    def test_mean_us_helper(self):
+        point = LatencyPoint("x", 0, 1, 2 * US, 2 * US, 2 * US, 2 * US)
+        assert point.mean_us() == 2.0

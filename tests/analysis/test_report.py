@@ -1,0 +1,62 @@
+"""The report generator (structure-level tests; fast stubs)."""
+
+from repro.analysis import report as report_module
+from repro.analysis.fig7 import Fig7Point
+from repro.analysis.latency import LatencyPoint
+from repro.analysis.table1 import Table1Row
+from repro.sysc.simtime import MS, US
+
+
+def _stub_experiments(monkeypatch):
+    def fake_table1(sim_times):
+        return [Table1Row(scheme, tuple(sim_times),
+                          tuple(base * (i + 1) for i in
+                                range(len(sim_times))),
+                          tuple(100 for __ in sim_times))
+                for scheme, base in (("gdb-wrapper", 0.4),
+                                     ("gdb-kernel", 0.3),
+                                     ("driver-kernel", 0.15))]
+
+    def fake_fig7(sim_time):
+        return {scheme: [Fig7Point(scheme, d * US, 100, 90, 90.0)
+                         for d in (5, 10)]
+                for scheme in ("gdb-kernel", "driver-kernel")}
+
+    def fake_latency(sim_time):
+        return {scheme: [LatencyPoint(scheme, 40 * US, 100, 2 * US,
+                                      2 * US, 3 * US, 4 * US)]
+                for scheme in ("local", "gdb-kernel", "driver-kernel")}
+
+    monkeypatch.setattr(report_module, "run_table1", fake_table1)
+    monkeypatch.setattr(report_module, "run_fig7", fake_fig7)
+    monkeypatch.setattr(report_module, "run_latency", fake_latency)
+
+
+class TestGenerateReport:
+    def test_sections_present(self, monkeypatch):
+        _stub_experiments(monkeypatch)
+        text = report_module.generate_report(quick=True)
+        for heading in ("# Reproduction report",
+                        "## Table 1", "## Figure 7",
+                        "## Packet latency", "## Section 5"):
+            assert heading in text
+
+    def test_speedups_computed_against_baseline(self, monkeypatch):
+        _stub_experiments(monkeypatch)
+        text = report_module.generate_report(quick=True)
+        # 0.4 / 0.3 and 0.4 / 0.15 from the stubbed walls.
+        assert "1.33x" in text
+        assert "2.67x" in text
+
+    def test_markdown_tables_well_formed(self, monkeypatch):
+        _stub_experiments(monkeypatch)
+        text = report_module.generate_report(quick=True)
+        for line in text.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_loc_section_uses_real_measurement(self, monkeypatch):
+        _stub_experiments(monkeypatch)
+        text = report_module.generate_report(quick=True)
+        assert "paper ~+40%" in text
+        assert "paper ~9x in C" in text

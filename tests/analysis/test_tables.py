@@ -1,0 +1,25 @@
+import pytest
+
+from repro.analysis.tables import render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(["name", "value"],
+                            [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "------" in lines[1]
+        assert "longer" in lines[2 + 1]
+
+    def test_title_prepended(self):
+        text = render_table(["x"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text

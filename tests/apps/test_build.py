@@ -1,0 +1,35 @@
+from repro.apps.build import build_driver_app, build_gdb_app
+from repro.router.packet import PACKET_WORDS
+
+
+class TestBuildGdbApp:
+    def test_pragma_map_complete(self):
+        app = build_gdb_app()
+        assert len(app.pragma_map.bindings) == PACKET_WORDS + 2
+
+    def test_breakpoints_inside_code(self):
+        app = build_gdb_app()
+        base, image = app.program.flatten()
+        for address in app.pragma_map.breakpoint_addresses():
+            assert base <= address < base + len(image)
+
+    def test_entry_matches_program(self):
+        app = build_gdb_app()
+        assert app.entry == app.program.entry == 0x1000
+
+    def test_variables_resolve(self):
+        app = build_gdb_app()
+        for binding in app.pragma_map.bindings:
+            assert binding.variable_address == \
+                app.symbols.variable_address(binding.variable)
+
+
+class TestBuildDriverApp:
+    def test_empty_pragma_map(self):
+        app = build_driver_app()
+        assert app.pragma_map.bindings == []
+        assert app.pragma_map.breakpoint_addresses() == []
+
+    def test_source_preserved(self):
+        app = build_driver_app()
+        assert "sys  SYS_DEV_READ" in app.source

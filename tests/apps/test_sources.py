@@ -1,0 +1,52 @@
+from repro.apps.sources import (checksum_routine, driver_app_source,
+                                gdb_app_source)
+from repro.iss.assembler import assemble
+from repro.router.packet import PACKET_WORDS
+
+
+class TestSourcesAssemble:
+    def test_gdb_app_assembles(self):
+        program = assemble(gdb_app_source())
+        assert program.entry == 0x1000
+        assert program.size > 0
+
+    def test_driver_app_assembles(self):
+        program = assemble(driver_app_source())
+        assert "isr" in program.symbols.labels
+        assert "main" in program.symbols.labels
+
+    def test_checksum_routine_shared_verbatim(self):
+        """The inner loop must be textually identical in both apps so
+        measured differences come only from the scheme/OS."""
+        routine = checksum_routine()
+        assert routine in gdb_app_source()
+        assert routine in driver_app_source()
+
+
+class TestGdbAppStructure:
+    def test_one_pragma_per_word_plus_len_and_result(self):
+        program = assemble(gdb_app_source())
+        kinds = [p.kind for p in program.pragmas]
+        assert kinds.count("iss_out") == PACKET_WORDS + 1  # words + len
+        assert kinds.count("iss_in") == 1                  # result
+
+    def test_word_variables_consecutive(self):
+        program = assemble(gdb_app_source())
+        addresses = [program.symbols.variable_address("pkt_w%d" % i)
+                     for i in range(PACKET_WORDS)]
+        deltas = [b - a for a, b in zip(addresses, addresses[1:])]
+        assert deltas == [4] * (PACKET_WORDS - 1)
+
+    def test_custom_origin(self):
+        program = assemble(gdb_app_source(origin=0x2000))
+        assert program.entry == 0x2000
+
+
+class TestDriverAppStructure:
+    def test_buffer_large_enough_for_packet(self):
+        program = assemble(driver_app_source())
+        __, size = program.symbols.data_symbols["buf"]
+        assert size >= 4 * PACKET_WORDS
+
+    def test_no_pragmas_in_driver_app(self):
+        assert assemble(driver_app_source()).pragmas == []

@@ -1,0 +1,83 @@
+import pytest
+
+from repro.bus.bridge import CpuBusBridge
+from repro.bus.bus import SharedBus
+from repro.bus.slave import MemorySlave, RegisterSlave
+from repro.errors import SimulationError
+from repro.sysc.simtime import NS
+from tests.support import make_cpu, run_to_halt
+
+# The guest pokes a bus device through its MMIO window at 0x80000.
+GUEST = """
+        .entry main
+main:
+        li32 r1, 0x80000
+        li   r0, 123
+        sw   r0, [r1]        ; write bus RAM word 0
+        lw   r2, [r1]        ; read it back
+        sw   r2, [r1 + 4]    ; copy to word 1
+        halt
+"""
+
+
+@pytest.fixture
+def soc(kernel):
+    cpu, program, __ = make_cpu(GUEST)
+    bus = SharedBus(transfer_time=100 * NS)
+    ram = bus.add_slave(MemorySlave(256, "busram"), 0x4000, 256)
+    bridge = CpuBusBridge(cpu, bus, guest_base=0x80000, bus_base=0x4000,
+                          size=256, master_id=0, cpu_hz=100_000_000)
+    return cpu, bus, ram, bridge
+
+
+class TestBridge:
+    def test_guest_reaches_bus_slave(self, soc):
+        cpu, bus, ram, bridge = soc
+        run_to_halt(cpu)
+        assert ram.read_word(0) == 123
+        assert ram.read_word(4) == 123
+        assert cpu.regs[2] == 123
+
+    def test_wait_states_charged_to_guest(self, soc):
+        cpu, bus, ram, bridge = soc
+        run_to_halt(cpu)
+        # 3 accesses x 100 ns at 100 MHz = 10 cycles each.
+        assert bridge.wait_cycles_total == 30
+        # And they are included in the CPU's cycle counter.
+        assert cpu.cycles > 30
+
+    def test_bus_accounting_sees_cpu_master(self, soc):
+        cpu, bus, ram, bridge = soc
+        run_to_halt(cpu)
+        assert bus.per_master_transfers == {0: 3}
+        assert bus.immediate_count == 3
+
+    def test_byte_store_rejected(self, soc):
+        cpu, bus, ram, bridge = soc
+        with pytest.raises(SimulationError):
+            cpu.memory.store_byte(0x80000, 1)
+
+    def test_register_slave_behind_bridge(self, kernel):
+        cpu, program, __ = make_cpu(GUEST)
+        bus = SharedBus(transfer_time=50 * NS)
+        log = []
+        regs = RegisterSlave("dev")
+        regs.define(0, read=lambda: 123, write=log.append)
+        regs.define(4, write=log.append)
+        bus.add_slave(regs, 0, 64)
+        CpuBusBridge(cpu, bus, 0x80000, 0, 64, cpu_hz=100_000_000)
+        run_to_halt(cpu)
+        assert log == [123, 123]
+
+    def test_two_cpus_share_one_bus(self, kernel):
+        cpu_a, __, __ = make_cpu(GUEST)
+        cpu_b, __, __ = make_cpu(GUEST.replace("123", "77"))
+        bus = SharedBus(transfer_time=100 * NS)
+        ram = bus.add_slave(MemorySlave(256, "shared"), 0, 256)
+        CpuBusBridge(cpu_a, bus, 0x80000, 0, 128, master_id=0)
+        CpuBusBridge(cpu_b, bus, 0x80000, 128, 128, master_id=1)
+        run_to_halt(cpu_a)
+        run_to_halt(cpu_b)
+        assert ram.read_word(0) == 123
+        assert ram.read_word(128) == 77
+        assert bus.per_master_transfers == {0: 3, 1: 3}

@@ -1,0 +1,163 @@
+import pytest
+
+from repro.bus.bus import Arbitration, SharedBus
+from repro.bus.slave import MemorySlave
+from repro.errors import SimulationError
+from repro.sysc.simtime import NS, US
+
+
+def make_bus(kernel, **kwargs):
+    bus = SharedBus(transfer_time=100 * NS, **kwargs)
+    ram = bus.add_slave(MemorySlave(256, "ram"), 0x1000, 256)
+    return bus, ram
+
+
+class TestTopology:
+    def test_decode_maps_addresses(self, kernel):
+        bus, ram = make_bus(kernel)
+        slave, offset = bus.decode(0x1010)
+        assert slave is ram and offset == 0x10
+
+    def test_unmapped_address_rejected(self, kernel):
+        bus, __ = make_bus(kernel)
+        with pytest.raises(SimulationError):
+            bus.decode(0x9000)
+
+    def test_overlapping_mapping_rejected(self, kernel):
+        bus, __ = make_bus(kernel)
+        with pytest.raises(SimulationError):
+            bus.add_slave(MemorySlave(64, "ram2"), 0x10F0, 64)
+
+    def test_unaligned_mapping_rejected(self, kernel):
+        bus, __ = make_bus(kernel)
+        with pytest.raises(SimulationError):
+            bus.add_slave(MemorySlave(64, "r"), 0x2002, 64)
+
+    def test_transfer_time_must_be_positive(self, kernel):
+        with pytest.raises(SimulationError):
+            SharedBus(transfer_time=0)
+
+
+class TestTimedTransfers:
+    def test_write_then_read(self, kernel):
+        bus, ram = make_bus(kernel)
+        results = []
+
+        def master():
+            yield from bus.write(0, 0x1004, 0xABCD)
+            value = yield from bus.read(0, 0x1004)
+            results.append(value)
+
+        kernel.add_thread("m", master)
+        kernel.run(10 * US)
+        assert results == [0xABCD]
+
+    def test_each_transfer_takes_transfer_time(self, kernel):
+        bus, __ = make_bus(kernel)
+        finish_times = []
+
+        def master():
+            yield from bus.write(0, 0x1000, 1)
+            finish_times.append(kernel.now)
+            yield from bus.write(0, 0x1000, 2)
+            finish_times.append(kernel.now)
+
+        kernel.add_thread("m", master)
+        kernel.run(10 * US)
+        assert finish_times == [100 * NS, 200 * NS]
+
+    def test_two_masters_serialised(self, kernel):
+        bus, __ = make_bus(kernel)
+        finish = {}
+
+        def master(master_id):
+            def body():
+                yield from bus.write(master_id, 0x1000 + 4 * master_id,
+                                     master_id)
+                finish[master_id] = kernel.now
+            return body
+
+        kernel.add_thread("m0", master(0))
+        kernel.add_thread("m1", master(1))
+        kernel.run(10 * US)
+        assert sorted(finish.values()) == [100 * NS, 200 * NS]
+        assert bus.contention_count >= 1
+
+    def test_round_robin_alternates_masters(self, kernel):
+        bus, __ = make_bus(kernel, arbitration=Arbitration.ROUND_ROBIN)
+        order = []
+
+        def master(master_id):
+            def body():
+                for __ in range(3):
+                    yield from bus.write(master_id, 0x1000, master_id)
+                    order.append(master_id)
+            return body
+
+        kernel.add_thread("m0", master(0))
+        kernel.add_thread("m1", master(1))
+        kernel.run(10 * US)
+        # Strict alternation once both are queued.
+        assert order[:4] in ([0, 1, 0, 1], [1, 0, 1, 0])
+
+    def test_fixed_priority_favours_low_ids(self, kernel):
+        bus, __ = make_bus(kernel, arbitration=Arbitration.FIXED_PRIORITY)
+        order = []
+
+        def master(master_id, repeats):
+            def body():
+                for __ in range(repeats):
+                    yield from bus.write(master_id, 0x1000, master_id)
+                    order.append(master_id)
+            return body
+
+        kernel.add_thread("m1", master(1, 2))
+        kernel.add_thread("m0", master(0, 2))
+        kernel.run(10 * US)
+        # Master 0 wins every head-to-head round.
+        assert order.count(0) == 2
+        assert order.index(1) > order.index(0)
+
+    def test_per_master_accounting(self, kernel):
+        bus, __ = make_bus(kernel)
+
+        def master():
+            yield from bus.write(3, 0x1000, 1)
+            yield from bus.read(3, 0x1000)
+
+        kernel.add_thread("m", master)
+        kernel.run(10 * US)
+        assert bus.per_master_transfers == {3: 2}
+        assert bus.transfer_count == 2
+
+    def test_utilization_fraction(self, kernel):
+        bus, __ = make_bus(kernel)
+
+        def master():
+            yield from bus.write(0, 0x1000, 1)
+
+        kernel.add_thread("m", master)
+        kernel.run(1 * US)
+        # One 100 ns transfer in 1 us.
+        assert bus.utilization == pytest.approx(0.1)
+
+
+class TestImmediateTransfers:
+    def test_transfer_now_reads_and_writes(self, kernel):
+        bus, ram = make_bus(kernel)
+        __, wait = bus.transfer_now(0, True, 0x1008, 42)
+        assert wait == 100 * NS
+        value, __ = bus.transfer_now(0, False, 0x1008)
+        assert value == 42
+        assert bus.immediate_count == 2
+
+    def test_backlog_increases_wait(self, kernel):
+        bus, __ = make_bus(kernel)
+
+        def master():
+            yield from bus.write(1, 0x1000, 1)
+
+        kernel.add_thread("m", master)
+        kernel.run(50 * NS)  # stop mid-transfer: bus busy
+        __, wait = bus.transfer_now(0, False, 0x1000)
+        assert wait >= 200 * NS  # one slot + the in-flight transfer

@@ -1,0 +1,95 @@
+"""Property-based tests of bus and cache models."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bus.bus import Arbitration, SharedBus
+from repro.bus.slave import MemorySlave
+from repro.iss.cache import CacheModel
+from repro.sysc.kernel import Kernel, set_current_kernel
+from repro.sysc.simtime import NS, US
+
+
+class _ReferenceCache:
+    """An obviously-correct LRU model to check CacheModel against."""
+
+    def __init__(self, line_size, num_sets, ways):
+        self.line_size = line_size
+        self.num_sets = num_sets
+        self.ways = ways
+        self.sets = [OrderedDict() for __ in range(num_sets)]
+
+    def access(self, address):
+        line = address // self.line_size
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        entries = self.sets[index]
+        if tag in entries:
+            entries.move_to_end(tag, last=False)
+            return True
+        entries[tag] = True
+        entries.move_to_end(tag, last=False)
+        if len(entries) > self.ways:
+            entries.popitem(last=True)
+        return False
+
+
+@settings(max_examples=60, deadline=None)
+@given(addresses=st.lists(st.integers(min_value=0, max_value=0xFFFF),
+                          max_size=200),
+       geometry=st.sampled_from([(256, 16, 1), (512, 16, 2),
+                                 (1024, 32, 4)]))
+def test_cache_matches_reference_lru(addresses, geometry):
+    size, line, ways = geometry
+    model = CacheModel(size=size, line_size=line, ways=ways,
+                       miss_cycles=7)
+    reference = _ReferenceCache(line, model.num_sets, ways)
+    for address in addresses:
+        expected_hit = reference.access(address)
+        penalty = model.access(address)
+        assert (penalty == 0) == expected_hit
+    assert model.hits + model.misses == len(addresses)
+
+
+@settings(max_examples=25, deadline=None)
+@given(requests=st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),   # master id
+              st.integers(min_value=0, max_value=31)),  # word index
+    min_size=1, max_size=25))
+def test_bus_serialises_and_loses_nothing(requests):
+    kernel = Kernel("prop-bus")
+    try:
+        bus = SharedBus(transfer_time=10 * NS,
+                        arbitration=Arbitration.ROUND_ROBIN)
+        ram = bus.add_slave(MemorySlave(256, "ram"), 0, 256)
+        completions = []
+
+        def make_master(master_id, word_indices):
+            def body():
+                for word_index in word_indices:
+                    yield from bus.write(master_id, 4 * word_index,
+                                         master_id + 1)
+                    completions.append((kernel.now, master_id))
+            return body
+
+        by_master = {}
+        for master_id, word_index in requests:
+            by_master.setdefault(master_id, []).append(word_index)
+        for master_id, word_indices in by_master.items():
+            kernel.add_thread("m%d" % master_id,
+                              make_master(master_id, word_indices))
+        kernel.run(100 * US)
+        # Every request completed.
+        assert len(completions) == len(requests)
+        assert bus.transfer_count == len(requests)
+        # The bus is a serial resource: completion times are distinct
+        # and spaced by at least the transfer time.
+        times = sorted(time for time, __ in completions)
+        assert all(later - earlier >= 10 * NS
+                   for earlier, later in zip(times, times[1:]))
+        # Total bus busy time is exactly requests x transfer_time.
+        assert bus.busy_time == len(requests) * 10 * NS
+    finally:
+        set_current_kernel(None)

@@ -1,0 +1,74 @@
+import pytest
+
+from repro.bus.slave import BusSlave, MemorySlave, RegisterSlave
+from repro.errors import SimulationError
+
+
+class TestBusSlaveBase:
+    def test_base_rejects_io(self):
+        slave = BusSlave("x")
+        with pytest.raises(SimulationError):
+            slave.read_word(0)
+        with pytest.raises(SimulationError):
+            slave.write_word(0, 1)
+
+
+class TestMemorySlave:
+    def test_word_roundtrip(self):
+        ram = MemorySlave(64)
+        ram.write_word(8, 0xCAFE)
+        assert ram.read_word(8) == 0xCAFE
+
+    def test_little_endian_layout(self):
+        ram = MemorySlave(8)
+        ram.write_word(0, 0x11223344)
+        assert ram.data[0] == 0x44
+
+    def test_size_validation(self):
+        with pytest.raises(SimulationError):
+            MemorySlave(0)
+        with pytest.raises(SimulationError):
+            MemorySlave(10)
+
+    def test_counters(self):
+        ram = MemorySlave(16)
+        ram.write_word(0, 1)
+        ram.read_word(0)
+        assert ram.write_count == 1 and ram.read_count == 1
+
+    def test_values_masked(self):
+        ram = MemorySlave(8)
+        ram.write_word(0, -1)
+        assert ram.read_word(0) == 0xFFFFFFFF
+
+
+class TestRegisterSlave:
+    def test_read_write_handlers(self):
+        state = {"value": 7}
+        regs = RegisterSlave()
+        regs.define(0, read=lambda: state["value"],
+                    write=lambda v: state.update(value=v))
+        assert regs.read_word(0) == 7
+        regs.write_word(0, 99)
+        assert state["value"] == 99
+
+    def test_read_only_register(self):
+        regs = RegisterSlave()
+        regs.define(4, read=lambda: 1)
+        assert regs.read_word(4) == 1
+        with pytest.raises(SimulationError):
+            regs.write_word(4, 0)
+
+    def test_write_only_register(self):
+        regs = RegisterSlave()
+        regs.define(0, write=lambda v: None)
+        with pytest.raises(SimulationError):
+            regs.read_word(0)
+
+    def test_unaligned_offset_rejected(self):
+        with pytest.raises(SimulationError):
+            RegisterSlave().define(2, read=lambda: 0)
+
+    def test_undefined_offset_rejected(self):
+        with pytest.raises(SimulationError):
+            RegisterSlave().read_word(0x40)

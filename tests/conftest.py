@@ -1,0 +1,20 @@
+"""Shared fixtures."""
+
+import pytest
+
+from repro.sysc.kernel import Kernel, set_current_kernel
+
+
+@pytest.fixture
+def kernel():
+    """A fresh simulation kernel installed as the ambient context."""
+    kern = Kernel("test")
+    yield kern
+    set_current_kernel(None)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_kernel_context():
+    """Ensure no kernel leaks between tests."""
+    yield
+    set_current_kernel(None)

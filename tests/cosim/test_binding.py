@@ -1,0 +1,50 @@
+import pytest
+
+from repro.cosim.binding import ClockBinding
+from repro.errors import CosimError
+from repro.sysc.simtime import MS, NS, US
+
+
+class TestClockBinding:
+    def test_cycles_proportional_to_time(self):
+        binding = ClockBinding(cpu_hz=100_000_000, time_per_step_fs=1)
+        # 100 MHz for 1 us -> 100 cycles.
+        assert binding.cycles_for_advance(1 * US) == 100
+
+    def test_incremental_grants_accumulate_exactly(self):
+        binding = ClockBinding(cpu_hz=100_000_000, time_per_step_fs=1)
+        total = sum(binding.cycles_for_advance(step * 500 * NS)
+                    for step in range(1, 21))
+        # 10 us at 100 MHz = 1000 cycles, no drift from fractions.
+        assert total == 1000
+
+    def test_fractional_cycles_carry_over(self):
+        binding = ClockBinding(cpu_hz=1_500_000, time_per_step_fs=1)
+        # 1.5 MHz over 1 us steps -> 1.5 cycles per step.
+        first = binding.cycles_for_advance(1 * US)
+        second = binding.cycles_for_advance(2 * US)
+        assert (first, second) == (1, 2)
+
+    def test_time_going_backwards_rejected(self):
+        binding = ClockBinding(100, 1)
+        binding.cycles_for_advance(1 * MS)
+        with pytest.raises(CosimError):
+            binding.cycles_for_advance(1 * US)
+
+    def test_positive_parameters_required(self):
+        with pytest.raises(CosimError):
+            ClockBinding(0, 1)
+        with pytest.raises(CosimError):
+            ClockBinding(100, 0)
+
+    def test_granted_cycles_tracked(self):
+        binding = ClockBinding(100_000_000, 1)
+        binding.cycles_for_advance(1 * US)
+        binding.cycles_for_advance(2 * US)
+        assert binding.granted_cycles == 200
+
+    def test_reset_rebases_time(self):
+        binding = ClockBinding(100_000_000, 1)
+        binding.cycles_for_advance(5 * US)
+        binding.reset(0)
+        assert binding.cycles_for_advance(1 * US) == 100

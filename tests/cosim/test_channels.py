@@ -1,0 +1,85 @@
+import pytest
+
+from repro.cosim.channels import Pipe, Socket
+from repro.errors import CosimError
+
+
+class TestPipe:
+    def test_messages_cross_between_endpoints(self):
+        pipe = Pipe()
+        pipe.a.send(b"hello")
+        assert pipe.b.recv() == b"hello"
+        pipe.b.send(b"world")
+        assert pipe.a.recv() == b"world"
+
+    def test_message_boundaries_preserved(self):
+        pipe = Pipe()
+        pipe.a.send(b"one")
+        pipe.a.send(b"two")
+        assert pipe.b.recv() == b"one"
+        assert pipe.b.recv() == b"two"
+
+    def test_recv_on_empty_returns_none(self):
+        assert Pipe().a.recv() is None
+
+    def test_poll_is_nonconsuming(self):
+        pipe = Pipe()
+        pipe.a.send(b"x")
+        assert pipe.b.poll()
+        assert pipe.b.poll()
+        assert pipe.b.recv() == b"x"
+        assert not pipe.b.poll()
+
+    def test_recv_all_drains(self):
+        pipe = Pipe()
+        for index in range(3):
+            pipe.a.send(bytes([index]))
+        assert pipe.b.recv_all() == [b"\x00", b"\x01", b"\x02"]
+        assert pipe.b.recv_all() == []
+
+    def test_only_bytes_payloads(self):
+        with pytest.raises(CosimError):
+            Pipe().a.send("text")
+
+    def test_bytearray_accepted_and_frozen(self):
+        pipe = Pipe()
+        payload = bytearray(b"abc")
+        pipe.a.send(payload)
+        payload[0] = 0
+        assert pipe.b.recv() == b"abc"
+
+
+class TestAccounting:
+    def test_send_recv_counters(self):
+        pipe = Pipe()
+        pipe.a.send(b"12345")
+        pipe.b.recv()
+        assert pipe.a.sent_messages == 1
+        assert pipe.a.sent_bytes == 5
+        assert pipe.b.received_messages == 1
+        assert pipe.b.received_bytes == 5
+        assert pipe.transfer_count == 1
+
+    def test_poll_counter(self):
+        pipe = Pipe()
+        pipe.a.poll()
+        pipe.a.poll()
+        assert pipe.a.poll_count == 2
+
+    def test_pending_depth(self):
+        pipe = Pipe()
+        pipe.a.send(b"x")
+        pipe.a.send(b"y")
+        assert pipe.b.pending == 2
+
+
+class TestSocket:
+    def test_socket_carries_port_number(self):
+        socket = Socket(4444)
+        assert socket.port == 4444
+        assert "4444" in socket.name
+
+    def test_socket_behaves_like_pipe(self):
+        socket = Socket(4445)
+        socket.a.send(b"irq")
+        assert socket.b.recv() == b"irq"

@@ -1,0 +1,159 @@
+"""Scheme-level tests of GDB-Kernel and GDB-Wrapper co-simulation.
+
+The device under test is a "doubler": the guest reads a request word
+(iss_out), doubles it, and writes it back (iss_in).  Flow control is
+the kernel-mastered hold: the guest blocks at the request breakpoint
+until the SystemC side posts fresh data.
+"""
+
+import pytest
+
+from repro.cosim.gdb_kernel import GdbKernelScheme
+from repro.cosim.gdb_wrapper import GdbWrapperScheme
+from repro.cosim.metrics import CosimMetrics
+from repro.cosim.ports import IssInPort, IssOutPort, make_iss_process
+from repro.cosim.pragmas import build_pragma_map
+from repro.iss.assembler import assemble
+from repro.iss.cpu import Cpu
+from repro.iss.loader import load_program
+from repro.sysc.clock import Clock
+from repro.sysc.module import Module
+from repro.sysc.simtime import MS, US
+
+_DOUBLER = """
+        .entry main
+main:
+loop:
+        la   r10, req
+        ;#pragma iss_out req
+        lw   r0, [r10]
+        add  r0, r0, r0
+        la   r10, resp
+        ;#pragma iss_in resp
+        sw   r0, [r10]
+        nop
+        b    loop
+req:    .word 0
+resp:   .word 0
+"""
+
+CPU_HZ = 100_000_000
+
+
+class DoublerDevice(Module):
+    """SystemC side: posts requests, records doubled responses."""
+
+    def __init__(self, requests, period=10 * US, kernel=None):
+        super().__init__("doubler", kernel)
+        self.req_port = IssOutPort("req")
+        self.resp_port = IssInPort("resp")
+        self.requests = list(requests)
+        self.period = period
+        self.responses = []
+        make_iss_process(self, self._on_resp, [self.resp_port])
+        self.thread(self._submit, name="submit")
+
+    def ports(self):
+        return {"req": self.req_port, "resp": self.resp_port}
+
+    def _submit(self):
+        for value in self.requests:
+            self.req_port.post(value)
+            while len(self.responses) < self.requests.index(value) + 1:
+                yield self.resp_port.received
+            yield self.period
+
+    def _on_resp(self):
+        self.responses.append(self.resp_port.read())
+
+
+def _build(kernel, scheme_factory, requests):
+    clock = Clock(1 * US, "clk")
+    device = DoublerDevice(requests, kernel=kernel)
+    program = assemble(_DOUBLER)
+    cpu = Cpu()
+    load_program(cpu, program, stack_top=0x8000)
+    metrics = CosimMetrics()
+    scheme = scheme_factory(kernel, clock, metrics)
+    scheme.attach_cpu(cpu, build_pragma_map(program), device.ports(),
+                      CPU_HZ)
+    scheme.elaborate()
+    return device, scheme, metrics
+
+
+def _gdb_kernel(kernel, clock, metrics):
+    return GdbKernelScheme(kernel, metrics)
+
+
+def _gdb_wrapper(kernel, clock, metrics):
+    return GdbWrapperScheme(kernel, clock, metrics)
+
+
+@pytest.mark.parametrize("factory", [_gdb_kernel, _gdb_wrapper],
+                         ids=["gdb-kernel", "gdb-wrapper"])
+class TestGdbSchemes:
+    def test_doubler_round_trips(self, kernel, factory):
+        requests = [1, 2, 3, 10, 0x7FFF]
+        device, scheme, metrics = _build(kernel, factory, requests)
+        kernel.run(1 * MS)
+        assert device.responses == [2 * v for v in requests]
+
+    def test_guest_held_while_no_data(self, kernel, factory):
+        device, scheme, metrics = _build(kernel, factory, [5])
+        kernel.run(1 * MS)
+        # After the single request, the guest loops back to the request
+        # breakpoint and is held there without burning host transfers.
+        transfers_after_work = metrics.transfer_transactions
+        kernel.run(1 * MS)
+        assert metrics.transfer_transactions == transfers_after_work
+
+    def test_breakpoint_hits_match_protocol(self, kernel, factory):
+        requests = [4, 4, 4]
+        device, scheme, metrics = _build(kernel, factory, requests)
+        kernel.run(1 * MS)
+        # Two breakpoints per processed request (req read + resp store),
+        # plus the final held stop at the next req read.
+        assert metrics.breakpoint_hits == 2 * len(requests) + 1
+
+    def test_repeated_equal_values_still_delivered(self, kernel, factory):
+        device, scheme, metrics = _build(kernel, factory, [7, 7, 7])
+        kernel.run(1 * MS)
+        assert device.responses == [14, 14, 14]
+
+    def test_iss_cycles_granted_by_time(self, kernel, factory):
+        device, scheme, metrics = _build(kernel, factory, [1])
+        kernel.run(100 * US)
+        # The guest runs then is held; consumed cycles are far below
+        # the granted budget, but some execution must have happened.
+        assert 0 < metrics.iss_cycles < CPU_HZ
+
+
+class TestSchemeSpecifics:
+    def test_kernel_scheme_uses_cheap_polls(self, kernel):
+        device, scheme, metrics = _build(kernel, _gdb_kernel, [1, 2])
+        kernel.run(1 * MS)
+        assert metrics.cheap_polls > 0
+        assert metrics.sync_transactions == 0
+
+    def test_wrapper_scheme_pays_per_cycle_sync(self, kernel):
+        device, scheme, metrics = _build(kernel, _gdb_wrapper, [1, 2])
+        kernel.run(1 * MS)
+        # Two RSP transactions per clock posedge (qStatus + pc read).
+        assert metrics.sync_transactions >= 2 * 999
+
+    def test_finished_after_guest_exit(self, kernel):
+        source = """
+            .entry main
+        main:
+            halt
+        """
+        program = assemble(source)
+        cpu = Cpu()
+        load_program(cpu, program)
+        scheme = GdbKernelScheme(kernel)
+        from repro.cosim.pragmas import PragmaMap
+        scheme.attach_cpu(cpu, PragmaMap([]), {}, CPU_HZ)
+        scheme.elaborate()
+        Clock(1 * US, "clk")
+        kernel.run(10 * US)
+        assert scheme.finished

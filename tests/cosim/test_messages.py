@@ -1,0 +1,88 @@
+import pytest
+
+from repro.cosim.messages import (DATA_PORT, INTERRUPT_PORT, Block, Message,
+                                  MessageType, interrupt_message,
+                                  pack_message, read_message, unpack_message,
+                                  write_message)
+from repro.errors import CosimError
+
+
+class TestWellKnownPorts:
+    def test_paper_port_numbers(self):
+        assert DATA_PORT == 4444
+        assert INTERRUPT_PORT == 4445
+
+
+class TestPackUnpack:
+    def test_write_roundtrip(self):
+        message = Message(MessageType.WRITE,
+                          [Block("p1", b"\x01\x02\x03\x04"),
+                           Block("p2", b"\xff")], sequence=5)
+        decoded = unpack_message(pack_message(message))
+        assert decoded.type is MessageType.WRITE
+        assert decoded.sequence == 5
+        assert [(b.port, b.data) for b in decoded.blocks] == \
+            [("p1", b"\x01\x02\x03\x04"), ("p2", b"\xff")]
+
+    def test_read_request_has_empty_data(self):
+        message = read_message(["a", "b"], 9)
+        decoded = unpack_message(pack_message(message))
+        assert decoded.type is MessageType.READ
+        assert all(block.data == b"" for block in decoded.blocks)
+
+    def test_packet_size_field_matches_wire_length(self):
+        message = write_message({"port": 1})
+        wire = pack_message(message)
+        assert message.packet_size == len(wire)
+
+    def test_empty_message(self):
+        decoded = unpack_message(pack_message(Message(MessageType.READ)))
+        assert decoded.blocks == []
+
+    def test_interrupt_message_carries_vector(self):
+        decoded = unpack_message(pack_message(interrupt_message(7)))
+        assert decoded.type is MessageType.INTERRUPT
+        assert decoded.blocks[0].data == b"\x07"
+
+    def test_write_message_helper_encodes_words(self):
+        decoded = unpack_message(pack_message(
+            write_message({"x": 0xDEADBEEF})))
+        assert int.from_bytes(decoded.blocks[0].data, "little") == 0xDEADBEEF
+
+
+class TestValidation:
+    def test_short_payload_rejected(self):
+        with pytest.raises(CosimError):
+            unpack_message(b"\x01")
+
+    def test_size_mismatch_rejected(self):
+        wire = bytearray(pack_message(write_message({"p": 1})))
+        wire[0] = (wire[0] + 1) & 0xFF
+        with pytest.raises(CosimError):
+            unpack_message(bytes(wire))
+
+    def test_unknown_type_rejected(self):
+        wire = bytearray(pack_message(write_message({"p": 1})))
+        wire[4] = 99
+        with pytest.raises(CosimError):
+            unpack_message(bytes(wire))
+
+    def test_truncated_block_rejected(self):
+        wire = pack_message(write_message({"p": 1}))
+        truncated = bytearray(wire[:-2])
+        truncated[0] = len(truncated) & 0xFF
+        with pytest.raises(CosimError):
+            unpack_message(bytes(truncated))
+
+    def test_trailing_bytes_rejected(self):
+        wire = bytearray(pack_message(Message(MessageType.READ)))
+        wire += b"\x00"
+        wire[0] = len(wire) & 0xFF
+        with pytest.raises(CosimError):
+            unpack_message(bytes(wire))
+
+    def test_too_many_blocks_rejected(self):
+        message = Message(MessageType.WRITE,
+                          [Block("p%d" % i) for i in range(300)])
+        with pytest.raises(CosimError):
+            pack_message(message)

@@ -1,0 +1,24 @@
+from repro.cosim.metrics import CosimMetrics
+
+
+class TestCosimMetrics:
+    def test_defaults_zero(self):
+        metrics = CosimMetrics()
+        data = metrics.as_dict()
+        for key, value in data.items():
+            if key != "scheme":
+                assert value == 0 or value == {}
+
+    def test_as_dict_includes_extra(self):
+        metrics = CosimMetrics(scheme="x")
+        metrics.extra["custom"] = 5
+        data = metrics.as_dict()
+        assert data["scheme"] == "x"
+        assert data["custom"] == 5
+
+    def test_counters_are_independent(self):
+        first, second = CosimMetrics(), CosimMetrics()
+        first.cheap_polls += 1
+        assert second.cheap_polls == 0
+        first.extra["a"] = 1
+        assert second.extra == {}

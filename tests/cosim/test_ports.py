@@ -1,0 +1,102 @@
+from repro.cosim.ports import IssInPort, IssOutPort, make_iss_process
+from repro.sysc.module import Module
+
+
+class TestIssInPort:
+    def test_deliver_updates_signal_value(self, kernel):
+        port = IssInPort("in")
+        port.deliver(42)
+        kernel.run(max_deltas=2)
+        assert port.read() == 42
+
+    def test_every_delivery_fires_received_event(self, kernel):
+        """Same value twice must still trigger the iss_process."""
+        port = IssInPort("in")
+        hits = []
+        kernel.add_method("p", lambda: hits.append(port.read()),
+                          [port.received], dont_initialize=True)
+
+        def driver():
+            port.deliver(7)
+            yield 10
+            port.deliver(7)
+            yield 10
+
+        kernel.add_thread("d", driver)
+        kernel.run(100)
+        assert hits == [7, 7]
+
+    def test_changed_property_is_received_event(self, kernel):
+        port = IssInPort("in")
+        assert port.changed is port.received
+
+    def test_default_variable_is_port_name(self, kernel):
+        assert IssInPort("foo").variable == "foo"
+        assert IssInPort("foo", "bar").variable == "bar"
+
+    def test_transfer_count(self, kernel):
+        port = IssInPort("in")
+        port.deliver(1)
+        port.deliver(2)
+        assert port.transfer_count == 2
+
+
+class TestIssOutPort:
+    def test_post_marks_fresh_once_committed(self, kernel):
+        port = IssOutPort("out")
+        assert not port.fresh
+        port.post(9)
+        # Freshness is only visible after the update phase commits the
+        # value — advertising earlier would allow stale-value reads.
+        assert not port.fresh
+        kernel.run(max_deltas=2)
+        assert port.fresh
+
+    def test_collect_consumes_freshness(self, kernel):
+        port = IssOutPort("out")
+        port.post(9)
+        kernel.run(max_deltas=2)
+        assert port.collect() == 9
+        assert not port.fresh
+
+    def test_collect_without_consume(self, kernel):
+        port = IssOutPort("out")
+        port.post(9)
+        kernel.run(max_deltas=2)
+        assert port.collect(consume=False) == 9
+        assert port.fresh
+
+    def test_post_accepts_bytes_payloads(self, kernel):
+        port = IssOutPort("out")
+        port.post(b"\x01\x02")
+        kernel.run(max_deltas=2)
+        assert port.collect() == b"\x01\x02"
+
+
+class TestIssProcess:
+    def test_runs_only_on_data_arrival(self, kernel):
+        module = Module("m")
+        port = IssInPort("in")
+        hits = []
+        make_iss_process(module, lambda: hits.append(port.read()), [port])
+        kernel.run(max_deltas=3)
+        assert hits == []  # never at initialisation (paper Section 3.3)
+        port.deliver(5)
+        kernel.run(max_deltas=3)
+        assert hits == [5]
+
+    def test_sensitive_to_multiple_ports(self, kernel):
+        module = Module("m")
+        first, second = IssInPort("a"), IssInPort("b")
+        hits = []
+        make_iss_process(module, lambda: hits.append(1), [first, second])
+
+        def driver():
+            first.deliver(1)
+            yield 10
+            second.deliver(2)
+            yield 10
+
+        kernel.add_thread("d", driver)
+        kernel.run(100)
+        assert hits == [1, 1]

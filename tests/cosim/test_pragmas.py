@@ -1,0 +1,89 @@
+import pytest
+
+from repro.cosim.pragmas import build_pragma_map
+from repro.errors import CosimError
+from repro.iss.assembler import assemble
+
+_SOURCE = """
+        .entry main
+main:
+        la   r10, invar
+        ;#pragma iss_out invar
+        lw   r0, [r10]
+        la   r10, outvar
+        ;#pragma iss_in outvar
+        sw   r0, [r10]
+        nop
+        halt
+invar:  .word 0
+outvar: .word 0
+"""
+
+
+class TestPlacementRules:
+    def test_iss_out_breakpoint_on_the_access_line(self):
+        program = assemble(_SOURCE)
+        pragma_map = build_pragma_map(program)
+        out_binding = [b for b in pragma_map.bindings
+                       if b.kind == "iss_out"][0]
+        lw_line = _line_of(_SOURCE, "lw   r0")
+        assert out_binding.target_line == lw_line
+        assert out_binding.breakpoint_line == lw_line
+        assert out_binding.breakpoint_address == \
+            program.symbols.line_to_addr[lw_line]
+
+    def test_iss_in_breakpoint_on_the_line_after_the_store(self):
+        program = assemble(_SOURCE)
+        pragma_map = build_pragma_map(program)
+        in_binding = [b for b in pragma_map.bindings
+                      if b.kind == "iss_in"][0]
+        sw_line = _line_of(_SOURCE, "sw   r0")
+        nop_line = _line_of(_SOURCE, "nop")
+        assert in_binding.target_line == sw_line
+        assert in_binding.breakpoint_line == nop_line
+
+    def test_variable_addresses_resolved(self):
+        program = assemble(_SOURCE)
+        pragma_map = build_pragma_map(program)
+        for binding in pragma_map.bindings:
+            assert binding.variable_address == \
+                program.symbols.variable_address(binding.variable)
+
+    def test_pragma_with_no_following_code_rejected(self):
+        source = "nop\n;#pragma iss_in ghost"
+        with pytest.raises(CosimError):
+            build_pragma_map(assemble(source))
+
+
+class TestPragmaMapOutputs:
+    def test_breakpoint_addresses_sorted_unique(self):
+        pragma_map = build_pragma_map(assemble(_SOURCE))
+        addresses = pragma_map.breakpoint_addresses()
+        assert addresses == sorted(set(addresses))
+
+    def test_bindings_at_lookup(self):
+        pragma_map = build_pragma_map(assemble(_SOURCE))
+        for address in pragma_map.breakpoint_addresses():
+            assert pragma_map.bindings_at(address)
+        assert pragma_map.bindings_at(0xDEAD) == []
+
+    def test_gdb_script_generated(self):
+        pragma_map = build_pragma_map(assemble(_SOURCE))
+        script = pragma_map.gdb_script()
+        assert script.count("break *0x") == 2
+        assert script.rstrip().endswith("continue")
+        assert "invar" in script and "outvar" in script
+
+    def test_variable_line_map_text(self):
+        """The paper's <variable> -> <line> map for the HW programmer."""
+        pragma_map = build_pragma_map(assemble(_SOURCE))
+        text = pragma_map.variable_line_map()
+        lines = dict(entry.split() for entry in text.strip().splitlines())
+        assert set(lines) == {"invar", "outvar"}
+
+
+def _line_of(source, needle):
+    for number, line in enumerate(source.splitlines(), start=1):
+        if needle in line:
+            return number
+    raise AssertionError("needle %r not found" % needle)

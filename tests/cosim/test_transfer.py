@@ -1,0 +1,124 @@
+"""Unit tests of the transfer layer (attempt_transfer / TargetDriver)."""
+
+import pytest
+
+from repro.cosim.channels import Pipe
+from repro.cosim.metrics import CosimMetrics
+from repro.cosim.ports import IssInPort, IssOutPort
+from repro.cosim.pragmas import build_pragma_map
+from repro.cosim.transfer import TargetDriver, attempt_transfer
+from repro.errors import CosimError
+from repro.gdb.client import GdbClient
+from repro.gdb.stub import GdbStub
+from repro.iss.assembler import assemble
+from repro.iss.cpu import Cpu
+from repro.iss.loader import load_program
+
+_ECHO = """
+        .entry main
+main:
+loop:
+        la   r10, invar
+        ;#pragma iss_out invar
+        lw   r0, [r10]
+        la   r10, outvar
+        ;#pragma iss_in outvar
+        sw   r0, [r10]
+        nop
+        b    loop
+invar:  .word 0
+outvar: .word 0
+"""
+
+
+@pytest.fixture
+def rig(kernel):
+    program = assemble(_ECHO)
+    cpu = Cpu()
+    load_program(cpu, program, stack_top=0x8000)
+    pipe = Pipe("t")
+    stub = GdbStub(cpu, pipe.b)
+    client = GdbClient(pipe.a, pump=stub.service_pending)
+    ports = {"invar": IssOutPort("in", "invar"),
+             "outvar": IssInPort("out", "outvar")}
+    metrics = CosimMetrics()
+    driver = TargetDriver(client, stub, cpu, build_pragma_map(program),
+                          ports, metrics)
+    return kernel, cpu, driver, ports, metrics, program
+
+
+class TestAttemptTransfer:
+    def test_unassociated_breakpoint_raises(self, rig):
+        kernel, cpu, driver, ports, metrics, program = rig
+        with pytest.raises(CosimError):
+            attempt_transfer(driver.client, driver.pragma_map, ports,
+                             0xDEAD, metrics)
+
+    def test_missing_port_raises(self, rig):
+        kernel, cpu, driver, ports, metrics, program = rig
+        address = driver.pragma_map.breakpoint_addresses()[0]
+        with pytest.raises(CosimError):
+            attempt_transfer(driver.client, driver.pragma_map, {},
+                             address, metrics)
+
+    def test_stale_out_port_defers(self, rig):
+        kernel, cpu, driver, ports, metrics, program = rig
+        out_binding = [b for b in driver.pragma_map.bindings
+                       if b.kind == "iss_out"][0]
+        assert not attempt_transfer(
+            driver.client, driver.pragma_map, ports,
+            out_binding.breakpoint_address, metrics)
+        assert metrics.transfer_transactions == 0
+
+
+class TestTargetDriver:
+    def test_budget_accumulates_and_is_spent(self, rig):
+        kernel, cpu, driver, ports, metrics, program = rig
+        driver.elaborate()
+        driver.grant(500)
+        driver.drive()
+        # Held at the first (stale) invar breakpoint with budget left.
+        assert driver.held_at is not None
+        assert driver.budget_remaining > 0
+        spent = 500 - driver.budget_remaining
+        assert spent == cpu.cycles
+
+    def test_echo_cycle_through_driver(self, rig):
+        kernel, cpu, driver, ports, metrics, program = rig
+        driver.elaborate()
+        driver.grant(500)
+        driver.drive()
+        ports["invar"].post(77)
+        kernel.run(max_deltas=2)   # commit the post
+        driver.grant(500)
+        driver.drive()
+        kernel.run(max_deltas=2)   # deliver the iss_in value
+        assert ports["outvar"].read() == 77
+        assert metrics.breakpoint_hits >= 2
+
+    def test_needs_attention_reflects_held_state(self, rig):
+        kernel, cpu, driver, ports, metrics, program = rig
+        assert not driver.needs_attention
+        driver.elaborate()
+        driver.grant(500)
+        driver.drive()
+        assert driver.needs_attention   # held at the stale read
+
+    def test_no_budget_no_execution(self, rig):
+        kernel, cpu, driver, ports, metrics, program = rig
+        driver.elaborate()
+        driver.drive()
+        assert cpu.cycles == 0
+
+    def test_multiple_echoes_one_big_budget(self, rig):
+        kernel, cpu, driver, ports, metrics, program = rig
+        driver.elaborate()
+        results = []
+        for value in (5, 6, 7):
+            ports["invar"].post(value)
+            kernel.run(max_deltas=2)
+            driver.grant(10_000)
+            driver.drive()
+            kernel.run(max_deltas=2)
+            results.append(ports["outvar"].read())
+        assert results == [5, 6, 7]

@@ -1,0 +1,209 @@
+import pytest
+
+from repro.cosim.channels import Pipe
+from repro.errors import RspError
+from repro.gdb.client import GdbClient, StopKind, parse_stop_reply
+from repro.gdb.stub import GdbStub
+from tests.support import make_cpu
+
+_PROGRAM = """
+    li r0, 0
+loop:
+    addi r0, r0, 1
+    la r2, var
+    sw r0, [r2]
+    li r1, 2
+    bne r0, r1, loop
+    li r0, 9
+    sys 0
+var: .word 0
+"""
+
+
+@pytest.fixture
+def session():
+    cpu, program, __ = make_cpu(_PROGRAM)
+    pipe = Pipe("s")
+    stub = GdbStub(cpu, pipe.b)
+    client = GdbClient(pipe.a, pump=stub.service_pending)
+    return cpu, program, stub, client
+
+
+class TestParseStopReply:
+    def test_exit_reply(self):
+        event = parse_stop_reply("W2a")
+        assert event.kind is StopKind.EXITED and event.exit_code == 0x2A
+
+    def test_exit_reply_without_code(self):
+        assert parse_stop_reply("W").exit_code == 0
+
+    def test_breakpoint_reply(self):
+        event = parse_stop_reply("T05pc:00000100;")
+        assert event.kind is StopKind.BREAKPOINT and event.pc == 0x100
+
+    def test_watch_replies(self):
+        write = parse_stop_reply("T05watch:00000200;")
+        assert write.kind is StopKind.WATCH_WRITE and write.address == 0x200
+        read = parse_stop_reply("T05rwatch:00000300;")
+        assert read.kind is StopKind.WATCH_READ
+
+    def test_garbage_rejected(self):
+        with pytest.raises(RspError):
+            parse_stop_reply("hello")
+
+
+class TestTransactions:
+    def test_register_access(self, session):
+        cpu, __, __, client = session
+        client.write_register(4, 0x1234)
+        assert cpu.regs[4] == 0x1234
+        assert client.read_register(4) == 0x1234
+
+    def test_read_registers_returns_regs_and_pc(self, session):
+        cpu, __, __, client = session
+        regs, pc = client.read_registers()
+        assert regs == cpu.regs and pc == cpu.pc
+
+    def test_memory_word_helpers(self, session):
+        cpu, program, __, client = session
+        address = program.symbols.variable_address("var")
+        client.write_memory_word(address, 0xFEED)
+        assert client.read_memory_word(address) == 0xFEED
+        assert cpu.memory.load_word(address) == 0xFEED
+
+    def test_memory_read_error_raises(self, session):
+        __, __, __, client = session
+        with pytest.raises(RspError):
+            client.read_memory(1 << 30, 4)
+
+    def test_transaction_count(self, session):
+        __, __, __, client = session
+        client.read_register(0)
+        client.read_register(1)
+        assert client.transaction_count == 2
+
+    def test_query_status_fields(self, session):
+        __, __, __, client = session
+        fields = client.query_status()
+        assert fields["Status"] == "stopped"
+        assert "pc" in fields and "cycles" in fields
+
+
+class TestStopHandling:
+    def test_breakpoint_flow(self, session):
+        cpu, program, stub, client = session
+        loop = program.symbols.labels["loop"]
+        client.set_breakpoint(loop)
+        client.continue_()
+        stub.execute(10_000)
+        assert client.poll_cheap()
+        event = client.poll_stop()
+        assert event.kind is StopKind.BREAKPOINT and event.pc == loop
+
+    def test_poll_without_stop_returns_none(self, session):
+        __, __, __, client = session
+        assert not client.poll_cheap()
+        assert client.poll_stop() is None
+
+    def test_exit_sets_target_exited(self, session):
+        cpu, __, stub, client = session
+        client.continue_()
+        stub.execute(10_000)
+        event = client.poll_stop()
+        assert event.kind is StopKind.EXITED and event.exit_code == 9
+        assert client.target_exited
+
+    def test_stop_reply_queued_before_transaction_is_stashed(self, session):
+        cpu, program, stub, client = session
+        loop = program.symbols.labels["loop"]
+        client.set_breakpoint(loop)
+        client.continue_()
+        stub.execute(10_000)  # stop reply now sits in the inbox
+        # A transaction must not eat the stop notification.
+        value = client.read_register(0)
+        assert isinstance(value, int)
+        event = client.poll_stop()
+        assert event is not None and event.kind is StopKind.BREAKPOINT
+
+    def test_watchpoint_flow(self, session):
+        cpu, program, stub, client = session
+        address = program.symbols.variable_address("var")
+        client.set_watchpoint(address)
+        client.continue_()
+        stub.execute(10_000)
+        event = client.poll_stop()
+        assert event.kind is StopKind.WATCH_WRITE
+        assert event.address == address
+
+    def test_clear_breakpoint(self, session):
+        cpu, program, stub, client = session
+        loop = program.symbols.labels["loop"]
+        client.set_breakpoint(loop)
+        client.clear_breakpoint(loop)
+        client.continue_()
+        stub.execute(10_000)
+        assert client.poll_stop().kind is StopKind.EXITED
+
+    def test_step_through_client(self, session):
+        cpu, __, __, client = session
+        client.step()
+        assert cpu.instructions == 1
+
+
+class TestBinaryDownload:
+    def test_x_packet_writes_binary(self, session):
+        cpu, program, __, client = session
+        address = program.symbols.variable_address("var")
+        payload = bytes(range(4))
+        client.write_memory_binary(address, payload)
+        assert cpu.memory.read_bytes(address, 4) == payload
+
+    def test_x_packet_with_framing_special_bytes(self, session):
+        """'$', '#', '}' in the payload must survive escaping."""
+        cpu, program, __, client = session
+        address = program.symbols.variable_address("var")
+        payload = b"$#}\x7d"
+        client.write_memory_binary(address, payload)
+        assert cpu.memory.read_bytes(address, 4) == payload
+
+    def test_x_packet_flushes_decode_cache(self, session):
+        from repro.iss import isa
+        cpu, program, __, client = session
+        cpu.step()  # warm the decode cache
+        patch = isa.encode("li", rd=9, imm=77).to_bytes(4, "little")
+        client.write_memory_binary(cpu.pc, patch)
+        cpu.step()
+        assert cpu.regs[9] == 77
+
+    def test_x_packet_out_of_range_errors(self, session):
+        import pytest
+        from repro.errors import RspError
+        __, __, __, client = session
+        with pytest.raises(RspError):
+            client.write_memory_binary(1 << 30, b"\x00")
+
+
+class TestMonitorCommands:
+    def test_monitor_cycles(self, session):
+        cpu, __, __, client = session
+        client.step()
+        text = client.monitor("cycles")
+        assert "cycles=%d" % cpu.cycles in text
+        assert "instructions=1" in text
+
+    def test_monitor_regs(self, session):
+        cpu, __, __, client = session
+        cpu.regs[5] = 0xABCD
+        text = client.monitor("regs")
+        assert "r5 =0x0000abcd" in text
+        assert "pc=0x" in text
+
+    def test_monitor_disasm(self, session):
+        cpu, __, __, client = session
+        text = client.monitor("disasm 2")
+        assert "li r0, 0" in text
+        assert text.count("\n") == 2
+
+    def test_unknown_monitor_command_empty(self, session):
+        __, __, __, client = session
+        assert client.monitor("frobnicate") == ""

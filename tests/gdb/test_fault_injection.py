@@ -1,0 +1,80 @@
+"""Link-fault injection on the RSP channel."""
+
+import pytest
+
+from repro.cosim.channels import Pipe
+from repro.errors import RspError
+from repro.gdb.client import GdbClient
+from repro.gdb.stub import GdbStub
+from tests.support import make_cpu
+
+
+class _CorruptNth:
+    """Flips a byte in the Nth outgoing message (once)."""
+
+    def __init__(self, target_index, repeat=1):
+        self.index = 0
+        self.target_index = target_index
+        self.remaining = repeat
+
+    def __call__(self, payload):
+        self.index += 1
+        if self.index >= self.target_index and self.remaining > 0:
+            self.remaining -= 1
+            corrupted = bytearray(payload)
+            corrupted[1] ^= 0xFF
+            return bytes(corrupted)
+        return payload
+
+
+@pytest.fixture
+def session():
+    cpu, program, __ = make_cpu("li r0, 5\nhalt\nvar: .word 7")
+    pipe = Pipe("f")
+    stub = GdbStub(cpu, pipe.b)
+    client = GdbClient(pipe.a, pump=stub.service_pending)
+    return cpu, program, pipe, client
+
+
+class TestRetransmission:
+    def test_single_corrupt_reply_is_retried(self, session):
+        cpu, program, pipe, client = session
+        pipe.b.fault_injector = _CorruptNth(1)
+        value = client.read_register(0)
+        assert value == cpu.regs[0]
+        assert client.retransmissions == 1
+        assert client.transaction_count == 2
+
+    def test_two_corrupt_replies_then_success(self, session):
+        cpu, program, pipe, client = session
+        pipe.b.fault_injector = _CorruptNth(1, repeat=2)
+        client.read_register(0)
+        assert client.retransmissions == 2
+
+    def test_persistent_corruption_raises(self, session):
+        cpu, program, pipe, client = session
+        pipe.b.fault_injector = _CorruptNth(1, repeat=100)
+        with pytest.raises(RspError, match="after 3 attempts"):
+            client.read_register(0)
+
+    def test_corrupt_request_detected_by_stub(self, session):
+        """Corruption on the request path surfaces as a stub-side
+        unframe error (the stub has no NAK path in-process)."""
+        cpu, program, pipe, client = session
+        pipe.a.fault_injector = _CorruptNth(1)
+        with pytest.raises(RspError):
+            client.read_register(0)
+
+    def test_clean_link_has_no_retransmissions(self, session):
+        cpu, program, pipe, client = session
+        for index in range(5):
+            client.read_register(index)
+        assert client.retransmissions == 0
+
+    def test_memory_write_survives_reply_corruption(self, session):
+        cpu, program, pipe, client = session
+        address = program.symbols.variable_address("var")
+        pipe.b.fault_injector = _CorruptNth(1)
+        client.write_memory_word(address, 0x1234)
+        assert cpu.memory.load_word(address) == 0x1234
+        assert client.retransmissions == 1

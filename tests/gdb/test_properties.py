@@ -1,0 +1,48 @@
+"""Property-based tests of the RSP wire format."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gdb import rsp
+
+
+@given(payload=st.binary(max_size=256))
+def test_frame_unframe_roundtrip(payload):
+    assert rsp.unframe(rsp.frame(payload)) == payload
+
+
+@given(payload=st.binary(max_size=256))
+def test_escape_unescape_roundtrip(payload):
+    assert rsp.unescape_binary(rsp.escape_binary(payload)) == payload
+
+
+@given(payload=st.binary(max_size=256))
+def test_escaped_payload_contains_no_framing_bytes(payload):
+    escaped = rsp.escape_binary(payload)
+    # '$' and '#' must never appear unescaped inside a packet body.
+    index = 0
+    while index < len(escaped):
+        byte = escaped[index]
+        if byte == 0x7D:
+            index += 2
+            continue
+        assert byte not in (0x23, 0x24)
+        index += 1
+
+
+@given(payload=st.binary(max_size=128))
+def test_frame_checksum_is_self_consistent(payload):
+    packet = rsp.frame(payload)
+    body = packet[1:packet.rfind(b"#")]
+    declared = int(packet[-2:], 16)
+    assert rsp.checksum(body) == declared
+
+
+@given(value=st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_register_coding_roundtrip(value):
+    assert rsp.decode_register(rsp.encode_register(value)) == value
+
+
+@given(payload=st.binary(max_size=128))
+def test_hex_coding_roundtrip(payload):
+    assert rsp.decode_hex(rsp.encode_hex(payload)) == payload

@@ -1,0 +1,79 @@
+import pytest
+
+from repro.errors import RspError
+from repro.gdb import rsp
+
+
+class TestFraming:
+    def test_frame_simple_payload(self):
+        assert rsp.frame("OK") == b"$OK#9a"
+
+    def test_unframe_verifies_checksum(self):
+        assert rsp.unframe(b"$OK#9a") == b"OK"
+
+    def test_checksum_mismatch_rejected(self):
+        with pytest.raises(RspError):
+            rsp.unframe(b"$OK#00")
+
+    def test_short_packet_rejected(self):
+        with pytest.raises(RspError):
+            rsp.unframe(b"$#")
+
+    def test_missing_dollar_rejected(self):
+        with pytest.raises(RspError):
+            rsp.unframe(b"OK#9a")
+
+    def test_missing_hash_rejected(self):
+        with pytest.raises(RspError):
+            rsp.unframe(b"$OK9a")
+
+    def test_empty_payload(self):
+        assert rsp.unframe(rsp.frame("")) == b""
+
+
+class TestEscaping:
+    def test_special_bytes_escaped(self):
+        for byte in (0x23, 0x24, 0x7D):  # '#', '$', '}'
+            escaped = rsp.escape_binary(bytes([byte]))
+            assert escaped[0] == 0x7D
+            assert rsp.unescape_binary(escaped) == bytes([byte])
+
+    def test_ordinary_bytes_untouched(self):
+        payload = b"hello world"
+        assert rsp.escape_binary(payload) == payload
+
+    def test_frame_with_special_characters_roundtrips(self):
+        payload = b"a#b$c}d"
+        assert rsp.unframe(rsp.frame(payload)) == payload
+
+    def test_dangling_escape_rejected(self):
+        with pytest.raises(RspError):
+            rsp.unescape_binary(b"\x7d")
+
+
+class TestHexCoding:
+    def test_encode_decode_roundtrip(self):
+        payload = bytes(range(256))
+        assert rsp.decode_hex(rsp.encode_hex(payload)) == payload
+
+    def test_decode_accepts_bytes_input(self):
+        assert rsp.decode_hex(b"ff00") == b"\xff\x00"
+
+    def test_bad_hex_rejected(self):
+        with pytest.raises(RspError):
+            rsp.decode_hex("zz")
+
+    def test_register_coding_is_little_endian(self):
+        assert rsp.encode_register(0x12345678) == "78563412"
+        assert rsp.decode_register("78563412") == 0x12345678
+
+    def test_register_coding_masks_to_32_bits(self):
+        assert rsp.decode_register(rsp.encode_register(-1)) == 0xFFFFFFFF
+
+
+class TestChecksum:
+    def test_modulo_256(self):
+        assert rsp.checksum(b"\xff\xff") == 0xFE
+
+    def test_empty(self):
+        assert rsp.checksum(b"") == 0

@@ -1,0 +1,178 @@
+import pytest
+
+from repro.cosim.channels import Pipe
+from repro.gdb import rsp
+from repro.gdb.stub import GdbStub
+from repro.iss.cpu import NUM_REGS, StopReason
+from tests.support import make_cpu
+
+_PROGRAM = """
+    li r0, 0
+loop:
+    addi r0, r0, 1
+    li r1, 3
+    bne r0, r1, loop
+    li r0, 7
+    sys 0
+var: .word 0x1234
+"""
+
+
+@pytest.fixture
+def target():
+    cpu, program, __ = make_cpu(_PROGRAM)
+    pipe = Pipe("t")
+    stub = GdbStub(cpu, pipe.b)
+    return cpu, program, pipe, stub
+
+
+def ask(pipe, stub, request):
+    pipe.a.send(rsp.frame(request))
+    stub.service_pending()
+    return rsp.unframe(pipe.a.recv()).decode()
+
+
+class TestQueries:
+    def test_stop_status_initially_signal(self, target):
+        __, __, pipe, stub = target
+        assert ask(pipe, stub, "?") == "S05"
+
+    def test_read_all_registers_includes_pc(self, target):
+        cpu, __, pipe, stub = target
+        cpu.regs[3] = 0xAABBCCDD
+        reply = ask(pipe, stub, "g")
+        assert len(reply) == 8 * (NUM_REGS + 1)
+        assert reply[3 * 8:4 * 8] == "ddccbbaa"
+
+    def test_write_all_registers(self, target):
+        cpu, __, pipe, stub = target
+        values = list(range(NUM_REGS)) + [0x100]
+        data = b"".join(v.to_bytes(4, "little") for v in values)
+        assert ask(pipe, stub, "G" + data.hex()) == "OK"
+        assert cpu.regs[5] == 5 and cpu.pc == 0x100
+
+    def test_single_register_read_write(self, target):
+        cpu, __, pipe, stub = target
+        assert ask(pipe, stub, "P2=%s" % rsp.encode_register(99)) == "OK"
+        assert cpu.regs[2] == 99
+        assert rsp.decode_register(ask(pipe, stub, "p2")) == 99
+
+    def test_pc_is_register_16(self, target):
+        cpu, __, pipe, stub = target
+        ask(pipe, stub, "P10=%s" % rsp.encode_register(0x40))
+        assert cpu.pc == 0x40
+
+    def test_register_index_out_of_range(self, target):
+        __, __, pipe, stub = target
+        assert ask(pipe, stub, "p99") == "E01"
+
+    def test_memory_read_write(self, target):
+        cpu, program, pipe, stub = target
+        address = program.symbols.variable_address("var")
+        reply = ask(pipe, stub, "m%x,4" % address)
+        assert rsp.decode_hex(reply) == (0x1234).to_bytes(4, "little")
+        ask(pipe, stub, "M%x,4:%s" % (address, (0x9999).to_bytes(
+            4, "little").hex()))
+        assert cpu.memory.load_word(address) == 0x9999
+
+    def test_memory_read_out_of_range(self, target):
+        __, __, pipe, stub = target
+        assert ask(pipe, stub, "m%x,4" % (1 << 30)) == "E02"
+
+    def test_memory_write_length_mismatch(self, target):
+        __, __, pipe, stub = target
+        assert ask(pipe, stub, "M0,8:00") == "E03"
+
+    def test_qstatus_reports_state(self, target):
+        __, __, pipe, stub = target
+        reply = ask(pipe, stub, "qStatus")
+        assert reply.startswith("Status:stopped")
+
+    def test_qsupported(self, target):
+        __, __, pipe, stub = target
+        assert "PacketSize" in ask(pipe, stub, "qSupported:foo")
+
+    def test_unsupported_packet_gets_empty_reply(self, target):
+        __, __, pipe, stub = target
+        assert ask(pipe, stub, "vFooBar") == ""
+
+
+class TestBreakpointPackets:
+    def test_insert_and_remove_software_breakpoint(self, target):
+        cpu, __, pipe, stub = target
+        assert ask(pipe, stub, "Z0,10,4") == "OK"
+        assert cpu.breakpoints.has_code(0x10)
+        assert ask(pipe, stub, "z0,10,4") == "OK"
+        assert not cpu.breakpoints.has_code(0x10)
+
+    def test_insert_watchpoint(self, target):
+        cpu, __, pipe, stub = target
+        assert ask(pipe, stub, "Z2,100,4") == "OK"
+        assert cpu.breakpoints.has_watchpoints
+
+    def test_malformed_z_packet(self, target):
+        __, __, pipe, stub = target
+        assert ask(pipe, stub, "Z0,10") == "E01"
+
+
+class TestExecution:
+    def test_continue_then_execute_reports_exit(self, target):
+        cpu, __, pipe, stub = target
+        pipe.a.send(rsp.frame("c"))
+        stub.service_pending()
+        assert stub.running
+        reason = stub.execute(10_000)
+        assert reason is StopReason.HALT
+        reply = rsp.unframe(pipe.a.recv()).decode()
+        assert reply == "W07"
+        assert stub.exited
+
+    def test_breakpoint_stop_reply_carries_pc(self, target):
+        cpu, program, pipe, stub = target
+        loop = program.symbols.labels["loop"]
+        ask(pipe, stub, "Z0,%x,4" % loop)
+        pipe.a.send(rsp.frame("c"))
+        stub.service_pending()
+        stub.execute(10_000)
+        reply = rsp.unframe(pipe.a.recv()).decode()
+        assert reply == "T05pc:%08x;" % loop
+
+    def test_watchpoint_stop_reply_carries_address(self, target):
+        cpu, program, pipe, stub = target
+        cpu2_src = """
+            la r1, var
+            li r0, 5
+            sw r0, [r1]
+            halt
+        var: .word 0
+        """
+        cpu, program, __ = make_cpu(cpu2_src)
+        pipe = Pipe("w")
+        stub = GdbStub(cpu, pipe.b)
+        address = program.symbols.variable_address("var")
+        ask(pipe, stub, "Z2,%x,4" % address)
+        pipe.a.send(rsp.frame("c"))
+        stub.service_pending()
+        stub.execute(1000)
+        reply = rsp.unframe(pipe.a.recv()).decode()
+        assert reply == "T05watch:%08x;" % address
+
+    def test_step_packet_replies_with_status(self, target):
+        cpu, __, pipe, stub = target
+        reply = ask(pipe, stub, "s")
+        assert reply == "S05"
+        assert cpu.instructions == 1
+
+    def test_budget_exhaustion_sends_no_stop(self, target):
+        __, __, pipe, stub = target
+        pipe.a.send(rsp.frame("c"))
+        stub.service_pending()
+        reason = stub.execute(2)
+        assert reason is StopReason.CYCLE_LIMIT
+        assert pipe.a.recv() is None
+        assert stub.running
+
+    def test_execute_without_continue_is_noop(self, target):
+        cpu, __, pipe, stub = target
+        assert stub.execute(100) is None
+        assert cpu.instructions == 0

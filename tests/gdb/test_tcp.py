@@ -1,0 +1,156 @@
+"""The TCP RSP server, exercised by a raw-socket RSP client.
+
+Single-threaded: loopback TCP buffers let us interleave client writes,
+server servicing and client reads deterministically.
+"""
+
+import socket
+
+import pytest
+
+from repro.gdb import rsp
+from repro.gdb.tcp import TcpStubServer
+from tests.support import make_cpu
+
+_PROGRAM = """
+    li r0, 0
+loop:
+    addi r0, r0, 1
+    li r1, 3
+    bne r0, r1, loop
+    li r0, 4
+    sys 0
+var: .word 0x77
+"""
+
+
+class _RawClient:
+    """A minimal real-socket RSP client with ack handling."""
+
+    def __init__(self, address):
+        self.sock = socket.create_connection(address, timeout=5)
+        # Without NODELAY, Nagle + delayed-ACK stalls small packets
+        # (the ack byte followed by a command) by tens of ms.
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.buffer = b""
+
+    def close(self):
+        self.sock.close()
+
+    def _read_more(self):
+        chunk = self.sock.recv(4096)
+        if not chunk:
+            raise ConnectionError("server closed")
+        self.buffer += chunk
+
+    def read_packet(self, server=None):
+        """Next framed packet; optionally services the server side."""
+        while True:
+            start = self.buffer.find(b"$")
+            if start != -1:
+                end = self.buffer.find(b"#", start)
+                if end != -1 and len(self.buffer) >= end + 3:
+                    packet = self.buffer[start:end + 3]
+                    self.buffer = self.buffer[end + 3:]
+                    self.sock.sendall(b"+")
+                    return rsp.unframe(packet).decode("ascii")
+            if server is not None:
+                server.service()
+            self._read_more()
+
+    def transact(self, request, server):
+        self.sock.sendall(rsp.frame(request))
+        server.service()
+        return self.read_packet(server)
+
+
+@pytest.fixture
+def session():
+    cpu, program, __ = make_cpu(_PROGRAM)
+    server = TcpStubServer(cpu)
+    client = _RawClient(server.address)
+    server.accept(timeout=5)
+    yield cpu, program, server, client
+    client.close()
+    server.close()
+
+
+class TestTcpServer:
+    def test_register_read_over_real_socket(self, session):
+        cpu, program, server, client = session
+        cpu.regs[3] = 0xA1B2C3D4
+        reply = client.transact("p3", server)
+        assert rsp.decode_register(reply) == 0xA1B2C3D4
+
+    def test_memory_access(self, session):
+        cpu, program, server, client = session
+        address = program.symbols.variable_address("var")
+        reply = client.transact("m%x,4" % address, server)
+        assert rsp.decode_hex(reply) == (0x77).to_bytes(4, "little")
+
+    def test_breakpoint_continue_and_stop_reply(self, session):
+        cpu, program, server, client = session
+        loop = program.symbols.labels["loop"]
+        assert client.transact("Z0,%x,4" % loop, server) == "OK"
+        client.sock.sendall(rsp.frame("c"))
+        server.service()
+        server.execute(10_000)
+        stop = client.read_packet()
+        assert stop == "T05pc:%08x;" % loop
+
+    def test_exit_reply(self, session):
+        cpu, program, server, client = session
+        client.sock.sendall(rsp.frame("c"))
+        server.service()
+        server.execute(100_000)
+        assert client.read_packet() == "W04"
+
+    def test_server_naks_corrupt_packets(self, session):
+        cpu, program, server, client = session
+        client.sock.sendall(b"$p0#00")   # bad checksum
+        server.service()
+        client._read_more()
+        assert client.buffer.startswith(b"-")
+        client.buffer = client.buffer[1:]
+        # A clean retransmission succeeds.
+        reply = client.transact("p0", server)
+        assert rsp.decode_register(reply) == cpu.regs[0]
+        assert server.endpoint.nak_count == 1
+
+    def test_acks_sent_for_good_packets(self, session):
+        cpu, program, server, client = session
+        client.sock.sendall(rsp.frame("p0"))
+        server.service()
+        client._read_more()
+        assert client.buffer.startswith(b"+")
+
+    def test_service_without_client_rejected(self):
+        from repro.errors import RspError
+        cpu, __, __ = make_cpu("halt")
+        server = TcpStubServer(cpu)
+        with pytest.raises(RspError):
+            server.service()
+        server.close()
+
+
+class TestStreamReassembly:
+    def test_packet_split_across_tcp_segments(self, session):
+        """A framed packet arriving byte-by-byte must reassemble."""
+        cpu, program, server, client = session
+        packet = rsp.frame("p0")
+        for i in range(len(packet)):
+            client.sock.sendall(packet[i:i + 1])
+        server.service()
+        reply = client.read_packet()
+        assert rsp.decode_register(reply) == cpu.regs[0]
+
+    def test_two_packets_in_one_segment(self, session):
+        cpu, program, server, client = session
+        cpu.regs[1] = 0x11
+        cpu.regs[2] = 0x22
+        client.sock.sendall(rsp.frame("p1") + rsp.frame("p2"))
+        server.service()
+        first = client.read_packet()
+        second = client.read_packet()
+        assert rsp.decode_register(first) == 0x11
+        assert rsp.decode_register(second) == 0x22

@@ -1,0 +1,99 @@
+"""Cross-subsystem invariants of the full case study."""
+
+import pytest
+
+from repro.router.system import build_system
+from repro.sysc.simtime import MS, US
+
+SCHEMES = ["local", "gdb-wrapper", "gdb-kernel", "driver-kernel"]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+class TestConservation:
+    def test_packets_conserved(self, scheme):
+        system = build_system(scheme=scheme, inter_packet_delay=15 * US)
+        system.run(1 * MS)
+        stats = system.stats()
+        in_flight = sum(len(fifo) for fifo in system.router.inputs)
+        in_flight += sum(len(fifo) for fifo in system.router.outputs)
+        in_flight += sum(1 for engine in system.engines if engine.busy)
+        total = (stats.forwarded + stats.input_drops + stats.output_drops
+                 + in_flight)
+        # received <= forwarded (consumers drain outputs).
+        assert stats.received <= stats.forwarded
+        assert total == stats.generated
+
+    def test_no_corruption_ever(self, scheme):
+        system = build_system(scheme=scheme, inter_packet_delay=15 * US)
+        system.run(1 * MS)
+        assert system.stats().corrupt == 0
+
+    def test_every_output_port_used(self, scheme):
+        system = build_system(scheme=scheme, inter_packet_delay=20 * US)
+        system.run(2 * MS)
+        received_per_consumer = [c.received for c in system.consumers]
+        assert all(count > 0 for count in received_per_consumer)
+
+    def test_routing_respects_table(self, scheme):
+        system = build_system(scheme=scheme, inter_packet_delay=30 * US)
+        system.run(1 * MS)
+        # Drain remaining output packets and check their port mapping.
+        for port, fifo in enumerate(system.router.outputs):
+            while True:
+                packet = fifo.nb_get()
+                if packet is None:
+                    break
+                assert packet.destination % 4 == port
+
+
+class TestWorkloadScaling:
+    def test_saturation_decreases_forwarding(self):
+        relaxed = build_system(scheme="driver-kernel",
+                               inter_packet_delay=60 * US)
+        relaxed.run(2 * MS)
+        saturated = build_system(scheme="driver-kernel",
+                                 inter_packet_delay=5 * US)
+        saturated.run(2 * MS)
+        assert saturated.stats().forwarded_percent < \
+            relaxed.stats().forwarded_percent
+
+    def test_longer_runs_forward_proportionally(self):
+        short = build_system(scheme="gdb-kernel",
+                             inter_packet_delay=20 * US)
+        short.run(1 * MS)
+        long = build_system(scheme="gdb-kernel",
+                            inter_packet_delay=20 * US)
+        long.run(3 * MS)
+        ratio = long.stats().forwarded / max(1, short.stats().forwarded)
+        assert 2.0 < ratio < 4.0
+
+    def test_guest_cycles_scale_with_simulated_time(self):
+        system = build_system(scheme="driver-kernel",
+                              inter_packet_delay=20 * US)
+        system.run(1 * MS)
+        first = system.cpu.cycles
+        system.run(1 * MS)
+        assert system.cpu.cycles == pytest.approx(2 * first, rel=0.05)
+
+
+class TestBurstiness:
+    def test_bursty_traffic_drops_where_smooth_does_not(self):
+        smooth = build_system(scheme="driver-kernel",
+                              inter_packet_delay=25 * US,
+                              max_packets=70)
+        smooth.run(3 * MS)
+        bursty = build_system(scheme="driver-kernel",
+                              inter_packet_delay=25 * US, burst=8,
+                              max_packets=70)
+        bursty.run(3 * MS)
+        assert smooth.stats().generated == bursty.stats().generated
+        # Bursts overflow the input FIFOs that the smooth stream rides.
+        assert smooth.stats().input_drops == 0
+        assert bursty.stats().input_drops > 0
+        assert bursty.stats().forwarded < smooth.stats().forwarded
+
+    def test_bursty_traffic_still_uncorrupted(self):
+        system = build_system(scheme="gdb-kernel",
+                              inter_packet_delay=20 * US, burst=4)
+        system.run(1 * MS)
+        assert system.stats().corrupt == 0

@@ -1,0 +1,126 @@
+"""Failure injection: the system must detect what it claims to detect."""
+
+import pytest
+
+from repro.cosim.channels import Socket
+from repro.cosim.messages import (Message, MessageType, Block, pack_message)
+from repro.errors import CosimError, GuestFault, RtosError
+from repro.iss.assembler import assemble
+from repro.iss.cpu import Cpu
+from repro.iss.loader import load_program
+from repro.router.system import build_system
+from repro.rtos.kernel import RtosKernel
+from repro.sysc.simtime import MS, US
+
+
+class TestChecksumDetection:
+    def test_buggy_guest_checksum_is_caught_by_consumer(self, kernel):
+        """Replace the guest's checksum algorithm with a wrong one; the
+        consumer must flag every forwarded packet as corrupt."""
+        system = build_system(scheme="gdb-kernel",
+                              inter_packet_delay=40 * US)
+        # Sabotage: make the guest's 'not r0, r2' a 'mov r0, r2'
+        # (forgetting the complement - a classic off-by-algorithm bug).
+        source = system.app.source.replace("not  r0, r2", "mov  r0, r2")
+        program = assemble(source)
+        base, image = program.flatten()
+        system.cpu.memory.write_bytes(base, image)
+        system.cpu.flush_decode_cache()
+        system.run(1 * MS)
+        stats = system.stats()
+        assert stats.forwarded > 0
+        assert stats.corrupt == stats.received
+
+    def test_memory_corruption_detected(self, kernel):
+        """Flipping a data word after checksumming must be detected."""
+        system = build_system(scheme="local", inter_packet_delay=20 * US)
+        original_put = system.router.outputs[0].nb_put
+
+        def corrupting_put(packet):
+            damaged = type(packet)(
+                packet.source, packet.destination, packet.packet_id,
+                ((packet.data[0] ^ 1),) + packet.data[1:],
+                packet.checksum)
+            return original_put(damaged)
+
+        system.router.outputs[0].nb_put = corrupting_put
+        system.run(1 * MS)
+        assert system.consumers[0].corrupt == system.consumers[0].received
+        assert all(c.corrupt == 0 for c in system.consumers[1:])
+
+
+class TestProtocolViolations:
+    def test_unassociated_breakpoint_raises(self, kernel):
+        """A stop at a breakpoint with no port binding is a wiring bug
+        and must fail loudly, not hang."""
+        system = build_system(scheme="gdb-kernel",
+                              inter_packet_delay=40 * US)
+        context = system.scheme.hook.contexts[0]
+        # Plant a rogue breakpoint on the checksum loop.
+        rogue = system.app.symbols.labels["chk_loop"]
+        context.client.set_breakpoint(rogue)
+        with pytest.raises(CosimError):
+            system.run(1 * MS)
+
+    def test_unknown_port_in_driver_message_raises(self, kernel):
+        system = build_system(scheme="driver-kernel",
+                              inter_packet_delay=40 * US)
+        context = system.scheme.hook.contexts[0]
+        bogus = Message(MessageType.WRITE, [Block("no_such_port",
+                                                  b"\x00" * 4)])
+        context.data_socket.b.send(pack_message(bogus))
+        with pytest.raises(CosimError):
+            system.run(100 * US)
+
+    def test_reply_on_guest_socket_with_wrong_type_raises(self, kernel):
+        cpu = Cpu()
+        rtos = RtosKernel(cpu)
+        data, irq = Socket(4444), Socket(4445)
+        rtos.attach_cosim(data.b, irq.b)
+        rtos.create_thread("t", 0x1000, 0x8000)
+        program = assemble(".org 0x1000\nmain: wfi\nb main")
+        for address, payload in program.chunks:
+            cpu.memory.write_bytes(address, payload)
+        cpu.flush_decode_cache()
+        rtos.start()
+        data.a.send(pack_message(Message(MessageType.WRITE,
+                                         [Block("p", b"\x00" * 4)])))
+        with pytest.raises(RtosError):
+            rtos.advance(1000)
+
+
+class TestGuestFaults:
+    def test_guest_division_by_zero_surfaces(self, kernel):
+        source = """
+            .entry main
+        main:
+            li r0, 1
+            li r1, 0
+            divu r2, r0, r1
+        """
+        program = assemble(source)
+        cpu = Cpu()
+        load_program(cpu, program)
+        with pytest.raises(GuestFault):
+            cpu.run()
+
+    def test_wild_jump_out_of_memory_faults(self, kernel):
+        from repro.errors import MemoryAccessError
+        source = """
+            .entry main
+        main:
+            li32 r0, 0x40000000
+            jr r0
+        """
+        program = assemble(source)
+        cpu = Cpu()
+        load_program(cpu, program)
+        with pytest.raises(MemoryAccessError):
+            cpu.run()
+
+    def test_unhandled_trap_identifies_pc(self, kernel):
+        program = assemble(".entry main\nmain: sys 77")
+        cpu = Cpu()
+        load_program(cpu, program)
+        with pytest.raises(GuestFault, match="SYS 77"):
+            cpu.run()

@@ -1,0 +1,192 @@
+import pytest
+
+from repro.errors import AssemblerError
+from repro.iss.assembler import assemble
+from repro.iss import isa
+
+
+class TestBasicAssembly:
+    def test_single_instruction(self):
+        program = assemble("nop")
+        base, image = program.flatten()
+        assert base == 0
+        assert image == isa.encode("nop").to_bytes(4, "little")
+
+    def test_origin_offsets_addresses(self):
+        program = assemble("start: nop", origin=0x100)
+        assert program.symbols.labels["start"] == 0x100
+
+    def test_labels_resolve_forward_and_backward(self):
+        source = """
+        back:
+            jmp forward
+            jmp back
+        forward:
+            nop
+        """
+        program = assemble(source)
+        words = _words(program)
+        assert isa.decode(words[0]).imm == 1   # to 'forward' over one instr
+        assert isa.decode(words[1]).imm == -2  # back to 'back'
+
+    def test_register_aliases(self):
+        program = assemble("push sp\npush lr")
+        words = _words(program)
+        assert isa.decode(words[0]).rd == 13
+        assert isa.decode(words[1]).rd == 14
+
+    def test_comments_stripped(self):
+        program = assemble("nop ; trailing\n# full line\n; another\nnop")
+        assert program.size == 8
+
+    def test_character_literal(self):
+        program = assemble("li r0, 'A'")
+        assert isa.decode(_words(program)[0]).imm == 65
+
+    def test_hex_and_negative_immediates(self):
+        program = assemble("addi r1, r1, -4\nli r2, 0x10")
+        words = _words(program)
+        assert isa.decode(words[0]).imm == -4
+        assert isa.decode(words[1]).imm == 16
+
+
+class TestMemoryOperands:
+    def test_plain_base(self):
+        decoded = isa.decode(_words(assemble("lw r1, [r2]"))[0])
+        assert (decoded.rs1, decoded.imm) == (2, 0)
+
+    def test_positive_and_negative_offsets(self):
+        program = assemble("lw r1, [r2 + 8]\nsw r1, [r2 - 12]")
+        words = _words(program)
+        assert isa.decode(words[0]).imm == 8
+        assert isa.decode(words[1]).imm == -12
+
+    def test_symbolic_offset(self):
+        program = assemble(".equ OFF, 20\nlw r1, [r2 + OFF]")
+        assert isa.decode(_words(program)[0]).imm == 20
+
+    def test_bad_operand_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("lw r1, (r2)")
+
+
+class TestDirectives:
+    def test_word_directive_with_symbols(self):
+        program = assemble("target: nop\ntable: .word 1, target, 3",
+                           origin=0x40)
+        base, image = program.flatten()
+        words = [int.from_bytes(image[i:i + 4], "little")
+                 for i in range(4, 16, 4)]
+        assert words == [1, 0x40, 3]
+
+    def test_byte_space_ascii(self):
+        program = assemble('a: .byte 1, 2\nb: .space 3\nc: .asciz "hi"')
+        __, image = program.flatten()
+        assert image == b"\x01\x02\x00\x00\x00hi\x00"
+
+    def test_ascii_without_nul(self):
+        __, image = assemble('.ascii "ab"').flatten()
+        assert image == b"ab"
+
+    def test_escape_sequences_in_strings(self):
+        __, image = assemble(r'.asciz "a\nb"').flatten()
+        assert image == b"a\nb\x00"
+
+    def test_org_moves_location_counter(self):
+        program = assemble("nop\n.org 0x20\nlate: nop")
+        assert program.symbols.labels["late"] == 0x20
+
+    def test_equ_defines_constant(self):
+        program = assemble(".equ N, 7\nli r0, N")
+        assert isa.decode(_words(program)[0]).imm == 7
+
+    def test_entry_sets_entry_point(self):
+        program = assemble(".entry main\nnop\nmain: nop")
+        assert program.entry == 4
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".frobnicate 3")
+
+
+class TestPseudoInstructions:
+    def test_la_expands_to_lui_ori(self):
+        program = assemble("la r1, target\n.org 0x12344\ntarget: nop")
+        words = _words(program)[:2]
+        first, second = isa.decode(words[0]), isa.decode(words[1])
+        assert first.name == "lui" and first.imm == 0x1
+        assert second.name == "ori" and second.imm == 0x2344
+
+    def test_li32_loads_arbitrary_word(self):
+        program = assemble("li32 r2, 0xDEADBEEF")
+        words = _words(program)
+        assert isa.decode(words[0]).imm == 0xDEAD
+        assert isa.decode(words[1]).imm == 0xBEEF
+
+    def test_ret_is_jr_lr(self):
+        decoded = isa.decode(_words(assemble("ret"))[0])
+        assert decoded.name == "jr" and decoded.rd == 14
+
+    def test_call_is_jal(self):
+        program = assemble("call f\nf: nop")
+        decoded = isa.decode(_words(program)[0])
+        assert decoded.name == "jal" and decoded.imm == 0
+
+    def test_b_is_jmp(self):
+        assert isa.decode(_words(assemble("x: b x"))[0]).name == "jmp"
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate r0")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("x: nop\nx: nop")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AssemblerError):
+            assemble("jmp nowhere")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("mov r1, r99")
+
+    def test_error_message_carries_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("nop\nnop\nbadop r1")
+
+
+class TestLineTable:
+    def test_line_to_addr_records_instruction_lines(self):
+        source = "nop\n; comment\nnop"
+        program = assemble(source)
+        assert program.symbols.line_to_addr == {1: 0, 3: 4}
+
+    def test_pragmas_collected(self):
+        source = ";#pragma iss_in foo\nnop\n;#pragma iss_out bar\nnop"
+        program = assemble(source)
+        kinds = [(p.kind, p.variable, p.line) for p in program.pragmas]
+        assert kinds == [("iss_in", "foo", 1), ("iss_out", "bar", 3)]
+
+    def test_data_symbols_sized(self):
+        program = assemble("buf: .space 16\nval: .word 1, 2")
+        assert program.symbols.data_symbols["buf"] == (0, 16)
+        assert program.symbols.data_symbols["val"] == (16, 8)
+
+
+def _words(program):
+    __, image = program.flatten()
+    return [int.from_bytes(image[i:i + 4], "little")
+            for i in range(0, len(image), 4)]
+
+
+class TestErrorHints:
+    def test_li_overflow_suggests_li32(self):
+        with pytest.raises(AssemblerError, match="use li32"):
+            assemble("li r0, 0x12345")

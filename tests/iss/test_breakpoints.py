@@ -1,0 +1,129 @@
+import pytest
+
+from repro.errors import IssError
+from repro.iss.breakpoints import BreakpointSet, WatchKind, Watchpoint
+from repro.iss.cpu import StopReason
+from tests.support import make_cpu
+
+_COUNTER = """
+    li r0, 0
+    la r2, var
+loop:
+    addi r0, r0, 1
+    sw r0, [r2]
+    li r1, 4
+    bne r0, r1, loop
+    halt
+var: .word 0
+"""
+
+
+class TestBreakpointSet:
+    def test_add_remove_code(self):
+        bps = BreakpointSet()
+        bps.add_code(0x100)
+        assert bps.has_code(0x100)
+        bps.remove_code(0x100)
+        assert not bps.has_code(0x100)
+
+    def test_remove_missing_is_noop(self):
+        BreakpointSet().remove_code(0x5)
+
+    def test_addresses_sorted(self):
+        bps = BreakpointSet()
+        for address in (0x30, 0x10, 0x20):
+            bps.add_code(address)
+        assert bps.code_addresses() == [0x10, 0x20, 0x30]
+
+    def test_hit_counting(self):
+        bps = BreakpointSet()
+        bps.add_code(0x10)
+        bps.record_code_hit(0x10)
+        bps.record_code_hit(0x10)
+        assert bps.hits_at(0x10) == 2
+        assert bps.code_hit_count == 2
+
+
+class TestWatchpointMatching:
+    def test_write_watch_ignores_reads(self):
+        watch = Watchpoint(0x100, 4, WatchKind.WRITE)
+        assert watch.matches(0x100, is_write=True)
+        assert not watch.matches(0x100, is_write=False)
+
+    def test_read_watch_ignores_writes(self):
+        watch = Watchpoint(0x100, 4, WatchKind.READ)
+        assert watch.matches(0x102, is_write=False)
+        assert not watch.matches(0x102, is_write=True)
+
+    def test_access_watch_matches_both(self):
+        watch = Watchpoint(0x100, 4, WatchKind.ACCESS)
+        assert watch.matches(0x100, True) and watch.matches(0x100, False)
+
+    def test_range_boundaries(self):
+        watch = Watchpoint(0x100, 4)
+        assert watch.matches(0x103, True)
+        assert not watch.matches(0x104, True)
+        assert not watch.matches(0xFF, True)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(IssError):
+            Watchpoint(0x100, 0)
+
+
+class TestCpuIntegration:
+    def test_stop_before_breakpoint_instruction(self):
+        cpu, prog, __ = make_cpu(_COUNTER)
+        target = prog.symbols.labels["loop"]
+        cpu.breakpoints.add_code(target)
+        assert cpu.run() is StopReason.BREAKPOINT
+        assert cpu.pc == target
+        assert cpu.regs[0] == 0  # instruction at bp has NOT executed
+
+    def test_resume_does_not_retrip(self):
+        cpu, prog, __ = make_cpu(_COUNTER)
+        target = prog.symbols.labels["loop"]
+        cpu.breakpoints.add_code(target)
+        hits = 0
+        while cpu.run() is StopReason.BREAKPOINT:
+            hits += 1
+            cpu.resume_from_breakpoint()
+        assert hits == 4
+
+    def test_watchpoint_stops_after_write(self):
+        cpu, prog, __ = make_cpu(_COUNTER)
+        address = prog.symbols.variable_address("var")
+        cpu.breakpoints.add_watch(address)
+        assert cpu.run() is StopReason.WATCHPOINT
+        watch, hit_address, value, is_write = cpu.watch_hit
+        assert hit_address == address and value == 1 and is_write
+        # The write has happened (stop is after the access).
+        assert cpu.memory.load_word(address) == 1
+
+    def test_read_watchpoint(self):
+        cpu, prog, __ = make_cpu("""
+            la r1, var
+            lw r0, [r1]
+            halt
+        var: .word 123
+        """)
+        address = prog.symbols.variable_address("var")
+        cpu.breakpoints.add_watch(address, kind=WatchKind.READ)
+        assert cpu.run() is StopReason.WATCHPOINT
+        __, hit_address, value, is_write = cpu.watch_hit
+        assert hit_address == address and value == 123 and not is_write
+
+    def test_step_over_breakpoint(self):
+        cpu, prog, __ = make_cpu(_COUNTER)
+        target = prog.symbols.labels["loop"]
+        cpu.breakpoints.add_code(target)
+        cpu.run()
+        cpu.step()  # steps off the breakpoint
+        assert cpu.pc == target + 4
+
+    def test_remove_watch_by_kind(self):
+        bps = BreakpointSet()
+        bps.add_watch(0x10, kind=WatchKind.WRITE)
+        bps.add_watch(0x10, kind=WatchKind.READ)
+        bps.remove_watch(0x10, WatchKind.WRITE)
+        assert bps.check_access(0x10, is_write=False) is not None
+        assert bps.check_access(0x10, is_write=True) is None

@@ -1,0 +1,106 @@
+import pytest
+
+from repro.errors import IssError
+from repro.iss.cache import CacheModel
+from tests.support import make_cpu, run_to_halt
+
+
+class TestGeometry:
+    def test_sets_computed(self):
+        cache = CacheModel(size=4096, line_size=16, ways=2)
+        assert cache.num_sets == 128
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(IssError):
+            CacheModel(size=3000)
+        with pytest.raises(IssError):
+            CacheModel(line_size=24)
+        with pytest.raises(IssError):
+            CacheModel(ways=3)
+
+    def test_direct_mapped(self):
+        cache = CacheModel(size=256, line_size=16, ways=1)
+        assert cache.num_sets == 16
+
+
+class TestAccessBehaviour:
+    def test_first_access_misses_then_hits(self):
+        cache = CacheModel(miss_cycles=20)
+        assert cache.access(0x100) == 20
+        assert cache.access(0x100) == 0
+        assert cache.access(0x104) == 0   # same 16-byte line
+        assert (cache.hits, cache.misses) == (2, 1)
+
+    def test_distinct_lines_miss_independently(self):
+        cache = CacheModel(line_size=16, miss_cycles=5)
+        assert cache.access(0x00) == 5
+        assert cache.access(0x10) == 5
+
+    def test_lru_eviction_within_set(self):
+        # 2-way, 2 sets: lines 0x00, 0x40, 0x80 map to set 0.
+        cache = CacheModel(size=64, line_size=16, ways=2, miss_cycles=9)
+        cache.access(0x00)
+        cache.access(0x40)
+        cache.access(0x00)      # refresh line 0 -> 0x40 becomes LRU
+        cache.access(0x80)      # evicts 0x40
+        assert cache.access(0x00) == 0
+        assert cache.access(0x40) == 9  # was evicted
+
+    def test_invalidate_flushes(self):
+        cache = CacheModel()
+        cache.access(0x100)
+        cache.invalidate()
+        assert cache.access(0x100) == cache.miss_cycles
+
+    def test_hit_rate(self):
+        cache = CacheModel()
+        cache.access(0)
+        cache.access(0)
+        cache.access(0)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_cache_hit_rate_zero(self):
+        assert CacheModel().hit_rate == 0.0
+
+
+class TestCpuIntegration:
+    _LOOP = """
+        li r0, 0
+        li r1, 50
+        la r3, var
+    loop:
+        lw r2, [r3]
+        addi r0, r0, 1
+        bne r0, r1, loop
+        halt
+    var: .word 0
+    """
+
+    def test_icache_charges_cold_misses_then_amortises(self):
+        cold_cpu, __, __ = make_cpu(self._LOOP)
+        icache = cold_cpu.attach_icache(CacheModel(miss_cycles=10))
+        run_to_halt(cold_cpu)
+        warm_cpu, __, __ = make_cpu(self._LOOP)
+        run_to_halt(warm_cpu)
+        # The loop body shares two cache lines: only a handful of
+        # misses despite ~150 loop fetches.
+        assert icache.misses <= 4
+        assert cold_cpu.cycles == warm_cpu.cycles + 10 * icache.misses
+
+    def test_dcache_covers_loads(self):
+        cpu, __, __ = make_cpu(self._LOOP)
+        dcache = cpu.attach_dcache(CacheModel(miss_cycles=15))
+        run_to_halt(cpu)
+        assert dcache.misses == 1      # the single variable line
+        assert dcache.hits == 49
+
+    def test_cache_affects_cycles_not_results(self):
+        plain, __, __ = make_cpu(self._LOOP)
+        run_to_halt(plain)
+        cached, __, __ = make_cpu(self._LOOP)
+        cached.attach_icache(CacheModel())
+        cached.attach_dcache(CacheModel())
+        run_to_halt(cached)
+        assert cached.regs == plain.regs
+        assert cached.instructions == plain.instructions
+        assert cached.cycles > plain.cycles

@@ -1,0 +1,381 @@
+import pytest
+
+from repro.errors import GuestFault
+from repro.iss.cpu import Cpu, StopReason, REG_LR, REG_SP
+from tests.support import make_cpu, run_to_halt
+
+
+class TestArithmetic:
+    def test_add_sub_mul(self):
+        cpu, __, __ = make_cpu("""
+            li r0, 6
+            li r1, 7
+            mul r2, r0, r1
+            add r3, r2, r0
+            sub r4, r3, r1
+            halt
+        """)
+        run_to_halt(cpu)
+        assert cpu.regs[2] == 42
+        assert cpu.regs[3] == 48
+        assert cpu.regs[4] == 41
+
+    def test_wraparound_arithmetic(self):
+        cpu, __, __ = make_cpu("""
+            li32 r0, 0xFFFFFFFF
+            addi r0, r0, 1
+            halt
+        """)
+        run_to_halt(cpu)
+        assert cpu.regs[0] == 0
+
+    def test_divu_remu(self):
+        cpu, __, __ = make_cpu("""
+            li r0, 17
+            li r1, 5
+            divu r2, r0, r1
+            remu r3, r0, r1
+            halt
+        """)
+        run_to_halt(cpu)
+        assert (cpu.regs[2], cpu.regs[3]) == (3, 2)
+
+    def test_division_by_zero_faults(self):
+        cpu, __, __ = make_cpu("""
+            li r0, 1
+            li r1, 0
+            divu r2, r0, r1
+            halt
+        """)
+        with pytest.raises(GuestFault):
+            cpu.run()
+
+    def test_logic_and_shifts(self):
+        cpu, __, __ = make_cpu("""
+            li   r0, 0xF0
+            li   r1, 0x0F
+            or   r2, r0, r1
+            and  r3, r0, r1
+            xor  r4, r0, r1
+            not  r5, r0
+            li   r6, 4
+            shl  r7, r1, r6
+            shr  r8, r0, r6
+            halt
+        """)
+        run_to_halt(cpu)
+        assert cpu.regs[2] == 0xFF
+        assert cpu.regs[3] == 0
+        assert cpu.regs[4] == 0xFF
+        assert cpu.regs[5] == 0xFFFFFF0F
+        assert cpu.regs[7] == 0xF0
+        assert cpu.regs[8] == 0x0F
+
+    def test_sar_preserves_sign(self):
+        cpu, __, __ = make_cpu("""
+            li   r0, -16
+            li   r1, 2
+            sar  r2, r0, r1
+            shr  r3, r0, r1
+            halt
+        """)
+        run_to_halt(cpu)
+        assert cpu.regs[2] == 0xFFFFFFFC
+        assert cpu.regs[3] == 0x3FFFFFFC
+
+    def test_slt_signed_vs_unsigned(self):
+        cpu, __, __ = make_cpu("""
+            li   r0, -1
+            li   r1, 1
+            slt  r2, r0, r1
+            sltu r3, r0, r1
+            halt
+        """)
+        run_to_halt(cpu)
+        assert cpu.regs[2] == 1   # -1 < 1 signed
+        assert cpu.regs[3] == 0   # 0xFFFFFFFF > 1 unsigned
+
+
+class TestMemoryInstructions:
+    def test_word_load_store(self):
+        cpu, prog, __ = make_cpu("""
+            la  r1, var
+            li32 r0, 0xCAFEBABE
+            sw  r0, [r1]
+            lw  r2, [r1]
+            halt
+        var: .word 0
+        """)
+        run_to_halt(cpu)
+        assert cpu.regs[2] == 0xCAFEBABE
+
+    def test_byte_loads_sign_and_zero_extend(self):
+        cpu, __, __ = make_cpu("""
+            la  r1, var
+            lb  r2, [r1]
+            lbu r3, [r1]
+            halt
+        var: .byte 0xFF
+        """)
+        run_to_halt(cpu)
+        assert cpu.regs[2] == 0xFFFFFFFF
+        assert cpu.regs[3] == 0xFF
+
+    def test_store_byte(self):
+        cpu, prog, __ = make_cpu("""
+            la r1, var
+            li r0, 0xAB
+            sb r0, [r1 + 1]
+            halt
+        var: .word 0
+        """)
+        run_to_halt(cpu)
+        address = prog.symbols.variable_address("var")
+        assert cpu.memory.load_word(address) == 0xAB00
+
+
+class TestControlFlow:
+    def test_branch_taken_and_not_taken(self):
+        cpu, __, __ = make_cpu("""
+            li r0, 1
+            li r1, 2
+            beq r0, r1, fail
+            bne r0, r1, good
+        fail:
+            li r9, 99
+            halt
+        good:
+            li r9, 1
+            halt
+        """)
+        run_to_halt(cpu)
+        assert cpu.regs[9] == 1
+
+    def test_signed_vs_unsigned_branches(self):
+        cpu, __, __ = make_cpu("""
+            li r0, -1
+            li r1, 1
+            blt r0, r1, signed_ok
+            jmp fail
+        signed_ok:
+            bltu r1, r0, unsigned_ok
+            jmp fail
+        unsigned_ok:
+            li r9, 1
+            halt
+        fail:
+            li r9, 0
+            halt
+        """)
+        run_to_halt(cpu)
+        assert cpu.regs[9] == 1
+
+    def test_call_ret_links_through_lr(self):
+        cpu, __, __ = make_cpu("""
+            call f
+            li r1, 2
+            halt
+        f:
+            li r0, 1
+            ret
+        """)
+        run_to_halt(cpu)
+        assert (cpu.regs[0], cpu.regs[1]) == (1, 2)
+
+    def test_jalr_indirect_call(self):
+        cpu, __, __ = make_cpu("""
+            la r2, f
+            jalr r2
+            halt
+        f:
+            li r0, 5
+            ret
+        """)
+        run_to_halt(cpu)
+        assert cpu.regs[0] == 5
+
+    def test_loop_iteration_count(self):
+        cpu, __, __ = make_cpu("""
+            li r0, 0
+            li r1, 100
+        loop:
+            addi r0, r0, 1
+            bne r0, r1, loop
+            halt
+        """)
+        run_to_halt(cpu)
+        assert cpu.regs[0] == 100
+
+
+class TestStack:
+    def test_push_pop_lifo(self):
+        cpu, __, __ = make_cpu("""
+            li r0, 10
+            li r1, 20
+            push r0
+            push r1
+            pop r2
+            pop r3
+            halt
+        """)
+        run_to_halt(cpu)
+        assert (cpu.regs[2], cpu.regs[3]) == (20, 10)
+
+    def test_stack_pointer_restored(self):
+        cpu, __, __ = make_cpu("""
+            push r0
+            pop r1
+            halt
+        """)
+        initial_sp = cpu.regs[REG_SP]
+        run_to_halt(cpu)
+        assert cpu.regs[REG_SP] == initial_sp
+
+    def test_nested_calls_with_saved_lr(self):
+        cpu, __, __ = make_cpu("""
+            call outer
+            halt
+        outer:
+            push lr
+            call inner
+            pop lr
+            addi r0, r0, 1
+            ret
+        inner:
+            li r0, 10
+            ret
+        """)
+        run_to_halt(cpu)
+        assert cpu.regs[0] == 11
+
+
+class TestExecutionControl:
+    def test_cycle_budget_stops_execution(self):
+        cpu, __, __ = make_cpu("""
+        loop:
+            b loop
+        """)
+        reason = cpu.run(max_cycles=10)
+        assert reason is StopReason.CYCLE_LIMIT
+        assert cpu.cycles >= 10
+
+    def test_instruction_budget(self):
+        cpu, __, __ = make_cpu("""
+        loop:
+            nop
+            b loop
+        """)
+        reason = cpu.run(max_instructions=7)
+        assert reason is StopReason.INSTRUCTION_LIMIT
+        assert cpu.instructions == 7
+
+    def test_wfi_parks_core(self):
+        cpu, __, __ = make_cpu("wfi\nhalt")
+        assert cpu.run() is StopReason.WFI
+        cpu.waiting = False
+        assert cpu.run() is StopReason.HALT
+
+    def test_interrupt_stops_when_enabled(self):
+        cpu, __, __ = make_cpu("""
+        loop:
+            nop
+            b loop
+        """)
+        cpu.interrupts_enabled = True
+        cpu.raise_irq(3)
+        assert cpu.run(max_cycles=100) is StopReason.INTERRUPT
+        assert cpu.irq_vector == 3
+
+    def test_interrupt_ignored_when_disabled(self):
+        cpu, __, __ = make_cpu("""
+        loop:
+            nop
+            b loop
+        """)
+        cpu.raise_irq(3)
+        assert cpu.run(max_cycles=50) is StopReason.CYCLE_LIMIT
+
+    def test_irq_wakes_wfi_core(self):
+        cpu, __, __ = make_cpu("wfi\nhalt")
+        cpu.run()
+        cpu.raise_irq(1)
+        assert not cpu.waiting
+
+    def test_cycle_accounting_matches_cost_model(self):
+        cpu, __, __ = make_cpu("""
+            li r0, 1
+            li r1, 2
+            mul r2, r0, r1
+            halt
+        """)
+        run_to_halt(cpu)
+        # li(1) + li(1) + mul(3) + halt(1)
+        assert cpu.cycles == 6
+
+    def test_step_executes_exactly_one_instruction(self):
+        cpu, __, __ = make_cpu("nop\nnop\nhalt")
+        cpu.step()
+        assert cpu.instructions == 1 and cpu.pc == 4
+
+    def test_decode_cache_flush_after_code_write(self):
+        cpu, prog, __ = make_cpu("li r0, 1\nhalt")
+        cpu.step()
+        # Patch the halt into a li r0, 9 behind the decoder's back.
+        from repro.iss import isa
+        cpu.memory.write_bytes(4, isa.encode(
+            "li", rd=0, imm=9).to_bytes(4, "little"))
+        cpu.flush_decode_cache()
+        cpu.step()
+        assert cpu.regs[0] == 9
+
+
+class TestSnapshotRestore:
+    _PROGRAM = """
+        li r0, 0
+        li r1, 20
+    loop:
+        addi r0, r0, 1
+        la r2, var
+        sw r0, [r2]
+        bne r0, r1, loop
+        halt
+    var: .word 0
+    """
+
+    def test_restore_replays_identically(self):
+        cpu, prog, __ = make_cpu(self._PROGRAM)
+        cpu.run(max_instructions=10)
+        snapshot = cpu.snapshot()
+        run_to_halt(cpu)
+        final = (list(cpu.regs), cpu.pc, cpu.cycles, cpu.instructions)
+        cpu.restore(snapshot)
+        assert not cpu.halted
+        run_to_halt(cpu)
+        assert (list(cpu.regs), cpu.pc, cpu.cycles,
+                cpu.instructions) == final
+
+    def test_memory_restored(self):
+        cpu, prog, __ = make_cpu(self._PROGRAM)
+        address = prog.symbols.variable_address("var")
+        snapshot = cpu.snapshot()
+        run_to_halt(cpu)
+        assert cpu.memory.load_word(address) == 20
+        cpu.restore(snapshot)
+        assert cpu.memory.load_word(address) == 0
+
+    def test_snapshot_is_isolated_copy(self):
+        cpu, prog, __ = make_cpu(self._PROGRAM)
+        snapshot = cpu.snapshot()
+        cpu.run(max_instructions=5)
+        assert snapshot["instructions"] == 0
+        cpu.restore(snapshot)
+        assert cpu.instructions == 0
+
+    def test_size_mismatch_rejected(self):
+        from repro.errors import IssError
+        from repro.iss.memory import Memory
+        cpu, __, __ = make_cpu(self._PROGRAM)
+        snapshot = cpu.snapshot()
+        other = Cpu(Memory(2048))
+        with pytest.raises(IssError):
+            other.restore(snapshot)

@@ -1,0 +1,74 @@
+from repro.iss import isa
+from repro.iss.assembler import assemble
+from repro.iss.disasm import disassemble, disassemble_word
+from repro.iss.memory import Memory
+
+
+class TestDisassembleWord:
+    def test_r3(self):
+        word = isa.encode("add", rd=1, rs1=2, rs2=3)
+        assert disassemble_word(word) == "add r1, r2, r3"
+
+    def test_register_aliases_rendered(self):
+        word = isa.encode("push", rd=13)
+        assert disassemble_word(word) == "push sp"
+        word = isa.encode("mov", rd=14, rs1=0)
+        assert disassemble_word(word) == "mov lr, r0"
+
+    def test_memory_operand_forms(self):
+        assert disassemble_word(
+            isa.encode("lw", rd=1, rs1=2, imm=0)) == "lw r1, [r2]"
+        assert disassemble_word(
+            isa.encode("lw", rd=1, rs1=2, imm=8)) == "lw r1, [r2 + 8]"
+        assert disassemble_word(
+            isa.encode("sw", rd=1, rs1=2, imm=-4)) == "sw r1, [r2 - 4]"
+
+    def test_branch_target_resolved_from_address(self):
+        word = isa.encode("beq", rd=0, rs1=1, imm=3)
+        assert disassemble_word(word, address=0x100) == "beq r0, r1, 0x110"
+
+    def test_jump_target(self):
+        word = isa.encode("jmp", imm=-1)
+        assert disassemble_word(word, address=0x10) == "jmp 0x10"
+
+    def test_no_operand(self):
+        assert disassemble_word(isa.encode("halt")) == "halt"
+
+    def test_sys(self):
+        assert disassemble_word(isa.encode("sys", imm=33)) == "sys 33"
+
+    def test_immediates(self):
+        assert disassemble_word(
+            isa.encode("addi", rd=1, rs1=1, imm=-7)) == "addi r1, r1, -7"
+        assert disassemble_word(isa.encode("li", rd=2, imm=5)) == "li r2, 5"
+
+
+class TestDisassembleRange:
+    def test_labels_annotated(self):
+        program = assemble("start: nop\nloop: b loop")
+        memory = Memory(1024)
+        for address, data in program.chunks:
+            memory.write_bytes(address, data)
+        lines = disassemble(memory, 0, 2, program.symbols)
+        assert lines[0] == (0, "start: nop")
+        assert lines[1][1].startswith("loop: jmp")
+
+    def test_roundtrip_through_assembler(self):
+        source_lines = [
+            "add r1, r2, r3",
+            "addi r4, r4, -100",
+            "lw r5, [r6 + 12]",
+            "sw r7, [r8 - 4]",
+            "mov r9, r10",
+            "push sp",
+            "pop lr",
+            "sys 18",
+            "halt",
+        ]
+        program = assemble("\n".join(source_lines))
+        memory = Memory(1024)
+        for address, data in program.chunks:
+            memory.write_bytes(address, data)
+        texts = [text for __, text in
+                 disassemble(memory, 0, len(source_lines))]
+        assert texts == source_lines

@@ -1,0 +1,95 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IssError
+from repro.iss.assembler import assemble
+from repro.iss.cpu import Cpu
+from repro.iss.hexfile import dump_hex, load_hex, read_hex, save_hex
+from repro.iss.loader import load_program
+from tests.support import run_to_halt
+
+_PROGRAM = """
+        .entry main
+        .org 0x100
+main:
+        li r0, 6
+        li r1, 7
+        mul r2, r0, r1
+        halt
+        .org 0x400
+table:  .word 1, 2, 3
+"""
+
+
+class TestRoundTrip:
+    def test_dump_load_preserves_image_and_entry(self):
+        program = assemble(_PROGRAM)
+        restored = load_hex(dump_hex(program))
+        assert restored.entry == program.entry
+        assert restored.flatten() == program.flatten()
+
+    def test_restored_image_executes(self):
+        restored = load_hex(dump_hex(assemble(_PROGRAM)))
+        cpu = Cpu()
+        load_program(cpu, restored)
+        run_to_halt(cpu)
+        assert cpu.regs[2] == 42
+
+    def test_file_roundtrip(self, tmp_path):
+        program = assemble(_PROGRAM)
+        path = tmp_path / "image.hex"
+        save_hex(program, str(path))
+        restored = read_hex(str(path))
+        assert restored.flatten() == program.flatten()
+
+    @settings(max_examples=30, deadline=None)
+    @given(payload=st.binary(min_size=1, max_size=100),
+           base=st.integers(min_value=0, max_value=0xFFFF))
+    def test_arbitrary_chunks_roundtrip(self, payload, base):
+        from repro.iss.assembler import Program
+        from repro.iss.symbols import SymbolTable
+
+        program = Program(base, [(base * 4, bytes(payload))],
+                          SymbolTable())
+        restored = load_hex(dump_hex(program))
+        assert restored.flatten() == program.flatten()
+        assert restored.entry == base
+
+
+class TestParsing:
+    def test_comments_and_blanks_ignored(self):
+        text = "# hi\n\n# entry 0x10\n@00000000\nde ad # trailing?\n"
+        # Trailing comments are NOT supported inside data lines.
+        with pytest.raises(IssError):
+            load_hex(text)
+
+    def test_data_before_address_rejected(self):
+        with pytest.raises(IssError):
+            load_hex("de ad\n")
+
+    def test_empty_image_rejected(self):
+        with pytest.raises(IssError):
+            load_hex("# nothing\n")
+
+    def test_multiple_sections(self):
+        text = "# entry 0x0\n@00000000\n01 02\n@00000010\n03\n"
+        program = load_hex(text)
+        base, image = program.flatten()
+        assert base == 0
+        assert image[0:2] == b"\x01\x02"
+        assert image[0x10] == 3
+
+
+class TestAlignDirective:
+    def test_align_pads_location(self):
+        program = assemble(".byte 1\n.align 8\nx: .word 2")
+        assert program.symbols.data_symbols["x"][0] == 8
+
+    def test_align_noop_when_aligned(self):
+        program = assemble(".word 1\n.align 4\nx: .word 2")
+        assert program.symbols.data_symbols["x"][0] == 4
+
+    def test_align_requires_power_of_two(self):
+        with pytest.raises(Exception):
+            assemble(".align 3")

@@ -1,0 +1,97 @@
+import pytest
+
+from repro.errors import IllegalInstructionError
+from repro.iss import isa
+
+
+class TestOpcodeTable:
+    def test_opcodes_unique(self):
+        opcodes = [spec.opcode for spec in isa.OPS_BY_NAME.values()]
+        assert len(opcodes) == len(set(opcodes))
+
+    def test_names_unique(self):
+        assert len(isa.OPS_BY_NAME) == len(isa.OPS_BY_OPCODE)
+
+    def test_expected_instruction_families_present(self):
+        for name in ("add", "sub", "mul", "divu", "lw", "sw", "beq", "jmp",
+                     "jal", "push", "pop", "sys", "halt", "wfi"):
+            assert name in isa.OPS_BY_NAME
+
+    def test_cost_model_orders_alu_mul_div(self):
+        assert isa.OPS_BY_NAME["add"].cycles \
+            < isa.OPS_BY_NAME["mul"].cycles \
+            < isa.OPS_BY_NAME["divu"].cycles
+
+    def test_branches_have_taken_penalty(self):
+        for name in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            assert isa.OPS_BY_NAME[name].taken_extra > 0
+
+
+class TestSignExtension:
+    def test_sign_extend_positive(self):
+        assert isa.sign_extend(0x7FFF, 16) == 0x7FFF
+
+    def test_sign_extend_negative(self):
+        assert isa.sign_extend(0xFFFF, 16) == -1
+        assert isa.sign_extend(0x8000, 16) == -32768
+
+    def test_to_signed32(self):
+        assert isa.to_signed32(0xFFFFFFFF) == -1
+        assert isa.to_signed32(0x7FFFFFFF) == 0x7FFFFFFF
+
+    def test_to_unsigned32(self):
+        assert isa.to_unsigned32(-1) == 0xFFFFFFFF
+
+
+class TestEncodeDecode:
+    def test_r3_roundtrip(self):
+        word = isa.encode("add", rd=1, rs1=2, rs2=3)
+        decoded = isa.decode(word)
+        assert (decoded.name, decoded.rd, decoded.rs1, decoded.rs2) == \
+            ("add", 1, 2, 3)
+
+    def test_ri_negative_immediate_roundtrip(self):
+        decoded = isa.decode(isa.encode("addi", rd=4, rs1=4, imm=-100))
+        assert decoded.imm == -100
+
+    def test_unsigned_immediate_not_sign_extended(self):
+        decoded = isa.decode(isa.encode("ori", rd=0, rs1=0, imm=0x8000))
+        assert decoded.imm == 0x8000
+
+    def test_branch_register_fields_remapped(self):
+        word = isa.encode("beq", rd=5, rs1=6, imm=-2)
+        decoded = isa.decode(word)
+        assert (decoded.rs1, decoded.rs2, decoded.imm) == (5, 6, -2)
+
+    def test_jump_imm26_roundtrip(self):
+        decoded = isa.decode(isa.encode("jmp", imm=-(1 << 20)))
+        assert decoded.imm == -(1 << 20)
+
+    def test_sys_number_roundtrip(self):
+        decoded = isa.decode(isa.encode("sys", imm=48))
+        assert decoded.imm == 48
+
+    def test_no_operand_encodes_clean(self):
+        assert isa.decode(isa.encode("nop")).name == "nop"
+
+
+class TestEncodeValidation:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(IllegalInstructionError):
+            isa.encode("frob")
+
+    def test_register_out_of_range(self):
+        with pytest.raises(IllegalInstructionError):
+            isa.encode("add", rd=16, rs1=0, rs2=0)
+
+    def test_signed_immediate_overflow(self):
+        with pytest.raises(IllegalInstructionError):
+            isa.encode("addi", rd=0, rs1=0, imm=40000)
+
+    def test_unsigned_immediate_rejects_negative(self):
+        with pytest.raises(IllegalInstructionError):
+            isa.encode("ori", rd=0, rs1=0, imm=-1)
+
+    def test_decode_illegal_opcode(self):
+        with pytest.raises(IllegalInstructionError):
+            isa.decode(0x3F << 26)

@@ -1,0 +1,51 @@
+import pytest
+
+from repro.errors import IssError
+from repro.iss.assembler import assemble
+from repro.iss.cpu import Cpu, REG_SP
+from repro.iss.loader import load_program
+
+
+class TestLoader:
+    def test_loads_image_and_entry(self):
+        program = assemble(".entry main\n.org 0x200\nmain: nop\nhalt")
+        cpu = Cpu()
+        load_program(cpu, program)
+        assert cpu.pc == 0x200
+        # nop encodes as the all-zero word; check the halt instead.
+        assert cpu.memory.load_word(0x204) != 0
+
+    def test_default_stack_at_top_of_memory(self):
+        cpu = Cpu()
+        load_program(cpu, assemble("nop"))
+        assert cpu.regs[REG_SP] == cpu.memory.size
+
+    def test_explicit_stack_top(self):
+        cpu = Cpu()
+        load_program(cpu, assemble("nop"), stack_top=0x8000)
+        assert cpu.regs[REG_SP] == 0x8000
+
+    def test_misaligned_stack_rejected(self):
+        cpu = Cpu()
+        with pytest.raises(IssError):
+            load_program(cpu, assemble("nop"), stack_top=0x8001)
+
+    def test_empty_program_rejected(self):
+        cpu = Cpu()
+        with pytest.raises(IssError):
+            load_program(cpu, assemble("; nothing"))
+
+    def test_reload_resets_run_state(self):
+        program = assemble("halt")
+        cpu = Cpu()
+        load_program(cpu, program)
+        cpu.run()
+        assert cpu.halted
+        load_program(cpu, program)
+        assert not cpu.halted and cpu.exit_code is None
+
+    def test_scattered_chunks_all_loaded(self):
+        program = assemble("nop\n.org 0x100\n.word 0xAA55")
+        cpu = Cpu()
+        load_program(cpu, program)
+        assert cpu.memory.load_word(0x100) == 0xAA55

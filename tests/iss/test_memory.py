@@ -1,0 +1,111 @@
+import pytest
+
+from repro.errors import MemoryAccessError
+from repro.iss.memory import Memory, MmioRegion
+
+
+class TestRam:
+    def test_word_roundtrip_little_endian(self):
+        memory = Memory(1024)
+        memory.store_word(0, 0x12345678)
+        assert memory.load_word(0) == 0x12345678
+        assert memory.load_byte(0) == 0x78
+        assert memory.load_byte(3) == 0x12
+
+    def test_byte_roundtrip(self):
+        memory = Memory(1024)
+        memory.store_byte(5, 0xAB)
+        assert memory.load_byte(5) == 0xAB
+
+    def test_misaligned_word_rejected(self):
+        memory = Memory(1024)
+        with pytest.raises(MemoryAccessError):
+            memory.load_word(2)
+        with pytest.raises(MemoryAccessError):
+            memory.store_word(6, 1)
+
+    def test_out_of_range_rejected(self):
+        memory = Memory(1024)
+        with pytest.raises(MemoryAccessError):
+            memory.load_word(1024)
+        with pytest.raises(MemoryAccessError):
+            memory.load_byte(2048)
+
+    def test_size_validation(self):
+        with pytest.raises(MemoryAccessError):
+            Memory(0)
+        with pytest.raises(MemoryAccessError):
+            Memory(1001)
+
+    def test_bulk_access(self):
+        memory = Memory(1024)
+        memory.write_bytes(16, b"hello")
+        assert memory.read_bytes(16, 5) == b"hello"
+
+    def test_access_counters(self):
+        memory = Memory(1024)
+        memory.store_word(0, 1)
+        memory.load_word(0)
+        memory.load_byte(1)
+        assert memory.store_count == 1 and memory.load_count == 2
+
+    def test_word_values_masked(self):
+        memory = Memory(64)
+        memory.store_word(0, -1)
+        assert memory.load_word(0) == 0xFFFFFFFF
+
+
+class _Register(MmioRegion):
+    def __init__(self, base):
+        super().__init__(base, 8, "reg")
+        self.value = 0
+        self.reads = 0
+
+    def load_word(self, offset):
+        self.reads += 1
+        return self.value + offset
+
+    def store_word(self, offset, value):
+        self.value = value
+
+
+class TestMmio:
+    def test_region_intercepts_loads_and_stores(self):
+        memory = Memory(1024)
+        region = memory.add_region(_Register(0x100))
+        memory.store_word(0x100, 77)
+        assert memory.load_word(0x100) == 77
+        assert memory.load_word(0x104) == 81
+        assert region.reads == 2
+
+    def test_region_byte_read_derived_from_word(self):
+        memory = Memory(1024)
+        memory.add_region(_Register(0x100))
+        memory.store_word(0x100, 0x0A0B0C0D)
+        assert memory.load_byte(0x100) == 0x0D
+        assert memory.load_byte(0x103) == 0x0A
+
+    def test_overlapping_regions_rejected(self):
+        memory = Memory(1024)
+        memory.add_region(_Register(0x100))
+        with pytest.raises(MemoryAccessError):
+            memory.add_region(_Register(0x104))
+
+    def test_unaligned_region_rejected(self):
+        with pytest.raises(MemoryAccessError):
+            MmioRegion(0x101, 8)
+
+    def test_default_region_not_readable_or_writable(self):
+        region = MmioRegion(0, 8)
+        with pytest.raises(MemoryAccessError):
+            region.load_word(0)
+        with pytest.raises(MemoryAccessError):
+            region.store_word(0, 1)
+        with pytest.raises(MemoryAccessError):
+            region.store_byte(0, 1)
+
+    def test_ram_outside_region_unaffected(self):
+        memory = Memory(1024)
+        memory.add_region(_Register(0x100))
+        memory.store_word(0x200, 5)
+        assert memory.load_word(0x200) == 5

@@ -1,0 +1,105 @@
+"""Property-based tests of the ISA and toolchain."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iss import isa
+from repro.iss.disasm import disassemble_word
+from repro.router.checksum import reference_checksum
+from tests.support import make_cpu, run_to_halt
+
+_REG = st.integers(min_value=0, max_value=15)
+_SIMM = st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1)
+_UIMM = st.integers(min_value=0, max_value=(1 << 16) - 1)
+_WORD = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+@given(rd=_REG, rs1=_REG, rs2=_REG)
+def test_r3_encode_decode_roundtrip(rd, rs1, rs2):
+    for name in ("add", "sub", "mul", "and", "or", "xor"):
+        decoded = isa.decode(isa.encode(name, rd=rd, rs1=rs1, rs2=rs2))
+        assert (decoded.name, decoded.rd, decoded.rs1, decoded.rs2) == \
+            (name, rd, rs1, rs2)
+
+
+@given(rd=_REG, rs1=_REG, imm=_SIMM)
+def test_signed_immediate_roundtrip(rd, rs1, imm):
+    for name in ("addi", "lw", "sw"):
+        decoded = isa.decode(isa.encode(name, rd=rd, rs1=rs1, imm=imm))
+        assert decoded.imm == imm
+
+
+@given(rd=_REG, rs1=_REG, imm=_UIMM)
+def test_unsigned_immediate_roundtrip(rd, rs1, imm):
+    for name in ("andi", "ori", "xori"):
+        decoded = isa.decode(isa.encode(name, rd=rd, rs1=rs1, imm=imm))
+        assert decoded.imm == imm
+
+
+@given(imm=st.integers(min_value=-(1 << 25), max_value=(1 << 25) - 1))
+def test_jump_offset_roundtrip(imm):
+    decoded = isa.decode(isa.encode("jal", imm=imm))
+    assert decoded.imm == imm
+
+
+@given(rd=_REG, rs1=_REG, rs2=_REG, imm=_SIMM)
+def test_disassembly_never_crashes_on_valid_encodings(rd, rs1, rs2, imm):
+    for name in isa.OPS_BY_NAME:
+        spec = isa.OPS_BY_NAME[name]
+        value = imm if spec.signed_imm else abs(imm)
+        word = isa.encode(name, rd=rd, rs1=rs1, rs2=rs2, imm=value)
+        text = disassemble_word(word, address=0x1000)
+        assert text.startswith(name)
+
+
+@settings(max_examples=30, deadline=None)
+@given(words=st.lists(_WORD, min_size=1, max_size=8))
+def test_guest_checksum_matches_reference(words):
+    """The R32 checksum loop and the host reference are bit-identical."""
+    table = "\n".join(".word %d" % w for w in words)
+    cpu, prog, __ = make_cpu("""
+        .entry main
+    main:
+        la r0, table
+        li r1, %d
+        call checksum_words
+        la r1, result
+        sw r0, [r1]
+        halt
+    checksum_words:
+        li   r2, 0
+        li   r3, 0
+    chk_loop:
+        beq  r1, r3, chk_done
+        lw   r5, [r0]
+        add  r2, r2, r5
+        addi r0, r0, 4
+        addi r1, r1, -1
+        b    chk_loop
+    chk_done:
+        not  r0, r2
+        ret
+    table:
+    %s
+    result: .word 0
+    """ % (len(words), table))
+    run_to_halt(cpu)
+    result = cpu.memory.load_word(prog.symbols.variable_address("result"))
+    assert result == reference_checksum(words)
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=_WORD, b=_WORD)
+def test_guest_arithmetic_is_modulo_32(a, b):
+    cpu, __, __ = make_cpu("""
+        li32 r0, %d
+        li32 r1, %d
+        add r2, r0, r1
+        sub r3, r0, r1
+        mul r4, r0, r1
+        halt
+    """ % (a, b))
+    run_to_halt(cpu)
+    assert cpu.regs[2] == (a + b) & 0xFFFFFFFF
+    assert cpu.regs[3] == (a - b) & 0xFFFFFFFF
+    assert cpu.regs[4] == (a * b) & 0xFFFFFFFF

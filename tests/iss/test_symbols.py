@@ -1,0 +1,70 @@
+import pytest
+
+from repro.errors import AssemblerError
+from repro.iss.symbols import SymbolTable
+
+
+class TestSymbolTable:
+    def test_labels_and_constants_share_namespace(self):
+        table = SymbolTable()
+        table.define_label("x", 0x10)
+        with pytest.raises(AssemblerError):
+            table.define_constant("x", 5)
+
+    def test_duplicate_label_rejected(self):
+        table = SymbolTable()
+        table.define_label("x", 0)
+        with pytest.raises(AssemblerError):
+            table.define_label("x", 4)
+
+    def test_resolve_prefers_definitions(self):
+        table = SymbolTable()
+        table.define_label("lab", 0x20)
+        table.define_constant("const", 7)
+        assert table.resolve("lab") == 0x20
+        assert table.resolve("const") == 7
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(AssemblerError):
+            SymbolTable().resolve("ghost")
+
+    def test_variable_address_prefers_data_symbols(self):
+        table = SymbolTable()
+        table.define_label("v", 0x30)
+        table.define_data("v", 0x30, 4)
+        assert table.variable_address("v") == 0x30
+
+    def test_variable_address_falls_back_to_labels(self):
+        table = SymbolTable()
+        table.define_label("v", 0x44)
+        assert table.variable_address("v") == 0x44
+
+
+class TestLineMapping:
+    def test_record_line_keeps_first_address(self):
+        table = SymbolTable()
+        table.record_line(5, 0x100)
+        table.record_line(5, 0x104)  # second instr from same line (pseudo)
+        assert table.line_to_addr[5] == 0x100
+        assert table.addr_to_line[0x104] == 5
+
+    def test_address_of_line_exact(self):
+        table = SymbolTable()
+        table.record_line(3, 0x10)
+        assert table.address_of_line(3) == 0x10
+
+    def test_address_of_line_slides_to_next_executable(self):
+        table = SymbolTable()
+        table.record_line(3, 0x10)
+        table.record_line(7, 0x20)
+        assert table.address_of_line(5) == 0x20
+
+    def test_address_of_line_beyond_program_raises(self):
+        table = SymbolTable()
+        table.record_line(3, 0x10)
+        with pytest.raises(AssemblerError):
+            table.address_of_line(10)
+
+    def test_empty_program_raises(self):
+        with pytest.raises(AssemblerError):
+            SymbolTable().address_of_line(1)

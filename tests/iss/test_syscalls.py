@@ -1,0 +1,72 @@
+import pytest
+
+from repro.errors import GuestFault
+from repro.iss.syscalls import SyscallTable, SYS_EXIT
+from tests.support import make_cpu, run_to_halt
+
+
+class TestSyscallTable:
+    def test_register_and_dispatch(self):
+        table = SyscallTable()
+        calls = []
+        table.register(7, lambda cpu: calls.append(cpu), "seven")
+        table.dispatch("fake-cpu", 7)
+        assert calls == ["fake-cpu"]
+        assert table.call_counts["seven"] == 1
+
+    def test_handler_extra_cycles_returned(self):
+        table = SyscallTable()
+        table.register(1, lambda cpu: 25)
+        assert table.dispatch(None, 1) == 25
+
+    def test_non_int_return_means_zero_extra(self):
+        table = SyscallTable()
+        table.register(1, lambda cpu: "ignored")
+        assert table.dispatch(None, 1) == 0
+
+    def test_unregister(self):
+        table = SyscallTable()
+        table.register(1, lambda cpu: None)
+        table.unregister(1)
+        assert not table.registered(1)
+
+    def test_unknown_trap_faults(self):
+        cpu, __, __ = make_cpu("sys 99\nhalt")
+        with pytest.raises(GuestFault):
+            cpu.run()
+
+
+class TestGuestIntegration:
+    def test_exit_reports_code(self):
+        cpu, __, __ = make_cpu("li r0, 3\nsys 0")
+        run_to_halt(cpu)
+        assert cpu.exit_code == 3
+
+    def test_putchar_sequence(self):
+        cpu, __, output = make_cpu("""
+            li r0, 'h'
+            sys 1
+            li r0, 'i'
+            sys 1
+            li r0, 0
+            sys 0
+        """)
+        run_to_halt(cpu)
+        assert bytes(output) == b"hi"
+
+    def test_handler_extra_cycles_charged_to_guest(self):
+        cpu, __, __ = make_cpu("sys 2\nhalt")
+        cpu.syscalls.register(2, lambda target: 100, "slow")
+        run_to_halt(cpu)
+        # sys(8) + 100 extra + halt(1)
+        assert cpu.cycles == 109
+
+    def test_handler_can_rewrite_registers(self):
+        cpu, __, __ = make_cpu("li r0, 1\nsys 2\nhalt")
+
+        def double(target):
+            target.regs[0] *= 2
+
+        cpu.syscalls.register(2, double)
+        run_to_halt(cpu)
+        assert cpu.regs[0] == 2

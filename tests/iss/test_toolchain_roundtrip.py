@@ -1,0 +1,82 @@
+"""Property: assemble -> disassemble -> assemble is a fixed point."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iss.assembler import assemble
+from repro.iss.disasm import disassemble
+from repro.iss.memory import Memory
+
+_REG = st.sampled_from(["r0", "r1", "r5", "r9", "r12", "sp", "lr"])
+_SIMM = st.integers(min_value=-32768, max_value=32767)
+_UIMM = st.integers(min_value=0, max_value=65535)
+_SHIFT = st.integers(min_value=0, max_value=31)
+_OFFSET = st.integers(min_value=-1024, max_value=1024)
+
+
+@st.composite
+def instruction(draw):
+    """One random source line (no control flow: offsets need labels)."""
+    kind = draw(st.sampled_from(
+        ["r3", "r2", "ri", "ri2", "mem", "stack", "none", "sys"]))
+    if kind == "r3":
+        op = draw(st.sampled_from(["add", "sub", "mul", "and", "or",
+                                   "xor", "shl", "shr", "sar", "slt",
+                                   "sltu"]))
+        return "%s %s, %s, %s" % (op, draw(_REG), draw(_REG), draw(_REG))
+    if kind == "r2":
+        op = draw(st.sampled_from(["mov", "not"]))
+        return "%s %s, %s" % (op, draw(_REG), draw(_REG))
+    if kind == "ri":
+        op = draw(st.sampled_from(["addi", "andi", "ori", "xori"]))
+        imm = draw(_SIMM if op == "addi" else _UIMM)
+        return "%s %s, %s, %d" % (op, draw(_REG), draw(_REG), imm)
+    if kind == "ri2":
+        op = draw(st.sampled_from(["li", "lui"]))
+        imm = draw(_SIMM if op == "li" else _UIMM)
+        return "%s %s, %d" % (op, draw(_REG), imm)
+    if kind == "mem":
+        op = draw(st.sampled_from(["lw", "lb", "lbu", "sw", "sb"]))
+        offset = draw(_OFFSET)
+        if offset == 0:
+            return "%s %s, [%s]" % (op, draw(_REG), draw(_REG))
+        sign = "+" if offset > 0 else "-"
+        return "%s %s, [%s %s %d]" % (op, draw(_REG), draw(_REG), sign,
+                                      abs(offset))
+    if kind == "stack":
+        op = draw(st.sampled_from(["push", "pop", "jr", "jalr"]))
+        return "%s %s" % (op, draw(_REG))
+    if kind == "sys":
+        return "sys %d" % draw(st.integers(min_value=0, max_value=255))
+    return draw(st.sampled_from(["nop", "halt", "wfi"]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(lines=st.lists(instruction(), min_size=1, max_size=20))
+def test_assemble_disassemble_fixed_point(lines):
+    source = "\n".join(lines)
+    program = assemble(source)
+    memory = Memory(1 << 16)
+    for address, data in program.chunks:
+        memory.write_bytes(address, data)
+    texts = [text for __, text in disassemble(memory, 0, len(lines))]
+    reassembled = assemble("\n".join(texts))
+    assert reassembled.flatten() == program.flatten()
+
+
+@settings(max_examples=60, deadline=None)
+@given(lines=st.lists(instruction(), min_size=1, max_size=20))
+def test_disassembly_text_is_canonical(lines):
+    """Disassembling the reassembly reproduces the same text."""
+    source = "\n".join(lines)
+    program = assemble(source)
+    memory = Memory(1 << 16)
+    for address, data in program.chunks:
+        memory.write_bytes(address, data)
+    first = [text for __, text in disassemble(memory, 0, len(lines))]
+    second_program = assemble("\n".join(first))
+    memory2 = Memory(1 << 16)
+    for address, data in second_program.chunks:
+        memory2.write_bytes(address, data)
+    second = [text for __, text in disassemble(memory2, 0, len(lines))]
+    assert first == second

@@ -1,0 +1,50 @@
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.router.checksum import (packet_checksum, reference_checksum,
+                                   verify_packet)
+from repro.router.packet import Packet
+
+
+def make_packet(checksum=0):
+    return Packet(1, 2, 3, (4, 5, 6, 7), checksum)
+
+
+class TestReferenceChecksum:
+    def test_empty_is_all_ones(self):
+        assert reference_checksum([]) == 0xFFFFFFFF
+
+    def test_single_word(self):
+        assert reference_checksum([0]) == 0xFFFFFFFF
+        assert reference_checksum([0xFFFFFFFF]) == 0
+
+    def test_sum_wraps_modulo_32(self):
+        assert reference_checksum([0xFFFFFFFF, 1]) == \
+            reference_checksum([0])
+
+    def test_known_value(self):
+        # ~(1+2+3) & mask
+        assert reference_checksum([1, 2, 3]) == 0xFFFFFFF9
+
+
+class TestPacketVerification:
+    def test_verify_accepts_correct_checksum(self):
+        packet = make_packet()
+        good = packet.with_checksum(packet_checksum(packet))
+        assert verify_packet(good)
+
+    def test_verify_rejects_wrong_checksum(self):
+        assert not verify_packet(make_packet(checksum=123))
+
+    @given(words=st.lists(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        min_size=4, max_size=4))
+    def test_any_single_word_corruption_detected(self, words):
+        packet = Packet(9, 8, 7, tuple(words))
+        sealed = packet.with_checksum(packet_checksum(packet))
+        corrupted = Packet(sealed.source, sealed.destination,
+                           sealed.packet_id,
+                           tuple((w + 1) & 0xFFFFFFFF
+                                 for w in sealed.data[:1]) + sealed.data[1:],
+                           sealed.checksum)
+        assert not verify_packet(corrupted)

@@ -1,0 +1,101 @@
+"""The CRC-32 alternative workload."""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.sources import checksum_routine
+from repro.router.checksum import (crc32_checksum, reference_checksum,
+                                   sum_checksum)
+from repro.router.system import build_system
+from repro.sysc.simtime import MS, US
+from tests.support import make_cpu, run_to_halt
+
+
+class TestReference:
+    def test_crc32_matches_zlib(self):
+        words = [0x11223344, 0xDEADBEEF, 0, 0xFFFFFFFF]
+        payload = b"".join(w.to_bytes(4, "little") for w in words)
+        assert crc32_checksum(words) == zlib.crc32(payload) & 0xFFFFFFFF
+
+    def test_empty_crc(self):
+        assert crc32_checksum([]) == 0
+
+    def test_algorithm_dispatch(self):
+        words = [1, 2, 3]
+        assert reference_checksum(words, "sum") == sum_checksum(words)
+        assert reference_checksum(words, "crc32") == crc32_checksum(words)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            reference_checksum([1], "md5")
+        with pytest.raises(ValueError):
+            checksum_routine("md5")
+
+
+class TestGuestCrc32:
+    @settings(max_examples=15, deadline=None)
+    @given(words=st.lists(st.integers(min_value=0, max_value=0xFFFFFFFF),
+                          min_size=1, max_size=4))
+    def test_guest_crc32_matches_zlib(self, words):
+        table = "\n".join(".word %d" % w for w in words)
+        cpu, prog, __ = make_cpu("""
+            .entry main
+        main:
+            la r0, table
+            li r1, %d
+            call checksum_words
+            la r1, result
+            sw r0, [r1]
+            halt
+        %s
+        table:
+        %s
+        result: .word 0
+        """ % (len(words), checksum_routine("crc32"), table))
+        run_to_halt(cpu)
+        result = cpu.memory.load_word(
+            prog.symbols.variable_address("result"))
+        payload = b"".join(w.to_bytes(4, "little") for w in words)
+        assert result == zlib.crc32(payload) & 0xFFFFFFFF
+
+    def test_crc32_costs_far_more_cycles_than_sum(self):
+        def cycles(algorithm):
+            cpu, __, __ = make_cpu("""
+                .entry main
+            main:
+                la r0, table
+                li r1, 7
+                call checksum_words
+                halt
+            %s
+            table: .word 1, 2, 3, 4, 5, 6, 7
+            """ % checksum_routine(algorithm))
+            run_to_halt(cpu)
+            return cpu.cycles
+
+        assert cycles("crc32") > 20 * cycles("sum")
+
+
+class TestSystemWithCrc32:
+    @pytest.mark.parametrize("scheme", ["local", "gdb-kernel",
+                                        "driver-kernel"])
+    def test_end_to_end_no_corruption(self, scheme):
+        system = build_system(scheme=scheme, algorithm="crc32",
+                              inter_packet_delay=150 * US)
+        system.run(1 * MS)
+        stats = system.stats()
+        assert stats.corrupt == 0
+        assert stats.forwarded > 0
+
+    def test_heavier_workload_lowers_forwarding(self):
+        light = build_system(scheme="driver-kernel", algorithm="sum",
+                             inter_packet_delay=30 * US)
+        light.run(2 * MS)
+        heavy = build_system(scheme="driver-kernel", algorithm="crc32",
+                             inter_packet_delay=30 * US)
+        heavy.run(2 * MS)
+        assert heavy.stats().forwarded_percent < \
+            light.stats().forwarded_percent - 10

@@ -1,0 +1,123 @@
+import pytest
+
+from repro.errors import CosimError
+from repro.router.checksum import packet_checksum
+from repro.router.engines import (DriverChecksumEngine, GdbChecksumEngine,
+                                  LocalChecksumEngine, CHECKSUM_IRQ_VECTOR)
+from repro.router.packet import PACKET_WORDS, Packet
+from repro.sysc.simtime import US
+
+
+def packet(packet_id=0):
+    return Packet(1, 2, packet_id, (5, 6, 7, 8))
+
+
+class TestLocalEngine:
+    def test_computes_reference_checksum(self, kernel):
+        engine = LocalChecksumEngine()
+        results = []
+
+        def user():
+            value = yield from engine.compute(packet())
+            results.append(value)
+
+        kernel.add_thread("u", user)
+        kernel.run(10 * US)
+        assert results == [packet_checksum(packet())]
+
+    def test_latency_respected(self, kernel):
+        engine = LocalChecksumEngine(latency=5 * US)
+        times = []
+
+        def user():
+            yield from engine.compute(packet())
+            times.append(kernel.now)
+
+        kernel.add_thread("u", user)
+        kernel.run(20 * US)
+        assert times == [5 * US]
+
+    def test_busy_engine_rejects_second_submit(self, kernel):
+        engine = LocalChecksumEngine(latency=5 * US)
+        engine.submit(packet())
+        with pytest.raises(CosimError):
+            engine.submit(packet(1))
+
+    def test_take_result_without_result_raises(self, kernel):
+        with pytest.raises(CosimError):
+            LocalChecksumEngine().take_result()
+
+    def test_sequential_packets(self, kernel):
+        engine = LocalChecksumEngine()
+        results = []
+
+        def user():
+            for index in range(3):
+                value = yield from engine.compute(packet(index))
+                results.append(value)
+
+        kernel.add_thread("u", user)
+        kernel.run(50 * US)
+        assert results == [packet_checksum(packet(i)) for i in range(3)]
+        assert engine.completed == 3
+
+
+class TestGdbEngine:
+    def test_submit_posts_all_word_ports_fresh(self, kernel):
+        engine = GdbChecksumEngine()
+        engine.submit(packet())
+        kernel.run(max_deltas=2)
+        assert engine.len_port.fresh
+        assert all(port.fresh for port in engine.word_ports)
+        assert engine.len_port.collect() == PACKET_WORDS
+
+    def test_word_ports_carry_packet_words(self, kernel):
+        engine = GdbChecksumEngine()
+        engine.submit(packet())
+        kernel.run(max_deltas=2)
+        words = [port.collect() for port in engine.word_ports]
+        assert words == packet().words()
+
+    def test_result_delivery_completes(self, kernel):
+        engine = GdbChecksumEngine()
+        results = []
+
+        def user():
+            value = yield from engine.compute(packet())
+            results.append(value)
+
+        def responder():
+            yield 1 * US
+            engine.result_port.deliver(0x1234)
+
+        kernel.add_thread("u", user)
+        kernel.add_thread("r", responder)
+        kernel.run(10 * US)
+        assert results == [0x1234]
+
+    def test_variable_ports_map_complete(self, kernel):
+        engine = GdbChecksumEngine()
+        ports = engine.variable_ports()
+        assert set(ports) == {"pkt_len", "chk_result"} | {
+            "pkt_w%d" % i for i in range(PACKET_WORDS)}
+
+
+class TestDriverEngine:
+    def test_submit_without_irq_wiring_fails(self, kernel):
+        engine = DriverChecksumEngine()
+        with pytest.raises(CosimError):
+            engine.submit(packet())
+
+    def test_submit_posts_payload_and_raises_irq(self, kernel):
+        raised = []
+        engine = DriverChecksumEngine(raise_irq=raised.append)
+        engine.submit(packet())
+        kernel.run(max_deltas=2)
+        assert raised == [CHECKSUM_IRQ_VECTOR]
+        assert engine.data_port.collect() == packet().payload_bytes()
+        assert engine.interrupts_raised == 1
+
+    def test_socket_ports_map(self, kernel):
+        engine = DriverChecksumEngine(raise_irq=lambda v: None)
+        ports = engine.socket_ports()
+        assert set(ports) == {"pkt_data", "chk_result"}

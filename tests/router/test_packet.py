@@ -1,0 +1,53 @@
+import pytest
+
+from repro.router.packet import DATA_WORDS, PACKET_WORDS, Packet
+
+
+def make_packet(**overrides):
+    fields = dict(source=1, destination=2, packet_id=3,
+                  data=(10, 20, 30, 40))
+    fields.update(overrides)
+    return Packet(**fields)
+
+
+class TestPacket:
+    def test_word_layout_header_then_data(self):
+        packet = make_packet()
+        assert packet.words() == [1, 2, 3, 10, 20, 30, 40]
+        assert len(packet.words()) == PACKET_WORDS
+
+    def test_data_length_enforced(self):
+        with pytest.raises(ValueError):
+            make_packet(data=(1, 2))
+
+    def test_words_masked_to_32_bits(self):
+        packet = make_packet(source=-1, data=(1 << 40, 0, 0, 0))
+        words = packet.words()
+        assert words[0] == 0xFFFFFFFF
+        assert words[3] == ((1 << 40) & 0xFFFFFFFF)
+
+    def test_with_checksum_returns_new_packet(self):
+        packet = make_packet()
+        updated = packet.with_checksum(0x55)
+        assert updated.checksum == 0x55
+        assert packet.checksum == 0
+        assert updated.data == packet.data
+
+    def test_packet_is_frozen(self):
+        with pytest.raises(AttributeError):
+            make_packet().source = 9
+
+    def test_payload_bytes_roundtrip(self):
+        packet = make_packet()
+        payload = packet.payload_bytes()
+        assert len(payload) == 4 * PACKET_WORDS
+        rebuilt = Packet.from_payload_bytes(payload, checksum=7)
+        assert rebuilt.words() == packet.words()
+        assert rebuilt.checksum == 7
+
+    def test_payload_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            Packet.from_payload_bytes(b"\x00" * 5)
+
+    def test_data_words_constant(self):
+        assert PACKET_WORDS == 3 + DATA_WORDS

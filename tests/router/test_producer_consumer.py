@@ -1,0 +1,162 @@
+import pytest
+
+from repro.errors import SimulationError
+from repro.router.checksum import packet_checksum
+from repro.router.consumer import Consumer
+from repro.router.producer import Producer
+from repro.sysc.fifo import Fifo
+from repro.sysc.simtime import US
+
+
+class TestProducer:
+    def test_paced_generation(self, kernel):
+        fifo = Fifo(100)
+        producer = Producer("p", fifo, 10 * US)
+        kernel.run(95 * US)
+        # t = 0, 10, ..., 90 -> 10 packets
+        assert producer.generated == 10
+        assert len(fifo) == 10
+
+    def test_drops_counted_when_fifo_full(self, kernel):
+        fifo = Fifo(3)
+        producer = Producer("p", fifo, 10 * US)
+        kernel.run(100 * US)
+        assert producer.dropped == producer.generated - 3
+        assert producer.accepted == 3
+
+    def test_max_packets_bounds_stream(self, kernel):
+        fifo = Fifo(100)
+        producer = Producer("p", fifo, 1 * US, max_packets=5)
+        kernel.run(100 * US)
+        assert producer.generated == 5
+
+    def test_deterministic_with_seed(self, kernel):
+        fifo = Fifo(100)
+        Producer("p", fifo, 1 * US, seed=7, max_packets=10)
+        kernel.run(20 * US)
+        first = [(p.destination, p.data) for p in list(fifo._items)]
+
+        from repro.sysc.kernel import Kernel
+        kernel2 = Kernel("second")
+        fifo2 = Fifo(100, kernel=kernel2)
+        Producer("p", fifo2, 1 * US, seed=7, max_packets=10,
+                 kernel=kernel2)
+        kernel2.run(20 * US)
+        second = [(p.destination, p.data) for p in list(fifo2._items)]
+        assert first == second
+
+    def test_destinations_within_address_space(self, kernel):
+        fifo = Fifo(100)
+        Producer("p", fifo, 1 * US, num_addresses=4, max_packets=50)
+        kernel.run(60 * US)
+        assert all(0 <= p.destination < 4 for p in fifo._items)
+
+    def test_source_address_stamped(self, kernel):
+        fifo = Fifo(10)
+        Producer("p", fifo, 1 * US, source_address=3, max_packets=2)
+        kernel.run(5 * US)
+        assert all(p.source == 3 for p in fifo._items)
+
+    def test_packet_ids_sequential(self, kernel):
+        fifo = Fifo(10)
+        Producer("p", fifo, 1 * US, max_packets=4)
+        kernel.run(10 * US)
+        assert [p.packet_id for p in fifo._items] == [0, 1, 2, 3]
+
+    def test_delay_must_be_positive(self, kernel):
+        with pytest.raises(SimulationError):
+            Producer("p", Fifo(1), 0)
+
+
+class TestConsumer:
+    def test_consumes_and_verifies(self, kernel):
+        fifo = Fifo(10)
+        consumer = Consumer("c", fifo)
+        producer_fifo = Fifo(10)
+        producer = Producer("p", producer_fifo, 1 * US, max_packets=3)
+
+        def mover():
+            while True:
+                packet = yield from producer_fifo.get()
+                sealed = packet.with_checksum(packet_checksum(packet))
+                yield from fifo.put(sealed)
+
+        kernel.add_thread("mover", mover)
+        kernel.run(20 * US)
+        assert consumer.received == 3
+        assert consumer.corrupt == 0
+
+    def test_corruption_detected(self, kernel):
+        fifo = Fifo(10)
+        consumer = Consumer("c", fifo)
+        producer_fifo = Fifo(10)
+        Producer("p", producer_fifo, 1 * US, max_packets=3)
+
+        def mover():
+            while True:
+                packet = yield from producer_fifo.get()
+                yield from fifo.put(packet.with_checksum(0xBAD))
+
+        kernel.add_thread("mover", mover)
+        kernel.run(20 * US)
+        assert consumer.corrupt == 3
+
+    def test_per_source_accounting(self, kernel):
+        fifo = Fifo(10)
+        consumer = Consumer("c", fifo)
+        src_fifo = Fifo(10)
+        Producer("p", src_fifo, 1 * US, source_address=2, max_packets=4)
+
+        def mover():
+            while True:
+                packet = yield from src_fifo.get()
+                sealed = packet.with_checksum(packet_checksum(packet))
+                yield from fifo.put(sealed)
+
+        kernel.add_thread("mover", mover)
+        kernel.run(20 * US)
+        assert consumer.by_source == {2: 4}
+
+
+class TestBurstTraffic:
+    def test_burst_preserves_mean_rate(self, kernel):
+        fifo = Fifo(1000)
+        producer = Producer("p", fifo, 10 * US, burst=4)
+        kernel.run(395 * US)
+        # Same mean rate as the smooth stream (1 per 10us): bursts of
+        # 4 at t = 0, 40, ..., 360 us.
+        assert producer.generated == 40
+
+    def test_burst_arrivals_back_to_back(self, kernel):
+        fifo = Fifo(1000)
+        Producer("p", fifo, 10 * US, burst=4, max_packets=4)
+        kernel.run(5 * US)
+        # The whole first burst lands at t=0.
+        assert len(fifo) == 4
+
+    def test_burst_overflows_small_queue(self, kernel):
+        smooth_fifo = Fifo(2)
+        smooth = Producer("s", smooth_fifo, 10 * US, max_packets=8)
+        kernel.run(100 * US)
+        from repro.sysc.kernel import Kernel
+        kernel2 = Kernel("k2")
+        bursty_fifo = Fifo(2, kernel=kernel2)
+        bursty = Producer("b", bursty_fifo, 10 * US, burst=8,
+                          max_packets=8, kernel=kernel2)
+        kernel2.run(100 * US)
+        # Nobody drains: the smooth stream drops what exceeds capacity
+        # over time, but the burst slams the queue instantly.
+        assert bursty.dropped >= smooth.dropped
+        assert bursty.dropped == 6
+
+    def test_burst_validation(self, kernel):
+        import pytest
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            Producer("p", Fifo(1), 10 * US, burst=0)
+
+    def test_max_packets_respected_mid_burst(self, kernel):
+        fifo = Fifo(100)
+        producer = Producer("p", fifo, 10 * US, burst=4, max_packets=6)
+        kernel.run(200 * US)
+        assert producer.generated == 6

@@ -1,0 +1,90 @@
+import pytest
+
+from repro.errors import SimulationError
+from repro.router.checksum import verify_packet
+from repro.router.engines import LocalChecksumEngine
+from repro.router.packet import Packet
+from repro.router.router import Router
+from repro.router.routing_table import RoutingTable
+from repro.sysc.simtime import US
+
+
+def make_router(kernel, latency=0, **kwargs):
+    engine = LocalChecksumEngine(latency=latency)
+    table = RoutingTable.modulo(16, 4)
+    return Router("router", table, engine, **kwargs)
+
+
+def packet(destination, packet_id=0, source=0):
+    return Packet(source, destination, packet_id, (1, 2, 3, 4))
+
+
+class TestForwarding:
+    def test_packet_routed_by_destination(self, kernel):
+        router = make_router(kernel)
+        router.inputs[0].nb_put(packet(destination=6))
+        kernel.run(10 * US)
+        assert len(router.outputs[6 % 4]) == 1
+        assert router.forwarded == 1
+
+    def test_checksum_stamped_and_valid(self, kernel):
+        router = make_router(kernel)
+        router.inputs[0].nb_put(packet(destination=1))
+        kernel.run(10 * US)
+        forwarded = router.outputs[1].nb_get()
+        assert verify_packet(forwarded)
+
+    def test_round_robin_across_inputs(self, kernel):
+        router = make_router(kernel, latency=1 * US)
+        for index in range(4):
+            router.inputs[index].nb_put(packet(destination=0,
+                                               packet_id=index,
+                                               source=index))
+        kernel.run(100 * US)
+        drained = []
+        while True:
+            item = router.outputs[0].nb_get()
+            if item is None:
+                break
+            drained.append(item.source)
+        assert sorted(drained) == [0, 1, 2, 3]
+
+    def test_output_drops_counted_when_output_full(self, kernel):
+        router = make_router(kernel, output_capacity=1)
+        for index in range(3):
+            router.inputs[0].nb_put(packet(destination=0, packet_id=index))
+        kernel.run(50 * US)
+        assert router.forwarded == 1
+        assert router.output_drops == 2
+
+    def test_input_drop_statistic(self, kernel):
+        router = make_router(kernel, input_capacity=2, latency=100 * US)
+        for index in range(5):
+            router.inputs[0].nb_put(packet(destination=0, packet_id=index))
+        assert router.input_drops == 3
+
+    def test_waits_for_input_without_busy_spin(self, kernel):
+        router = make_router(kernel)
+        kernel.run(10 * US)
+        deltas_idle = kernel.delta_count
+        kernel.run(10 * US)
+        # No input activity: the forward thread must be event-driven.
+        assert kernel.delta_count - deltas_idle <= 2
+
+    def test_engine_latency_bounds_throughput(self, kernel):
+        router = make_router(kernel, latency=10 * US)
+        for index in range(4):
+            router.inputs[0].nb_put(packet(destination=0, packet_id=index))
+        kernel.run(25 * US)
+        assert router.forwarded == 2  # two 10us services fit in 25us
+
+    def test_requires_at_least_one_port(self, kernel):
+        with pytest.raises(SimulationError):
+            make_router(kernel, num_ports=0)
+
+    def test_accepted_counts_input_puts(self, kernel):
+        router = make_router(kernel)
+        router.inputs[0].nb_put(packet(destination=0))
+        router.inputs[1].nb_put(packet(destination=1))
+        kernel.run(10 * US)
+        assert router.accepted == 2

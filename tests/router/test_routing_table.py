@@ -1,0 +1,39 @@
+import pytest
+
+from repro.errors import ReproError
+from repro.router.routing_table import RoutingTable
+
+
+class TestRoutingTable:
+    def test_lookup_known_destination(self):
+        table = RoutingTable({5: 2})
+        assert table.lookup(5) == 2
+
+    def test_miss_without_default_raises(self):
+        with pytest.raises(ReproError):
+            RoutingTable({}).lookup(9)
+
+    def test_miss_uses_default_route(self):
+        table = RoutingTable({1: 0}, default_port=3)
+        assert table.lookup(42) == 3
+        assert table.miss_count == 1
+
+    def test_add_entry(self):
+        table = RoutingTable()
+        table.add(7, 1)
+        assert table.lookup(7) == 1
+
+    def test_lookup_counting(self):
+        table = RoutingTable({1: 0})
+        table.lookup(1)
+        table.lookup(1)
+        assert table.lookup_count == 2
+
+    def test_len(self):
+        assert len(RoutingTable({1: 0, 2: 1})) == 2
+
+    def test_modulo_table_covers_all_addresses(self):
+        table = RoutingTable.modulo(16, 4)
+        assert len(table) == 16
+        for address in range(16):
+            assert table.lookup(address) == address % 4

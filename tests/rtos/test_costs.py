@@ -1,0 +1,28 @@
+from repro.rtos.costs import CostModel
+
+
+class TestCostModel:
+    def test_defaults_positive(self):
+        costs = CostModel()
+        for field in ("syscall", "context_switch", "isr_entry", "isr_exit",
+                      "tick", "sem_operation", "driver_call",
+                      "driver_per_word", "tick_period"):
+            assert getattr(costs, field) > 0
+
+    def test_scaled_multiplies_charges(self):
+        costs = CostModel(syscall=40, context_switch=60)
+        doubled = costs.scaled(2)
+        assert doubled.syscall == 80
+        assert doubled.context_switch == 120
+
+    def test_scaled_keeps_tick_period(self):
+        costs = CostModel(tick_period=5000)
+        assert costs.scaled(3).tick_period == 5000
+
+    def test_scaled_per_word_floor_of_one(self):
+        costs = CostModel(driver_per_word=2)
+        assert costs.scaled(0.1).driver_per_word == 1
+
+    def test_zero_scale_gives_free_os(self):
+        free = CostModel().scaled(0)
+        assert free.syscall == 0 and free.context_switch == 0

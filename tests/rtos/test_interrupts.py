@@ -1,0 +1,67 @@
+import pytest
+
+from repro.errors import RtosError
+from repro.rtos.interrupts import VectorTable
+
+
+class TestVectorTable:
+    def test_register_and_lookup(self):
+        table = VectorTable()
+        table.register(3, 0x2000)
+        assert table.handler_for(3) == 0x2000
+
+    def test_vector_range_enforced(self):
+        table = VectorTable(max_vectors=4)
+        with pytest.raises(RtosError):
+            table.register(4, 0x100)
+        with pytest.raises(RtosError):
+            table.post(99)
+
+    def test_post_deliverable_when_handled(self):
+        table = VectorTable()
+        table.register(1, 0x100)
+        assert table.post(1)
+        assert table.has_deliverable
+
+    def test_unhandled_post_stays_pending(self):
+        """The boot-race case: hardware raises before the driver's
+        ioctl registers the ISR; the request must survive."""
+        table = VectorTable()
+        assert not table.post(2)
+        assert table.has_pending and not table.has_deliverable
+        table.register(2, 0x300)
+        assert table.has_deliverable
+        assert table.next_deliverable() == 2
+
+    def test_next_deliverable_skips_unhandled(self):
+        table = VectorTable()
+        table.register(5, 0x500)
+        table.post(4)   # no handler
+        table.post(5)
+        assert table.next_deliverable() == 5
+        assert list(table.pending) == [4]
+
+    def test_next_deliverable_empty(self):
+        assert VectorTable().next_deliverable() is None
+
+    def test_delivery_counted(self):
+        table = VectorTable()
+        table.register(1, 0x10)
+        table.post(1)
+        table.next_deliverable()
+        assert table.delivered_count == 1
+
+    def test_unregister(self):
+        table = VectorTable()
+        table.register(1, 0x10)
+        table.unregister(1)
+        assert table.handler_for(1) is None
+
+    def test_fifo_order_among_deliverable(self):
+        table = VectorTable()
+        table.register(1, 0x10)
+        table.register(2, 0x20)
+        table.post(2)
+        table.post(1)
+        assert table.next_deliverable() == 2
+        assert table.next_deliverable() == 1

@@ -1,0 +1,68 @@
+"""Property-based tests of RTOS synchronisation objects."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtos.sync import Mailbox, Semaphore
+from repro.rtos.thread import GuestThread, ThreadState
+
+
+@settings(max_examples=80, deadline=None)
+@given(operations=st.lists(st.booleans(), max_size=100),
+       initial=st.integers(min_value=0, max_value=5))
+def test_semaphore_conserves_tokens(operations, initial):
+    """posts + initial == grants + count, and nobody waits while
+    count > 0."""
+    semaphore = Semaphore(1, initial)
+    threads = []
+    grants = 0
+    posts = 0
+    for is_post in operations:
+        if is_post:
+            woken = semaphore.post()
+            posts += 1
+            if woken is not None:
+                grants += 1
+                assert woken.state is ThreadState.READY
+        else:
+            thread = GuestThread("t%d" % len(threads), 0, 0)
+            threads.append(thread)
+            if semaphore.try_wait(thread):
+                grants += 1
+        assert not (semaphore.count > 0 and semaphore.waiters)
+        assert initial + posts == grants + semaphore.count
+    # FIFO order among the still-blocked waiters.
+    blocked = [t for t in threads if t.state is ThreadState.BLOCKED]
+    assert list(semaphore.waiters) == blocked
+
+
+@settings(max_examples=80, deadline=None)
+@given(operations=st.lists(
+    st.one_of(st.tuples(st.just("put"),
+                        st.integers(min_value=0, max_value=0xFFFFFFFF)),
+              st.tuples(st.just("get"), st.just(0))),
+    max_size=100),
+    capacity=st.integers(min_value=1, max_value=8))
+def test_mailbox_delivers_in_order_without_loss(operations, capacity):
+    mailbox = Mailbox(1, capacity)
+    sent = []
+    received = []
+    waiter_count = 0
+    for op, value in operations:
+        if op == "put":
+            accepted, woken = mailbox.try_put(value)
+            if accepted:
+                sent.append(value & 0xFFFFFFFF)
+                if woken is not None:
+                    received.append(woken.regs[0])
+        else:
+            thread = GuestThread("g%d" % waiter_count, 0, 0)
+            waiter_count += 1
+            ok, got = mailbox.try_get(thread)
+            if ok:
+                received.append(got)
+        assert len(mailbox.messages) <= capacity
+        # A mailbox never holds messages while receivers wait.
+        assert not (mailbox.messages and mailbox.waiters)
+    # Everything received so far came in FIFO order from 'sent'.
+    assert received == sent[:len(received)]

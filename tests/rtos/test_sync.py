@@ -1,0 +1,86 @@
+import pytest
+
+from repro.errors import RtosError
+from repro.rtos.sync import Mailbox, Semaphore
+from repro.rtos.thread import GuestThread, ThreadState
+
+
+def _thread(name="t"):
+    return GuestThread(name, 0, 0x1000)
+
+
+class TestSemaphore:
+    def test_wait_succeeds_with_count(self):
+        sem = Semaphore(1, initial=2)
+        assert sem.try_wait(_thread())
+        assert sem.count == 1
+
+    def test_wait_blocks_without_count(self):
+        sem = Semaphore(1)
+        thread = _thread()
+        assert not sem.try_wait(thread)
+        assert thread.state is ThreadState.BLOCKED
+        assert thread.wait_object is sem
+
+    def test_post_wakes_fifo_order(self):
+        sem = Semaphore(1)
+        first, second = _thread("a"), _thread("b")
+        sem.try_wait(first)
+        sem.try_wait(second)
+        assert sem.post() is first
+        assert first.state is ThreadState.READY
+        assert sem.post() is second
+
+    def test_post_without_waiters_increments(self):
+        sem = Semaphore(1)
+        assert sem.post() is None
+        assert sem.count == 1
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(RtosError):
+            Semaphore(1, initial=-1)
+
+    def test_counters(self):
+        sem = Semaphore(1, initial=1)
+        sem.try_wait(_thread())
+        sem.post()
+        assert sem.wait_count == 1 and sem.post_count == 1
+
+
+class TestMailbox:
+    def test_put_get_order(self):
+        box = Mailbox(1)
+        box.try_put(10)
+        box.try_put(20)
+        ok, value = box.try_get(_thread())
+        assert ok and value == 10
+
+    def test_get_blocks_when_empty(self):
+        box = Mailbox(1)
+        thread = _thread()
+        ok, __ = box.try_get(thread)
+        assert not ok and thread.state is ThreadState.BLOCKED
+
+    def test_put_hands_value_directly_to_waiter(self):
+        box = Mailbox(1)
+        thread = _thread()
+        box.try_get(thread)
+        accepted, woken = box.try_put(0xBEEF)
+        assert accepted and woken is thread
+        assert thread.regs[0] == 0xBEEF
+        assert thread.state is ThreadState.READY
+
+    def test_put_fails_when_full(self):
+        box = Mailbox(1, capacity=1)
+        assert box.try_put(1) == (True, None)
+        assert box.try_put(2) == (False, None)
+
+    def test_values_masked_to_32_bits(self):
+        box = Mailbox(1)
+        box.try_put(-1)
+        __, value = box.try_get(_thread())
+        assert value == 0xFFFFFFFF
+
+    def test_capacity_validation(self):
+        with pytest.raises(RtosError):
+            Mailbox(1, capacity=0)

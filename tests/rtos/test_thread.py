@@ -1,0 +1,40 @@
+from repro.iss.cpu import Cpu, REG_SP
+from repro.rtos.thread import GuestThread, ThreadState
+
+
+class TestGuestThread:
+    def test_initial_state(self):
+        thread = GuestThread("t", entry=0x1000, stack_top=0x8000, priority=2)
+        assert thread.state is ThreadState.READY
+        assert thread.pc == 0x1000
+        assert thread.regs[REG_SP] == 0x8000
+        assert thread.priority == 2
+
+    def test_save_restore_roundtrip(self):
+        cpu = Cpu()
+        cpu.regs[0] = 111
+        cpu.regs[15] = 222
+        cpu.pc = 0x44
+        thread = GuestThread("t", 0, 0)
+        thread.save_from(cpu)
+        cpu.regs[0] = 0
+        cpu.pc = 0
+        thread.restore_to(cpu)
+        assert cpu.regs[0] == 111 and cpu.regs[15] == 222 and cpu.pc == 0x44
+
+    def test_restore_clears_wait_state(self):
+        cpu = Cpu()
+        cpu.waiting = True
+        GuestThread("t", 0, 0).restore_to(cpu)
+        assert not cpu.waiting
+
+    def test_saved_context_is_a_copy(self):
+        cpu = Cpu()
+        cpu.regs[1] = 5
+        thread = GuestThread("t", 0, 0)
+        thread.save_from(cpu)
+        cpu.regs[1] = 6
+        assert thread.regs[1] == 5
+
+    def test_repr_mentions_state(self):
+        assert "ready" in repr(GuestThread("t", 0, 0))

@@ -1,0 +1,55 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.stream.reference import generate_samples, moving_average
+
+
+class TestGenerateSamples:
+    def test_deterministic_per_seed(self):
+        assert generate_samples(50, seed=3) == generate_samples(50, seed=3)
+        assert generate_samples(50, seed=3) != generate_samples(50, seed=4)
+
+    def test_sixteen_bit_range(self):
+        assert all(0 <= s <= 0xFFFF for s in generate_samples(200))
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        samples = [5, 9, 2]
+        output, history = moving_average(samples, 1)
+        assert output == samples
+        assert history == []
+
+    def test_simple_window(self):
+        output, history = moving_average([4, 8, 12, 16], 2)
+        # Zero-history start: (0+4)/2, (4+8)/2, ...
+        assert output == [2, 6, 10, 14]
+        assert history == [16]
+
+    def test_history_carried_between_blocks(self):
+        full, __ = moving_average(list(range(10)), 4)
+        first, history = moving_average(list(range(5)), 4)
+        second, __ = moving_average(list(range(5, 10)), 4, history)
+        assert first + second == full
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ReproError):
+            moving_average([1], 3)
+
+    def test_wrong_history_length_rejected(self):
+        with pytest.raises(ReproError):
+            moving_average([1], 4, history=[0, 0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(samples=st.lists(st.integers(min_value=0, max_value=0xFFFF),
+                            max_size=64),
+           window=st.sampled_from([1, 2, 4, 8]),
+           split=st.integers(min_value=0, max_value=64))
+    def test_block_splitting_is_transparent(self, samples, window, split):
+        split = min(split, len(samples))
+        whole, __ = moving_average(samples, window)
+        head, history = moving_average(samples[:split], window)
+        tail, __ = moving_average(samples[split:], window, history)
+        assert head + tail == whole

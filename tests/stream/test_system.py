@@ -1,0 +1,119 @@
+import pytest
+
+from repro.stream import build_stream_system
+from repro.stream.filter_app import build_filter_app, filter_app_source
+from repro.errors import ReproError
+from repro.sysc.simtime import MS, US
+
+
+class TestFilterApp:
+    def test_assembles_for_various_geometries(self):
+        for block, window in ((8, 1), (16, 4), (32, 8)):
+            app = build_filter_app(block, window)
+            assert app.program.size > 0
+
+    def test_non_power_of_two_window_rejected(self):
+        with pytest.raises(ReproError):
+            filter_app_source(window=3)
+
+    def test_buffers_sized_for_block(self):
+        app = build_filter_app(block_words=32, window=4)
+        symbols = app.program.symbols
+        assert symbols.data_symbols["inbuf"][1] == 128
+        assert symbols.data_symbols["work"][1] == 4 * (3 + 32)
+
+
+class TestStreamSystem:
+    @pytest.mark.parametrize("window", [1, 2, 4, 8])
+    def test_guest_filter_matches_reference(self, window):
+        system = build_stream_system(total_samples=96, block_words=16,
+                                     window=window)
+        system.run(8 * MS)
+        assert system.complete
+        assert system.sink.mismatches == 0, system.sink.first_mismatch
+
+    def test_partial_final_block(self):
+        """total not a multiple of block: the last block is short."""
+        system = build_stream_system(total_samples=50, block_words=16,
+                                     window=4)
+        system.run(8 * MS)
+        assert system.complete
+        assert len(system.sink.received) == 50
+        assert system.sink.mismatches == 0
+
+    def test_block_size_sweep_same_results(self):
+        outputs = []
+        for block_words in (8, 16, 32):
+            system = build_stream_system(total_samples=64,
+                                         block_words=block_words,
+                                         window=4)
+            system.run(8 * MS)
+            assert system.sink.mismatches == 0
+            outputs.append(system.sink.received)
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_throughput_positive(self):
+        system = build_stream_system(total_samples=64)
+        system.run(5 * MS)
+        assert system.throughput_samples_per_ms() > 0
+
+    def test_messages_scale_with_blocks(self):
+        system = build_stream_system(total_samples=64, block_words=16)
+        system.run(5 * MS)
+        blocks = system.source.blocks_sent
+        # READ + WRITE received per block; one READ_REPLY sent.
+        assert system.metrics.messages_received == 2 * blocks
+        assert system.metrics.messages_sent == blocks
+        assert system.metrics.interrupts_posted == blocks
+
+    def test_deterministic(self):
+        def run():
+            system = build_stream_system(total_samples=64, seed=9)
+            system.run(5 * MS)
+            return (system.sink.received, system.cpu.cycles)
+
+        assert run() == run()
+
+
+class TestGdbStreamVariant:
+    @pytest.mark.parametrize("window", [1, 2, 4, 8])
+    def test_per_sample_filter_matches_reference(self, window):
+        system = build_stream_system(scheme="gdb-kernel",
+                                     total_samples=64, window=window)
+        system.run(10 * MS)
+        assert len(system.sink.received) == 64
+        assert system.sink.mismatches == 0
+
+    def test_schemes_produce_identical_output(self):
+        outputs = {}
+        for scheme in ("driver-kernel", "gdb-kernel"):
+            system = build_stream_system(scheme=scheme,
+                                         total_samples=96,
+                                         block_words=16, window=4,
+                                         seed=5)
+            system.run(10 * MS)
+            assert system.sink.mismatches == 0
+            outputs[scheme] = system.sink.received
+        assert outputs["driver-kernel"] == outputs["gdb-kernel"]
+
+    def test_gdb_variant_uses_breakpoints_not_messages(self):
+        system = build_stream_system(scheme="gdb-kernel",
+                                     total_samples=32)
+        system.run(10 * MS)
+        assert system.metrics.breakpoint_hits > 0
+        assert system.metrics.messages_received == 0
+        assert system.metrics.interrupts_posted == 0
+
+    def test_unknown_scheme_rejected(self):
+        from repro.errors import CosimError
+        with pytest.raises(CosimError):
+            build_stream_system(scheme="quantum")
+
+    def test_gdb_variant_no_os_overhead_in_guest_time(self):
+        """Bare metal finishes the stream sooner in simulated time."""
+        driver = build_stream_system(scheme="driver-kernel",
+                                     total_samples=96)
+        driver.run(10 * MS)
+        gdb = build_stream_system(scheme="gdb-kernel", total_samples=96)
+        gdb.run(10 * MS)
+        assert gdb.sink.completed_at < driver.sink.completed_at

@@ -1,0 +1,38 @@
+"""Helpers shared across test modules."""
+
+from repro.iss.assembler import assemble
+from repro.iss.cpu import Cpu
+from repro.iss.loader import load_program
+from repro.iss.syscalls import SYS_EXIT, SYS_PUTCHAR
+
+
+def make_cpu(source, origin=0, stack_top=None, capture_output=True):
+    """Assemble *source*, load it on a fresh CPU with exit/putchar traps.
+
+    Returns ``(cpu, program, output_list)``.
+    """
+    program = assemble(source, origin)
+    cpu = Cpu()
+    output = []
+
+    def sys_exit(target):
+        target.halted = True
+        target.exit_code = target.regs[0]
+
+    cpu.syscalls.register(SYS_EXIT, sys_exit, "exit")
+    if capture_output:
+        cpu.syscalls.register(
+            SYS_PUTCHAR, lambda target: output.append(target.regs[0]),
+            "putchar")
+    load_program(cpu, program, stack_top=stack_top)
+    return cpu, program, output
+
+
+def run_to_halt(cpu, max_instructions=1_000_000):
+    """Run until HALT; fails the test on runaway programs."""
+    from repro.iss.cpu import StopReason
+
+    reason = cpu.run(max_instructions=max_instructions)
+    assert reason is StopReason.HALT, (
+        "program did not halt: %s at pc=0x%08x" % (reason, cpu.pc))
+    return reason

@@ -1,0 +1,87 @@
+import pytest
+
+from repro.errors import SimulationError
+from repro.sysc.clock import Clock
+from repro.sysc.simtime import NS
+
+
+class TestClockConstruction:
+    def test_period_must_be_positive(self, kernel):
+        with pytest.raises(SimulationError):
+            Clock(0)
+
+    def test_extreme_duty_rejected(self, kernel):
+        with pytest.raises(SimulationError):
+            Clock(10 * NS, duty=0.0)
+        with pytest.raises(SimulationError):
+            Clock(10 * NS, duty=1.0)
+
+    def test_duty_splits_period(self, kernel):
+        clock = Clock(10 * NS, duty=0.3)
+        assert clock.high_time == 3 * NS
+        assert clock.low_time == 7 * NS
+
+
+class TestClockBehaviour:
+    def test_posedge_count_matches_duration(self, kernel):
+        clock = Clock(10 * NS)
+        kernel.run(95 * NS)
+        # Edges at 0, 10, 20, ..., 90 -> 10 posedges.
+        assert clock.posedge_count == 10
+
+    def test_signal_toggles(self, kernel):
+        clock = Clock(10 * NS)
+        values = []
+
+        def sampler():
+            while True:
+                yield 5 * NS
+                values.append(clock.read())
+
+        kernel.add_thread("s", sampler)
+        kernel.run(40 * NS)
+        assert values[:4] == [1, 0, 1, 0]
+
+    def test_posedge_event_wakes_waiters(self, kernel):
+        clock = Clock(10 * NS)
+        times = []
+
+        def waiter():
+            while True:
+                yield clock.posedge
+                times.append(kernel.now)
+
+        kernel.add_thread("w", waiter)
+        kernel.run(35 * NS)
+        assert times == [0, 10 * NS, 20 * NS, 30 * NS]
+
+    def test_negedge_event(self, kernel):
+        clock = Clock(10 * NS)
+        times = []
+
+        def waiter():
+            while True:
+                yield clock.negedge
+                times.append(kernel.now)
+
+        kernel.add_thread("w", waiter)
+        kernel.run(30 * NS)
+        assert times == [5 * NS, 15 * NS, 25 * NS]
+
+    def test_start_low_clock(self, kernel):
+        clock = Clock(10 * NS, start_high=False)
+        times = []
+
+        def waiter():
+            yield clock.posedge
+            times.append(kernel.now)
+
+        kernel.add_thread("w", waiter)
+        kernel.run(20 * NS)
+        assert times == [5 * NS]
+
+    def test_clock_keeps_scheduler_alive(self, kernel):
+        Clock(10 * NS)
+        kernel.run(1000 * NS)
+        assert kernel.now == 1000 * NS
+        assert kernel.pending_activity()

@@ -1,0 +1,141 @@
+import pytest
+
+from repro.errors import SimulationError
+from repro.sysc.event import Event
+from repro.sysc.kernel import set_current_kernel
+from repro.sysc.simtime import NS
+
+
+class TestEventWiring:
+    def test_repr_names_event(self, kernel):
+        assert "tick" in repr(Event("tick"))
+
+    def test_requires_a_kernel_to_notify(self):
+        set_current_kernel(None)
+        event = Event("orphan")
+        with pytest.raises(SimulationError):
+            event.notify_delta()
+
+    def test_static_waiters_deduplicated(self, kernel):
+        event = Event("e")
+        process = kernel.add_method("m", lambda: None, [event])
+        event.add_static(process)
+        assert event._static_waiters.count(process) == 1
+
+
+class TestNotifySemantics:
+    def test_delta_notify_runs_waiters_next_delta(self, kernel):
+        event = Event("e")
+        hits = []
+        kernel.add_method("m", lambda: hits.append(kernel.delta_count),
+                          [event], dont_initialize=True)
+
+        def trigger():
+            event.notify_delta()
+
+        kernel.add_method("t", trigger)
+        kernel.run(max_deltas=3)
+        assert hits  # ran at least once
+        assert hits[0] >= 1  # not in the same delta as the trigger
+
+    def test_timed_notify_fires_at_absolute_time(self, kernel):
+        event = Event("e")
+        times = []
+        kernel.add_method("m", lambda: times.append(kernel.now), [event],
+                          dont_initialize=True)
+
+        def starter():
+            event.notify_after(5 * NS)
+
+        kernel.add_method("s", starter)
+        kernel.run(20 * NS)
+        assert times == [5 * NS]
+
+    def test_notify_after_zero_is_delta(self, kernel):
+        event = Event("e")
+        hits = []
+        kernel.add_method("m", lambda: hits.append(kernel.now), [event],
+                          dont_initialize=True)
+        kernel.add_method("s", lambda: event.notify_after(0))
+        kernel.run(max_deltas=5)
+        assert hits == [0]
+
+    def test_negative_delay_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            Event("e").notify_after(-1)
+
+    def test_cancel_removes_pending_notifications(self, kernel):
+        event = Event("e")
+        hits = []
+        kernel.add_method("m", lambda: hits.append(1), [event],
+                          dont_initialize=True)
+
+        def starter():
+            event.notify_after(5 * NS)
+            event.cancel()
+
+        kernel.add_method("s", starter)
+        kernel.run(20 * NS)
+        assert hits == []
+
+    def test_immediate_notify_triggers_in_current_phase(self, kernel):
+        event = Event("e")
+        order = []
+        kernel.add_method("waiter", lambda: order.append("waiter"), [event],
+                          dont_initialize=True)
+
+        def trigger():
+            order.append("trigger")
+            event.notify()
+
+        kernel.add_method("t", trigger)
+        kernel.run(max_deltas=1)
+        # Immediate notification makes the waiter runnable in the same
+        # evaluate phase.
+        assert order == ["trigger", "waiter"]
+
+
+class TestDynamicWaiters:
+    def test_dynamic_waiter_consumed_on_trigger(self, kernel):
+        event = Event("e")
+        hits = []
+
+        def thread():
+            yield event
+            hits.append(kernel.now)
+            yield event
+            hits.append(kernel.now)
+
+        kernel.add_thread("t", thread)
+
+        def pulse():
+            yield 2 * NS
+            event.notify()
+            yield 3 * NS
+            event.notify()
+
+        kernel.add_thread("p", pulse)
+        kernel.run(10 * NS)
+        assert hits == [2 * NS, 5 * NS]
+
+    def test_wait_any_clears_sibling_subscriptions(self, kernel):
+        first, second = Event("a"), Event("b")
+        hits = []
+
+        def thread():
+            yield (first, second)
+            hits.append("woke")
+            yield 100 * NS  # park; must not be re-woken by 'second'
+
+        kernel.add_thread("t", thread)
+
+        def pulse():
+            yield 1 * NS
+            first.notify()
+            yield 1 * NS
+            second.notify()
+
+        kernel.add_thread("p", pulse)
+        kernel.run(10 * NS)
+        assert hits == ["woke"]
+        assert second._dynamic_waiters == []

@@ -1,0 +1,139 @@
+import pytest
+
+from repro.errors import SimulationError
+from repro.sysc.fifo import Fifo
+from repro.sysc.simtime import NS
+
+
+class TestNonBlocking:
+    def test_put_get_order_is_fifo(self, kernel):
+        fifo = Fifo(4)
+        for value in (1, 2, 3):
+            assert fifo.nb_put(value)
+        assert [fifo.nb_get() for __ in range(3)] == [1, 2, 3]
+
+    def test_put_fails_when_full(self, kernel):
+        fifo = Fifo(2)
+        assert fifo.nb_put(1) and fifo.nb_put(2)
+        assert not fifo.nb_put(3)
+        assert fifo.rejected_count == 1
+
+    def test_get_returns_none_when_empty(self, kernel):
+        assert Fifo(2).nb_get() is None
+
+    def test_len_and_free(self, kernel):
+        fifo = Fifo(3)
+        fifo.nb_put(1)
+        assert len(fifo) == 1 and fifo.free == 2
+
+    def test_peek_does_not_consume(self, kernel):
+        fifo = Fifo(2)
+        fifo.nb_put(10)
+        assert fifo.peek() == 10
+        assert len(fifo) == 1
+
+    def test_capacity_must_be_positive(self, kernel):
+        with pytest.raises(SimulationError):
+            Fifo(0)
+
+    def test_counters(self, kernel):
+        fifo = Fifo(2)
+        fifo.nb_put(1)
+        fifo.nb_get()
+        assert fifo.put_count == 1 and fifo.get_count == 1
+
+
+class TestBlocking:
+    def test_blocking_get_waits_for_data(self, kernel):
+        fifo = Fifo(2)
+        got = []
+
+        def consumer():
+            value = yield from fifo.get()
+            got.append((value, kernel.now))
+
+        def producer():
+            yield 5 * NS
+            fifo.nb_put(99)
+
+        kernel.add_thread("c", consumer)
+        kernel.add_thread("p", producer)
+        kernel.run(10 * NS)
+        assert got == [(99, 5 * NS)]
+
+    def test_blocking_put_waits_for_space(self, kernel):
+        fifo = Fifo(1)
+        done = []
+
+        def producer():
+            yield from fifo.put(1)
+            yield from fifo.put(2)   # blocks until consumer drains
+            done.append(kernel.now)
+
+        def consumer():
+            yield 5 * NS
+            fifo.nb_get()
+
+        kernel.add_thread("p", producer)
+        kernel.add_thread("c", consumer)
+        kernel.run(10 * NS)
+        assert done == [5 * NS]
+        assert fifo.nb_get() == 2
+
+    def test_pipeline_preserves_all_items(self, kernel):
+        fifo = Fifo(3)
+        items = list(range(20))
+        received = []
+
+        def producer():
+            for item in items:
+                yield from fifo.put(item)
+
+        def consumer():
+            while len(received) < len(items):
+                value = yield from fifo.get()
+                received.append(value)
+                yield 1 * NS
+
+        kernel.add_thread("p", producer)
+        kernel.add_thread("c", consumer)
+        kernel.run(100 * NS)
+        assert received == items
+
+    def test_two_consumers_share_stream_without_loss(self, kernel):
+        fifo = Fifo(4)
+        received = []
+
+        def consumer():
+            while True:
+                value = yield from fifo.get()
+                received.append(value)
+
+        def producer():
+            for item in range(10):
+                yield from fifo.put(item)
+                yield 1 * NS
+
+        kernel.add_thread("c1", consumer)
+        kernel.add_thread("c2", consumer)
+        kernel.add_thread("p", producer)
+        kernel.run(50 * NS)
+        assert sorted(received) == list(range(10))
+
+
+class TestHighWater:
+    def test_tracks_maximum_occupancy(self, kernel):
+        fifo = Fifo(8)
+        for value in range(5):
+            fifo.nb_put(value)
+        for __ in range(3):
+            fifo.nb_get()
+        fifo.nb_put(9)
+        assert fifo.high_water == 5
+
+    def test_rejections_do_not_raise_high_water(self, kernel):
+        fifo = Fifo(2)
+        fifo.nb_put(1)
+        fifo.nb_put(2)
+        fifo.nb_put(3)  # rejected
+        assert fifo.high_water == 2

@@ -1,0 +1,241 @@
+import pytest
+
+from repro.errors import SimulationError
+from repro.sysc.event import Event
+from repro.sysc.hooks import KernelHook
+from repro.sysc.kernel import Kernel, current_kernel, set_current_kernel
+from repro.sysc.simtime import NS, US
+
+
+class TestContext:
+    def test_constructing_kernel_installs_it(self):
+        kern = Kernel("k")
+        assert current_kernel() is kern
+        set_current_kernel(None)
+
+    def test_missing_context_raises(self):
+        set_current_kernel(None)
+        with pytest.raises(SimulationError):
+            current_kernel()
+
+
+class TestRunSemantics:
+    def test_run_without_events_returns_immediately(self, kernel):
+        assert kernel.run(10 * NS) == 10 * NS
+
+    def test_run_stops_at_duration_even_with_later_events(self, kernel):
+        event = Event("e")
+        hits = []
+        kernel.add_method("m", lambda: hits.append(kernel.now), [event],
+                          dont_initialize=True)
+        kernel.add_method("s", lambda: event.notify_after(50 * NS))
+        kernel.run(10 * NS)
+        assert hits == []
+        assert kernel.now == 10 * NS
+        # The event is preserved and fires on a later run.
+        kernel.run(100 * NS)
+        assert hits == [50 * NS]
+
+    def test_run_can_be_resumed(self, kernel):
+        trace = []
+
+        def thread():
+            while True:
+                trace.append(kernel.now)
+                yield 10 * NS
+
+        kernel.add_thread("t", thread)
+        kernel.run(15 * NS)
+        first = list(trace)
+        kernel.run(20 * NS)
+        assert first == [0, 10 * NS]
+        assert trace == [0, 10 * NS, 20 * NS, 30 * NS]
+
+    def test_stop_request_halts_at_cycle_boundary(self, kernel):
+        def thread():
+            while True:
+                yield 1 * NS
+                if kernel.now >= 5 * NS:
+                    kernel.stop()
+
+        kernel.add_thread("t", thread)
+        kernel.run(100 * NS)
+        assert kernel.now == 5 * NS
+
+    def test_max_deltas_bounds_combinational_loops(self, kernel):
+        event = Event("e")
+
+        def oscillator():
+            event.notify_delta()
+
+        kernel.add_method("osc", oscillator, [event])
+        kernel.run(max_deltas=10)  # would never settle otherwise
+        assert kernel.delta_count == 10
+
+    def test_timestep_count_tracks_time_advances(self, kernel):
+        def thread():
+            for __ in range(3):
+                yield 5 * NS
+
+        kernel.add_thread("t", thread)
+        kernel.run(100 * NS)
+        assert kernel.timestep_count == 3
+
+    def test_simultaneous_timed_events_fire_together(self, kernel):
+        times = []
+
+        def make_thread(label):
+            def thread():
+                yield 10 * NS
+                times.append((label, kernel.now))
+            return thread
+
+        kernel.add_thread("a", make_thread("a"))
+        kernel.add_thread("b", make_thread("b"))
+        kernel.run(20 * NS)
+        assert sorted(times) == [("a", 10 * NS), ("b", 10 * NS)]
+        assert kernel.timestep_count == 1
+
+    def test_negative_duration_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.run(-1)
+
+
+class TestHooks:
+    def test_hook_callbacks_fire(self, kernel):
+        calls = {"begin": 0, "end": 0, "advance": 0}
+
+        class Recorder(KernelHook):
+            def on_cycle_begin(self, kern):
+                calls["begin"] += 1
+
+            def on_cycle_end(self, kern):
+                calls["end"] += 1
+
+            def on_time_advance(self, kern):
+                calls["advance"] += 1
+
+        kernel.add_hook(Recorder())
+
+        def thread():
+            yield 1 * US
+            yield 1 * US
+
+        kernel.add_thread("t", thread)
+        kernel.run(10 * US)
+        assert calls["begin"] == calls["end"] >= 2
+        assert calls["advance"] == 2
+
+    def test_hook_can_inject_runnable_work(self, kernel):
+        event = Event("e")
+        hits = []
+        kernel.add_method("m", lambda: hits.append(kernel.now), [event],
+                          dont_initialize=True)
+
+        class Injector(KernelHook):
+            def __init__(self):
+                self.done = False
+
+            def on_cycle_begin(self, kern):
+                if not self.done and kern.now >= 5 * NS:
+                    self.done = True
+                    event.notify()
+
+        kernel.add_hook(Injector())
+
+        def ticker():
+            for __ in range(10):
+                yield 1 * NS
+
+        kernel.add_thread("t", ticker)
+        kernel.run(20 * NS)
+        assert hits and hits[0] >= 5 * NS
+
+    def test_remove_hook(self, kernel):
+        hook = KernelHook()
+        kernel.add_hook(hook)
+        kernel.remove_hook(hook)
+        assert hook not in kernel.hooks
+
+
+class TestQueries:
+    def test_pending_activity_reflects_timed_queue(self, kernel):
+        assert not kernel.pending_activity()
+
+        def thread():
+            yield 5 * NS
+
+        kernel.add_thread("t", thread)
+        kernel.run(1 * NS)
+        assert kernel.pending_activity()
+        assert kernel.next_event_time() == 5 * NS
+
+
+class TestErrorContext:
+    def test_model_error_names_process_and_time(self, kernel):
+        from repro.errors import SimulationError
+        from repro.sysc.simtime import NS
+
+        def failing():
+            yield 5 * NS
+            raise SimulationError("device exploded")
+
+        kernel.add_thread("boom", failing)
+        with pytest.raises(SimulationError,
+                           match=r"device exploded \[in process 'boom' "
+                                 r"at 5 ns\]"):
+            kernel.run(10 * NS)
+
+    def test_failed_process_is_terminated_kernel_usable(self, kernel):
+        from repro.errors import SimulationError
+
+        def failing():
+            raise SimulationError("bad")
+
+        process = kernel.add_method("bad", failing)
+        with pytest.raises(SimulationError):
+            kernel.run(max_deltas=1)
+        assert process.terminated
+        # The kernel keeps simulating other work afterwards.
+        hits = []
+
+        def thread():
+            yield 1
+            hits.append(kernel.now)
+
+        # Processes cannot be added post-start; use an existing event.
+        kernel.run(max_deltas=2)  # must not raise again
+
+    def test_non_repro_errors_propagate_unchanged(self, kernel):
+        def failing():
+            raise ValueError("plain bug")
+
+        kernel.add_method("bug", failing)
+        with pytest.raises(ValueError, match="plain bug"):
+            kernel.run(max_deltas=1)
+
+
+class TestDescribe:
+    def test_tree_lists_modules_processes_and_hooks(self, kernel):
+        from repro.sysc.module import Module
+
+        parent = Module("soc")
+        child = parent.add_child(Module("core0"))
+        child.method(lambda: None, name="step")
+        kernel.add_thread("ticker", lambda: iter(()))
+        kernel.add_hook(KernelHook())
+        text = kernel.describe()
+        assert "soc" in text
+        assert "core0" in text
+        assert "core0.step [method" in text
+        assert "ticker [thread, kernel-owned]" in text
+        assert "hook KernelHook" in text
+
+    def test_terminated_processes_flagged(self, kernel):
+        from repro.sysc.module import Module
+
+        module = Module("m")
+        module.thread(lambda: iter(()), name="oneshot")
+        kernel.run(max_deltas=2)
+        text = kernel.describe()
+        assert "m.oneshot [thread, terminated]" in text

@@ -1,0 +1,63 @@
+from repro.sysc.event import Event
+from repro.sysc.module import Module
+from repro.sysc.signal import Signal
+from repro.sysc.simtime import NS
+
+
+class TestModule:
+    def test_module_registers_with_kernel(self, kernel):
+        module = Module("m")
+        assert module in kernel.modules
+
+    def test_child_registration(self, kernel):
+        parent = Module("p")
+        child = parent.add_child(Module("c"))
+        assert child in parent.children
+
+    def test_method_names_are_qualified(self, kernel):
+        module = Module("m")
+
+        def behaviour():
+            pass
+
+        process = module.method(behaviour)
+        assert process.name == "m.behaviour"
+
+    def test_method_sensitive_to_signal_like_objects(self, kernel):
+        signal = Signal(0)
+        module = Module("m")
+        hits = []
+        module.method(lambda: hits.append(signal.read()), sensitive=[signal],
+                      dont_initialize=True, name="watch")
+        kernel.add_method("w", lambda: signal.write(4))
+        kernel.run(max_deltas=4)
+        assert hits == [4]
+
+    def test_method_sensitive_to_plain_events(self, kernel):
+        event = Event("e")
+        module = Module("m")
+        hits = []
+        module.method(lambda: hits.append(1), sensitive=[event],
+                      dont_initialize=True, name="watch")
+        kernel.add_method("t", event.notify_delta)
+        kernel.run(max_deltas=3)
+        assert hits == [1]
+
+    def test_thread_runs(self, kernel):
+        module = Module("m")
+        trace = []
+
+        def behaviour():
+            trace.append(kernel.now)
+            yield 5 * NS
+            trace.append(kernel.now)
+
+        module.thread(behaviour)
+        kernel.run(10 * NS)
+        assert trace == [0, 5 * NS]
+
+    def test_processes_recorded_on_module(self, kernel):
+        module = Module("m")
+        module.method(lambda: None, name="a")
+        module.thread(lambda: iter(()), name="b")
+        assert len(module.processes) == 2

@@ -1,0 +1,64 @@
+import pytest
+
+from repro.errors import BindingError
+from repro.sysc.port import InPort, OutPort
+from repro.sysc.signal import Signal
+
+
+class TestBinding:
+    def test_bind_and_read(self, kernel):
+        signal = Signal(5)
+        port = InPort("p").bind(signal)
+        assert port.read() == 5
+        assert port.bound
+
+    def test_unbound_read_raises(self, kernel):
+        with pytest.raises(BindingError):
+            InPort("p").read()
+
+    def test_double_bind_rejected(self, kernel):
+        port = InPort("p").bind(Signal(0))
+        with pytest.raises(BindingError):
+            port.bind(Signal(1))
+
+    def test_bind_requires_signal(self, kernel):
+        with pytest.raises(BindingError):
+            InPort("p").bind("not a signal")
+
+    def test_repr_shows_binding_state(self, kernel):
+        port = OutPort("q")
+        assert "<unbound>" in repr(port)
+        port.bind(Signal(0, "s"))
+        assert "s" in repr(port)
+
+
+class TestDataFlow:
+    def test_out_port_write_goes_through_update_phase(self, kernel):
+        signal = Signal(0)
+        port = OutPort("o").bind(signal)
+
+        def writer():
+            port.write(11)
+
+        kernel.add_method("w", writer)
+        kernel.run(max_deltas=2)
+        assert port.read() == 11
+
+    def test_in_port_sensitivity_via_changed(self, kernel):
+        signal = Signal(0)
+        in_port = InPort("i").bind(signal)
+        out_port = OutPort("o").bind(signal)
+        hits = []
+        kernel.add_method("watch", lambda: hits.append(in_port.read()),
+                          [in_port.changed], dont_initialize=True)
+        kernel.add_method("w", lambda: out_port.write(3))
+        kernel.run(max_deltas=4)
+        assert hits == [3]
+
+    def test_value_property(self, kernel):
+        port = InPort("i").bind(Signal(8))
+        assert port.value == 8
+
+    def test_directions(self, kernel):
+        assert InPort("i").direction == "in"
+        assert OutPort("o").direction == "out"

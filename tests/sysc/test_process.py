@@ -1,0 +1,125 @@
+import pytest
+
+from repro.errors import SimulationError
+from repro.sysc.event import Event
+from repro.sysc.process import ProcessKind
+from repro.sysc.simtime import NS
+
+
+class TestMethodProcesses:
+    def test_methods_run_once_at_initialization(self, kernel):
+        hits = []
+        kernel.add_method("m", lambda: hits.append(1))
+        kernel.run(max_deltas=1)
+        assert hits == [1]
+
+    def test_dont_initialize_skips_first_run(self, kernel):
+        hits = []
+        kernel.add_method("m", lambda: hits.append(1), dont_initialize=True)
+        kernel.run(max_deltas=3)
+        assert hits == []
+
+    def test_method_reruns_on_every_trigger(self, kernel):
+        event = Event("e")
+        hits = []
+        kernel.add_method("m", lambda: hits.append(kernel.now), [event],
+                          dont_initialize=True)
+
+        def pulser():
+            for __ in range(3):
+                yield 2 * NS
+                event.notify()
+
+        kernel.add_thread("p", pulser)
+        kernel.run(10 * NS)
+        assert hits == [2 * NS, 4 * NS, 6 * NS]
+
+    def test_trigger_count(self, kernel):
+        process = kernel.add_method("m", lambda: None)
+        kernel.run(max_deltas=1)
+        assert process.trigger_count == 1
+
+
+class TestThreadProcesses:
+    def test_thread_timeout_wait(self, kernel):
+        trace = []
+
+        def thread():
+            trace.append(kernel.now)
+            yield 5 * NS
+            trace.append(kernel.now)
+
+        kernel.add_thread("t", thread)
+        kernel.run(10 * NS)
+        assert trace == [0, 5 * NS]
+
+    def test_thread_terminates_at_return(self, kernel):
+        process = kernel.add_thread("t", lambda: iter(()))
+        kernel.run(max_deltas=2)
+        assert process.terminated
+
+    def test_non_generator_thread_is_one_shot(self, kernel):
+        hits = []
+        process = kernel.add_thread("t", lambda: hits.append(1))
+        kernel.run(max_deltas=2)
+        assert hits == [1] and process.terminated
+
+    def test_yield_none_waits_one_delta(self, kernel):
+        deltas = []
+
+        def thread():
+            deltas.append(kernel.delta_count)
+            yield None
+            deltas.append(kernel.delta_count)
+
+        kernel.add_thread("t", thread)
+        kernel.run(max_deltas=4)
+        assert deltas[1] == deltas[0] + 1
+
+    def test_bad_yield_value_raises(self, kernel):
+        def thread():
+            yield "not a wait condition"
+
+        kernel.add_thread("t", thread)
+        with pytest.raises(SimulationError):
+            kernel.run(max_deltas=2)
+
+    def test_empty_wait_list_raises(self, kernel):
+        def thread():
+            yield ()
+
+        kernel.add_thread("t", thread)
+        with pytest.raises(SimulationError):
+            kernel.run(max_deltas=2)
+
+    def test_wait_list_with_non_event_raises(self, kernel):
+        def thread():
+            yield (Event("ok"), "not a condition")
+
+        kernel.add_thread("t", thread)
+        with pytest.raises(SimulationError):
+            kernel.run(max_deltas=2)
+
+
+class TestSensitivity:
+    def test_make_sensitive_to_extends_static_list(self, kernel):
+        event = Event("e")
+        hits = []
+        process = kernel.add_method("m", lambda: hits.append(1),
+                                    dont_initialize=True)
+        process.make_sensitive_to(event)
+        kernel.add_method("t", event.notify_delta)
+        kernel.run(max_deltas=3)
+        assert hits == [1]
+
+    def test_process_kind_recorded(self, kernel):
+        method = kernel.add_method("m", lambda: None)
+        thread = kernel.add_thread("t", lambda: iter(()))
+        assert method.kind is ProcessKind.METHOD
+        assert thread.kind is ProcessKind.THREAD
+
+    def test_cannot_add_process_after_start(self, kernel):
+        kernel.add_method("m", lambda: None)
+        kernel.run(max_deltas=1)
+        with pytest.raises(SimulationError):
+            kernel.add_method("late", lambda: None)

@@ -1,0 +1,126 @@
+"""Property-based tests of kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sysc.event import Event
+from repro.sysc.fifo import Fifo
+from repro.sysc.kernel import Kernel, set_current_kernel
+from repro.sysc.signal import Signal
+from repro.sysc.simtime import NS
+
+
+def _fresh_kernel():
+    kern = Kernel("prop")
+    return kern
+
+
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.integers(min_value=1, max_value=100), min_size=1,
+                       max_size=20))
+def test_timed_events_fire_in_chronological_order(delays):
+    kernel = _fresh_kernel()
+    try:
+        fired = []
+        event_pairs = []
+        for index, delay in enumerate(delays):
+            event = Event("e%d" % index)
+            event_pairs.append((event, delay * NS))
+            kernel.add_method(
+                "m%d" % index,
+                (lambda t=delay * NS: fired.append(t)),
+                [event], dont_initialize=True)
+
+        def starter():
+            for event, delay in event_pairs:
+                event.notify_after(delay)
+
+        kernel.add_method("start", starter)
+        kernel.run(200 * NS)
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+    finally:
+        set_current_kernel(None)
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(st.integers(), min_size=0, max_size=50),
+       capacity=st.integers(min_value=1, max_value=8))
+def test_fifo_preserves_order_and_count(values, capacity):
+    kernel = _fresh_kernel()
+    try:
+        fifo = Fifo(capacity)
+        received = []
+
+        def producer():
+            for value in values:
+                yield from fifo.put(value)
+
+        def consumer():
+            for __ in range(len(values)):
+                value = yield from fifo.get()
+                received.append(value)
+
+        kernel.add_thread("p", producer)
+        kernel.add_thread("c", consumer)
+        kernel.run(max_deltas=10 * len(values) + 20)
+        assert received == values
+    finally:
+        set_current_kernel(None)
+
+
+@settings(max_examples=50, deadline=None)
+@given(writes=st.lists(st.integers(min_value=0, max_value=5), min_size=1,
+                       max_size=30))
+def test_signal_change_events_match_value_transitions(writes):
+    kernel = _fresh_kernel()
+    try:
+        signal = Signal(writes[0])
+        changes = []
+        kernel.add_method("watch", lambda: changes.append(signal.read()),
+                          [signal.changed], dont_initialize=True)
+
+        def writer():
+            for value in writes:
+                signal.write(value)
+                yield 1 * NS
+
+        kernel.add_thread("w", writer)
+        kernel.run(100 * NS)
+        expected = []
+        current = writes[0]
+        for value in writes:
+            if value != current:
+                expected.append(value)
+                current = value
+        assert changes == expected
+    finally:
+        set_current_kernel(None)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_nb_fifo_level_never_exceeds_capacity(data):
+    kernel = _fresh_kernel()
+    try:
+        capacity = data.draw(st.integers(min_value=1, max_value=6))
+        fifo = Fifo(capacity)
+        operations = data.draw(st.lists(st.booleans(), max_size=60))
+        model = []
+        for is_put in operations:
+            if is_put:
+                accepted = fifo.nb_put(len(model))
+                if len(model) < capacity:
+                    assert accepted
+                    model.append(len(model))
+                else:
+                    assert not accepted
+            else:
+                got = fifo.nb_get()
+                if model:
+                    assert got == model.pop(0)
+                else:
+                    assert got is None
+            assert len(fifo) == len(model) <= capacity
+    finally:
+        set_current_kernel(None)

@@ -1,0 +1,37 @@
+from repro.sysc.report import Report, Severity
+
+
+class TestReport:
+    def test_counts_by_severity(self):
+        report = Report()
+        report.info("src", "a")
+        report.warning("src", "b")
+        report.warning("src", "c")
+        report.error("src", "d")
+        assert report.counts[Severity.INFO] == 1
+        assert report.counts[Severity.WARNING] == 2
+        assert report.counts[Severity.ERROR] == 1
+        assert report.counts[Severity.FATAL] == 0
+
+    def test_min_severity_filters_records_not_counts(self):
+        report = Report(min_severity=Severity.ERROR)
+        report.info("src", "quiet")
+        report.fatal("src", "loud")
+        assert report.messages() == ["loud"]
+        assert report.counts[Severity.INFO] == 1
+
+    def test_messages_filtered_by_severity(self):
+        report = Report()
+        report.info("src", "i")
+        report.error("src", "e")
+        assert report.messages(Severity.ERROR) == ["e"]
+
+    def test_echo_prints(self, capsys):
+        report = Report(echo=True)
+        report.warning("unit", "watch out")
+        out = capsys.readouterr().out
+        assert "WARNING" in out and "watch out" in out
+
+    def test_severity_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR \
+            < Severity.FATAL

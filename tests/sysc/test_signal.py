@@ -1,0 +1,87 @@
+from repro.sysc.signal import Signal
+
+
+class TestSignalBasics:
+    def test_initial_value(self, kernel):
+        assert Signal(7).read() == 7
+
+    def test_value_property_mirrors_read(self, kernel):
+        signal = Signal(3)
+        assert signal.value == signal.read() == 3
+
+    def test_repr_contains_name_and_value(self, kernel):
+        assert "sig" in repr(Signal(1, "sig"))
+
+
+class TestUpdateSemantics:
+    def test_write_is_deferred_to_update_phase(self, kernel):
+        signal = Signal(0)
+        observed = []
+
+        def writer():
+            signal.write(42)
+            observed.append(signal.read())  # still old value
+
+        kernel.add_method("w", writer)
+        kernel.run(max_deltas=2)
+        assert observed == [0]
+        assert signal.read() == 42
+
+    def test_last_write_wins_within_a_delta(self, kernel):
+        signal = Signal(0)
+
+        def writer():
+            signal.write(1)
+            signal.write(2)
+
+        kernel.add_method("w", writer)
+        kernel.run(max_deltas=2)
+        assert signal.read() == 2
+
+    def test_changed_fires_only_on_value_change(self, kernel):
+        signal = Signal(5)
+        hits = []
+        kernel.add_method("watch", lambda: hits.append(signal.read()),
+                          [signal.changed], dont_initialize=True)
+
+        def writer():
+            yield 1
+            signal.write(5)   # same value: no event
+            yield 1
+            signal.write(6)   # change: event
+            yield 1
+            signal.write(6)   # same again: no event
+
+        kernel.add_thread("w", writer)
+        kernel.run(10)
+        assert hits == [6]
+
+    def test_write_outside_simulation_applies_at_first_delta(self, kernel):
+        signal = Signal(0)
+        signal.write(9)
+        kernel.run(max_deltas=1)
+        assert signal.read() == 9
+
+    def test_force_bypasses_update_phase(self, kernel):
+        signal = Signal(0)
+        signal.force(13)
+        assert signal.read() == 13
+
+    def test_write_count_tracks_all_writes(self, kernel):
+        signal = Signal(0)
+        signal.write(1)
+        signal.write(1)
+        assert signal.write_count == 2
+
+
+class TestMultipleWatchers:
+    def test_all_static_watchers_run_on_change(self, kernel):
+        signal = Signal(0)
+        hits = []
+        for index in range(3):
+            kernel.add_method("w%d" % index,
+                              (lambda i: lambda: hits.append(i))(index),
+                              [signal.changed], dont_initialize=True)
+        kernel.add_method("writer", lambda: signal.write(1))
+        kernel.run(max_deltas=3)
+        assert sorted(hits) == [0, 1, 2]

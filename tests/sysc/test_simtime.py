@@ -1,0 +1,51 @@
+import pytest
+
+from repro.sysc.simtime import (FS, MS, NS, PS, SEC, US, check_duration,
+                                format_time)
+
+
+class TestUnits:
+    def test_unit_scaling(self):
+        assert PS == 1000 * FS
+        assert NS == 1000 * PS
+        assert US == 1000 * NS
+        assert MS == 1000 * US
+        assert SEC == 1000 * MS
+
+    def test_base_unit_is_one(self):
+        assert FS == 1
+
+
+class TestFormatTime:
+    def test_zero(self):
+        assert format_time(0) == "0 s"
+
+    def test_exact_units(self):
+        assert format_time(5 * NS) == "5 ns"
+        assert format_time(3 * MS) == "3 ms"
+        assert format_time(7 * SEC) == "7 s"
+        assert format_time(9 * FS) == "9 fs"
+
+    def test_uses_largest_dividing_unit(self):
+        assert format_time(1500 * PS) == "1500 ps"
+        assert format_time(2000 * PS) == "2 ns"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_time(-1)
+
+
+class TestCheckDuration:
+    def test_accepts_zero_and_positive(self):
+        assert check_duration(0) == 0
+        assert check_duration(10 * US) == 10 * US
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_duration(-5)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(TypeError):
+            check_duration(1.5)
+        with pytest.raises(TypeError):
+            check_duration("10")

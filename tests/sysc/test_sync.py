@@ -1,0 +1,177 @@
+import pytest
+
+from repro.errors import SimulationError
+from repro.sysc.simtime import NS
+from repro.sysc.sync import Mutex, Semaphore
+
+
+class TestMutex:
+    def test_try_lock_and_unlock(self, kernel):
+        mutex = Mutex()
+        assert mutex.try_lock()
+        assert not mutex.try_lock()
+        mutex.unlock()
+        assert mutex.try_lock()
+
+    def test_unlock_while_free_rejected(self, kernel):
+        with pytest.raises(SimulationError):
+            Mutex().unlock()
+
+    def test_blocking_lock_serialises_critical_sections(self, kernel):
+        mutex = Mutex()
+        trace = []
+
+        def worker(label, hold):
+            def body():
+                yield from mutex.lock()
+                trace.append(("enter", label, kernel.now))
+                yield hold
+                trace.append(("exit", label, kernel.now))
+                mutex.unlock()
+            return body
+
+        kernel.add_thread("a", worker("a", 10 * NS))
+        kernel.add_thread("b", worker("b", 10 * NS))
+        kernel.run(100 * NS)
+        # Sections never interleave.
+        kinds = [entry[0] for entry in trace]
+        assert kinds == ["enter", "exit", "enter", "exit"]
+        assert mutex.contention_count >= 1
+
+    def test_lock_released_wakes_waiter_immediately(self, kernel):
+        mutex = Mutex()
+        times = []
+
+        def holder():
+            yield from mutex.lock()
+            yield 5 * NS
+            mutex.unlock()
+
+        def waiter():
+            yield from mutex.lock()
+            times.append(kernel.now)
+            mutex.unlock()
+
+        kernel.add_thread("h", holder)
+        kernel.add_thread("w", waiter)
+        kernel.run(50 * NS)
+        assert times == [5 * NS]
+
+
+class TestSemaphore:
+    def test_initial_count_grants(self, kernel):
+        semaphore = Semaphore(2)
+        assert semaphore.try_wait()
+        assert semaphore.try_wait()
+        assert not semaphore.try_wait()
+
+    def test_negative_initial_rejected(self, kernel):
+        with pytest.raises(SimulationError):
+            Semaphore(-1)
+
+    def test_blocking_wait_for_post(self, kernel):
+        semaphore = Semaphore()
+        times = []
+
+        def consumer():
+            yield from semaphore.wait()
+            times.append(kernel.now)
+
+        def producer():
+            yield 7 * NS
+            semaphore.post()
+
+        kernel.add_thread("c", consumer)
+        kernel.add_thread("p", producer)
+        kernel.run(20 * NS)
+        assert times == [7 * NS]
+
+    def test_tokens_conserved_under_contention(self, kernel):
+        semaphore = Semaphore()
+        grants = []
+
+        def consumer(label):
+            def body():
+                yield from semaphore.wait()
+                grants.append(label)
+            return body
+
+        for label in ("a", "b", "c"):
+            kernel.add_thread(label, consumer(label))
+
+        def producer():
+            for __ in range(2):
+                yield 5 * NS
+                semaphore.post()
+
+        kernel.add_thread("p", producer)
+        kernel.run(50 * NS)
+        assert len(grants) == 2
+        assert semaphore.count == 0
+
+
+class TestWaitWithTimeout:
+    def test_event_wins_before_timeout(self, kernel):
+        from repro.sysc.event import Event
+
+        event = Event("e")
+        outcomes = []
+
+        def thread():
+            yield (event, 50 * NS)
+            outcomes.append(kernel.now)
+
+        def pulse():
+            yield 10 * NS
+            event.notify()
+
+        kernel.add_thread("t", thread)
+        kernel.add_thread("p", pulse)
+        kernel.run(100 * NS)
+        assert outcomes == [10 * NS]
+
+    def test_timeout_fires_without_event(self, kernel):
+        from repro.sysc.event import Event
+
+        event = Event("never")
+        outcomes = []
+
+        def thread():
+            yield (event, 30 * NS)
+            outcomes.append(kernel.now)
+
+        kernel.add_thread("t", thread)
+        kernel.run(100 * NS)
+        assert outcomes == [30 * NS]
+
+    def test_two_timeouts_rejected(self, kernel):
+        def thread():
+            yield (10 * NS, 20 * NS)
+
+        kernel.add_thread("t", thread)
+        with pytest.raises(SimulationError):
+            kernel.run(max_deltas=2)
+
+    def test_early_wake_cancels_pending_timeout(self, kernel):
+        from repro.sysc.event import Event
+
+        event = Event("e")
+        wakes = []
+
+        def thread():
+            yield (event, 50 * NS)
+            wakes.append(kernel.now)
+            yield 200 * NS
+            wakes.append(kernel.now)
+
+        def pulse():
+            yield 10 * NS
+            event.notify()
+
+        kernel.add_thread("t", thread)
+        kernel.add_thread("p", pulse)
+        kernel.run(300 * NS)
+        assert wakes == [10 * NS, 210 * NS]
+        # The abandoned 50 ns timeout left no residue in the timed
+        # queue (only the exhausted threads remain).
+        assert not kernel.pending_activity()

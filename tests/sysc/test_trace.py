@@ -1,0 +1,57 @@
+from repro.sysc.clock import Clock
+from repro.sysc.signal import Signal
+from repro.sysc.simtime import NS
+from repro.sysc.trace import VcdTrace, _identifier
+
+
+class TestIdentifiers:
+    def test_identifiers_unique_for_many_signals(self):
+        idents = [_identifier(i) for i in range(200)]
+        assert len(set(idents)) == 200
+
+    def test_identifiers_printable(self):
+        for i in (0, 50, 93, 94, 200):
+            assert _identifier(i).isprintable()
+
+
+class TestVcdTrace:
+    def test_header_and_samples(self, kernel):
+        signal = Signal(0, "data")
+        trace = kernel.add_trace(VcdTrace("top"))
+        trace.add_signal(signal, "data")
+        clock = Clock(10 * NS)
+        trace.add_signal(clock.signal, "clk", width=1)
+
+        def writer():
+            yield 10 * NS
+            signal.write(5)
+            yield 10 * NS
+            signal.write(7)
+
+        kernel.add_thread("w", writer)
+        kernel.run(50 * NS)
+        text = trace.dumps()
+        assert "$timescale" in text
+        assert "$var wire 32" in text
+        assert "$var wire 1" in text
+        assert "b101 " in text
+        assert "b111 " in text
+
+    def test_unchanged_values_not_re_emitted(self, kernel):
+        signal = Signal(3, "s")
+        trace = kernel.add_trace(VcdTrace())
+        trace.add_signal(signal)
+        Clock(10 * NS)
+        kernel.run(100 * NS)
+        text = trace.dumps()
+        assert text.count("b11 ") == 1
+
+    def test_write_to_file(self, kernel, tmp_path):
+        signal = Signal(1, "s")
+        trace = kernel.add_trace(VcdTrace())
+        trace.add_signal(signal)
+        Clock(10 * NS)
+        kernel.run(30 * NS)
+        path = tmp_path / "wave.vcd"
+        trace.write(str(path))
+        assert path.read_text().startswith("$date")

@@ -1,0 +1,21 @@
+"""docs/api.md stays in sync with the code."""
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "tools"))
+
+
+def test_api_reference_in_sync():
+    import gen_api_docs
+
+    committed = (ROOT / "docs" / "api.md").read_text()
+    assert gen_api_docs.generate() == committed, (
+        "docs/api.md is stale: run `python tools/gen_api_docs.py`")
+
+
+def test_every_public_item_documented():
+    import gen_api_docs
+
+    assert "(undocumented)" not in gen_api_docs.generate()

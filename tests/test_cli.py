@@ -1,0 +1,69 @@
+import pytest
+
+from repro.cli import main
+from repro.version import __version__
+
+
+class TestCli:
+    def test_version(self, capsys):
+        assert main(["version"]) == 0
+        assert capsys.readouterr().out.strip() == __version__
+
+    def test_router_run(self, capsys):
+        code = main(["router", "--scheme", "local", "--delay-us", "20",
+                     "--sim-ms", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "forwarded=" in out and "corrupt=0" in out
+
+    def test_router_driver_scheme(self, capsys):
+        code = main(["router", "--scheme", "driver-kernel",
+                     "--delay-us", "40", "--sim-ms", "1"])
+        assert code == 0
+        assert "scheme=driver-kernel" in capsys.readouterr().out
+
+    def test_router_multi_cpu(self, capsys):
+        code = main(["router", "--scheme", "gdb-kernel", "--cpus", "2",
+                     "--delay-us", "20", "--sim-ms", "1"])
+        assert code == 0
+        assert "cpus=2" in capsys.readouterr().out
+
+    def test_loc(self, capsys):
+        assert main(["loc"]) == 0
+        out = capsys.readouterr().out
+        assert "SystemC side" in out and "guest side" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["router", "--scheme", "quantum"])
+
+    def test_report_to_file(self, tmp_path, capsys, monkeypatch):
+        # Shrink the report workload: patch the quick sim times.
+        from repro.analysis import report as report_module
+        from repro.sysc.simtime import MS, US
+
+        def tiny_report(quick=True):
+            assert quick
+            return "# Reproduction report\n(tiny)\n"
+
+        monkeypatch.setattr(report_module, "generate_report", tiny_report)
+        out_file = tmp_path / "report.md"
+        code = main(["report", "-o", str(out_file)])
+        assert code == 0
+        assert out_file.read_text().startswith("# Reproduction report")
+
+    def test_stream_command(self, capsys):
+        code = main(["stream", "--samples", "64", "--sim-ms", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mismatches=0" in out
+
+    def test_stream_gdb_scheme(self, capsys):
+        code = main(["stream", "--scheme", "gdb-kernel", "--samples",
+                     "32", "--sim-ms", "10"])
+        assert code == 0
+        assert "scheme=gdb-kernel" in capsys.readouterr().out
