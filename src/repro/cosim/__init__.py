@@ -19,21 +19,27 @@ ISS of :mod:`repro.iss`:
 """
 
 from repro.cosim.channels import Pipe, Socket, Endpoint
-from repro.cosim.messages import (Message, MessageType, pack_message,
-                                  unpack_message, DATA_PORT, INTERRUPT_PORT)
+from repro.cosim.messages import (Message, MessageType, FrameKind,
+                                  pack_message, unpack_message, pack_frame,
+                                  unpack_frame, DATA_PORT, INTERRUPT_PORT)
 from repro.cosim.ports import IssInPort, IssOutPort
 from repro.cosim.binding import ClockBinding
+from repro.cosim.faults import FaultPlan, FaultyEndpoint
 from repro.cosim.metrics import CosimMetrics
 from repro.cosim.pragmas import PragmaMap, build_pragma_map
+from repro.cosim.reliable import (ReliabilityConfig, ReliableEndpoint,
+                                  wrap_reliable)
 from repro.cosim.gdb_wrapper import GdbWrapperScheme, GdbWrapperModule
 from repro.cosim.gdb_kernel import GdbKernelScheme, GdbKernelHook
 from repro.cosim.driver_kernel import DriverKernelScheme, DriverKernelHook
 
 __all__ = [
-    "Pipe", "Socket", "Endpoint", "Message", "MessageType", "pack_message",
-    "unpack_message", "DATA_PORT", "INTERRUPT_PORT", "IssInPort",
-    "IssOutPort", "ClockBinding", "CosimMetrics", "PragmaMap",
-    "build_pragma_map", "GdbWrapperScheme", "GdbWrapperModule",
-    "GdbKernelScheme", "GdbKernelHook", "DriverKernelScheme",
-    "DriverKernelHook",
+    "Pipe", "Socket", "Endpoint", "Message", "MessageType", "FrameKind",
+    "pack_message", "unpack_message", "pack_frame", "unpack_frame",
+    "DATA_PORT", "INTERRUPT_PORT", "IssInPort", "IssOutPort",
+    "ClockBinding", "FaultPlan", "FaultyEndpoint", "CosimMetrics",
+    "PragmaMap", "build_pragma_map", "ReliabilityConfig",
+    "ReliableEndpoint", "wrap_reliable", "GdbWrapperScheme",
+    "GdbWrapperModule", "GdbKernelScheme", "GdbKernelHook",
+    "DriverKernelScheme", "DriverKernelHook",
 ]

@@ -17,18 +17,30 @@ There is no GDB anywhere in this scheme — "the GDB interface overhead
 has been removed from the ISS side" — which is where its speed comes
 from; the price is writing the driver (Section 5's 9x guest-side code
 overhead) and the RTOS overhead visible in Figure 7.
+
+Resilience (see ``docs/resilience.md``): both sockets can carry the
+reliable framing of :mod:`repro.cosim.reliable` over fault-injected
+links (:mod:`repro.cosim.faults`), and a per-context watchdog
+quarantines an ISS that stops making progress — or whose transport
+gives up — so the remaining contexts finish instead of wedging the
+whole simulation.
 """
 
 from dataclasses import dataclass, field
 
-from repro.errors import CosimError
+from repro.errors import CosimError, CosimTransportError
 from repro.cosim.binding import ClockBinding
 from repro.cosim.channels import Socket
+from repro.cosim.faults import FaultyEndpoint
 from repro.cosim.messages import (DATA_PORT, INTERRUPT_PORT, Message,
                                   MessageType, interrupt_message,
                                   pack_message, unpack_message)
 from repro.cosim.metrics import CosimMetrics
+from repro.cosim.ports import IssInPort, IssOutPort
+from repro.cosim.reliable import wrap_reliable
 from repro.sysc.hooks import KernelHook
+
+_PORT_KINDS = {"iss_in": IssInPort, "iss_out": IssOutPort}
 
 
 @dataclass
@@ -41,6 +53,19 @@ class _RtosContext:
     data_socket: Socket = None
     interrupt_socket: Socket = None
     ports: dict = field(default_factory=dict)  # port name -> Iss{In,Out}Port
+    # Kernel- and guest-side transport endpoints.  Without the reliable
+    # layer these are the raw socket ends; with it, the wrapped stack.
+    data_endpoint: object = None
+    irq_endpoint: object = None
+    guest_data_endpoint: object = None
+    guest_irq_endpoint: object = None
+    reliable: bool = False
+    # Graceful-degradation state.
+    quarantined: bool = False
+    quarantine_reason: str = None
+    activity: int = 0            # driver messages handled for this context
+    _watch_activity: int = 0
+    _stall_ticks: int = 0
 
     @property
     def finished(self):
@@ -50,10 +75,16 @@ class _RtosContext:
 class DriverKernelHook(KernelHook):
     """The scheduler modification of paper Figure 5."""
 
-    def __init__(self, metrics):
+    def __init__(self, metrics, watchdog_ticks=None):
         self.metrics = metrics
+        self.watchdog_ticks = watchdog_ticks
         self.contexts = []
         self._pending_interrupts = []   # (context, vector)
+
+    def active_contexts(self):
+        """Contexts still participating in the co-simulation."""
+        return [context for context in self.contexts
+                if not context.quarantined]
 
     # Hardware modules call this (via the scheme) during evaluate.
     def queue_interrupt(self, context, vector):
@@ -62,15 +93,22 @@ class DriverKernelHook(KernelHook):
 
     def on_cycle_begin(self, kernel):
         """Drain driver messages at the start of the cycle (Fig. 5)."""
-        for context in self.contexts:
-            self.metrics.cheap_polls += 1
-            if not context.data_socket.a.poll():
-                continue
-            while True:
-                payload = context.data_socket.a.recv()
-                if payload is None:
-                    break
-                self._handle_message(context, unpack_message(payload))
+        for context in self.active_contexts():
+            try:
+                self.metrics.cheap_polls += 1
+                if context.reliable:
+                    # Service the interrupt socket's ACK/retransmit
+                    # machinery; it has no receive path on this side.
+                    context.irq_endpoint.poll()
+                if not context.data_endpoint.poll():
+                    continue
+                while True:
+                    payload = context.data_endpoint.recv()
+                    if payload is None:
+                        break
+                    self._handle_message(context, unpack_message(payload))
+            except CosimTransportError as error:
+                self._quarantine(context, "transport: %s" % error)
 
     def on_cycle_end(self, kernel):
         """Forward interrupts raised this cycle (Fig. 5)."""
@@ -78,22 +116,50 @@ class DriverKernelHook(KernelHook):
             return
         pending, self._pending_interrupts = self._pending_interrupts, []
         for context, vector in pending:
-            context.interrupt_socket.a.send(
-                pack_message(interrupt_message(vector)))
+            if context.quarantined:
+                continue
+            context.irq_endpoint.send(pack_message(interrupt_message(vector)))
             self.metrics.interrupts_posted += 1
 
     def on_time_advance(self, kernel):
         """Grant each guest RTOS its cycle budget."""
         self.metrics.sc_timesteps += 1
-        for context in self.contexts:
+        for context in self.active_contexts():
             if context.finished:
                 continue
             budget = context.binding.cycles_for_advance(kernel.now)
-            if budget > 0:
+            if budget <= 0:
+                continue
+            try:
                 self.metrics.iss_cycles += context.rtos.advance(budget)
+            except CosimTransportError as error:
+                self._quarantine(context, "transport: %s" % error)
+                continue
+            self._watchdog(context)
+
+    def _watchdog(self, context):
+        """Quarantine a context with no driver traffic in K timesteps."""
+        if self.watchdog_ticks is None or context.finished:
+            return
+        if context.activity != context._watch_activity:
+            context._watch_activity = context.activity
+            context._stall_ticks = 0
+            return
+        context._stall_ticks += 1
+        if context._stall_ticks >= self.watchdog_ticks:
+            self._quarantine(
+                context, "watchdog: no driver traffic in %d timesteps"
+                % self.watchdog_ticks)
+
+    def _quarantine(self, context, reason):
+        """Detach *context*; the rest of the simulation carries on."""
+        context.quarantined = True
+        context.quarantine_reason = reason
+        self.metrics.record_quarantine(context.name, reason)
 
     def _handle_message(self, context, message):
         self.metrics.messages_received += 1
+        context.activity += 1
         if message.type is MessageType.WRITE:
             for block in message.blocks:
                 port = self._port(context, block.port, "iss_in")
@@ -107,14 +173,18 @@ class DriverKernelHook(KernelHook):
                 port = self._port(context, block.port, "iss_out")
                 value = port.collect()
                 if isinstance(value, int):
-                    value = (value & 0xFFFFFFFF).to_bytes(4, "little")
+                    if not 0 <= value <= 0xFFFFFFFF:
+                        raise CosimError(
+                            "iss_out port %r value %#x does not fit the "
+                            "32-bit wire format" % (block.port, value))
+                    value = value.to_bytes(4, "little")
                 elif not isinstance(value, (bytes, bytearray)):
                     raise CosimError(
                         "iss_out port %r holds unserialisable value %r"
                         % (block.port, value))
                 block.data = bytes(value)
                 reply.blocks.append(block)
-            context.data_socket.a.send(pack_message(reply))
+            context.data_endpoint.send(pack_message(reply))
             self.metrics.messages_sent += 1
         else:
             raise CosimError("unexpected %s message from driver"
@@ -126,6 +196,10 @@ class DriverKernelHook(KernelHook):
         if port is None:
             raise CosimError("driver referenced unknown SystemC port %r"
                              % port_name)
+        if not isinstance(port, _PORT_KINDS[expected]):
+            raise CosimError(
+                "driver used port %r as an %s but it is a %s"
+                % (port_name, expected, type(port).__name__))
         return port
 
 
@@ -134,15 +208,22 @@ class DriverKernelScheme:
 
     name = "driver-kernel"
 
-    def __init__(self, kernel, metrics=None):
+    def __init__(self, kernel, metrics=None, watchdog_ticks=None):
         self.kernel = kernel
         self.metrics = metrics if metrics is not None else CosimMetrics()
         self.metrics.scheme = self.name
-        self.hook = DriverKernelHook(self.metrics)
+        self.hook = DriverKernelHook(self.metrics, watchdog_ticks)
         kernel.add_hook(self.hook)
 
-    def attach_rtos(self, rtos, ports, cpu_hz, name=None):
-        """Connect one guest RTOS; wires both sockets."""
+    def attach_rtos(self, rtos, ports, cpu_hz, name=None, reliability=None,
+                    faults=None):
+        """Connect one guest RTOS; wires both sockets.
+
+        *reliability* (a :class:`~repro.cosim.reliable.ReliabilityConfig`,
+        or ``True`` for the defaults) stacks the reliable framing over
+        both sockets; *faults* (a :class:`~repro.cosim.faults.FaultPlan`)
+        injects link faults underneath it.
+        """
         context = _RtosContext(
             name=name or rtos.name,
             rtos=rtos,
@@ -152,9 +233,33 @@ class DriverKernelScheme:
         context.interrupt_socket = Socket(INTERRUPT_PORT,
                                           "irq:" + context.name)
         context.ports = dict(ports)
-        rtos.attach_cosim(context.data_socket.b, context.interrupt_socket.b)
+        self._wire_transport(context, reliability, faults)
+        rtos.attach_cosim(context.guest_data_endpoint,
+                          context.guest_irq_endpoint)
         self.hook.contexts.append(context)
         return context
+
+    def _wire_transport(self, context, reliability, faults):
+        if reliability:
+            config = None if reliability is True else reliability
+            context.reliable = True
+            context.data_endpoint, context.guest_data_endpoint = \
+                wrap_reliable(context.data_socket, config, self.metrics,
+                              faults=faults)
+            context.irq_endpoint, context.guest_irq_endpoint = \
+                wrap_reliable(context.interrupt_socket, config,
+                              self.metrics, faults=faults)
+            return
+        data_a, data_b = context.data_socket.a, context.data_socket.b
+        irq_a, irq_b = (context.interrupt_socket.a,
+                        context.interrupt_socket.b)
+        if faults is not None:
+            data_a = FaultyEndpoint(data_a, faults)
+            data_b = FaultyEndpoint(data_b, faults)
+            irq_a = FaultyEndpoint(irq_a, faults)
+            irq_b = FaultyEndpoint(irq_b, faults)
+        context.data_endpoint, context.guest_data_endpoint = data_a, data_b
+        context.irq_endpoint, context.guest_irq_endpoint = irq_a, irq_b
 
     def raise_interrupt(self, context, vector):
         """Hardware-side interrupt request (delivered at cycle end)."""
@@ -169,4 +274,6 @@ class DriverKernelScheme:
 
     @property
     def finished(self):
-        return all(context.finished for context in self.hook.contexts)
+        """Every context either ran to completion or was quarantined."""
+        return all(context.finished or context.quarantined
+                   for context in self.hook.contexts)

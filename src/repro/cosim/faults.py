@@ -1,0 +1,182 @@
+"""Deterministic link-fault models for the co-simulation transport.
+
+The real deployments of the paper's schemes ride on host IPC — two TCP
+sockets for Driver-Kernel, a Unix pipe for the GDB schemes — and a
+distributed co-simulation hits that transport's failure surface first:
+messages get dropped, duplicated, reordered, corrupted, or delayed.
+
+:class:`FaultPlan` describes a seeded composition of those five fault
+classes; :class:`FaultyEndpoint` applies a plan to the outgoing side of
+any channel :class:`~repro.cosim.channels.Endpoint`, replacing the old
+ad-hoc ``fault_injector`` callable.  Everything is deterministic: the
+per-endpoint random stream is derived from the plan seed and the
+endpoint label, so a run with the same plan replays the same faults.
+
+Stack the resilience layers as ``ReliableEndpoint(FaultyEndpoint(raw))``
+so that injected faults exercise (and are recovered by) the reliable
+framing of :mod:`repro.cosim.reliable`.
+"""
+
+import random
+import zlib
+
+from repro.errors import CosimError
+
+FAULT_KINDS = ("drop", "duplicate", "reorder", "corrupt", "delay")
+
+
+class FaultPlan:
+    """A seeded, deterministic composition of link-fault models.
+
+    Each fault class is an independent probability per outgoing
+    message; *script* pins specific message indices (0-based) to a
+    fault kind, overriding the random draws — handy for exact-replay
+    regression tests.  *max_faults* caps the total number of injected
+    faults so a bounded retry budget is guaranteed to recover the run.
+    """
+
+    def __init__(self, seed=0, drop=0.0, duplicate=0.0, reorder=0.0,
+                 corrupt=0.0, delay=0.0, delay_polls=3, max_faults=None,
+                 script=None):
+        self.seed = seed
+        self.rates = {"drop": drop, "duplicate": duplicate,
+                      "reorder": reorder, "corrupt": corrupt,
+                      "delay": delay}
+        for kind, rate in self.rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise CosimError("%s rate %r outside [0, 1]"
+                                 % (kind, rate))
+        for kind in (script or {}).values():
+            if kind not in FAULT_KINDS:
+                raise CosimError("unknown fault kind %r in script"
+                                 % (kind,))
+        self.delay_polls = delay_polls
+        self.max_faults = max_faults
+        self.script = dict(script or {})
+
+    def rng_for(self, label):
+        """The per-endpoint deterministic random stream."""
+        salt = zlib.crc32(str(label).encode("utf-8"))
+        return random.Random((self.seed << 32) ^ salt)
+
+
+class FaultyEndpoint:
+    """An :class:`~repro.cosim.channels.Endpoint` wrapper that applies
+    a :class:`FaultPlan` to every outgoing message.
+
+    Fault semantics (all on the send path):
+
+    - ``drop``       — the message is never delivered;
+    - ``duplicate``  — the message is delivered twice back-to-back;
+    - ``reorder``    — the message is held back and delivered *after*
+      the next outgoing message (flushed after ``delay_polls`` local
+      operations if no further send arrives);
+    - ``corrupt``    — one seeded bit of the payload is flipped;
+    - ``delay``      — delivery is deferred for ``delay_polls`` local
+      poll/recv operations.
+
+    The receive path is a pure delegate, so a wrapper can sit on either
+    (or both) ends of a link.
+    """
+
+    def __init__(self, inner, plan):
+        self.inner = inner
+        self.plan = plan
+        self._rng = plan.rng_for(getattr(inner, "label", repr(inner)))
+        self._send_index = 0
+        self._held = []      # reorder holdbacks: [polls_left, payload]
+        self._delayed = []   # delay queue:       [polls_left, payload]
+        self.injected = {kind: 0 for kind in FAULT_KINDS}
+
+    def __repr__(self):
+        return "FaultyEndpoint(%r)" % (self.inner,)
+
+    @property
+    def label(self):
+        return getattr(self.inner, "label", "?")
+
+    @property
+    def faults_injected(self):
+        return sum(self.injected.values())
+
+    def _pick_fault(self):
+        index = self._send_index
+        self._send_index += 1
+        if index in self.plan.script:
+            return self.plan.script[index]
+        if (self.plan.max_faults is not None
+                and self.faults_injected >= self.plan.max_faults):
+            return None
+        for kind in FAULT_KINDS:
+            rate = self.plan.rates[kind]
+            if rate and self._rng.random() < rate:
+                return kind
+        return None
+
+    def _corrupted(self, payload):
+        if not payload:
+            return payload
+        damaged = bytearray(payload)
+        position = self._rng.randrange(len(damaged))
+        damaged[position] ^= 1 << self._rng.randrange(8)
+        return bytes(damaged)
+
+    def send(self, payload):
+        """Apply the plan to *payload*, then transmit what survives."""
+        fault = self._pick_fault()
+        if fault is not None:
+            self.injected[fault] += 1
+        if fault == "drop":
+            return
+        if fault == "corrupt":
+            self.inner.send(self._corrupted(payload))
+        elif fault == "duplicate":
+            self.inner.send(payload)
+            self.inner.send(payload)
+        elif fault == "delay":
+            self._delayed.append([self.plan.delay_polls, bytes(payload)])
+        elif fault == "reorder":
+            self._held.append([self.plan.delay_polls, bytes(payload)])
+        else:
+            self.inner.send(payload)
+            # A held message goes out right after the one overtaking it.
+            for __, held in self._held:
+                self.inner.send(held)
+            self._held = []
+
+    def _advance(self):
+        """One local operation elapsed: release due deferred messages."""
+        for queue in (self._delayed, self._held):
+            due = []
+            for entry in queue:
+                entry[0] -= 1
+                if entry[0] <= 0:
+                    due.append(entry)
+            for entry in due:
+                queue.remove(entry)
+                self.inner.send(entry[1])
+
+    # -- receive path: pure delegation (plus the local clock) ---------------
+
+    def poll(self):
+        """Delegate to the inner endpoint (counts as a local operation)."""
+        self._advance()
+        return self.inner.poll()
+
+    def recv(self):
+        """Delegate to the inner endpoint (counts as a local operation)."""
+        self._advance()
+        return self.inner.recv()
+
+    def recv_all(self):
+        """Delegate to the inner endpoint (counts as a local operation)."""
+        self._advance()
+        return self.inner.recv_all()
+
+    @property
+    def pending(self):
+        return self.inner.pending
+
+    @property
+    def peer(self):
+        return self.inner.peer

@@ -16,13 +16,22 @@ the variable transfer over the remote-debugging interface:
 The hook also grants each ISS its cycle budget whenever simulated time
 advances.  User modules never see any of this — they only declare
 ``iss_in``/``iss_out`` ports and ``iss_process``es.
+
+Resilience (see ``docs/resilience.md``): the RSP pipe can carry the
+reliable framing of :mod:`repro.cosim.reliable` over fault-injected
+links, and a per-context watchdog quarantines an ISS that stops
+executing — or whose transport gives up — so the remaining contexts
+finish instead of wedging the whole simulation.
 """
 
 from dataclasses import dataclass
 
+from repro.errors import CosimTransportError
 from repro.cosim.binding import ClockBinding
 from repro.cosim.channels import Pipe
+from repro.cosim.faults import FaultyEndpoint
 from repro.cosim.metrics import CosimMetrics
+from repro.cosim.reliable import wrap_reliable
 from repro.cosim.transfer import TargetDriver
 from repro.gdb.client import GdbClient
 from repro.gdb.stub import GdbStub
@@ -40,6 +49,10 @@ class _CpuContext:
     stub: GdbStub
     client: GdbClient
     driver: TargetDriver
+    quarantined: bool = False
+    quarantine_reason: str = None
+    _watch_cycles: int = -1
+    _stall_ticks: int = 0
 
     @property
     def finished(self):
@@ -49,30 +62,66 @@ class _CpuContext:
 class GdbKernelHook(KernelHook):
     """The scheduler modification of paper Figure 3."""
 
-    def __init__(self, metrics):
+    def __init__(self, metrics, watchdog_ticks=None):
         self.metrics = metrics
+        self.watchdog_ticks = watchdog_ticks
         self.contexts = []
+
+    def active_contexts(self):
+        """Contexts still participating in the co-simulation."""
+        return [context for context in self.contexts
+                if not context.quarantined]
 
     def on_cycle_begin(self, kernel):
         """Poll each ISS pipe; service stops when data is pending."""
         # "checks ... if the GDB is stopped to a breakpoint ... by
         # checking the content of the data structure of the IPC
         # mechanism used to connect the ISS and the wrapper (a pipe)".
-        for context in self.contexts:
+        for context in self.active_contexts():
             self.metrics.cheap_polls += 1
-            if context.driver.needs_attention:
-                context.driver.drive()
+            try:
+                if context.driver.needs_attention:
+                    context.driver.drive()
+            except CosimTransportError as error:
+                self._quarantine(context, "transport: %s" % error)
 
     def on_time_advance(self, kernel):
         """Grant each ISS its cycle budget and drive it."""
         self.metrics.sc_timesteps += 1
-        for context in self.contexts:
+        for context in self.active_contexts():
             if context.finished:
                 continue
             budget = context.binding.cycles_for_advance(kernel.now)
-            if budget > 0:
+            if budget <= 0:
+                continue
+            try:
                 context.driver.grant(budget)
                 context.driver.drive()
+            except CosimTransportError as error:
+                self._quarantine(context, "transport: %s" % error)
+                continue
+            self._watchdog(context)
+
+    def _watchdog(self, context):
+        """Quarantine a context whose CPU retired nothing in K ticks."""
+        if self.watchdog_ticks is None or context.finished:
+            return
+        cycles = context.cpu.cycles
+        if cycles != context._watch_cycles:
+            context._watch_cycles = cycles
+            context._stall_ticks = 0
+            return
+        context._stall_ticks += 1
+        if context._stall_ticks >= self.watchdog_ticks:
+            self._quarantine(
+                context, "watchdog: no execution progress in %d timesteps"
+                % self.watchdog_ticks)
+
+    def _quarantine(self, context, reason):
+        """Detach *context*; the rest of the simulation carries on."""
+        context.quarantined = True
+        context.quarantine_reason = reason
+        self.metrics.record_quarantine(context.name, reason)
 
 
 class GdbKernelScheme:
@@ -80,19 +129,27 @@ class GdbKernelScheme:
 
     name = "gdb-kernel"
 
-    def __init__(self, kernel, metrics=None):
+    def __init__(self, kernel, metrics=None, watchdog_ticks=None):
         self.kernel = kernel
         self.metrics = metrics if metrics is not None else CosimMetrics()
         self.metrics.scheme = self.name
-        self.hook = GdbKernelHook(self.metrics)
+        self.hook = GdbKernelHook(self.metrics, watchdog_ticks)
         kernel.add_hook(self.hook)
 
-    def attach_cpu(self, cpu, pragma_map, ports, cpu_hz, name=None):
-        """Connect one ISS: its pragma map and variable->port mapping."""
+    def attach_cpu(self, cpu, pragma_map, ports, cpu_hz, name=None,
+                   reliability=None, faults=None):
+        """Connect one ISS: its pragma map and variable->port mapping.
+
+        *reliability*/*faults* stack the resilience layers over the RSP
+        pipe, exactly as in
+        :meth:`~repro.cosim.driver_kernel.DriverKernelScheme.attach_rtos`.
+        """
         label = name or cpu.name
         pipe = Pipe("gdb:" + label)
-        stub = GdbStub(cpu, pipe.b)
-        client = GdbClient(pipe.a, pump=stub.service_pending)
+        client_end, stub_end = _wire_pipe(pipe, reliability, faults,
+                                          self.metrics)
+        stub = GdbStub(cpu, stub_end)
+        client = GdbClient(client_end, pump=stub.service_pending)
         driver = TargetDriver(client, stub, cpu, pragma_map, dict(ports),
                               self.metrics)
         context = _CpuContext(label, cpu, ClockBinding(cpu_hz, 1), pipe,
@@ -107,4 +164,18 @@ class GdbKernelScheme:
 
     @property
     def finished(self):
-        return all(context.finished for context in self.hook.contexts)
+        """Every context either ran to completion or was quarantined."""
+        return all(context.finished or context.quarantined
+                   for context in self.hook.contexts)
+
+
+def _wire_pipe(pipe, reliability, faults, metrics):
+    """Stack the resilience layers over an RSP pipe's two ends."""
+    if reliability:
+        config = None if reliability is True else reliability
+        return wrap_reliable(pipe, config, metrics, faults=faults)
+    side_a, side_b = pipe.a, pipe.b
+    if faults is not None:
+        side_a = FaultyEndpoint(side_a, faults)
+        side_b = FaultyEndpoint(side_b, faults)
+    return side_a, side_b

@@ -16,10 +16,16 @@ GDB-Kernel scheme (the two share :class:`~repro.cosim.transfer.
 TargetDriver`), so the measured difference between the schemes isolates
 what the paper changed: where the synchronisation check lives and what
 it costs per cycle.
+
+Resilience mirrors the other schemes: the RSP pipe can carry reliable
+framing over fault-injected links, and a per-wrapper watchdog
+quarantines a stalled or transport-dead ISS so its siblings finish.
 """
 
+from repro.errors import CosimTransportError
 from repro.cosim.binding import ClockBinding
 from repro.cosim.channels import Pipe
+from repro.cosim.gdb_kernel import _wire_pipe
 from repro.cosim.metrics import CosimMetrics
 from repro.cosim.transfer import TargetDriver
 from repro.gdb.client import GdbClient
@@ -35,14 +41,22 @@ class GdbWrapperModule(Module):
     """
 
     def __init__(self, name, clock, cpu, pragma_map, ports, cpu_hz,
-                 metrics, kernel=None):
+                 metrics, kernel=None, watchdog_ticks=None,
+                 reliability=None, faults=None):
         super().__init__(name, kernel)
         self.cpu = cpu
         self.binding = ClockBinding(cpu_hz, 1)
         self.metrics = metrics
+        self.watchdog_ticks = watchdog_ticks
+        self.quarantined = False
+        self.quarantine_reason = None
+        self._watch_cycles = -1
+        self._stall_ticks = 0
         self.pipe = Pipe("gdbw:" + name)
-        self.stub = GdbStub(cpu, self.pipe.b)
-        self.client = GdbClient(self.pipe.a, pump=self.stub.service_pending)
+        client_end, stub_end = _wire_pipe(self.pipe, reliability, faults,
+                                          metrics)
+        self.stub = GdbStub(cpu, stub_end)
+        self.client = GdbClient(client_end, pump=self.stub.service_pending)
         self.driver = TargetDriver(self.client, self.stub, cpu, pragma_map,
                                    dict(ports), metrics)
         self.method(self._sync_cycle, sensitive=[clock.posedge],
@@ -50,7 +64,7 @@ class GdbWrapperModule(Module):
 
     @property
     def finished(self):
-        return self.driver.finished
+        return self.driver.finished or self.quarantined
 
     def elaborate(self):
         """Set the pragma breakpoints and put the target in run mode."""
@@ -58,25 +72,51 @@ class GdbWrapperModule(Module):
 
     def _sync_cycle(self):
         """The lock-step sc_method: runs on every clock posedge."""
-        if self.driver.finished:
+        if self.driver.finished or self.quarantined:
             return
-        # 1. The per-cycle synchronisation over the RDI — the overhead
-        #    that distinguishes this baseline.  The lock-step wrapper
-        #    of [14] exchanges both the target state and the execution
-        #    state (program counter) with the ISS every cycle.
-        self.metrics.sync_transactions += 2
-        status = self.client.query_status()
-        self.client.read_register(16)  # the pc, by register number
-        if status.get("Status") == "exited":
-            self.driver.finished = True
+        try:
+            # 1. The per-cycle synchronisation over the RDI — the
+            #    overhead that distinguishes this baseline.  The
+            #    lock-step wrapper of [14] exchanges both the target
+            #    state and the execution state (program counter) with
+            #    the ISS every cycle.
+            self.metrics.sync_transactions += 2
+            status = self.client.query_status()
+            self.client.read_register(16)  # the pc, by register number
+            if status.get("Status") == "exited":
+                self.driver.finished = True
+                return
+            # 2. Grant the ISS the cycles corresponding to one clock
+            #    period and drive it, servicing breakpoint transfers.
+            budget = self.binding.cycles_for_advance(self.kernel.now)
+            if budget > 0:
+                self.driver.grant(budget)
+            self.metrics.sc_timesteps += 1
+            self.driver.drive()
+        except CosimTransportError as error:
+            self._quarantine("transport: %s" % error)
             return
-        # 2. Grant the ISS the cycles corresponding to one clock period
-        #    and drive it, servicing breakpoint transfers.
-        budget = self.binding.cycles_for_advance(self.kernel.now)
-        if budget > 0:
-            self.driver.grant(budget)
-        self.metrics.sc_timesteps += 1
-        self.driver.drive()
+        self._watchdog()
+
+    def _watchdog(self):
+        """Quarantine this wrapper if its CPU retired nothing lately."""
+        if self.watchdog_ticks is None or self.driver.finished:
+            return
+        cycles = self.cpu.cycles
+        if cycles != self._watch_cycles:
+            self._watch_cycles = cycles
+            self._stall_ticks = 0
+            return
+        self._stall_ticks += 1
+        if self._stall_ticks >= self.watchdog_ticks:
+            self._quarantine(
+                "watchdog: no execution progress in %d clock cycles"
+                % self.watchdog_ticks)
+
+    def _quarantine(self, reason):
+        self.quarantined = True
+        self.quarantine_reason = reason
+        self.metrics.record_quarantine(self.name, reason)
 
 
 class GdbWrapperScheme:
@@ -84,18 +124,22 @@ class GdbWrapperScheme:
 
     name = "gdb-wrapper"
 
-    def __init__(self, kernel, clock, metrics=None):
+    def __init__(self, kernel, clock, metrics=None, watchdog_ticks=None):
         self.kernel = kernel
         self.clock = clock
         self.metrics = metrics if metrics is not None else CosimMetrics()
         self.metrics.scheme = self.name
+        self.watchdog_ticks = watchdog_ticks
         self.wrappers = []
 
-    def attach_cpu(self, cpu, pragma_map, ports, cpu_hz, name=None):
+    def attach_cpu(self, cpu, pragma_map, ports, cpu_hz, name=None,
+                   reliability=None, faults=None):
         """Instantiate a wrapper module for one ISS."""
         wrapper = GdbWrapperModule(
             name or ("wrapper:" + cpu.name), self.clock, cpu, pragma_map,
-            ports, cpu_hz, self.metrics, self.kernel)
+            ports, cpu_hz, self.metrics, self.kernel,
+            watchdog_ticks=self.watchdog_ticks, reliability=reliability,
+            faults=faults)
         self.wrappers.append(wrapper)
         return wrapper
 

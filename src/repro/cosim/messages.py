@@ -28,6 +28,7 @@ Layout::
 
 import enum
 import struct
+import zlib
 from dataclasses import dataclass, field
 
 from repro.errors import CosimError
@@ -37,6 +38,12 @@ INTERRUPT_PORT = 4445   # "socket interrupt port" — paper Section 4.1
 
 _HEADER = struct.Struct("<IBBH")
 _BLOCK_HEADER = struct.Struct("<HH")
+
+# Reliable-framing envelope (repro.cosim.reliable) wrapped around any
+# wire payload: magic, frame kind, sequence number, CRC-32 over
+# (kind, seq, payload).
+FRAME_MAGIC = 0x51C0
+_FRAME_HEADER = struct.Struct("<HBII")
 
 
 class MessageType(enum.IntEnum):
@@ -118,6 +125,47 @@ def unpack_message(payload):
     if offset != len(payload):
         raise CosimError("trailing bytes after last block")
     return message
+
+
+class FrameKind(enum.IntEnum):
+    """Frame types of the reliable-transport envelope."""
+    DATA = 1   # carries one application payload
+    ACK = 2    # cumulative: "I have everything below seq"
+    NAK = 3    # "retransmit everything from seq onwards"
+
+
+def _frame_checksum(kind, sequence, payload):
+    header = struct.pack("<BI", int(kind), sequence & 0xFFFFFFFF)
+    return zlib.crc32(payload, zlib.crc32(header)) & 0xFFFFFFFF
+
+
+def pack_frame(kind, sequence, payload=b""):
+    """Wrap *payload* into a checksummed, sequenced transport frame."""
+    return _FRAME_HEADER.pack(FRAME_MAGIC, int(kind),
+                              sequence & 0xFFFFFFFF,
+                              _frame_checksum(kind, sequence, payload)
+                              ) + payload
+
+
+def unpack_frame(data):
+    """Parse a transport frame; returns ``(kind, sequence, payload)``.
+
+    Raises :class:`CosimError` on any sign of corruption — short frame,
+    bad magic, unknown kind, or checksum mismatch."""
+    if len(data) < _FRAME_HEADER.size:
+        raise CosimError("short frame: %d bytes" % len(data))
+    magic, kind_value, sequence, checksum = _FRAME_HEADER.unpack_from(
+        data, 0)
+    if magic != FRAME_MAGIC:
+        raise CosimError("bad frame magic 0x%04x" % magic)
+    try:
+        kind = FrameKind(kind_value)
+    except ValueError:
+        raise CosimError("unknown frame kind %d" % kind_value)
+    payload = data[_FRAME_HEADER.size:]
+    if checksum != _frame_checksum(kind, sequence, payload):
+        raise CosimError("frame %d failed its checksum" % sequence)
+    return kind, sequence, payload
 
 
 def write_message(port_values, sequence=0):

@@ -25,6 +25,10 @@ class CosimMetrics:
     isr_dispatches: int = 0
     iss_cycles: int = 0
     sc_timesteps: int = 0
+    retransmits: int = 0            # reliable-transport resends
+    drops_detected: int = 0         # sequence gaps seen by a receiver
+    corrupt_rejected: int = 0       # frames failing their checksum
+    contexts_quarantined: int = 0   # ISS contexts detached by watchdog
     extra: dict = field(default_factory=dict)
 
     def as_dict(self):
@@ -41,5 +45,15 @@ class CosimMetrics:
             "isr_dispatches": self.isr_dispatches,
             "iss_cycles": self.iss_cycles,
             "sc_timesteps": self.sc_timesteps,
+            "retransmits": self.retransmits,
+            "drops_detected": self.drops_detected,
+            "corrupt_rejected": self.corrupt_rejected,
+            "contexts_quarantined": self.contexts_quarantined,
             **self.extra,
         }
+
+    def record_quarantine(self, context_name, reason):
+        """Count a quarantined context and log why it was detached."""
+        self.contexts_quarantined += 1
+        self.extra.setdefault("quarantine_log", []).append(
+            (context_name, reason))

@@ -1,0 +1,243 @@
+"""Reliable framing over an unreliable co-simulation channel.
+
+:class:`ReliableEndpoint` wraps any channel endpoint (raw, or a
+:class:`~repro.cosim.faults.FaultyEndpoint`) and provides in-order,
+exactly-once delivery of message-boundary-preserving payloads:
+
+- every outgoing payload is wrapped in a sequenced, CRC-32-checksummed
+  DATA frame (:func:`repro.cosim.messages.pack_frame`);
+- the receiver dedups and reorders inside a bounded window, answering
+  with cumulative ACKs; a sequence gap or a corrupt frame triggers a
+  NAK naming the next expected sequence number;
+- unacknowledged frames are retransmitted on a poll-count timeout with
+  exponential backoff; exhausting the retry budget raises
+  :class:`~repro.errors.CosimTransportError`.
+
+There is no wall clock anywhere in the simulation, so transport time is
+counted in *local operations*: every :meth:`ReliableEndpoint.poll` and
+every empty :meth:`ReliableEndpoint.recv` is one tick.  Both schemes
+poll their endpoints every cycle, which makes the tick a faithful stand
+in for the paper's "checking the content of the data structure of the
+IPC mechanism".
+"""
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import CosimError, CosimTransportError
+from repro.cosim.faults import FaultyEndpoint
+from repro.cosim.messages import FrameKind, pack_frame, unpack_frame
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Tuning knobs of the ACK/retransmit machinery."""
+
+    ack_timeout_polls: int = 8    # ticks before the first retransmit
+    backoff_factor: int = 2       # timeout multiplier per retry
+    max_timeout_polls: int = 64   # backoff ceiling
+    retry_budget: int = 8         # retransmits per frame before giving up
+    window: int = 64              # receiver reorder window (frames)
+
+
+class _Pending:
+    """One unacknowledged DATA frame on the send side."""
+
+    __slots__ = ("frame", "sent_tick", "timeout", "retries")
+
+    def __init__(self, frame, sent_tick, timeout):
+        self.frame = frame
+        self.sent_tick = sent_tick
+        self.timeout = timeout
+        self.retries = 0
+
+
+class ReliableEndpoint:
+    """In-order exactly-once delivery over an unreliable endpoint."""
+
+    reliable = True  # duck-typing marker (GdbClient waits on replies)
+
+    def __init__(self, inner, config=None, metrics=None):
+        self.inner = inner
+        self.config = config if config is not None else ReliabilityConfig()
+        self.metrics = metrics
+        self._ticks = 0
+        self._next_tx = 0
+        self._unacked = {}            # seq -> _Pending
+        self._next_rx = 0
+        self._rx_buffer = {}          # out-of-order seq -> payload
+        self._delivery = deque()      # in-order payloads for the app
+        self._last_nak = None         # (sequence, tick) rate limiter
+        # Local observability (metrics aggregates across endpoints).
+        self.retransmits = 0
+        self.acks_sent = 0
+        self.naks_sent = 0
+        self.duplicates_discarded = 0
+        self.out_of_order = 0
+        self.corrupt_rejected = 0
+        self.window_rejected = 0
+
+    def __repr__(self):
+        return "ReliableEndpoint(%r)" % (self.inner,)
+
+    @property
+    def label(self):
+        return getattr(self.inner, "label", "?")
+
+    @property
+    def in_flight(self):
+        """Number of sent-but-unacknowledged frames."""
+        return len(self._unacked)
+
+    # -- application-facing endpoint interface ------------------------------
+
+    def send(self, payload):
+        """Frame *payload* and transmit; kept until acknowledged."""
+        sequence = self._next_tx
+        self._next_tx += 1
+        frame = pack_frame(FrameKind.DATA, sequence, bytes(payload))
+        self._unacked[sequence] = _Pending(
+            frame, self._ticks, self.config.ack_timeout_polls)
+        self.inner.send(frame)
+
+    def poll(self):
+        """One transport tick: pump, retransmit due frames, report data."""
+        self._tick()
+        self._pump()
+        return bool(self._delivery)
+
+    def recv(self):
+        """Next in-order payload, or None (an empty recv is a tick)."""
+        self._pump()
+        if self._delivery:
+            return self._delivery.popleft()
+        self._tick()
+        return None
+
+    def recv_all(self):
+        """Drain every in-order payload currently deliverable."""
+        messages = []
+        while True:
+            payload = self.recv()
+            if payload is None:
+                return messages
+            messages.append(payload)
+
+    @property
+    def pending(self):
+        self._pump()
+        return len(self._delivery)
+
+    @property
+    def peer(self):
+        return self.inner.peer
+
+    # -- protocol machinery -------------------------------------------------
+
+    def _tick(self):
+        self._ticks += 1
+        for sequence in sorted(self._unacked):
+            entry = self._unacked[sequence]
+            if self._ticks - entry.sent_tick >= entry.timeout:
+                self._retransmit(sequence, entry)
+
+    def _retransmit(self, sequence, entry):
+        entry.retries += 1
+        if entry.retries > self.config.retry_budget:
+            raise CosimTransportError(
+                "frame %d on %s unacknowledged after %d retransmits"
+                % (sequence, self.label, self.config.retry_budget))
+        entry.timeout = min(entry.timeout * self.config.backoff_factor,
+                            self.config.max_timeout_polls)
+        entry.sent_tick = self._ticks
+        self.retransmits += 1
+        if self.metrics is not None:
+            self.metrics.retransmits += 1
+        self.inner.send(entry.frame)
+
+    def _pump(self):
+        while True:
+            raw = self.inner.recv()
+            if raw is None:
+                return
+            try:
+                kind, sequence, payload = unpack_frame(raw)
+            except CosimError:
+                self.corrupt_rejected += 1
+                if self.metrics is not None:
+                    self.metrics.corrupt_rejected += 1
+                self._send_control(FrameKind.NAK, self._next_rx)
+                continue
+            if kind is FrameKind.DATA:
+                self._on_data(sequence, payload)
+            elif kind is FrameKind.ACK:
+                self._on_ack(sequence)
+            else:
+                self._on_nak(sequence)
+
+    def _on_data(self, sequence, payload):
+        window_end = self._next_rx + self.config.window
+        if sequence == self._next_rx:
+            self._delivery.append(payload)
+            self._next_rx += 1
+            while self._next_rx in self._rx_buffer:
+                self._delivery.append(self._rx_buffer.pop(self._next_rx))
+                self._next_rx += 1
+            self._send_control(FrameKind.ACK, self._next_rx)
+        elif sequence < self._next_rx:
+            self.duplicates_discarded += 1
+            self._send_control(FrameKind.ACK, self._next_rx)
+        elif sequence < window_end:
+            if sequence in self._rx_buffer:
+                self.duplicates_discarded += 1
+            else:
+                # A gap ahead of us: something was dropped or reordered.
+                self._rx_buffer[sequence] = payload
+                self.out_of_order += 1
+                if self.metrics is not None:
+                    self.metrics.drops_detected += 1
+                self._send_control(FrameKind.NAK, self._next_rx)
+        else:
+            self.window_rejected += 1
+            self._send_control(FrameKind.NAK, self._next_rx)
+
+    def _on_ack(self, next_expected):
+        for sequence in [s for s in self._unacked if s < next_expected]:
+            del self._unacked[sequence]
+
+    def _on_nak(self, next_expected):
+        self._on_ack(next_expected)
+        for sequence in sorted(self._unacked):
+            if sequence >= next_expected:
+                self._retransmit(sequence, self._unacked[sequence])
+
+    def _send_control(self, kind, sequence):
+        if kind is FrameKind.ACK:
+            self.acks_sent += 1
+        else:
+            # One NAK per (gap, timeout window): a burst of out-of-order
+            # frames must not storm the sender into budget exhaustion.
+            if (self._last_nak is not None
+                    and self._last_nak[0] == sequence
+                    and self._ticks - self._last_nak[1]
+                    < self.config.ack_timeout_polls):
+                return
+            self._last_nak = (sequence, self._ticks)
+            self.naks_sent += 1
+        self.inner.send(pack_frame(kind, sequence))
+
+
+def wrap_reliable(pipe, config=None, metrics=None, faults=None):
+    """Stack the resilience layers over both ends of *pipe*.
+
+    Returns ``(a, b)`` wrapped endpoints.  With *faults* (a
+    :class:`~repro.cosim.faults.FaultPlan`) each raw endpoint first
+    gets a :class:`~repro.cosim.faults.FaultyEndpoint`, so injected
+    faults happen *below* the reliable framing and are recovered by it.
+    """
+    side_a, side_b = pipe.a, pipe.b
+    if faults is not None:
+        side_a = FaultyEndpoint(side_a, faults)
+        side_b = FaultyEndpoint(side_b, faults)
+    return (ReliableEndpoint(side_a, config, metrics),
+            ReliableEndpoint(side_b, config, metrics))

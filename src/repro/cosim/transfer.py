@@ -86,6 +86,11 @@ class TargetDriver:
         call; only a flow-control hold (an ``iss_out`` port without
         fresh data) or budget exhaustion leaves work pending.
         """
+        # The ISS process's own event loop: serve requests already on
+        # the pipe.  Over a reliable transport this is what picks up
+        # retransmitted frames (e.g. a lost continue) and drives the
+        # stub side's ACK/retransmit machinery.
+        self.stub.service_pending()
         while not self.finished:
             if self.held_at is not None:
                 if not attempt_transfer(self.client, self.pragma_map,

@@ -43,3 +43,12 @@ class RtosError(ReproError):
 
 class CosimError(ReproError):
     """Raised for co-simulation configuration or protocol errors."""
+
+
+class CosimTransportError(CosimError):
+    """Raised when the reliable co-simulation transport gives up.
+
+    The retry budget of :class:`repro.cosim.reliable.ReliableEndpoint`
+    is exhausted: a frame went unacknowledged through every backoff
+    stage.  The schemes quarantine the affected ISS context instead of
+    letting this wedge the whole simulation."""

@@ -61,11 +61,15 @@ class GdbClient:
     """Synchronous RSP client over a channel endpoint."""
 
     def __init__(self, endpoint, pump, name="gdb-client",
-                 max_attempts=3):
+                 max_attempts=3, reply_wait_polls=4096):
         self.endpoint = endpoint
         self._pump = pump
         self.name = name
         self.max_attempts = max_attempts
+        # Over a reliable transport a reply may lag behind link-fault
+        # recovery; how many transport ticks to grant it before giving
+        # up.  Raw in-process channels answer immediately (no waits).
+        self.reply_wait_polls = reply_wait_polls
         self.transaction_count = 0
         self.retransmissions = 0
         self.target_exited = False
@@ -86,9 +90,7 @@ class GdbClient:
             self.transaction_count += 1
             self.endpoint.send(rsp.frame(request))
             self._pump()
-            messages = self.endpoint.recv_all()
-            if not messages:
-                raise RspError("no reply to %r" % request[:32])
+            messages = self._await_reply(request)
             # Messages queued before our reply are asynchronous stops.
             for stop_packet in messages[:-1]:
                 self._stash(rsp.unframe(stop_packet).decode("ascii"))
@@ -99,6 +101,26 @@ class GdbClient:
                 self.retransmissions += 1
         raise RspError("reply corrupt after %d attempts: %s"
                        % (self.max_attempts, last_error))
+
+    def _await_reply(self, request):
+        """The reply messages, waiting out transport-level recovery.
+
+        Each wait iteration is a transport tick (poll) plus a stub
+        service round (pump), which is what drives the reliable layer's
+        retransmission when the request or reply frame was lost; a dead
+        link surfaces as :class:`~repro.errors.CosimTransportError`
+        from the endpoint itself."""
+        messages = self.endpoint.recv_all()
+        waits = (self.reply_wait_polls
+                 if getattr(self.endpoint, "reliable", False) else 0)
+        while not messages and waits > 0:
+            self.endpoint.poll()
+            self._pump()
+            messages = self.endpoint.recv_all()
+            waits -= 1
+        if not messages:
+            raise RspError("no reply to %r" % request[:32])
+        return messages
 
     def _stash(self, text):
         event = parse_stop_reply(text)

@@ -57,6 +57,12 @@ class RouterConfig:
     num_cpus: int = 1                     # checksum CPUs (MPSoC config)
     algorithm: str = "sum"                # "sum" (paper) or "crc32"
     burst: int = 1                        # producer burstiness
+    # Transport resilience (docs/resilience.md): reliable framing over
+    # the co-simulation links, an injected link-fault plan underneath
+    # it, and the stalled-context watchdog (in scheduler timesteps).
+    reliability: Optional[object] = None  # ReliabilityConfig or True
+    fault_plan: Optional[object] = None   # FaultPlan
+    watchdog_ticks: Optional[int] = None
 
 
 @dataclass
@@ -157,10 +163,12 @@ class RouterSystem:
         config = self.config
         self.app = build_gdb_app(config.app_origin, config.algorithm)
         if scheme_name == "gdb-kernel":
-            self.scheme = GdbKernelScheme(self.kernel, self.metrics)
+            self.scheme = GdbKernelScheme(self.kernel, self.metrics,
+                                          config.watchdog_ticks)
         else:
             self.scheme = GdbWrapperScheme(self.kernel, self.clock,
-                                           self.metrics)
+                                           self.metrics,
+                                           config.watchdog_ticks)
         for index, engine in enumerate(self.engines):
             cpu = Cpu(name="cpu%d" % index)
             load_program(cpu, self.app.program,
@@ -168,13 +176,16 @@ class RouterSystem:
             self.cpus.append(cpu)
             self.scheme.attach_cpu(cpu, self.app.pragma_map,
                                    engine.variable_ports(),
-                                   config.cpu_hz)
+                                   config.cpu_hz,
+                                   reliability=config.reliability,
+                                   faults=config.fault_plan)
         self.scheme.elaborate()
 
     def _wire_driver(self):
         config = self.config
         self.app = build_driver_app(config.app_origin, config.algorithm)
-        self.scheme = DriverKernelScheme(self.kernel, self.metrics)
+        self.scheme = DriverKernelScheme(self.kernel, self.metrics,
+                                         config.watchdog_ticks)
         self.drivers = []
         for index, engine in enumerate(self.engines):
             cpu = Cpu(name="cpu%d" % index)
@@ -187,15 +198,16 @@ class RouterSystem:
             rtos.create_thread("checksum_main", self.app.entry,
                                config.stack_top)
             self.rtoses.append(rtos)
-            context = self.scheme.attach_rtos(rtos,
-                                              engine.socket_ports(),
-                                              config.cpu_hz)
+            context = self.scheme.attach_rtos(
+                rtos, engine.socket_ports(), config.cpu_hz,
+                reliability=config.reliability,
+                faults=config.fault_plan)
             driver = CosimPortDriver(
                 CHECKSUM_DEVICE_ID, "chk_dev%d" % index,
                 rx_ports=[engine.data_port.variable],
                 tx_port=engine.result_port.variable,
                 irq_vector=CHECKSUM_IRQ_VECTOR,
-                data_endpoint=context.data_socket.b,
+                data_endpoint=context.guest_data_endpoint,
             )
             rtos.register_driver(driver)
             self.drivers.append(driver)

@@ -161,3 +161,133 @@ class TestDriverKernelScheme:
         scheme.elaborate()
         kernel.run(2 * MS)
         assert device.responses == [22]
+
+
+def _bare_context(kernel, ports):
+    """A minimal context for exercising the hook's message handling."""
+    from repro.cosim.channels import Pipe
+    from repro.cosim.driver_kernel import _RtosContext
+
+    pipe = Pipe("unit")
+    context = _RtosContext(name="unit", rtos=None, binding=None)
+    context.ports = dict(ports)
+    context.data_endpoint = pipe.a
+    return context, pipe.b
+
+
+class TestMessageValidation:
+    """Hook-level wire-format and port-kind checks."""
+
+    def test_oversized_iss_out_value_rejected(self, kernel):
+        """A port value that does not fit the 32-bit wire format must
+        raise instead of being silently masked."""
+        from repro.cosim.driver_kernel import DriverKernelHook
+        from repro.cosim.messages import Block, Message, MessageType
+        from repro.cosim.ports import IssOutPort
+        from repro.errors import CosimError
+
+        port = IssOutPort("wide", kernel=kernel)
+        port.signal.force(1 << 32)
+        hook = DriverKernelHook(CosimMetrics())
+        context, __ = _bare_context(kernel, {"wide": port})
+        message = Message(MessageType.READ, [Block("wide", b"")], 1)
+        with pytest.raises(CosimError, match="32-bit wire format"):
+            hook._handle_message(context, message)
+
+    def test_negative_iss_out_value_rejected(self, kernel):
+        from repro.cosim.driver_kernel import DriverKernelHook
+        from repro.cosim.messages import Block, Message, MessageType
+        from repro.cosim.ports import IssOutPort
+        from repro.errors import CosimError
+
+        port = IssOutPort("neg", kernel=kernel)
+        port.signal.force(-1)
+        hook = DriverKernelHook(CosimMetrics())
+        context, __ = _bare_context(kernel, {"neg": port})
+        message = Message(MessageType.READ, [Block("neg", b"")], 1)
+        with pytest.raises(CosimError, match="32-bit wire format"):
+            hook._handle_message(context, message)
+
+    def test_max_u32_still_fits(self, kernel):
+        from repro.cosim.driver_kernel import DriverKernelHook
+        from repro.cosim.messages import (Block, Message, MessageType,
+                                          unpack_message)
+        from repro.cosim.ports import IssOutPort
+
+        port = IssOutPort("edge", kernel=kernel)
+        port.signal.force(0xFFFFFFFF)
+        hook = DriverKernelHook(CosimMetrics())
+        context, guest_end = _bare_context(kernel, {"edge": port})
+        hook._handle_message(
+            context, Message(MessageType.READ, [Block("edge", b"")], 1))
+        reply = unpack_message(guest_end.recv())
+        assert reply.blocks[0].data == b"\xff\xff\xff\xff"
+
+    def test_write_to_iss_out_port_rejected(self, kernel):
+        """The driver writing into an iss_out port is a protocol error,
+        not a silent type confusion."""
+        from repro.cosim.driver_kernel import DriverKernelHook
+        from repro.cosim.messages import Block, Message, MessageType
+        from repro.cosim.ports import IssOutPort
+        from repro.errors import CosimError
+
+        port = IssOutPort("outp", kernel=kernel)
+        hook = DriverKernelHook(CosimMetrics())
+        context, __ = _bare_context(kernel, {"outp": port})
+        message = Message(
+            MessageType.WRITE, [Block("outp", (5).to_bytes(4, "little"))], 1)
+        with pytest.raises(CosimError, match="as an iss_in"):
+            hook._handle_message(context, message)
+
+    def test_read_from_iss_in_port_rejected(self, kernel):
+        from repro.cosim.driver_kernel import DriverKernelHook
+        from repro.cosim.messages import Block, Message, MessageType
+        from repro.cosim.ports import IssInPort
+        from repro.errors import CosimError
+
+        port = IssInPort("inp", kernel=kernel)
+        hook = DriverKernelHook(CosimMetrics())
+        context, __ = _bare_context(kernel, {"inp": port})
+        message = Message(MessageType.READ, [Block("inp", b"")], 1)
+        with pytest.raises(CosimError, match="as an iss_out"):
+            hook._handle_message(context, message)
+
+    def test_unknown_port_still_rejected(self, kernel):
+        from repro.cosim.driver_kernel import DriverKernelHook
+        from repro.cosim.messages import Block, Message, MessageType
+        from repro.errors import CosimError
+
+        hook = DriverKernelHook(CosimMetrics())
+        context, __ = _bare_context(kernel, {})
+        message = Message(MessageType.READ, [Block("ghost", b"")], 1)
+        with pytest.raises(CosimError, match="unknown SystemC port"):
+            hook._handle_message(context, message)
+
+
+class TestReliableTransport:
+    def test_doubler_over_reliable_sockets(self, kernel):
+        """The full scheme works unchanged with the reliable framing
+        stacked over both sockets (no faults: zero retransmissions)."""
+        Clock(1 * US, "clk")
+        metrics = CosimMetrics()
+        scheme = DriverKernelScheme(kernel, metrics)
+        cpu = Cpu()
+        rtos = RtosKernel(cpu)
+        rtos.create_semaphore(1)
+        program = assemble(_DOUBLER_RTOS)
+        for address, data in program.chunks:
+            cpu.memory.write_bytes(address, data)
+        cpu.flush_decode_cache()
+        rtos.create_thread("main", program.symbols.labels["main"], 0x8000)
+        device = DoublerDevice([3, 5, 9], kernel=kernel)
+        context = scheme.attach_rtos(rtos, device.ports(), CPU_HZ,
+                                     reliability=True)
+        driver = CosimPortDriver(1, "dev", ["req"], "resp", 3,
+                                 context.guest_data_endpoint)
+        rtos.register_driver(driver)
+        device.raise_irq = lambda v: scheme.raise_interrupt(context, v)
+        scheme.elaborate()
+        kernel.run(2 * MS)
+        assert device.responses == [6, 10, 18]
+        assert metrics.retransmits == 0
+        assert metrics.contexts_quarantined == 0

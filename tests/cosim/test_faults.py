@@ -1,0 +1,155 @@
+"""Tests of the deterministic link-fault models (repro.cosim.faults)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cosim.channels import Pipe
+from repro.cosim.faults import FAULT_KINDS, FaultPlan, FaultyEndpoint
+from repro.errors import CosimError
+
+
+def _faulty_pair(plan, name="pipe"):
+    pipe = Pipe(name)
+    return FaultyEndpoint(pipe.a, plan), pipe.b
+
+
+class TestFaultPlan:
+    def test_rejects_rate_outside_unit_interval(self):
+        with pytest.raises(CosimError):
+            FaultPlan(drop=1.5)
+        with pytest.raises(CosimError):
+            FaultPlan(corrupt=-0.1)
+
+    def test_rejects_unknown_script_kind(self):
+        with pytest.raises(CosimError):
+            FaultPlan(script={0: "mangle"})
+
+    def test_rng_depends_on_seed_and_label(self):
+        plan_a, plan_b = FaultPlan(seed=1), FaultPlan(seed=2)
+        assert (plan_a.rng_for("x").random()
+                == FaultPlan(seed=1).rng_for("x").random())
+        assert plan_a.rng_for("x").random() != plan_b.rng_for("x").random()
+        assert (plan_a.rng_for("x").random()
+                != plan_a.rng_for("y").random())
+
+
+class TestFaultSemantics:
+    def test_no_faults_is_transparent(self):
+        sender, receiver = _faulty_pair(FaultPlan())
+        for value in range(5):
+            sender.send(bytes([value]))
+        assert receiver.recv_all() == [bytes([v]) for v in range(5)]
+        assert sender.faults_injected == 0
+
+    def test_scripted_drop(self):
+        sender, receiver = _faulty_pair(FaultPlan(script={1: "drop"}))
+        for value in range(3):
+            sender.send(bytes([value]))
+        assert receiver.recv_all() == [b"\x00", b"\x02"]
+        assert sender.injected["drop"] == 1
+
+    def test_scripted_duplicate(self):
+        sender, receiver = _faulty_pair(FaultPlan(script={0: "duplicate"}))
+        sender.send(b"hi")
+        assert receiver.recv_all() == [b"hi", b"hi"]
+
+    def test_scripted_corrupt_flips_exactly_one_bit(self):
+        sender, receiver = _faulty_pair(FaultPlan(script={0: "corrupt"}))
+        original = bytes(range(16))
+        sender.send(original)
+        damaged = receiver.recv()
+        assert damaged != original
+        diff = int.from_bytes(damaged, "big") ^ int.from_bytes(
+            original, "big")
+        assert bin(diff).count("1") == 1
+
+    def test_corrupting_empty_payload_is_a_noop(self):
+        sender, receiver = _faulty_pair(FaultPlan(script={0: "corrupt"}))
+        sender.send(b"")
+        assert receiver.recv() == b""
+
+    def test_scripted_delay_releases_after_n_polls(self):
+        plan = FaultPlan(delay_polls=3, script={0: "delay"})
+        sender, receiver = _faulty_pair(plan)
+        sender.send(b"late")
+        assert receiver.recv() is None
+        sender.poll()             # 1 local operation
+        sender.recv()             # 2
+        assert receiver.recv() is None
+        sender.poll()             # 3: due now
+        assert receiver.recv() == b"late"
+
+    def test_scripted_reorder_overtaken_by_next_send(self):
+        plan = FaultPlan(script={0: "reorder"})
+        sender, receiver = _faulty_pair(plan)
+        sender.send(b"first")
+        assert receiver.recv() is None
+        sender.send(b"second")
+        assert receiver.recv_all() == [b"second", b"first"]
+
+    def test_reorder_flushes_without_further_sends(self):
+        plan = FaultPlan(delay_polls=2, script={0: "reorder"})
+        sender, receiver = _faulty_pair(plan)
+        sender.send(b"held")
+        sender.poll()
+        sender.poll()
+        assert receiver.recv() == b"held"
+
+    def test_max_faults_caps_random_injection(self):
+        plan = FaultPlan(seed=7, drop=1.0, max_faults=2)
+        sender, receiver = _faulty_pair(plan)
+        for value in range(10):
+            sender.send(bytes([value]))
+        assert sender.faults_injected == 2
+        assert len(receiver.recv_all()) == 8
+
+    def test_script_overrides_random_draws(self):
+        plan = FaultPlan(seed=3, drop=1.0, script={0: "duplicate"})
+        sender, receiver = _faulty_pair(plan)
+        sender.send(b"x")
+        assert receiver.recv_all() == [b"x", b"x"]
+
+    def test_receive_path_is_transparent(self):
+        pipe = Pipe()
+        wrapped = FaultyEndpoint(pipe.b, FaultPlan(drop=1.0, seed=1))
+        pipe.a.send(b"data")
+        assert wrapped.pending == 1
+        assert wrapped.poll()
+        assert wrapped.recv() == b"data"
+        assert wrapped.peer is pipe.a
+
+
+class TestDeterminism:
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31),
+           messages=st.lists(st.binary(min_size=1, max_size=16),
+                             min_size=1, max_size=40))
+    def test_same_plan_replays_same_faults(self, seed, messages):
+        """Two runs with the same plan deliver identical byte streams
+        and inject identical fault counts."""
+        def run():
+            plan = FaultPlan(seed=seed, drop=0.2, duplicate=0.1,
+                             reorder=0.1, corrupt=0.2, delay=0.1,
+                             delay_polls=2)
+            sender, receiver = _faulty_pair(plan)
+            delivered = []
+            for payload in messages:
+                sender.send(payload)
+                delivered.extend(receiver.recv_all())
+            for __ in range(3):     # flush the delay/reorder queues
+                sender.poll()
+            delivered.extend(receiver.recv_all())
+            return delivered, dict(sender.injected)
+
+        assert run() == run()
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_injection_counters_sum(self, seed):
+        plan = FaultPlan(seed=seed, drop=0.3, duplicate=0.3, corrupt=0.3)
+        sender, __ = _faulty_pair(plan)
+        for value in range(30):
+            sender.send(bytes([value]))
+        assert sender.faults_injected == sum(sender.injected.values())
+        assert set(sender.injected) == set(FAULT_KINDS)

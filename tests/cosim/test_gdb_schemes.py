@@ -67,7 +67,7 @@ class DoublerDevice(Module):
         self.responses.append(self.resp_port.read())
 
 
-def _build(kernel, scheme_factory, requests):
+def _build(kernel, scheme_factory, requests, reliability=None, faults=None):
     clock = Clock(1 * US, "clk")
     device = DoublerDevice(requests, kernel=kernel)
     program = assemble(_DOUBLER)
@@ -76,7 +76,7 @@ def _build(kernel, scheme_factory, requests):
     metrics = CosimMetrics()
     scheme = scheme_factory(kernel, clock, metrics)
     scheme.attach_cpu(cpu, build_pragma_map(program), device.ports(),
-                      CPU_HZ)
+                      CPU_HZ, reliability=reliability, faults=faults)
     scheme.elaborate()
     return device, scheme, metrics
 

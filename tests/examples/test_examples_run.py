@@ -5,17 +5,29 @@ with a generous timeout; exit code 0 and non-empty output are the
 contract.  Long experiments run in their ``--quick`` mode.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+
+def _example_env():
+    """Subprocess environment with the package importable from src."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (src + os.pathsep + existing) if existing else src
+    return env
 
 # (script, extra args, substring the output must contain)
 CASES = [
     ("quickstart.py", [], "squares computed by the ISS"),
+    ("chaos_resilience.py", [], "chaos run recovered bit-identical"),
     ("router_cosim.py", ["driver-kernel"], "co-simulation metrics"),
     ("router_cosim.py", ["gdb-wrapper"], "traffic:"),
     ("table1_performance.py", ["--quick"], "Speedup vs gdb-wrapper"),
@@ -41,7 +53,7 @@ def test_example_runs(script, args, expected, tmp_path):
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / script)] + resolved,
         capture_output=True, text=True, timeout=300,
-        cwd=str(tmp_path))
+        cwd=str(tmp_path), env=_example_env())
     assert result.returncode == 0, result.stderr[-2000:]
     assert expected in result.stdout
 
