@@ -1,23 +1,68 @@
 """Benchmark-suite configuration.
 
-Run with::
+Runs standalone from the repository root — no pre-set ``PYTHONPATH``
+needed::
 
-    pytest benchmarks/ --benchmark-only
+    python -m pytest benchmarks -q -m "not slow"   # fast subset
+    python -m pytest benchmarks -q                 # everything
 
 Each benchmark regenerates one reported result of the paper (see
 DESIGN.md's per-experiment index); reproduction numbers are attached as
-``extra_info`` on the benchmark records and echoed to the terminal.
+``extra_info`` on the pytest-benchmark records and echoed to the
+terminal.
+
+Every test here additionally writes one machine-readable
+``BENCH_<test>.json`` record (the ``repro-bench/1`` schema of
+``docs/observability.md``) into ``$REPRO_BENCH_DIR`` (default: the
+working directory) — the artifacts CI uploads.  Tests that want richer
+records accept the ``bench_report`` fixture and ``record()``
+deterministic counters onto it; the wall clock is handled here.
 """
+
+import pathlib
+import sys
+
+# Standalone bootstrap: make `repro` importable when the suite is run
+# without an installed package or PYTHONPATH.
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 import pytest
 
+from repro.obs.bench import BenchReporter
 from repro.sysc.kernel import set_current_kernel
+
+
+def pytest_collection_modifyitems(config, items):
+    """Every test in this directory is a benchmark."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(autouse=True)
 def _isolate_kernel_context():
     yield
     set_current_kernel(None)
+
+
+@pytest.fixture(scope="session")
+def bench_reporter():
+    """One reporter for the whole run ($REPRO_BENCH_DIR or cwd)."""
+    return BenchReporter()
+
+
+@pytest.fixture(autouse=True)
+def bench_report(request, bench_reporter):
+    """An open :class:`~repro.obs.bench.BenchRun` per test.
+
+    The record is written at teardown whatever the test did; accepting
+    this fixture explicitly lets a test ``record()`` counters onto it.
+    """
+    run = bench_reporter.open_run(request.node.name)
+    run.config["nodeid"] = request.node.nodeid
+    yield run
+    bench_reporter.write(run)
 
 
 def pytest_terminal_summary(terminalreporter):

@@ -27,8 +27,12 @@ def _run(scheme, sim_time):
 
 
 @pytest.mark.parametrize("scheme", SCHEMES)
-@pytest.mark.parametrize("length", list(SIM_TIMES))
-def test_table1_cell(benchmark, scheme, length, summary):
+@pytest.mark.parametrize("length", [
+    "1x",
+    pytest.param("10x", marks=pytest.mark.slow),
+    pytest.param("100x", marks=pytest.mark.slow),
+])
+def test_table1_cell(benchmark, scheme, length, summary, bench_report):
     sim_time = SIM_TIMES[length]
     rounds = 3 if sim_time <= 1 * MS else 1
     system = benchmark.pedantic(_run, args=(scheme, sim_time),
@@ -39,6 +43,12 @@ def test_table1_cell(benchmark, scheme, length, summary):
     benchmark.extra_info["forwarded"] = stats.forwarded
     benchmark.extra_info["forwarded_percent"] = \
         round(stats.forwarded_percent, 1)
+    bench_report.config.update(scheme=scheme,
+                               simulated_time_ms=sim_time // (1 * MS))
+    bench_report.record_metrics(system.metrics)
+    bench_report.record(generated=stats.generated,
+                        forwarded=stats.forwarded,
+                        received=stats.received)
     summary("table1[%s, %s]: wall=%.3fs forwarded=%d (%.1f%%)" % (
         scheme, length, benchmark.stats.stats.mean, stats.forwarded,
         stats.forwarded_percent))

@@ -8,6 +8,10 @@ shell:
 - ``loc`` — the Section 5 code-complexity report;
 - ``router --scheme S [--delay-us N] [--sim-ms N] [--cpus N]`` — one
   case-study run with statistics;
+- ``trace [--scheme S|all] [--format chrome|text|json]`` — a traced
+  quickstart-scale run with a per-scheme profile comparison;
+- ``bench [--scheme S|all] [--out-dir D]`` — machine-readable
+  ``BENCH_*.json`` benchmark records (docs/observability.md);
 - ``version``.
 """
 
@@ -121,6 +125,58 @@ def _cmd_report(args):
     return 0
 
 
+def _trace_schemes(scheme):
+    from repro.obs.scenarios import COSIM_SCHEMES
+
+    return COSIM_SCHEMES if scheme == "all" else (scheme,)
+
+
+def _cmd_trace(args):
+    from repro.obs.profile import SchemeProfile, compare_profiles
+    from repro.obs.scenarios import run_traced_scenario
+
+    profiles = []
+    for scheme in _trace_schemes(args.scheme):
+        run = run_traced_scenario(scheme, sim_us=args.sim_us,
+                                  seed=args.seed)
+        profiles.append(SchemeProfile.from_run(run.system.metrics,
+                                               run.tracer))
+        if args.format == "chrome":
+            text = run.tracer.chrome_trace_json()
+        elif args.format == "json":
+            text = run.tracer.dump()
+        else:
+            text = run.tracer.timeline(limit=args.limit)
+        if args.output:
+            path = (args.output if len(_trace_schemes(args.scheme)) == 1
+                    else "%s.%s" % (args.output, scheme))
+            with open(path, "w") as handle:
+                handle.write(text)
+            print("wrote %s (%d events)" % (path, len(run.tracer)))
+        else:
+            print(text)
+    print()
+    print(compare_profiles(profiles))
+    return 0
+
+
+def _cmd_bench(args):
+    from repro.obs.bench import BenchReporter
+    from repro.obs.scenarios import bench_scenario
+
+    reporter = BenchReporter(args.out_dir)
+    for scheme in _trace_schemes(args.scheme):
+        traced, run = bench_scenario(scheme, sim_us=args.sim_us,
+                                     seed=args.seed)
+        path = reporter.write(run)
+        record = run.as_dict()
+        print("wrote %s: wall=%.3fs timesteps=%s events=%s" % (
+            path, record["wall"]["seconds"],
+            record["counters"].get("timesteps"),
+            record["counters"].get("trace_events")))
+    return 0 if reporter.written else 1
+
+
 def _cmd_version(args):
     print(__version__)
     return 0
@@ -164,6 +220,36 @@ def build_parser():
     stream.add_argument("--window", type=int, default=4)
     stream.add_argument("--sim-ms", type=int, default=20)
     stream.set_defaults(func=_cmd_stream)
+
+    trace = commands.add_parser(
+        "trace", help="traced quickstart-scale run + scheme profile")
+    trace.add_argument("--scheme", default="all",
+                       choices=["all", "gdb-wrapper", "gdb-kernel",
+                                "driver-kernel"])
+    trace.add_argument("--sim-us", type=int, default=120,
+                       help="simulated microseconds")
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--format", default="text",
+                       choices=["text", "chrome", "json"],
+                       help="text timeline, Chrome trace-event JSON, "
+                            "or canonical JSON lines")
+    trace.add_argument("--limit", type=int, default=40,
+                       help="max timeline rows printed (text format)")
+    trace.add_argument("-o", "--output", default=None,
+                       help="write the trace to a file (per scheme)")
+    trace.set_defaults(func=_cmd_trace)
+
+    bench = commands.add_parser(
+        "bench", help="write machine-readable BENCH_*.json records")
+    bench.add_argument("--scheme", default="all",
+                       choices=["all", "gdb-wrapper", "gdb-kernel",
+                                "driver-kernel"])
+    bench.add_argument("--sim-us", type=int, default=120)
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--out-dir", default=None,
+                       help="output directory (default: "
+                            "$REPRO_BENCH_DIR or .)")
+    bench.set_defaults(func=_cmd_bench)
 
     report = commands.add_parser(
         "report", help="run every experiment, render a markdown report")

@@ -38,6 +38,7 @@ from repro.cosim.messages import (DATA_PORT, INTERRUPT_PORT, Message,
 from repro.cosim.metrics import CosimMetrics
 from repro.cosim.ports import IssInPort, IssOutPort
 from repro.cosim.reliable import wrap_reliable
+from repro.obs.tracer import NULL_TRACER
 from repro.sysc.hooks import KernelHook
 
 _PORT_KINDS = {"iss_in": IssInPort, "iss_out": IssOutPort}
@@ -75,9 +76,10 @@ class _RtosContext:
 class DriverKernelHook(KernelHook):
     """The scheduler modification of paper Figure 5."""
 
-    def __init__(self, metrics, watchdog_ticks=None):
+    def __init__(self, metrics, watchdog_ticks=None, tracer=None):
         self.metrics = metrics
         self.watchdog_ticks = watchdog_ticks
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.contexts = []
         self._pending_interrupts = []   # (context, vector)
 
@@ -120,6 +122,9 @@ class DriverKernelHook(KernelHook):
                 continue
             context.irq_endpoint.send(pack_message(interrupt_message(vector)))
             self.metrics.interrupts_posted += 1
+            if self.tracer.enabled:
+                self.tracer.emit("driver", "interrupt", scope=context.name,
+                                 vector=vector)
 
     def on_time_advance(self, kernel):
         """Grant each guest RTOS its cycle budget."""
@@ -130,6 +135,9 @@ class DriverKernelHook(KernelHook):
             budget = context.binding.cycles_for_advance(kernel.now)
             if budget <= 0:
                 continue
+            if self.tracer.enabled:
+                self.tracer.emit("cosim", "grant", scope=context.name,
+                                 budget=budget)
             try:
                 self.metrics.iss_cycles += context.rtos.advance(budget)
             except CosimTransportError as error:
@@ -156,10 +164,18 @@ class DriverKernelHook(KernelHook):
         context.quarantined = True
         context.quarantine_reason = reason
         self.metrics.record_quarantine(context.name, reason)
+        if self.tracer.enabled:
+            self.tracer.emit("cosim", "quarantine", scope=context.name,
+                             reason=reason)
 
     def _handle_message(self, context, message):
         self.metrics.messages_received += 1
         context.activity += 1
+        if self.tracer.enabled:
+            self.tracer.emit("driver", message.type.name.lower(),
+                             scope=context.name,
+                             sequence=message.sequence,
+                             ports=[block.port for block in message.blocks])
         if message.type is MessageType.WRITE:
             for block in message.blocks:
                 port = self._port(context, block.port, "iss_in")
@@ -208,11 +224,15 @@ class DriverKernelScheme:
 
     name = "driver-kernel"
 
-    def __init__(self, kernel, metrics=None, watchdog_ticks=None):
+    def __init__(self, kernel, metrics=None, watchdog_ticks=None,
+                 tracer=None):
         self.kernel = kernel
         self.metrics = metrics if metrics is not None else CosimMetrics()
         self.metrics.scheme = self.name
-        self.hook = DriverKernelHook(self.metrics, watchdog_ticks)
+        # Shares the kernel's tracer unless given a dedicated one.
+        self.tracer = tracer if tracer is not None else kernel.tracer
+        self.hook = DriverKernelHook(self.metrics, watchdog_ticks,
+                                     self.tracer)
         kernel.add_hook(self.hook)
 
     def attach_rtos(self, rtos, ports, cpu_hz, name=None, reliability=None,
@@ -229,6 +249,7 @@ class DriverKernelScheme:
             rtos=rtos,
             binding=ClockBinding(cpu_hz, 1),
         )
+        rtos.cpu.attach_tracer(self.tracer)
         context.data_socket = Socket(DATA_PORT, "data:" + context.name)
         context.interrupt_socket = Socket(INTERRUPT_PORT,
                                           "irq:" + context.name)
@@ -245,10 +266,11 @@ class DriverKernelScheme:
             context.reliable = True
             context.data_endpoint, context.guest_data_endpoint = \
                 wrap_reliable(context.data_socket, config, self.metrics,
-                              faults=faults)
+                              faults=faults, tracer=self.tracer)
             context.irq_endpoint, context.guest_irq_endpoint = \
                 wrap_reliable(context.interrupt_socket, config,
-                              self.metrics, faults=faults)
+                              self.metrics, faults=faults,
+                              tracer=self.tracer)
             return
         data_a, data_b = context.data_socket.a, context.data_socket.b
         irq_a, irq_b = (context.interrupt_socket.a,

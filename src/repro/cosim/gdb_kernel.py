@@ -35,6 +35,7 @@ from repro.cosim.reliable import wrap_reliable
 from repro.cosim.transfer import TargetDriver
 from repro.gdb.client import GdbClient
 from repro.gdb.stub import GdbStub
+from repro.obs.tracer import NULL_TRACER
 from repro.sysc.hooks import KernelHook
 
 
@@ -62,9 +63,10 @@ class _CpuContext:
 class GdbKernelHook(KernelHook):
     """The scheduler modification of paper Figure 3."""
 
-    def __init__(self, metrics, watchdog_ticks=None):
+    def __init__(self, metrics, watchdog_ticks=None, tracer=None):
         self.metrics = metrics
         self.watchdog_ticks = watchdog_ticks
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.contexts = []
 
     def active_contexts(self):
@@ -81,6 +83,9 @@ class GdbKernelHook(KernelHook):
             self.metrics.cheap_polls += 1
             try:
                 if context.driver.needs_attention:
+                    if self.tracer.enabled:
+                        self.tracer.emit("cosim", "attention",
+                                         scope=context.name)
                     context.driver.drive()
             except CosimTransportError as error:
                 self._quarantine(context, "transport: %s" % error)
@@ -94,6 +99,9 @@ class GdbKernelHook(KernelHook):
             budget = context.binding.cycles_for_advance(kernel.now)
             if budget <= 0:
                 continue
+            if self.tracer.enabled:
+                self.tracer.emit("cosim", "grant", scope=context.name,
+                                 budget=budget)
             try:
                 context.driver.grant(budget)
                 context.driver.drive()
@@ -122,6 +130,9 @@ class GdbKernelHook(KernelHook):
         context.quarantined = True
         context.quarantine_reason = reason
         self.metrics.record_quarantine(context.name, reason)
+        if self.tracer.enabled:
+            self.tracer.emit("cosim", "quarantine", scope=context.name,
+                             reason=reason)
 
 
 class GdbKernelScheme:
@@ -129,11 +140,16 @@ class GdbKernelScheme:
 
     name = "gdb-kernel"
 
-    def __init__(self, kernel, metrics=None, watchdog_ticks=None):
+    def __init__(self, kernel, metrics=None, watchdog_ticks=None,
+                 tracer=None):
         self.kernel = kernel
         self.metrics = metrics if metrics is not None else CosimMetrics()
         self.metrics.scheme = self.name
-        self.hook = GdbKernelHook(self.metrics, watchdog_ticks)
+        # Schemes share the kernel's tracer unless given their own, so
+        # a single Kernel.attach_tracer() call instruments every layer.
+        self.tracer = tracer if tracer is not None else kernel.tracer
+        self.hook = GdbKernelHook(self.metrics, watchdog_ticks,
+                                  self.tracer)
         kernel.add_hook(self.hook)
 
     def attach_cpu(self, cpu, pragma_map, ports, cpu_hz, name=None,
@@ -145,13 +161,15 @@ class GdbKernelScheme:
         :meth:`~repro.cosim.driver_kernel.DriverKernelScheme.attach_rtos`.
         """
         label = name or cpu.name
+        cpu.attach_tracer(self.tracer)
         pipe = Pipe("gdb:" + label)
         client_end, stub_end = _wire_pipe(pipe, reliability, faults,
-                                          self.metrics)
+                                          self.metrics, self.tracer)
         stub = GdbStub(cpu, stub_end)
-        client = GdbClient(client_end, pump=stub.service_pending)
+        client = GdbClient(client_end, pump=stub.service_pending,
+                           name=label, tracer=self.tracer)
         driver = TargetDriver(client, stub, cpu, pragma_map, dict(ports),
-                              self.metrics)
+                              self.metrics, self.tracer)
         context = _CpuContext(label, cpu, ClockBinding(cpu_hz, 1), pipe,
                               stub, client, driver)
         self.hook.contexts.append(context)
@@ -169,11 +187,12 @@ class GdbKernelScheme:
                    for context in self.hook.contexts)
 
 
-def _wire_pipe(pipe, reliability, faults, metrics):
+def _wire_pipe(pipe, reliability, faults, metrics, tracer=None):
     """Stack the resilience layers over an RSP pipe's two ends."""
     if reliability:
         config = None if reliability is True else reliability
-        return wrap_reliable(pipe, config, metrics, faults=faults)
+        return wrap_reliable(pipe, config, metrics, faults=faults,
+                             tracer=tracer)
     side_a, side_b = pipe.a, pipe.b
     if faults is not None:
         side_a = FaultyEndpoint(side_a, faults)

@@ -30,6 +30,7 @@ from repro.cosim.metrics import CosimMetrics
 from repro.cosim.transfer import TargetDriver
 from repro.gdb.client import GdbClient
 from repro.gdb.stub import GdbStub
+from repro.obs.tracer import NULL_TRACER
 from repro.sysc.module import Module
 
 
@@ -42,23 +43,26 @@ class GdbWrapperModule(Module):
 
     def __init__(self, name, clock, cpu, pragma_map, ports, cpu_hz,
                  metrics, kernel=None, watchdog_ticks=None,
-                 reliability=None, faults=None):
+                 reliability=None, faults=None, tracer=None):
         super().__init__(name, kernel)
         self.cpu = cpu
         self.binding = ClockBinding(cpu_hz, 1)
         self.metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.watchdog_ticks = watchdog_ticks
         self.quarantined = False
         self.quarantine_reason = None
         self._watch_cycles = -1
         self._stall_ticks = 0
+        cpu.attach_tracer(self.tracer)
         self.pipe = Pipe("gdbw:" + name)
         client_end, stub_end = _wire_pipe(self.pipe, reliability, faults,
-                                          metrics)
+                                          metrics, self.tracer)
         self.stub = GdbStub(cpu, stub_end)
-        self.client = GdbClient(client_end, pump=self.stub.service_pending)
+        self.client = GdbClient(client_end, pump=self.stub.service_pending,
+                                name=name, tracer=self.tracer)
         self.driver = TargetDriver(self.client, self.stub, cpu, pragma_map,
-                                   dict(ports), metrics)
+                                   dict(ports), metrics, self.tracer)
         self.method(self._sync_cycle, sensitive=[clock.posedge],
                     dont_initialize=True, name="sync")
 
@@ -81,6 +85,8 @@ class GdbWrapperModule(Module):
             #    state and the execution state (program counter) with
             #    the ISS every cycle.
             self.metrics.sync_transactions += 2
+            if self.tracer.enabled:
+                self.tracer.emit("cosim", "sync_cycle", scope=self.name)
             status = self.client.query_status()
             self.client.read_register(16)  # the pc, by register number
             if status.get("Status") == "exited":
@@ -117,6 +123,9 @@ class GdbWrapperModule(Module):
         self.quarantined = True
         self.quarantine_reason = reason
         self.metrics.record_quarantine(self.name, reason)
+        if self.tracer.enabled:
+            self.tracer.emit("cosim", "quarantine", scope=self.name,
+                             reason=reason)
 
 
 class GdbWrapperScheme:
@@ -124,11 +133,13 @@ class GdbWrapperScheme:
 
     name = "gdb-wrapper"
 
-    def __init__(self, kernel, clock, metrics=None, watchdog_ticks=None):
+    def __init__(self, kernel, clock, metrics=None, watchdog_ticks=None,
+                 tracer=None):
         self.kernel = kernel
         self.clock = clock
         self.metrics = metrics if metrics is not None else CosimMetrics()
         self.metrics.scheme = self.name
+        self.tracer = tracer if tracer is not None else kernel.tracer
         self.watchdog_ticks = watchdog_ticks
         self.wrappers = []
 
@@ -139,7 +150,7 @@ class GdbWrapperScheme:
             name or ("wrapper:" + cpu.name), self.clock, cpu, pragma_map,
             ports, cpu_hz, self.metrics, self.kernel,
             watchdog_ticks=self.watchdog_ticks, reliability=reliability,
-            faults=faults)
+            faults=faults, tracer=self.tracer)
         self.wrappers.append(wrapper)
         return wrapper
 

@@ -57,3 +57,29 @@ class CosimMetrics:
         self.contexts_quarantined += 1
         self.extra.setdefault("quarantine_log", []).append(
             (context_name, reason))
+
+    def quarantine_log(self):
+        """The ``(context, reason)`` pairs recorded by the watchdogs."""
+        return list(self.extra.get("quarantine_log", []))
+
+    _NUMERIC_FIELDS = (
+        "sync_transactions", "cheap_polls", "transfer_transactions",
+        "breakpoint_hits", "messages_sent", "messages_received",
+        "interrupts_posted", "isr_dispatches", "iss_cycles",
+        "sc_timesteps", "retransmits", "drops_detected",
+        "corrupt_rejected", "contexts_quarantined")
+
+    @classmethod
+    def aggregate(cls, bundles, scheme="aggregate"):
+        """Sum several counter bundles into one (multi-run profiling).
+
+        The observability layer uses this to fold per-scheme runs into
+        one comparable record; ``extra`` dicts are not merged (they may
+        hold non-numeric logs).
+        """
+        total = cls(scheme=scheme)
+        for bundle in bundles:
+            for name in cls._NUMERIC_FIELDS:
+                setattr(total, name,
+                        getattr(total, name) + getattr(bundle, name))
+        return total

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from repro.errors import CosimError, CosimTransportError
 from repro.cosim.faults import FaultyEndpoint
 from repro.cosim.messages import FrameKind, pack_frame, unpack_frame
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -57,10 +58,11 @@ class ReliableEndpoint:
 
     reliable = True  # duck-typing marker (GdbClient waits on replies)
 
-    def __init__(self, inner, config=None, metrics=None):
+    def __init__(self, inner, config=None, metrics=None, tracer=None):
         self.inner = inner
         self.config = config if config is not None else ReliabilityConfig()
         self.metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._ticks = 0
         self._next_tx = 0
         self._unacked = {}            # seq -> _Pending
@@ -153,6 +155,9 @@ class ReliableEndpoint:
         self.retransmits += 1
         if self.metrics is not None:
             self.metrics.retransmits += 1
+        if self.tracer.enabled:
+            self.tracer.emit("transport", "retransmit", scope=self.label,
+                             sequence=sequence, retries=entry.retries)
         self.inner.send(entry.frame)
 
     def _pump(self):
@@ -166,6 +171,10 @@ class ReliableEndpoint:
                 self.corrupt_rejected += 1
                 if self.metrics is not None:
                     self.metrics.corrupt_rejected += 1
+                if self.tracer.enabled:
+                    self.tracer.emit("transport", "corrupt",
+                                     scope=self.label,
+                                     expected=self._next_rx)
                 self._send_control(FrameKind.NAK, self._next_rx)
                 continue
             if kind is FrameKind.DATA:
@@ -196,6 +205,10 @@ class ReliableEndpoint:
                 self.out_of_order += 1
                 if self.metrics is not None:
                     self.metrics.drops_detected += 1
+                if self.tracer.enabled:
+                    self.tracer.emit("transport", "gap", scope=self.label,
+                                     sequence=sequence,
+                                     expected=self._next_rx)
                 self._send_control(FrameKind.NAK, self._next_rx)
         else:
             self.window_rejected += 1
@@ -224,20 +237,26 @@ class ReliableEndpoint:
                 return
             self._last_nak = (sequence, self._ticks)
             self.naks_sent += 1
+            if self.tracer.enabled:
+                self.tracer.emit("transport", "nak", scope=self.label,
+                                 expected=sequence)
         self.inner.send(pack_frame(kind, sequence))
 
 
-def wrap_reliable(pipe, config=None, metrics=None, faults=None):
+def wrap_reliable(pipe, config=None, metrics=None, faults=None,
+                  tracer=None):
     """Stack the resilience layers over both ends of *pipe*.
 
     Returns ``(a, b)`` wrapped endpoints.  With *faults* (a
     :class:`~repro.cosim.faults.FaultPlan`) each raw endpoint first
     gets a :class:`~repro.cosim.faults.FaultyEndpoint`, so injected
     faults happen *below* the reliable framing and are recovered by it.
+    *tracer* routes retransmit/NAK/corrupt/gap events to the
+    observability layer.
     """
     side_a, side_b = pipe.a, pipe.b
     if faults is not None:
         side_a = FaultyEndpoint(side_a, faults)
         side_b = FaultyEndpoint(side_b, faults)
-    return (ReliableEndpoint(side_a, config, metrics),
-            ReliableEndpoint(side_b, config, metrics))
+    return (ReliableEndpoint(side_a, config, metrics, tracer),
+            ReliableEndpoint(side_b, config, metrics, tracer))

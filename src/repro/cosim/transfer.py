@@ -22,9 +22,11 @@ clock is frozen at the synchronisation point.
 
 from repro.errors import CosimError
 from repro.gdb.client import StopKind
+from repro.obs.tracer import NULL_TRACER
 
 
-def attempt_transfer(client, pragma_map, ports, breakpoint_address, metrics):
+def attempt_transfer(client, pragma_map, ports, breakpoint_address, metrics,
+                     tracer=NULL_TRACER):
     """Try to service a breakpoint stop; returns resume-allowed."""
     bindings = pragma_map.bindings_at(breakpoint_address)
     if not bindings:
@@ -45,6 +47,10 @@ def attempt_transfer(client, pragma_map, ports, breakpoint_address, metrics):
             client.write_memory_word(binding.variable_address,
                                      port.collect())
         metrics.transfer_transactions += 2  # the m/M plus the continue
+        if tracer.enabled:
+            tracer.emit("cosim", "transfer", scope=client.name,
+                        kind=binding.kind, variable=binding.variable,
+                        address=breakpoint_address)
     return True
 
 
@@ -59,13 +65,15 @@ def _port_for(ports, variable):
 class TargetDriver:
     """Budget-carrying execution and stop servicing for one GDB target."""
 
-    def __init__(self, client, stub, cpu, pragma_map, ports, metrics):
+    def __init__(self, client, stub, cpu, pragma_map, ports, metrics,
+                 tracer=None):
         self.client = client
         self.stub = stub
         self.cpu = cpu
         self.pragma_map = pragma_map
         self.ports = ports
         self.metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.budget_remaining = 0
         self.held_at = None
         self.finished = False
@@ -95,7 +103,7 @@ class TargetDriver:
             if self.held_at is not None:
                 if not attempt_transfer(self.client, self.pragma_map,
                                         self.ports, self.held_at,
-                                        self.metrics):
+                                        self.metrics, self.tracer):
                     return
                 self.held_at = None
                 self.client.continue_()
@@ -117,9 +125,12 @@ class TargetDriver:
                 continue
             self.metrics.breakpoint_hits += 1
             if attempt_transfer(self.client, self.pragma_map, self.ports,
-                                event.pc, self.metrics):
+                                event.pc, self.metrics, self.tracer):
                 self.client.continue_()
             else:
+                if self.tracer.enabled:
+                    self.tracer.emit("cosim", "flow_hold",
+                                     scope=self.cpu.name, pc=event.pc)
                 self.held_at = event.pc
                 return
 

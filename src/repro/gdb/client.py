@@ -15,6 +15,7 @@ from typing import Optional
 from repro.errors import RspError
 from repro.gdb import rsp
 from repro.iss.cpu import NUM_REGS
+from repro.obs.tracer import NULL_TRACER
 
 
 class StopKind(enum.Enum):
@@ -57,14 +58,24 @@ def parse_stop_reply(text):
     return event
 
 
+def _request_tag(request):
+    """A short deterministic label for a request (trace event detail)."""
+    if isinstance(request, (bytes, bytearray)):
+        request = bytes(request[:16]).decode("latin-1")
+    text = str(request)
+    head = text.split(",", 1)[0].split(":", 1)[0]
+    return head[:16]
+
+
 class GdbClient:
     """Synchronous RSP client over a channel endpoint."""
 
     def __init__(self, endpoint, pump, name="gdb-client",
-                 max_attempts=3, reply_wait_polls=4096):
+                 max_attempts=3, reply_wait_polls=4096, tracer=None):
         self.endpoint = endpoint
         self._pump = pump
         self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.max_attempts = max_attempts
         # Over a reliable transport a reply may lag behind link-fault
         # recovery; how many transport ticks to grant it before giving
@@ -86,6 +97,9 @@ class GdbClient:
         retransmission and raises immediately.)
         """
         last_error = None
+        if self.tracer.enabled:
+            self.tracer.emit("rsp", "transact", scope=self.name,
+                             request=_request_tag(request))
         for __ in range(self.max_attempts):
             self.transaction_count += 1
             self.endpoint.send(rsp.frame(request))
@@ -226,6 +240,8 @@ class GdbClient:
     def continue_(self):
         """Resume the target (no reply until the next stop)."""
         self.transaction_count += 1
+        if self.tracer.enabled:
+            self.tracer.emit("rsp", "continue", scope=self.name)
         self.endpoint.send(rsp.frame("c"))
         self._pump()
 

@@ -10,6 +10,7 @@ value, like GDB write/read watchpoints.
 import enum
 
 from repro.errors import IssError
+from repro.obs.tracer import NULL_TRACER
 
 
 class WatchKind(enum.Enum):
@@ -51,6 +52,8 @@ class BreakpointSet:
         self._watch = []
         self.code_hit_count = 0
         self.watch_hit_count = 0
+        self.tracer = NULL_TRACER   # wired by Cpu.attach_tracer
+        self.owner = ""
 
     # -- code breakpoints ---------------------------------------------------
 
@@ -74,6 +77,9 @@ class BreakpointSet:
         """Record a stop at the breakpoint at *address*."""
         self.code_hit_count += 1
         self._code[address] = self._code.get(address, 0) + 1
+        if self.tracer.enabled:
+            self.tracer.emit("iss", "breakpoint", scope=self.owner,
+                             address=address, hits=self._code[address])
 
     def hits_at(self, address):
         """Hit count of the breakpoint at *address*."""
@@ -104,5 +110,10 @@ class BreakpointSet:
             if watchpoint.matches(address, is_write):
                 watchpoint.hit_count += 1
                 self.watch_hit_count += 1
+                if self.tracer.enabled:
+                    self.tracer.emit("iss", "watchpoint", scope=self.owner,
+                                     address=address,
+                                     kind=watchpoint.kind.value,
+                                     write=is_write)
                 return watchpoint
         return None

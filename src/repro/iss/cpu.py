@@ -17,6 +17,7 @@ import enum
 
 from repro.errors import GuestFault, IssError
 from repro.iss import isa
+from repro.obs.tracer import NULL_TRACER
 from repro.iss.breakpoints import BreakpointSet
 from repro.iss.memory import Memory
 from repro.iss.syscalls import SyscallTable
@@ -68,6 +69,7 @@ class Cpu:
         self.irq_pending = False
         self.irq_vector = 0             # informational; host RTOS delivers
         self.interrupts_enabled = False
+        self.tracer = NULL_TRACER
         self._decode_cache = {}
         self._icache = None             # optional timing models
         self._dcache = None
@@ -110,6 +112,19 @@ class Cpu:
     def flush_decode_cache(self):
         """Must be called after writing code memory from the host."""
         self._decode_cache.clear()
+
+    def attach_tracer(self, tracer):
+        """Route this core's stop/breakpoint events to *tracer*.
+
+        Per-instruction tracing stays opt-in via an
+        :class:`~repro.obs.tracer.Tracer`-backed retire observer (see
+        :func:`instruction_observer`); the core itself only emits at
+        stop boundaries so tracing cannot slow the fetch loop.
+        """
+        self.tracer = tracer
+        self.breakpoints.tracer = tracer
+        self.breakpoints.owner = self.name
+        return tracer
 
     def attach_observer(self, observer):
         """Attach a retire observer (tracer/profiler); returns it.
@@ -396,4 +411,26 @@ class Cpu:
 
     def _stop(self, reason):
         self._last_stop = reason
+        if self.tracer.enabled:
+            self.tracer.emit("iss", "stop", scope=self.name,
+                             reason=reason.value, pc=self.pc,
+                             cycles=self.cycles,
+                             instructions=self.instructions)
         return reason
+
+
+def instruction_observer(tracer, cpu):
+    """An opt-in per-retire observer emitting one event per instruction.
+
+    Attach with ``cpu.attach_observer(instruction_observer(tracer,
+    cpu))``; this is deliberately *not* part of :meth:`Cpu.attach_tracer`
+    because per-instruction events dominate any trace they appear in.
+    """
+
+    class _InstructionTracer:
+        def on_retire(self, cpu, pc, decoded, cycles):
+            if tracer.enabled:
+                tracer.emit("iss", "retire", scope=cpu.name, pc=pc,
+                            op=decoded.spec.name, cycles=cycles)
+
+    return _InstructionTracer()

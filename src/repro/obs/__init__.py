@@ -1,0 +1,38 @@
+"""Observability: structured tracing, profiling and bench reporting.
+
+The paper's whole argument is comparative *measurement* — where does
+co-simulation time go under each scheme?  This package makes that
+visible without perturbing it:
+
+- :mod:`repro.obs.tracer` — an opt-in, ring-buffered, deterministic
+  structured-event tracer wired through the SystemC kernel, the ISS,
+  all three co-simulation schemes and the reliable transport;
+- :mod:`repro.obs.profile` — per-scheme counter aggregation layered
+  onto :class:`~repro.cosim.metrics.CosimMetrics`, with derived
+  per-timestep rates for cross-scheme comparison;
+- :mod:`repro.obs.bench` — a machine-readable benchmark reporter
+  writing ``BENCH_<name>.json`` files conforming to the
+  ``repro-bench/1`` schema (see ``docs/observability.md``);
+- :mod:`repro.obs.scenarios` — small deterministic traced scenarios
+  (the router case study at quickstart scale) shared by the golden
+  trace tests and the ``repro trace`` / ``repro bench`` CLI commands.
+
+Tracing is off by default and costs one attribute check when disabled:
+every instrumented hot path is guarded by ``if tracer.enabled:`` so no
+event object or argument dict is ever built for a disabled tracer.
+"""
+
+from repro.obs.bench import BenchReporter, BenchRun
+from repro.obs.profile import SchemeProfile, compare_profiles
+from repro.obs.tracer import NULL_TRACER, TraceEvent, Tracer, dump_events
+
+__all__ = [
+    "BenchReporter",
+    "BenchRun",
+    "NULL_TRACER",
+    "SchemeProfile",
+    "TraceEvent",
+    "Tracer",
+    "compare_profiles",
+    "dump_events",
+]

@@ -1,0 +1,126 @@
+"""Machine-readable benchmark reporting (``BENCH_<name>.json``).
+
+Every benchmark run writes one JSON file conforming to the
+``repro-bench/1`` schema (documented in ``docs/observability.md``):
+
+- deterministic fields — ``counters`` (simulated timesteps, sync
+  messages, scheme counters…) and ``config`` — are identical across
+  repeated seeded runs, which the determinism tests assert;
+- host-dependent fields live exclusively under the ``wall`` object
+  (seconds, events/sec) so consumers can diff everything else.
+
+:class:`BenchReporter` owns an output directory and writes
+:class:`BenchRun` records; the ``benchmarks/conftest.py`` fixture wraps
+every benchmark test in one, and ``repro bench`` produces them from the
+command line.
+"""
+
+import json
+import os
+import re
+import time
+from dataclasses import dataclass, field
+
+SCHEMA = "repro-bench/1"
+
+#: Environment variable overriding the reporter output directory.
+OUTPUT_DIR_ENV = "REPRO_BENCH_DIR"
+
+
+def sanitize_name(name):
+    """Collapse a test/scenario id into a safe file-name fragment."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", name).strip("_")
+
+
+@dataclass
+class BenchRun:
+    """One benchmark result being assembled."""
+
+    name: str
+    counters: dict = field(default_factory=dict)
+    config: dict = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    _start: float = None
+
+    def start(self):
+        """Start (or restart) the wall clock; returns self."""
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self):
+        """Stop the wall clock, accumulating into :attr:`wall_seconds`."""
+        if self._start is not None:
+            self.wall_seconds += time.perf_counter() - self._start
+            self._start = None
+        return self.wall_seconds
+
+    def record(self, **counters):
+        """Merge deterministic counters into the record."""
+        self.counters.update(counters)
+
+    def record_metrics(self, metrics):
+        """Merge a :class:`~repro.cosim.metrics.CosimMetrics` bundle."""
+        counters = metrics.as_dict()
+        counters.pop("quarantine_log", None)
+        scheme = counters.pop("scheme", "")
+        if scheme:
+            self.config.setdefault("scheme", scheme)
+        self.record(**counters)
+
+    def as_dict(self):
+        """The finished record in ``repro-bench/1`` shape."""
+        events = self.counters.get("trace_events", 0)
+        timesteps = self.counters.get("sc_timesteps", 0)
+        wall = {"seconds": round(self.wall_seconds, 6)}
+        if self.wall_seconds > 0:
+            if events:
+                wall["events_per_sec"] = round(events / self.wall_seconds, 1)
+            if timesteps:
+                wall["timesteps_per_sec"] = round(
+                    timesteps / self.wall_seconds, 1)
+        return {
+            "schema": SCHEMA,
+            "name": self.name,
+            "config": dict(self.config),
+            "counters": dict(self.counters),
+            "wall": wall,
+        }
+
+
+class BenchReporter:
+    """Writes ``BENCH_<name>.json`` files into one directory."""
+
+    def __init__(self, directory=None):
+        if directory is None:
+            directory = os.environ.get(OUTPUT_DIR_ENV) or "."
+        self.directory = directory
+        self.written = []
+
+    def open_run(self, name):
+        """A new :class:`BenchRun` with its wall clock started."""
+        return BenchRun(name=sanitize_name(name)).start()
+
+    def path_for(self, run):
+        """The output path *run* will be written to."""
+        return os.path.join(self.directory, "BENCH_%s.json" % run.name)
+
+    def write(self, run):
+        """Finalise *run* and write its JSON file; returns the path."""
+        run.stop()
+        os.makedirs(self.directory, exist_ok=True)
+        path = self.path_for(run)
+        with open(path, "w") as handle:
+            json.dump(run.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        self.written.append(path)
+        return path
+
+
+def load_report(path):
+    """Read one ``BENCH_*.json`` file back, validating its schema tag."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if data.get("schema") != SCHEMA:
+        raise ValueError("%s: unknown bench schema %r"
+                         % (path, data.get("schema")))
+    return data

@@ -1,0 +1,82 @@
+"""Small deterministic traced scenarios shared by tests and the CLI.
+
+One scenario shape — the paper's router case study at quickstart scale
+(two producers, a couple of packets each) — runnable under any of the
+three co-simulation schemes with tracing enabled, optionally over a
+faulty reliable transport.  The golden-trace regression tests, the
+determinism property tests and the ``repro trace`` / ``repro bench``
+CLI commands all build their runs here, so they observe the exact same
+event streams.
+"""
+
+from dataclasses import dataclass
+
+from repro.obs.bench import BenchRun
+from repro.obs.tracer import Tracer
+from repro.router.system import RouterConfig, build_system
+from repro.sysc.simtime import US
+
+COSIM_SCHEMES = ("gdb-wrapper", "gdb-kernel", "driver-kernel")
+
+
+@dataclass
+class TracedRun:
+    """A finished traced scenario: the system, its tracer and stats."""
+
+    scheme: str
+    system: object
+    tracer: Tracer
+    stats: object
+
+
+def run_traced_scenario(scheme, sim_us=120, seed=7, max_packets=2,
+                        producer_count=2, inter_packet_delay_us=20,
+                        reliability=None, fault_plan=None,
+                        watchdog_ticks=None, tracer=None, capacity=200_000):
+    """Run the quickstart-scale router scenario under *scheme*, traced.
+
+    Everything is seeded and simulated-time driven, so two calls with
+    the same arguments produce byte-identical traces (the determinism
+    tests rely on this).  Returns a :class:`TracedRun`.
+    """
+    if tracer is None:
+        tracer = Tracer(capacity=capacity)
+    config = RouterConfig(
+        scheme=scheme,
+        seed=seed,
+        max_packets=max_packets,
+        producer_count=producer_count,
+        inter_packet_delay=inter_packet_delay_us * US,
+        reliability=reliability,
+        fault_plan=fault_plan,
+        watchdog_ticks=watchdog_ticks,
+        tracer=tracer,
+    )
+    system = build_system(config)
+    system.run(sim_us * US)
+    return TracedRun(scheme=scheme, system=system, tracer=tracer,
+                     stats=system.stats())
+
+
+def bench_scenario(scheme, sim_us=120, seed=7, name=None, **overrides):
+    """Run a traced scenario and fold it into a :class:`BenchRun`.
+
+    The returned run's ``counters`` are fully deterministic; only its
+    ``wall`` object depends on the host.
+    """
+    run = BenchRun(name=name or ("cli_%s" % scheme)).start()
+    traced = run_traced_scenario(scheme, sim_us=sim_us, seed=seed,
+                                 **overrides)
+    run.stop()
+    run.config.update({"scheme": scheme, "sim_us": sim_us, "seed": seed})
+    run.record_metrics(traced.system.metrics)
+    run.record(
+        trace_events=len(traced.tracer),
+        generated=traced.stats.generated,
+        forwarded=traced.stats.forwarded,
+        received=traced.stats.received,
+        simulated_fs=traced.system.kernel.now,
+        timesteps=traced.system.kernel.timestep_count,
+        deltas=traced.system.kernel.delta_count,
+    )
+    return traced, run

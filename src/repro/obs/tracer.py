@@ -1,0 +1,219 @@
+"""A low-overhead, deterministic, ring-buffered structured-event tracer.
+
+Every instrumented component emits :class:`TraceEvent` records through a
+shared :class:`Tracer`.  Event *ordering* derives exclusively from
+simulation state — the kernel's timestep/delta counters and a per-tracer
+emission sequence number — never from the wall clock, so two runs of the
+same seeded scenario produce byte-identical traces and traces are
+directly comparable across the three co-simulation schemes.
+
+Cost discipline (the overhead-guard test enforces this):
+
+- *disabled* (the default, and the :data:`NULL_TRACER` singleton): hot
+  paths check ``tracer.enabled`` and skip the call entirely — no event
+  object, no argument dict, no string formatting;
+- *enabled*: one small object append into a bounded ``deque``; when the
+  ring is full the oldest event is discarded and counted in
+  :attr:`Tracer.dropped`.
+
+Exports: a list of structured dicts (:meth:`Tracer.to_jsonable`), the
+canonical one-event-per-line JSON used by the golden-trace tests
+(:func:`dump_events`), Chrome ``chrome://tracing`` /Perfetto trace-event
+JSON (:meth:`Tracer.chrome_trace`), and a human-readable plain-text
+timeline (:meth:`Tracer.timeline`).
+"""
+
+import json
+from collections import Counter, deque
+
+
+class TraceEvent:
+    """One structured trace event.
+
+    Fields: *seq* (per-tracer emission index, total order), *timestep*
+    /*delta*/*now* (the bound kernel's counters at emission time),
+    *category*/*name* (what happened), *scope* (which component), and
+    *args* (event-specific deterministic details).
+    """
+
+    __slots__ = ("seq", "timestep", "delta", "now", "category", "name",
+                 "scope", "args")
+
+    def __init__(self, seq, timestep, delta, now, category, name, scope,
+                 args):
+        self.seq = seq
+        self.timestep = timestep
+        self.delta = delta
+        self.now = now
+        self.category = category
+        self.name = name
+        self.scope = scope
+        self.args = args
+
+    def __repr__(self):
+        return "TraceEvent(#%d t%d %s/%s %s)" % (
+            self.seq, self.timestep, self.category, self.name, self.scope)
+
+    @property
+    def key(self):
+        """The ``category/name`` aggregation key."""
+        return "%s/%s" % (self.category, self.name)
+
+    def as_dict(self):
+        """The event as a plain JSON-serialisable dict."""
+        return {
+            "seq": self.seq,
+            "timestep": self.timestep,
+            "delta": self.delta,
+            "now": self.now,
+            "category": self.category,
+            "name": self.name,
+            "scope": self.scope,
+            "args": self.args,
+        }
+
+
+def dump_events(events):
+    """Canonical byte-stable serialisation: one JSON event per line.
+
+    This exact format is what the golden-trace regression tests snapshot
+    (``tests/obs/golden/*.json``) and what two seeded runs must replay
+    byte-for-byte.  Keys are sorted and separators fixed so the output
+    depends only on event content.
+    """
+    lines = [json.dumps(event.as_dict(), sort_keys=True,
+                        separators=(",", ":"))
+             for event in events]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class Tracer:
+    """Ring-buffered structured-event collector.
+
+    Construct enabled (``Tracer()``) and attach it to a kernel with
+    :meth:`~repro.sysc.kernel.Kernel.attach_tracer` *before* building a
+    co-simulation scheme, so every layer picks it up.  The kernel
+    binding supplies the simulated-time fields of each event.
+    """
+
+    def __init__(self, capacity=100_000, enabled=True):
+        self.enabled = enabled
+        self.capacity = capacity
+        self._events = deque(maxlen=capacity if capacity else 1)
+        self._seq = 0
+        self._kernel = None
+        self.dropped = 0
+
+    def __repr__(self):
+        return "Tracer(enabled=%r, events=%d)" % (self.enabled,
+                                                  len(self._events))
+
+    def __len__(self):
+        return len(self._events)
+
+    def bind_kernel(self, kernel):
+        """Use *kernel*'s counters as the trace clock; returns self."""
+        self._kernel = kernel
+        return self
+
+    def emit(self, category, name, scope="", **args):
+        """Record one event (no-op when disabled).
+
+        Hot paths must additionally guard with ``if tracer.enabled:`` so
+        a disabled tracer costs one attribute check and the *args* dict
+        is never built.
+        """
+        if not self.enabled:
+            return
+        kernel = self._kernel
+        if kernel is not None:
+            timestep, delta, now = (kernel.timestep_count,
+                                    kernel.delta_count, kernel.now)
+        else:
+            timestep = delta = now = 0
+        if len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        self._events.append(TraceEvent(self._seq, timestep, delta, now,
+                                       category, name, scope, args))
+        self._seq += 1
+
+    # -- inspection ----------------------------------------------------------
+
+    def events(self):
+        """All buffered events, oldest first."""
+        return list(self._events)
+
+    def clear(self):
+        """Drop all buffered events (counters keep running)."""
+        self._events.clear()
+
+    def counts(self):
+        """``{"category/name": count}`` aggregation over the buffer."""
+        return dict(Counter(event.key for event in self._events))
+
+    def to_jsonable(self):
+        """The buffered events as a list of plain dicts."""
+        return [event.as_dict() for event in self._events]
+
+    # -- exporters -----------------------------------------------------------
+
+    def dump(self):
+        """Canonical one-event-per-line JSON (see :func:`dump_events`)."""
+        return dump_events(self._events)
+
+    def chrome_trace(self):
+        """The buffer as a Chrome trace-event JSON object.
+
+        Events become instant events (``ph: "i"``) with ``ts`` in
+        microseconds of *simulated* time (femtoseconds / 1e9), one
+        ``tid`` per scope — load the output in ``chrome://tracing`` or
+        Perfetto to see the three schemes' activity on the simulated
+        timeline.
+        """
+        tids = {}
+        trace_events = []
+        for event in self._events:
+            tid = tids.setdefault(event.scope or "kernel", len(tids))
+            trace_events.append({
+                "name": "%s/%s" % (event.category, event.name),
+                "cat": event.category,
+                "ph": "i",
+                "s": "t",
+                "ts": event.now / 1e9,
+                "pid": 0,
+                "tid": tid,
+                "args": dict(event.args, seq=event.seq,
+                             timestep=event.timestep, delta=event.delta),
+            })
+        metadata = [
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+             "args": {"name": scope}}
+            for scope, tid in tids.items()
+        ]
+        return {"traceEvents": metadata + trace_events,
+                "displayTimeUnit": "ms"}
+
+    def chrome_trace_json(self):
+        """:meth:`chrome_trace` serialised deterministically."""
+        return json.dumps(self.chrome_trace(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def timeline(self, limit=None):
+        """A plain-text timeline of the buffer (newest *limit* events)."""
+        events = list(self._events)
+        if limit is not None:
+            events = events[-limit:] if limit > 0 else []
+        lines = []
+        for event in events:
+            details = " ".join("%s=%s" % (key, value)
+                               for key, value in event.args.items())
+            lines.append("#%-6d t=%-6d d=%-6d %-12d %-20s %-18s %s"
+                         % (event.seq, event.timestep, event.delta,
+                            event.now, event.key, event.scope, details))
+        header = ("seq    timestep delta  now(fs)      event                "
+                  "scope              details")
+        return "\n".join([header] + lines)
+
+
+#: Shared disabled tracer every instrumented component defaults to.
+NULL_TRACER = Tracer(capacity=0, enabled=False)

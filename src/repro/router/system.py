@@ -63,6 +63,9 @@ class RouterConfig:
     reliability: Optional[object] = None  # ReliabilityConfig or True
     fault_plan: Optional[object] = None   # FaultPlan
     watchdog_ticks: Optional[int] = None
+    # Observability (docs/observability.md): an obs.Tracer attached to
+    # the kernel before the scheme is wired, so every layer shares it.
+    tracer: Optional[object] = None
 
 
 @dataclass
@@ -92,6 +95,8 @@ class RouterSystem:
         if config.num_cpus < 1:
             raise CosimError("num_cpus must be >= 1")
         self.kernel = Kernel("system:" + config.scheme)
+        if config.tracer is not None:
+            self.kernel.attach_tracer(config.tracer)
         self.clock = Clock(config.clock_period, "clk")
         self.metrics = CosimMetrics()
         self.cpus = []
@@ -130,6 +135,11 @@ class RouterSystem:
     def cpu(self):
         """The first checksum CPU (None for the local scheme)."""
         return self.cpus[0] if self.cpus else None
+
+    @property
+    def tracer(self):
+        """The kernel's observability tracer (NULL_TRACER if unset)."""
+        return self.kernel.tracer
 
     @property
     def rtos(self):

@@ -20,6 +20,7 @@ import itertools
 from collections import deque
 
 from repro.errors import ReproError, SimulationError
+from repro.obs.tracer import NULL_TRACER
 from repro.sysc.process import Process, ProcessKind
 from repro.sysc.simtime import check_duration, format_time
 
@@ -53,6 +54,7 @@ class Kernel:
         self.modules = []
         self.processes = []
         self.trace_sinks = []
+        self.tracer = NULL_TRACER
         self._runnable = deque()
         self._update_queue = []
         self._delta_events = []
@@ -86,6 +88,17 @@ class Kernel:
         """Attach a trace sink sampled at every timestep."""
         self.trace_sinks.append(sink)
         return sink
+
+    def attach_tracer(self, tracer):
+        """Install an observability tracer and bind it to this kernel.
+
+        Attach *before* constructing a co-simulation scheme: schemes
+        capture ``kernel.tracer`` at build time so every layer (hooks,
+        targets, transports) shares one event stream.
+        """
+        self.tracer = tracer
+        tracer.bind_kernel(self)
+        return tracer
 
     def add_process(self, name, kind, func, sensitivity=(), dont_initialize=False):
         """Create and register a process directly on the kernel."""
@@ -242,6 +255,8 @@ class Kernel:
                                   % (target_time, self.now))
         self.now = target_time
         self.timestep_count += 1
+        if self.tracer.enabled:
+            self.tracer.emit("kernel", "timestep", scope=self.name)
         while self._timed and self._timed[0][0] == target_time:
             __, __, entry = heapq.heappop(self._timed)
             if isinstance(entry, Process):
@@ -279,6 +294,8 @@ class Kernel:
                 hook.on_cycle_end(self)
             self.delta_count += 1
             deltas_executed += 1
+            if self.tracer.enabled:
+                self.tracer.emit("kernel", "delta", scope=self.name)
             if self._stop_requested:
                 break
             if max_deltas is not None and deltas_executed >= max_deltas:

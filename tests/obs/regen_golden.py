@@ -1,0 +1,62 @@
+"""Regenerate the golden trace snapshots in ``tests/obs/golden/``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/obs/regen_golden.py
+
+The golden files pin the exact event stream of one small seeded
+scenario per co-simulation scheme, in the canonical one-event-per-line
+JSON of :func:`repro.obs.tracer.dump_events`.  The regression test
+(``tests/obs/test_golden_traces.py``) replays the same scenario and
+requires a byte-identical dump, so any change to instrumentation,
+scheduling order or event content shows up as a reviewable diff here.
+
+Only regenerate after verifying a diff is intentional.
+"""
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:      # standalone invocation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.scenarios import COSIM_SCHEMES, run_traced_scenario  # noqa: E402
+from repro.obs.tracer import dump_events  # noqa: E402
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+#: The pinned scenario every golden file captures.  Changing any of
+#: these invalidates all snapshots — regenerate and review the diff.
+GOLDEN_PARAMS = dict(
+    sim_us=60,
+    seed=7,
+    max_packets=1,
+    producer_count=2,
+    inter_packet_delay_us=20,
+)
+
+
+def golden_path(scheme):
+    """Where the snapshot for *scheme* lives."""
+    return GOLDEN_DIR / ("%s.json" % scheme)
+
+
+def golden_trace_text(scheme):
+    """Run the pinned scenario under *scheme*; canonical JSON lines."""
+    run = run_traced_scenario(scheme, **GOLDEN_PARAMS)
+    return dump_events(run.tracer.events())
+
+
+def main():
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for scheme in COSIM_SCHEMES:
+        text = golden_trace_text(scheme)
+        path = golden_path(scheme)
+        path.write_text(text)
+        print("wrote %s (%d events, %d bytes)"
+              % (path, text.count("\n"), len(text)))
+
+
+if __name__ == "__main__":
+    main()

@@ -62,6 +62,48 @@ class TestCli:
         assert code == 0
         assert "mismatches=0" in out
 
+    def test_trace_text(self, capsys):
+        code = main(["trace", "--scheme", "gdb-kernel", "--sim-us", "40",
+                     "--limit", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "kernel/timestep" in out
+        assert "cheap_polls" in out          # the profile comparison
+
+    def test_trace_chrome_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        code = main(["trace", "--scheme", "gdb-wrapper", "--sim-us", "40",
+                     "--format", "chrome", "-o", str(out_file)])
+        assert code == 0
+        import json
+
+        data = json.loads(out_file.read_text())
+        names = {event["name"] for event in data["traceEvents"]}
+        assert "cosim/sync_cycle" in names
+
+    def test_trace_all_schemes_compared(self, capsys):
+        code = main(["trace", "--sim-us", "40", "--limit", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for scheme in ("gdb-wrapper", "gdb-kernel", "driver-kernel"):
+            assert scheme in out
+        assert "sync_transactions" in out
+
+    def test_bench_writes_reports(self, tmp_path, capsys):
+        code = main(["bench", "--scheme", "driver-kernel", "--sim-us",
+                     "40", "--out-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        from repro.obs.bench import load_report
+
+        paths = sorted(tmp_path.glob("BENCH_*.json"))
+        assert len(paths) == 1
+        report = load_report(paths[0])
+        assert report["schema"] == "repro-bench/1"
+        assert report["counters"]["sc_timesteps"] > 0
+        assert "seconds" in report["wall"]
+        assert "wrote" in out
+
     def test_stream_gdb_scheme(self, capsys):
         code = main(["stream", "--scheme", "gdb-kernel", "--samples",
                      "32", "--sim-ms", "10"])
