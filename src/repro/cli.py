@@ -10,8 +10,10 @@ shell:
   case-study run with statistics;
 - ``trace [--scheme S|all] [--format chrome|text|json]`` — a traced
   quickstart-scale run with a per-scheme profile comparison;
-- ``bench [--scheme S|all] [--out-dir D]`` — machine-readable
-  ``BENCH_*.json`` benchmark records (docs/observability.md);
+- ``bench [--scheme S|all] [--out-dir D] [--quantum N] [--compare]`` —
+  machine-readable ``BENCH_*.json`` benchmark records
+  (docs/observability.md), optionally gated against the committed
+  baselines in ``benchmarks/baselines/`` (docs/performance.md);
 - ``version``.
 """
 
@@ -161,19 +163,42 @@ def _cmd_trace(args):
 
 
 def _cmd_bench(args):
-    from repro.obs.bench import BenchReporter
+    import os
+
+    from repro.obs.bench import (BenchReporter, compare_reports,
+                                 load_report)
     from repro.obs.scenarios import bench_scenario
 
     reporter = BenchReporter(args.out_dir)
+    failures = 0
     for scheme in _trace_schemes(args.scheme):
+        name = "cli_%s" % scheme
+        if args.quantum != 1:
+            name += "_q%d" % args.quantum
         traced, run = bench_scenario(scheme, sim_us=args.sim_us,
-                                     seed=args.seed)
+                                     seed=args.seed, name=name,
+                                     sync_quantum=args.quantum)
         path = reporter.write(run)
         record = run.as_dict()
         print("wrote %s: wall=%.3fs timesteps=%s events=%s" % (
             path, record["wall"]["seconds"],
             record["counters"].get("timesteps"),
             record["counters"].get("trace_events")))
+        if args.compare:
+            baseline_path = os.path.join(args.baseline_dir,
+                                         "BENCH_%s.json" % name)
+            if not os.path.exists(baseline_path):
+                print("  no baseline %s - skipped" % baseline_path)
+                continue
+            problems = compare_reports(record, load_report(baseline_path))
+            if problems:
+                failures += 1
+                for problem in problems:
+                    print("  FAIL vs %s: %s" % (baseline_path, problem))
+            else:
+                print("  ok vs %s" % baseline_path)
+    if failures:
+        return 1
     return 0 if reporter.written else 1
 
 
@@ -249,6 +274,16 @@ def build_parser():
     bench.add_argument("--out-dir", default=None,
                        help="output directory (default: "
                             "$REPRO_BENCH_DIR or .)")
+    bench.add_argument("--quantum", type=int, default=1,
+                       help="sync quantum (batched timesteps per ISS "
+                            "synchronisation; record names gain a _qN "
+                            "suffix when != 1)")
+    bench.add_argument("--compare", action="store_true",
+                       help="gate counters against committed baselines; "
+                            "non-zero exit on regression")
+    bench.add_argument("--baseline-dir", default="benchmarks/baselines",
+                       help="directory holding baseline BENCH_*.json "
+                            "records for --compare")
     bench.set_defaults(func=_cmd_bench)
 
     report = commands.add_parser(

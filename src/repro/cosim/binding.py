@@ -5,6 +5,13 @@ femtoseconds, the ISS counts cycles.  A :class:`ClockBinding` ties them
 together: every time the SystemC kernel advances to a new timestep, the
 ISS earns a proportional cycle budget.  The schemes spend that budget
 through their master-side advance calls.
+
+A binding can also batch budgets across a *sync quantum* of N
+timesteps: :meth:`accumulate` banks each timestep's budget without a
+synchronisation, :meth:`due` says when the quantum is full, and
+:meth:`drain` hands the whole bank to one sync transaction.  At the
+default ``quantum=1`` every timestep is due immediately, which is the
+classic lock-step behavior.
 """
 
 from repro.errors import CosimError
@@ -13,14 +20,19 @@ from repro.errors import CosimError
 class ClockBinding:
     """Maps SystemC simulated time to ISS cycle budgets."""
 
-    def __init__(self, cpu_hz, time_per_step_fs):
+    def __init__(self, cpu_hz, time_per_step_fs, quantum=1):
         if cpu_hz <= 0 or time_per_step_fs <= 0:
             raise CosimError("clock binding needs positive frequencies")
+        if quantum < 1:
+            raise CosimError("sync quantum must be >= 1")
         self.cpu_hz = cpu_hz
         self.time_per_step_fs = time_per_step_fs
+        self.quantum = quantum
         self._last_time_fs = 0
         self._cycle_carry = 0.0
         self.granted_cycles = 0
+        self.pending_budget = 0
+        self.pending_steps = 0
 
     def cycles_for_advance(self, now_fs):
         """Cycle budget earned by advancing SystemC time to *now_fs*."""
@@ -34,7 +46,31 @@ class ClockBinding:
         self.granted_cycles += budget
         return budget
 
+    # -- quantum batching ------------------------------------------------------
+
+    def accumulate(self, now_fs):
+        """Bank the budget for advancing to *now_fs*; returns the bank.
+
+        One banked timestep per call; no synchronisation happens here.
+        """
+        self.pending_budget += self.cycles_for_advance(now_fs)
+        self.pending_steps += 1
+        return self.pending_budget
+
+    def due(self):
+        """True when a full quantum of timesteps has been banked."""
+        return self.pending_steps >= self.quantum
+
+    def drain(self):
+        """Hand over the banked ``(budget, steps)`` and clear the bank."""
+        budget, steps = self.pending_budget, self.pending_steps
+        self.pending_budget = 0
+        self.pending_steps = 0
+        return budget, steps
+
     def reset(self, now_fs=0):
-        """Re-base the binding at *now_fs* (discards the carry)."""
+        """Re-base the binding at *now_fs* (discards carry and bank)."""
         self._last_time_fs = now_fs
         self._cycle_carry = 0.0
+        self.pending_budget = 0
+        self.pending_steps = 0

@@ -67,6 +67,12 @@ class _RtosContext:
     activity: int = 0            # driver messages handled for this context
     _watch_activity: int = 0
     _stall_ticks: int = 0
+    # An interrupt message was sent and the guest has not run since;
+    # forces a sync so ISR dispatch is not delayed by budget banking.
+    irq_inflight: bool = False
+    # Driver activity level at the last quantum sync: traffic since
+    # then (e.g. a READ_REPLY the guest is blocked on) forces a sync.
+    _synced_activity: int = 0
 
     @property
     def finished(self):
@@ -121,29 +127,78 @@ class DriverKernelHook(KernelHook):
             if context.quarantined:
                 continue
             context.irq_endpoint.send(pack_message(interrupt_message(vector)))
+            context.irq_inflight = True
             self.metrics.interrupts_posted += 1
             if self.tracer.enabled:
                 self.tracer.emit("driver", "interrupt", scope=context.name,
                                  vector=vector)
 
     def on_time_advance(self, kernel):
-        """Grant each guest RTOS its cycle budget."""
+        """Grant each guest RTOS its cycle budget.
+
+        At ``sync_quantum=1`` (the binding default) every timestep
+        calls into the guest RTOS — the classic behavior.  At larger
+        quanta budgets bank up and one batched advance covers the
+        window, unless interrupt delivery is pending (an in-flight
+        interrupt message, a raised IRQ line, or a deliverable vector),
+        which forces an immediate sync so ISR latency is unchanged.
+        """
         self.metrics.sc_timesteps += 1
         for context in self.active_contexts():
             if context.finished:
                 continue
-            budget = context.binding.cycles_for_advance(kernel.now)
+            binding = context.binding
+            if binding.quantum > 1:
+                binding.accumulate(kernel.now)
+                if binding.due() or self._must_sync(context):
+                    self.sync_context(context)
+                continue
+            budget = binding.cycles_for_advance(kernel.now)
             if budget <= 0:
                 continue
             if self.tracer.enabled:
                 self.tracer.emit("cosim", "grant", scope=context.name,
                                  budget=budget)
+            self.metrics.grants += 1
             try:
                 self.metrics.iss_cycles += context.rtos.advance(budget)
             except CosimTransportError as error:
                 self._quarantine(context, "transport: %s" % error)
                 continue
             self._watchdog(context)
+
+    def _must_sync(self, context):
+        """Interrupt delivery is pending: degrade to lock-step.
+
+        The guest RTOS keeps ``interrupts_enabled`` asserted whenever
+        it runs, so (unlike the GDB schemes) that flag alone cannot be
+        the degradation trigger — the actionable sources are an
+        interrupt message in flight on the socket, a raised IRQ line,
+        and a vector the RTOS has accepted but not yet dispatched.
+        """
+        return (context.irq_inflight or context.rtos.cpu.irq_pending
+                or context.rtos.vectors.has_deliverable
+                or context.activity != context._synced_activity)
+
+    def sync_context(self, context):
+        """One RTOS advance covering every banked timestep."""
+        context._synced_activity = context.activity
+        budget, steps = context.binding.drain()
+        self.metrics.quantum_syncs += 1
+        self.metrics.quantum_steps_batched += steps
+        if self.tracer.enabled:
+            self.tracer.emit("cosim", "quantum_sync", scope=context.name,
+                             steps=steps, budget=budget)
+        if budget <= 0:
+            return
+        self.metrics.grants += 1
+        try:
+            self.metrics.iss_cycles += context.rtos.advance(budget)
+        except CosimTransportError as error:
+            self._quarantine(context, "transport: %s" % error)
+            return
+        context.irq_inflight = False
+        self._watchdog(context)
 
     def _watchdog(self, context):
         """Quarantine a context with no driver traffic in K timesteps."""
@@ -225,12 +280,13 @@ class DriverKernelScheme:
     name = "driver-kernel"
 
     def __init__(self, kernel, metrics=None, watchdog_ticks=None,
-                 tracer=None):
+                 tracer=None, sync_quantum=1):
         self.kernel = kernel
         self.metrics = metrics if metrics is not None else CosimMetrics()
         self.metrics.scheme = self.name
         # Shares the kernel's tracer unless given a dedicated one.
         self.tracer = tracer if tracer is not None else kernel.tracer
+        self.sync_quantum = sync_quantum
         self.hook = DriverKernelHook(self.metrics, watchdog_ticks,
                                      self.tracer)
         kernel.add_hook(self.hook)
@@ -247,7 +303,7 @@ class DriverKernelScheme:
         context = _RtosContext(
             name=name or rtos.name,
             rtos=rtos,
-            binding=ClockBinding(cpu_hz, 1),
+            binding=ClockBinding(cpu_hz, 1, quantum=self.sync_quantum),
         )
         rtos.cpu.attach_tracer(self.tracer)
         context.data_socket = Socket(DATA_PORT, "data:" + context.name)
@@ -293,6 +349,12 @@ class DriverKernelScheme:
         for context in self.hook.contexts:
             if not context.rtos.started:
                 context.rtos.start()
+
+    def flush_pending(self):
+        """Spend budgets still banked when the kernel run ends."""
+        for context in self.hook.active_contexts():
+            if context.binding.pending_steps and not context.finished:
+                self.hook.sync_context(context)
 
     @property
     def finished(self):

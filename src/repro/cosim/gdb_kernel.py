@@ -54,6 +54,10 @@ class _CpuContext:
     quarantine_reason: str = None
     _watch_cycles: int = -1
     _stall_ticks: int = 0
+    # A communication stop was serviced since the last quantum sync;
+    # once the hold clears, the guest is runnable and the banked
+    # budget should be granted immediately.
+    attention_serviced: bool = False
 
     @property
     def finished(self):
@@ -87,21 +91,38 @@ class GdbKernelHook(KernelHook):
                         self.tracer.emit("cosim", "attention",
                                          scope=context.name)
                     context.driver.drive()
+                    context.attention_serviced = True
             except CosimTransportError as error:
                 self._quarantine(context, "transport: %s" % error)
 
     def on_time_advance(self, kernel):
-        """Grant each ISS its cycle budget and drive it."""
+        """Grant each ISS its cycle budget and drive it.
+
+        At ``sync_quantum=1`` (the binding default) every timestep
+        performs the grant+drive round trip — the classic behavior.
+        At larger quanta budgets bank up and one batched sync covers
+        the window, unless a stop source could fire inside it.
+        """
         self.metrics.sc_timesteps += 1
         for context in self.active_contexts():
             if context.finished:
                 continue
-            budget = context.binding.cycles_for_advance(kernel.now)
+            binding = context.binding
+            if binding.quantum > 1:
+                binding.accumulate(kernel.now)
+                runnable_again = (context.attention_serviced
+                                  and context.driver.held_at is None)
+                if (binding.due() or runnable_again
+                        or self._must_sync(context)):
+                    self.sync_context(context)
+                continue
+            budget = binding.cycles_for_advance(kernel.now)
             if budget <= 0:
                 continue
             if self.tracer.enabled:
                 self.tracer.emit("cosim", "grant", scope=context.name,
                                  budget=budget)
+            self.metrics.grants += 1
             try:
                 context.driver.grant(budget)
                 context.driver.drive()
@@ -109,6 +130,38 @@ class GdbKernelHook(KernelHook):
                 self._quarantine(context, "transport: %s" % error)
                 continue
             self._watchdog(context)
+
+    def _must_sync(self, context):
+        """A stop source could fire in the window: degrade to lock-step.
+
+        Pipe attention (pending stop data, held-transfer retries) is
+        already serviced every cycle by :meth:`on_cycle_begin`'s cheap
+        poll, so only the sources that need a *grant* to make progress
+        count here.
+        """
+        cpu = context.cpu
+        return (cpu.interrupts_enabled or cpu.irq_pending
+                or cpu.breakpoints.has_watchpoints)
+
+    def sync_context(self, context):
+        """One grant+drive covering every banked timestep."""
+        context.attention_serviced = False
+        budget, steps = context.binding.drain()
+        self.metrics.quantum_syncs += 1
+        self.metrics.quantum_steps_batched += steps
+        if self.tracer.enabled:
+            self.tracer.emit("cosim", "quantum_sync", scope=context.name,
+                             steps=steps, budget=budget)
+        if budget <= 0:
+            return
+        self.metrics.grants += 1
+        try:
+            context.driver.grant(budget)
+            context.driver.drive()
+        except CosimTransportError as error:
+            self._quarantine(context, "transport: %s" % error)
+            return
+        self._watchdog(context)
 
     def _watchdog(self, context):
         """Quarantine a context whose CPU retired nothing in K ticks."""
@@ -141,13 +194,14 @@ class GdbKernelScheme:
     name = "gdb-kernel"
 
     def __init__(self, kernel, metrics=None, watchdog_ticks=None,
-                 tracer=None):
+                 tracer=None, sync_quantum=1):
         self.kernel = kernel
         self.metrics = metrics if metrics is not None else CosimMetrics()
         self.metrics.scheme = self.name
         # Schemes share the kernel's tracer unless given their own, so
         # a single Kernel.attach_tracer() call instruments every layer.
         self.tracer = tracer if tracer is not None else kernel.tracer
+        self.sync_quantum = sync_quantum
         self.hook = GdbKernelHook(self.metrics, watchdog_ticks,
                                   self.tracer)
         kernel.add_hook(self.hook)
@@ -170,8 +224,10 @@ class GdbKernelScheme:
                            name=label, tracer=self.tracer)
         driver = TargetDriver(client, stub, cpu, pragma_map, dict(ports),
                               self.metrics, self.tracer)
-        context = _CpuContext(label, cpu, ClockBinding(cpu_hz, 1), pipe,
-                              stub, client, driver)
+        context = _CpuContext(
+            label, cpu,
+            ClockBinding(cpu_hz, 1, quantum=self.sync_quantum),
+            pipe, stub, client, driver)
         self.hook.contexts.append(context)
         return context
 
@@ -179,6 +235,12 @@ class GdbKernelScheme:
         """Set every pragma breakpoint and put the targets in run mode."""
         for context in self.hook.contexts:
             context.driver.elaborate()
+
+    def flush_pending(self):
+        """Spend budgets still banked when the kernel run ends."""
+        for context in self.hook.active_contexts():
+            if context.binding.pending_steps and not context.finished:
+                self.hook.sync_context(context)
 
     @property
     def finished(self):

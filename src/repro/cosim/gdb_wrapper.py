@@ -43,10 +43,11 @@ class GdbWrapperModule(Module):
 
     def __init__(self, name, clock, cpu, pragma_map, ports, cpu_hz,
                  metrics, kernel=None, watchdog_ticks=None,
-                 reliability=None, faults=None, tracer=None):
+                 reliability=None, faults=None, tracer=None,
+                 sync_quantum=1):
         super().__init__(name, kernel)
         self.cpu = cpu
-        self.binding = ClockBinding(cpu_hz, 1)
+        self.binding = ClockBinding(cpu_hz, 1, quantum=sync_quantum)
         self.metrics = metrics
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.watchdog_ticks = watchdog_ticks
@@ -75,8 +76,37 @@ class GdbWrapperModule(Module):
         self.driver.elaborate()
 
     def _sync_cycle(self):
-        """The lock-step sc_method: runs on every clock posedge."""
+        """The lock-step sc_method: runs on every clock posedge.
+
+        At ``sync_quantum=1`` this is the exact lock-step baseline.  At
+        larger quanta the per-posedge RSP round trip is skipped while
+        the cycle budget banks up, and one batched synchronisation
+        covers the whole window — unless a stop source (interrupts, a
+        held transfer, pending pipe data, armed watchpoints) could fire
+        inside it, in which case the sync happens immediately.
+        """
         if self.driver.finished or self.quarantined:
+            return
+        if self.binding.quantum > 1:
+            self.metrics.sc_timesteps += 1
+            self.binding.accumulate(self.kernel.now)
+            attention = (self.driver.held_at is not None
+                         or self.driver.needs_attention)
+            if attention:
+                # A communication stop is active: retry the transfer
+                # with a cheap local poll+drive — no RSP status round
+                # trip is needed to service it.
+                self.metrics.cheap_polls += 1
+                try:
+                    self.driver.drive()
+                except CosimTransportError as error:
+                    self._quarantine("transport: %s" % error)
+                    return
+            # A serviced stop leaves the guest runnable again: grant
+            # the banked budget now instead of waiting out the quantum.
+            runnable_again = attention and self.driver.held_at is None
+            if self.binding.due() or runnable_again or self._must_sync():
+                self._sync_batch()
             return
         try:
             # 1. The per-cycle synchronisation over the RDI — the
@@ -96,6 +126,7 @@ class GdbWrapperModule(Module):
             #    period and drive it, servicing breakpoint transfers.
             budget = self.binding.cycles_for_advance(self.kernel.now)
             if budget > 0:
+                self.metrics.grants += 1
                 self.driver.grant(budget)
             self.metrics.sc_timesteps += 1
             self.driver.drive()
@@ -103,6 +134,47 @@ class GdbWrapperModule(Module):
             self._quarantine("transport: %s" % error)
             return
         self._watchdog()
+
+    def _must_sync(self):
+        """A stop source could fire in the window: degrade to lock-step.
+
+        Communication stops (a held transfer, pending pipe data) are
+        serviced by the per-posedge local drive above and do not force
+        an RSP synchronisation.
+        """
+        cpu = self.cpu
+        return (cpu.interrupts_enabled or cpu.irq_pending
+                or cpu.breakpoints.has_watchpoints)
+
+    def _sync_batch(self):
+        """One synchronisation covering every banked timestep."""
+        budget, steps = self.binding.drain()
+        self.metrics.quantum_syncs += 1
+        self.metrics.quantum_steps_batched += steps
+        if self.tracer.enabled:
+            self.tracer.emit("cosim", "quantum_sync", scope=self.name,
+                             steps=steps, budget=budget)
+        try:
+            self.metrics.sync_transactions += 2
+            status = self.client.query_status()
+            self.client.read_register(16)  # the pc, by register number
+            if status.get("Status") == "exited":
+                self.driver.finished = True
+                return
+            if budget > 0:
+                self.metrics.grants += 1
+                self.driver.grant(budget)
+            self.driver.drive()
+        except CosimTransportError as error:
+            self._quarantine("transport: %s" % error)
+            return
+        self._watchdog()
+
+    def flush_pending(self):
+        """Spend any banked budget at end of run (quantum > 1 only)."""
+        if (self.binding.pending_steps
+                and not (self.driver.finished or self.quarantined)):
+            self._sync_batch()
 
     def _watchdog(self):
         """Quarantine this wrapper if its CPU retired nothing lately."""
@@ -134,13 +206,14 @@ class GdbWrapperScheme:
     name = "gdb-wrapper"
 
     def __init__(self, kernel, clock, metrics=None, watchdog_ticks=None,
-                 tracer=None):
+                 tracer=None, sync_quantum=1):
         self.kernel = kernel
         self.clock = clock
         self.metrics = metrics if metrics is not None else CosimMetrics()
         self.metrics.scheme = self.name
         self.tracer = tracer if tracer is not None else kernel.tracer
         self.watchdog_ticks = watchdog_ticks
+        self.sync_quantum = sync_quantum
         self.wrappers = []
 
     def attach_cpu(self, cpu, pragma_map, ports, cpu_hz, name=None,
@@ -150,7 +223,8 @@ class GdbWrapperScheme:
             name or ("wrapper:" + cpu.name), self.clock, cpu, pragma_map,
             ports, cpu_hz, self.metrics, self.kernel,
             watchdog_ticks=self.watchdog_ticks, reliability=reliability,
-            faults=faults, tracer=self.tracer)
+            faults=faults, tracer=self.tracer,
+            sync_quantum=self.sync_quantum)
         self.wrappers.append(wrapper)
         return wrapper
 
@@ -158,6 +232,11 @@ class GdbWrapperScheme:
         """Elaborate every wrapper module."""
         for wrapper in self.wrappers:
             wrapper.elaborate()
+
+    def flush_pending(self):
+        """Spend budgets still banked when the kernel run ends."""
+        for wrapper in self.wrappers:
+            wrapper.flush_pending()
 
     @property
     def finished(self):

@@ -29,6 +29,12 @@ class CosimMetrics:
     drops_detected: int = 0         # sequence gaps seen by a receiver
     corrupt_rejected: int = 0       # frames failing their checksum
     contexts_quarantined: int = 0   # ISS contexts detached by watchdog
+    grants: int = 0                 # budget grant+drive round trips
+    quantum_syncs: int = 0          # batched synchronisations performed
+    quantum_steps_batched: int = 0  # timesteps covered by those syncs
+    blocks_compiled: int = 0        # ISS basic blocks compiled
+    block_hits: int = 0             # ISS block-cache hits
+    block_invalidations: int = 0    # ISS blocks dropped (SMC/bp/flush)
     extra: dict = field(default_factory=dict)
 
     def as_dict(self):
@@ -45,10 +51,16 @@ class CosimMetrics:
             "isr_dispatches": self.isr_dispatches,
             "iss_cycles": self.iss_cycles,
             "sc_timesteps": self.sc_timesteps,
+            "grants": self.grants,
             "retransmits": self.retransmits,
             "drops_detected": self.drops_detected,
             "corrupt_rejected": self.corrupt_rejected,
             "contexts_quarantined": self.contexts_quarantined,
+            "quantum_syncs": self.quantum_syncs,
+            "quantum_steps_batched": self.quantum_steps_batched,
+            "blocks_compiled": self.blocks_compiled,
+            "block_hits": self.block_hits,
+            "block_invalidations": self.block_invalidations,
             **self.extra,
         }
 
@@ -66,8 +78,10 @@ class CosimMetrics:
         "sync_transactions", "cheap_polls", "transfer_transactions",
         "breakpoint_hits", "messages_sent", "messages_received",
         "interrupts_posted", "isr_dispatches", "iss_cycles",
-        "sc_timesteps", "retransmits", "drops_detected",
-        "corrupt_rejected", "contexts_quarantined")
+        "sc_timesteps", "grants", "retransmits", "drops_detected",
+        "corrupt_rejected", "contexts_quarantined",
+        "quantum_syncs", "quantum_steps_batched",
+        "blocks_compiled", "block_hits", "block_invalidations")
 
     @classmethod
     def aggregate(cls, bundles, scheme="aggregate"):

@@ -54,16 +54,25 @@ class BreakpointSet:
         self.watch_hit_count = 0
         self.tracer = NULL_TRACER   # wired by Cpu.attach_tracer
         self.owner = ""
+        self.on_code_change = None  # wired by Cpu for block invalidation
 
     # -- code breakpoints ---------------------------------------------------
 
     def add_code(self, address):
-        """Insert a code breakpoint at *address*."""
+        """Insert a code breakpoint at *address*.
+
+        Notifies ``on_code_change`` so the CPU can drop compiled blocks
+        that would otherwise run through the new breakpoint.
+        """
         self._code.setdefault(address, 0)
+        if self.on_code_change is not None:
+            self.on_code_change(address)
 
     def remove_code(self, address):
         """Remove the code breakpoint at *address* (no-op if absent)."""
         self._code.pop(address, None)
+        if self.on_code_change is not None:
+            self.on_code_change(address)
 
     def has_code(self, address):
         """True when a code breakpoint is set at *address*."""

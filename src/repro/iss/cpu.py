@@ -16,15 +16,16 @@ A fetch/decode/execute interpreter with:
 import enum
 
 from repro.errors import GuestFault, IssError
+from repro.iss import blocks as _blocks
 from repro.iss import isa
 from repro.obs.tracer import NULL_TRACER
 from repro.iss.breakpoints import BreakpointSet
 from repro.iss.memory import Memory
 from repro.iss.syscalls import SyscallTable
 
-NUM_REGS = 16
-REG_SP = 13
-REG_LR = 14
+NUM_REGS = isa.NUM_REGS
+REG_SP = isa.REG_SP
+REG_LR = isa.REG_LR
 
 _WORD = isa.WORD_MASK
 
@@ -71,12 +72,23 @@ class Cpu:
         self.interrupts_enabled = False
         self.tracer = NULL_TRACER
         self._decode_cache = {}
+        self._decoded_pages = {}        # code page -> decoded addresses
+        self._block_cache = {}          # start pc -> BasicBlock
+        self._blocks_by_page = {}       # code page -> block start pcs
+        self._code_dirty = False        # guest stored into cached code
+        self.use_blocks = True          # closure-block fast path enabled
+        self.block_trace = False        # opt-in iss/block_compile events
+        self.blocks_compiled = 0
+        self.block_hits = 0
+        self.block_invalidations = 0
         self._icache = None             # optional timing models
         self._dcache = None
         self._observers = []            # retire-callback observers
         self._resume_skip = None        # bp address we are stepping past
         self._watch_hit = None          # (watchpoint, address, value, is_write)
         self._last_stop = None
+        self.memory.add_code_listener(self._on_code_store)
+        self.breakpoints.on_code_change = self._on_breakpoints_changed
 
     def __repr__(self):
         return "Cpu(%r, pc=0x%08x, cycles=%d)" % (self.name, self.pc, self.cycles)
@@ -112,6 +124,62 @@ class Cpu:
     def flush_decode_cache(self):
         """Must be called after writing code memory from the host."""
         self._decode_cache.clear()
+        self._decoded_pages.clear()
+        if self._block_cache:
+            self.block_invalidations += len(self._block_cache)
+            self._block_cache.clear()
+        self._blocks_by_page.clear()
+        self._code_dirty = True
+
+    def _on_code_store(self, address):
+        """Guest store hit a page holding decoded code: invalidate it.
+
+        Registered with :meth:`Memory.add_code_listener`; fixes the
+        self-modifying-code staleness bug where a guest ``sw``/``sb``
+        into a ``_decode_cache`` address kept executing the stale
+        decode.  Invalidation is word-precise: data that merely shares
+        a 256-byte page with code (a common layout — constants after a
+        loop) does not thrash the caches, only a store overlapping a
+        decoded instruction pays.
+        """
+        word = address & ~3
+        page = address >> 8
+        decoded = self._decoded_pages.get(page)
+        if decoded and word in decoded:
+            decoded.discard(word)
+            self._decode_cache.pop(word, None)
+            if not decoded:
+                del self._decoded_pages[page]
+            self._code_dirty = True
+        starts = self._blocks_by_page.get(page)
+        if starts:
+            dead = [start for start in starts
+                    if self._block_cache[start].covers(word)]
+            for start in dead:
+                self._drop_block(start)
+            if dead:
+                self._code_dirty = True
+
+    def _drop_block(self, start):
+        """Evict one compiled block and its page-index entries."""
+        block = self._block_cache.pop(start, None)
+        if block is None:
+            return
+        self.block_invalidations += 1
+        for page in range(block.start >> 8, ((block.end - 1) >> 8) + 1):
+            starts = self._blocks_by_page.get(page)
+            if starts is not None:
+                starts.discard(start)
+                if not starts:
+                    del self._blocks_by_page[page]
+
+    def _on_breakpoints_changed(self, address):
+        """Drop compiled blocks so a new mid-block breakpoint is honored."""
+        if self._block_cache:
+            self.block_invalidations += len(self._block_cache)
+            self._block_cache.clear()
+            self._blocks_by_page.clear()
+        self._code_dirty = True
 
     def attach_tracer(self, tracer):
         """Route this core's stop/breakpoint events to *tracer*.
@@ -227,6 +295,8 @@ class Cpu:
             self.memory.load_count -= 1   # fetches aren't data accesses
             decoded = isa.decode(word)
             self._decode_cache[address] = decoded
+            self._decoded_pages.setdefault(address >> 8, set()).add(address)
+            self.memory.watch_code(address)
         return decoded
 
     def run(self, max_instructions=None, max_cycles=None):
@@ -234,11 +304,147 @@ class Cpu:
 
         ``max_cycles`` is a *budget* relative to the current cycle
         counter — the unit the co-simulation clock bindings hand out.
+
+        Execution normally takes the closure-compiled basic-block fast
+        path (:mod:`repro.iss.blocks`); the legacy per-instruction
+        interpreter remains for timing models (icache/dcache), retire
+        observers, and as the reference in differential tests (set
+        ``use_blocks = False``).  Both paths are observationally
+        equivalent.
         """
         cycle_limit = None if max_cycles is None else self.cycles + max_cycles
         instruction_limit = (None if max_instructions is None
                              else self.instructions + max_instructions)
         self._watch_hit = None
+        if (self.use_blocks and self._icache is None
+                and self._dcache is None and not self._observers):
+            return self._run_blocks(instruction_limit, cycle_limit)
+        return self._run_interpreter(instruction_limit, cycle_limit)
+
+    # -- block-compiled fast path ---------------------------------------------
+
+    def _run_blocks(self, instruction_limit, cycle_limit):
+        """Closure-block execution loop (see :mod:`repro.iss.blocks`).
+
+        Halt/irq/breakpoint checks run once per basic block instead of
+        once per instruction; the limit checks are hoisted entirely
+        when the remaining budget provably covers the whole block.
+        """
+        block_cache = self._block_cache
+        breakpoints = self.breakpoints
+        while True:
+            if self.halted:
+                return self._stop(StopReason.HALT)
+            if self.waiting:
+                return self._stop(StopReason.WFI)
+            if self.irq_pending and self.interrupts_enabled:
+                return self._stop(StopReason.INTERRUPT)
+            pc = self.pc
+            if breakpoints.has_code(pc) and pc != self._resume_skip:
+                breakpoints.record_code_hit(pc)
+                return self._stop(StopReason.BREAKPOINT)
+            self._resume_skip = None
+            block = block_cache.get(pc)
+            if block is None:
+                block = _blocks.build_block(self, pc)
+                if block is None:
+                    # Undecodable or MMIO-resident code at pc: the
+                    # interpreter reproduces the legacy fetch behavior
+                    # (including the exact decode error) for the rest
+                    # of this run() call.
+                    return self._run_interpreter(instruction_limit,
+                                                 cycle_limit)
+                self.blocks_compiled += 1
+                block_cache[pc] = block
+                for page in range(block.start >> 8,
+                                  ((block.end - 1) >> 8) + 1):
+                    self._blocks_by_page.setdefault(page, set()).add(pc)
+                if self.block_trace and self.tracer.enabled:
+                    self.tracer.emit("iss", "block_compile", scope=self.name,
+                                     pc=pc, count=block.count,
+                                     end=block.end)
+            else:
+                self.block_hits += 1
+            fits = ((instruction_limit is None
+                     or instruction_limit - self.instructions >= block.count)
+                    and (cycle_limit is None
+                         or cycle_limit - self.cycles >= block.max_cycles))
+            if fits:
+                self._exec_block_fast(block)
+                if self._watch_hit is not None:
+                    return self._stop(StopReason.WATCHPOINT)
+                if instruction_limit is not None and \
+                        self.instructions >= instruction_limit:
+                    return self._stop(StopReason.INSTRUCTION_LIMIT)
+                if cycle_limit is not None and self.cycles >= cycle_limit:
+                    return self._stop(StopReason.CYCLE_LIMIT)
+            else:
+                stop = self._exec_block_checked(block, instruction_limit,
+                                                cycle_limit)
+                if stop is not None:
+                    return stop
+
+    def _exec_block_fast(self, block):
+        """Run a whole block; limits were prechecked to cover it.
+
+        Memory steps re-check watchpoint hits, stores into cached code,
+        and interrupt delivery (an MMIO store may raise the IRQ line
+        mid-block); pure ALU steps run back to back.
+        """
+        regs = self.regs
+        memory = self.memory
+        self._code_dirty = False
+        cycles = 0
+        retired = 0
+        try:
+            for step, is_mem, _static_pc in block.steps:
+                cycles += step(self, regs, memory)
+                retired += 1
+                if is_mem and (self._watch_hit is not None
+                               or self._code_dirty
+                               or (self.irq_pending
+                                   and self.interrupts_enabled)):
+                    return
+        finally:
+            # A faulting step contributes neither cycles nor an
+            # instruction, exactly like the interpreter.
+            self.cycles += cycles
+            self.instructions += retired
+            if retired == block.count and block.steps[-1][2] is not None:
+                self.pc = block.end_pc
+
+    def _exec_block_checked(self, block, instruction_limit, cycle_limit):
+        """Run a block with the legacy per-instruction limit checks.
+
+        Taken when a limit could expire inside the block; returns the
+        stop reason when one fires, else None (outer loop continues).
+        """
+        self._code_dirty = False
+        regs = self.regs
+        memory = self.memory
+        for step, is_mem, static_pc in block.steps:
+            cycles = step(self, regs, memory)
+            self.cycles += cycles
+            self.instructions += 1
+            if static_pc is not None:
+                self.pc = static_pc
+            if self._watch_hit is not None:
+                return self._stop(StopReason.WATCHPOINT)
+            if instruction_limit is not None and \
+                    self.instructions >= instruction_limit:
+                return self._stop(StopReason.INSTRUCTION_LIMIT)
+            if cycle_limit is not None and self.cycles >= cycle_limit:
+                return self._stop(StopReason.CYCLE_LIMIT)
+            if is_mem and (self._code_dirty
+                           or (self.irq_pending
+                               and self.interrupts_enabled)):
+                return None
+        return None
+
+    # -- legacy interpreter ----------------------------------------------------
+
+    def _run_interpreter(self, instruction_limit, cycle_limit):
+        """The reference per-instruction fetch/decode/execute loop."""
         regs = self.regs
         memory = self.memory
         while True:

@@ -30,6 +30,11 @@ WORD_BITS = 32
 WORD_MASK = 0xFFFFFFFF
 INSTRUCTION_BYTES = 4
 
+# Register-file facts (the CPU re-exports these for compatibility).
+NUM_REGS = 16
+REG_SP = 13
+REG_LR = 14
+
 # Operand formats.
 FMT_NONE = "none"        # no operands
 FMT_SYS = "sys"          # imm16 trap number
@@ -200,6 +205,19 @@ class Decoded:
     @property
     def name(self):
         return self.spec.name
+
+    def compile(self, pc):
+        """Compile this decoded instruction for execution at *pc*.
+
+        Returns ``(closure, is_mem, is_terminal)`` — the closure is a
+        Python function over ``(cpu, regs, memory)`` with every operand
+        field, immediate and cycle cost bound at compile time, so the
+        executing inner loop performs no string dispatch (see
+        :mod:`repro.iss.blocks`).
+        """
+        from repro.iss.blocks import compile_instruction
+
+        return compile_instruction(self, pc)
 
 
 def decode(word):

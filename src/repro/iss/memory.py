@@ -58,6 +58,25 @@ class Memory:
         self.regions = []
         self.load_count = 0
         self.store_count = 0
+        self._code_pages = set()        # pages holding decoded code
+        self._code_listeners = []       # called with the store address
+
+    # -- code-page tracking (decode/block cache invalidation) ------------------
+
+    def watch_code(self, address):
+        """Mark the page holding *address* as containing decoded code.
+
+        Guest stores into a watched page notify every registered code
+        listener so CPUs can invalidate stale decodes and compiled
+        blocks (self-modifying code support).  Pages are 256 bytes, so
+        a 4-byte-aligned instruction never straddles two pages.
+        """
+        self._code_pages.add(address >> 8)
+
+    def add_code_listener(self, listener):
+        """Register *listener(address)* for stores into watched code."""
+        self._code_listeners.append(listener)
+        return listener
 
     def add_region(self, region):
         """Register an MMIO region; it shadows RAM at its addresses."""
@@ -105,6 +124,9 @@ class Memory:
             region.store_word(address - region.base, value & WORD_MASK)
             return
         self.data[address:address + 4] = (value & WORD_MASK).to_bytes(4, "little")
+        if self._code_pages and (address >> 8) in self._code_pages:
+            for listener in self._code_listeners:
+                listener(address)
 
     # -- byte access ---------------------------------------------------------
 
@@ -126,6 +148,9 @@ class Memory:
             region.store_byte(address - region.base, value & 0xFF)
             return
         self.data[address] = value & 0xFF
+        if self._code_pages and (address >> 8) in self._code_pages:
+            for listener in self._code_listeners:
+                listener(address)
 
     # -- bulk access (host-side only: loader, GDB stub) -----------------------
 

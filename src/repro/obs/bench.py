@@ -124,3 +124,61 @@ def load_report(path):
         raise ValueError("%s: unknown bench schema %r"
                          % (path, data.get("schema")))
     return data
+
+
+def syncs_per_timestep(report):
+    """Synchronisation round trips per SystemC timestep in *report*.
+
+    Counts every cross-engine transaction a scheme performs — RSP sync
+    and transfer exchanges, budget grant+drive round trips, and
+    Driver-Kernel data messages — divided by the timesteps simulated.
+    This is the deterministic figure the regression gate tracks: it
+    moves when a change adds or removes round trips, and is immune to
+    host speed.
+    """
+    counters = report.get("counters", {})
+    timesteps = counters.get("sc_timesteps", 0)
+    if not timesteps:
+        return 0.0
+    syncs = (counters.get("sync_transactions", 0)
+             + counters.get("transfer_transactions", 0)
+             + counters.get("grants", 0)
+             + counters.get("messages_sent", 0)
+             + counters.get("messages_received", 0))
+    return syncs / timesteps
+
+
+def compare_reports(current, baseline, tolerance=0.10):
+    """Gate *current* against *baseline* (both ``repro-bench/1`` dicts).
+
+    Returns a list of human-readable regression strings — empty when
+    the gate passes.  Only deterministic counters are compared:
+
+    - ``syncs_per_timestep`` may not exceed the baseline by more than
+      *tolerance* (the CI failure condition);
+    - ``instructions_per_sync`` is reported informationally when it
+      drops by more than *tolerance* (more syncs for the same work).
+    """
+    problems = []
+    current_spt = syncs_per_timestep(current)
+    baseline_spt = syncs_per_timestep(baseline)
+    if baseline_spt > 0 and current_spt > baseline_spt * (1.0 + tolerance):
+        problems.append(
+            "syncs-per-timestep regressed: %.4f -> %.4f (>%d%% over baseline)"
+            % (baseline_spt, current_spt, round(tolerance * 100)))
+    cur_counters = current.get("counters", {})
+    base_counters = baseline.get("counters", {})
+    cur_instr = cur_counters.get("iss_instructions", 0)
+    base_instr = base_counters.get("iss_instructions", 0)
+    cur_syncs = cur_counters.get("quantum_syncs", 0) or \
+        cur_counters.get("sc_timesteps", 0)
+    base_syncs = base_counters.get("quantum_syncs", 0) or \
+        base_counters.get("sc_timesteps", 0)
+    if base_syncs and cur_syncs and base_instr:
+        cur_ips = cur_instr / cur_syncs
+        base_ips = base_instr / base_syncs
+        if cur_ips < base_ips * (1.0 - tolerance):
+            problems.append(
+                "instructions-per-sync dropped: %.1f -> %.1f"
+                % (base_ips, cur_ips))
+    return problems

@@ -32,12 +32,15 @@ class TracedRun:
 def run_traced_scenario(scheme, sim_us=120, seed=7, max_packets=2,
                         producer_count=2, inter_packet_delay_us=20,
                         reliability=None, fault_plan=None,
-                        watchdog_ticks=None, tracer=None, capacity=200_000):
+                        watchdog_ticks=None, tracer=None, capacity=200_000,
+                        sync_quantum=1):
     """Run the quickstart-scale router scenario under *scheme*, traced.
 
     Everything is seeded and simulated-time driven, so two calls with
     the same arguments produce byte-identical traces (the determinism
-    tests rely on this).  Returns a :class:`TracedRun`.
+    tests rely on this).  Returns a :class:`TracedRun`.  At
+    ``sync_quantum`` > 1 the scheme batches ISS synchronisations (see
+    ``docs/performance.md``); the default is exact lock-step.
     """
     if tracer is None:
         tracer = Tracer(capacity=capacity)
@@ -51,6 +54,7 @@ def run_traced_scenario(scheme, sim_us=120, seed=7, max_packets=2,
         fault_plan=fault_plan,
         watchdog_ticks=watchdog_ticks,
         tracer=tracer,
+        sync_quantum=sync_quantum,
     )
     system = build_system(config)
     system.run(sim_us * US)
@@ -68,7 +72,8 @@ def bench_scenario(scheme, sim_us=120, seed=7, name=None, **overrides):
     traced = run_traced_scenario(scheme, sim_us=sim_us, seed=seed,
                                  **overrides)
     run.stop()
-    run.config.update({"scheme": scheme, "sim_us": sim_us, "seed": seed})
+    run.config.update({"scheme": scheme, "sim_us": sim_us, "seed": seed,
+                       "sync_quantum": overrides.get("sync_quantum", 1)})
     run.record_metrics(traced.system.metrics)
     run.record(
         trace_events=len(traced.tracer),
@@ -78,5 +83,7 @@ def bench_scenario(scheme, sim_us=120, seed=7, name=None, **overrides):
         simulated_fs=traced.system.kernel.now,
         timesteps=traced.system.kernel.timestep_count,
         deltas=traced.system.kernel.delta_count,
+        iss_instructions=sum(cpu.instructions
+                             for cpu in traced.system.cpus),
     )
     return traced, run

@@ -63,6 +63,10 @@ class RouterConfig:
     reliability: Optional[object] = None  # ReliabilityConfig or True
     fault_plan: Optional[object] = None   # FaultPlan
     watchdog_ticks: Optional[int] = None
+    # Co-simulation sync quantum (docs/performance.md): the ISS banks
+    # this many timesteps of cycle budget per kernel synchronisation
+    # when no stop source can fire in the window.  1 = lock-step.
+    sync_quantum: int = 1
     # Observability (docs/observability.md): an obs.Tracer attached to
     # the kernel before the scheme is wired, so every layer shares it.
     tracer: Optional[object] = None
@@ -174,11 +178,13 @@ class RouterSystem:
         self.app = build_gdb_app(config.app_origin, config.algorithm)
         if scheme_name == "gdb-kernel":
             self.scheme = GdbKernelScheme(self.kernel, self.metrics,
-                                          config.watchdog_ticks)
+                                          config.watchdog_ticks,
+                                          sync_quantum=config.sync_quantum)
         else:
             self.scheme = GdbWrapperScheme(self.kernel, self.clock,
                                            self.metrics,
-                                           config.watchdog_ticks)
+                                           config.watchdog_ticks,
+                                           sync_quantum=config.sync_quantum)
         for index, engine in enumerate(self.engines):
             cpu = Cpu(name="cpu%d" % index)
             load_program(cpu, self.app.program,
@@ -195,7 +201,8 @@ class RouterSystem:
         config = self.config
         self.app = build_driver_app(config.app_origin, config.algorithm)
         self.scheme = DriverKernelScheme(self.kernel, self.metrics,
-                                         config.watchdog_ticks)
+                                         config.watchdog_ticks,
+                                         sync_quantum=config.sync_quantum)
         self.drivers = []
         for index, engine in enumerate(self.engines):
             cpu = Cpu(name="cpu%d" % index)
@@ -231,10 +238,22 @@ class RouterSystem:
 
     def run(self, duration):
         """Advance the co-simulation by *duration* femtoseconds."""
-        return self.kernel.run(duration)
+        result = self.kernel.run(duration)
+        if self.scheme is not None and hasattr(self.scheme, "flush_pending"):
+            # Spend any cycle budget still banked by a sync quantum > 1
+            # so a run boundary never strands guest execution.
+            self.scheme.flush_pending()
+        return result
 
     def stats(self):
         """Collect the evaluation statistics of the run so far."""
+        # Fold the ISS block-cache counters into the shared metrics
+        # (idempotent: assignment, not accumulation).
+        self.metrics.blocks_compiled = sum(
+            cpu.blocks_compiled for cpu in self.cpus)
+        self.metrics.block_hits = sum(cpu.block_hits for cpu in self.cpus)
+        self.metrics.block_invalidations = sum(
+            cpu.block_invalidations for cpu in self.cpus)
         generated = sum(producer.generated for producer in self.producers)
         received = sum(consumer.received for consumer in self.consumers)
         corrupt = sum(consumer.corrupt for consumer in self.consumers)

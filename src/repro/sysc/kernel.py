@@ -58,8 +58,12 @@ class Kernel:
         self._runnable = deque()
         self._update_queue = []
         self._delta_events = []
+        self._delta_event_set = set()
         self._delta_processes = []
         self._timed = []
+        # event -> its live heap entries, for O(1) amortised cancel
+        # (entries are tombstoned in place, never searched for).
+        self._timed_events = {}
         self._seq = itertools.count()
         self._started = False
         self._stop_requested = False
@@ -129,42 +133,62 @@ class Kernel:
         self._runnable.append(process)
 
     def _queue_delta_event(self, event):
-        if event not in self._delta_events:
+        # The set makes dedup and cancel O(1); the list keeps the
+        # (deterministic) notification order.
+        if event not in self._delta_event_set:
+            self._delta_event_set.add(event)
             self._delta_events.append(event)
 
     def _queue_delta_process(self, process):
         self._delta_processes.append(process)
 
     def _queue_timed_event(self, event, delay):
-        heapq.heappush(self._timed, (self.now + delay, next(self._seq), event))
+        # Heap entries are mutable so cancel can tombstone them in
+        # place (entry[3] = False) instead of rebuilding the heap.
+        # The unique sequence number keeps comparisons from ever
+        # reaching the payload fields.
+        entry = [self.now + delay, next(self._seq), event, True]
+        heapq.heappush(self._timed, entry)
+        self._timed_events.setdefault(event, []).append(entry)
 
     def _queue_timed_process(self, process, delay):
         process._waiting_timeout = True
-        heapq.heappush(self._timed, (self.now + delay, next(self._seq), process))
+        heapq.heappush(
+            self._timed, [self.now + delay, next(self._seq), process, True])
 
     def _queue_update(self, signal):
         self._update_queue.append(signal)
 
     def _cancel_event(self, event):
-        if event in self._delta_events:
-            self._delta_events.remove(event)
-        self._timed = [entry for entry in self._timed if entry[2] is not event]
-        heapq.heapify(self._timed)
+        # Delta side: drop from the set; the list entry becomes a
+        # tombstone that _delta_notify skips.  Timed side: mark every
+        # live heap entry dead; _prune_timed discards them lazily.
+        self._delta_event_set.discard(event)
+        for entry in self._timed_events.pop(event, ()):
+            entry[3] = False
+
+    def _prune_timed(self):
+        """Discard cancelled entries sitting at the top of the heap."""
+        timed = self._timed
+        while timed and not timed[0][3]:
+            heapq.heappop(timed)
 
     # -- queries -------------------------------------------------------------
 
     def pending_activity(self):
         """True if any process can still run now or in the future."""
+        self._prune_timed()
         return bool(
             self._runnable
             or self._update_queue
-            or self._delta_events
+            or self._delta_event_set
             or self._delta_processes
             or self._timed
         )
 
     def next_event_time(self):
         """Absolute time of the earliest timed event, or None."""
+        self._prune_timed()
         return self._timed[0][0] if self._timed else None
 
     def stop(self):
@@ -240,8 +264,10 @@ class Kernel:
     def _delta_notify(self):
         if self._delta_events:
             events, self._delta_events = self._delta_events, []
+            live, self._delta_event_set = self._delta_event_set, set()
             for event in events:
-                event._trigger()
+                if event in live:
+                    event._trigger()
         if self._delta_processes:
             procs, self._delta_processes = self._delta_processes, []
             for process in procs:
@@ -258,16 +284,27 @@ class Kernel:
         if self.tracer.enabled:
             self.tracer.emit("kernel", "timestep", scope=self.name)
         while self._timed and self._timed[0][0] == target_time:
-            __, __, entry = heapq.heappop(self._timed)
+            popped = heapq.heappop(self._timed)
+            if not popped[3]:
+                continue
+            entry = popped[2]
             if isinstance(entry, Process):
                 entry._waiting_timeout = False
                 self._make_runnable(entry)
             else:
+                entries = self._timed_events.get(entry)
+                if entries is not None:
+                    entries[:] = [live for live in entries
+                                  if live is not popped]
+                    if not entries:
+                        del self._timed_events[entry]
                 entry._trigger()
-        for hook in self.hooks:
-            hook.on_time_advance(self)
-        for sink in self.trace_sinks:
-            sink.sample(self)
+        if self.hooks:
+            for hook in self.hooks:
+                hook.on_time_advance(self)
+        if self.trace_sinks:
+            for sink in self.trace_sinks:
+                sink.sample(self)
 
     def run(self, duration=None, max_deltas=None):
         """Run the simulation.
@@ -285,13 +322,15 @@ class Kernel:
             self._initialize()
         deltas_executed = 0
         while not self._stop_requested:
-            for hook in self.hooks:
-                hook.on_cycle_begin(self)
+            if self.hooks:
+                for hook in self.hooks:
+                    hook.on_cycle_begin(self)
             self._evaluate()
             self._update()
             self._delta_notify()
-            for hook in self.hooks:
-                hook.on_cycle_end(self)
+            if self.hooks:
+                for hook in self.hooks:
+                    hook.on_cycle_end(self)
             self.delta_count += 1
             deltas_executed += 1
             if self.tracer.enabled:
@@ -302,6 +341,7 @@ class Kernel:
                 break
             if self._runnable:
                 continue
+            self._prune_timed()
             if not self._timed:
                 break
             if end_time is not None and self._timed[0][0] > end_time:

@@ -1,0 +1,224 @@
+"""The closure-compiled basic-block fast path (repro.iss.blocks).
+
+The block path must be observationally equivalent to the legacy
+interpreter (the differential suite in ``test_differential.py`` proves
+that property over random streams); these tests pin the cache
+machinery itself — compilation, hits, and every invalidation rule,
+including the self-modifying-code case the decode cache alone gets
+wrong.
+"""
+
+import pytest
+
+from repro.errors import GuestFault
+from repro.iss import isa
+from repro.iss.blocks import MAX_BLOCK_LENGTH, build_block
+from repro.iss.breakpoints import WatchKind
+from repro.iss.cpu import Cpu, StopReason
+from tests.support import make_cpu, run_to_halt
+
+COUNTER_LOOP = """
+    li r0, 0
+    li r1, 200
+loop:
+    addi r0, r0, 1
+    bne r0, r1, loop
+    halt
+"""
+
+
+def _run_both(source, **run_kwargs):
+    """Run *source* on a block CPU and an interpreter CPU; compare."""
+    results = []
+    for use_blocks in (True, False):
+        cpu, _, __ = make_cpu(source)
+        cpu.use_blocks = use_blocks
+        reason = cpu.run(**run_kwargs)
+        results.append((reason, list(cpu.regs), cpu.pc, cpu.cycles,
+                        cpu.instructions))
+    assert results[0] == results[1]
+    return results[0]
+
+
+class TestBlockCache:
+    def test_loop_reuses_compiled_block(self):
+        cpu, _, __ = make_cpu(COUNTER_LOOP)
+        run_to_halt(cpu)
+        assert cpu.regs[0] == 200
+        assert cpu.blocks_compiled >= 1
+        # 200 iterations of the loop body reuse the same block.
+        assert cpu.block_hits > 150
+
+    def test_block_counters_match_interpreter_results(self):
+        assert _run_both(COUNTER_LOOP)[0] is StopReason.HALT
+
+    def test_blocks_end_at_control_transfers(self):
+        cpu, prog, __ = make_cpu(COUNTER_LOOP)
+        start = prog.symbols.resolve("loop")
+        block = build_block(cpu, start)
+        assert block.count == 2          # addi + bne, bne is terminal
+        assert block.has_terminal
+
+    def test_blocks_are_length_capped(self):
+        source = "\n".join(["addi r0, r0, 1"] * 100) + "\nhalt"
+        cpu, _, __ = make_cpu(source)
+        block = build_block(cpu, 0)
+        assert block.count == MAX_BLOCK_LENGTH
+
+    def test_flush_decode_cache_invalidates_blocks(self):
+        cpu, _, __ = make_cpu(COUNTER_LOOP)
+        run_to_halt(cpu)
+        compiled = cpu.blocks_compiled
+        assert compiled and cpu._block_cache
+        cpu.flush_decode_cache()
+        assert not cpu._block_cache
+        assert cpu.block_invalidations >= compiled
+
+    def test_adding_breakpoint_drops_compiled_blocks(self):
+        cpu, prog, __ = make_cpu(COUNTER_LOOP)
+        target = prog.symbols.resolve("loop")
+        assert cpu.run(max_instructions=20) is StopReason.INSTRUCTION_LIMIT
+        assert cpu._block_cache
+        cpu.breakpoints.add_code(target)
+        assert not cpu._block_cache
+        # The new breakpoint must be honored immediately.
+        assert cpu.run() is StopReason.BREAKPOINT
+        assert cpu.pc == target
+
+    def test_interpreter_used_when_observer_attached(self):
+        cpu, _, __ = make_cpu(COUNTER_LOOP)
+        retired = []
+
+        class Observer:
+            def on_retire(self, cpu, pc, decoded, cycles):
+                retired.append(pc)
+
+        cpu.attach_observer(Observer())
+        run_to_halt(cpu)
+        assert cpu.blocks_compiled == 0
+        assert len(retired) == cpu.instructions
+
+    def test_guest_fault_keeps_counters_exact(self):
+        source = """
+            li r0, 7
+            li r1, 0
+            divu r2, r0, r1
+            halt
+        """
+        states = []
+        for use_blocks in (True, False):
+            cpu, _, __ = make_cpu(source)
+            cpu.use_blocks = use_blocks
+            with pytest.raises(GuestFault) as excinfo:
+                cpu.run()
+            states.append((str(excinfo.value), cpu.pc, cpu.cycles,
+                           cpu.instructions))
+        assert states[0] == states[1]
+        assert "division by zero" in states[0][0]
+
+
+class TestSelfModifyingCode:
+    """Guest stores into already-executed code must take effect.
+
+    The regression: with a decode/block cache keyed only by address,
+    a guest that patches its own instruction stream kept executing the
+    stale cached decode.  The code-page dirty tracking in Memory must
+    invalidate both caches on the spot.
+    """
+
+    SELF_PATCHING = """
+        .entry main
+    main:
+        la r1, patch_site
+        la r2, new_insn
+        lw r3, [r2]
+        li r0, 0
+        # First pass: execute patch_site as originally assembled.
+        call patch_site
+        # Patch it, then execute it again: the store must invalidate
+        # the cached decode/block for the page.
+        sw r3, [r1]
+        call patch_site
+        halt
+    patch_site:
+        addi r0, r0, 1
+        ret
+    new_insn:
+        .word %d
+    """
+
+    def _source(self):
+        patched = isa.encode("addi", rd=0, rs1=0, imm=100)
+        return self.SELF_PATCHING % patched
+
+    def test_patched_instruction_executes(self):
+        cpu, _, __ = make_cpu(self._source())
+        run_to_halt(cpu)
+        # First call adds 1, second (patched) call adds 100.
+        assert cpu.regs[0] == 101
+        assert cpu.block_invalidations >= 1
+
+    def test_matches_interpreter(self):
+        assert _run_both(self._source())[0] is StopReason.HALT
+
+    def test_patch_mid_block_aborts_inflight_block(self):
+        """A store that rewrites the *next* instruction in the same
+        basic block must be honored before that instruction runs."""
+        nop = isa.encode("nop")
+        patched = isa.encode("addi", rd=0, rs1=0, imm=50)
+        source = """
+            .entry main
+        main:
+            la r1, site
+            la r2, insn
+            lw r3, [r2]
+            li r0, 0
+            sw r3, [r1]
+        site:
+            .word %d
+            halt
+        insn:
+            .word %d
+        """ % (nop, patched)
+        states = []
+        for use_blocks in (True, False):
+            cpu, _, __ = make_cpu(source)
+            cpu.use_blocks = use_blocks
+            run_to_halt(cpu)
+            states.append((list(cpu.regs), cpu.cycles, cpu.instructions))
+        assert states[0] == states[1]
+        assert states[0][0][0] == 50
+
+    def test_host_write_requires_explicit_flush(self):
+        """Host-side code patching keeps the documented contract:
+        ``flush_decode_cache()`` after ``write_bytes``."""
+        cpu, prog, __ = make_cpu(COUNTER_LOOP)
+        assert cpu.run(max_instructions=20) is StopReason.INSTRUCTION_LIMIT
+        site = prog.symbols.resolve("loop")
+        word = isa.encode("halt")
+        cpu.memory.write_bytes(site, word.to_bytes(4, "little"))
+        cpu.flush_decode_cache()
+        assert cpu.run() is StopReason.HALT
+
+
+class TestWatchpointsOnBlocks:
+    def test_write_watch_stops_block_execution(self):
+        source = """
+            la r1, data
+            li r0, 5
+            sw r0, [r1]
+            addi r0, r0, 1
+            halt
+        data: .word 0
+        """
+        states = []
+        for use_blocks in (True, False):
+            cpu, prog, __ = make_cpu(source)
+            cpu.use_blocks = use_blocks
+            cpu.breakpoints.add_watch(prog.symbols.variable_address("data"),
+                                      kind=WatchKind.WRITE)
+            reason = cpu.run()
+            states.append((reason, cpu.pc, cpu.regs[0], cpu.cycles,
+                           cpu.instructions))
+            assert reason is StopReason.WATCHPOINT
+        assert states[0] == states[1]

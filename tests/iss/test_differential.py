@@ -1,0 +1,215 @@
+"""Differential testing: block fast path vs the legacy interpreter.
+
+Random instruction streams are executed twice — once with
+``use_blocks = False`` (the reference per-instruction interpreter) and
+once with the closure-block fast path — and every observable must
+match: registers, memory, the pc, cycle and instruction counters, and
+the exact sequence of stop reasons.  The streams mix ALU, memory,
+forward branches and faulting divides; separate properties drive the
+same comparison through breakpoints, watchpoints, mid-stream
+interrupts, and tight cycle/instruction budgets (which exercise the
+checked block executor and its limit ordering).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GuestFault
+from repro.iss.breakpoints import WatchKind
+from repro.iss.cpu import StopReason
+from tests.support import make_cpu
+
+_REG = st.integers(min_value=0, max_value=11)
+_WORD = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+_R3_OPS = ("add", "sub", "mul", "and", "or", "xor", "shl", "shr",
+           "sar", "slt", "sltu")
+_BRANCH_OPS = ("beq", "bne", "blt", "bge", "bltu", "bgeu")
+
+# r12 is reserved as the data base pointer; the data area is 64 bytes.
+_DATA_WORDS = 16
+
+
+@st.composite
+def _instruction(draw, index, length):
+    """One assembly line valid at position *index* of *length*."""
+    kind = draw(st.sampled_from(
+        ["r3", "r3", "ri", "li", "mem", "branch", "div", "stack"]))
+    rd, rs1, rs2 = draw(_REG), draw(_REG), draw(_REG)
+    if kind == "r3":
+        op = draw(st.sampled_from(_R3_OPS))
+        return "%s r%d, r%d, r%d" % (op, rd, rs1, rs2)
+    if kind == "ri":
+        op = draw(st.sampled_from(["addi", "andi", "ori", "xori"]))
+        imm = draw(st.integers(min_value=0, max_value=255))
+        return "%s r%d, r%d, %d" % (op, rd, rs1, imm)
+    if kind == "li":
+        if draw(st.booleans()):
+            return "li r%d, %d" % (
+                rd, draw(st.integers(min_value=-500, max_value=500)))
+        return "lui r%d, %d" % (
+            rd, draw(st.integers(min_value=0, max_value=0xFFFF)))
+    if kind == "mem":
+        op = draw(st.sampled_from(["lw", "sw", "lb", "lbu", "sb"]))
+        if op in ("lw", "sw"):
+            offset = 4 * draw(st.integers(min_value=0,
+                                          max_value=_DATA_WORDS - 1))
+        else:
+            offset = draw(st.integers(min_value=0,
+                                      max_value=4 * _DATA_WORDS - 1))
+        return "%s r%d, [r12 + %d]" % (op, rd, offset)
+    if kind == "branch":
+        if index + 1 >= length:
+            return "nop"
+        op = draw(st.sampled_from(_BRANCH_OPS))
+        target = draw(st.integers(min_value=index + 1, max_value=length))
+        return "%s r%d, r%d, L%d" % (op, rd, rs1, target)
+    if kind == "div":
+        op = draw(st.sampled_from(["divu", "remu"]))
+        return "%s r%d, r%d, r%d" % (op, rd, rs1, rs2)
+    return "push r%d\n    pop r%d" % (rd, rs1)
+
+
+@st.composite
+def _program(draw, min_size=1, max_size=24):
+    length = draw(st.integers(min_value=min_size, max_value=max_size))
+    lines = ["    la r12, data"]
+    for index in range(length):
+        lines.append("L%d:" % index)
+        lines.append("    " + draw(_instruction(index, length)))
+    lines.append("L%d:" % length)
+    lines.append("    halt")
+    lines.append("data:")
+    for __ in range(_DATA_WORDS):
+        lines.append("    .word %d" % draw(_WORD))
+    return "\n".join(lines)
+
+
+_SEEDS = st.lists(_WORD, min_size=12, max_size=12)
+_BUDGETS = st.lists(st.integers(min_value=1, max_value=40),
+                    min_size=1, max_size=12)
+
+
+def _drive(cpu, budgets, limit_kind="instructions", before_run=None):
+    """Repeatedly run *cpu* on *budgets*; record every observable stop.
+
+    Returns the outcome trace: one entry per ``run()`` call (stop
+    reason plus the pc it stopped at), with guest faults recorded by
+    message.  The trace and the final architectural state together are
+    what both execution paths must reproduce exactly.
+    """
+    outcomes = []
+    for step, budget in enumerate(budgets * 40):
+        if cpu.halted:
+            break
+        if before_run is not None:
+            before_run(cpu, step)
+        try:
+            if limit_kind == "cycles":
+                reason = cpu.run(max_cycles=budget)
+            else:
+                reason = cpu.run(max_instructions=budget)
+        except GuestFault as fault:
+            outcomes.append(("fault", str(fault), cpu.pc))
+            break
+        outcomes.append((reason.value, cpu.pc))
+        if reason in (StopReason.WFI, StopReason.INTERRUPT):
+            cpu.waiting = False
+            cpu.clear_irq()
+    return outcomes
+
+
+def _state(cpu):
+    return {
+        "regs": list(cpu.regs),
+        "pc": cpu.pc,
+        "cycles": cpu.cycles,
+        "instructions": cpu.instructions,
+        "halted": cpu.halted,
+        "waiting": cpu.waiting,
+        "memory": bytes(cpu.memory.data),
+    }
+
+
+def _compare_paths(source, seeds, budgets, limit_kind="instructions",
+                   configure=None, before_run=None):
+    results = []
+    for use_blocks in (False, True):
+        cpu, prog, __ = make_cpu(source)
+        cpu.use_blocks = use_blocks
+        for index, value in enumerate(seeds):
+            cpu.regs[index] = value
+        if configure is not None:
+            configure(cpu, prog)
+        outcomes = _drive(cpu, budgets, limit_kind, before_run)
+        results.append((outcomes, _state(cpu)))
+    reference, fast = results
+    assert fast[0] == reference[0], "stop sequences diverged"
+    assert fast[1] == reference[1], "final state diverged"
+    return reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(source=_program(), seeds=_SEEDS, budgets=_BUDGETS)
+def test_random_streams_instruction_budgets(source, seeds, budgets):
+    _compare_paths(source, seeds, budgets)
+
+
+@settings(max_examples=40, deadline=None)
+@given(source=_program(), seeds=_SEEDS, budgets=_BUDGETS)
+def test_random_streams_cycle_budgets(source, seeds, budgets):
+    """Cycle budgets hit mid-block limits (the checked executor)."""
+    _compare_paths(source, seeds, budgets, limit_kind="cycles")
+
+
+@settings(max_examples=40, deadline=None)
+@given(source=_program(min_size=3), seeds=_SEEDS, budgets=_BUDGETS,
+       bp_index=st.integers(min_value=0, max_value=200))
+def test_random_streams_with_breakpoint(source, seeds, budgets, bp_index):
+    """A code breakpoint inside the stream stops both paths alike."""
+    def configure(cpu, prog):
+        labels = sorted(name for name in prog.symbols.labels
+                        if name.startswith("L"))
+        target = labels[bp_index % len(labels)]
+        cpu.breakpoints.add_code(prog.symbols.resolve(target))
+
+    _compare_paths(source, seeds, budgets, configure=configure)
+
+
+@settings(max_examples=40, deadline=None)
+@given(source=_program(), seeds=_SEEDS, budgets=_BUDGETS,
+       watch_word=st.integers(min_value=0, max_value=_DATA_WORDS - 1),
+       kind=st.sampled_from([WatchKind.WRITE, WatchKind.READ,
+                             WatchKind.ACCESS]))
+def test_random_streams_with_watchpoint(source, seeds, budgets,
+                                        watch_word, kind):
+    """A data watchpoint fires identically on both paths."""
+    def configure(cpu, prog):
+        base = prog.symbols.resolve("data")
+        cpu.breakpoints.add_watch(base + 4 * watch_word, kind=kind)
+
+    _compare_paths(source, seeds, budgets, configure=configure)
+
+
+@settings(max_examples=40, deadline=None)
+@given(source=_program(), seeds=_SEEDS, budgets=_BUDGETS,
+       irq_step=st.integers(min_value=0, max_value=6))
+def test_random_streams_with_midstream_irq(source, seeds, budgets,
+                                           irq_step):
+    """An IRQ raised between run() calls is taken at the same point."""
+    def configure(cpu, prog):
+        cpu.interrupts_enabled = True
+
+    def before_run(cpu, step):
+        if step == irq_step:
+            cpu.raise_irq(vector=3)
+
+    _compare_paths(source, seeds, budgets, configure=configure,
+                   before_run=before_run)
+
+
+@settings(max_examples=25, deadline=None)
+@given(source=_program(), seeds=_SEEDS)
+def test_single_run_to_completion(source, seeds):
+    """One unbounded run (the pure fast-path case, no budget checks)."""
+    _compare_paths(source, seeds, [10**9])

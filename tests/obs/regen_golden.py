@@ -36,26 +36,35 @@ GOLDEN_PARAMS = dict(
     inter_packet_delay_us=20,
 )
 
+#: The batched variant of the same scenario.  Separate snapshots pin
+#: the ``cosim/quantum_sync`` stream; the quantum-1 files above must
+#: never change when batching code does (lock-step is byte-stable).
+QUANTUM_GOLDEN = 8
 
-def golden_path(scheme):
-    """Where the snapshot for *scheme* lives."""
-    return GOLDEN_DIR / ("%s.json" % scheme)
+
+def golden_path(scheme, quantum=1):
+    """Where the snapshot for *scheme* (at *quantum*) lives."""
+    if quantum == 1:
+        return GOLDEN_DIR / ("%s.json" % scheme)
+    return GOLDEN_DIR / ("%s_q%d.json" % (scheme, quantum))
 
 
-def golden_trace_text(scheme):
+def golden_trace_text(scheme, quantum=1):
     """Run the pinned scenario under *scheme*; canonical JSON lines."""
-    run = run_traced_scenario(scheme, **GOLDEN_PARAMS)
+    run = run_traced_scenario(scheme, sync_quantum=quantum,
+                              **GOLDEN_PARAMS)
     return dump_events(run.tracer.events())
 
 
 def main():
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
     for scheme in COSIM_SCHEMES:
-        text = golden_trace_text(scheme)
-        path = golden_path(scheme)
-        path.write_text(text)
-        print("wrote %s (%d events, %d bytes)"
-              % (path, text.count("\n"), len(text)))
+        for quantum in (1, QUANTUM_GOLDEN):
+            text = golden_trace_text(scheme, quantum)
+            path = golden_path(scheme, quantum)
+            path.write_text(text)
+            print("wrote %s (%d events, %d bytes)"
+                  % (path, text.count("\n"), len(text)))
 
 
 if __name__ == "__main__":

@@ -19,8 +19,8 @@ import pytest
 
 from repro.obs.scenarios import COSIM_SCHEMES
 
-from tests.obs.regen_golden import (GOLDEN_PARAMS, golden_path,
-                                    golden_trace_text)
+from tests.obs.regen_golden import (GOLDEN_PARAMS, QUANTUM_GOLDEN,
+                                    golden_path, golden_trace_text)
 
 REGEN_HINT = ("golden trace drifted; if intentional, regenerate with "
               "`PYTHONPATH=src python tests/obs/regen_golden.py` and "
@@ -59,6 +59,32 @@ class TestGoldenTraces:
             assert "rsp" in categories
         else:
             assert "driver" in categories
+
+
+@pytest.mark.parametrize("scheme", COSIM_SCHEMES)
+class TestQuantumGoldenTraces:
+    """The batched (sync_quantum > 1) variant has its own snapshots.
+
+    The quantum-1 files are covered above and must stay byte-identical
+    whenever batching code changes; these pin the batched event stream
+    — including every ``cosim/quantum_sync`` — just as tightly.
+    """
+
+    def test_replay_is_byte_identical(self, scheme):
+        snapshot = golden_path(scheme, QUANTUM_GOLDEN).read_text()
+        assert golden_trace_text(scheme, QUANTUM_GOLDEN) == snapshot, \
+            REGEN_HINT
+
+    def test_snapshot_contains_quantum_syncs(self, scheme):
+        names = {json.loads(line)["name"]
+                 for line in golden_path(scheme, QUANTUM_GOLDEN)
+                 .read_text().splitlines()}
+        assert "quantum_sync" in names
+
+    def test_lockstep_snapshot_has_no_quantum_syncs(self, scheme):
+        names = {json.loads(line)["name"]
+                 for line in golden_path(scheme).read_text().splitlines()}
+        assert "quantum_sync" not in names
 
 
 def test_golden_params_are_pinned():
