@@ -5,21 +5,72 @@ bench measures it on the paper's own case study: checksum load spread
 over 1, 2 and 4 ISS instances, each co-simulated with the
 Driver-Kernel scheme, under a saturating packet rate.  Throughput
 should scale until the input streams are drained.
+
+The parallel-dispatch benchmarks at the bottom measure the
+``docs/parallel.md`` execution engine on a compute-heavy GDB-Kernel
+variant of the same workload: eight ISS instances iterating the CRC-32
+checksum, dispatched to four forked workers.  Deterministic counters
+are gated against the committed ``benchmarks/baselines/`` record on
+every host; the wall-clock speedup gate needs real hardware
+parallelism and skips on boxes with too few usable cores.
 """
+
+import os
+import pathlib
+import time
 
 import pytest
 
+from repro.obs.bench import compare_reports, load_report
 from repro.router.system import RouterConfig, RouterSystem
 from repro.sysc.simtime import MS, US
 
 SIM_TIME = 2 * MS
 SATURATING_DELAY = 6 * US
 
+BASELINE_DIR = pathlib.Path(__file__).resolve().parent / "baselines"
+
+#: The parallel-speedup workload: compute-dominated so that prefetched
+#: ISS execution — not synchronisation traffic — sets the wall clock.
+#: Eight CPUs iterate the CRC-32 checksum 64x per packet at 1 GHz with
+#: a 32-timestep sync quantum, giving ~32k-cycle prefetch jobs that
+#: amortise the worker round trip by orders of magnitude.
+PARALLEL_WORKLOAD = dict(
+    scheme="gdb-kernel", algorithm="crc32", checksum_rounds=64,
+    num_cpus=8, producer_count=8, max_packets=4,
+    inter_packet_delay=30 * US, sync_quantum=32,
+    cpu_hz=1_000_000_000)
+PARALLEL_SIM_TIME = 400 * US
+PARALLEL_WORKERS = 4
+#: Cores needed before the wall-clock gate means anything: the four
+#: forked ISS workers plus the committing main process.
+MIN_SPEEDUP_CORES = PARALLEL_WORKERS + 1
+
+
+def _usable_cores():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _run_parallel_workload(parallel, workers=PARALLEL_WORKERS):
+    system = RouterSystem(RouterConfig(parallel=parallel, workers=workers,
+                                       **PARALLEL_WORKLOAD))
+    start = time.perf_counter()
+    system.run(PARALLEL_SIM_TIME)
+    wall = time.perf_counter() - start
+    stats = system.stats()
+    parallel_stats = system.parallel_stats(wall)
+    system.close()
+    return wall, stats, parallel_stats, system.metrics.as_dict()
+
 
 def _run(num_cpus, scheme="driver-kernel"):
     system = RouterSystem(RouterConfig(scheme=scheme,
                                        inter_packet_delay=SATURATING_DELAY,
-                                       num_cpus=num_cpus))
+                                       num_cpus=num_cpus,
+                                       parallel=None))
     system.run(SIM_TIME)
     return system
 
@@ -46,3 +97,69 @@ def test_mpsoc_scaling_shape(benchmark, summary):
         forwarded[1], forwarded[2], forwarded[4]))
     assert forwarded[2] > 1.5 * forwarded[1]
     assert forwarded[4] > forwarded[2]
+
+
+def test_parallel_commit_equivalence(benchmark, summary, bench_report):
+    """Process-backend dispatch is engaged AND counter-exact vs serial.
+
+    Runs on every host (one core suffices — only determinism and
+    dispatcher engagement are asserted, not wall clock).  The
+    deterministic counters are additionally gated against the
+    committed ``benchmarks/baselines/BENCH_parallel_mpsoc.json``.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _, serial_stats, _, serial_metrics = _run_parallel_workload(None)
+    wall, stats, pstats, metrics = _run_parallel_workload("process")
+
+    assert stats.corrupt == 0
+    assert stats.forwarded == serial_stats.forwarded > 0
+    assert metrics == serial_metrics
+
+    # The dispatcher must actually be doing the work, not falling back.
+    assert pstats["process_contexts"] == PARALLEL_WORKLOAD["num_cpus"]
+    assert pstats["process_fallbacks"] == 0
+    assert pstats["jobs"] > 100
+    assert pstats["jobs"] > 2 * pstats["serial_fallbacks"]
+
+    flat = {k: v for k, v in metrics.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)}
+    bench_report.record(forwarded=stats.forwarded, **flat)
+    bench_report.config.update(
+        {k: str(v) for k, v in PARALLEL_WORKLOAD.items()})
+    benchmark.extra_info["jobs"] = pstats["jobs"]
+    benchmark.extra_info["serial_fallbacks"] = pstats["serial_fallbacks"]
+    summary("parallel mpsoc: forwarded=%d jobs=%d fallbacks=%d "
+            "util=%.2f" % (stats.forwarded, pstats["jobs"],
+                           pstats["serial_fallbacks"],
+                           pstats["utilization"]))
+
+    baseline_path = BASELINE_DIR / "BENCH_parallel_mpsoc.json"
+    baseline = load_report(str(baseline_path))
+    problems = compare_reports(bench_report.as_dict(), baseline)
+    assert not problems, problems
+    assert flat == {k: v for k, v in baseline["counters"].items()
+                    if k not in ("forwarded",)}, \
+        "parallel workload counters drifted from the committed baseline"
+
+
+@pytest.mark.skipif(_usable_cores() < MIN_SPEEDUP_CORES,
+                    reason="wall-clock speedup gate needs >= %d usable "
+                           "cores (4 forked workers + the committing "
+                           "main process)" % MIN_SPEEDUP_CORES)
+def test_parallel_speedup(benchmark, summary):
+    """>= 2x wall clock from 4 process workers on the 8-CPU workload."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    serial_wall, serial_stats, _, serial_metrics = \
+        _run_parallel_workload(None)
+    parallel_wall, stats, pstats, metrics = _run_parallel_workload("process")
+    speedup = serial_wall / parallel_wall
+    benchmark.extra_info["serial_wall"] = round(serial_wall, 3)
+    benchmark.extra_info["parallel_wall"] = round(parallel_wall, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    summary("parallel speedup: serial=%.2fs process[%d workers]=%.2fs "
+            "-> %.2fx (util=%.2f)" % (serial_wall, PARALLEL_WORKERS,
+                                      parallel_wall, speedup,
+                                      pstats["utilization"]))
+    assert metrics == serial_metrics
+    assert stats.forwarded == serial_stats.forwarded
+    assert speedup >= 2.0

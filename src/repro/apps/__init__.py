@@ -17,12 +17,12 @@ measured difference comes from the co-simulation scheme and the OS.
 """
 
 from repro.apps.sources import (checksum_routine, gdb_app_source,
-                                driver_app_source, CHECKSUM_DEVICE_ID,
-                                DATA_SEMAPHORE_ID)
+                                gdb_blocked_app_source, driver_app_source,
+                                CHECKSUM_DEVICE_ID, DATA_SEMAPHORE_ID)
 from repro.apps.build import (build_gdb_app, build_driver_app, AppImage)
 
 __all__ = [
-    "checksum_routine", "gdb_app_source", "driver_app_source",
-    "CHECKSUM_DEVICE_ID", "DATA_SEMAPHORE_ID", "build_gdb_app",
-    "build_driver_app", "AppImage",
+    "checksum_routine", "gdb_app_source", "gdb_blocked_app_source",
+    "driver_app_source", "CHECKSUM_DEVICE_ID", "DATA_SEMAPHORE_ID",
+    "build_gdb_app", "build_driver_app", "AppImage",
 ]

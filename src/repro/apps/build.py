@@ -2,7 +2,8 @@
 
 from dataclasses import dataclass
 
-from repro.apps.sources import driver_app_source, gdb_app_source
+from repro.apps.sources import (driver_app_source, gdb_app_source,
+                                gdb_blocked_app_source)
 from repro.cosim.pragmas import PragmaMap, build_pragma_map
 from repro.iss.assembler import Program, assemble
 
@@ -21,16 +22,22 @@ class AppImage:
         return self.program.symbols
 
 
-def build_gdb_app(origin=0x1000, algorithm="sum"):
-    """Assemble the bare-metal app and run the pragma filter over it."""
-    source = gdb_app_source(origin, algorithm)
+def build_gdb_app(origin=0x1000, algorithm="sum", rounds=1, blocked=False):
+    """Assemble the bare-metal app and run the pragma filter over it.
+
+    ``blocked=True`` selects the bulk-transfer variant whose packet
+    words arrive through one stacked-pragma breakpoint (one RSP block
+    exchange per packet instead of one stop per word).
+    """
+    source_fn = gdb_blocked_app_source if blocked else gdb_app_source
+    source = source_fn(origin, algorithm, rounds)
     program = assemble(source)
     return AppImage(program, build_pragma_map(program), program.entry,
                     source)
 
 
-def build_driver_app(origin=0x1000, algorithm="sum"):
+def build_driver_app(origin=0x1000, algorithm="sum", rounds=1):
     """Assemble the RTOS/driver app (no pragmas: no breakpoints)."""
-    source = driver_app_source(origin, algorithm)
+    source = driver_app_source(origin, algorithm, rounds)
     program = assemble(source)
     return AppImage(program, PragmaMap([]), program.entry, source)

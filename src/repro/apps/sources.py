@@ -73,6 +73,43 @@ def checksum_routine(algorithm="sum"):
         raise ValueError("unknown checksum algorithm %r" % (algorithm,))
 
 
+def _rounds_prologue(rounds, save_reg):
+    """Set up the checksum-repeat counter (empty at the default 1).
+
+    ``rounds`` > 1 makes the guest recompute the checksum that many
+    times per packet — a compute-heavier variant of the same workload
+    used by the parallel-speedup benchmarks, where guest execution has
+    to dominate the synchronisation traffic.  At the default of 1 no
+    instructions are emitted, so existing images (and the golden
+    traces keyed to their code addresses) are unchanged.  *save_reg*
+    holds the routine input the loop must restore between iterations
+    (the checksum routine clobbers it); r11/r12/r15 are free in both
+    applications.
+    """
+    if rounds <= 1:
+        return ""
+    return ("        li   r15, 0             ; constant zero\n"
+            "        li32 r11, %d            ; checksum rounds\n"
+            "        mov  r12, %s            ; saved routine input\n"
+            "chk_rounds:\n" % (rounds, save_reg))
+
+
+def _rounds_epilogue(rounds, save_reg):
+    """Loop back over the checksum call while rounds remain.
+
+    Restores *save_reg* only on the looping path, so the final
+    iteration leaves the checksum result (which may live in the same
+    register) intact for the publish that follows.
+    """
+    if rounds <= 1:
+        return ""
+    return ("        addi r11, r11, -1\n"
+            "        beq  r11, r15, chk_rounds_done\n"
+            "        mov  %s, r12\n"
+            "        b    chk_rounds\n"
+            "chk_rounds_done:\n" % save_reg)
+
+
 def _gdb_word_reads():
     """The unrolled per-word synchronised reads of the bare-metal app.
 
@@ -90,7 +127,7 @@ def _gdb_word_reads():
     return "\n".join(lines)
 
 
-def gdb_app_source(origin=0x1000, algorithm="sum"):
+def gdb_app_source(origin=0x1000, algorithm="sum", rounds=1):
     """Bare-metal checksum application (GDB-Wrapper / GDB-Kernel)."""
     return """
 ; checksum offload application - bare metal (GDB schemes)
@@ -106,10 +143,10 @@ loop:
         lw   r8, [r10]
 %s
         ; checksum over the packet-word variables (consecutive words)
-        la   r0, pkt_w0
+%s        la   r0, pkt_w0
         mov  r1, r8
         call checksum_words
-        ; Publish the result: the kernel collects the variable at the
+%s        ; Publish the result: the kernel collects the variable at the
         ; breakpoint on the line after the store.
         la   r10, chk_result
         ;#pragma iss_in chk_result
@@ -121,12 +158,68 @@ loop:
 pkt_len:    .word 0
 %s
 chk_result: .word 0
-""" % (origin, _gdb_word_reads(), checksum_routine(algorithm),
+""" % (origin, _gdb_word_reads(),
+       _rounds_prologue(rounds, "r8"), _rounds_epilogue(rounds, "r8"),
+       checksum_routine(algorithm),
        "\n".join("pkt_w%d:     .word 0" % i
                  for i in range(_packet_words())))
 
 
-def driver_app_source(origin=0x1000, algorithm="sum"):
+def gdb_blocked_app_source(origin=0x1000, algorithm="sum", rounds=1):
+    """Bare-metal checksum app with one *blocked* synchronising read.
+
+    Stacks the ``iss_out`` pragmas of the packet length and of every
+    packet word onto the single ``pkt_len`` load: all eight guest
+    variables are contiguous words, so the kernel services the one
+    breakpoint with a single RSP ``M`` block exchange (the bulk
+    transfers of ``docs/parallel.md``) instead of stopping once per
+    word.  The per-word loads of :func:`gdb_app_source` exist purely
+    as synchronisation points, so the blocked variant simply drops
+    them — the checksum routine reads the packet from memory either
+    way.
+    """
+    stacked = "\n".join(
+        "        ;#pragma iss_out %s" % variable
+        for variable in ["pkt_len"] + ["pkt_w%d" % index
+                                       for index in range(_packet_words())])
+    return """
+; checksum offload application - bare metal, blocked transfers
+        .entry main
+        .org 0x%x
+main:
+        li   r9, 0              ; packets processed (debug counter)
+loop:
+        ; Blocked synchronising read: one breakpoint carries the
+        ; bindings of the length word AND every packet word; the
+        ; kernel writes the whole contiguous run in one M exchange
+        ; before the load retires.
+        la   r10, pkt_len
+%s
+        lw   r8, [r10]
+        ; checksum over the packet-word variables (consecutive words)
+%s        la   r0, pkt_w0
+        mov  r1, r8
+        call checksum_words
+%s        ; Publish the result: the kernel collects the variable at the
+        ; breakpoint on the line after the store.
+        la   r10, chk_result
+        ;#pragma iss_in chk_result
+        sw   r0, [r10]
+        addi r9, r9, 1
+        b    loop
+%s
+; --- communication variables (one contiguous run) ------------------
+pkt_len:    .word 0
+%s
+chk_result: .word 0
+""" % (origin, stacked,
+       _rounds_prologue(rounds, "r8"), _rounds_epilogue(rounds, "r8"),
+       checksum_routine(algorithm),
+       "\n".join("pkt_w%d:     .word 0" % i
+                 for i in range(_packet_words())))
+
+
+def driver_app_source(origin=0x1000, algorithm="sum", rounds=1):
     """RTOS checksum application (Driver-Kernel scheme).
 
     Uses the driver API of :mod:`repro.rtos.driver` through SYS traps
@@ -165,10 +258,10 @@ loop:
         la   r1, buf
         li   r2, %d
         sys  SYS_DEV_READ
-        mov  r1, r0             ; word count actually read
+%s        mov  r1, r0             ; word count actually read
         la   r0, buf
         call checksum_words
-        la   r10, result_buf
+%s        la   r10, result_buf
         sw   r0, [r10]
         ; write the result back to the device
         mov  r0, r4
@@ -187,4 +280,5 @@ isr:
 buf:        .space %d
 result_buf: .word 0
 """ % (origin, CHECKSUM_DEVICE_ID, DATA_SEMAPHORE_ID, _packet_words(),
+       _rounds_prologue(rounds, "r0"), _rounds_epilogue(rounds, "r0"),
        checksum_routine(algorithm), 4 * (_packet_words() + 1))

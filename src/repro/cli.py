@@ -171,13 +171,18 @@ def _cmd_bench(args):
 
     reporter = BenchReporter(args.out_dir)
     failures = 0
+    parallel = args.parallel
+    if parallel == "off":
+        parallel = False
     for scheme in _trace_schemes(args.scheme):
         name = "cli_%s" % scheme
         if args.quantum != 1:
             name += "_q%d" % args.quantum
         traced, run = bench_scenario(scheme, sim_us=args.sim_us,
                                      seed=args.seed, name=name,
-                                     sync_quantum=args.quantum)
+                                     sync_quantum=args.quantum,
+                                     parallel=parallel,
+                                     workers=args.workers)
         path = reporter.write(run)
         record = run.as_dict()
         print("wrote %s: wall=%.3fs timesteps=%s events=%s" % (
@@ -278,6 +283,15 @@ def build_parser():
                        help="sync quantum (batched timesteps per ISS "
                             "synchronisation; record names gain a _qN "
                             "suffix when != 1)")
+    bench.add_argument("--parallel", default=None,
+                       choices=["off", "thread", "process"],
+                       help="parallel ISS dispatch backend (default: "
+                            "$REPRO_PARALLEL or off); counters stay "
+                            "identical to serial, wall gains a "
+                            "'parallel' object")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="parallel worker-pool width (default: "
+                            "$REPRO_WORKERS or 2)")
     bench.add_argument("--compare", action="store_true",
                        help="gate counters against committed baselines; "
                             "non-zero exit on regression")

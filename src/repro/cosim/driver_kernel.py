@@ -38,6 +38,7 @@ from repro.cosim.messages import (DATA_PORT, INTERRUPT_PORT, Message,
 from repro.cosim.metrics import CosimMetrics
 from repro.cosim.ports import IssInPort, IssOutPort
 from repro.cosim.reliable import wrap_reliable
+from repro.iss.remote import RemoteWorkerError
 from repro.obs.tracer import NULL_TRACER
 from repro.sysc.hooks import KernelHook
 
@@ -61,6 +62,9 @@ class _RtosContext:
     guest_data_endpoint: object = None
     guest_irq_endpoint: object = None
     reliable: bool = False
+    # Reliable/fault-injected transports draw from seeded RNG streams
+    # whose ordering a parallel prefetch cannot preserve: lock-step.
+    parallel_safe: bool = True
     # Graceful-degradation state.
     quarantined: bool = False
     quarantine_reason: str = None
@@ -82,10 +86,12 @@ class _RtosContext:
 class DriverKernelHook(KernelHook):
     """The scheduler modification of paper Figure 5."""
 
-    def __init__(self, metrics, watchdog_ticks=None, tracer=None):
+    def __init__(self, metrics, watchdog_ticks=None, tracer=None,
+                 dispatcher=None):
         self.metrics = metrics
         self.watchdog_ticks = watchdog_ticks
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.dispatcher = dispatcher
         self.contexts = []
         self._pending_interrupts = []   # (context, vector)
 
@@ -144,6 +150,9 @@ class DriverKernelHook(KernelHook):
         which forces an immediate sync so ISR latency is unchanged.
         """
         self.metrics.sc_timesteps += 1
+        if self.dispatcher is not None:
+            self._advance_parallel(kernel)
+            return
         for context in self.active_contexts():
             if context.finished:
                 continue
@@ -156,16 +165,140 @@ class DriverKernelHook(KernelHook):
             budget = binding.cycles_for_advance(kernel.now)
             if budget <= 0:
                 continue
-            if self.tracer.enabled:
-                self.tracer.emit("cosim", "grant", scope=context.name,
-                                 budget=budget)
-            self.metrics.grants += 1
-            try:
-                self.metrics.iss_cycles += context.rtos.advance(budget)
-            except CosimTransportError as error:
-                self._quarantine(context, "transport: %s" % error)
+            self._lockstep_context(context, budget)
+
+    def _lockstep_context(self, context, budget):
+        """The classic per-timestep RTOS advance."""
+        if self.tracer.enabled:
+            self.tracer.emit("cosim", "grant", scope=context.name,
+                             budget=budget)
+        self.metrics.grants += 1
+        try:
+            consumed = context.rtos.advance(budget)
+        except CosimTransportError as error:
+            self._quarantine(context, "transport: %s" % error)
+            return
+        self.metrics.iss_cycles += consumed
+        self.metrics.bump_context(context.name, iss_cycles=consumed)
+        self._watchdog(context)
+
+    def _parallel_eligible(self, context, lockstep=False):
+        """May *context*'s RTOS advance run on the pool?
+
+        Pending interrupt delivery (and resilience layers, whose RNG
+        draw order is part of determinism) degrade to the serial path —
+        the same conditions under which quantum batching degrades.  At
+        lock-step (quantum 1) the driver-activity term is irrelevant:
+        the serial path advances every timestep regardless, so only the
+        interrupt-delivery sources gate eligibility.
+        """
+        if not context.parallel_safe:
+            return False
+        if lockstep:
+            # irq_inflight is excluded: serial lock-step never reads or
+            # clears it (it informs quantum batching only), so it
+            # latches true after the first interrupt and would disable
+            # parallelism permanently.  Consuming the interrupt message
+            # is per-context work; the live delivery state is visible
+            # through irq_pending / has_deliverable.
+            return not (context.rtos.cpu.irq_pending
+                        or context.rtos.vectors.has_deliverable)
+        return not self._must_sync(context)
+
+    def _advance_parallel(self, kernel):
+        """One classify / prefetch / commit round (see cosim.parallel).
+
+        The RTOS advance is the entire per-context prefetch: it touches
+        only the context's CPU, scheduler and guest-side endpoints
+        (driver messages it sends queue on the kernel-side socket and
+        are drained by the next cycle's ``on_cycle_begin``, exactly as
+        in serial execution).
+        """
+        dispatcher = self.dispatcher
+        plans = []
+        jobs = []
+        for context in self.active_contexts():
+            if context.finished:
                 continue
-            self._watchdog(context)
+            binding = context.binding
+            if binding.quantum > 1:
+                binding.accumulate(kernel.now)
+                if not (binding.due() or self._must_sync(context)):
+                    continue
+                if not self._parallel_eligible(context):
+                    dispatcher.stats.serial_fallbacks += 1
+                    plans.append((context, "serial_sync", None))
+                    continue
+                context._synced_activity = context.activity
+                budget, steps = binding.drain()
+                plans.append((context, "quantum", (budget, steps)))
+                if budget > 0:
+                    jobs.append((id(context),
+                                 self._prefetch_job(context, budget)))
+            else:
+                budget = binding.cycles_for_advance(kernel.now)
+                if budget <= 0:
+                    continue
+                if not self._parallel_eligible(context, lockstep=True):
+                    dispatcher.stats.serial_fallbacks += 1
+                    plans.append((context, "serial_grant", budget))
+                    continue
+                plans.append((context, "grant", budget))
+                jobs.append((id(context),
+                             self._prefetch_job(context, budget)))
+        results = dispatcher.execute(jobs)
+        for context, kind, data in plans:
+            if context.quarantined:
+                continue
+            if kind == "serial_sync":
+                self.sync_context(context)
+            elif kind == "serial_grant":
+                self._lockstep_context(context, data)
+            elif kind == "quantum":
+                budget, steps = data
+                self.metrics.quantum_syncs += 1
+                self.metrics.quantum_steps_batched += steps
+                if self.tracer.enabled:
+                    self.tracer.emit("cosim", "quantum_sync",
+                                     scope=context.name, steps=steps,
+                                     budget=budget)
+                if budget <= 0:
+                    continue
+                self.metrics.grants += 1
+                if self._commit_context(context, results[id(context)]):
+                    context.irq_inflight = False
+                    self._watchdog(context)
+            else:
+                if self.tracer.enabled:
+                    self.tracer.emit("cosim", "grant", scope=context.name,
+                                     budget=data)
+                self.metrics.grants += 1
+                if self._commit_context(context, results[id(context)]):
+                    self._watchdog(context)
+
+    @staticmethod
+    def _prefetch_job(context, budget):
+        return lambda: context.rtos.advance(budget)
+
+    def _commit_context(self, context, outcome):
+        """Apply one prefetched advance; True when it completed."""
+        status, value, buffer = outcome
+        self.tracer.replay(buffer.drain())
+        if status == "error":
+            if isinstance(value, RemoteWorkerError):
+                self.dispatcher.kill_worker(context.rtos.cpu)
+                self._quarantine(context, "worker: %s" % value)
+                return False
+            if isinstance(value, CosimTransportError):
+                self._quarantine(context, "transport: %s" % value)
+                return False
+            raise value
+        self.metrics.iss_cycles += value
+        self.metrics.bump_context(context.name, iss_cycles=value)
+        if self.dispatcher.trace_commits and self.tracer.enabled:
+            self.tracer.emit("cosim", "parallel_commit",
+                             scope=context.name, cycles=value)
+        return True
 
     def _must_sync(self, context):
         """Interrupt delivery is pending: degrade to lock-step.
@@ -193,10 +326,12 @@ class DriverKernelHook(KernelHook):
             return
         self.metrics.grants += 1
         try:
-            self.metrics.iss_cycles += context.rtos.advance(budget)
+            consumed = context.rtos.advance(budget)
         except CosimTransportError as error:
             self._quarantine(context, "transport: %s" % error)
             return
+        self.metrics.iss_cycles += consumed
+        self.metrics.bump_context(context.name, iss_cycles=consumed)
         context.irq_inflight = False
         self._watchdog(context)
 
@@ -280,15 +415,16 @@ class DriverKernelScheme:
     name = "driver-kernel"
 
     def __init__(self, kernel, metrics=None, watchdog_ticks=None,
-                 tracer=None, sync_quantum=1):
+                 tracer=None, sync_quantum=1, dispatcher=None):
         self.kernel = kernel
         self.metrics = metrics if metrics is not None else CosimMetrics()
         self.metrics.scheme = self.name
         # Shares the kernel's tracer unless given a dedicated one.
         self.tracer = tracer if tracer is not None else kernel.tracer
         self.sync_quantum = sync_quantum
+        self.dispatcher = dispatcher
         self.hook = DriverKernelHook(self.metrics, watchdog_ticks,
-                                     self.tracer)
+                                     self.tracer, dispatcher=dispatcher)
         kernel.add_hook(self.hook)
 
     def attach_rtos(self, rtos, ports, cpu_hz, name=None, reliability=None,
@@ -304,8 +440,14 @@ class DriverKernelScheme:
             name=name or rtos.name,
             rtos=rtos,
             binding=ClockBinding(cpu_hz, 1, quantum=self.sync_quantum),
+            parallel_safe=not reliability and faults is None,
         )
         rtos.cpu.attach_tracer(self.tracer)
+        if self.dispatcher is not None and context.parallel_safe:
+            # The process backend declines RTOS CPUs (their syscall
+            # handlers close over master-side state); the attempt just
+            # records the fallback and the context runs on the pool.
+            self.dispatcher.attach_cpu(rtos.cpu)
         context.data_socket = Socket(DATA_PORT, "data:" + context.name)
         context.interrupt_socket = Socket(INTERRUPT_PORT,
                                           "irq:" + context.name)
@@ -361,3 +503,8 @@ class DriverKernelScheme:
         """Every context either ran to completion or was quarantined."""
         return all(context.finished or context.quarantined
                    for context in self.hook.contexts)
+
+    def close(self):
+        """Release parallel resources (pool threads, forked workers)."""
+        if self.dispatcher is not None:
+            self.dispatcher.shutdown()

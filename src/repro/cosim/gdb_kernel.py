@@ -33,6 +33,7 @@ from repro.cosim.faults import FaultyEndpoint
 from repro.cosim.metrics import CosimMetrics
 from repro.cosim.reliable import wrap_reliable
 from repro.cosim.transfer import TargetDriver
+from repro.iss.remote import RemoteWorkerError
 from repro.gdb.client import GdbClient
 from repro.gdb.stub import GdbStub
 from repro.obs.tracer import NULL_TRACER
@@ -52,6 +53,9 @@ class _CpuContext:
     driver: TargetDriver
     quarantined: bool = False
     quarantine_reason: str = None
+    # Reliable/fault-injected transports draw from seeded RNG streams
+    # whose ordering a parallel prefetch cannot preserve: lock-step.
+    parallel_safe: bool = True
     _watch_cycles: int = -1
     _stall_ticks: int = 0
     # A communication stop was serviced since the last quantum sync;
@@ -67,10 +71,12 @@ class _CpuContext:
 class GdbKernelHook(KernelHook):
     """The scheduler modification of paper Figure 3."""
 
-    def __init__(self, metrics, watchdog_ticks=None, tracer=None):
+    def __init__(self, metrics, watchdog_ticks=None, tracer=None,
+                 dispatcher=None):
         self.metrics = metrics
         self.watchdog_ticks = watchdog_ticks
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.dispatcher = dispatcher
         self.contexts = []
 
     def active_contexts(self):
@@ -104,6 +110,9 @@ class GdbKernelHook(KernelHook):
         the window, unless a stop source could fire inside it.
         """
         self.metrics.sc_timesteps += 1
+        if self.dispatcher is not None:
+            self._advance_parallel(kernel)
+            return
         for context in self.active_contexts():
             if context.finished:
                 continue
@@ -119,17 +128,134 @@ class GdbKernelHook(KernelHook):
             budget = binding.cycles_for_advance(kernel.now)
             if budget <= 0:
                 continue
-            if self.tracer.enabled:
-                self.tracer.emit("cosim", "grant", scope=context.name,
-                                 budget=budget)
-            self.metrics.grants += 1
-            try:
-                context.driver.grant(budget)
-                context.driver.drive()
-            except CosimTransportError as error:
-                self._quarantine(context, "transport: %s" % error)
+            self._lockstep_context(context, budget)
+
+    def _lockstep_context(self, context, budget):
+        """The classic per-timestep grant+drive round trip."""
+        if self.tracer.enabled:
+            self.tracer.emit("cosim", "grant", scope=context.name,
+                             budget=budget)
+        self.metrics.grants += 1
+        try:
+            context.driver.grant(budget)
+            context.driver.drive()
+        except CosimTransportError as error:
+            self._quarantine(context, "transport: %s" % error)
+            return
+        self._watchdog(context)
+
+    def _parallel_eligible(self, context):
+        """May *context*'s next execution stretch run on the pool?
+
+        Exactly the conditions under which quantum batching already
+        degrades, plus resilience layers (their RNG draw order is part
+        of determinism): any of them sends the context down the serial
+        path at its commit slot instead.
+        """
+        driver = context.driver
+        return (context.parallel_safe
+                and driver.held_at is None
+                and not driver.needs_attention
+                and not self._must_sync(context))
+
+    def _advance_parallel(self, kernel):
+        """One classify / prefetch / commit round (see cosim.parallel).
+
+        Classification touches only per-context bookkeeping (budget
+        banking, drains, grants) and emits nothing; the prefetch runs
+        eligible contexts' execution stretches concurrently with trace
+        events captured per context; the commit then replays each
+        context in attach order, reproducing the serial event sequence
+        and metric totals exactly.
+        """
+        dispatcher = self.dispatcher
+        plans = []
+        jobs = []
+        for context in self.active_contexts():
+            if context.finished:
                 continue
-            self._watchdog(context)
+            binding = context.binding
+            if binding.quantum > 1:
+                binding.accumulate(kernel.now)
+                runnable_again = (context.attention_serviced
+                                  and context.driver.held_at is None)
+                if not (binding.due() or runnable_again
+                        or self._must_sync(context)):
+                    continue
+                if not self._parallel_eligible(context):
+                    dispatcher.stats.serial_fallbacks += 1
+                    plans.append((context, "serial_sync", None))
+                    continue
+                context.attention_serviced = False
+                budget, steps = binding.drain()
+                plans.append((context, "quantum", (budget, steps)))
+                if budget > 0:
+                    context.driver.grant(budget)
+                    jobs.append((id(context), context.driver.prefetch))
+            else:
+                budget = binding.cycles_for_advance(kernel.now)
+                if budget <= 0:
+                    continue
+                if not self._parallel_eligible(context):
+                    dispatcher.stats.serial_fallbacks += 1
+                    plans.append((context, "serial_grant", budget))
+                    continue
+                plans.append((context, "grant", budget))
+                context.driver.grant(budget)
+                jobs.append((id(context), context.driver.prefetch))
+        results = dispatcher.execute(jobs)
+        for context, kind, data in plans:
+            if context.quarantined:
+                continue
+            if kind == "serial_sync":
+                self.sync_context(context)
+            elif kind == "serial_grant":
+                self._lockstep_context(context, data)
+            elif kind == "quantum":
+                budget, steps = data
+                self.metrics.quantum_syncs += 1
+                self.metrics.quantum_steps_batched += steps
+                if self.tracer.enabled:
+                    self.tracer.emit("cosim", "quantum_sync",
+                                     scope=context.name, steps=steps,
+                                     budget=budget)
+                if budget <= 0:
+                    continue
+                self.metrics.grants += 1
+                self._commit_context(context, results[id(context)])
+            else:
+                if self.tracer.enabled:
+                    self.tracer.emit("cosim", "grant", scope=context.name,
+                                     budget=data)
+                self.metrics.grants += 1
+                self._commit_context(context, results[id(context)])
+
+    def _commit_context(self, context, outcome):
+        """Apply one prefetched context at its deterministic slot."""
+        status, value, buffer = outcome
+        self.tracer.replay(buffer.drain())
+        if status == "error":
+            if isinstance(value, RemoteWorkerError):
+                self.dispatcher.kill_worker(context.cpu)
+                self._quarantine(context, "worker: %s" % value)
+                return
+            if isinstance(value, CosimTransportError):
+                self._quarantine(context, "transport: %s" % value)
+                return
+            raise value
+        consumed = value
+        if consumed:
+            self.metrics.iss_cycles += consumed
+            self.metrics.bump_context(context.name, iss_cycles=consumed)
+        try:
+            context.driver.drive(skip_first_execute=True)
+        except CosimTransportError as error:
+            self._quarantine(context, "transport: %s" % error)
+            return
+        if self.dispatcher.trace_commits and self.tracer.enabled:
+            self.tracer.emit("cosim", "parallel_commit",
+                             scope=context.name, cycles=consumed)
+        self._watchdog(context)
 
     def _must_sync(self, context):
         """A stop source could fire in the window: degrade to lock-step.
@@ -194,7 +320,7 @@ class GdbKernelScheme:
     name = "gdb-kernel"
 
     def __init__(self, kernel, metrics=None, watchdog_ticks=None,
-                 tracer=None, sync_quantum=1):
+                 tracer=None, sync_quantum=1, dispatcher=None):
         self.kernel = kernel
         self.metrics = metrics if metrics is not None else CosimMetrics()
         self.metrics.scheme = self.name
@@ -202,8 +328,9 @@ class GdbKernelScheme:
         # a single Kernel.attach_tracer() call instruments every layer.
         self.tracer = tracer if tracer is not None else kernel.tracer
         self.sync_quantum = sync_quantum
+        self.dispatcher = dispatcher
         self.hook = GdbKernelHook(self.metrics, watchdog_ticks,
-                                  self.tracer)
+                                  self.tracer, dispatcher=dispatcher)
         kernel.add_hook(self.hook)
 
     def attach_cpu(self, cpu, pragma_map, ports, cpu_hz, name=None,
@@ -227,8 +354,11 @@ class GdbKernelScheme:
         context = _CpuContext(
             label, cpu,
             ClockBinding(cpu_hz, 1, quantum=self.sync_quantum),
-            pipe, stub, client, driver)
+            pipe, stub, client, driver,
+            parallel_safe=not reliability and faults is None)
         self.hook.contexts.append(context)
+        if self.dispatcher is not None and context.parallel_safe:
+            self.dispatcher.attach_cpu(cpu)
         return context
 
     def elaborate(self):
@@ -247,6 +377,11 @@ class GdbKernelScheme:
         """Every context either ran to completion or was quarantined."""
         return all(context.finished or context.quarantined
                    for context in self.hook.contexts)
+
+    def close(self):
+        """Release parallel resources (pool threads, forked workers)."""
+        if self.dispatcher is not None:
+            self.dispatcher.shutdown()
 
 
 def _wire_pipe(pipe, reliability, faults, metrics, tracer=None):

@@ -30,6 +30,7 @@ from repro.cosim.metrics import CosimMetrics
 from repro.cosim.transfer import TargetDriver
 from repro.gdb.client import GdbClient
 from repro.gdb.stub import GdbStub
+from repro.iss.remote import RemoteWorkerError
 from repro.obs.tracer import NULL_TRACER
 from repro.sysc.module import Module
 
@@ -44,7 +45,7 @@ class GdbWrapperModule(Module):
     def __init__(self, name, clock, cpu, pragma_map, ports, cpu_hz,
                  metrics, kernel=None, watchdog_ticks=None,
                  reliability=None, faults=None, tracer=None,
-                 sync_quantum=1):
+                 sync_quantum=1, coordinator=None):
         super().__init__(name, kernel)
         self.cpu = cpu
         self.binding = ClockBinding(cpu_hz, 1, quantum=sync_quantum)
@@ -53,6 +54,11 @@ class GdbWrapperModule(Module):
         self.watchdog_ticks = watchdog_ticks
         self.quarantined = False
         self.quarantine_reason = None
+        # The scheme, when a parallel dispatcher coordinates the
+        # wrappers' posedge methods as one classify/prefetch/commit
+        # round (all wrappers fire in the same delta).
+        self.coordinator = coordinator
+        self.parallel_safe = not reliability and faults is None
         self._watch_cycles = -1
         self._stall_ticks = 0
         cpu.attach_tracer(self.tracer)
@@ -87,27 +93,38 @@ class GdbWrapperModule(Module):
         """
         if self.driver.finished or self.quarantined:
             return
+        if self.coordinator is not None:
+            self.coordinator.parallel_cycle()
+            return
         if self.binding.quantum > 1:
             self.metrics.sc_timesteps += 1
             self.binding.accumulate(self.kernel.now)
-            attention = (self.driver.held_at is not None
-                         or self.driver.needs_attention)
-            if attention:
-                # A communication stop is active: retry the transfer
-                # with a cheap local poll+drive — no RSP status round
-                # trip is needed to service it.
-                self.metrics.cheap_polls += 1
-                try:
-                    self.driver.drive()
-                except CosimTransportError as error:
-                    self._quarantine("transport: %s" % error)
-                    return
-            # A serviced stop leaves the guest runnable again: grant
-            # the banked budget now instead of waiting out the quantum.
-            runnable_again = attention and self.driver.held_at is None
-            if self.binding.due() or runnable_again or self._must_sync():
-                self._sync_batch()
+            self._quantum_body()
             return
+        self._lockstep_cycle()
+
+    def _quantum_body(self):
+        """The quantum>1 per-posedge work after budget banking."""
+        attention = (self.driver.held_at is not None
+                     or self.driver.needs_attention)
+        if attention:
+            # A communication stop is active: retry the transfer
+            # with a cheap local poll+drive — no RSP status round
+            # trip is needed to service it.
+            self.metrics.cheap_polls += 1
+            try:
+                self.driver.drive()
+            except CosimTransportError as error:
+                self._quarantine("transport: %s" % error)
+                return
+        # A serviced stop leaves the guest runnable again: grant
+        # the banked budget now instead of waiting out the quantum.
+        runnable_again = attention and self.driver.held_at is None
+        if self.binding.due() or runnable_again or self._must_sync():
+            self._sync_batch()
+
+    def _lockstep_cycle(self):
+        """The full per-posedge round trip of the [14] baseline."""
         try:
             # 1. The per-cycle synchronisation over the RDI — the
             #    overhead that distinguishes this baseline.  The
@@ -170,6 +187,25 @@ class GdbWrapperModule(Module):
             return
         self._watchdog()
 
+    def _prefetch_job(self, budget):
+        """The pool-side half of one synchronisation (see cosim.parallel).
+
+        Reproduces the serial order of per-context work exactly: the
+        RSP status round trip first (its transact events buffer in
+        emission order), then the grant and the execution stretch.
+        Ports, shared metrics and the kernel are never touched — the
+        commit applies those at this wrapper's slot.
+        """
+        def job():
+            status = self.client.query_status()
+            self.client.read_register(16)  # the pc, by register number
+            if status.get("Status") == "exited":
+                return ("exited", 0)
+            if budget > 0:
+                self.driver.grant(budget)
+            return ("ok", self.driver.prefetch())
+        return job
+
     def flush_pending(self):
         """Spend any banked budget at end of run (quantum > 1 only)."""
         if (self.binding.pending_steps
@@ -206,7 +242,7 @@ class GdbWrapperScheme:
     name = "gdb-wrapper"
 
     def __init__(self, kernel, clock, metrics=None, watchdog_ticks=None,
-                 tracer=None, sync_quantum=1):
+                 tracer=None, sync_quantum=1, dispatcher=None):
         self.kernel = kernel
         self.clock = clock
         self.metrics = metrics if metrics is not None else CosimMetrics()
@@ -214,6 +250,8 @@ class GdbWrapperScheme:
         self.tracer = tracer if tracer is not None else kernel.tracer
         self.watchdog_ticks = watchdog_ticks
         self.sync_quantum = sync_quantum
+        self.dispatcher = dispatcher
+        self._round_stamp = None
         self.wrappers = []
 
     def attach_cpu(self, cpu, pragma_map, ports, cpu_hz, name=None,
@@ -224,9 +262,119 @@ class GdbWrapperScheme:
             ports, cpu_hz, self.metrics, self.kernel,
             watchdog_ticks=self.watchdog_ticks, reliability=reliability,
             faults=faults, tracer=self.tracer,
-            sync_quantum=self.sync_quantum)
+            sync_quantum=self.sync_quantum,
+            coordinator=self if self.dispatcher is not None else None)
         self.wrappers.append(wrapper)
+        if self.dispatcher is not None and wrapper.parallel_safe:
+            self.dispatcher.attach_cpu(cpu)
         return wrapper
+
+    def parallel_cycle(self):
+        """One classify / prefetch / commit round over every wrapper.
+
+        All wrapper sc_methods are sensitive to the same clock posedge,
+        so they fire within one delta: the first to run executes the
+        whole round in wrapper-attach order (reproducing the serial
+        method order) and the rest no-op via the delta stamp.
+        """
+        stamp = (self.kernel.timestep_count, self.kernel.delta_count)
+        if stamp == self._round_stamp:
+            return
+        self._round_stamp = stamp
+        dispatcher = self.dispatcher
+        plans = []
+        jobs = []
+        for wrapper in self.wrappers:
+            if wrapper.driver.finished or wrapper.quarantined:
+                continue
+            binding = wrapper.binding
+            if binding.quantum > 1:
+                self.metrics.sc_timesteps += 1
+                binding.accumulate(self.kernel.now)
+                attention = (wrapper.driver.held_at is not None
+                             or wrapper.driver.needs_attention)
+                will_sync = binding.due() or wrapper._must_sync()
+                if attention or (will_sync and
+                                 (wrapper._must_sync()
+                                  or not wrapper.parallel_safe)):
+                    dispatcher.stats.serial_fallbacks += 1
+                    plans.append((wrapper, "serial_quantum", None))
+                    continue
+                if not will_sync:
+                    continue
+                budget, steps = binding.drain()
+                plans.append((wrapper, "batch", (budget, steps)))
+                jobs.append((id(wrapper), wrapper._prefetch_job(budget)))
+            else:
+                if (not wrapper.parallel_safe or wrapper._must_sync()
+                        or wrapper.driver.held_at is not None
+                        or wrapper.driver.needs_attention):
+                    dispatcher.stats.serial_fallbacks += 1
+                    plans.append((wrapper, "serial_cycle", None))
+                    continue
+                budget = binding.cycles_for_advance(self.kernel.now)
+                plans.append((wrapper, "cycle", budget))
+                jobs.append((id(wrapper), wrapper._prefetch_job(budget)))
+        results = dispatcher.execute(jobs)
+        for wrapper, kind, data in plans:
+            if wrapper.quarantined:
+                continue
+            if kind == "serial_quantum":
+                wrapper._quantum_body()
+            elif kind == "serial_cycle":
+                wrapper._lockstep_cycle()
+            elif kind == "batch":
+                budget, steps = data
+                self.metrics.quantum_syncs += 1
+                self.metrics.quantum_steps_batched += steps
+                if self.tracer.enabled:
+                    self.tracer.emit("cosim", "quantum_sync",
+                                     scope=wrapper.name, steps=steps,
+                                     budget=budget)
+                self.metrics.sync_transactions += 2
+                self._commit_wrapper(wrapper, results[id(wrapper)], budget)
+            else:
+                budget = data
+                self.metrics.sync_transactions += 2
+                if self.tracer.enabled:
+                    self.tracer.emit("cosim", "sync_cycle",
+                                     scope=wrapper.name)
+                self._commit_wrapper(wrapper, results[id(wrapper)], budget,
+                                     lockstep=True)
+
+    def _commit_wrapper(self, wrapper, outcome, budget, lockstep=False):
+        """Apply one prefetched wrapper at its deterministic slot."""
+        status, value, buffer = outcome
+        self.tracer.replay(buffer.drain())
+        if status == "error":
+            if isinstance(value, RemoteWorkerError):
+                self.dispatcher.kill_worker(wrapper.cpu)
+                wrapper._quarantine("worker: %s" % value)
+                return
+            if isinstance(value, CosimTransportError):
+                wrapper._quarantine("transport: %s" % value)
+                return
+            raise value
+        state, consumed = value
+        if state == "exited":
+            wrapper.driver.finished = True
+            return
+        if budget > 0:
+            self.metrics.grants += 1
+        if lockstep:
+            self.metrics.sc_timesteps += 1
+        if consumed:
+            self.metrics.iss_cycles += consumed
+            self.metrics.bump_context(wrapper.name, iss_cycles=consumed)
+        try:
+            wrapper.driver.drive(skip_first_execute=True)
+        except CosimTransportError as error:
+            wrapper._quarantine("transport: %s" % error)
+            return
+        if self.dispatcher.trace_commits and self.tracer.enabled:
+            self.tracer.emit("cosim", "parallel_commit",
+                             scope=wrapper.name, cycles=consumed)
+        wrapper._watchdog()
 
     def elaborate(self):
         """Elaborate every wrapper module."""
@@ -241,3 +389,8 @@ class GdbWrapperScheme:
     @property
     def finished(self):
         return all(wrapper.finished for wrapper in self.wrappers)
+
+    def close(self):
+        """Release parallel resources (pool threads, forked workers)."""
+        if self.dispatcher is not None:
+            self.dispatcher.shutdown()

@@ -18,6 +18,8 @@ class CosimMetrics:
     sync_transactions: int = 0      # per-cycle RSP round-trips (wrapper)
     cheap_polls: int = 0            # per-cycle pipe checks (kernel schemes)
     transfer_transactions: int = 0  # RSP m/M/c exchanges at breakpoints
+    transfer_blocks: int = 0        # bulk m/M block exchanges
+    transfer_words: int = 0         # words moved inside those blocks
     breakpoint_hits: int = 0
     messages_sent: int = 0          # Driver-Kernel data messages
     messages_received: int = 0
@@ -35,6 +37,7 @@ class CosimMetrics:
     blocks_compiled: int = 0        # ISS basic blocks compiled
     block_hits: int = 0             # ISS block-cache hits
     block_invalidations: int = 0    # ISS blocks dropped (SMC/bp/flush)
+    per_context: dict = field(default_factory=dict)  # name -> {counter: n}
     extra: dict = field(default_factory=dict)
 
     def as_dict(self):
@@ -44,6 +47,8 @@ class CosimMetrics:
             "sync_transactions": self.sync_transactions,
             "cheap_polls": self.cheap_polls,
             "transfer_transactions": self.transfer_transactions,
+            "transfer_blocks": self.transfer_blocks,
+            "transfer_words": self.transfer_words,
             "breakpoint_hits": self.breakpoint_hits,
             "messages_sent": self.messages_sent,
             "messages_received": self.messages_received,
@@ -61,8 +66,21 @@ class CosimMetrics:
             "blocks_compiled": self.blocks_compiled,
             "block_hits": self.block_hits,
             "block_invalidations": self.block_invalidations,
+            "per_context": {name: dict(counters) for name, counters
+                            in sorted(self.per_context.items())},
             **self.extra,
         }
+
+    def bump_context(self, name, **deltas):
+        """Attribute counter deltas to one named ISS context.
+
+        The flat counters stay authoritative for scheme-wide totals;
+        this keeps an MPSoC-grade per-core breakdown alongside them so
+        fairness of parallel scheduling is observable per context.
+        """
+        bucket = self.per_context.setdefault(name, {})
+        for counter, delta in deltas.items():
+            bucket[counter] = bucket.get(counter, 0) + delta
 
     def record_quarantine(self, context_name, reason):
         """Count a quarantined context and log why it was detached."""
@@ -76,6 +94,7 @@ class CosimMetrics:
 
     _NUMERIC_FIELDS = (
         "sync_transactions", "cheap_polls", "transfer_transactions",
+        "transfer_blocks", "transfer_words",
         "breakpoint_hits", "messages_sent", "messages_received",
         "interrupts_posted", "isr_dispatches", "iss_cycles",
         "sc_timesteps", "grants", "retransmits", "drops_detected",
@@ -96,4 +115,6 @@ class CosimMetrics:
             for name in cls._NUMERIC_FIELDS:
                 setattr(total, name,
                         getattr(total, name) + getattr(bundle, name))
+            for context, counters in bundle.per_context.items():
+                total.bump_context(context, **counters)
         return total

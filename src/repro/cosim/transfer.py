@@ -25,6 +25,26 @@ from repro.gdb.client import StopKind
 from repro.obs.tracer import NULL_TRACER
 
 
+def _binding_runs(bindings):
+    """Split *bindings* into contiguous same-direction runs.
+
+    A run is a maximal stretch of bindings with the same kind whose
+    guest addresses ascend word by word — exactly what one RSP ``m``
+    or ``M`` block exchange can cover.  Singleton runs take the
+    original per-word path so existing pragma layouts keep their exact
+    transaction counts and trace events.
+    """
+    runs = []
+    for binding in bindings:
+        if (runs and runs[-1][-1].kind == binding.kind
+                and binding.variable_address
+                == runs[-1][-1].variable_address + 4):
+            runs[-1].append(binding)
+        else:
+            runs.append([binding])
+    return runs
+
+
 def attempt_transfer(client, pragma_map, ports, breakpoint_address, metrics,
                      tracer=NULL_TRACER):
     """Try to service a breakpoint stop; returns resume-allowed."""
@@ -38,19 +58,43 @@ def attempt_transfer(client, pragma_map, ports, breakpoint_address, metrics,
             port = _port_for(ports, binding.variable)
             if not port.fresh:
                 return False
-    for binding in bindings:
-        port = _port_for(ports, binding.variable)
-        if binding.kind == "iss_in":
-            value = client.read_memory_word(binding.variable_address)
-            port.deliver(value)
+    for run in _binding_runs(bindings):
+        if len(run) == 1:
+            binding = run[0]
+            port = _port_for(ports, binding.variable)
+            if binding.kind == "iss_in":
+                value = client.read_memory_word(binding.variable_address)
+                port.deliver(value)
+            else:
+                client.write_memory_word(binding.variable_address,
+                                         port.collect())
+            metrics.transfer_transactions += 2  # the m/M plus the continue
+            metrics.bump_context(client.name, transfer_transactions=2)
+            if tracer.enabled:
+                tracer.emit("cosim", "transfer", scope=client.name,
+                            kind=binding.kind, variable=binding.variable,
+                            address=breakpoint_address)
         else:
-            client.write_memory_word(binding.variable_address,
-                                     port.collect())
-        metrics.transfer_transactions += 2  # the m/M plus the continue
-        if tracer.enabled:
-            tracer.emit("cosim", "transfer", scope=client.name,
-                        kind=binding.kind, variable=binding.variable,
-                        address=breakpoint_address)
+            base = run[0].variable_address
+            if run[0].kind == "iss_in":
+                values = client.read_memory_block(base, len(run))
+                for binding, value in zip(run, values):
+                    _port_for(ports, binding.variable).deliver(value)
+            else:
+                client.write_memory_block(
+                    base, [_port_for(ports, binding.variable).collect()
+                           for binding in run])
+            # One m/M exchange (plus the continue) moves the whole run.
+            metrics.transfer_transactions += 2
+            metrics.transfer_blocks += 1
+            metrics.transfer_words += len(run)
+            metrics.bump_context(client.name, transfer_transactions=2,
+                                 transfer_blocks=1,
+                                 transfer_words=len(run))
+            if tracer.enabled:
+                tracer.emit("cosim", "transfer_block", scope=client.name,
+                            kind=run[0].kind, first=run[0].variable,
+                            words=len(run), address=breakpoint_address)
     return True
 
 
@@ -87,18 +131,49 @@ class TargetDriver:
         """Award execution budget (called as SystemC time advances)."""
         self.budget_remaining += cycles
 
-    def drive(self):
+    def prefetch(self):
+        """Run the port-free first half of :meth:`drive`; returns cycles.
+
+        This is the only part of a drive that a parallel worker may
+        perform: it touches exclusively per-context state (this
+        target's stub, pipe and CPU) — never SystemC ports, shared
+        metrics or the kernel.  The consumed cycle count is returned so
+        the quantum-boundary commit can apply it to the shared metrics
+        on the main thread, after which :meth:`drive` must be called
+        with ``skip_first_execute=True`` to service any stop exactly as
+        serial execution would have.
+        """
+        if self.finished or self.held_at is not None:
+            return 0
+        self.stub.service_pending()
+        consumed = 0
+        if self.budget_remaining > 0 and self.stub.running:
+            before = self.cpu.cycles
+            self.stub.execute(self.budget_remaining)
+            consumed = self.cpu.cycles - before
+            self.budget_remaining -= consumed
+        return consumed
+
+    def drive(self, skip_first_execute=False):
         """Spend budget and service stops until held, starved or running.
 
         Multiple breakpoint stops are serviced back-to-back within one
         call; only a flow-control hold (an ``iss_out`` port without
         fresh data) or budget exhaustion leaves work pending.
+
+        ``skip_first_execute`` resumes a drive whose first execution
+        stretch already ran via :meth:`prefetch`: the first loop
+        iteration goes straight to stop servicing, so the target is
+        never executed twice for one grant (a second ``cpu.run`` on a
+        waiting CPU would emit a duplicate stop event and break
+        serial/parallel trace equivalence).
         """
         # The ISS process's own event loop: serve requests already on
         # the pipe.  Over a reliable transport this is what picks up
         # retransmitted frames (e.g. a lost continue) and drives the
         # stub side's ACK/retransmit machinery.
         self.stub.service_pending()
+        skip_execute = skip_first_execute
         while not self.finished:
             if self.held_at is not None:
                 if not attempt_transfer(self.client, self.pragma_map,
@@ -107,12 +182,16 @@ class TargetDriver:
                     return
                 self.held_at = None
                 self.client.continue_()
-            if self.budget_remaining > 0 and self.stub.running:
+            if (not skip_execute and self.budget_remaining > 0
+                    and self.stub.running):
                 before = self.cpu.cycles
                 self.stub.execute(self.budget_remaining)
                 consumed = self.cpu.cycles - before
                 self.budget_remaining -= consumed
                 self.metrics.iss_cycles += consumed
+                self.metrics.bump_context(self.client.name,
+                                          iss_cycles=consumed)
+            skip_execute = False
             if not self.client.poll_cheap():
                 return
             event = self.client.poll_stop()
@@ -124,6 +203,7 @@ class TargetDriver:
             if event.kind is not StopKind.BREAKPOINT:
                 continue
             self.metrics.breakpoint_hits += 1
+            self.metrics.bump_context(self.client.name, breakpoint_hits=1)
             if attempt_transfer(self.client, self.pragma_map, self.ports,
                                 event.pc, self.metrics, self.tracer):
                 self.client.continue_()

@@ -223,6 +223,23 @@ class GdbClient:
         """Write a little-endian 32-bit word of guest memory."""
         self.write_memory(address, (value & 0xFFFFFFFF).to_bytes(4, "little"))
 
+    def read_memory_block(self, address, count):
+        """Read *count* contiguous 32-bit words in one ``m`` exchange.
+
+        One round trip regardless of *count* — the bulk-transfer
+        counterpart to :meth:`read_memory_word` that collapses the
+        per-word loop in multi-word port bindings.
+        """
+        data = self.read_memory(address, 4 * count)
+        return [int.from_bytes(data[4 * i:4 * i + 4], "little")
+                for i in range(count)]
+
+    def write_memory_block(self, address, values):
+        """Write contiguous 32-bit words in one ``M`` exchange."""
+        payload = b"".join((value & 0xFFFFFFFF).to_bytes(4, "little")
+                           for value in values)
+        self.write_memory(address, payload)
+
     def set_breakpoint(self, address):
         """Insert a software breakpoint (``Z0``)."""
         self._expect_ok(self.transact("Z0,%x,4" % address), "Z0")

@@ -87,6 +87,7 @@ class Cpu:
         self._resume_skip = None        # bp address we are stepping past
         self._watch_hit = None          # (watchpoint, address, value, is_write)
         self._last_stop = None
+        self._remote = None             # process-backend execution proxy
         self.memory.add_code_listener(self._on_code_store)
         self.breakpoints.on_code_change = self._on_breakpoints_changed
 
@@ -123,6 +124,11 @@ class Cpu:
 
     def flush_decode_cache(self):
         """Must be called after writing code memory from the host."""
+        if self._remote is not None:
+            # The worker owns the live caches; it flushes (and counts
+            # the invalidations) before its next run, exactly when a
+            # serial CPU's flushed cache would next matter.
+            self._remote.pending_flush = True
         self._decode_cache.clear()
         self._decoded_pages.clear()
         if self._block_cache:
@@ -312,6 +318,8 @@ class Cpu:
         ``use_blocks = False``).  Both paths are observationally
         equivalent.
         """
+        if self._remote is not None:
+            return self._remote.run(max_instructions, max_cycles)
         cycle_limit = None if max_cycles is None else self.cycles + max_cycles
         instruction_limit = (None if max_instructions is None
                              else self.instructions + max_instructions)

@@ -6,8 +6,24 @@ an address window — used by tests and by hardware device models that
 expose registers to the guest.
 """
 
+import weakref
+
 from repro.errors import MemoryAccessError
 from repro.iss.isa import WORD_MASK
+
+
+def _release_exported(shm, view):
+    """Finalizer for an exported segment (module-level: must not hold
+    the Memory alive).  ``SharedMemory.__del__`` refuses to close while
+    the exported view exists, so a process that exits without
+    ``close_shared()`` would spray ``BufferError`` tracebacks at
+    interpreter shutdown without this."""
+    view.release()
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
 
 
 class MmioRegion:
@@ -60,6 +76,61 @@ class Memory:
         self.store_count = 0
         self._code_pages = set()        # pages holding decoded code
         self._code_listeners = []       # called with the store address
+        self._shm = None                # SharedMemory backing, when exported
+        self._shm_finalizer = None
+
+    # -- shared-memory backing (process-backend parallel execution) ------------
+
+    @property
+    def shared(self):
+        """True when guest RAM lives in a shared-memory segment."""
+        return self._shm is not None
+
+    def export_shared(self):
+        """Move guest RAM into a ``multiprocessing.shared_memory`` segment.
+
+        After this, :attr:`data` is a writable memoryview over the
+        segment, so a worker process forked afterwards sees every store
+        either side makes — the zero-copy guest RAM the process
+        parallel backend runs on.  All existing access paths
+        (word/byte loads and stores, bulk read/write, snapshot and
+        restore) operate on the view unchanged.  Returns the segment
+        name.
+        """
+        if self._shm is not None:
+            return self._shm.name
+        from multiprocessing import shared_memory
+        shm = shared_memory.SharedMemory(create=True, size=self.size)
+        shm.buf[:self.size] = self.data
+        self._shm = shm
+        # The segment may be page-rounded larger than the guest RAM;
+        # slice so full-view assignments (snapshot restore) keep their
+        # exact-length semantics.
+        self.data = shm.buf[:self.size]
+        self._shm_finalizer = weakref.finalize(
+            self, _release_exported, shm, self.data)
+        return shm.name
+
+    def close_shared(self, unlink=True):
+        """Detach from (and by default destroy) the shared segment.
+
+        Guest RAM contents are copied back into a private bytearray so
+        the Memory stays usable after the parallel backend shuts down.
+        """
+        if self._shm is None:
+            return
+        if self._shm_finalizer is not None:
+            self._shm_finalizer.detach()
+            self._shm_finalizer = None
+        shm, self._shm = self._shm, None
+        view, self.data = self.data, bytearray(shm.buf[:self.size])
+        view.release()   # shm.close() refuses while exports are live
+        shm.close()
+        if unlink:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
 
     # -- code-page tracking (decode/block cache invalidation) ------------------
 

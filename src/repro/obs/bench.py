@@ -40,6 +40,9 @@ class BenchRun:
     counters: dict = field(default_factory=dict)
     config: dict = field(default_factory=dict)
     wall_seconds: float = 0.0
+    # Extra host-dependent entries merged into the ``wall`` object
+    # (e.g. parallel-dispatcher utilization and stall counters).
+    wall_extra: dict = field(default_factory=dict)
     _start: float = None
 
     def start(self):
@@ -62,6 +65,7 @@ class BenchRun:
         """Merge a :class:`~repro.cosim.metrics.CosimMetrics` bundle."""
         counters = metrics.as_dict()
         counters.pop("quarantine_log", None)
+        counters.pop("per_context", None)  # nested; repro-bench/1 is flat
         scheme = counters.pop("scheme", "")
         if scheme:
             self.config.setdefault("scheme", scheme)
@@ -78,6 +82,7 @@ class BenchRun:
             if timesteps:
                 wall["timesteps_per_sec"] = round(
                     timesteps / self.wall_seconds, 1)
+        wall.update(self.wall_extra)
         return {
             "schema": SCHEMA,
             "name": self.name,

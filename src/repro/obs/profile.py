@@ -30,6 +30,7 @@ class SchemeProfile:
         """Profile a finished run from its metrics (and tracer)."""
         counters = metrics.as_dict()
         counters.pop("quarantine_log", None)
+        counters.pop("per_context", None)  # nested; not a rate source
         timesteps = counters.get("sc_timesteps") or 0
         rates = {}
         for name in RATE_COUNTERS:

@@ -33,17 +33,29 @@ def run_traced_scenario(scheme, sim_us=120, seed=7, max_packets=2,
                         producer_count=2, inter_packet_delay_us=20,
                         reliability=None, fault_plan=None,
                         watchdog_ticks=None, tracer=None, capacity=200_000,
-                        sync_quantum=1):
+                        sync_quantum=1, num_cpus=None, parallel=None,
+                        workers=None):
     """Run the quickstart-scale router scenario under *scheme*, traced.
 
     Everything is seeded and simulated-time driven, so two calls with
     the same arguments produce byte-identical traces (the determinism
-    tests rely on this).  Returns a :class:`TracedRun`.  At
-    ``sync_quantum`` > 1 the scheme batches ISS synchronisations (see
-    ``docs/performance.md``); the default is exact lock-step.
+    tests rely on this) — including under the parallel dispatcher,
+    whose quantum-boundary commit keeps traces and metrics identical to
+    serial.  Returns a :class:`TracedRun`.  At ``sync_quantum`` > 1 the
+    scheme batches ISS synchronisations (see ``docs/performance.md``);
+    the default is exact lock-step.  *parallel*/*workers* of ``None``
+    defer to the ``REPRO_PARALLEL``/``REPRO_WORKERS`` environment
+    (serial when unset); pass ``False`` to force serial.
     """
     if tracer is None:
         tracer = Tracer(capacity=capacity)
+    extra = {}
+    if num_cpus is not None:
+        extra["num_cpus"] = num_cpus
+    if parallel is not None:
+        extra["parallel"] = parallel or None
+    if workers is not None:
+        extra["workers"] = workers
     config = RouterConfig(
         scheme=scheme,
         seed=seed,
@@ -55,6 +67,7 @@ def run_traced_scenario(scheme, sim_us=120, seed=7, max_packets=2,
         watchdog_ticks=watchdog_ticks,
         tracer=tracer,
         sync_quantum=sync_quantum,
+        **extra,
     )
     system = build_system(config)
     system.run(sim_us * US)
@@ -86,4 +99,11 @@ def bench_scenario(scheme, sim_us=120, seed=7, name=None, **overrides):
         iss_instructions=sum(cpu.instructions
                              for cpu in traced.system.cpus),
     )
+    # Host-dependent dispatcher figures (pool utilization, commit
+    # stalls) belong to the wall object, never to the deterministic
+    # counters the regression gate compares.
+    parallel_stats = traced.system.parallel_stats(run.wall_seconds)
+    if parallel_stats is not None:
+        run.wall_extra["parallel"] = parallel_stats
+    traced.system.close()
     return traced, run

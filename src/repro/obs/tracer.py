@@ -24,6 +24,7 @@ timeline (:meth:`Tracer.timeline`).
 """
 
 import json
+import threading
 from collections import Counter, deque
 
 
@@ -87,6 +88,37 @@ def dump_events(events):
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+class TraceBuffer:
+    """A deferred-event sink for parallel prefetch phases.
+
+    Emissions from a pool worker must not touch the shared ring (their
+    interleaving would depend on host scheduling), so the dispatcher
+    redirects the worker's thread into one of these.  Only the
+    deterministic payload is captured — the sequence number and
+    simulated-time fields are assigned when the buffer is
+    :meth:`replayed <Tracer.replay>` into the main tracer at the
+    quantum-boundary commit, in context-attach order.
+    """
+
+    __slots__ = ("enabled", "pending")
+
+    def __init__(self):
+        self.enabled = True
+        self.pending = []
+
+    def __len__(self):
+        return len(self.pending)
+
+    def emit(self, category, name, scope="", **args):
+        """Record one deferred event payload."""
+        self.pending.append((category, name, scope, args))
+
+    def drain(self):
+        """Hand over the buffered payloads and clear the buffer."""
+        pending, self.pending = self.pending, []
+        return pending
+
+
 class Tracer:
     """Ring-buffered structured-event collector.
 
@@ -102,6 +134,7 @@ class Tracer:
         self._events = deque(maxlen=capacity if capacity else 1)
         self._seq = 0
         self._kernel = None
+        self._redirects = threading.local()
         self.dropped = 0
 
     def __repr__(self):
@@ -125,6 +158,10 @@ class Tracer:
         """
         if not self.enabled:
             return
+        buffer = getattr(self._redirects, "buffer", None)
+        if buffer is not None:
+            buffer.pending.append((category, name, scope, args))
+            return
         kernel = self._kernel
         if kernel is not None:
             timestep, delta, now = (kernel.timestep_count,
@@ -136,6 +173,29 @@ class Tracer:
         self._events.append(TraceEvent(self._seq, timestep, delta, now,
                                        category, name, scope, args))
         self._seq += 1
+
+    # -- parallel-prefetch redirect ------------------------------------------
+
+    def redirect_current_thread(self, buffer):
+        """Divert this thread's emissions into *buffer* (a TraceBuffer).
+
+        While a redirect is active, :meth:`emit` captures only the
+        deterministic payload; sequence numbers and simulated-time
+        fields are assigned later by :meth:`replay`.  Pass ``None`` to
+        restore direct emission.
+        """
+        self._redirects.buffer = buffer
+
+    def replay(self, payloads, scope=None):
+        """Re-emit buffered ``(category, name, scope, args)`` payloads.
+
+        Called at the quantum-boundary commit, on the main thread, in
+        context-attach order — so the assigned sequence numbers and
+        kernel counters match what serial execution would have
+        produced at the same point.
+        """
+        for category, name, event_scope, args in payloads:
+            self.emit(category, name, scope=event_scope, **args)
 
     # -- inspection ----------------------------------------------------------
 

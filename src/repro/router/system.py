@@ -6,6 +6,7 @@ co-simulation schemes (or an ideal local engine as the control), and
 exposes the statistics the paper's evaluation reports.
 """
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -15,6 +16,7 @@ from repro.cosim.driver_kernel import DriverKernelScheme
 from repro.cosim.gdb_kernel import GdbKernelScheme
 from repro.cosim.gdb_wrapper import GdbWrapperScheme
 from repro.cosim.metrics import CosimMetrics
+from repro.cosim.parallel import make_dispatcher
 from repro.errors import CosimError
 from repro.iss.cpu import Cpu
 from repro.iss.loader import load_program
@@ -32,6 +34,26 @@ from repro.sysc.kernel import Kernel
 from repro.sysc.simtime import US
 
 SCHEMES = ("local", "gdb-wrapper", "gdb-kernel", "driver-kernel")
+
+#: Environment overrides for the parallel execution defaults, so an
+#: unmodified test suite can be swept across dispatcher configurations
+#: (the CI parallel matrix leg sets these).
+PARALLEL_ENV = "REPRO_PARALLEL"
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def _env_parallel():
+    value = os.environ.get(PARALLEL_ENV, "").strip().lower()
+    if value in ("", "0", "off", "false", "none"):
+        return None
+    if value in ("1", "on", "true", "thread"):
+        return "thread"
+    return value    # "process", or rejected later by ParallelConfig
+
+
+def _env_workers():
+    value = os.environ.get(WORKERS_ENV, "").strip()
+    return int(value) if value else 2
 
 
 @dataclass
@@ -56,6 +78,16 @@ class RouterConfig:
     producer_count: Optional[int] = None  # defaults to num_ports
     num_cpus: int = 1                     # checksum CPUs (MPSoC config)
     algorithm: str = "sum"                # "sum" (paper) or "crc32"
+    # Guest recomputes each packet checksum this many times — the
+    # result is unchanged (same buffer each round) but guest compute
+    # scales linearly.  The parallel-speedup benchmarks use this to
+    # make ISS execution dominate synchronisation traffic.
+    checksum_rounds: int = 1
+    # GDB schemes only: use the blocked guest app whose packet words
+    # all bind to one stacked-pragma breakpoint, so each packet moves
+    # in a single RSP block exchange (docs/parallel.md bulk transfers)
+    # instead of one stop per word.
+    blocked_transfers: bool = False
     burst: int = 1                        # producer burstiness
     # Transport resilience (docs/resilience.md): reliable framing over
     # the co-simulation links, an injected link-fault plan underneath
@@ -67,6 +99,17 @@ class RouterConfig:
     # this many timesteps of cycle budget per kernel synchronisation
     # when no stop source can fire in the window.  1 = lock-step.
     sync_quantum: int = 1
+    # Parallel execution (docs/parallel.md): dispatch the contexts'
+    # cycle budgets to a worker pool each quantum, committing in
+    # deterministic attach order.  None/False = serial; "thread" or
+    # True = pool threads; "process" = forked per-ISS workers with
+    # shared-memory guest RAM.  Defaults honor REPRO_PARALLEL /
+    # REPRO_WORKERS so an unmodified suite can be swept.
+    parallel: Optional[object] = field(default_factory=_env_parallel)
+    workers: int = field(default_factory=_env_workers)
+    # Emit opt-in cosim/parallel_commit trace events (these add events
+    # relative to a serial run, so they default off).
+    parallel_trace_commits: bool = False
     # Observability (docs/observability.md): an obs.Tracer attached to
     # the kernel before the scheme is wired, so every layer shares it.
     tracer: Optional[object] = None
@@ -103,6 +146,9 @@ class RouterSystem:
             self.kernel.attach_tracer(config.tracer)
         self.clock = Clock(config.clock_period, "clk")
         self.metrics = CosimMetrics()
+        self.dispatcher = make_dispatcher(
+            config.parallel, config.workers, tracer=self.kernel.tracer,
+            trace_commits=config.parallel_trace_commits)
         self.cpus = []
         self.rtoses = []
         self.scheme = None
@@ -175,16 +221,20 @@ class RouterSystem:
 
     def _wire_gdb(self, scheme_name):
         config = self.config
-        self.app = build_gdb_app(config.app_origin, config.algorithm)
+        self.app = build_gdb_app(config.app_origin, config.algorithm,
+                                 config.checksum_rounds,
+                                 blocked=config.blocked_transfers)
         if scheme_name == "gdb-kernel":
             self.scheme = GdbKernelScheme(self.kernel, self.metrics,
                                           config.watchdog_ticks,
-                                          sync_quantum=config.sync_quantum)
+                                          sync_quantum=config.sync_quantum,
+                                          dispatcher=self.dispatcher)
         else:
             self.scheme = GdbWrapperScheme(self.kernel, self.clock,
                                            self.metrics,
                                            config.watchdog_ticks,
-                                           sync_quantum=config.sync_quantum)
+                                           sync_quantum=config.sync_quantum,
+                                           dispatcher=self.dispatcher)
         for index, engine in enumerate(self.engines):
             cpu = Cpu(name="cpu%d" % index)
             load_program(cpu, self.app.program,
@@ -199,10 +249,12 @@ class RouterSystem:
 
     def _wire_driver(self):
         config = self.config
-        self.app = build_driver_app(config.app_origin, config.algorithm)
+        self.app = build_driver_app(config.app_origin, config.algorithm,
+                                    config.checksum_rounds)
         self.scheme = DriverKernelScheme(self.kernel, self.metrics,
                                          config.watchdog_ticks,
-                                         sync_quantum=config.sync_quantum)
+                                         sync_quantum=config.sync_quantum,
+                                         dispatcher=self.dispatcher)
         self.drivers = []
         for index, engine in enumerate(self.engines):
             cpu = Cpu(name="cpu%d" % index)
@@ -244,6 +296,28 @@ class RouterSystem:
             # so a run boundary never strands guest execution.
             self.scheme.flush_pending()
         return result
+
+    def close(self):
+        """Release parallel execution resources (idempotent).
+
+        Shuts down the dispatcher pool and detaches any forked ISS
+        workers, syncing their final state back and destroying the
+        shared-memory guest RAM segments.  Serial systems no-op.
+        """
+        if self.dispatcher is not None:
+            self.dispatcher.shutdown()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def parallel_stats(self, wall_seconds=None):
+        """Dispatcher pool/worker stats (None when running serial)."""
+        if self.dispatcher is None:
+            return None
+        return self.dispatcher.stats.as_dict(wall_seconds)
 
     def stats(self):
         """Collect the evaluation statistics of the run so far."""

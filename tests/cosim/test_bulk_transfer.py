@@ -1,0 +1,88 @@
+"""Bulk RSP block transfers (docs/parallel.md).
+
+Contiguous same-direction pragma bindings at one breakpoint move in a
+single ``m``/``M`` block exchange instead of one word transfer each.
+The blocked guest application (``gdb_blocked_app_source``) binds the
+packet length and every packet word to one stacked-pragma breakpoint,
+which must cut ``transfer_transactions`` by >= 4x on the case study.
+"""
+
+import pytest
+
+from repro.cosim.transfer import _binding_runs
+from repro.router.packet import PACKET_WORDS
+from repro.router.system import RouterConfig, RouterSystem
+from repro.sysc.simtime import US
+
+
+class _FakeBinding:
+    def __init__(self, kind, address):
+        self.kind = kind
+        self.variable_address = address
+
+
+def _runs(*specs):
+    return [[(b.kind, b.variable_address) for b in run]
+            for run in _binding_runs([_FakeBinding(k, a) for k, a in specs])]
+
+
+class TestBindingRuns:
+    def test_singletons_stay_separate(self):
+        assert _runs(("iss_out", 0x100), ("iss_out", 0x200)) == \
+            [[("iss_out", 0x100)], [("iss_out", 0x200)]]
+
+    def test_contiguous_same_kind_merge(self):
+        assert _runs(("iss_out", 0x100), ("iss_out", 0x104),
+                     ("iss_out", 0x108)) == \
+            [[("iss_out", 0x100), ("iss_out", 0x104), ("iss_out", 0x108)]]
+
+    def test_direction_change_splits(self):
+        assert _runs(("iss_out", 0x100), ("iss_in", 0x104)) == \
+            [[("iss_out", 0x100)], [("iss_in", 0x104)]]
+
+    def test_gap_splits(self):
+        assert _runs(("iss_out", 0x100), ("iss_out", 0x10c)) == \
+            [[("iss_out", 0x100)], [("iss_out", 0x10c)]]
+
+    def test_descending_addresses_split(self):
+        assert _runs(("iss_out", 0x104), ("iss_out", 0x100)) == \
+            [[("iss_out", 0x104)], [("iss_out", 0x100)]]
+
+
+def _router_run(blocked, scheme):
+    system = RouterSystem(RouterConfig(
+        scheme=scheme, algorithm="crc32", blocked_transfers=blocked,
+        inter_packet_delay=20 * US, max_packets=3, producer_count=2,
+        parallel=None))
+    system.run(500 * US)
+    return system
+
+
+@pytest.mark.parametrize("scheme", ["gdb-kernel", "gdb-wrapper"])
+def test_blocked_app_cuts_transactions_4x(scheme):
+    standard = _router_run(False, scheme)
+    blocked = _router_run(True, scheme)
+
+    std_stats, blk_stats = standard.stats(), blocked.stats()
+    assert blk_stats.corrupt == 0
+    assert blk_stats.forwarded == std_stats.forwarded > 0
+
+    std_tx = standard.metrics.transfer_transactions
+    blk_tx = blocked.metrics.transfer_transactions
+    assert std_tx >= 4 * blk_tx, \
+        "expected >= 4x fewer transfer transactions, got %d -> %d" % (
+            std_tx, blk_tx)
+
+    # Every packet's words (plus the length) travel as one block.
+    packets = blk_stats.forwarded
+    assert blocked.metrics.transfer_blocks == packets
+    assert blocked.metrics.transfer_words == packets * (PACKET_WORDS + 1)
+    assert standard.metrics.transfer_blocks == 0
+
+
+def test_blocked_app_checksums_verify_end_to_end():
+    system = _router_run(True, "gdb-kernel")
+    stats = system.stats()
+    assert stats.corrupt == 0
+    assert stats.forwarded > 0
+    assert stats.received == stats.forwarded

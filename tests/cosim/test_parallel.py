@@ -1,0 +1,205 @@
+"""Unit tests of the parallel execution engine (cosim.parallel).
+
+Covers the dispatcher mechanics — config validation, the inline and
+pooled execute paths, trace-buffer capture, stats — and the scheme
+integration seams: serial degradation of ineligible contexts, and
+worker-failure quarantine through the PR-1 machinery.
+"""
+
+import pytest
+
+from repro.cosim.parallel import (BACKENDS, ParallelConfig,
+                                  ParallelDispatcher, ParallelStats,
+                                  make_dispatcher)
+from repro.errors import CosimError, CosimTransportError
+from repro.iss.remote import RemoteWorkerError
+from repro.obs.tracer import Tracer
+from repro.router.system import RouterConfig, RouterSystem
+from repro.sysc.simtime import US
+
+
+class TestConfig:
+    def test_backends(self):
+        assert BACKENDS == ("thread", "process")
+        for backend in BACKENDS:
+            assert ParallelConfig(backend=backend).backend == backend
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(CosimError):
+            ParallelConfig(backend="gpu")
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(CosimError):
+            ParallelConfig(workers=0)
+
+    def test_config_and_overrides_exclusive(self):
+        with pytest.raises(CosimError):
+            ParallelDispatcher(ParallelConfig(), workers=3)
+
+
+class TestMakeDispatcher:
+    def test_falsy_is_serial(self):
+        assert make_dispatcher(None, 2) is None
+        assert make_dispatcher(False, 2) is None
+
+    def test_true_means_thread(self):
+        dispatcher = make_dispatcher(True, 3)
+        assert dispatcher.config.backend == "thread"
+        assert dispatcher.config.workers == 3
+        dispatcher.shutdown()
+
+    def test_backend_name_passes_through(self):
+        dispatcher = make_dispatcher("process", 2)
+        assert dispatcher.config.backend == "process"
+        dispatcher.shutdown()
+
+
+class TestStats:
+    def test_utilization_bounds(self):
+        stats = ParallelStats(workers=2, busy_seconds=1.0)
+        assert stats.utilization(1.0) == 0.5
+        assert stats.utilization(0.0) == 0.0
+        assert ParallelStats(workers=0).utilization(1.0) == 0.0
+        assert ParallelStats(workers=1,
+                             busy_seconds=9.0).utilization(1.0) == 1.0
+
+    def test_as_dict_shape(self):
+        data = ParallelStats(backend="thread", workers=2).as_dict(2.0)
+        assert data["backend"] == "thread"
+        assert data["utilization"] == 0.0
+        assert "utilization" not in ParallelStats().as_dict()
+
+
+class TestExecute:
+    def test_empty_jobs(self):
+        dispatcher = ParallelDispatcher(workers=2)
+        assert dispatcher.execute([]) == {}
+        assert dispatcher.stats.rounds == 0
+        dispatcher.shutdown()
+
+    def test_single_job_runs_inline(self):
+        dispatcher = ParallelDispatcher(workers=4)
+        results = dispatcher.execute([("a", lambda: 41 + 1)])
+        assert results["a"][:2] == ("ok", 42)
+        assert dispatcher._pool is None     # never spawned a thread
+        assert dispatcher.stats.jobs == 1
+        dispatcher.shutdown()
+
+    def test_one_worker_runs_inline(self):
+        dispatcher = ParallelDispatcher(workers=1)
+        results = dispatcher.execute([("a", lambda: 1), ("b", lambda: 2)])
+        assert results["a"][1] == 1 and results["b"][1] == 2
+        assert dispatcher._pool is None
+        dispatcher.shutdown()
+
+    def test_pooled_jobs_and_stats(self):
+        dispatcher = ParallelDispatcher(workers=2)
+        results = dispatcher.execute([(k, (lambda k=k: k * 2))
+                                      for k in (1, 2, 3)])
+        assert {k: v[1] for k, v in results.items()} == {1: 2, 2: 4, 3: 6}
+        assert dispatcher.stats.rounds == 1
+        assert dispatcher.stats.jobs == 3
+        assert dispatcher.stats.busy_seconds >= 0.0
+        dispatcher.shutdown()
+
+    def test_exception_is_captured_not_raised(self):
+        dispatcher = ParallelDispatcher(workers=2)
+
+        def boom():
+            raise ValueError("nope")
+
+        results = dispatcher.execute([("a", boom), ("b", lambda: "ok")])
+        status, value, _ = results["a"]
+        assert status == "error" and isinstance(value, ValueError)
+        assert results["b"][:2] == ("ok", "ok")
+        dispatcher.shutdown()
+
+    def test_trace_events_buffered_then_replayed(self):
+        tracer = Tracer()
+        dispatcher = ParallelDispatcher(workers=2, tracer=tracer)
+
+        def job(tag):
+            tracer.emit("test", "inside", scope=tag)
+            return tag
+
+        results = dispatcher.execute([(t, (lambda t=t: job(t)))
+                                      for t in ("x", "y")])
+        # Nothing reached the main tracer during the prefetch...
+        assert len(tracer) == 0
+        # ...and replaying the buffers in key order fixes the sequence.
+        for tag in ("x", "y"):
+            tracer.replay(results[tag][2].drain())
+        events = list(tracer.events())
+        assert [e.scope for e in events] == ["x", "y"]
+        dispatcher.shutdown()
+
+    def test_shutdown_idempotent(self):
+        dispatcher = ParallelDispatcher(workers=2)
+        dispatcher.execute([("a", lambda: 1), ("b", lambda: 2)])
+        dispatcher.shutdown()
+        dispatcher.shutdown()
+
+
+def _system(scheme="gdb-kernel", **overrides):
+    config = dict(scheme=scheme, inter_packet_delay=20 * US,
+                  max_packets=2, producer_count=2, parallel="thread",
+                  workers=2)
+    config.update(overrides)
+    return RouterSystem(RouterConfig(**config))
+
+
+class TestSchemeDegradation:
+    def test_reliability_degrades_to_serial(self):
+        """Resilience layers are never prefetched: their RNG draw order
+        is part of the determinism contract."""
+        system = _system(reliability=True, sync_quantum=4)
+        system.run(200 * US)
+        stats = system.dispatcher.stats
+        assert stats.jobs == 0
+        assert stats.serial_fallbacks > 0
+        system.close()
+
+    def test_plain_run_parallelizes(self):
+        system = _system(scheme="driver-kernel", sync_quantum=4)
+        system.run(200 * US)
+        assert system.dispatcher.stats.jobs > 0
+        system.close()
+
+
+class TestWorkerQuarantine:
+    def _wedge(self, error):
+        system = _system(sync_quantum=4, num_cpus=2)
+        context = system.scheme.hook.contexts[0]
+
+        def bad_prefetch():
+            raise error
+
+        context.driver.prefetch = bad_prefetch
+        system.run(200 * US)
+        return system, context
+
+    def test_remote_worker_error_quarantines(self):
+        system, context = self._wedge(RemoteWorkerError("worker wedged"))
+        assert context.quarantined
+        assert context.quarantine_reason.startswith("worker:")
+        assert system.metrics.contexts_quarantined == 1
+        # The healthy sibling context carried the simulation.
+        assert not system.scheme.hook.contexts[1].quarantined
+        system.close()
+
+    def test_transport_error_quarantines(self):
+        system, context = self._wedge(CosimTransportError("link down"))
+        assert context.quarantined
+        assert context.quarantine_reason.startswith("transport:")
+        system.close()
+
+    def test_other_errors_propagate(self):
+        with pytest.raises(ZeroDivisionError):
+            self._wedge(ZeroDivisionError("bug"))
+
+    def test_kill_worker_without_remote_is_noop(self):
+        dispatcher = ParallelDispatcher(workers=2)
+        cpu = object.__new__(type("C", (), {}))
+        dispatcher.kill_worker(cpu)
+        assert dispatcher.stats.workers_killed == 0
+        dispatcher.shutdown()

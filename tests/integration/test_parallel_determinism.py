@@ -1,0 +1,84 @@
+"""Serial/parallel equivalence property tests (hypothesis).
+
+The parallel engine's core contract (docs/parallel.md): at the same
+sync quantum, a parallel run produces the *byte-identical* trace and
+:class:`CosimMetrics` of a serial run — across schemes, MPSoC widths,
+quanta and fault plans.  Fault-injected contexts degrade to the serial
+path (their RNG draw order is part of determinism), so equivalence
+must hold there too, just with zero prefetched jobs for those
+contexts.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cosim.faults import FaultPlan
+from repro.obs.scenarios import COSIM_SCHEMES, run_traced_scenario
+from repro.obs.tracer import dump_events
+
+_SETTINGS = dict(max_examples=5, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+def _outcome(scheme, seed, num_cpus, quantum, parallel, workers=2,
+             fault_plan=None, reliability=None):
+    run = run_traced_scenario(
+        scheme, sim_us=60, seed=seed, max_packets=1, producer_count=2,
+        sync_quantum=quantum, num_cpus=num_cpus, parallel=parallel,
+        workers=workers, fault_plan=fault_plan, reliability=reliability)
+    trace = dump_events(run.tracer.events())
+    metrics = run.system.metrics.as_dict()
+    stats = (run.stats.generated, run.stats.forwarded,
+             run.stats.received, run.stats.corrupt)
+    run.system.close()
+    return trace, metrics, stats
+
+
+@given(scheme=st.sampled_from(COSIM_SCHEMES),
+       seed=st.integers(min_value=0, max_value=2 ** 16),
+       num_cpus=st.sampled_from([1, 2, 3]),
+       quantum=st.sampled_from([1, 4, 8]))
+@settings(**_SETTINGS)
+def test_parallel_matches_serial(scheme, seed, num_cpus, quantum):
+    serial = _outcome(scheme, seed, num_cpus, quantum, parallel=False)
+    parallel = _outcome(scheme, seed, num_cpus, quantum, parallel="thread")
+    assert parallel == serial
+
+
+@given(scheme=st.sampled_from(COSIM_SCHEMES),
+       seed=st.integers(min_value=0, max_value=2 ** 16),
+       quantum=st.sampled_from([1, 8]),
+       fault_seed=st.integers(min_value=0, max_value=2 ** 16))
+@settings(**_SETTINGS)
+def test_faulty_runs_degrade_but_stay_identical(scheme, seed, quantum,
+                                                fault_seed):
+    plan = FaultPlan(seed=fault_seed, drop=0.02, duplicate=0.02,
+                     corrupt=0.02, delay=0.02, delay_polls=2)
+
+    def attempt(parallel):
+        try:
+            return _outcome(scheme, seed, 2, quantum, parallel=parallel,
+                            fault_plan=plan, reliability=True)
+        except Exception as error:
+            return "%s: %s" % (type(error).__name__, error)
+
+    assert attempt("thread") == attempt(False)
+
+
+@given(seed=st.integers(min_value=0, max_value=2 ** 16),
+       quantum=st.sampled_from([1, 8]))
+@settings(max_examples=3, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_process_backend_matches_serial(seed, quantum):
+    """The forked-worker backend obeys the same equivalence contract."""
+    serial = _outcome("gdb-kernel", seed, 2, quantum, parallel=False)
+    parallel = _outcome("gdb-kernel", seed, 2, quantum, parallel="process")
+    assert parallel == serial
+
+
+def test_driver_kernel_process_backend_matches_serial():
+    """Driver-Kernel CPUs decline the forked worker (syscall handlers)
+    and run on the pool threads — equivalence still holds."""
+    serial = _outcome("driver-kernel", 7, 2, 8, parallel=False)
+    parallel = _outcome("driver-kernel", 7, 2, 8, parallel="process")
+    assert parallel == serial
