@@ -9,7 +9,15 @@ shell:
 - ``router --scheme S [--delay-us N] [--sim-ms N] [--cpus N]`` — one
   case-study run with statistics;
 - ``trace [--scheme S|all] [--format chrome|text|json]`` — a traced
-  quickstart-scale run with a per-scheme profile comparison;
+  quickstart-scale run with a per-scheme profile comparison (the json
+  format leads with a metadata header line naming the scheme, seed,
+  simulated time, quantum and repro version);
+- ``spans [--scheme S|all] [--format table|json|perfetto]`` — causal
+  transaction spans reconstructed from a traced run
+  (docs/observability.md), exportable as Perfetto async slices;
+- ``health [--records D [--baseline-dir D]] [--chaos storm|stall]`` —
+  the rule-based co-simulation health analyzer; exits non-zero when
+  any finding is critical;
 - ``bench [--scheme S|all] [--out-dir D] [--quantum N] [--compare]`` —
   machine-readable ``BENCH_*.json`` benchmark records
   (docs/observability.md), optionally gated against the committed
@@ -136,17 +144,23 @@ def _trace_schemes(scheme):
 def _cmd_trace(args):
     from repro.obs.profile import SchemeProfile, compare_profiles
     from repro.obs.scenarios import run_traced_scenario
+    from repro.obs.tracer import trace_header
 
     profiles = []
     for scheme in _trace_schemes(args.scheme):
         run = run_traced_scenario(scheme, sim_us=args.sim_us,
-                                  seed=args.seed)
+                                  seed=args.seed,
+                                  sync_quantum=args.quantum)
         profiles.append(SchemeProfile.from_run(run.system.metrics,
                                                run.tracer))
         if args.format == "chrome":
             text = run.tracer.chrome_trace_json()
         elif args.format == "json":
-            text = run.tracer.dump()
+            header = trace_header(scheme=scheme, seed=args.seed,
+                                  sim_us=args.sim_us,
+                                  quantum=args.quantum,
+                                  version=__version__)
+            text = header + "\n" + run.tracer.dump()
         else:
             text = run.tracer.timeline(limit=args.limit)
         if args.output:
@@ -207,6 +221,72 @@ def _cmd_bench(args):
     return 0 if reporter.written else 1
 
 
+def _cmd_spans(args):
+    import json
+
+    from repro.obs.scenarios import run_traced_scenario
+    from repro.obs.spans import (dump_spans, perfetto_spans,
+                                 span_table, spans_from_tracer)
+
+    schemes = _trace_schemes(args.scheme)
+    for scheme in schemes:
+        run = run_traced_scenario(scheme, sim_us=args.sim_us,
+                                  seed=args.seed,
+                                  sync_quantum=args.quantum)
+        spans = spans_from_tracer(run.tracer)
+        if args.format == "perfetto":
+            text = json.dumps(perfetto_spans(spans), sort_keys=True,
+                              separators=(",", ":"))
+        elif args.format == "json":
+            text = dump_spans(spans)
+        else:
+            text = span_table(spans, limit=args.limit)
+        open_spans = sum(1 for span in spans if not span.closed)
+        if args.output:
+            path = (args.output if len(schemes) == 1
+                    else "%s.%s" % (args.output, scheme))
+            with open(path, "w") as handle:
+                handle.write(text)
+            print("wrote %s (%d spans, %d open)"
+                  % (path, len(spans), open_spans))
+        else:
+            print(text)
+            print("%s: %d spans, %d open"
+                  % (scheme, len(spans), open_spans))
+    return 0
+
+
+def _cmd_health(args):
+    from repro.obs.health import (HealthReport, analyze_records,
+                                  analyze_run)
+    from repro.obs.scenarios import (chaos_health_scenario,
+                                     run_traced_scenario)
+
+    if args.records:
+        report = analyze_records(args.records,
+                                 baseline_dir=args.baseline_dir)
+        print(report.render())
+        return report.exit_code
+    report = HealthReport()
+    if args.chaos:
+        run = chaos_health_scenario(args.chaos)
+        report.extend(analyze_run(run.tracer.events(),
+                                  metrics=run.system.metrics,
+                                  dropped=run.tracer.dropped))
+        run.system.close()
+    else:
+        for scheme in _trace_schemes(args.scheme):
+            run = run_traced_scenario(scheme, sim_us=args.sim_us,
+                                      seed=args.seed,
+                                      sync_quantum=args.quantum)
+            report.extend(analyze_run(run.tracer.events(),
+                                      metrics=run.system.metrics,
+                                      dropped=run.tracer.dropped))
+            run.system.close()
+    print(report.render())
+    return report.exit_code
+
+
 def _cmd_version(args):
     print(__version__)
     return 0
@@ -265,9 +345,58 @@ def build_parser():
                             "or canonical JSON lines")
     trace.add_argument("--limit", type=int, default=40,
                        help="max timeline rows printed (text format)")
+    trace.add_argument("--quantum", type=int, default=1,
+                       help="sync quantum (batched timesteps per ISS "
+                            "synchronisation)")
     trace.add_argument("-o", "--output", default=None,
                        help="write the trace to a file (per scheme)")
     trace.set_defaults(func=_cmd_trace)
+
+    spans = commands.add_parser(
+        "spans", help="causal transaction spans from a traced run")
+    spans.add_argument("--scheme", default="all",
+                       choices=["all", "gdb-wrapper", "gdb-kernel",
+                                "driver-kernel"])
+    spans.add_argument("--sim-us", type=int, default=120,
+                       help="simulated microseconds")
+    spans.add_argument("--seed", type=int, default=7)
+    spans.add_argument("--quantum", type=int, default=1,
+                       help="sync quantum (batched timesteps per ISS "
+                            "synchronisation)")
+    spans.add_argument("--format", default="table",
+                       choices=["table", "json", "perfetto"],
+                       help="plain-text table, canonical JSON lines, or "
+                            "Perfetto/Chrome async-slice JSON")
+    spans.add_argument("--limit", type=int, default=40,
+                       help="max table rows printed (table format)")
+    spans.add_argument("-o", "--output", default=None,
+                       help="write the spans to a file (per scheme)")
+    spans.set_defaults(func=_cmd_spans)
+
+    health = commands.add_parser(
+        "health", help="rule-based co-simulation health analysis "
+                       "(exit 1 on critical findings)")
+    health.add_argument("--records", default=None,
+                        help="analyze a directory of BENCH_*.json "
+                             "records instead of running a scenario")
+    health.add_argument("--baseline-dir", default=None,
+                        help="baseline records for latency-regression "
+                             "checks (--records mode)")
+    health.add_argument("--chaos", default=None,
+                        choices=["storm", "stall"],
+                        help="run a seeded fault scenario the analyzer "
+                             "must flag (storm: retransmission storm; "
+                             "stall: stalled read + watchdog "
+                             "quarantine)")
+    health.add_argument("--scheme", default="all",
+                        choices=["all", "gdb-wrapper", "gdb-kernel",
+                                 "driver-kernel"])
+    health.add_argument("--sim-us", type=int, default=120,
+                        help="simulated microseconds (live mode)")
+    health.add_argument("--seed", type=int, default=7)
+    health.add_argument("--quantum", type=int, default=1,
+                        help="sync quantum (live mode)")
+    health.set_defaults(func=_cmd_health)
 
     bench = commands.add_parser(
         "bench", help="write machine-readable BENCH_*.json records")

@@ -38,6 +38,16 @@ class Endpoint:
     def __repr__(self):
         return "Endpoint(%s.%s)" % (self._channel.name, self.label)
 
+    @property
+    def wire_name(self):
+        """Deterministic channel-qualified identity (``name.label``).
+
+        Channel names and side labels are fixed at construction, so this
+        is stable across runs — the observability layer keys transport
+        correlation ids on it.
+        """
+        return "%s.%s" % (self._channel.name, self.label)
+
     def send(self, payload):
         """Transmit one message (bytes) to the peer endpoint."""
         if not isinstance(payload, (bytes, bytearray)):

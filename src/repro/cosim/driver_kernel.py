@@ -77,6 +77,8 @@ class _RtosContext:
     # Driver activity level at the last quantum sync: traffic since
     # then (e.g. a READ_REPLY the guest is blocked on) forces a sync.
     _synced_activity: int = 0
+    # Open parallel dispatch→commit window span (trace_commits only).
+    _par_span: str = None
 
     @property
     def finished(self):
@@ -94,6 +96,11 @@ class DriverKernelHook(KernelHook):
         self.dispatcher = dispatcher
         self.contexts = []
         self._pending_interrupts = []   # (context, vector)
+        # Span counters, advanced only under `if tracer.enabled:` and
+        # always on the main thread, so correlation ids are identical
+        # under serial and parallel execution.
+        self._irq_seq = {}              # context name -> interrupts sent
+        self._par_seq = 0
 
     def active_contexts(self):
         """Contexts still participating in the co-simulation."""
@@ -136,8 +143,12 @@ class DriverKernelHook(KernelHook):
             context.irq_inflight = True
             self.metrics.interrupts_posted += 1
             if self.tracer.enabled:
+                sequence = self._irq_seq.get(context.name, 0) + 1
+                self._irq_seq[context.name] = sequence
                 self.tracer.emit("driver", "interrupt", scope=context.name,
-                                 vector=vector)
+                                 vector=vector,
+                                 span="irq:%s:%d" % (context.rtos.name,
+                                                     sequence))
 
     def on_time_advance(self, kernel):
         """Grant each guest RTOS its cycle budget.
@@ -233,6 +244,7 @@ class DriverKernelHook(KernelHook):
                 budget, steps = binding.drain()
                 plans.append((context, "quantum", (budget, steps)))
                 if budget > 0:
+                    self._trace_dispatch(context, budget)
                     jobs.append((id(context),
                                  self._prefetch_job(context, budget)))
             else:
@@ -244,6 +256,7 @@ class DriverKernelHook(KernelHook):
                     plans.append((context, "serial_grant", budget))
                     continue
                 plans.append((context, "grant", budget))
+                self._trace_dispatch(context, budget)
                 jobs.append((id(context),
                              self._prefetch_job(context, budget)))
         results = dispatcher.execute(jobs)
@@ -280,6 +293,15 @@ class DriverKernelHook(KernelHook):
     def _prefetch_job(context, budget):
         return lambda: context.rtos.advance(budget)
 
+    def _trace_dispatch(self, context, budget):
+        """Open a dispatch→commit window span (``trace_commits`` only)."""
+        if not (self.dispatcher.trace_commits and self.tracer.enabled):
+            return
+        self._par_seq += 1
+        context._par_span = "par:%s:%d" % (context.name, self._par_seq)
+        self.tracer.emit("cosim", "parallel_dispatch", scope=context.name,
+                         budget=budget, span=context._par_span)
+
     def _commit_context(self, context, outcome):
         """Apply one prefetched advance; True when it completed."""
         status, value, buffer = outcome
@@ -296,8 +318,12 @@ class DriverKernelHook(KernelHook):
         self.metrics.iss_cycles += value
         self.metrics.bump_context(context.name, iss_cycles=value)
         if self.dispatcher.trace_commits and self.tracer.enabled:
+            args = dict(cycles=value)
+            if context._par_span is not None:
+                args["span"] = context._par_span
+                context._par_span = None
             self.tracer.emit("cosim", "parallel_commit",
-                             scope=context.name, cycles=value)
+                             scope=context.name, **args)
         return True
 
     def _must_sync(self, context):
@@ -362,10 +388,19 @@ class DriverKernelHook(KernelHook):
         self.metrics.messages_received += 1
         context.activity += 1
         if self.tracer.enabled:
+            args = dict(sequence=message.sequence,
+                        ports=[block.port for block in message.blocks])
+            # Correlate with the guest-side issue event: the driver
+            # stamps requests with its own sequence numbers, so the id
+            # needs no extra plumbing across the socket.
+            if message.type is MessageType.READ:
+                args["span"] = "drv:%s:%d" % (context.rtos.name,
+                                              message.sequence)
+            elif message.type is MessageType.WRITE:
+                args["span"] = "drvw:%s:%d" % (context.rtos.name,
+                                               message.sequence)
             self.tracer.emit("driver", message.type.name.lower(),
-                             scope=context.name,
-                             sequence=message.sequence,
-                             ports=[block.port for block in message.blocks])
+                             scope=context.name, **args)
         if message.type is MessageType.WRITE:
             for block in message.blocks:
                 port = self._port(context, block.port, "iss_in")

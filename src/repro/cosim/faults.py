@@ -96,6 +96,10 @@ class FaultyEndpoint:
         return getattr(self.inner, "label", "?")
 
     @property
+    def wire_name(self):
+        return getattr(self.inner, "wire_name", self.label)
+
+    @property
     def faults_injected(self):
         return sum(self.injected.values())
 

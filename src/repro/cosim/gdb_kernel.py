@@ -62,6 +62,8 @@ class _CpuContext:
     # once the hold clears, the guest is runnable and the banked
     # budget should be granted immediately.
     attention_serviced: bool = False
+    # Open parallel dispatch→commit window span (trace_commits only).
+    _par_span: str = None
 
     @property
     def finished(self):
@@ -78,6 +80,8 @@ class GdbKernelHook(KernelHook):
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.dispatcher = dispatcher
         self.contexts = []
+        # Dispatch-window span counter; main-thread only, traced only.
+        self._par_seq = 0
 
     def active_contexts(self):
         """Contexts still participating in the co-simulation."""
@@ -191,6 +195,7 @@ class GdbKernelHook(KernelHook):
                 plans.append((context, "quantum", (budget, steps)))
                 if budget > 0:
                     context.driver.grant(budget)
+                    self._trace_dispatch(context, budget)
                     jobs.append((id(context), context.driver.prefetch))
             else:
                 budget = binding.cycles_for_advance(kernel.now)
@@ -202,6 +207,7 @@ class GdbKernelHook(KernelHook):
                     continue
                 plans.append((context, "grant", budget))
                 context.driver.grant(budget)
+                self._trace_dispatch(context, budget)
                 jobs.append((id(context), context.driver.prefetch))
         results = dispatcher.execute(jobs)
         for context, kind, data in plans:
@@ -230,6 +236,15 @@ class GdbKernelHook(KernelHook):
                 self.metrics.grants += 1
                 self._commit_context(context, results[id(context)])
 
+    def _trace_dispatch(self, context, budget):
+        """Open a dispatch→commit window span (``trace_commits`` only)."""
+        if not (self.dispatcher.trace_commits and self.tracer.enabled):
+            return
+        self._par_seq += 1
+        context._par_span = "par:%s:%d" % (context.name, self._par_seq)
+        self.tracer.emit("cosim", "parallel_dispatch", scope=context.name,
+                         budget=budget, span=context._par_span)
+
     def _commit_context(self, context, outcome):
         """Apply one prefetched context at its deterministic slot."""
         status, value, buffer = outcome
@@ -253,8 +268,12 @@ class GdbKernelHook(KernelHook):
             self._quarantine(context, "transport: %s" % error)
             return
         if self.dispatcher.trace_commits and self.tracer.enabled:
+            args = dict(cycles=consumed)
+            if context._par_span is not None:
+                args["span"] = context._par_span
+                context._par_span = None
             self.tracer.emit("cosim", "parallel_commit",
-                             scope=context.name, cycles=consumed)
+                             scope=context.name, **args)
         self._watchdog(context)
 
     def _must_sync(self, context):

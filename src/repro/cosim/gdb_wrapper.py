@@ -54,6 +54,9 @@ class GdbWrapperModule(Module):
         self.watchdog_ticks = watchdog_ticks
         self.quarantined = False
         self.quarantine_reason = None
+        # Open parallel dispatch→commit window span (trace_commits
+        # only; ids come from the scheme's main-thread counter).
+        self._par_span = None
         # The scheme, when a parallel dispatcher coordinates the
         # wrappers' posedge methods as one classify/prefetch/commit
         # round (all wrappers fire in the same delta).
@@ -253,6 +256,8 @@ class GdbWrapperScheme:
         self.dispatcher = dispatcher
         self._round_stamp = None
         self.wrappers = []
+        # Dispatch-window span counter; main-thread only, traced only.
+        self._par_seq = 0
 
     def attach_cpu(self, cpu, pragma_map, ports, cpu_hz, name=None,
                    reliability=None, faults=None):
@@ -304,6 +309,7 @@ class GdbWrapperScheme:
                     continue
                 budget, steps = binding.drain()
                 plans.append((wrapper, "batch", (budget, steps)))
+                self._trace_dispatch(wrapper, budget)
                 jobs.append((id(wrapper), wrapper._prefetch_job(budget)))
             else:
                 if (not wrapper.parallel_safe or wrapper._must_sync()
@@ -314,6 +320,7 @@ class GdbWrapperScheme:
                     continue
                 budget = binding.cycles_for_advance(self.kernel.now)
                 plans.append((wrapper, "cycle", budget))
+                self._trace_dispatch(wrapper, budget)
                 jobs.append((id(wrapper), wrapper._prefetch_job(budget)))
         results = dispatcher.execute(jobs)
         for wrapper, kind, data in plans:
@@ -341,6 +348,15 @@ class GdbWrapperScheme:
                                      scope=wrapper.name)
                 self._commit_wrapper(wrapper, results[id(wrapper)], budget,
                                      lockstep=True)
+
+    def _trace_dispatch(self, wrapper, budget):
+        """Open a dispatch→commit window span (``trace_commits`` only)."""
+        if not (self.dispatcher.trace_commits and self.tracer.enabled):
+            return
+        self._par_seq += 1
+        wrapper._par_span = "par:%s:%d" % (wrapper.name, self._par_seq)
+        self.tracer.emit("cosim", "parallel_dispatch", scope=wrapper.name,
+                         budget=budget, span=wrapper._par_span)
 
     def _commit_wrapper(self, wrapper, outcome, budget, lockstep=False):
         """Apply one prefetched wrapper at its deterministic slot."""
@@ -372,8 +388,12 @@ class GdbWrapperScheme:
             wrapper._quarantine("transport: %s" % error)
             return
         if self.dispatcher.trace_commits and self.tracer.enabled:
+            args = dict(cycles=consumed)
+            if wrapper._par_span is not None:
+                args["span"] = wrapper._par_span
+                wrapper._par_span = None
             self.tracer.emit("cosim", "parallel_commit",
-                             scope=wrapper.name, cycles=consumed)
+                             scope=wrapper.name, **args)
         wrapper._watchdog()
 
     def elaborate(self):

@@ -39,6 +39,12 @@ class CosimMetrics:
     block_invalidations: int = 0    # ISS blocks dropped (SMC/bp/flush)
     per_context: dict = field(default_factory=dict)  # name -> {counter: n}
     extra: dict = field(default_factory=dict)
+    # Post-run latency summaries (kind -> {count,p50,p90,max}) attached
+    # by the observability layer (repro.obs.hist).  Deliberately absent
+    # from as_dict(): the overhead guard fingerprints as_dict() across
+    # traced/disabled/untraced runs, and only traced runs can have
+    # span latencies.
+    latency: dict = field(default_factory=dict)
 
     def as_dict(self):
         """All counters as a plain dict (for stats reporting)."""
@@ -81,6 +87,10 @@ class CosimMetrics:
         bucket = self.per_context.setdefault(name, {})
         for counter, delta in deltas.items():
             bucket[counter] = bucket.get(counter, 0) + delta
+
+    def attach_latency(self, summaries):
+        """Attach per-span-kind latency summaries (post-run, traced)."""
+        self.latency = dict(summaries)
 
     def record_quarantine(self, context_name, reason):
         """Count a quarantined context and log why it was detached."""

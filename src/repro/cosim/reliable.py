@@ -87,6 +87,15 @@ class ReliableEndpoint:
         return getattr(self.inner, "label", "?")
 
     @property
+    def wire_name(self):
+        """Channel-qualified endpoint identity for correlation ids."""
+        return getattr(self.inner, "wire_name", self.label)
+
+    def _span(self, sequence):
+        """The ``tx:<wire>:<seq>`` correlation id of one DATA frame."""
+        return "tx:%s:%d" % (self.wire_name, sequence)
+
+    @property
     def in_flight(self):
         """Number of sent-but-unacknowledged frames."""
         return len(self._unacked)
@@ -100,6 +109,9 @@ class ReliableEndpoint:
         frame = pack_frame(FrameKind.DATA, sequence, bytes(payload))
         self._unacked[sequence] = _Pending(
             frame, self._ticks, self.config.ack_timeout_polls)
+        if self.tracer.enabled:
+            self.tracer.emit("transport", "send", scope=self.label,
+                             sequence=sequence, span=self._span(sequence))
         self.inner.send(frame)
 
     def poll(self):
@@ -157,7 +169,8 @@ class ReliableEndpoint:
             self.metrics.retransmits += 1
         if self.tracer.enabled:
             self.tracer.emit("transport", "retransmit", scope=self.label,
-                             sequence=sequence, retries=entry.retries)
+                             sequence=sequence, retries=entry.retries,
+                             span=self._span(sequence))
         self.inner.send(entry.frame)
 
     def _pump(self):
@@ -215,7 +228,12 @@ class ReliableEndpoint:
             self._send_control(FrameKind.NAK, self._next_rx)
 
     def _on_ack(self, next_expected):
-        for sequence in [s for s in self._unacked if s < next_expected]:
+        for sequence in sorted(s for s in self._unacked
+                               if s < next_expected):
+            if self.tracer.enabled:
+                self.tracer.emit("transport", "ack", scope=self.label,
+                                 sequence=sequence,
+                                 span=self._span(sequence))
             del self._unacked[sequence]
 
     def _on_nak(self, next_expected):

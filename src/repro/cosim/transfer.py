@@ -46,8 +46,14 @@ def _binding_runs(bindings):
 
 
 def attempt_transfer(client, pragma_map, ports, breakpoint_address, metrics,
-                     tracer=NULL_TRACER):
-    """Try to service a breakpoint stop; returns resume-allowed."""
+                     tracer=NULL_TRACER, span=None):
+    """Try to service a breakpoint stop; returns resume-allowed.
+
+    *span* is the correlation id of the enclosing breakpoint-sync span
+    (``bp:<target>:<n>``); every transfer event emitted while servicing
+    the stop carries it, so the span builder can attribute the RSP
+    exchanges to the transaction that caused them.
+    """
     bindings = pragma_map.bindings_at(breakpoint_address)
     if not bindings:
         raise CosimError("ISS stopped at unassociated breakpoint 0x%08x"
@@ -71,9 +77,11 @@ def attempt_transfer(client, pragma_map, ports, breakpoint_address, metrics,
             metrics.transfer_transactions += 2  # the m/M plus the continue
             metrics.bump_context(client.name, transfer_transactions=2)
             if tracer.enabled:
-                tracer.emit("cosim", "transfer", scope=client.name,
-                            kind=binding.kind, variable=binding.variable,
+                args = dict(kind=binding.kind, variable=binding.variable,
                             address=breakpoint_address)
+                if span is not None:
+                    args["span"] = span
+                tracer.emit("cosim", "transfer", scope=client.name, **args)
         else:
             base = run[0].variable_address
             if run[0].kind == "iss_in":
@@ -92,9 +100,12 @@ def attempt_transfer(client, pragma_map, ports, breakpoint_address, metrics,
                                  transfer_blocks=1,
                                  transfer_words=len(run))
             if tracer.enabled:
-                tracer.emit("cosim", "transfer_block", scope=client.name,
-                            kind=run[0].kind, first=run[0].variable,
+                args = dict(kind=run[0].kind, first=run[0].variable,
                             words=len(run), address=breakpoint_address)
+                if span is not None:
+                    args["span"] = span
+                tracer.emit("cosim", "transfer_block", scope=client.name,
+                            **args)
     return True
 
 
@@ -121,6 +132,13 @@ class TargetDriver:
         self.budget_remaining = 0
         self.held_at = None
         self.finished = False
+        # Breakpoint-sync span bookkeeping.  The counter is advanced
+        # only under `if tracer.enabled:` (the overhead guard proves a
+        # disabled tracer pays nothing), and stop servicing always runs
+        # on the main thread in context-attach order, so the allocated
+        # ids are identical under serial and parallel execution.
+        self._bp_seq = 0
+        self._held_span = None
 
     @property
     def needs_attention(self):
@@ -178,9 +196,15 @@ class TargetDriver:
             if self.held_at is not None:
                 if not attempt_transfer(self.client, self.pragma_map,
                                         self.ports, self.held_at,
-                                        self.metrics, self.tracer):
+                                        self.metrics, self.tracer,
+                                        span=self._held_span):
                     return
+                if self.tracer.enabled and self._held_span is not None:
+                    self.tracer.emit("cosim", "bp_resume",
+                                     scope=self.client.name,
+                                     span=self._held_span, pc=self.held_at)
                 self.held_at = None
+                self._held_span = None
                 self.client.continue_()
             if (not skip_execute and self.budget_remaining > 0
                     and self.stub.running):
@@ -204,14 +228,29 @@ class TargetDriver:
                 continue
             self.metrics.breakpoint_hits += 1
             self.metrics.bump_context(self.client.name, breakpoint_hits=1)
+            span = None
+            if self.tracer.enabled:
+                self._bp_seq += 1
+                span = "bp:%s:%d" % (self.client.name, self._bp_seq)
+                self.tracer.emit("cosim", "bp_stop", scope=self.client.name,
+                                 span=span, pc=event.pc)
             if attempt_transfer(self.client, self.pragma_map, self.ports,
-                                event.pc, self.metrics, self.tracer):
+                                event.pc, self.metrics, self.tracer,
+                                span=span):
+                if span is not None:
+                    self.tracer.emit("cosim", "bp_resume",
+                                     scope=self.client.name, span=span,
+                                     pc=event.pc)
                 self.client.continue_()
             else:
                 if self.tracer.enabled:
+                    args = dict(pc=event.pc)
+                    if span is not None:
+                        args["span"] = span
                     self.tracer.emit("cosim", "flow_hold",
-                                     scope=self.cpu.name, pc=event.pc)
+                                     scope=self.cpu.name, **args)
                 self.held_at = event.pc
+                self._held_span = span
                 return
 
     def elaborate(self):

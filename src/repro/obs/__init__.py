@@ -15,7 +15,16 @@ visible without perturbing it:
   ``repro-bench/1`` schema (see ``docs/observability.md``);
 - :mod:`repro.obs.scenarios` — small deterministic traced scenarios
   (the router case study at quickstart scale) shared by the golden
-  trace tests and the ``repro trace`` / ``repro bench`` CLI commands.
+  trace tests and the ``repro trace`` / ``repro bench`` CLI commands;
+- :mod:`repro.obs.spans` — causal transaction spans reconstructed from
+  the correlation ids every cross-boundary event carries (breakpoint
+  syncs, driver round trips, interrupt deliveries, transport frames,
+  parallel dispatch windows), with Perfetto async-slice export;
+- :mod:`repro.obs.hist` — deterministic sim-time latency histograms
+  over closed spans, feeding ``latency.*`` BENCH counters;
+- :mod:`repro.obs.health` — a rule-based analyzer (stalled spans,
+  retransmission storms, quarantines, hold hot spots, latency
+  regressions) with a CI-friendly exit code, behind ``repro health``.
 
 Tracing is off by default and costs one attribute check when disabled:
 every instrumented hot path is guarded by ``if tracer.enabled:`` so no
@@ -23,16 +32,39 @@ event object or argument dict is ever built for a disabled tracer.
 """
 
 from repro.obs.bench import BenchReporter, BenchRun
+from repro.obs.health import (Finding, HealthReport, HealthThresholds,
+                              analyze_records, analyze_run)
+from repro.obs.hist import (LatencyHistogram, build_histograms,
+                            latency_counters, latency_summaries)
 from repro.obs.profile import SchemeProfile, compare_profiles
-from repro.obs.tracer import NULL_TRACER, TraceEvent, Tracer, dump_events
+from repro.obs.spans import (Span, build_spans, dump_spans,
+                             perfetto_spans, spans_from_tracer)
+from repro.obs.tracer import (NULL_TRACER, TraceEvent, Tracer,
+                              dump_events, strip_header, trace_header)
 
 __all__ = [
     "BenchReporter",
     "BenchRun",
+    "Finding",
+    "HealthReport",
+    "HealthThresholds",
+    "LatencyHistogram",
     "NULL_TRACER",
     "SchemeProfile",
+    "Span",
     "TraceEvent",
     "Tracer",
+    "analyze_records",
+    "analyze_run",
+    "build_histograms",
+    "build_spans",
     "compare_profiles",
     "dump_events",
+    "dump_spans",
+    "latency_counters",
+    "latency_summaries",
+    "perfetto_spans",
+    "spans_from_tracer",
+    "strip_header",
+    "trace_header",
 ]

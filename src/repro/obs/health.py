@@ -1,0 +1,237 @@
+"""Rule-based co-simulation health analysis.
+
+Co-simulation failure has recurring shapes: a transaction that opened
+but never closed (a guest blocked on a READ_REPLY that is not coming),
+a retransmission storm (the transport fighting a bad link instead of
+making progress), a watchdog quarantine, flow-control holds dominating
+breakpoint servicing, and latency distributions drifting between
+revisions.  :func:`analyze_run` applies those rules to one finished
+traced run; :func:`analyze_records` applies the record-level rules to a
+directory of ``BENCH_*.json`` files (optionally against committed
+baselines).  Both produce a :class:`HealthReport` whose
+:attr:`~HealthReport.exit_code` is CI-friendly: ``0`` when no finding
+is critical, ``1`` otherwise — ``repro health`` exits with it.
+"""
+
+import os
+from dataclasses import dataclass, field
+
+from repro.obs.bench import load_report
+from repro.obs.hist import LATENCY_KINDS
+from repro.obs.spans import build_spans
+
+SEVERITIES = ("info", "warning", "critical")
+
+#: Span kinds whose open-at-end-of-trace state means a peer owes a
+#: response — a genuine stall.  ``breakpoint_sync`` is absent by
+#: design: the GDB schemes *deliberately* park a guest on a
+#: flow-control hold until a port goes fresh, so a run routinely ends
+#: with held stops open (reported as info; pathological hold rates are
+#: caught by the hold-hot-spot rule instead).
+STALL_CRITICAL_KINDS = frozenset((
+    "driver_round_trip", "driver_write", "interrupt_delivery",
+    "transport", "parallel_window"))
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Tuning knobs of the analyzer rules."""
+
+    #: retransmits on one endpoint label before it counts as a storm.
+    retransmit_storm: int = 8
+    #: timesteps a span may stay open before it counts as stalled.
+    stall_age_timesteps: int = 50
+    #: flow-control holds per breakpoint stop before servicing counts
+    #: as hold-dominated (a commit-stall hot spot).
+    commit_stall_ratio: float = 0.5
+    #: multiplier over the baseline p90 before a latency counter
+    #: counts as regressed.
+    latency_regression: float = 1.5
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer observation."""
+
+    severity: str
+    rule: str
+    subject: str
+    message: str
+
+    def render(self):
+        """The finding as one aligned plain-text line."""
+        return "%-8s %-18s %-20s %s" % (self.severity.upper(), self.rule,
+                                        self.subject, self.message)
+
+
+@dataclass
+class HealthReport:
+    """The findings of one analysis pass."""
+
+    findings: list = field(default_factory=list)
+
+    def add(self, severity, rule, subject, message):
+        """Record one finding."""
+        if severity not in SEVERITIES:
+            raise ValueError("unknown severity %r" % (severity,))
+        self.findings.append(Finding(severity, rule, subject, message))
+
+    def by_severity(self, severity):
+        """The findings of one severity, in insertion order."""
+        return [finding for finding in self.findings
+                if finding.severity == severity]
+
+    @property
+    def exit_code(self):
+        """``1`` when any finding is critical, else ``0``."""
+        return 1 if self.by_severity("critical") else 0
+
+    def extend(self, other):
+        """Fold *other* report's findings into this one."""
+        self.findings.extend(other.findings)
+
+    def render(self):
+        """The report as plain text (stable ordering)."""
+        if not self.findings:
+            return "health: OK (no findings)"
+        ordered = sorted(
+            self.findings,
+            key=lambda f: (-SEVERITIES.index(f.severity), f.rule,
+                           f.subject))
+        lines = ["health: %d finding(s), %d critical"
+                 % (len(self.findings), len(self.by_severity("critical")))]
+        lines.extend(finding.render() for finding in ordered)
+        return "\n".join(lines)
+
+
+def analyze_run(events, metrics=None, thresholds=None, dropped=0,
+                spans=None):
+    """Apply the trace-level rules to one finished run.
+
+    *events* is the tracer's event list; *metrics* (optional) supplies
+    the quarantine log; *dropped* is the tracer's overflow count;
+    *spans* may be passed to reuse an already-built span set.
+    """
+    thresholds = thresholds or HealthThresholds()
+    report = HealthReport()
+    if spans is None:
+        spans = build_spans(events)
+    final_timestep = max((event.timestep for event in events), default=0)
+
+    retransmits = {}
+    holds = {}
+    stops = {}
+    for event in events:
+        key = event.key
+        if key == "transport/retransmit":
+            retransmits[event.scope] = retransmits.get(event.scope, 0) + 1
+        elif key == "cosim/flow_hold":
+            holds[event.scope] = holds.get(event.scope, 0) + 1
+        elif key == "cosim/bp_stop":
+            stops[event.scope] = stops.get(event.scope, 0) + 1
+        elif key == "cosim/quarantine":
+            report.add("critical", "quarantine", event.scope,
+                       "context quarantined: %s"
+                       % event.args.get("reason", "?"))
+
+    # Quarantines recorded by metrics but outside the trace window
+    # (e.g. the ring dropped the event) still count.
+    if metrics is not None:
+        traced = {finding.subject
+                  for finding in report.findings
+                  if finding.rule == "quarantine"}
+        for context, reason in metrics.quarantine_log():
+            if context not in traced:
+                report.add("critical", "quarantine", context,
+                           "context quarantined: %s" % reason)
+
+    for scope, count in sorted(retransmits.items()):
+        if count >= thresholds.retransmit_storm:
+            report.add("critical", "retransmit-storm", scope,
+                       "%d retransmissions (threshold %d): the link is "
+                       "losing frames faster than the run makes progress"
+                       % (count, thresholds.retransmit_storm))
+        else:
+            report.add("info", "retransmits", scope,
+                       "%d retransmission(s) recovered" % count)
+
+    for span in spans:
+        if span.closed:
+            continue
+        age = final_timestep - span.open_timestep
+        if age >= thresholds.stall_age_timesteps:
+            severity = ("critical" if span.kind in STALL_CRITICAL_KINDS
+                        else "info")
+            report.add(severity, "stalled-span", span.span_id,
+                       "%s open for %d timesteps (threshold %d)"
+                       % (span.kind, age, thresholds.stall_age_timesteps))
+
+    for scope, count in sorted(holds.items()):
+        total = stops.get(scope, 0)
+        if total and count / total >= thresholds.commit_stall_ratio:
+            report.add("warning", "hold-hot-spot", scope,
+                       "%d of %d breakpoint stops flow-control held "
+                       "(>= %d%%): a consumer is starving this context"
+                       % (count, total,
+                          round(thresholds.commit_stall_ratio * 100)))
+
+    if dropped:
+        report.add("warning", "trace-dropped", "tracer",
+                   "%d event(s) dropped by the trace ring: span and "
+                   "latency figures are incomplete" % dropped)
+    return report
+
+
+def analyze_records(records_dir, baseline_dir=None, thresholds=None):
+    """Apply the record-level rules to a ``BENCH_*.json`` directory.
+
+    Checks every record for quarantines, retransmission storms and
+    truncated traces; with *baseline_dir*, additionally compares each
+    record's ``latency.*.p90`` counters against the same-named baseline
+    record and flags regressions beyond the threshold multiplier.
+    """
+    thresholds = thresholds or HealthThresholds()
+    report = HealthReport()
+    names = sorted(name for name in os.listdir(records_dir)
+                   if name.startswith("BENCH_") and name.endswith(".json"))
+    if not names:
+        report.add("warning", "no-records", records_dir,
+                   "no BENCH_*.json records found")
+        return report
+    for name in names:
+        record = load_report(os.path.join(records_dir, name))
+        counters = record.get("counters", {})
+        subject = record.get("name", name)
+        if counters.get("contexts_quarantined", 0):
+            report.add("critical", "quarantine", subject,
+                       "%d context(s) quarantined"
+                       % counters["contexts_quarantined"])
+        retransmits = counters.get("retransmits", 0)
+        if retransmits >= thresholds.retransmit_storm:
+            report.add("critical", "retransmit-storm", subject,
+                       "%d retransmissions (threshold %d)"
+                       % (retransmits, thresholds.retransmit_storm))
+        if counters.get("trace.dropped", 0):
+            report.add("warning", "trace-dropped", subject,
+                       "%d trace event(s) dropped"
+                       % counters["trace.dropped"])
+        if baseline_dir is not None:
+            baseline_path = os.path.join(baseline_dir, name)
+            if os.path.exists(baseline_path):
+                _compare_latency(report, subject, counters,
+                                 load_report(baseline_path), thresholds)
+    return report
+
+
+def _compare_latency(report, subject, counters, baseline, thresholds):
+    base_counters = baseline.get("counters", {})
+    for kind in LATENCY_KINDS:
+        key = "latency.%s.p90" % kind
+        base_value = base_counters.get(key, 0)
+        value = counters.get(key, 0)
+        if base_value and value > base_value * thresholds.latency_regression:
+            report.add("critical", "latency-regression",
+                       "%s:%s" % (subject, kind),
+                       "p90 %d fs vs baseline %d fs (> x%.1f)"
+                       % (value, base_value,
+                          thresholds.latency_regression))

@@ -1,0 +1,123 @@
+"""Deterministic, sim-time-denominated latency histograms.
+
+Span durations (:mod:`repro.obs.spans`) are integers in *femtoseconds
+of simulated time*, so their distribution is an exact, reproducible
+property of a seeded scenario — unlike wall-clock latencies.  This
+module aggregates them into fixed-bucket histograms with exact counts
+and nearest-rank percentiles (always an observed value, never an
+interpolation), which is what lands in BENCH records as flat integer
+``latency.*`` counters and in :class:`~repro.cosim.metrics.CosimMetrics`
+as the ``latency`` summary attachment.
+"""
+
+#: Geometric bucket upper bounds in femtoseconds (2^10 .. 2^60, x4
+#: per bucket).  Fixed at import time: two runs always bucket a given
+#: duration identically, and histograms from different runs align.
+BUCKET_BOUNDS_FS = tuple(2 ** exponent for exponent in range(10, 61, 2))
+
+#: The span kinds whose latency distributions BENCH records carry.
+LATENCY_KINDS = ("breakpoint_sync", "driver_round_trip",
+                 "interrupt_delivery")
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram of integer sim-time durations.
+
+    Raw values are retained (spans per run number in the thousands at
+    most) so percentiles are exact nearest-rank statistics; the bucket
+    counts serve rendering and cross-run comparison.
+    """
+
+    def __init__(self, kind, bounds=BUCKET_BOUNDS_FS):
+        self.kind = kind
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)  # +1 overflow bucket
+        self.values = []
+
+    def __len__(self):
+        return len(self.values)
+
+    def add(self, duration_fs):
+        """Count one closed-span duration."""
+        self.values.append(duration_fs)
+        for index, bound in enumerate(self.bounds):
+            if duration_fs <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def count(self):
+        return len(self.values)
+
+    @property
+    def max(self):
+        return max(self.values) if self.values else 0
+
+    @property
+    def total(self):
+        return sum(self.values)
+
+    def percentile(self, fraction):
+        """Exact nearest-rank percentile (``fraction`` in (0, 1])."""
+        if not self.values:
+            return 0
+        ordered = sorted(self.values)
+        rank = max(1, -(-int(fraction * 100) * len(ordered) // 100))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def summary(self):
+        """The ``{count, p50, p90, max}`` integer summary."""
+        return {
+            "count": self.count,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "max": self.max,
+        }
+
+    def as_dict(self):
+        """Summary plus the non-empty buckets, JSON-serialisable."""
+        buckets = {}
+        for index, count in enumerate(self.counts):
+            if not count:
+                continue
+            label = ("inf" if index == len(self.bounds)
+                     else str(self.bounds[index]))
+            buckets[label] = count
+        return dict(self.summary(), kind=self.kind, buckets=buckets)
+
+
+def build_histograms(spans, kinds=LATENCY_KINDS):
+    """``{kind: LatencyHistogram}`` over the closed spans of *kinds*.
+
+    Every requested kind is present (possibly empty) so downstream
+    records keep a stable key set across schemes — a GDB-scheme run
+    simply reports zero driver round trips.
+    """
+    histograms = {kind: LatencyHistogram(kind) for kind in kinds}
+    for span in spans:
+        histogram = histograms.get(span.kind)
+        if histogram is not None and span.closed:
+            histogram.add(span.duration_fs)
+    return histograms
+
+
+def latency_summaries(histograms):
+    """``{kind: {count,p50,p90,max}}`` for metrics attachment."""
+    return {kind: histogram.summary()
+            for kind, histogram in sorted(histograms.items())}
+
+
+def latency_counters(histograms):
+    """The histograms as flat integer BENCH counters.
+
+    Keys are ``latency.<kind>.<stat>``; all values are deterministic
+    integers in femtoseconds of simulated time (counts excepted), so
+    they ride in the ``counters`` object of ``repro-bench/1`` records
+    without weakening the byte-stability guarantee.
+    """
+    counters = {}
+    for kind, histogram in sorted(histograms.items()):
+        for stat, value in sorted(histogram.summary().items()):
+            counters["latency.%s.%s" % (kind, stat)] = value
+    return counters

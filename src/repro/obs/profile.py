@@ -24,6 +24,7 @@ class SchemeProfile:
     counters: dict = field(default_factory=dict)
     rates: dict = field(default_factory=dict)       # per sc timestep
     event_counts: dict = field(default_factory=dict)  # from the tracer
+    latency: dict = field(default_factory=dict)     # kind -> summary
 
     @classmethod
     def from_run(cls, metrics, tracer=None):
@@ -39,8 +40,11 @@ class SchemeProfile:
                 round(value / timesteps, 4) if timesteps else 0.0)
         event_counts = dict(sorted(tracer.counts().items())) \
             if tracer is not None else {}
+        if tracer is not None:
+            counters["trace_dropped"] = tracer.dropped
         return cls(scheme=counters.pop("scheme", ""), counters=counters,
-                   rates=rates, event_counts=event_counts)
+                   rates=rates, event_counts=event_counts,
+                   latency=dict(getattr(metrics, "latency", {}) or {}))
 
     def as_dict(self):
         """The profile as one JSON-serialisable dict."""
@@ -49,11 +53,16 @@ class SchemeProfile:
             "counters": dict(self.counters),
             "rates": dict(self.rates),
             "event_counts": dict(self.event_counts),
+            "latency": dict(self.latency),
         }
 
     def render(self):
         """A short plain-text summary of this profile."""
         lines = ["profile[%s]" % self.scheme]
+        if self.counters.get("trace_dropped"):
+            lines.append("  WARNING: %d trace event(s) dropped — the "
+                         "ring overflowed, figures below are incomplete"
+                         % self.counters["trace_dropped"])
         for name in sorted(self.counters):
             value = self.counters[name]
             if isinstance(value, (int, float)) and value:
@@ -61,6 +70,13 @@ class SchemeProfile:
         for name in sorted(self.rates):
             if self.rates[name]:
                 lines.append("  %-24s %12.4f" % (name, self.rates[name]))
+        for kind in sorted(self.latency):
+            summary = self.latency[kind]
+            if summary.get("count"):
+                lines.append(
+                    "  latency[%s]: n=%d p50=%dfs p90=%dfs max=%dfs"
+                    % (kind, summary["count"], summary["p50"],
+                       summary["p90"], summary["max"]))
         return "\n".join(lines)
 
 

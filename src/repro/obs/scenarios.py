@@ -12,11 +12,21 @@ event streams.
 from dataclasses import dataclass
 
 from repro.obs.bench import BenchRun
+from repro.obs.hist import (build_histograms, latency_counters,
+                            latency_summaries)
+from repro.obs.spans import spans_from_tracer
 from repro.obs.tracer import Tracer
 from repro.router.system import RouterConfig, build_system
 from repro.sysc.simtime import US
 
 COSIM_SCHEMES = ("gdb-wrapper", "gdb-kernel", "driver-kernel")
+
+#: Deterministic fault scenarios for ``repro health`` and its tests:
+#: ``storm`` drops every third frame from index 8 on under the reliable
+#: transport (recovered, but far past the storm threshold); ``stall``
+#: drops everything from index 8 on an *unreliable* link, so the guest
+#: blocks on a READ_REPLY that never comes and the watchdog fires.
+CHAOS_KINDS = ("storm", "stall")
 
 
 @dataclass
@@ -88,6 +98,14 @@ def bench_scenario(scheme, sim_us=120, seed=7, name=None, **overrides):
     run.config.update({"scheme": scheme, "sim_us": sim_us, "seed": seed,
                        "sync_quantum": overrides.get("sync_quantum", 1)})
     run.record_metrics(traced.system.metrics)
+    # Span latencies: deterministic integers in simulated femtoseconds,
+    # derived from the trace after the run (the overhead guard keeps
+    # them out of the hot path).  The summaries also land on the
+    # metrics bundle for the profile view.
+    histograms = build_histograms(spans_from_tracer(traced.tracer))
+    traced.system.metrics.attach_latency(latency_summaries(histograms))
+    run.record(**latency_counters(histograms))
+    run.record(**{"trace.dropped": traced.tracer.dropped})
     run.record(
         trace_events=len(traced.tracer),
         generated=traced.stats.generated,
@@ -107,3 +125,33 @@ def bench_scenario(scheme, sim_us=120, seed=7, name=None, **overrides):
         run.wall_extra["parallel"] = parallel_stats
     traced.system.close()
     return traced, run
+
+
+def chaos_health_scenario(kind, scheme=None, tracer=None):
+    """One seeded fault scenario the health analyzer must flag.
+
+    ``storm``: the reliable transport over a link that drops every
+    third frame from index 8 — the run completes (every loss is
+    recovered) but leaves a retransmission count far past the storm
+    threshold.  ``stall``: an *unreliable* Driver-Kernel link that
+    swallows everything from frame 8, so a guest blocks forever on its
+    READ_REPLY, its driver round-trip span never closes, and the
+    watchdog quarantines the context.  Returns a :class:`TracedRun`.
+    """
+    from repro.cosim.faults import FaultPlan
+    if kind == "storm":
+        plan = FaultPlan(script={index: "drop"
+                                 for index in range(8, 200, 3)})
+        return run_traced_scenario(
+            scheme or "gdb-kernel", sim_us=200, seed=7, max_packets=1,
+            reliability=True, fault_plan=plan, tracer=tracer,
+            parallel=False)
+    if kind == "stall":
+        plan = FaultPlan(script={index: "drop"
+                                 for index in range(8, 4096)})
+        return run_traced_scenario(
+            scheme or "driver-kernel", sim_us=400, seed=7, max_packets=6,
+            fault_plan=plan, watchdog_ticks=60, tracer=tracer,
+            parallel=False)
+    raise ValueError("unknown chaos kind %r (expected one of %s)"
+                     % (kind, ", ".join(CHAOS_KINDS)))

@@ -1,0 +1,265 @@
+"""Causal transaction spans reconstructed from trace events.
+
+The tracer's event stream is flat; this module folds it back into the
+*transactions* the co-simulation is made of.  Every cross-boundary
+exchange carries a deterministic correlation id in its events' ``span``
+argument:
+
+========================  ==========================================
+span id                   transaction
+========================  ==========================================
+``bp:<target>:<n>``       breakpoint stop → RSP transfers → resume
+                          (GDB schemes; held stops stay open across
+                          flow-control retries)
+``drv:<rtos>:<seq>``      guest READ issue → kernel reply → guest
+                          wake-up (Driver-Kernel round trip)
+``drvw:<rtos>:<seq>``     guest WRITE issue → kernel port delivery
+``irq:<rtos>:<n>``        interrupt posted on the socket → guest ISR
+                          entry (closed by vector match, which
+                          handles coalesced deliveries)
+``tx:<wire>:<seq>``       reliable-transport DATA frame send → ACK
+                          (retransmits annotate the open span)
+``par:<context>:<n>``     parallel dispatch → quantum-boundary
+                          commit window (``trace_commits`` runs only)
+========================  ==========================================
+
+Ids derive from kernel-state counters and message sequence numbers —
+never the wall clock — and are allocated on the main thread, so serial
+and parallel executions of the same scenario produce byte-identical
+span sets (a property test asserts this).
+
+:func:`build_spans` turns an event list into :class:`Span` records;
+:func:`dump_spans` serialises them canonically; :func:`perfetto_spans`
+exports Chrome/Perfetto *async* slices so the spans render as real
+intervals on the simulated timeline.
+"""
+
+import json
+
+#: event key -> span kind, for events that OPEN a span.
+OPEN_EVENTS = {
+    "cosim/bp_stop": "breakpoint_sync",
+    "driver/read_issue": "driver_round_trip",
+    "driver/write_issue": "driver_write",
+    "driver/interrupt": "interrupt_delivery",
+    "transport/send": "transport",
+    "cosim/parallel_dispatch": "parallel_window",
+}
+
+#: event keys that CLOSE the span named by their ``span`` argument.
+CLOSE_EVENTS = frozenset((
+    "cosim/bp_resume",
+    "driver/read_reply",
+    "driver/write",
+    "transport/ack",
+    "cosim/parallel_commit",
+))
+
+#: ``rtos/isr_enter`` has no span argument: it closes every open
+#: ``irq:<scope>:*`` span whose opening vector matches its own.
+ISR_ENTER = "rtos/isr_enter"
+
+
+class Span:
+    """One reconstructed transaction interval.
+
+    ``close_*`` fields are ``None`` while the span is open — a span
+    still open at end of trace is a *stalled* transaction (the health
+    analyzer ages these).  ``annotations`` counts the mid-span events
+    (transfers, retransmits, flow holds) that carried this span's id.
+    """
+
+    __slots__ = ("span_id", "kind", "scope", "open_seq", "open_timestep",
+                 "open_now", "close_seq", "close_timestep", "close_now",
+                 "annotations", "args")
+
+    def __init__(self, span_id, kind, scope, open_seq, open_timestep,
+                 open_now, args):
+        self.span_id = span_id
+        self.kind = kind
+        self.scope = scope
+        self.open_seq = open_seq
+        self.open_timestep = open_timestep
+        self.open_now = open_now
+        self.close_seq = None
+        self.close_timestep = None
+        self.close_now = None
+        self.annotations = 0
+        self.args = args
+
+    def __repr__(self):
+        state = ("open" if self.close_seq is None
+                 else "dur=%dfs" % self.duration_fs)
+        return "Span(%s %s %s)" % (self.span_id, self.kind, state)
+
+    @property
+    def closed(self):
+        return self.close_seq is not None
+
+    @property
+    def duration_fs(self):
+        """Simulated femtoseconds from open to close (None while open)."""
+        if self.close_now is None:
+            return None
+        return self.close_now - self.open_now
+
+    @property
+    def duration_timesteps(self):
+        """Simulated timesteps from open to close (None while open)."""
+        if self.close_timestep is None:
+            return None
+        return self.close_timestep - self.open_timestep
+
+    def close(self, event):
+        """Mark the span closed at *event*'s simulated-time point."""
+        self.close_seq = event.seq
+        self.close_timestep = event.timestep
+        self.close_now = event.now
+
+    def as_dict(self):
+        """The span as a plain JSON-serialisable dict."""
+        return {
+            "span": self.span_id,
+            "kind": self.kind,
+            "scope": self.scope,
+            "open_seq": self.open_seq,
+            "open_timestep": self.open_timestep,
+            "open_now": self.open_now,
+            "close_seq": self.close_seq,
+            "close_timestep": self.close_timestep,
+            "close_now": self.close_now,
+            "duration_fs": self.duration_fs,
+            "annotations": self.annotations,
+            "args": self.args,
+        }
+
+
+def build_spans(events):
+    """Fold a trace-event list into its :class:`Span` records.
+
+    Returns spans in open-order (open event sequence number).  Closes
+    for unknown ids are tolerated (a bounded ring may have dropped the
+    open); reopening an id closes nothing and starts a fresh span.
+    """
+    spans = []
+    open_spans = {}          # span id -> Span
+    for event in events:
+        key = event.key
+        span_id = event.args.get("span")
+        if key == ISR_ENTER:
+            _close_irq_spans(open_spans, event)
+            continue
+        kind = OPEN_EVENTS.get(key)
+        if kind is not None and span_id is not None:
+            args = {name: value for name, value in event.args.items()
+                    if name != "span"}
+            span = Span(span_id, kind, event.scope, event.seq,
+                        event.timestep, event.now, args)
+            spans.append(span)
+            open_spans[span_id] = span
+            continue
+        if span_id is None:
+            continue
+        span = open_spans.get(span_id)
+        if span is None:
+            continue
+        if key in CLOSE_EVENTS:
+            span.close(event)
+            del open_spans[span_id]
+        else:
+            span.annotations += 1
+    return spans
+
+
+def _close_irq_spans(open_spans, event):
+    """Close every open interrupt-delivery span this ISR entry serves.
+
+    The interrupt socket carries no correlation id (the wire format is
+    the paper's), so the match is structural: same RTOS (the span id's
+    scope segment) and same vector.  Coalesced deliveries — several
+    posted interrupts dispatched by one ISR entry — close together,
+    which is exactly what happened.
+    """
+    prefix = "irq:%s:" % event.scope
+    vector = event.args.get("vector")
+    for span_id in [sid for sid, span in open_spans.items()
+                    if sid.startswith(prefix)
+                    and span.args.get("vector") == vector]:
+        open_spans[span_id].close(event)
+        del open_spans[span_id]
+
+
+def spans_from_tracer(tracer):
+    """:func:`build_spans` over a tracer's buffered events."""
+    return build_spans(tracer.events())
+
+
+def dump_spans(spans):
+    """Canonical byte-stable serialisation: one JSON span per line.
+
+    Same discipline as :func:`repro.obs.tracer.dump_events` — sorted
+    keys, fixed separators — so span sets from two runs are directly
+    ``==``-comparable as text.
+    """
+    lines = [json.dumps(span.as_dict(), sort_keys=True,
+                        separators=(",", ":"))
+             for span in spans]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def perfetto_spans(spans):
+    """The spans as Chrome/Perfetto *async-slice* trace-event JSON.
+
+    Each span becomes a ``b``/``e`` async pair keyed by its correlation
+    id, with ``ts`` in microseconds of simulated time and one ``tid``
+    per scope; still-open spans are emitted as begin-only so stalls are
+    visible as unterminated slices.  Load in ``chrome://tracing`` or
+    https://ui.perfetto.dev.
+    """
+    tids = {}
+    trace_events = []
+    for span in spans:
+        tid = tids.setdefault(span.scope or "kernel", len(tids))
+        common = {
+            "name": span.kind,
+            "cat": span.kind,
+            "id": span.span_id,
+            "pid": 0,
+            "tid": tid,
+        }
+        trace_events.append(dict(
+            common, ph="b", ts=span.open_now / 1e9,
+            args=dict(span.args, span=span.span_id,
+                      open_seq=span.open_seq)))
+        if span.closed:
+            trace_events.append(dict(
+                common, ph="e", ts=span.close_now / 1e9,
+                args={"annotations": span.annotations}))
+    metadata = [
+        {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+         "args": {"name": scope}}
+        for scope, tid in tids.items()
+    ]
+    return {"traceEvents": metadata + trace_events,
+            "displayTimeUnit": "ms"}
+
+
+def perfetto_spans_json(spans):
+    """:func:`perfetto_spans` serialised deterministically."""
+    return json.dumps(perfetto_spans(spans), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def span_table(spans, limit=None):
+    """A plain-text span table (newest *limit* spans)."""
+    if limit is not None:
+        spans = spans[-limit:] if limit > 0 else []
+    lines = ["%-26s %-18s %-14s %9s %9s %5s" % (
+        "span", "kind", "scope", "open(ts)", "dur(fs)", "notes")]
+    for span in spans:
+        duration = ("OPEN" if not span.closed
+                    else "%d" % span.duration_fs)
+        lines.append("%-26s %-18s %-14s %9d %9s %5d" % (
+            span.span_id, span.kind, span.scope, span.open_timestep,
+            duration, span.annotations))
+    return "\n".join(lines)

@@ -25,7 +25,12 @@ timeline (:meth:`Tracer.timeline`).
 
 import json
 import threading
+import warnings
 from collections import Counter, deque
+
+#: Schema marker of the optional trace metadata header line.
+TRACE_HEADER_KEY = "repro-trace"
+TRACE_HEADER_VERSION = "1"
 
 
 class TraceEvent:
@@ -74,18 +79,56 @@ class TraceEvent:
         }
 
 
-def dump_events(events):
+def dump_events(events, dropped=0):
     """Canonical byte-stable serialisation: one JSON event per line.
 
     This exact format is what the golden-trace regression tests snapshot
     (``tests/obs/golden/*.json``) and what two seeded runs must replay
     byte-for-byte.  Keys are sorted and separators fixed so the output
     depends only on event content.
+
+    *dropped* is the emitting tracer's overflow count: a truncated
+    trace is not the deterministic artifact callers think it is, so a
+    non-zero count raises a loud :class:`UserWarning` instead of
+    silently serialising the surviving suffix.
     """
+    if dropped:
+        warnings.warn(
+            "trace ring overflowed: %d event(s) dropped — the dump is "
+            "truncated and must not be compared against goldens "
+            "(raise the tracer capacity)" % dropped)
     lines = [json.dumps(event.as_dict(), sort_keys=True,
                         separators=(",", ":"))
              for event in events]
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def trace_header(**fields):
+    """One canonical-JSON metadata line identifying a trace dump.
+
+    The returned line (no trailing newline) carries the
+    ``repro-trace`` schema marker plus the caller's *fields* (scheme,
+    seed, sim_us, quantum, version...).  Prepend it to a
+    :func:`dump_events` body; :func:`strip_header` removes it again
+    for consumers that want only events (golden comparison).
+    """
+    header = {TRACE_HEADER_KEY: TRACE_HEADER_VERSION}
+    header.update(fields)
+    return json.dumps(header, sort_keys=True, separators=(",", ":"))
+
+
+def strip_header(text):
+    """Drop a leading :func:`trace_header` line from *text*, if any."""
+    if not text:
+        return text
+    first, newline, rest = text.partition("\n")
+    try:
+        parsed = json.loads(first)
+    except ValueError:
+        return text
+    if isinstance(parsed, dict) and TRACE_HEADER_KEY in parsed:
+        return rest
+    return text
 
 
 class TraceBuffer:
@@ -219,7 +262,7 @@ class Tracer:
 
     def dump(self):
         """Canonical one-event-per-line JSON (see :func:`dump_events`)."""
-        return dump_events(self._events)
+        return dump_events(self._events, dropped=self.dropped)
 
     def chrome_trace(self):
         """The buffer as a Chrome trace-event JSON object.

@@ -90,6 +90,14 @@ class CosimPortDriver(DeviceDriver):
         sequence = self._next_sequence()
         message = Message(MessageType.READ,
                           [Block(port) for port in self.rx_ports], sequence)
+        tracer = self.kernel.cpu.tracer
+        if tracer.enabled:
+            # Opens the driver round-trip span; the kernel-side
+            # ``driver/read`` and the guest-side ``driver/read_reply``
+            # carry the same id (the driver's own sequence number).
+            tracer.emit("driver", "read_issue", scope=self.kernel.name,
+                        sequence=sequence,
+                        span="drv:%s:%d" % (self.kernel.name, sequence))
         self.data_endpoint.send(pack_message(message))
         self.reads_issued += 1
         thread.state = ThreadState.BLOCKED_IO
@@ -101,9 +109,16 @@ class CosimPortDriver(DeviceDriver):
         """Marshal guest memory into a WRITE message to our tx port."""
         memory = self.kernel.cpu.memory
         payload = memory.read_bytes(buffer_address, 4 * word_count)
+        sequence = self._next_sequence()
         message = Message(MessageType.WRITE,
-                          [Block(self.tx_port, payload)],
-                          self._next_sequence())
+                          [Block(self.tx_port, payload)], sequence)
+        tracer = self.kernel.cpu.tracer
+        if tracer.enabled:
+            # Opens the write span, closed by the kernel-side
+            # ``driver/write`` when the message lands.
+            tracer.emit("driver", "write_issue", scope=self.kernel.name,
+                        sequence=sequence,
+                        span="drvw:%s:%d" % (self.kernel.name, sequence))
         self.data_endpoint.send(pack_message(message))
         self.writes_issued += 1
         return word_count

@@ -380,6 +380,14 @@ class RtosKernel:
         if not self.vectors.has_deliverable:
             self.cpu.clear_irq()
         self.charge(self.costs.isr_entry)
+        tracer = self.cpu.tracer
+        if tracer.enabled:
+            # Closes the interrupt-delivery span(s): the span builder
+            # matches every open ``irq:<name>:*`` span with this
+            # vector, which handles vector coalescing without plumbing
+            # an id through the interrupt socket.
+            tracer.emit("rtos", "isr_enter", scope=self.name,
+                        vector=vector)
 
     # -- co-simulation message plumbing ---------------------------------------
 
@@ -411,6 +419,15 @@ class RtosKernel:
                 if pending_seq == message.sequence:
                     woken = driver.complete_read(message)
                     self._make_ready(woken)
+                    tracer = self.cpu.tracer
+                    if tracer.enabled:
+                        # Closes the driver round-trip span opened by
+                        # the guest-side ``driver/read_issue``.
+                        tracer.emit("driver", "read_reply",
+                                    scope=self.name,
+                                    sequence=message.sequence,
+                                    span="drv:%s:%d" % (self.name,
+                                                        message.sequence))
                     return
         raise RtosError("READ_REPLY (seq %d) matches no pending read"
                         % message.sequence)

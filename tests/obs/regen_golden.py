@@ -22,7 +22,7 @@ if str(REPO_ROOT / "src") not in sys.path:      # standalone invocation
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.obs.scenarios import COSIM_SCHEMES, run_traced_scenario  # noqa: E402
-from repro.obs.tracer import dump_events  # noqa: E402
+from repro.obs.tracer import dump_events, strip_header  # noqa: E402
 
 GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
 
@@ -50,10 +50,22 @@ def golden_path(scheme, quantum=1):
 
 
 def golden_trace_text(scheme, quantum=1):
-    """Run the pinned scenario under *scheme*; canonical JSON lines."""
+    """Run the pinned scenario under *scheme*; canonical JSON lines.
+
+    A truncated trace must never become (or be compared against) a
+    golden: ring overflow raises instead of silently snapshotting the
+    surviving suffix.
+    """
     run = run_traced_scenario(scheme, sync_quantum=quantum,
                               **GOLDEN_PARAMS)
-    return dump_events(run.tracer.events())
+    if run.tracer.dropped:
+        raise RuntimeError(
+            "golden scenario overflowed the trace ring (%d dropped); "
+            "raise the capacity before regenerating" % run.tracer.dropped)
+    # Goldens hold events only: a `repro trace --format json` metadata
+    # header (run parameters, repro version) never belongs in one, so
+    # strip any that sneaks in through a future dump path.
+    return strip_header(dump_events(run.tracer.events()))
 
 
 def main():

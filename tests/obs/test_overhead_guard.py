@@ -88,6 +88,42 @@ class TestOverheadGuard:
         assert len(run.tracer) <= EVENT_BUDGET_PER_TIMESTEP * timesteps
 
 
+@pytest.mark.parametrize("scheme", COSIM_SCHEMES)
+class TestSpanPlumbingIsFreeWhenDisabled:
+    """Correlation-id bookkeeping follows the same discipline as emit:
+    a disabled tracer must not even advance a span counter (no id
+    string is ever built), while a traced run must."""
+
+    def test_disabled_run_allocates_no_span_ids(self, scheme):
+        run = run_traced_scenario(scheme, tracer=BoobyTrappedTracer(),
+                                  **_PARAMS)
+        assert run.stats.received > 0
+        for driver in _target_drivers(run):
+            assert driver._bp_seq == 0
+            assert driver._held_span is None
+        hook = getattr(run.system.scheme, "hook", None)
+        if hook is not None and hasattr(hook, "_irq_seq"):
+            assert hook._irq_seq == {}
+
+    def test_traced_run_allocates_span_ids(self, scheme):
+        run = run_traced_scenario(scheme, **_PARAMS)
+        if scheme == "driver-kernel":
+            assert run.system.scheme.hook._irq_seq
+        else:
+            assert any(driver._bp_seq > 0
+                       for driver in _target_drivers(run))
+
+
+def _target_drivers(run):
+    """Every TargetDriver in *run* (GDB schemes; empty otherwise)."""
+    scheme = run.system.scheme
+    if hasattr(scheme, "wrappers"):            # gdb-wrapper
+        return [wrapper.driver for wrapper in scheme.wrappers]
+    contexts = getattr(getattr(scheme, "hook", None), "contexts", [])
+    return [context.driver for context in contexts
+            if hasattr(context, "driver")]
+
+
 def test_null_tracer_is_shared_and_disabled():
     assert NULL_TRACER.enabled is False
     NULL_TRACER.emit("x", "y", z=1)         # must be a cheap no-op

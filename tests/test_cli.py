@@ -109,3 +109,74 @@ class TestCli:
                      "32", "--sim-ms", "10"])
         assert code == 0
         assert "scheme=gdb-kernel" in capsys.readouterr().out
+
+    def test_trace_json_carries_metadata_header(self, capsys):
+        import json
+
+        from repro.obs.tracer import TRACE_HEADER_KEY, strip_header
+
+        code = main(["trace", "--scheme", "driver-kernel", "--sim-us",
+                     "40", "--format", "json"])
+        assert code == 0
+        out = capsys.readouterr().out
+        header = json.loads(out.split("\n", 1)[0])
+        assert header[TRACE_HEADER_KEY] == "1"
+        assert header["scheme"] == "driver-kernel"
+        assert header["version"] == __version__
+        assert header["quantum"] == 1
+        # strip_header removes exactly the header, nothing else.
+        events_text, _, __ = out.partition("\n\n")
+        body = strip_header(events_text + "\n")
+        assert json.loads(body.split("\n", 1)[0])["seq"] == 0
+
+    def test_spans_table(self, capsys):
+        code = main(["spans", "--scheme", "driver-kernel",
+                     "--sim-us", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "driver_round_trip" in out
+        assert "spans," in out and "open" in out
+
+    def test_spans_perfetto_to_file(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "spans.json"
+        code = main(["spans", "--scheme", "gdb-kernel", "--sim-us", "40",
+                     "--format", "perfetto", "-o", str(out_file)])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        data = json.loads(out_file.read_text())
+        phases = {event.get("ph") for event in data["traceEvents"]}
+        assert "b" in phases                # async begin slices
+
+    def test_health_clean_run_exits_zero(self, capsys):
+        code = main(["health", "--scheme", "driver-kernel",
+                     "--sim-us", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "health:" in out
+
+    def test_health_chaos_storm_fails(self, capsys):
+        code = main(["health", "--chaos", "storm"])
+        out = capsys.readouterr().out
+        assert code != 0
+        assert "retransmit-storm" in out
+
+    def test_health_chaos_stall_fails(self, capsys):
+        code = main(["health", "--chaos", "stall"])
+        out = capsys.readouterr().out
+        assert code != 0
+        assert "quarantine" in out
+        assert "stalled-span" in out
+
+    def test_health_records_mode(self, tmp_path, capsys):
+        import json
+
+        record = {"schema": "repro-bench/1", "name": "sick", "config": {},
+                  "counters": {"contexts_quarantined": 1},
+                  "wall": {"seconds": 0.1}}
+        (tmp_path / "BENCH_sick.json").write_text(json.dumps(record))
+        code = main(["health", "--records", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "quarantine" in out
