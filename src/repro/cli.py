@@ -6,8 +6,13 @@ shell:
 - ``table1 [--quick]`` — the Table 1 performance comparison;
 - ``fig7 [--sim-ms N]`` — the Figure 7 forwarding sweep;
 - ``loc`` — the Section 5 code-complexity report;
-- ``router --scheme S [--delay-us N] [--sim-ms N] [--cpus N]`` — one
-  case-study run with statistics;
+- ``router --scheme S [--delay-us N] [--sim-ms N] [--cpus N]
+  [--checkpoint-every N --checkpoint-dir D] [--resume-from PATH]`` —
+  one case-study run with statistics, optionally checkpointed (with
+  crash recovery) or resumed from a snapshot;
+- ``checkpoint save|restore|verify`` — deterministic snapshot/restore
+  with replay verification (docs/checkpoint.md); ``verify`` exits 2
+  with a one-line message when the file is missing or corrupt;
 - ``trace [--scheme S|all] [--format chrome|text|json]`` — a traced
   quickstart-scale run with a per-scheme profile comparison (the json
   format leads with a metadata header line naming the scheme, seed,
@@ -15,9 +20,11 @@ shell:
 - ``spans [--scheme S|all] [--format table|json|perfetto]`` — causal
   transaction spans reconstructed from a traced run
   (docs/observability.md), exportable as Perfetto async slices;
-- ``health [--records D [--baseline-dir D]] [--chaos storm|stall]`` —
-  the rule-based co-simulation health analyzer; exits non-zero when
-  any finding is critical;
+- ``health [--records D [--baseline-dir D]] [--checkpoint-dir D]
+  [--chaos storm|stall]`` — the rule-based co-simulation health
+  analyzer (``--checkpoint-dir`` reports crash-recovery events); exits
+  non-zero when any finding is critical, 2 with a one-line message
+  when a named records/baseline/checkpoint directory is missing;
 - ``bench [--scheme S|all] [--out-dir D] [--quantum N] [--compare]`` —
   machine-readable ``BENCH_*.json`` benchmark records
   (docs/observability.md), optionally gated against the committed
@@ -88,14 +95,53 @@ def _cmd_loc(args):
     return 0
 
 
+def _print_recoveries(runner):
+    for entry in runner.recovery_log:
+        print("recovered %s from %s in slice %d (attempt %d)"
+              % (entry["context"], entry["code"], entry["slice"],
+                 entry["attempt"]))
+
+
 def _cmd_router(args):
     from repro.router.system import build_system
 
-    system = build_system(scheme=args.scheme,
-                          inter_packet_delay=args.delay_us * US,
-                          num_cpus=args.cpus)
-    system.run(args.sim_ms * MS)
-    stats = system.stats()
+    if args.resume_from:
+        from repro.cosim.checkpoint import (RecoveryPolicy,
+                                            restore_checkpoint)
+        from repro.errors import CheckpointError
+
+        try:
+            runner = restore_checkpoint(args.resume_from,
+                                        out_dir=args.checkpoint_dir,
+                                        recovery=RecoveryPolicy())
+        except CheckpointError as error:
+            print("router: cannot resume: %s" % error)
+            return 2
+        stats = runner.run(args.sim_ms * MS)
+        _print_recoveries(runner)
+        runner.close()
+    elif args.checkpoint_every:
+        from repro.cosim.checkpoint import (CheckpointRunner,
+                                            RecoveryPolicy)
+        from repro.router.system import RouterConfig
+
+        config = RouterConfig(scheme=args.scheme,
+                              inter_packet_delay=args.delay_us * US,
+                              num_cpus=args.cpus)
+        runner = CheckpointRunner(config,
+                                  checkpoint_every=args.checkpoint_every,
+                                  out_dir=args.checkpoint_dir,
+                                  recovery=RecoveryPolicy())
+        stats = runner.run(args.sim_ms * MS)
+        _print_recoveries(runner)
+        runner.close()
+    else:
+        system = build_system(scheme=args.scheme,
+                              inter_packet_delay=args.delay_us * US,
+                              num_cpus=args.cpus)
+        system.run(args.sim_ms * MS)
+        stats = system.stats()
+        system.close()
     print("scheme=%s cpus=%d delay=%dus sim=%dms" % (
         args.scheme, args.cpus, args.delay_us, args.sim_ms))
     print("generated=%d forwarded=%d (%.1f%%) received=%d corrupt=%d "
@@ -103,6 +149,71 @@ def _cmd_router(args):
                               stats.forwarded_percent, stats.received,
                               stats.corrupt, stats.input_drops))
     return 0 if stats.corrupt == 0 else 1
+
+
+def _cmd_checkpoint_save(args):
+    from repro.cosim.checkpoint import (CheckpointRunner,
+                                        latest_checkpoint,
+                                        load_checkpoint)
+    from repro.router.system import RouterConfig
+
+    config = RouterConfig(scheme=args.scheme, num_cpus=args.cpus,
+                          sync_quantum=args.quantum,
+                          inter_packet_delay=args.delay_us * US)
+    runner = CheckpointRunner(config, checkpoint_every=args.every,
+                              out_dir=args.out_dir)
+    runner.run(args.sim_us * US)
+    runner.close()
+    latest = latest_checkpoint(args.out_dir)
+    if latest is None:
+        print("checkpoint save: the run was shorter than one slice "
+              "(%d quanta); raise --sim-us or lower --every"
+              % args.every)
+        return 1
+    print("saved %d checkpoint(s) under %s" % (
+        len(runner._saved), args.out_dir))
+    print("latest: %s (slice %d)"
+          % (latest, load_checkpoint(latest)["position"]["slice"]))
+    return 0
+
+
+def _cmd_checkpoint_restore(args):
+    from repro.cosim.checkpoint import (RecoveryPolicy,
+                                        restore_checkpoint)
+    from repro.errors import CheckpointError
+
+    try:
+        runner = restore_checkpoint(args.path, out_dir=args.out_dir,
+                                    recovery=RecoveryPolicy())
+    except CheckpointError as error:
+        print("checkpoint restore failed: %s" % error)
+        return 2
+    print("restored %s at slice %d (now=%d fs)"
+          % (args.path, runner.completed_slices,
+             runner.system.kernel.now))
+    if args.sim_us:
+        stats = runner.run(args.sim_us * US)
+        _print_recoveries(runner)
+        print("generated=%d forwarded=%d (%.1f%%) received=%d"
+              % (stats.generated, stats.forwarded,
+                 stats.forwarded_percent, stats.received))
+    runner.close()
+    return 0
+
+
+def _cmd_checkpoint_verify(args):
+    from repro.cosim.checkpoint import verify_checkpoint
+    from repro.errors import CheckpointError
+
+    try:
+        report = verify_checkpoint(args.path)
+    except CheckpointError as error:
+        print("checkpoint verify failed: %s" % error)
+        return 2
+    print("verified %s: scheme=%s slice=%d now=%dfs sections=%s"
+          % (report["path"], report["scheme"], report["slice"],
+             report["now"], ",".join(report["sections"])))
+    return 0
 
 
 def _cmd_stream(args):
@@ -257,14 +368,42 @@ def _cmd_spans(args):
 
 
 def _cmd_health(args):
+    import json
+    import os
+
     from repro.obs.health import (HealthReport, analyze_records,
-                                  analyze_run)
+                                  analyze_recovery_log, analyze_run)
     from repro.obs.scenarios import (chaos_health_scenario,
                                      run_traced_scenario)
 
     if args.records:
+        if not os.path.isdir(args.records):
+            print("health: records directory %r does not exist; run "
+                  "'repro bench --out-dir %s' first"
+                  % (args.records, args.records))
+            return 2
+        if args.baseline_dir and not os.path.isdir(args.baseline_dir):
+            print("health: baseline directory %r does not exist; pass "
+                  "an existing --baseline-dir (the committed records "
+                  "live in benchmarks/baselines)" % args.baseline_dir)
+            return 2
         report = analyze_records(args.records,
                                  baseline_dir=args.baseline_dir)
+        print(report.render())
+        return report.exit_code
+    if args.checkpoint_dir:
+        if not os.path.isdir(args.checkpoint_dir):
+            print("health: checkpoint directory %r does not exist; "
+                  "run 'repro router --checkpoint-every N "
+                  "--checkpoint-dir %s' first"
+                  % (args.checkpoint_dir, args.checkpoint_dir))
+            return 2
+        log_path = os.path.join(args.checkpoint_dir, "recovery.json")
+        log = []
+        if os.path.exists(log_path):
+            with open(log_path) as handle:
+                log = json.load(handle)
+        report = analyze_recovery_log(log)
         print(report.render())
         return report.exit_code
     report = HealthReport()
@@ -319,7 +458,53 @@ def build_parser():
     router.add_argument("--delay-us", type=int, default=20)
     router.add_argument("--sim-ms", type=int, default=2)
     router.add_argument("--cpus", type=int, default=1)
+    router.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="N",
+                        help="checkpoint every N sync quanta (requires "
+                             "--checkpoint-dir to keep the files)")
+    router.add_argument("--checkpoint-dir", default=None,
+                        help="directory for checkpoint_*.json and the "
+                             "recovery log")
+    router.add_argument("--resume-from", default=None, metavar="PATH",
+                        help="resume a previous run from a checkpoint "
+                             "file instead of starting fresh")
     router.set_defaults(func=_cmd_router)
+
+    checkpoint = commands.add_parser(
+        "checkpoint", help="deterministic snapshot/restore of a "
+                           "router co-simulation (docs/checkpoint.md)")
+    checkpoint_cmds = checkpoint.add_subparsers(dest="checkpoint_command",
+                                                required=True)
+    ck_save = checkpoint_cmds.add_parser(
+        "save", help="run a scenario, writing checkpoints")
+    ck_save.add_argument("--scheme", default="gdb-kernel",
+                         choices=["gdb-wrapper", "gdb-kernel",
+                                  "driver-kernel"])
+    ck_save.add_argument("--sim-us", type=int, default=120,
+                         help="simulated microseconds")
+    ck_save.add_argument("--quantum", type=int, default=1,
+                         help="sync quantum")
+    ck_save.add_argument("--cpus", type=int, default=2)
+    ck_save.add_argument("--delay-us", type=int, default=20)
+    ck_save.add_argument("--every", type=int, default=8,
+                         help="sync quanta per checkpoint slice")
+    ck_save.add_argument("--out-dir", required=True,
+                         help="directory for checkpoint_*.json")
+    ck_save.set_defaults(func=_cmd_checkpoint_save)
+    ck_restore = checkpoint_cmds.add_parser(
+        "restore", help="rebuild a run from a checkpoint and continue")
+    ck_restore.add_argument("path", help="checkpoint file")
+    ck_restore.add_argument("--sim-us", type=int, default=0,
+                            help="continue the run to this horizon "
+                                 "(0: just restore and verify)")
+    ck_restore.add_argument("--out-dir", default=None,
+                            help="write further checkpoints here")
+    ck_restore.set_defaults(func=_cmd_checkpoint_restore)
+    ck_verify = checkpoint_cmds.add_parser(
+        "verify", help="replay-verify a checkpoint file (exit 2 when "
+                       "missing or corrupt)")
+    ck_verify.add_argument("path", help="checkpoint file")
+    ck_verify.set_defaults(func=_cmd_checkpoint_verify)
 
     stream = commands.add_parser("stream",
                                  help="the streaming DSP case study")
@@ -382,6 +567,9 @@ def build_parser():
     health.add_argument("--baseline-dir", default=None,
                         help="baseline records for latency-regression "
                              "checks (--records mode)")
+    health.add_argument("--checkpoint-dir", default=None,
+                        help="report crash-recovery events from a "
+                             "checkpoint directory's recovery.json")
     health.add_argument("--chaos", default=None,
                         choices=["storm", "stall"],
                         help="run a seeded fault scenario the analyzer "

@@ -32,6 +32,10 @@ from repro.cosim.reliable import (ReliabilityConfig, ReliableEndpoint,
 from repro.cosim.gdb_wrapper import GdbWrapperScheme, GdbWrapperModule
 from repro.cosim.gdb_kernel import GdbKernelScheme, GdbKernelHook
 from repro.cosim.driver_kernel import DriverKernelScheme, DriverKernelHook
+from repro.cosim.checkpoint import (CheckpointRunner, RecoveryPolicy,
+                                    capture_state, compare_states,
+                                    latest_checkpoint, load_checkpoint,
+                                    restore_checkpoint, verify_checkpoint)
 
 __all__ = [
     "Pipe", "Socket", "Endpoint", "Message", "MessageType", "FrameKind",
@@ -41,5 +45,8 @@ __all__ = [
     "PragmaMap", "build_pragma_map", "ReliabilityConfig",
     "ReliableEndpoint", "wrap_reliable", "GdbWrapperScheme",
     "GdbWrapperModule", "GdbKernelScheme", "GdbKernelHook",
-    "DriverKernelScheme", "DriverKernelHook",
+    "DriverKernelScheme", "DriverKernelHook", "CheckpointRunner",
+    "RecoveryPolicy", "capture_state", "compare_states",
+    "latest_checkpoint", "load_checkpoint", "restore_checkpoint",
+    "verify_checkpoint",
 ]

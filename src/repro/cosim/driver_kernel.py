@@ -28,14 +28,16 @@ whole simulation.
 
 from dataclasses import dataclass, field
 
-from repro.errors import CosimError, CosimTransportError
+from repro.errors import (CosimError, CosimTransportError,
+                          RecoverableCrashError)
 from repro.cosim.binding import ClockBinding
 from repro.cosim.channels import Socket
 from repro.cosim.faults import FaultyEndpoint
 from repro.cosim.messages import (DATA_PORT, INTERRUPT_PORT, Message,
                                   MessageType, interrupt_message,
                                   pack_message, unpack_message)
-from repro.cosim.metrics import CosimMetrics
+from repro.cosim.metrics import (CosimMetrics, QUARANTINE_TRANSPORT,
+                                 QUARANTINE_WATCHDOG, QUARANTINE_WORKER)
 from repro.cosim.ports import IssInPort, IssOutPort
 from repro.cosim.reliable import wrap_reliable
 from repro.iss.remote import RemoteWorkerError
@@ -95,6 +97,11 @@ class DriverKernelHook(KernelHook):
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.dispatcher = dispatcher
         self.contexts = []
+        # Optional crash-recovery hook: ``policy(context_name, code)``
+        # returning True elects recovery (RecoverableCrashError) over
+        # quarantine.  Set by the checkpoint runner; None = PR-1
+        # behavior (always quarantine).
+        self.crash_policy = None
         self._pending_interrupts = []   # (context, vector)
         # Span counters, advanced only under `if tracer.enabled:` and
         # always on the main thread, so correlation ids are identical
@@ -129,7 +136,7 @@ class DriverKernelHook(KernelHook):
                         break
                     self._handle_message(context, unpack_message(payload))
             except CosimTransportError as error:
-                self._quarantine(context, "transport: %s" % error)
+                self._quarantine(context, QUARANTINE_TRANSPORT, error)
 
     def on_cycle_end(self, kernel):
         """Forward interrupts raised this cycle (Fig. 5)."""
@@ -187,7 +194,7 @@ class DriverKernelHook(KernelHook):
         try:
             consumed = context.rtos.advance(budget)
         except CosimTransportError as error:
-            self._quarantine(context, "transport: %s" % error)
+            self._quarantine(context, QUARANTINE_TRANSPORT, error)
             return
         self.metrics.iss_cycles += consumed
         self.metrics.bump_context(context.name, iss_cycles=consumed)
@@ -309,10 +316,10 @@ class DriverKernelHook(KernelHook):
         if status == "error":
             if isinstance(value, RemoteWorkerError):
                 self.dispatcher.kill_worker(context.rtos.cpu)
-                self._quarantine(context, "worker: %s" % value)
+                self._quarantine(context, QUARANTINE_WORKER, value)
                 return False
             if isinstance(value, CosimTransportError):
-                self._quarantine(context, "transport: %s" % value)
+                self._quarantine(context, QUARANTINE_TRANSPORT, value)
                 return False
             raise value
         self.metrics.iss_cycles += value
@@ -354,7 +361,7 @@ class DriverKernelHook(KernelHook):
         try:
             consumed = context.rtos.advance(budget)
         except CosimTransportError as error:
-            self._quarantine(context, "transport: %s" % error)
+            self._quarantine(context, QUARANTINE_TRANSPORT, error)
             return
         self.metrics.iss_cycles += consumed
         self.metrics.bump_context(context.name, iss_cycles=consumed)
@@ -372,14 +379,29 @@ class DriverKernelHook(KernelHook):
         context._stall_ticks += 1
         if context._stall_ticks >= self.watchdog_ticks:
             self._quarantine(
-                context, "watchdog: no driver traffic in %d timesteps"
+                context, QUARANTINE_WATCHDOG,
+                "no driver traffic in %d timesteps"
                 % self.watchdog_ticks)
 
-    def _quarantine(self, context, reason):
-        """Detach *context*; the rest of the simulation carries on."""
+    def _quarantine(self, context, reason, detail=None):
+        """Detach *context*; the rest of the simulation carries on.
+
+        *reason* is a stable ``QUARANTINE_*`` code (it reaches traces
+        and metrics); *detail* is free-form diagnostics kept out of
+        golden-relevant fields.  When a crash policy elects recovery,
+        raise instead of detaching — the checkpoint runner catches it
+        at the kernel-run boundary and resumes from the last snapshot.
+        """
+        if (self.crash_policy is not None
+                and self.crash_policy(context.name, reason)):
+            raise RecoverableCrashError(
+                "context %r crashed: %s (%s)"
+                % (context.name, reason, detail if detail else reason),
+                context=context.name, code=reason)
         context.quarantined = True
         context.quarantine_reason = reason
-        self.metrics.record_quarantine(context.name, reason)
+        self.metrics.record_quarantine(context.name, reason,
+                                       detail=detail)
         if self.tracer.enabled:
             self.tracer.emit("cosim", "quarantine", scope=context.name,
                              reason=reason)

@@ -44,7 +44,7 @@ class FaultPlan:
                       "delay": delay}
         for kind, rate in self.rates.items():
             if not 0.0 <= rate <= 1.0:
-                raise CosimError("%s rate %r outside [0, 1]"
+                raise ValueError("%s rate %r outside [0, 1]"
                                  % (kind, rate))
         for kind in (script or {}).values():
             if kind not in FAULT_KINDS:
@@ -58,6 +58,34 @@ class FaultPlan:
         """The per-endpoint deterministic random stream."""
         salt = zlib.crc32(str(label).encode("utf-8"))
         return random.Random((self.seed << 32) ^ salt)
+
+    def to_dict(self):
+        """A JSON-serializable description that round-trips through
+        :meth:`from_dict` (checkpoints persist plans this way)."""
+        return {
+            "seed": self.seed,
+            "rates": dict(self.rates),
+            "delay_polls": self.delay_polls,
+            "max_faults": self.max_faults,
+            # JSON object keys are strings; from_dict restores ints.
+            "script": {str(index): kind
+                       for index, kind in sorted(self.script.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a plan serialized by :meth:`to_dict`."""
+        rates = data.get("rates", {})
+        return cls(seed=data.get("seed", 0),
+                   drop=rates.get("drop", 0.0),
+                   duplicate=rates.get("duplicate", 0.0),
+                   reorder=rates.get("reorder", 0.0),
+                   corrupt=rates.get("corrupt", 0.0),
+                   delay=rates.get("delay", 0.0),
+                   delay_polls=data.get("delay_polls", 3),
+                   max_faults=data.get("max_faults"),
+                   script={int(index): kind for index, kind
+                           in data.get("script", {}).items()})
 
 
 class FaultyEndpoint:

@@ -26,11 +26,12 @@ finish instead of wedging the whole simulation.
 
 from dataclasses import dataclass
 
-from repro.errors import CosimTransportError
+from repro.errors import CosimTransportError, RecoverableCrashError
 from repro.cosim.binding import ClockBinding
 from repro.cosim.channels import Pipe
 from repro.cosim.faults import FaultyEndpoint
-from repro.cosim.metrics import CosimMetrics
+from repro.cosim.metrics import (CosimMetrics, QUARANTINE_TRANSPORT,
+                                 QUARANTINE_WATCHDOG, QUARANTINE_WORKER)
 from repro.cosim.reliable import wrap_reliable
 from repro.cosim.transfer import TargetDriver
 from repro.iss.remote import RemoteWorkerError
@@ -80,6 +81,11 @@ class GdbKernelHook(KernelHook):
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.dispatcher = dispatcher
         self.contexts = []
+        # Optional crash-recovery hook: ``policy(context_name, code)``
+        # returning True elects recovery (RecoverableCrashError) over
+        # quarantine.  Set by the checkpoint runner; None = PR-1
+        # behavior (always quarantine).
+        self.crash_policy = None
         # Dispatch-window span counter; main-thread only, traced only.
         self._par_seq = 0
 
@@ -102,8 +108,8 @@ class GdbKernelHook(KernelHook):
                                          scope=context.name)
                     context.driver.drive()
                     context.attention_serviced = True
-            except CosimTransportError as error:
-                self._quarantine(context, "transport: %s" % error)
+            except (CosimTransportError, RemoteWorkerError) as error:
+                self._quarantine_error(context, error)
 
     def on_time_advance(self, kernel):
         """Grant each ISS its cycle budget and drive it.
@@ -143,8 +149,8 @@ class GdbKernelHook(KernelHook):
         try:
             context.driver.grant(budget)
             context.driver.drive()
-        except CosimTransportError as error:
-            self._quarantine(context, "transport: %s" % error)
+        except (CosimTransportError, RemoteWorkerError) as error:
+            self._quarantine_error(context, error)
             return
         self._watchdog(context)
 
@@ -252,10 +258,10 @@ class GdbKernelHook(KernelHook):
         if status == "error":
             if isinstance(value, RemoteWorkerError):
                 self.dispatcher.kill_worker(context.cpu)
-                self._quarantine(context, "worker: %s" % value)
+                self._quarantine(context, QUARANTINE_WORKER, value)
                 return
             if isinstance(value, CosimTransportError):
-                self._quarantine(context, "transport: %s" % value)
+                self._quarantine(context, QUARANTINE_TRANSPORT, value)
                 return
             raise value
         consumed = value
@@ -264,8 +270,8 @@ class GdbKernelHook(KernelHook):
             self.metrics.bump_context(context.name, iss_cycles=consumed)
         try:
             context.driver.drive(skip_first_execute=True)
-        except CosimTransportError as error:
-            self._quarantine(context, "transport: %s" % error)
+        except (CosimTransportError, RemoteWorkerError) as error:
+            self._quarantine_error(context, error)
             return
         if self.dispatcher.trace_commits and self.tracer.enabled:
             args = dict(cycles=consumed)
@@ -303,8 +309,8 @@ class GdbKernelHook(KernelHook):
         try:
             context.driver.grant(budget)
             context.driver.drive()
-        except CosimTransportError as error:
-            self._quarantine(context, "transport: %s" % error)
+        except (CosimTransportError, RemoteWorkerError) as error:
+            self._quarantine_error(context, error)
             return
         self._watchdog(context)
 
@@ -320,14 +326,43 @@ class GdbKernelHook(KernelHook):
         context._stall_ticks += 1
         if context._stall_ticks >= self.watchdog_ticks:
             self._quarantine(
-                context, "watchdog: no execution progress in %d timesteps"
+                context, QUARANTINE_WATCHDOG,
+                "no execution progress in %d timesteps"
                 % self.watchdog_ticks)
 
-    def _quarantine(self, context, reason):
-        """Detach *context*; the rest of the simulation carries on."""
+    def _quarantine_error(self, context, error):
+        """Map a caught transport/worker failure to its reason code.
+
+        A dead forked worker (the PR-4 ``RemoteWorkerError`` path) can
+        surface through the serial drive paths too — e.g. the cheap
+        poll servicing a stop — not just at a parallel commit slot.
+        """
+        if isinstance(error, RemoteWorkerError):
+            if self.dispatcher is not None:
+                self.dispatcher.kill_worker(context.cpu)
+            self._quarantine(context, QUARANTINE_WORKER, error)
+        else:
+            self._quarantine(context, QUARANTINE_TRANSPORT, error)
+
+    def _quarantine(self, context, reason, detail=None):
+        """Detach *context*; the rest of the simulation carries on.
+
+        *reason* is a stable ``QUARANTINE_*`` code (it reaches traces
+        and metrics); *detail* is free-form diagnostics kept out of
+        golden-relevant fields.  When a crash policy elects recovery,
+        raise instead of detaching — the checkpoint runner catches it
+        at the kernel-run boundary and resumes from the last snapshot.
+        """
+        if (self.crash_policy is not None
+                and self.crash_policy(context.name, reason)):
+            raise RecoverableCrashError(
+                "context %r crashed: %s (%s)"
+                % (context.name, reason, detail if detail else reason),
+                context=context.name, code=reason)
         context.quarantined = True
         context.quarantine_reason = reason
-        self.metrics.record_quarantine(context.name, reason)
+        self.metrics.record_quarantine(context.name, reason,
+                                       detail=detail)
         if self.tracer.enabled:
             self.tracer.emit("cosim", "quarantine", scope=context.name,
                              reason=reason)

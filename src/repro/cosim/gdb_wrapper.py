@@ -22,11 +22,12 @@ framing over fault-injected links, and a per-wrapper watchdog
 quarantines a stalled or transport-dead ISS so its siblings finish.
 """
 
-from repro.errors import CosimTransportError
+from repro.errors import CosimTransportError, RecoverableCrashError
 from repro.cosim.binding import ClockBinding
 from repro.cosim.channels import Pipe
 from repro.cosim.gdb_kernel import _wire_pipe
-from repro.cosim.metrics import CosimMetrics
+from repro.cosim.metrics import (CosimMetrics, QUARANTINE_TRANSPORT,
+                                 QUARANTINE_WATCHDOG, QUARANTINE_WORKER)
 from repro.cosim.transfer import TargetDriver
 from repro.gdb.client import GdbClient
 from repro.gdb.stub import GdbStub
@@ -54,6 +55,9 @@ class GdbWrapperModule(Module):
         self.watchdog_ticks = watchdog_ticks
         self.quarantined = False
         self.quarantine_reason = None
+        # Optional crash-recovery hook: ``policy(name, code)`` returning
+        # True elects recovery over quarantine (checkpoint runner).
+        self.crash_policy = None
         # Open parallel dispatch→commit window span (trace_commits
         # only; ids come from the scheme's main-thread counter).
         self._par_span = None
@@ -117,8 +121,8 @@ class GdbWrapperModule(Module):
             self.metrics.cheap_polls += 1
             try:
                 self.driver.drive()
-            except CosimTransportError as error:
-                self._quarantine("transport: %s" % error)
+            except (CosimTransportError, RemoteWorkerError) as error:
+                self._quarantine_error(error)
                 return
         # A serviced stop leaves the guest runnable again: grant
         # the banked budget now instead of waiting out the quantum.
@@ -150,8 +154,8 @@ class GdbWrapperModule(Module):
                 self.driver.grant(budget)
             self.metrics.sc_timesteps += 1
             self.driver.drive()
-        except CosimTransportError as error:
-            self._quarantine("transport: %s" % error)
+        except (CosimTransportError, RemoteWorkerError) as error:
+            self._quarantine_error(error)
             return
         self._watchdog()
 
@@ -185,8 +189,8 @@ class GdbWrapperModule(Module):
                 self.metrics.grants += 1
                 self.driver.grant(budget)
             self.driver.drive()
-        except CosimTransportError as error:
-            self._quarantine("transport: %s" % error)
+        except (CosimTransportError, RemoteWorkerError) as error:
+            self._quarantine_error(error)
             return
         self._watchdog()
 
@@ -227,13 +231,36 @@ class GdbWrapperModule(Module):
         self._stall_ticks += 1
         if self._stall_ticks >= self.watchdog_ticks:
             self._quarantine(
-                "watchdog: no execution progress in %d clock cycles"
+                QUARANTINE_WATCHDOG,
+                "no execution progress in %d clock cycles"
                 % self.watchdog_ticks)
 
-    def _quarantine(self, reason):
+    def _quarantine_error(self, error):
+        """Map a caught transport/worker failure to its reason code.
+
+        A dead forked worker can surface on the serial drive paths
+        (cheap polls, lock-step rounds), not just at a commit slot.
+        """
+        if isinstance(error, RemoteWorkerError):
+            if (self.coordinator is not None
+                    and self.coordinator.dispatcher is not None):
+                self.coordinator.dispatcher.kill_worker(self.cpu)
+            self._quarantine(QUARANTINE_WORKER, error)
+        else:
+            self._quarantine(QUARANTINE_TRANSPORT, error)
+
+    def _quarantine(self, reason, detail=None):
+        """Detach this wrapper — or raise for recovery when a crash
+        policy elects it (see the kernel schemes' ``_quarantine``)."""
+        if (self.crash_policy is not None
+                and self.crash_policy(self.name, reason)):
+            raise RecoverableCrashError(
+                "context %r crashed: %s (%s)"
+                % (self.name, reason, detail if detail else reason),
+                context=self.name, code=reason)
         self.quarantined = True
         self.quarantine_reason = reason
-        self.metrics.record_quarantine(self.name, reason)
+        self.metrics.record_quarantine(self.name, reason, detail=detail)
         if self.tracer.enabled:
             self.tracer.emit("cosim", "quarantine", scope=self.name,
                              reason=reason)
@@ -365,10 +392,10 @@ class GdbWrapperScheme:
         if status == "error":
             if isinstance(value, RemoteWorkerError):
                 self.dispatcher.kill_worker(wrapper.cpu)
-                wrapper._quarantine("worker: %s" % value)
+                wrapper._quarantine(QUARANTINE_WORKER, value)
                 return
             if isinstance(value, CosimTransportError):
-                wrapper._quarantine("transport: %s" % value)
+                wrapper._quarantine(QUARANTINE_TRANSPORT, value)
                 return
             raise value
         state, consumed = value
@@ -385,7 +412,7 @@ class GdbWrapperScheme:
         try:
             wrapper.driver.drive(skip_first_execute=True)
         except CosimTransportError as error:
-            wrapper._quarantine("transport: %s" % error)
+            wrapper._quarantine(QUARANTINE_TRANSPORT, error)
             return
         if self.dispatcher.trace_commits and self.tracer.enabled:
             args = dict(cycles=consumed)

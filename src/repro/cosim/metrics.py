@@ -9,6 +9,18 @@ Driver-Kernel messages.
 
 from dataclasses import dataclass, field
 
+# Stable quarantine reason codes.  These strings land in traces,
+# metrics, and health reports, so they must never embed exception
+# ``repr`` text (which varies across Python versions and runs); the
+# free-form detail is kept on :attr:`CosimMetrics.quarantine_details`,
+# outside every golden-trace-relevant field.
+QUARANTINE_TRANSPORT = "transport-error"
+QUARANTINE_WATCHDOG = "watchdog-timeout"
+QUARANTINE_WORKER = "worker-crash"
+
+QUARANTINE_CODES = (QUARANTINE_TRANSPORT, QUARANTINE_WATCHDOG,
+                    QUARANTINE_WORKER)
+
 
 @dataclass
 class CosimMetrics:
@@ -45,6 +57,10 @@ class CosimMetrics:
     # traced/disabled/untraced runs, and only traced runs can have
     # span latencies.
     latency: dict = field(default_factory=dict)
+    # Free-form quarantine diagnostics (context, code, detail).  Kept
+    # out of as_dict()/extra on purpose: the detail embeds exception
+    # text, which must never reach golden-trace-relevant fields.
+    quarantine_details: list = field(default_factory=list)
 
     def as_dict(self):
         """All counters as a plain dict (for stats reporting)."""
@@ -92,11 +108,19 @@ class CosimMetrics:
         """Attach per-span-kind latency summaries (post-run, traced)."""
         self.latency = dict(summaries)
 
-    def record_quarantine(self, context_name, reason):
-        """Count a quarantined context and log why it was detached."""
+    def record_quarantine(self, context_name, reason, detail=None):
+        """Count a quarantined context and log why it was detached.
+
+        *reason* should be one of the stable ``QUARANTINE_*`` codes;
+        *detail* (free-form exception text) stays on
+        :attr:`quarantine_details`, outside the golden-relevant log.
+        """
         self.contexts_quarantined += 1
         self.extra.setdefault("quarantine_log", []).append(
             (context_name, reason))
+        if detail is not None:
+            self.quarantine_details.append((context_name, reason,
+                                            str(detail)))
 
     def quarantine_log(self):
         """The ``(context, reason)`` pairs recorded by the watchdogs."""

@@ -52,3 +52,52 @@ class CosimTransportError(CosimError):
     is exhausted: a frame went unacknowledged through every backoff
     stage.  The schemes quarantine the affected ISS context instead of
     letting this wedge the whole simulation."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a co-simulation checkpoint cannot be saved,
+    loaded, or verified.
+
+    Covers malformed or truncated checkpoint files, digest mismatches,
+    format-version skew, and replay divergence during verification.
+    Loading is a pure read, so a failed restore never leaves a
+    simulation in a partially mutated state."""
+
+
+class RecoverableCrashError(CosimError):
+    """A context crash the active recovery policy has elected to heal.
+
+    Raised from inside a scheme's quarantine path when a
+    ``crash_policy`` approves recovery instead of detaching the
+    context.  Carries the crashed context's name and the stable
+    quarantine reason code so the checkpoint runner can rebuild and
+    resume from the last snapshot.
+
+    The SystemC kernel re-wraps errors raised inside method processes
+    via single-argument reconstruction, so the context/code also ride
+    in the message in a parseable form (see :func:`parse_crash`).
+    """
+
+    def __init__(self, message, context=None, code=None):
+        super().__init__(message)
+        self.context = context
+        self.code = code
+
+
+def parse_crash(error):
+    """Extract ``(context, code)`` from a RecoverableCrashError.
+
+    Falls back to parsing the message when the kernel's process-error
+    re-wrapping dropped the attributes (one-argument reconstruction).
+    """
+    context = getattr(error, "context", None)
+    code = getattr(error, "code", None)
+    if context is not None and code is not None:
+        return context, code
+    import re
+
+    match = re.search(r"context '([^']+)' crashed: ([a-z-]+)",
+                      str(error))
+    if match:
+        return match.group(1), match.group(2)
+    return context, code

@@ -182,6 +182,38 @@ def analyze_run(events, metrics=None, thresholds=None, dropped=0,
     return report
 
 
+def analyze_recovery_log(log, max_attempts=2):
+    """Report crash-recovery events recorded by a CheckpointRunner.
+
+    *log* is the runner's ``recovery_log`` (or the ``recovery.json``
+    it writes next to its checkpoints).  Each successful recovery is
+    a warning — the run completed, but something crashed along the
+    way; a context that spent the whole *max_attempts* budget was
+    degraded to quarantine, which is critical.
+    """
+    report = HealthReport()
+    if not log:
+        report.add("info", "crash-recovery", "checkpoint",
+                   "no recovery events recorded")
+        return report
+    attempts = {}
+    for entry in log:
+        context = entry.get("context", "?")
+        attempts[context] = max(attempts.get(context, 0),
+                                entry.get("attempt", 1))
+        report.add("warning", "crash-recovery", context,
+                   "recovered from %s in slice %s (attempt %s, at %s)"
+                   % (entry.get("code", "?"), entry.get("slice", "?"),
+                      entry.get("attempt", "?"),
+                      entry.get("where", "?")))
+    for context, used in sorted(attempts.items()):
+        if used >= max_attempts:
+            report.add("critical", "recovery-exhausted", context,
+                       "%d failed recoveries: context degraded to "
+                       "quarantine" % used)
+    return report
+
+
 def analyze_records(records_dir, baseline_dir=None, thresholds=None):
     """Apply the record-level rules to a ``BENCH_*.json`` directory.
 

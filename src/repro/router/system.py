@@ -359,3 +359,61 @@ def build_system(config=None, **overrides):
     elif overrides:
         raise CosimError("pass either a config object or overrides")
     return RouterSystem(config)
+
+
+#: RouterConfig fields that serialize as plain JSON values.
+_PLAIN_CONFIG_FIELDS = (
+    "scheme", "num_ports", "num_addresses", "clock_period", "cpu_hz",
+    "inter_packet_delay", "input_capacity", "output_capacity", "seed",
+    "max_packets", "app_origin", "memory_size", "stack_top",
+    "local_latency", "producer_count", "num_cpus", "algorithm",
+    "checksum_rounds", "blocked_transfers", "burst", "watchdog_ticks",
+    "sync_quantum", "parallel", "workers", "parallel_trace_commits")
+
+
+def config_to_dict(config):
+    """Serialize a :class:`RouterConfig` to plain JSON types.
+
+    Checkpoints persist configs this way so a restore can rebuild the
+    identical system in a fresh process.  The tracer is deliberately
+    dropped (the restoring process supplies its own); everything else
+    round-trips through :func:`config_from_dict`.
+    """
+    from dataclasses import asdict
+
+    data = {name: getattr(config, name)
+            for name in _PLAIN_CONFIG_FIELDS}
+    reliability = config.reliability
+    if reliability is True:
+        data["reliability"] = True
+    elif reliability is not None:
+        data["reliability"] = asdict(reliability)
+    else:
+        data["reliability"] = None
+    data["fault_plan"] = (config.fault_plan.to_dict()
+                          if config.fault_plan is not None else None)
+    data["rtos_costs"] = (asdict(config.rtos_costs)
+                          if config.rtos_costs is not None else None)
+    return data
+
+
+def config_from_dict(data, tracer=None):
+    """Rebuild a :class:`RouterConfig` from :func:`config_to_dict`."""
+    from repro.cosim.faults import FaultPlan
+    from repro.cosim.reliable import ReliabilityConfig
+
+    kwargs = {name: data[name] for name in _PLAIN_CONFIG_FIELDS
+              if name in data}
+    reliability = data.get("reliability")
+    if isinstance(reliability, dict):
+        reliability = ReliabilityConfig(**reliability)
+    kwargs["reliability"] = reliability
+    fault_plan = data.get("fault_plan")
+    if fault_plan is not None:
+        fault_plan = FaultPlan.from_dict(fault_plan)
+    kwargs["fault_plan"] = fault_plan
+    rtos_costs = data.get("rtos_costs")
+    if rtos_costs is not None:
+        rtos_costs = CostModel(**rtos_costs)
+    kwargs["rtos_costs"] = rtos_costs
+    return RouterConfig(tracer=tracer, **kwargs)

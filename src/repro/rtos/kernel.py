@@ -464,6 +464,57 @@ class RtosKernel:
                 self._make_ready(self.current)
                 self.current = None
 
+    # -- introspection ---------------------------------------------------------
+
+    def state_summary(self):
+        """The kernel's dynamic state as plain JSON types (checkpoints).
+
+        Covers every thread's saved context, the scheduler queues,
+        sleepers, synchronisation objects, pending interrupt vectors,
+        and the accounting counters.  Purely read-only.
+        """
+        def thread_state(thread):
+            return {
+                "name": thread.name,
+                "priority": thread.priority,
+                "regs": list(thread.regs),
+                "pc": thread.pc,
+                "state": thread.state.name,
+                "run_count": thread.run_count,
+                "switched_in_cycles": thread.switched_in_cycles,
+            }
+
+        return {
+            "name": self.name,
+            "threads": [thread_state(t) for t in self.threads],
+            "idle": thread_state(self.idle_thread),
+            "current": self.current.name if self.current else None,
+            "ready": [t.name for t in self._ready],
+            "sleepers": sorted(
+                [cycle, thread.name] for cycle, thread in self._sleepers),
+            "semaphores": {
+                str(sem_id): {"count": sem.count,
+                              "waiters": [t.name for t in sem.waiters],
+                              "posts": sem.post_count,
+                              "waits": sem.wait_count}
+                for sem_id, sem in sorted(self.semaphores.items())},
+            "mailboxes": {
+                str(box_id): {"messages": [int(m) for m in box.messages],
+                              "waiters": [t.name for t in box.waiters]}
+                for box_id, box in sorted(self.mailboxes.items())},
+            "vectors_pending": list(self.vectors.pending),
+            "vectors_delivered": self.vectors.delivered_count,
+            "vectors_dropped": self.vectors.dropped_count,
+            "in_isr": self.in_isr,
+            "next_tick": self._next_tick,
+            "budget_debt": self._budget_debt,
+            "idle_cycles": self.idle_cycles,
+            "charged_cycles": self.charged_cycles,
+            "tick_count": self.tick_count,
+            "context_switches": self.context_switches,
+            "isr_count": self.isr_count,
+        }
+
     # -- the advance loop (called once per SystemC timestep) ------------------
 
     def advance(self, budget):

@@ -227,6 +227,36 @@ class Kernel:
             lines.append("  + hook %s" % type(hook).__name__)
         return "\n".join(lines)
 
+    def state_summary(self):
+        """The scheduler's dynamic state as plain JSON types.
+
+        Captured into checkpoints: simulated time, cycle counters, the
+        runnable queue, live delta and timed notifications (by name and
+        due time), and every process's liveness.  Reading it perturbs
+        nothing — tombstoned heap entries are simply skipped.
+        """
+        timed = sorted(
+            (entry[0], entry[1],
+             getattr(entry[2], "name", repr(entry[2])))
+            for entry in self._timed if entry[3])
+        return {
+            "now": self.now,
+            "delta_count": self.delta_count,
+            "timestep_count": self.timestep_count,
+            "runnable": [process.name for process in self._runnable],
+            "update_queue": [getattr(signal, "name", repr(signal))
+                             for signal in self._update_queue],
+            "delta_events": [getattr(event, "name", repr(event))
+                             for event in self._delta_events
+                             if event in self._delta_event_set],
+            "delta_processes": [process.name
+                                for process in self._delta_processes],
+            "timed": [list(entry) for entry in timed],
+            "processes": [[process.name, process.kind.value,
+                           bool(process.terminated)]
+                          for process in self.processes],
+        }
+
     # -- the scheduler --------------------------------------------------------
 
     def _initialize(self):

@@ -16,14 +16,25 @@ def _faulty_pair(plan, name="pipe"):
 
 class TestFaultPlan:
     def test_rejects_rate_outside_unit_interval(self):
-        with pytest.raises(CosimError):
+        with pytest.raises(ValueError):
             FaultPlan(drop=1.5)
-        with pytest.raises(CosimError):
+        with pytest.raises(ValueError):
             FaultPlan(corrupt=-0.1)
 
     def test_rejects_unknown_script_kind(self):
         with pytest.raises(CosimError):
             FaultPlan(script={0: "mangle"})
+
+    def test_dict_round_trip(self):
+        plan = FaultPlan(seed=3, drop=0.1, corrupt=0.2, delay=0.05,
+                         delay_polls=5, max_faults=7,
+                         script={2: "drop", 9: "corrupt"})
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.to_dict() == plan.to_dict()
+        # JSON stringifies the script keys; from_dict restores ints.
+        assert clone.script == {2: "drop", 9: "corrupt"}
+        assert clone.rates == plan.rates
+        assert clone.max_faults == 7
 
     def test_rng_depends_on_seed_and_label(self):
         plan_a, plan_b = FaultPlan(seed=1), FaultPlan(seed=2)

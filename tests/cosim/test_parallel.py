@@ -181,7 +181,7 @@ class TestWorkerQuarantine:
     def test_remote_worker_error_quarantines(self):
         system, context = self._wedge(RemoteWorkerError("worker wedged"))
         assert context.quarantined
-        assert context.quarantine_reason.startswith("worker:")
+        assert context.quarantine_reason == "worker-crash"
         assert system.metrics.contexts_quarantined == 1
         # The healthy sibling context carried the simulation.
         assert not system.scheme.hook.contexts[1].quarantined
@@ -190,7 +190,7 @@ class TestWorkerQuarantine:
     def test_transport_error_quarantines(self):
         system, context = self._wedge(CosimTransportError("link down"))
         assert context.quarantined
-        assert context.quarantine_reason.startswith("transport:")
+        assert context.quarantine_reason == "transport-error"
         system.close()
 
     def test_other_errors_propagate(self):

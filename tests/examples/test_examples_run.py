@@ -28,6 +28,8 @@ def _example_env():
 CASES = [
     ("quickstart.py", [], "squares computed by the ISS"),
     ("chaos_resilience.py", [], "chaos run recovered bit-identical"),
+    ("checkpoint_resume.py", [],
+     "save, verify, restore and recovery all byte-identical"),
     ("router_cosim.py", ["driver-kernel"], "co-simulation metrics"),
     ("router_cosim.py", ["gdb-wrapper"], "traffic:"),
     ("table1_performance.py", ["--quick"], "Speedup vs gdb-wrapper"),

@@ -1,0 +1,153 @@
+"""Crash-recovery integration tests.
+
+Two failure modes drive the resume-from-last-checkpoint machinery:
+
+- a forked ISS worker SIGKILLed mid-quantum (the PR-4
+  ``RemoteWorkerError`` path) — transient, so one recovery rebuilds
+  the pool and the run completes byte-identically;
+- a deterministic guest stall tripping the PR-1 watchdog — recovery
+  replays into the same stall, so after ``max_attempts`` failed
+  recoveries the context degrades to the normal quarantine and the
+  final output still equals the no-recovery baseline byte for byte.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.cosim.checkpoint import CheckpointRunner, RecoveryPolicy
+from repro.cosim.faults import FaultPlan
+from repro.router.system import RouterConfig
+from repro.sysc.simtime import US
+
+
+class _KillWorkerSink:
+    """Kernel trace sink that SIGKILLs one forked ISS worker mid-run.
+
+    A trace sink fires at every timestep without emitting trace
+    events, so the kill lands at a deterministic point in simulated
+    time without perturbing the run's observable output.
+    """
+
+    def __init__(self, runner, at_timestep, cpu_index=0):
+        self.runner = runner
+        self.at_timestep = at_timestep
+        self.cpu_index = cpu_index
+        self.count = 0
+        self.fired = False
+
+    def sample(self, kernel):
+        self.count += 1
+        if self.fired or self.count < self.at_timestep:
+            return
+        self.fired = True
+        remote = self.runner.system.cpus[self.cpu_index]._remote
+        if remote is not None:
+            os.kill(remote.process.pid, signal.SIGKILL)
+
+
+def _worker_config():
+    return RouterConfig(scheme="gdb-kernel", num_cpus=2, sync_quantum=4,
+                        parallel="process", workers=2,
+                        max_packets=4, checksum_rounds=4)
+
+
+class TestSigkillRecovery:
+    def test_sigkill_mid_quantum_resumes_byte_identical(self, tmp_path):
+        total = 12 * 4 * 4 * _worker_config().clock_period  # 12 slices
+
+        reference = CheckpointRunner(_worker_config(), checkpoint_every=4,
+                                     out_dir=str(tmp_path / "ref"))
+        ref_stats = reference.run(total)
+        ref_trace = reference.tracer.dump()
+        reference.close()
+
+        chaos = CheckpointRunner(_worker_config(), checkpoint_every=4,
+                                 out_dir=str(tmp_path / "chaos"),
+                                 recovery=RecoveryPolicy(max_attempts=2))
+        chaos._build()
+        sink = _KillWorkerSink(chaos, at_timestep=20)
+        chaos.system.kernel.add_trace(sink)
+        stats = chaos.run(total)
+        trace = chaos.tracer.dump()
+        chaos.close()
+
+        assert sink.fired
+        assert [entry["code"] for entry in chaos.recovery_log] == \
+            ["worker-crash"]
+        assert chaos.recovery_log[0]["context"] == "cpu0"
+        assert chaos.recovery_log[0]["attempt"] == 1
+        # Recovery rebuilt the pool: no quarantine, identical output.
+        assert stats.metrics["contexts_quarantined"] == 0
+        assert trace == ref_trace
+        assert stats == ref_stats
+
+    def test_recovery_log_stays_out_of_golden_output(self, tmp_path):
+        total = 12 * 4 * 4 * _worker_config().clock_period
+        chaos = CheckpointRunner(_worker_config(), checkpoint_every=4,
+                                 out_dir=str(tmp_path),
+                                 recovery=RecoveryPolicy(max_attempts=2))
+        chaos._build()
+        sink = _KillWorkerSink(chaos, at_timestep=20)
+        chaos.system.kernel.add_trace(sink)
+        stats = chaos.run(total)
+        trace = chaos.tracer.dump()
+        chaos.close()
+        assert chaos.recovery_log, "kill did not trigger a recovery"
+        assert "worker-crash" not in trace
+        assert "recovery" not in trace
+        assert "quarantine_log" not in stats.metrics.get("extra", {})
+
+
+def _stall_config(parallel=None):
+    """Driver-kernel over a link that dies after 8 frames: the guest
+    stalls deterministically and the PR-1 watchdog fires."""
+    return RouterConfig(
+        scheme="driver-kernel", inter_packet_delay=20 * US, max_packets=6,
+        producer_count=2, watchdog_ticks=60, parallel=parallel,
+        fault_plan=FaultPlan(script={i: "drop" for i in range(8, 4096)}))
+
+
+class TestWatchdogDegradation:
+    @pytest.mark.parametrize("parallel", [None, "thread"])
+    def test_two_failed_recoveries_then_quarantine(self, tmp_path,
+                                                   parallel):
+        # Baseline: no recovery policy -> straight PR-1 quarantine.
+        baseline = CheckpointRunner(_stall_config(parallel),
+                                    checkpoint_every=8)
+        base_stats = baseline.run(400 * US)
+        base_trace = baseline.tracer.dump()
+        baseline.close()
+        assert base_stats.metrics["contexts_quarantined"] == 1
+
+        # The stall is deterministic: each recovery replays into the
+        # same watchdog timeout, so the policy's budget is spent and
+        # the context degrades to the very same quarantine.
+        recovering = CheckpointRunner(
+            _stall_config(parallel), checkpoint_every=8,
+            out_dir=str(tmp_path),
+            recovery=RecoveryPolicy(max_attempts=2))
+        stats = recovering.run(400 * US)
+        trace = recovering.tracer.dump()
+        recovering.close()
+
+        log = recovering.recovery_log
+        assert [entry["attempt"] for entry in log] == [1, 2]
+        assert {entry["code"] for entry in log} == {"watchdog-timeout"}
+        assert trace == base_trace
+        assert stats == base_stats
+
+    def test_backoff_is_host_side_only(self, tmp_path):
+        recovering = CheckpointRunner(
+            _stall_config(), checkpoint_every=8, out_dir=str(tmp_path),
+            recovery=RecoveryPolicy(max_attempts=1,
+                                    backoff_seconds=0.01))
+        stats = recovering.run(400 * US)
+        recovering.close()
+        assert len(recovering.recovery_log) == 1
+
+        baseline = CheckpointRunner(_stall_config(), checkpoint_every=8)
+        base_stats = baseline.run(400 * US)
+        baseline.close()
+        assert stats == base_stats

@@ -180,3 +180,116 @@ class TestCli:
         out = capsys.readouterr().out
         assert code == 1
         assert "quarantine" in out
+
+    def test_checkpoint_save_verify_restore(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "ck")
+        code = main(["checkpoint", "save", "--scheme", "gdb-kernel",
+                     "--sim-us", "60", "--quantum", "4", "--every", "4",
+                     "--out-dir", out_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "latest:" in out
+        latest = out.rsplit("latest: ", 1)[1].split(" ")[0]
+
+        code = main(["checkpoint", "verify", latest])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verified" in out and "scheme=gdb-kernel" in out
+
+        code = main(["checkpoint", "restore", latest,
+                     "--sim-us", "120"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "restored" in out and "forwarded=" in out
+
+    def test_checkpoint_verify_missing_is_one_line(self, tmp_path,
+                                                   capsys):
+        code = main(["checkpoint", "verify",
+                     str(tmp_path / "missing.json")])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert len(out.strip().splitlines()) == 1
+        assert "does not exist" in out
+
+    def test_checkpoint_verify_corrupt_is_one_line(self, tmp_path,
+                                                   capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{oops")
+        code = main(["checkpoint", "verify", str(bad)])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert len(out.strip().splitlines()) == 1
+        assert "checkpoint verify failed" in out
+
+    def test_router_checkpoint_and_resume(self, tmp_path, capsys):
+        ck_dir = str(tmp_path / "rt")
+        code = main(["router", "--scheme", "gdb-kernel", "--cpus", "2",
+                     "--sim-ms", "1", "--checkpoint-every", "8",
+                     "--checkpoint-dir", ck_dir])
+        first = capsys.readouterr().out
+        assert code == 0
+        names = sorted(p.name for p in (tmp_path / "rt").glob("*.json"))
+        assert names, "no checkpoints written"
+
+        code = main(["router", "--scheme", "gdb-kernel", "--cpus", "2",
+                     "--sim-ms", "1",
+                     "--resume-from", str(tmp_path / "rt" / names[-1])])
+        resumed = capsys.readouterr().out
+        assert code == 0
+        # The resumed run reports the same traffic totals.
+        assert resumed.splitlines()[-1] == first.splitlines()[-1]
+
+    def test_router_resume_missing_is_one_line(self, tmp_path, capsys):
+        code = main(["router", "--resume-from",
+                     str(tmp_path / "gone.json")])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert len(out.strip().splitlines()) == 1
+        assert "cannot resume" in out
+
+    def test_health_checkpoint_dir(self, tmp_path, capsys):
+        import json
+
+        log = [{"slice": 3, "context": "cpu0", "code": "worker-crash",
+                "attempt": 1, "where": "slice"}]
+        (tmp_path / "recovery.json").write_text(json.dumps(log))
+        code = main(["health", "--checkpoint-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "crash-recovery" in out
+        assert "worker-crash" in out
+
+    def test_health_checkpoint_dir_exhausted_is_critical(self, tmp_path,
+                                                         capsys):
+        import json
+
+        log = [{"slice": 3, "context": "rtos0",
+                "code": "watchdog-timeout", "attempt": 1,
+                "where": "slice"},
+               {"slice": 3, "context": "rtos0",
+                "code": "watchdog-timeout", "attempt": 2,
+                "where": "slice"}]
+        (tmp_path / "recovery.json").write_text(json.dumps(log))
+        code = main(["health", "--checkpoint-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "recovery-exhausted" in out
+
+    def test_health_missing_dirs_are_one_line(self, tmp_path, capsys):
+        code = main(["health", "--records", str(tmp_path / "recs")])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert len(out.strip().splitlines()) == 1
+
+        code = main(["health", "--checkpoint-dir",
+                     str(tmp_path / "cks")])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert len(out.strip().splitlines()) == 1
+
+        (tmp_path / "recs").mkdir()
+        code = main(["health", "--records", str(tmp_path / "recs"),
+                     "--baseline-dir", str(tmp_path / "base")])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "baseline" in out
