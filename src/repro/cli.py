@@ -7,9 +7,19 @@ shell:
 - ``fig7 [--sim-ms N]`` — the Figure 7 forwarding sweep;
 - ``loc`` — the Section 5 code-complexity report;
 - ``router --scheme S [--delay-us N] [--sim-ms N] [--cpus N]
+  [--ports N] [--stages N,N,...] [--burst N]
   [--checkpoint-every N --checkpoint-dir D] [--resume-from PATH]`` —
-  one case-study run with statistics, optionally checkpointed (with
-  crash recovery) or resumed from a snapshot;
+  one case-study run with statistics — any NxN or multi-stage fabric
+  (docs/fuzzing.md), optionally checkpointed (with crash recovery) or
+  resumed from a snapshot; impossible topology/traffic parameters exit
+  2 with a one-line message;
+- ``fuzz --seed S --budget N [--failures-dir D] [--corpus-dir D
+  --write-corpus] [--replay PATH]`` — the seeded scenario fuzzer
+  (docs/fuzzing.md): samples composed scenarios, judges each with the
+  three-part oracle (health findings, serial-vs-parallel
+  byte-identity, checkpoint round-trip), minimizes and saves failures;
+  ``--replay`` re-judges saved fixtures (a file or a directory), exit
+  2 when the path is missing, 1 when any scenario fails;
 - ``checkpoint save|restore|verify`` — deterministic snapshot/restore
   with replay verification (docs/checkpoint.md); ``verify`` exits 2
   with a one-line message when the file is missing or corrupt;
@@ -102,7 +112,36 @@ def _print_recoveries(runner):
                  entry["attempt"]))
 
 
+def _parse_stages(text):
+    """``"4,4"`` → ``[4, 4]``; None passes through."""
+    from repro.errors import CosimError
+
+    if not text:
+        return None
+    try:
+        return [int(part) for part in text.split(",")]
+    except ValueError:
+        raise CosimError("stages must be a comma-separated list of "
+                         "integers, got %r" % text)
+
+
 def _cmd_router(args):
+    from repro.errors import CosimError
+
+    try:
+        stages = _parse_stages(args.stages)
+        topology = dict(num_ports=args.ports, stages=stages,
+                        burst=args.burst)
+        if args.resume_from or args.checkpoint_every:
+            from repro.router.system import RouterConfig, validate_config
+            validate_config(RouterConfig(scheme=args.scheme, **topology))
+        return _run_router(args, topology)
+    except CosimError as error:
+        print("router: %s" % error)
+        return 2
+
+
+def _run_router(args, topology):
     from repro.router.system import build_system
 
     if args.resume_from:
@@ -127,7 +166,7 @@ def _cmd_router(args):
 
         config = RouterConfig(scheme=args.scheme,
                               inter_packet_delay=args.delay_us * US,
-                              num_cpus=args.cpus)
+                              num_cpus=args.cpus, **topology)
         runner = CheckpointRunner(config,
                                   checkpoint_every=args.checkpoint_every,
                                   out_dir=args.checkpoint_dir,
@@ -138,7 +177,7 @@ def _cmd_router(args):
     else:
         system = build_system(scheme=args.scheme,
                               inter_packet_delay=args.delay_us * US,
-                              num_cpus=args.cpus)
+                              num_cpus=args.cpus, **topology)
         system.run(args.sim_ms * MS)
         stats = system.stats()
         system.close()
@@ -426,6 +465,52 @@ def _cmd_health(args):
     return report.exit_code
 
 
+def _cmd_fuzz(args):
+    import os
+
+    from repro.errors import CosimError
+    from repro.fuzz import load_scenario, run_fuzz, run_oracles
+    from repro.fuzz.corpus import corpus_paths
+
+    if args.replay:
+        if os.path.isdir(args.replay):
+            paths = corpus_paths(args.replay)
+            if not paths:
+                print("fuzz: no scenario fixtures under %r" % args.replay)
+                return 2
+        elif os.path.exists(args.replay):
+            paths = [args.replay]
+        else:
+            print("fuzz: scenario path %r does not exist" % args.replay)
+            return 2
+        failed = 0
+        for path in paths:
+            try:
+                scenario = load_scenario(path)
+            except CosimError as error:
+                print("fuzz: %s" % error)
+                return 2
+            result = run_oracles(scenario,
+                                 checkpoint=not args.no_checkpoint)
+            if result.passed:
+                print("%s: ok%s" % (scenario.name,
+                                    " (chaos)" if result.chaos else ""))
+            else:
+                failed += 1
+                print("%s: FAIL %s" % (scenario.name,
+                                       "; ".join(result.failures)))
+        print("replayed %d scenario(s), %d failed" % (len(paths), failed))
+        return 1 if failed else 0
+    summary = run_fuzz(args.seed, args.budget,
+                       corpus_dir=args.corpus_dir,
+                       failures_dir=args.failures_dir,
+                       write_corpus=args.write_corpus,
+                       minimize=not args.no_minimize,
+                       checkpoint=not args.no_checkpoint,
+                       log=print)
+    return 1 if summary.failed else 0
+
+
 def _cmd_version(args):
     print(__version__)
     return 0
@@ -458,6 +543,15 @@ def build_parser():
     router.add_argument("--delay-us", type=int, default=20)
     router.add_argument("--sim-ms", type=int, default=2)
     router.add_argument("--cpus", type=int, default=1)
+    router.add_argument("--ports", type=int, default=4, metavar="N",
+                        help="router fabric width (an NxN router; >= 2)")
+    router.add_argument("--stages", default=None, metavar="N,N,...",
+                        help="multi-stage fabric: comma-separated stage "
+                             "widths, each equal to --ports "
+                             "(docs/fuzzing.md)")
+    router.add_argument("--burst", type=int, default=1,
+                        help="producer burstiness (packets back-to-back "
+                             "per idle; >= 1)")
     router.add_argument("--checkpoint-every", type=int, default=None,
                         metavar="N",
                         help="checkpoint every N sync quanta (requires "
@@ -616,6 +710,34 @@ def build_parser():
                        help="directory holding baseline BENCH_*.json "
                             "records for --compare")
     bench.set_defaults(func=_cmd_bench)
+
+    fuzz = commands.add_parser(
+        "fuzz", help="seeded scenario fuzzing judged by the three-part "
+                     "oracle (docs/fuzzing.md)")
+    fuzz.add_argument("--seed", type=int, default=7,
+                      help="campaign seed (same seed, same budget -> "
+                           "same scenario sequence and verdicts)")
+    fuzz.add_argument("--budget", type=int, default=20,
+                      help="number of scenarios to sample and judge")
+    fuzz.add_argument("--failures-dir", default=None,
+                      help="write minimized failing scenarios here "
+                           "(CI uploads these as artifacts)")
+    fuzz.add_argument("--corpus-dir", default="tests/fixtures/scenarios",
+                      help="scenario fixture directory (with "
+                           "--write-corpus; also the --replay default "
+                           "location)")
+    fuzz.add_argument("--write-corpus", action="store_true",
+                      help="save novel passing scenarios as fixtures "
+                           "under --corpus-dir")
+    fuzz.add_argument("--replay", default=None, metavar="PATH",
+                      help="re-judge saved scenario fixture(s): a "
+                           ".json file or a directory of them")
+    fuzz.add_argument("--no-minimize", action="store_true",
+                      help="skip greedy shrinking of failing scenarios")
+    fuzz.add_argument("--no-checkpoint", action="store_true",
+                      help="skip the checkpoint round-trip oracle "
+                           "(faster smoke runs)")
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     report = commands.add_parser(
         "report", help="run every experiment, render a markdown report")

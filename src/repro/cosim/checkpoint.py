@@ -246,7 +246,7 @@ def _tracer_state(tracer):
 
 
 def _traffic_state(system):
-    return {
+    state = {
         "router": {
             "forwarded": system.router.forwarded,
             "input_drops": system.router.input_drops,
@@ -265,6 +265,16 @@ def _traffic_state(system):
              "latency_digest": _digest(list(consumer.latencies))}
             for consumer in system.consumers],
     }
+    # Multi-stage fabrics capture every stage; single-stage images stay
+    # byte-compatible with pre-topology checkpoints.
+    routers = getattr(system, "routers", None)
+    if routers is not None and len(routers) > 1:
+        state["stages"] = [
+            {"name": router.name,
+             "forwarded": router.forwarded,
+             "output_drops": router.output_drops}
+            for router in routers]
+    return state
 
 
 def _metrics_state(system):

@@ -323,12 +323,19 @@ class GdbWrapperScheme:
             if binding.quantum > 1:
                 self.metrics.sc_timesteps += 1
                 binding.accumulate(self.kernel.now)
+                if not wrapper.parallel_safe:
+                    # Never probe an unsafe wrapper during planning:
+                    # the attention probe pumps its reliable transport
+                    # (retransmit timers tick, transport events emit),
+                    # which must happen at this wrapper's serial slot
+                    # to keep the trace identical to a serial run.
+                    dispatcher.stats.serial_fallbacks += 1
+                    plans.append((wrapper, "serial_quantum", None))
+                    continue
                 attention = (wrapper.driver.held_at is not None
                              or wrapper.driver.needs_attention)
                 will_sync = binding.due() or wrapper._must_sync()
-                if attention or (will_sync and
-                                 (wrapper._must_sync()
-                                  or not wrapper.parallel_safe)):
+                if attention or (will_sync and wrapper._must_sync()):
                     dispatcher.stats.serial_fallbacks += 1
                     plans.append((wrapper, "serial_quantum", None))
                     continue

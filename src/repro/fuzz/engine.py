@@ -1,0 +1,126 @@
+"""The seeded fuzz loop behind ``repro fuzz``.
+
+One run is a pure function of ``(seed, budget)``: the scenario
+sequence, every verdict, and the corpus/failure files written are all
+reproducible — re-running a seed re-derives the same campaign, which
+is what the CI smoke leg and the determinism tests assert.
+
+Novelty is tracked by :meth:`~repro.fuzz.corpus.Scenario.signature`
+(scheme x width x depth x traffic kind x faults x quantum x MPSoC
+width): the first passing scenario of each signature is corpus-worthy;
+failing scenarios are minimized and written unconditionally.
+"""
+
+import os
+import random
+from dataclasses import dataclass, field
+
+from repro.fuzz.corpus import write_scenario
+from repro.fuzz.minimize import minimize_scenario
+from repro.fuzz.oracle import run_oracles
+from repro.fuzz.space import ScenarioSpace
+
+
+@dataclass
+class FuzzSummary:
+    """What one fuzz campaign did."""
+
+    seed: int
+    budget: int
+    scenarios: list = field(default_factory=list)   # sampled names
+    passed: int = 0
+    chaos: int = 0              # passing fault-injected scenarios
+    novel: list = field(default_factory=list)       # corpus-worthy names
+    failures: list = field(default_factory=list)    # failure dicts
+    corpus_files: list = field(default_factory=list)
+    failure_files: list = field(default_factory=list)
+
+    @property
+    def failed(self):
+        return len(self.failures)
+
+    def as_dict(self):
+        """The campaign summary as plain JSON types."""
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "scenarios": list(self.scenarios),
+            "passed": self.passed,
+            "failed": self.failed,
+            "chaos": self.chaos,
+            "novel": list(self.novel),
+            "failures": [dict(failure) for failure in self.failures],
+            "corpus_files": list(self.corpus_files),
+            "failure_files": list(self.failure_files),
+        }
+
+
+def run_fuzz(seed, budget, corpus_dir=None, failures_dir=None,
+             write_corpus=False, minimize=True, checkpoint=True,
+             space=None, log=None):
+    """Run one seeded fuzz campaign of *budget* scenarios.
+
+    Passing scenarios with a not-yet-seen coverage signature are
+    written to *corpus_dir* when *write_corpus* is set; failing
+    scenarios are greedily minimized (unless *minimize* is off) and
+    written to *failures_dir* when given.  Returns a
+    :class:`FuzzSummary`.
+    """
+    say = log or (lambda message: None)
+    space = space or ScenarioSpace()
+    rng = random.Random("fuzz:%r" % (seed,))
+    seen = set()
+    summary = FuzzSummary(seed=seed, budget=budget)
+
+    def judge(scenario):
+        return run_oracles(scenario, checkpoint=checkpoint)
+
+    for index in range(budget):
+        scenario = space.sample(rng, index)
+        summary.scenarios.append(scenario.name)
+        result = judge(scenario)
+        signature = scenario.signature()
+        novel = signature not in seen
+        seen.add(signature)
+        if result.passed:
+            summary.passed += 1
+            if result.chaos:
+                summary.chaos += 1
+            tag = "ok" + (" chaos" if result.chaos else "")
+            if novel:
+                summary.novel.append(scenario.name)
+                tag += " novel"
+                if write_corpus and corpus_dir:
+                    path = write_scenario(
+                        os.path.join(corpus_dir,
+                                     scenario.name + ".json"),
+                        scenario)
+                    summary.corpus_files.append(path)
+                    tag += " -> corpus"
+            say("[%3d/%d] %-40s %s" % (index + 1, budget,
+                                       scenario.name, tag))
+            continue
+        say("[%3d/%d] %-40s FAIL %s" % (index + 1, budget, scenario.name,
+                                        ", ".join(result.failures)))
+        minimized, final, steps = scenario, result, []
+        if minimize:
+            minimized, final, steps = minimize_scenario(
+                scenario, judge, log=say)
+        failure = {
+            "name": scenario.name,
+            "oracles": final.failed_oracles(),
+            "failures": list(final.failures),
+            "minimize_steps": steps,
+        }
+        if failures_dir:
+            path = write_scenario(
+                os.path.join(failures_dir,
+                             "min_" + scenario.name + ".json"),
+                minimized)
+            summary.failure_files.append(path)
+            failure["file"] = path
+        summary.failures.append(failure)
+    say("fuzz: %d/%d passed (%d chaos), %d failed, %d novel signatures"
+        % (summary.passed, budget, summary.chaos, summary.failed,
+           len(summary.novel)))
+    return summary

@@ -1,0 +1,108 @@
+"""Greedy shrinking of failing scenarios.
+
+A failing scenario is only useful as a fixture if a human can read it,
+so the minimizer walks an ordered list of config reductions — drop the
+fault plan, flatten the fabric, default the traffic, shrink widths and
+horizons — and keeps each reduction iff the *same set of oracles*
+still fails.  The loop repeats until a full pass keeps the scenario
+unchanged (a fixpoint), so later reductions get retried after earlier
+ones unlock them.
+
+Every candidate is revalidated and re-judged with the real oracles, so
+the minimized scenario is itself a replayable counterexample.
+"""
+
+from dataclasses import replace
+
+from repro.router.system import validate_config
+
+#: Ordered (name, transform) reductions, most-simplifying first.  Each
+#: transform maps a config to a dict of field overrides (or None when
+#: it does not apply).
+_REDUCTIONS = (
+    ("drop-faults", lambda c: {"fault_plan": None, "reliability": None,
+                               "watchdog_ticks": None}
+     if c.fault_plan is not None or c.reliability is not None else None),
+    ("drop-watchdog", lambda c: {"watchdog_ticks": None}
+     if c.watchdog_ticks is not None else None),
+    ("flatten-stages", lambda c: {"stages": None}
+     if c.stages is not None else None),
+    ("default-traffic", lambda c: {"traffic": None}
+     if c.traffic is not None else None),
+    ("burst-1", lambda c: {"burst": 1} if c.burst > 1 else None),
+    ("one-cpu", lambda c: {"num_cpus": 1} if c.num_cpus > 1 else None),
+    ("lock-step", lambda c: {"sync_quantum": 1}
+     if c.sync_quantum > 1 else None),
+    ("two-ports", lambda c: {"num_ports": 2,
+                             "stages": ([2] * len(c.stages)
+                                        if c.stages else None),
+                             "producer_count": (min(c.producer_count, 2)
+                                                if c.producer_count
+                                                else None)}
+     if c.num_ports > 2 else None),
+    ("two-producers", lambda c: {"producer_count": 2}
+     if (c.producer_count or c.num_ports) > 2 else None),
+    ("two-workers", lambda c: {"workers": 2} if c.workers > 2 else None),
+    ("sum-checksum", lambda c: {"algorithm": "sum"}
+     if c.algorithm != "sum" else None),
+    ("one-round", lambda c: {"checksum_rounds": 1}
+     if c.checksum_rounds > 1 else None),
+    ("one-packet", lambda c: {"max_packets": 1}
+     if c.max_packets is None or c.max_packets > 1 else None),
+)
+
+
+def _shrink_sim_us(scenario):
+    """The next shorter horizon to try, or None."""
+    for horizon in (40, 60, 80):
+        if scenario.sim_us > horizon:
+            return horizon
+    return None
+
+
+def minimize_scenario(scenario, judge, log=None):
+    """Shrink *scenario* while *judge* keeps failing the same oracles.
+
+    *judge* is ``scenario -> OracleResult`` (normally
+    :func:`~repro.fuzz.oracle.run_oracles`).  Returns
+    ``(minimized_scenario, final_result, steps)`` where *steps* names
+    the reductions that stuck.  The input scenario must already fail.
+    """
+    result = judge(scenario)
+    if result.passed:
+        raise ValueError("minimize_scenario needs a failing scenario")
+    target = result.failed_oracles()
+    steps = []
+
+    def attempt(candidate, step):
+        nonlocal scenario, result
+        try:
+            validate_config(candidate.config)
+        except Exception:
+            return False
+        verdict = judge(candidate)
+        if verdict.passed or verdict.failed_oracles() != target:
+            return False
+        scenario, result = candidate, verdict
+        steps.append(step)
+        if log is not None:
+            log("  minimize: kept %s" % step)
+        return True
+
+    changed = True
+    while changed:
+        changed = False
+        for step, transform in _REDUCTIONS:
+            overrides = transform(scenario.config)
+            if not overrides:
+                continue
+            candidate = replace(
+                scenario, config=replace(scenario.config, **overrides))
+            if attempt(candidate, step):
+                changed = True
+        horizon = _shrink_sim_us(scenario)
+        if horizon is not None and attempt(
+                replace(scenario, sim_us=horizon),
+                "sim-%dus" % horizon):
+            changed = True
+    return scenario, result, steps

@@ -1,0 +1,175 @@
+"""The three-part scenario oracle.
+
+A scenario passes when every invariant the platform promises holds:
+
+1. **Health** — the rule-based analyzer (:mod:`repro.obs.health`)
+   finds no critical condition on a fault-free run.  Fault-injected
+   scenarios are *chaos*: quarantines, storms and stalls are then the
+   expected product of the injected faults, so criticals are recorded
+   as observations instead of failures — what must still hold is 2.
+2. **Serial/parallel byte-identity** — the serial run and the
+   thread-dispatched parallel run produce identical traces, metrics
+   and stats; a run that dies must die identically (same exception,
+   same trace prefix) on both backends.
+3. **Checkpoint round-trip** — a checkpointed run of the same config
+   saves a snapshot that restores with replay verification
+   (:func:`repro.cosim.checkpoint.restore_checkpoint` raises on any
+   divergent section).
+
+Every run is seeded and simulated-time driven, so a failing oracle is
+a reproducible counterexample, not flake.
+"""
+
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.errors import CheckpointError
+from repro.obs.health import analyze_run
+from repro.obs.scenarios import run_traced_scenario
+from repro.obs.tracer import dump_events
+from repro.sysc.simtime import US
+
+ORACLES = ("health", "byte-identity", "checkpoint")
+
+
+@dataclass
+class OracleResult:
+    """The verdict of one scenario's oracle pass."""
+
+    scenario: object
+    passed: bool
+    failures: list = field(default_factory=list)   # "oracle: detail"
+    chaos: bool = False        # fault-injected: health criticals expected
+    observations: list = field(default_factory=list)
+
+    def failed_oracles(self):
+        """The oracle names that failed (the minimizer's target set)."""
+        return sorted({failure.split(":", 1)[0]
+                       for failure in self.failures})
+
+
+def _run_outcome(scenario, parallel):
+    """One traced run: (trace, metrics, stats) or a deterministic
+    exception signature."""
+    config = scenario.config
+    try:
+        run = run_traced_scenario(
+            config.scheme, sim_us=scenario.sim_us, seed=config.seed,
+            max_packets=config.max_packets,
+            producer_count=config.producer_count or config.num_ports,
+            inter_packet_delay_us=config.inter_packet_delay // US,
+            reliability=config.reliability, fault_plan=config.fault_plan,
+            watchdog_ticks=config.watchdog_ticks,
+            sync_quantum=config.sync_quantum, num_cpus=config.num_cpus,
+            parallel=parallel, workers=config.workers,
+            num_ports=config.num_ports, stages=config.stages,
+            traffic=config.traffic, burst=config.burst,
+            algorithm=config.algorithm,
+            checksum_rounds=config.checksum_rounds,
+            input_capacity=config.input_capacity,
+            output_capacity=config.output_capacity,
+            num_addresses=config.num_addresses)
+    except Exception as error:
+        return {"error": "%s: %s" % (type(error).__name__, error)}
+    outcome = {
+        "trace": dump_events(run.tracer.events()),
+        "metrics": run.system.metrics.as_dict(),
+        "stats": (run.stats.generated, run.stats.forwarded,
+                  run.stats.received, run.stats.corrupt,
+                  run.stats.input_drops, run.stats.output_drops),
+        "events": run.tracer.events(),
+        "system_metrics": run.system.metrics,
+        "dropped": run.tracer.dropped,
+    }
+    run.system.close()
+    return outcome
+
+
+def _comparable(outcome):
+    if "error" in outcome:
+        return {"error": outcome["error"]}
+    return {"trace": outcome["trace"], "metrics": outcome["metrics"],
+            "stats": outcome["stats"]}
+
+
+def _check_checkpoint(scenario, tmp_dir):
+    """Run the config in checkpointed slices, restore, replay-verify.
+
+    Checkpoints land at full-slice boundaries (never after the final
+    banked-budget flush — a post-flush state is not a boundary any
+    replay can reach), exactly like a production checkpointed run.
+    """
+    from repro.cosim.checkpoint import (CheckpointRunner,
+                                        latest_checkpoint,
+                                        restore_checkpoint)
+
+    runner = CheckpointRunner(scenario.config, checkpoint_every=4,
+                              out_dir=tmp_dir)
+    try:
+        runner.run(scenario.sim_us * US)
+    finally:
+        runner.close()
+    path = latest_checkpoint(tmp_dir)
+    if path is None:    # horizon shorter than one slice: nothing saved
+        return
+    restored = restore_checkpoint(path)
+    restored.close()
+
+
+def run_oracles(scenario, checkpoint=True):
+    """Judge one scenario with all three oracles.
+
+    Returns an :class:`OracleResult`; never raises for a *failing*
+    scenario (failures are data), only for oracle-machinery bugs.
+    """
+    chaos = scenario.config.fault_plan is not None
+    result = OracleResult(scenario=scenario, passed=True, chaos=chaos)
+
+    serial = _run_outcome(scenario, parallel=False)
+    parallel = _run_outcome(scenario, parallel="thread")
+
+    # Oracle 2: byte-identity (including identical deterministic death).
+    if _comparable(serial) != _comparable(parallel):
+        detail = "serial and parallel runs diverge"
+        if "error" in serial or "error" in parallel:
+            detail += " (serial=%s, parallel=%s)" % (
+                serial.get("error", "completed"),
+                parallel.get("error", "completed"))
+        result.failures.append("byte-identity: %s" % detail)
+
+    # Oracle 1: health analysis of the serial run.
+    if "error" in serial:
+        if not chaos:
+            result.failures.append(
+                "health: fault-free run died: %s" % serial["error"])
+        else:
+            result.observations.append(
+                "chaos run died deterministically: %s" % serial["error"])
+    else:
+        report = analyze_run(serial["events"],
+                             metrics=serial["system_metrics"],
+                             dropped=serial["dropped"])
+        criticals = report.by_severity("critical")
+        for finding in criticals:
+            line = "%s %s: %s" % (finding.rule, finding.subject,
+                                  finding.message)
+            if chaos:
+                result.observations.append("expected-chaos " + line)
+            else:
+                result.failures.append("health: " + line)
+
+    # Oracle 3: checkpoint save/restore/verify round-trip.  Only a run
+    # that completes can be checkpointed; a chaos config that dies is
+    # covered by the identical-death check above.
+    if checkpoint and "error" not in serial:
+        tmp_dir = tempfile.mkdtemp(prefix="repro-fuzz-ckpt-")
+        try:
+            _check_checkpoint(scenario, tmp_dir)
+        except CheckpointError as error:
+            result.failures.append("checkpoint: %s" % error)
+        finally:
+            shutil.rmtree(tmp_dir, ignore_errors=True)
+
+    result.passed = not result.failures
+    return result

@@ -1,0 +1,114 @@
+"""The seeded scenario space the fuzzer samples from.
+
+A :class:`ScenarioSpace` composes the orthogonal axes the platform
+exposes — topology (NxN width, fabric depth), traffic model, fault
+plan, co-simulation scheme, sync quantum, MPSoC width — into one
+serializable :class:`~repro.fuzz.corpus.Scenario` per draw.  Sampling
+is a pure function of the RNG handed in, so a fuzz run's scenario
+sequence is a function of its seed alone, and every sampled config
+passes :func:`~repro.router.system.validate_config` by construction.
+
+Scenario sizes are deliberately small (a handful of packets over tens
+of simulated microseconds): each scenario runs serial *and* parallel
+*and* checkpointed, so the budget buys breadth, not depth.
+"""
+
+from repro.cosim.faults import FaultPlan
+from repro.fuzz.corpus import Scenario
+from repro.obs.scenarios import COSIM_SCHEMES
+from repro.router.system import RouterConfig, validate_config
+from repro.sysc.simtime import US
+
+
+class ScenarioSpace:
+    """Deterministic sampler over the composed scenario axes."""
+
+    #: NxN widths the topology axis draws from (4 is the paper's).
+    PORTS = (2, 3, 4, 5)
+    #: Sync quanta: lock-step, and the batched windows docs/performance.md
+    #: benchmarks.
+    QUANTA = (1, 4, 8)
+
+    def __init__(self, schemes=COSIM_SCHEMES):
+        self.schemes = tuple(schemes)
+
+    # -- per-axis draws ----------------------------------------------------
+
+    def _draw_topology(self, rng):
+        num_ports = rng.choice(self.PORTS)
+        if rng.random() < 0.6:
+            return num_ports, None
+        depth = rng.choice((2, 3))
+        return num_ports, [num_ports] * depth
+
+    def _draw_traffic(self, rng):
+        kind = rng.choice(("legacy", "uniform", "bursty", "onoff",
+                           "trace"))
+        if kind == "legacy":
+            return None, rng.choice((1, 2, 3))
+        if kind == "uniform":
+            return {"kind": "uniform"}, 1
+        if kind == "bursty":
+            return {"kind": "bursty", "burst": rng.choice((2, 3, 4))}, 1
+        if kind == "onoff":
+            return {"kind": "onoff",
+                    "on_mean": rng.choice((2, 3, 4)),
+                    "off_mean": rng.choice((1, 2, 4))}, 1
+        gaps = [rng.choice((10, 20, 30, 40)) * US
+                for __ in range(rng.choice((2, 3, 4)))]
+        return {"kind": "trace", "gaps": gaps}, 1
+
+    def _draw_faults(self, rng):
+        """(fault_plan, reliability, watchdog_ticks): mostly clean runs.
+
+        Injected plans always ride on the reliable transport, so the
+        expected steady state is recovery, not corruption; the oracle
+        still demands serial/parallel identity and a clean checkpoint
+        round-trip for these chaos scenarios.
+        """
+        if rng.random() < 0.7:
+            return None, None, None
+        start = rng.choice((6, 8, 12))
+        step = rng.choice((3, 5, 7))
+        plan = FaultPlan(script={index: "drop"
+                                 for index in range(start, 160, step)},
+                         delay_polls=2)
+        watchdog = rng.choice((None, 400))
+        return plan, True, watchdog
+
+    # -- scenario assembly -------------------------------------------------
+
+    def sample(self, rng, index):
+        """Draw scenario *index* of a run from *rng*."""
+        scheme = rng.choice(self.schemes)
+        num_ports, stages = self._draw_topology(rng)
+        traffic, burst = self._draw_traffic(rng)
+        fault_plan, reliability, watchdog = self._draw_faults(rng)
+        config = RouterConfig(
+            scheme=scheme,
+            num_ports=num_ports,
+            stages=stages,
+            traffic=traffic,
+            burst=burst,
+            fault_plan=fault_plan,
+            reliability=reliability,
+            watchdog_ticks=watchdog,
+            seed=rng.randrange(1, 10_000),
+            max_packets=rng.choice((1, 2)),
+            producer_count=rng.choice((2, num_ports)),
+            inter_packet_delay=rng.choice((20, 40)) * US,
+            sync_quantum=rng.choice(self.QUANTA),
+            num_cpus=rng.choice((1, 1, 2)),
+            # Scenarios never inherit the ambient REPRO_PARALLEL sweep:
+            # the oracle runs both backends explicitly.
+            parallel=None,
+            workers=rng.choice((2, 3)),
+        )
+        validate_config(config)
+        sim_us = rng.choice((60, 80, 120))
+        name = "s%03d_%s_p%d_d%d_%s%s" % (
+            index, scheme.replace("-", ""), num_ports,
+            len(stages) if stages else 1,
+            (traffic or {}).get("kind", "legacy"),
+            "_faulty" if fault_plan else "")
+        return Scenario(name=name, sim_us=sim_us, config=config)

@@ -44,7 +44,7 @@ def run_traced_scenario(scheme, sim_us=120, seed=7, max_packets=2,
                         reliability=None, fault_plan=None,
                         watchdog_ticks=None, tracer=None, capacity=200_000,
                         sync_quantum=1, num_cpus=None, parallel=None,
-                        workers=None):
+                        workers=None, **config_overrides):
     """Run the quickstart-scale router scenario under *scheme*, traced.
 
     Everything is seeded and simulated-time driven, so two calls with
@@ -55,11 +55,14 @@ def run_traced_scenario(scheme, sim_us=120, seed=7, max_packets=2,
     scheme batches ISS synchronisations (see ``docs/performance.md``);
     the default is exact lock-step.  *parallel*/*workers* of ``None``
     defer to the ``REPRO_PARALLEL``/``REPRO_WORKERS`` environment
-    (serial when unset); pass ``False`` to force serial.
+    (serial when unset); pass ``False`` to force serial.  Further
+    keyword arguments (``num_ports``, ``stages``, ``traffic``, …) pass
+    through to :class:`~repro.router.system.RouterConfig` — the fuzzer
+    sweeps topology and traffic this way (docs/fuzzing.md).
     """
     if tracer is None:
         tracer = Tracer(capacity=capacity)
-    extra = {}
+    extra = dict(config_overrides)
     if num_cpus is not None:
         extra["num_cpus"] = num_cpus
     if parallel is not None:

@@ -4,17 +4,25 @@
 router. It generates packets with a random destination address."
 (paper Section 5)
 
-Generation is paced by the *inter-packet delay* — the x axis of
-Figure 7.  Packets are offered to the router input FIFO with a
+Generation is paced by a pluggable :mod:`~repro.router.traffic` model;
+the default :class:`~repro.router.traffic.UniformTraffic` reproduces
+the paper's stream — one packet per *inter-packet delay*, the x axis
+of Figure 7.  Packets are offered to the router input FIFO with a
 non-blocking put: when the router cannot keep up and the queue is
 full, the packet is *dropped*, which is what makes the forwarded
 percentage fall below 100%.
+
+Determinism contract: packet destinations and payloads come from one
+RNG seeded by *seed*; traffic pacing draws from a *separate* RNG
+derived from the same seed, so switching traffic models never
+perturbs packet contents.
 """
 
 import random
 
 from repro.errors import SimulationError
 from repro.router.packet import DATA_WORDS, Packet
+from repro.router.traffic import traffic_from_dict
 from repro.sysc.module import Module
 
 
@@ -23,9 +31,12 @@ class Producer(Module):
 
     def __init__(self, name, input_fifo, inter_packet_delay,
                  num_addresses=16, seed=1, source_address=0,
-                 max_packets=None, burst=1, kernel=None):
-        """*burst* > 1 makes traffic bursty: *burst* packets are
-        offered back-to-back, then the producer idles for
+                 max_packets=None, burst=1, traffic=None, kernel=None):
+        """*traffic* selects the pacing model (a
+        :class:`~repro.router.traffic.TrafficModel`, a spec dict, or
+        ``None`` for the legacy fields: uniform, or bursty when
+        *burst* > 1).  *burst* > 1 makes traffic bursty: *burst*
+        packets are offered back-to-back, then the producer idles for
         ``burst * inter_packet_delay`` — the same mean rate as the
         smooth stream, but with a peak arrival rate that stresses the
         input queues."""
@@ -40,9 +51,15 @@ class Producer(Module):
         self.source_address = source_address
         self.max_packets = max_packets
         self.burst = burst
+        self.traffic = traffic_from_dict(traffic, inter_packet_delay,
+                                         burst)
         self.generated = 0
         self.dropped = 0
         self._rng = random.Random(seed)
+        # Pacing randomness is drawn from its own stream so the packet
+        # destination/payload sequence is a function of *seed* alone,
+        # whatever the traffic model.
+        self._traffic_rng = random.Random("traffic:%r" % (seed,))
         self.thread(self._generate, name="generate")
 
     @property
@@ -62,7 +79,7 @@ class Producer(Module):
 
     def _generate(self):
         while self.max_packets is None or self.generated < self.max_packets:
-            for __ in range(self.burst):
+            for __ in range(self.traffic.batch()):
                 if (self.max_packets is not None
                         and self.generated >= self.max_packets):
                     break
@@ -70,4 +87,4 @@ class Producer(Module):
                 self.generated += 1
                 if not self.input_fifo.nb_put(packet):
                     self.dropped += 1
-            yield self.burst * self.inter_packet_delay
+            yield self.traffic.gap(self._traffic_rng)

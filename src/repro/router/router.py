@@ -17,11 +17,14 @@ class Router(Module):
     """FIFO-buffered store-and-forward router with checksum offload."""
 
     def __init__(self, name, routing_table, engine, num_ports=4,
-                 input_capacity=8, output_capacity=32, kernel=None):
+                 input_capacity=8, output_capacity=32, kernel=None,
+                 inputs=None):
         """*engine* may be a single checksum engine or a list of them;
         with a list, the router runs one forwarding worker per engine
         (the multi-processor configuration: checksum load is spread
-        over several CPUs)."""
+        over several CPUs).  *inputs* may supply pre-existing FIFOs —
+        typically the output queues of an upstream router stage — in
+        place of freshly created input queues."""
         super().__init__(name, kernel)
         if num_ports < 1:
             raise SimulationError("router needs at least one port")
@@ -32,8 +35,16 @@ class Router(Module):
             raise SimulationError("router needs at least one engine")
         self.engine = self.engines[0]
         self.num_ports = num_ports
-        self.inputs = [Fifo(input_capacity, "%s.in%d" % (name, i), kernel)
-                       for i in range(num_ports)]
+        if inputs is not None:
+            if len(inputs) != num_ports:
+                raise SimulationError(
+                    "router %r got %d input queues for %d ports"
+                    % (name, len(inputs), num_ports))
+            self.inputs = list(inputs)
+        else:
+            self.inputs = [Fifo(input_capacity, "%s.in%d" % (name, i),
+                                kernel)
+                           for i in range(num_ports)]
         self.outputs = [Fifo(output_capacity, "%s.out%d" % (name, i), kernel)
                         for i in range(num_ports)]
         self.forwarded = 0

@@ -41,3 +41,20 @@ class RoutingTable:
         """The case-study table: address *a* exits on port ``a % ports``."""
         return cls({address: address % num_ports
                     for address in range(num_addresses)})
+
+    @classmethod
+    def stage_modulo(cls, num_addresses, num_ports, stage, num_stages):
+        """The table of stage *stage* in an *num_stages*-deep fabric.
+
+        Stage *k* (0-based from the ingress) routes on digit
+        ``num_stages - 1 - k`` of the destination address written in
+        base *num_ports*, so the egress stage routes exactly like the
+        single-router :meth:`modulo` table and earlier stages spread
+        traffic across the fabric butterfly-style.
+        """
+        if not 0 <= stage < num_stages:
+            raise ReproError("stage %d outside fabric of depth %d"
+                             % (stage, num_stages))
+        shift = num_ports ** (num_stages - 1 - stage)
+        return cls({address: (address // shift) % num_ports
+                    for address in range(num_addresses)})

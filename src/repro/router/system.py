@@ -89,6 +89,17 @@ class RouterConfig:
     # instead of one stop per word.
     blocked_transfers: bool = False
     burst: int = 1                        # producer burstiness
+    # Topology (docs/fuzzing.md): None builds the paper's single
+    # ``num_ports``x``num_ports`` router; a list of stage widths (all
+    # equal to num_ports — the fabric is square) builds a multi-stage
+    # pipeline whose egress stage carries the ISS checksum engines and
+    # whose earlier stages forward through zero-latency local engines.
+    stages: Optional[list] = None
+    # Traffic model spec (docs/fuzzing.md): None derives the model
+    # from inter_packet_delay/burst (the paper's stream); a dict like
+    # {"kind": "onoff", "on_mean": 4, "off_mean": 8} selects a
+    # pluggable seeded model from repro.router.traffic.
+    traffic: Optional[object] = None
     # Transport resilience (docs/resilience.md): reliable framing over
     # the co-simulation links, an injected link-fault plan underneath
     # it, and the stalled-context watchdog (in scheduler timesteps).
@@ -131,16 +142,52 @@ class SystemStats:
     metrics: dict = field(default_factory=dict)
 
 
+def validate_config(config):
+    """Reject impossible topology/traffic configurations loudly.
+
+    Raises :class:`~repro.errors.CosimError` with a one-line message —
+    the CLI surfaces these verbatim with exit code 2, and the fuzzer's
+    scenario space promises never to sample a config this rejects.
+    """
+    from repro.router.traffic import traffic_from_dict
+
+    if config.scheme not in SCHEMES:
+        raise CosimError("unknown scheme %r (one of %s)"
+                         % (config.scheme, ", ".join(SCHEMES)))
+    if config.num_cpus < 1:
+        raise CosimError("num_cpus must be >= 1")
+    if config.num_ports < 2:
+        raise CosimError("num_ports must be >= 2 (an NxN router needs "
+                         "N >= 2), got %d" % config.num_ports)
+    if config.inter_packet_delay <= 0:
+        raise CosimError("inter_packet_delay must be positive, got %r"
+                         % (config.inter_packet_delay,))
+    if config.burst < 1:
+        raise CosimError("burst must be >= 1, got %r" % (config.burst,))
+    if config.stages is not None:
+        widths = list(config.stages)
+        if not widths:
+            raise CosimError("stages must name at least one stage width")
+        for width in widths:
+            if not isinstance(width, int) or width < 2:
+                raise CosimError("stage widths must be integers >= 2, "
+                                 "got %r" % (width,))
+            if width != config.num_ports:
+                raise CosimError(
+                    "non-square stage spec: stage width %d != num_ports "
+                    "%d (every stage of the fabric must be NxN)"
+                    % (width, config.num_ports))
+    # Building the traffic model validates its parameters.
+    traffic_from_dict(config.traffic, config.inter_packet_delay,
+                      config.burst)
+
+
 class RouterSystem:
     """A fully-wired case-study instance."""
 
     def __init__(self, config):
-        if config.scheme not in SCHEMES:
-            raise CosimError("unknown scheme %r (one of %s)"
-                             % (config.scheme, ", ".join(SCHEMES)))
+        validate_config(config)
         self.config = config
-        if config.num_cpus < 1:
-            raise CosimError("num_cpus must be >= 1")
         self.kernel = Kernel("system:" + config.scheme)
         if config.tracer is not None:
             self.kernel.attach_tracer(config.tracer)
@@ -155,21 +202,21 @@ class RouterSystem:
         self.app = None
         self.engines = self._build_engines()
         self.engine = self.engines[0]
-        self.table = RoutingTable.modulo(config.num_addresses,
-                                         config.num_ports)
-        self.router = Router("router", self.table, self.engines,
-                             config.num_ports, config.input_capacity,
-                             config.output_capacity)
+        self.routers = self._build_topology()
+        self.router = self.routers[-1]      # the egress (checksum) stage
+        self.table = self.router.routing_table
         producer_count = config.producer_count or config.num_ports
+        ingress = self.routers[0]
         self.producers = [
             Producer("producer%d" % index,
-                     self.router.inputs[index % config.num_ports],
+                     ingress.inputs[index % config.num_ports],
                      config.inter_packet_delay,
                      config.num_addresses,
                      seed=config.seed + index,
                      source_address=index,
                      max_packets=config.max_packets,
-                     burst=config.burst)
+                     burst=config.burst,
+                     traffic=config.traffic)
             for index in range(producer_count)
         ]
         self.consumers = [
@@ -195,6 +242,50 @@ class RouterSystem:
     def rtos(self):
         """The first guest RTOS (Driver-Kernel scheme only)."""
         return self.rtoses[0] if self.rtoses else None
+
+    def _build_topology(self):
+        """Build the router fabric: one NxN router, or a pipeline.
+
+        A single-stage topology is the paper's Figure 6 system,
+        byte-identical to every pre-topology run.  A multi-stage spec
+        chains ``len(stages)`` NxN routers: each stage's output queues
+        *are* the next stage's input queues (no copy modules), stage
+        *k* routes on address digit ``depth-1-k`` base N (so the
+        egress stage routes exactly like the single router), and only
+        the egress stage drives the ISS checksum engines — earlier
+        stages forward through zero-latency local engines, modeling a
+        fabric with checksum offload at the egress.
+        """
+        config = self.config
+        widths = list(config.stages) if config.stages else \
+            [config.num_ports]
+        depth = len(widths)
+        if depth == 1:
+            table = RoutingTable.modulo(config.num_addresses,
+                                        config.num_ports)
+            return [Router("router", table, self.engines,
+                           config.num_ports, config.input_capacity,
+                           config.output_capacity)]
+        routers = []
+        inputs = None
+        for stage in range(depth):
+            last = stage == depth - 1
+            table = RoutingTable.stage_modulo(
+                config.num_addresses, config.num_ports, stage, depth)
+            engines = self.engines if last else [LocalChecksumEngine(
+                "stage%d_fwd" % stage, latency=0,
+                algorithm=config.algorithm)]
+            # Inter-stage queues act as the next stage's input buffers,
+            # so they get the input capacity; only the egress queues —
+            # drained by consumers — get the output capacity.
+            capacity = (config.output_capacity if last
+                        else config.input_capacity)
+            router = Router("router%d" % stage, table, engines,
+                            config.num_ports, config.input_capacity,
+                            capacity, inputs=inputs)
+            routers.append(router)
+            inputs = router.outputs
+        return routers
 
     def _build_engines(self):
         scheme = self.config.scheme
@@ -331,6 +422,10 @@ class RouterSystem:
         generated = sum(producer.generated for producer in self.producers)
         received = sum(consumer.received for consumer in self.consumers)
         corrupt = sum(consumer.corrupt for consumer in self.consumers)
+        # Forwarded counts egress deliveries; drops are the producers'
+        # rejected puts at the ingress plus every stage's failed
+        # forwards (an inter-stage rejection is the upstream stage's
+        # output drop).
         forwarded = self.router.forwarded
         percent = 100.0 * forwarded / generated if generated else 0.0
         latencies = sorted(latency for consumer in self.consumers
@@ -340,11 +435,12 @@ class RouterSystem:
             if latencies else 0.0
         return SystemStats(
             generated=generated,
-            input_drops=self.router.input_drops,
+            input_drops=self.routers[0].input_drops,
             forwarded=forwarded,
             received=received,
             corrupt=corrupt,
-            output_drops=self.router.output_drops,
+            output_drops=sum(router.output_drops
+                             for router in self.routers),
             forwarded_percent=percent,
             latency_mean_fs=mean,
             latency_p95_fs=p95,
@@ -367,8 +463,9 @@ _PLAIN_CONFIG_FIELDS = (
     "inter_packet_delay", "input_capacity", "output_capacity", "seed",
     "max_packets", "app_origin", "memory_size", "stack_top",
     "local_latency", "producer_count", "num_cpus", "algorithm",
-    "checksum_rounds", "blocked_transfers", "burst", "watchdog_ticks",
-    "sync_quantum", "parallel", "workers", "parallel_trace_commits")
+    "checksum_rounds", "blocked_transfers", "burst", "stages",
+    "watchdog_ticks", "sync_quantum", "parallel", "workers",
+    "parallel_trace_commits")
 
 
 def config_to_dict(config):
@@ -394,6 +491,10 @@ def config_to_dict(config):
                           if config.fault_plan is not None else None)
     data["rtos_costs"] = (asdict(config.rtos_costs)
                           if config.rtos_costs is not None else None)
+    from repro.router.traffic import normalize_traffic_spec
+    data["traffic"] = normalize_traffic_spec(config.traffic)
+    if data["stages"] is not None:
+        data["stages"] = list(data["stages"])
     return data
 
 
@@ -416,4 +517,5 @@ def config_from_dict(data, tracer=None):
     if rtos_costs is not None:
         rtos_costs = CostModel(**rtos_costs)
     kwargs["rtos_costs"] = rtos_costs
+    kwargs["traffic"] = data.get("traffic")
     return RouterConfig(tracer=tracer, **kwargs)

@@ -1,0 +1,219 @@
+"""Pluggable seeded traffic models for the packet producers.
+
+The paper's case study offers one packet every *inter-packet delay*
+(Figure 7's x axis).  Real SoC traffic is rarely that polite, so the
+producers accept a :class:`TrafficModel` that decides how many packets
+go out back-to-back and how long the module then idles:
+
+- :class:`UniformTraffic` — the paper's smooth stream (the default);
+- :class:`BurstyTraffic` — *burst* packets back-to-back, then a
+  ``burst * delay`` idle: the same analytic mean rate as the smooth
+  stream, but a peak arrival rate that stresses the input queues;
+- :class:`OnOffTraffic` — a Markov-modulated on/off source: geometric
+  ON runs at the base rate separated by geometric OFF idles;
+- :class:`TraceTraffic` — a replayed gap trace, cycled.
+
+Every model is a serializable config (``to_dict``/:func:`traffic_from_dict`,
+the :class:`~repro.cosim.faults.FaultPlan` pattern), draws randomness
+only from the RNG handed to :meth:`TrafficModel.gap` (never from the
+packet-content stream, so switching models cannot perturb packet
+payloads), and states its analytic mean inter-packet gap via
+:meth:`TrafficModel.mean_gap` — the property the rate tests assert
+against.
+"""
+
+from repro.errors import CosimError
+
+TRAFFIC_KINDS = ("uniform", "bursty", "onoff", "trace")
+
+
+class TrafficModel:
+    """One packet-pacing policy of a producer."""
+
+    kind = None
+
+    def batch(self):
+        """Packets offered back-to-back before the next idle."""
+        return 1
+
+    def gap(self, rng):
+        """Idle time in femtoseconds after one batch."""
+        raise NotImplementedError
+
+    def mean_gap(self):
+        """Analytic mean inter-packet gap in femtoseconds."""
+        raise NotImplementedError
+
+    def to_dict(self):
+        """The model as a plain-JSON config spec."""
+        raise NotImplementedError
+
+
+class UniformTraffic(TrafficModel):
+    """The paper's smooth stream: one packet per *delay*."""
+
+    kind = "uniform"
+
+    def __init__(self, delay):
+        if delay <= 0:
+            raise CosimError("traffic: inter-packet delay must be "
+                             "positive, got %r" % (delay,))
+        self.delay = delay
+
+    def gap(self, rng):
+        return self.delay
+
+    def mean_gap(self):
+        return self.delay
+
+    def to_dict(self):
+        return {"kind": self.kind}
+
+
+class BurstyTraffic(TrafficModel):
+    """*burst* packets back-to-back, then a ``burst * delay`` idle.
+
+    The idle scales with the burst so the analytic mean rate equals
+    the uniform stream's ``1 / delay`` — only the peak rate changes.
+    """
+
+    kind = "bursty"
+
+    def __init__(self, delay, burst):
+        if delay <= 0:
+            raise CosimError("traffic: inter-packet delay must be "
+                             "positive, got %r" % (delay,))
+        if not isinstance(burst, int) or burst < 1:
+            raise CosimError("traffic: burst must be an integer >= 1, "
+                             "got %r" % (burst,))
+        self.delay = delay
+        self.burst = burst
+
+    def batch(self):
+        return self.burst
+
+    def gap(self, rng):
+        return self.burst * self.delay
+
+    def mean_gap(self):
+        return self.delay
+
+    def to_dict(self):
+        return {"kind": self.kind, "burst": self.burst}
+
+
+class OnOffTraffic(TrafficModel):
+    """Markov-modulated on/off source.
+
+    While ON, packets go out one per *delay*; after each packet the
+    source flips OFF with probability ``1 / on_mean`` (geometric ON
+    runs with mean *on_mean* packets).  An OFF period idles a
+    geometric number of delay slots with mean *off_mean*.  Analytic
+    mean gap: ``delay * (1 + off_mean / on_mean)``.
+    """
+
+    kind = "onoff"
+
+    def __init__(self, delay, on_mean=4, off_mean=4):
+        if delay <= 0:
+            raise CosimError("traffic: inter-packet delay must be "
+                             "positive, got %r" % (delay,))
+        if on_mean < 1 or off_mean < 1:
+            raise CosimError("traffic: on/off means must be >= 1, got "
+                             "on_mean=%r off_mean=%r"
+                             % (on_mean, off_mean))
+        self.delay = delay
+        self.on_mean = on_mean
+        self.off_mean = off_mean
+
+    def gap(self, rng):
+        if rng.random() >= 1.0 / self.on_mean:
+            return self.delay
+        off_slots = 1
+        while rng.random() >= 1.0 / self.off_mean:
+            off_slots += 1
+        return self.delay * (1 + off_slots)
+
+    def mean_gap(self):
+        return self.delay * (1 + self.off_mean / self.on_mean)
+
+    def to_dict(self):
+        return {"kind": self.kind, "on_mean": self.on_mean,
+                "off_mean": self.off_mean}
+
+
+class TraceTraffic(TrafficModel):
+    """A replayed inter-packet gap trace, cycled when exhausted.
+
+    *gaps* are femtosecond idle times, typically captured from a real
+    run; each producer keeps its own replay position.
+    """
+
+    kind = "trace"
+
+    def __init__(self, gaps):
+        gaps = list(gaps)
+        if not gaps:
+            raise CosimError("traffic: a trace needs at least one gap")
+        if any(not isinstance(gap, int) or gap <= 0 for gap in gaps):
+            raise CosimError("traffic: trace gaps must be positive "
+                             "integers, got %r" % (gaps,))
+        self.gaps = gaps
+        self._position = 0
+
+    def gap(self, rng):
+        value = self.gaps[self._position]
+        self._position = (self._position + 1) % len(self.gaps)
+        return value
+
+    def mean_gap(self):
+        return sum(self.gaps) / len(self.gaps)
+
+    def to_dict(self):
+        return {"kind": self.kind, "gaps": list(self.gaps)}
+
+
+def traffic_from_dict(spec, delay, burst=1):
+    """Build a :class:`TrafficModel` from a config spec.
+
+    *spec* is ``None`` (the legacy ``inter_packet_delay``/``burst``
+    fields decide: uniform, or bursty when ``burst > 1``), an already
+    built model (passed through), or a ``{"kind": ...}`` dict as
+    produced by ``to_dict``.  *delay* supplies the base inter-packet
+    delay for the kinds that pace relative to it.  Raises
+    :class:`~repro.errors.CosimError` on unknown kinds or invalid
+    parameters.
+    """
+    if isinstance(spec, TrafficModel):
+        return spec
+    if spec is None:
+        if burst > 1:
+            return BurstyTraffic(delay, burst)
+        return UniformTraffic(delay)
+    if not isinstance(spec, dict):
+        raise CosimError("traffic: spec must be None, a TrafficModel, "
+                         "or a dict, got %r" % (spec,))
+    kind = spec.get("kind")
+    if kind == "uniform":
+        return UniformTraffic(delay)
+    if kind == "bursty":
+        return BurstyTraffic(delay, spec.get("burst", burst))
+    if kind == "onoff":
+        return OnOffTraffic(delay, on_mean=spec.get("on_mean", 4),
+                            off_mean=spec.get("off_mean", 4))
+    if kind == "trace":
+        return TraceTraffic(spec.get("gaps", ()))
+    raise CosimError("traffic: unknown kind %r (one of %s)"
+                     % (kind, ", ".join(TRAFFIC_KINDS)))
+
+
+def normalize_traffic_spec(spec):
+    """The plain-JSON form of a traffic spec (for config serialization)."""
+    if spec is None:
+        return None
+    if isinstance(spec, TrafficModel):
+        return spec.to_dict()
+    if isinstance(spec, dict):
+        return dict(spec)
+    raise CosimError("traffic: spec must be None, a TrafficModel, or a "
+                     "dict, got %r" % (spec,))

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.cosim.channels import Pipe
 from repro.cosim.faults import FAULT_KINDS, FaultPlan, FaultyEndpoint
 from repro.errors import CosimError
+from tests.support import fault_plans, seeds
 
 
 def _faulty_pair(plan, name="pipe"):
@@ -133,16 +134,13 @@ class TestFaultSemantics:
 
 class TestDeterminism:
     @settings(max_examples=50, deadline=None)
-    @given(seed=st.integers(min_value=0, max_value=2**31),
+    @given(plan=fault_plans(rate=0.15, reorder=0.1),
            messages=st.lists(st.binary(min_size=1, max_size=16),
                              min_size=1, max_size=40))
-    def test_same_plan_replays_same_faults(self, seed, messages):
+    def test_same_plan_replays_same_faults(self, plan, messages):
         """Two runs with the same plan deliver identical byte streams
         and inject identical fault counts."""
         def run():
-            plan = FaultPlan(seed=seed, drop=0.2, duplicate=0.1,
-                             reorder=0.1, corrupt=0.2, delay=0.1,
-                             delay_polls=2)
             sender, receiver = _faulty_pair(plan)
             delivered = []
             for payload in messages:
@@ -156,7 +154,7 @@ class TestDeterminism:
         assert run() == run()
 
     @settings(max_examples=30, deadline=None)
-    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @given(seed=seeds)
     def test_injection_counters_sum(self, seed):
         plan = FaultPlan(seed=seed, drop=0.3, duplicate=0.3, corrupt=0.3)
         sender, __ = _faulty_pair(plan)

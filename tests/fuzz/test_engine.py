@@ -1,0 +1,94 @@
+"""The fuzz engine: seeded determinism, novelty, the failure path."""
+
+import pytest
+
+from repro.fuzz import ScenarioSpace, load_scenario, run_fuzz
+from repro.fuzz.oracle import OracleResult
+import repro.fuzz.engine as engine_module
+
+
+class TestDeterminism:
+    def test_same_seed_same_campaign(self):
+        first = run_fuzz(5, 4)
+        second = run_fuzz(5, 4)
+        assert first.as_dict() == second.as_dict()
+        assert first.scenarios == second.scenarios
+
+    def test_different_seeds_diverge(self):
+        assert run_fuzz(5, 3).scenarios != run_fuzz(6, 3).scenarios
+
+    def test_sampling_is_a_pure_function_of_the_rng(self):
+        import random
+        space = ScenarioSpace()
+        names = [space.sample(random.Random("fuzz:9"), i).name
+                 for i in range(6)]
+        again = [space.sample(random.Random("fuzz:9"), i).name
+                 for i in range(6)]
+        assert names == again
+
+    def test_every_sampled_config_is_valid(self):
+        import random
+        from repro.router.system import validate_config
+        space = ScenarioSpace()
+        rng = random.Random("fuzz:31")
+        for index in range(50):
+            scenario = space.sample(rng, index)
+            validate_config(scenario.config)   # must not raise
+            assert scenario.config.parallel is None
+
+
+class TestNovelty:
+    def test_repeated_signatures_are_not_corpus_worthy(self, tmp_path):
+        summary = run_fuzz(7, 16, corpus_dir=str(tmp_path),
+                           write_corpus=True)
+        assert len(summary.novel) < summary.budget   # seed 7 repeats one
+        assert len(summary.corpus_files) == len(summary.novel)
+        for path in summary.corpus_files:
+            assert load_scenario(path).name   # loadable fixture
+
+
+class TestFailurePath:
+    def _failing_oracle(self, predicate):
+        def fake_run_oracles(scenario, checkpoint=True):
+            if predicate(scenario):
+                return OracleResult(scenario=scenario, passed=False,
+                                    failures=["byte-identity: induced"])
+            return OracleResult(scenario=scenario, passed=True)
+        return fake_run_oracles
+
+    def test_failures_are_minimized_and_written(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setattr(
+            engine_module, "run_oracles",
+            self._failing_oracle(lambda s: s.config.sync_quantum > 1))
+        summary = run_fuzz(7, 4, failures_dir=str(tmp_path))
+        assert summary.failed >= 1
+        assert summary.failure_files
+        for failure, path in zip(summary.failures,
+                                 summary.failure_files):
+            assert failure["oracles"] == ["byte-identity"]
+            minimized = load_scenario(path)
+            # The quantum is load-bearing, so shrinking kept it > 1
+            # while everything orthogonal fell away.
+            assert minimized.config.sync_quantum > 1
+            assert minimized.config.fault_plan is None
+            assert minimized.config.stages is None
+            assert minimized.config.max_packets == 1
+
+    def test_no_minimize_writes_the_raw_scenario(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setattr(engine_module, "run_oracles",
+                            self._failing_oracle(lambda s: True))
+        summary = run_fuzz(7, 1, failures_dir=str(tmp_path),
+                           minimize=False)
+        assert summary.failed == 1
+        assert summary.failures[0]["minimize_steps"] == []
+        assert load_scenario(summary.failure_files[0]).name \
+            == summary.scenarios[0]
+
+
+def test_summary_counts_are_consistent():
+    summary = run_fuzz(3, 5)
+    assert summary.passed + summary.failed == summary.budget == 5
+    assert len(summary.scenarios) == 5
+    assert summary.chaos <= summary.passed

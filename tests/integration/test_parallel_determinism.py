@@ -9,15 +9,14 @@ must hold there too, just with zero prefetched jobs for those
 contexts.
 """
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cosim.faults import FaultPlan
-from repro.obs.scenarios import COSIM_SCHEMES, run_traced_scenario
+from repro.obs.scenarios import run_traced_scenario
 from repro.obs.tracer import dump_events
-
-_SETTINGS = dict(max_examples=5, deadline=None,
-                 suppress_health_check=[HealthCheck.too_slow])
+from tests.support import (SIM_SETTINGS, fault_plans, mpsoc_widths,
+                           quanta, schemes, seeds)
 
 
 def _outcome(scheme, seed, num_cpus, quantum, parallel, workers=2,
@@ -34,27 +33,20 @@ def _outcome(scheme, seed, num_cpus, quantum, parallel, workers=2,
     return trace, metrics, stats
 
 
-@given(scheme=st.sampled_from(COSIM_SCHEMES),
-       seed=st.integers(min_value=0, max_value=2 ** 16),
-       num_cpus=st.sampled_from([1, 2, 3]),
-       quantum=st.sampled_from([1, 4, 8]))
-@settings(**_SETTINGS)
+@given(scheme=schemes, seed=seeds, num_cpus=mpsoc_widths,
+       quantum=quanta)
+@settings(**SIM_SETTINGS)
 def test_parallel_matches_serial(scheme, seed, num_cpus, quantum):
     serial = _outcome(scheme, seed, num_cpus, quantum, parallel=False)
     parallel = _outcome(scheme, seed, num_cpus, quantum, parallel="thread")
     assert parallel == serial
 
 
-@given(scheme=st.sampled_from(COSIM_SCHEMES),
-       seed=st.integers(min_value=0, max_value=2 ** 16),
-       quantum=st.sampled_from([1, 8]),
-       fault_seed=st.integers(min_value=0, max_value=2 ** 16))
-@settings(**_SETTINGS)
+@given(scheme=schemes, seed=seeds, quantum=st.sampled_from([1, 8]),
+       plan=fault_plans())
+@settings(**SIM_SETTINGS)
 def test_faulty_runs_degrade_but_stay_identical(scheme, seed, quantum,
-                                                fault_seed):
-    plan = FaultPlan(seed=fault_seed, drop=0.02, duplicate=0.02,
-                     corrupt=0.02, delay=0.02, delay_polls=2)
-
+                                                plan):
     def attempt(parallel):
         try:
             return _outcome(scheme, seed, 2, quantum, parallel=parallel,
@@ -65,10 +57,8 @@ def test_faulty_runs_degrade_but_stay_identical(scheme, seed, quantum,
     assert attempt("thread") == attempt(False)
 
 
-@given(seed=st.integers(min_value=0, max_value=2 ** 16),
-       quantum=st.sampled_from([1, 8]))
-@settings(max_examples=3, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=seeds, quantum=st.sampled_from([1, 8]))
+@settings(**dict(SIM_SETTINGS, max_examples=3))
 def test_process_backend_matches_serial(seed, quantum):
     """The forked-worker backend obeys the same equivalence contract."""
     serial = _outcome("gdb-kernel", seed, 2, quantum, parallel=False)
@@ -82,3 +72,28 @@ def test_driver_kernel_process_backend_matches_serial():
     serial = _outcome("driver-kernel", 7, 2, 8, parallel=False)
     parallel = _outcome("driver-kernel", 7, 2, 8, parallel="process")
     assert parallel == serial
+
+
+def test_wrapper_planning_never_probes_unsafe_transports():
+    """Fuzzer-found regression (docs/fuzzing.md): the GDB-Wrapper
+    parallel planning loop used to evaluate ``needs_attention`` for
+    *every* wrapper before running any serial-fallback body.  That
+    probe pumps the reliable transport — retransmit timers tick and
+    transport events emit — so with two fault-injected CPUs at a
+    quantum > 1, cpu1's retransmit landed in the trace before cpu0's
+    quantum sync, diverging from the serial order."""
+    plan = FaultPlan(script={index: "drop"
+                             for index in range(6, 160, 3)},
+                     delay_polls=2)
+
+    def outcome(parallel):
+        run = run_traced_scenario(
+            "gdb-wrapper", sim_us=40, seed=169, max_packets=1,
+            producer_count=2, num_ports=2, sync_quantum=8, num_cpus=2,
+            reliability=True, fault_plan=plan, parallel=parallel)
+        trace = dump_events(run.tracer.events())
+        metrics = run.system.metrics.as_dict()
+        run.system.close()
+        return trace, metrics
+
+    assert outcome("thread") == outcome(False)

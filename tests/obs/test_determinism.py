@@ -9,17 +9,12 @@ object is excluded — including under an injected link-fault plan, whose
 faults are themselves seeded.
 """
 
-from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings
 
-from repro.cosim.faults import FaultPlan
 from repro.obs.bench import BenchRun
-from repro.obs.scenarios import (COSIM_SCHEMES, bench_scenario,
-                                 run_traced_scenario)
+from repro.obs.scenarios import bench_scenario, run_traced_scenario
 from repro.obs.tracer import Tracer, dump_events
-
-_SETTINGS = dict(max_examples=5, deadline=None,
-                 suppress_health_check=[HealthCheck.too_slow])
+from tests.support import SIM_SETTINGS, fault_plans, schemes, seeds
 
 
 def _bench_record(scheme, seed):
@@ -34,7 +29,7 @@ def _bench_record(scheme, seed):
     return dump_events(traced.tracer.events()), record
 
 
-def _chaos_outcome(scheme, seed, fault_seed):
+def _chaos_outcome(scheme, seed, plan):
     """One fault-injected run: its trace plus whatever happened.
 
     Some fault sequences exceed what the transport can recover (that is
@@ -44,8 +39,6 @@ def _chaos_outcome(scheme, seed, fault_seed):
     survive a mid-run failure.
     """
     tracer = Tracer()
-    plan = FaultPlan(seed=fault_seed, drop=0.04, duplicate=0.04,
-                     corrupt=0.04, delay=0.04, delay_polls=2)
     try:
         run = run_traced_scenario(scheme, sim_us=60, seed=seed,
                                   max_packets=1, producer_count=2,
@@ -59,9 +52,8 @@ def _chaos_outcome(scheme, seed, fault_seed):
     return dump_events(tracer.events()), outcome
 
 
-@given(scheme=st.sampled_from(COSIM_SCHEMES),
-       seed=st.integers(min_value=0, max_value=2 ** 16))
-@settings(**_SETTINGS)
+@given(scheme=schemes, seed=seeds)
+@settings(**SIM_SETTINGS)
 def test_two_seeded_runs_identical(scheme, seed):
     first_trace, first_record = _bench_record(scheme, seed)
     second_trace, second_record = _bench_record(scheme, seed)
@@ -69,23 +61,20 @@ def test_two_seeded_runs_identical(scheme, seed):
     assert first_record == second_record
 
 
-@given(scheme=st.sampled_from(COSIM_SCHEMES),
-       seed=st.integers(min_value=0, max_value=2 ** 16),
-       fault_seed=st.integers(min_value=0, max_value=2 ** 16))
-@settings(**_SETTINGS)
-def test_fault_injected_runs_identical(scheme, seed, fault_seed):
+@given(scheme=schemes, seed=seeds, plan=fault_plans(rate=0.04))
+@settings(**SIM_SETTINGS)
+def test_fault_injected_runs_identical(scheme, seed, plan):
     """The fault plan is part of the seed: replaying it replays the
     exact same drops/corruptions/delays, the exact same recovery — and,
     for unrecoverable sequences, the exact same failure."""
-    first_trace, first_outcome = _chaos_outcome(scheme, seed, fault_seed)
-    second_trace, second_outcome = _chaos_outcome(scheme, seed,
-                                                  fault_seed)
+    first_trace, first_outcome = _chaos_outcome(scheme, seed, plan)
+    second_trace, second_outcome = _chaos_outcome(scheme, seed, plan)
     assert first_trace == second_trace
     assert first_outcome == second_outcome
 
 
-@given(seed=st.integers(min_value=0, max_value=2 ** 16))
-@settings(**_SETTINGS)
+@given(seed=seeds)
+@settings(**SIM_SETTINGS)
 def test_trace_clock_is_simulation_state(seed):
     """Event time fields must come from the kernel's counters: they are
     monotonic in (timestep, delta, seq) and carry simulated now()."""

@@ -1,0 +1,183 @@
+"""The pluggable traffic models (repro.router.traffic).
+
+Model semantics, serialization, and the mean-rate property every model
+promises: over a long horizon a producer's offered rate converges to
+``1 / mean_gap()``, whatever the pacing shape.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CosimError
+from repro.router.producer import Producer
+from repro.router.traffic import (TRAFFIC_KINDS, BurstyTraffic,
+                                  OnOffTraffic, TraceTraffic,
+                                  TrafficModel, UniformTraffic,
+                                  normalize_traffic_spec,
+                                  traffic_from_dict)
+from repro.sysc.fifo import Fifo
+from repro.sysc.simtime import US
+
+DELAY = 10 * US
+
+
+class TestModelSemantics:
+    def test_uniform_is_the_paper_stream(self):
+        model = UniformTraffic(DELAY)
+        assert model.batch() == 1
+        assert model.gap(random.Random(1)) == DELAY
+        assert model.mean_gap() == DELAY
+
+    def test_bursty_keeps_the_uniform_mean_rate(self):
+        model = BurstyTraffic(DELAY, 3)
+        assert model.batch() == 3
+        assert model.gap(random.Random(1)) == 3 * DELAY
+        # 3 packets per 3*delay idle: the mean gap is still delay.
+        assert model.mean_gap() == DELAY
+
+    def test_onoff_mean_gap_is_analytic(self):
+        model = OnOffTraffic(DELAY, on_mean=2, off_mean=4)
+        assert model.mean_gap() == DELAY * (1 + 4 / 2)
+
+    def test_onoff_gaps_are_delay_multiples(self):
+        model = OnOffTraffic(DELAY, on_mean=2, off_mean=2)
+        rng = random.Random(5)
+        gaps = {model.gap(rng) for __ in range(200)}
+        assert all(gap % DELAY == 0 for gap in gaps)
+        assert DELAY in gaps and max(gaps) > DELAY
+
+    def test_trace_cycles_and_averages(self):
+        model = TraceTraffic([DELAY, 3 * DELAY])
+        rng = random.Random(1)
+        assert [model.gap(rng) for __ in range(4)] \
+            == [DELAY, 3 * DELAY, DELAY, 3 * DELAY]
+        assert model.mean_gap() == 2 * DELAY
+
+    @pytest.mark.parametrize("model", [
+        UniformTraffic(DELAY), BurstyTraffic(DELAY, 2),
+        OnOffTraffic(DELAY, 3, 2), TraceTraffic([DELAY, DELAY])])
+    def test_to_dict_round_trips_through_from_dict(self, model):
+        clone = traffic_from_dict(model.to_dict(), DELAY)
+        assert type(clone) is type(model)
+        assert clone.to_dict() == model.to_dict()
+        assert clone.mean_gap() == model.mean_gap()
+        assert model.to_dict()["kind"] in TRAFFIC_KINDS
+
+
+class TestTrafficFromDict:
+    def test_none_spec_uses_legacy_fields(self):
+        assert isinstance(traffic_from_dict(None, DELAY),
+                          UniformTraffic)
+        legacy = traffic_from_dict(None, DELAY, burst=3)
+        assert isinstance(legacy, BurstyTraffic)
+        assert legacy.burst == 3
+
+    def test_model_instances_pass_through(self):
+        model = OnOffTraffic(DELAY)
+        assert traffic_from_dict(model, DELAY) is model
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(CosimError, match="unknown kind"):
+            traffic_from_dict({"kind": "fractal"}, DELAY)
+
+    def test_non_dict_spec_raises(self):
+        with pytest.raises(CosimError):
+            traffic_from_dict("bursty", DELAY)
+
+    @pytest.mark.parametrize("spec", [
+        {"kind": "bursty", "burst": 0},
+        {"kind": "onoff", "on_mean": 0},
+        {"kind": "trace", "gaps": []},
+        {"kind": "trace", "gaps": [0]},
+    ])
+    def test_invalid_parameters_raise(self, spec):
+        with pytest.raises(CosimError):
+            traffic_from_dict(spec, DELAY)
+
+    def test_normalize_traffic_spec(self):
+        assert normalize_traffic_spec(None) is None
+        assert normalize_traffic_spec(BurstyTraffic(DELAY, 2)) \
+            == {"kind": "bursty", "burst": 2}
+        spec = {"kind": "uniform"}
+        copy = normalize_traffic_spec(spec)
+        assert copy == spec and copy is not spec
+        with pytest.raises(CosimError):
+            normalize_traffic_spec(7)
+
+
+def _offered_rate(traffic, sim_us=4000, seed=1):
+    """Run one standalone producer; return offered packets per sim."""
+    from repro.sysc.kernel import Kernel, set_current_kernel
+
+    kernel = Kernel("rate")
+    try:
+        fifo = Fifo(100_000, kernel=kernel)
+        producer = Producer("p", fifo, DELAY, seed=seed,
+                            traffic=traffic, kernel=kernel)
+        kernel.run(sim_us * US)
+        return producer.generated
+    finally:
+        set_current_kernel(None)
+
+
+class TestMeanRateProperty:
+    """A producer's long-run offered rate matches mean_gap() (the
+    bursty model's whole point: same mean as uniform, higher peak)."""
+
+    def test_uniform_rate_is_exact(self):
+        # t = 0, 10, ..., 4000 us inclusive -> 401 offers
+        assert _offered_rate({"kind": "uniform"}) == 401
+
+    def test_bursty_rate_equals_uniform_rate(self):
+        for burst in (2, 3, 4):
+            generated = _offered_rate({"kind": "bursty", "burst": burst})
+            assert abs(generated - 401) <= burst
+
+    def test_trace_rate_is_its_analytic_mean(self):
+        model = TraceTraffic([DELAY, 3 * DELAY])
+        expected = 4000 * US / model.mean_gap()
+        assert abs(_offered_rate(model) - expected) <= 2
+
+    @settings(max_examples=8, deadline=None)
+    @given(burst=st.integers(min_value=1, max_value=5),
+           seed=st.integers(min_value=0, max_value=2 ** 16))
+    def test_burst_mean_rate_property(self, burst, seed):
+        generated = _offered_rate({"kind": "bursty", "burst": burst},
+                                  seed=seed)
+        assert abs(generated - 401) <= burst
+
+    @settings(max_examples=6, deadline=None)
+    @given(on_mean=st.integers(min_value=1, max_value=4),
+           off_mean=st.integers(min_value=1, max_value=4),
+           seed=st.integers(min_value=0, max_value=2 ** 16))
+    def test_onoff_rate_tracks_analytic_mean(self, on_mean, off_mean,
+                                             seed):
+        model = OnOffTraffic(DELAY, on_mean=on_mean, off_mean=off_mean)
+        expected = 4000 * US / model.mean_gap()
+        generated = _offered_rate(
+            {"kind": "onoff", "on_mean": on_mean, "off_mean": off_mean},
+            seed=seed)
+        assert abs(generated - expected) <= 0.2 * expected + 5
+
+    def test_pacing_never_perturbs_packet_contents(self):
+        """The determinism contract: same seed, different traffic
+        model, identical destination/payload sequence."""
+        def contents(traffic):
+            from repro.sysc.kernel import Kernel, set_current_kernel
+            kernel = Kernel("contents")
+            try:
+                fifo = Fifo(1000, kernel=kernel)
+                Producer("p", fifo, DELAY, seed=77, traffic=traffic,
+                         max_packets=20, kernel=kernel)
+                kernel.run(3000 * US)
+                return [(p.destination, p.data) for p in fifo._items]
+            finally:
+                set_current_kernel(None)
+        uniform = contents({"kind": "uniform"})
+        assert len(uniform) == 20
+        assert contents({"kind": "onoff", "on_mean": 2,
+                         "off_mean": 3}) == uniform
+        assert contents({"kind": "bursty", "burst": 4}) == uniform

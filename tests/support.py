@@ -1,9 +1,38 @@
 """Helpers shared across test modules."""
 
+from hypothesis import HealthCheck
+from hypothesis import strategies as st
+
+from repro.cosim.faults import FaultPlan
 from repro.iss.assembler import assemble
 from repro.iss.cpu import Cpu
 from repro.iss.loader import load_program
 from repro.iss.syscalls import SYS_EXIT, SYS_PUTCHAR
+from repro.obs.scenarios import COSIM_SCHEMES
+
+#: Shared ``@settings`` kwargs for simulation-heavy property tests:
+#: few examples (each example is a full co-simulation), no deadline.
+SIM_SETTINGS = dict(max_examples=5, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+#: Shared hypothesis strategies over the co-simulation scenario axes.
+seeds = st.integers(min_value=0, max_value=2 ** 16)
+schemes = st.sampled_from(COSIM_SCHEMES)
+quanta = st.sampled_from([1, 4, 8])
+mpsoc_widths = st.sampled_from([1, 2, 3])
+
+
+def fault_plans(rate=0.02, reorder=0.0, delay_polls=2):
+    """Seeded fault plans drawing every fault class at *rate*.
+
+    The plan's own seed is the drawn value, so shrinking a failing
+    example shrinks straight to the plan that reproduces it.  Reorder
+    defaults off: the scenario-level chaos tests ride the reliable
+    transport, whose NAK recovery the endpoint-level tests cover.
+    """
+    return seeds.map(lambda seed: FaultPlan(
+        seed=seed, drop=rate, duplicate=rate, reorder=reorder,
+        corrupt=rate, delay=rate, delay_polls=delay_polls))
 
 
 def make_cpu(source, origin=0, stack_top=None, capture_output=True):

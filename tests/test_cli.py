@@ -293,3 +293,79 @@ class TestCli:
         out = capsys.readouterr().out
         assert code == 2
         assert "baseline" in out
+
+
+class TestTopologyCli:
+    def test_router_custom_width(self, capsys):
+        code = main(["router", "--scheme", "gdb-kernel", "--ports", "5",
+                     "--delay-us", "20", "--sim-ms", "1"])
+        assert code == 0
+        assert "forwarded=" in capsys.readouterr().out
+
+    def test_router_multi_stage(self, capsys):
+        code = main(["router", "--scheme", "gdb-kernel", "--ports", "2",
+                     "--stages", "2,2", "--delay-us", "20",
+                     "--sim-ms", "1"])
+        assert code == 0
+
+    def test_router_single_port_is_one_line_exit_2(self, capsys):
+        code = main(["router", "--scheme", "local", "--ports", "1",
+                     "--sim-ms", "1"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert len(out.strip().splitlines()) == 1
+        assert "num_ports" in out
+
+    def test_router_non_square_stages_exit_2(self, capsys):
+        code = main(["router", "--scheme", "local", "--ports", "4",
+                     "--stages", "4,3", "--sim-ms", "1"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "non-square" in out
+
+    def test_router_unparsable_stages_exit_2(self, capsys):
+        code = main(["router", "--scheme", "local", "--stages", "4,x",
+                     "--sim-ms", "1"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert len(out.strip().splitlines()) == 1
+
+
+class TestFuzzCli:
+    def test_fuzz_smoke_campaign(self, capsys):
+        code = main(["fuzz", "--seed", "7", "--budget", "2",
+                     "--no-checkpoint"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fuzz: 2/2 passed" in out
+
+    def test_fuzz_replay_fixture_corpus(self, capsys, tmp_path):
+        import os
+        fixture = os.path.join("tests", "fixtures", "scenarios",
+                               "s006_gdbkernel_p2_d1_onoff.json")
+        code = main(["fuzz", "--replay", fixture, "--no-checkpoint"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replayed 1 scenario(s), 0 failed" in out
+
+    def test_fuzz_replay_missing_path_exit_2(self, capsys, tmp_path):
+        code = main(["fuzz", "--replay",
+                     str(tmp_path / "absent.json")])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert len(out.strip().splitlines()) == 1
+
+    def test_fuzz_replay_empty_dir_exit_2(self, capsys, tmp_path):
+        code = main(["fuzz", "--replay", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "no scenario fixtures" in out
+
+    def test_fuzz_replay_unparsable_fixture_exit_2(self, capsys,
+                                                   tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "other/1"}')
+        code = main(["fuzz", "--replay", str(bad)])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert len(out.strip().splitlines()) == 1
