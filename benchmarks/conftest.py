@@ -13,8 +13,10 @@ terminal.
 
 Every test here additionally writes one machine-readable
 ``BENCH_<test>.json`` record (the ``repro-bench/1`` schema of
-``docs/observability.md``) into ``$REPRO_BENCH_DIR`` (default: the
-working directory) — the artifacts CI uploads.  Tests that want richer
+``docs/observability.md``) into ``$REPRO_BENCH_DIR`` (default:
+``benchmarks/out``, never the working directory — stray ``BENCH_*``
+files next to tracked ones are how artifacts end up committed by
+accident) — the artifacts CI uploads.  Tests that want richer
 records accept the ``bench_report`` fixture and ``record()``
 deterministic counters onto it; the wall clock is handled here.
 """
@@ -48,7 +50,8 @@ def _isolate_kernel_context():
 
 @pytest.fixture(scope="session")
 def bench_reporter():
-    """One reporter for the whole run ($REPRO_BENCH_DIR or cwd)."""
+    """One reporter for the whole run ($REPRO_BENCH_DIR or
+    benchmarks/out)."""
     return BenchReporter()
 
 

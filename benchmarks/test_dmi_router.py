@@ -1,0 +1,101 @@
+"""DMI-tier transaction-reduction gate (docs/dmi.md).
+
+The zero-copy tier exists to collapse communication traffic: at a
+batched quantum, every packet word a GDB scheme previously moved over
+an RSP transfer transaction goes through a direct-memory grant
+instead, and the wrapper's status syncs reconcile inside the local
+time warp.  This bench runs the paper's router case study — the
+communication-heavy configuration, not the compute-heavy parallel
+workload — once on the batched-parallel transactional baseline and
+once with ``dmi=True``, and gates the reduction:
+
+- combined sync+transfer traffic must drop by at least 10x (the
+  ISSUE's floor; in practice the GDB schemes drop to zero);
+- forwarding must be identical — the tier changes how data moves,
+  never what arrives;
+- the DMI run's deterministic counters are gated against the
+  committed ``benchmarks/baselines/BENCH_dmi_router.json`` record,
+  exactly like the parallel-mpsoc baseline.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.obs.bench import compare_reports, load_report
+from repro.router.system import RouterConfig, RouterSystem
+from repro.sysc.simtime import US
+
+BASELINE_DIR = pathlib.Path(__file__).resolve().parent / "baselines"
+
+#: Communication-heavy router workload: four producers streaming into
+#: two checksum engines at the batched quantum, thread-parallel commit.
+#: Packet words dominate guest compute, so transfer transactions set
+#: the traffic figure the DMI tier is judged on.
+WORKLOAD = dict(
+    scheme="gdb-kernel", seed=7, producer_count=4, num_cpus=2,
+    max_packets=2, inter_packet_delay=10 * US, sync_quantum=8,
+    parallel="thread")
+SIM_TIME = 200 * US
+
+#: The ISSUE's acceptance floor for sync+transfer reduction.
+REDUCTION_FLOOR = 10.0
+
+
+def _run(dmi):
+    system = RouterSystem(RouterConfig(dmi=dmi, **WORKLOAD))
+    system.run(SIM_TIME)
+    stats = system.stats()
+    metrics = system.metrics.as_dict()
+    system.close()
+    return stats, metrics
+
+
+def _traffic(metrics):
+    """Cross-engine communication transactions the tier must remove."""
+    return metrics["sync_transactions"] + metrics["transfer_transactions"]
+
+
+def test_dmi_transaction_reduction(benchmark, summary, bench_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    base_stats, base_metrics = _run(dmi=False)
+    dmi_stats, dmi_metrics = _run(dmi=True)
+
+    assert base_stats.corrupt == dmi_stats.corrupt == 0
+    assert dmi_stats.forwarded == base_stats.forwarded > 0
+
+    base_traffic = _traffic(base_metrics)
+    dmi_traffic = _traffic(dmi_metrics)
+    assert base_traffic > 0
+    assert base_traffic >= REDUCTION_FLOOR * max(dmi_traffic, 1), (
+        "sync+transfer traffic only fell %dx (%d -> %d); the DMI tier "
+        "promises >= %dx" % (base_traffic // max(dmi_traffic, 1),
+                             base_traffic, dmi_traffic, REDUCTION_FLOOR))
+    assert dmi_metrics["dmi_reads"] + dmi_metrics["dmi_writes"] > 0
+
+    reduction = (float("inf") if dmi_traffic == 0
+                 else base_traffic / dmi_traffic)
+    summary("dmi router: traffic %d -> %d (%sx), dmi motion %d words"
+            % (base_traffic, dmi_traffic,
+               "inf" if dmi_traffic == 0 else "%.0f" % reduction,
+               dmi_metrics["dmi_reads"] + dmi_metrics["dmi_writes"]))
+    benchmark.extra_info["baseline_traffic"] = base_traffic
+    benchmark.extra_info["dmi_traffic"] = dmi_traffic
+
+    flat = {k: v for k, v in dmi_metrics.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)}
+    bench_report.record(forwarded=dmi_stats.forwarded,
+                        baseline_traffic=base_traffic, **flat)
+    bench_report.config.update({k: str(v) for k, v in WORKLOAD.items()})
+
+    baseline_path = BASELINE_DIR / "BENCH_dmi_router.json"
+    baseline = load_report(str(baseline_path))
+    problems = compare_reports(bench_report.as_dict(), baseline)
+    assert not problems, problems
+    assert flat == {k: v for k, v in baseline["counters"].items()
+                    if k not in ("forwarded", "baseline_traffic")}, \
+        "DMI router counters drifted from the committed baseline"
+    assert baseline["counters"]["baseline_traffic"] >= \
+        REDUCTION_FLOOR * max(baseline["counters"].get(
+            "sync_transactions", 0) + baseline["counters"].get(
+            "transfer_transactions", 0), 1)

@@ -7,12 +7,13 @@ shell:
 - ``fig7 [--sim-ms N]`` — the Figure 7 forwarding sweep;
 - ``loc`` — the Section 5 code-complexity report;
 - ``router --scheme S [--delay-us N] [--sim-ms N] [--cpus N]
-  [--ports N] [--stages N,N,...] [--burst N]
+  [--ports N] [--stages N,N,...] [--burst N] [--dmi]
   [--checkpoint-every N --checkpoint-dir D] [--resume-from PATH]`` —
   one case-study run with statistics — any NxN or multi-stage fabric
-  (docs/fuzzing.md), optionally checkpointed (with crash recovery) or
-  resumed from a snapshot; impossible topology/traffic parameters exit
-  2 with a one-line message;
+  (docs/fuzzing.md), optionally over the zero-copy DMI binding tier
+  (docs/dmi.md), checkpointed (with crash recovery) or resumed from a
+  snapshot; impossible topology/traffic parameters exit 2 with a
+  one-line message;
 - ``fuzz --seed S --budget N [--failures-dir D] [--corpus-dir D
   --write-corpus] [--replay PATH]`` — the seeded scenario fuzzer
   (docs/fuzzing.md): samples composed scenarios, judges each with the
@@ -31,14 +32,15 @@ shell:
   transaction spans reconstructed from a traced run
   (docs/observability.md), exportable as Perfetto async slices;
 - ``health [--records D [--baseline-dir D]] [--checkpoint-dir D]
-  [--chaos storm|stall]`` — the rule-based co-simulation health
+  [--chaos storm|stall|thrash]`` — the rule-based co-simulation health
   analyzer (``--checkpoint-dir`` reports crash-recovery events); exits
   non-zero when any finding is critical, 2 with a one-line message
   when a named records/baseline/checkpoint directory is missing;
-- ``bench [--scheme S|all] [--out-dir D] [--quantum N] [--compare]`` —
-  machine-readable ``BENCH_*.json`` benchmark records
-  (docs/observability.md), optionally gated against the committed
-  baselines in ``benchmarks/baselines/`` (docs/performance.md);
+- ``bench [--scheme S|all] [--out-dir D] [--quantum N] [--dmi]
+  [--compare]`` — machine-readable ``BENCH_*.json`` benchmark records
+  (docs/observability.md), optionally over the DMI tier (docs/dmi.md),
+  optionally gated against the committed baselines in
+  ``benchmarks/baselines/`` (docs/performance.md);
 - ``version``.
 """
 
@@ -131,7 +133,7 @@ def _cmd_router(args):
     try:
         stages = _parse_stages(args.stages)
         topology = dict(num_ports=args.ports, stages=stages,
-                        burst=args.burst)
+                        burst=args.burst, dmi=args.dmi)
         if args.resume_from or args.checkpoint_every:
             from repro.router.system import RouterConfig, validate_config
             validate_config(RouterConfig(scheme=args.scheme, **topology))
@@ -342,11 +344,14 @@ def _cmd_bench(args):
         name = "cli_%s" % scheme
         if args.quantum != 1:
             name += "_q%d" % args.quantum
+        if args.dmi:
+            name += "_dmi"
         traced, run = bench_scenario(scheme, sim_us=args.sim_us,
                                      seed=args.seed, name=name,
                                      sync_quantum=args.quantum,
                                      parallel=parallel,
-                                     workers=args.workers)
+                                     workers=args.workers,
+                                     dmi=args.dmi)
         path = reporter.write(run)
         record = run.as_dict()
         print("wrote %s: wall=%.3fs timesteps=%s events=%s" % (
@@ -552,6 +557,10 @@ def build_parser():
     router.add_argument("--burst", type=int, default=1,
                         help="producer burstiness (packets back-to-back "
                              "per idle; >= 1)")
+    router.add_argument("--dmi", action="store_true",
+                        help="enable the zero-copy DMI binding tier "
+                             "(docs/dmi.md); dmi-unsafe contexts fall "
+                             "back to the transactional tiers")
     router.add_argument("--checkpoint-every", type=int, default=None,
                         metavar="N",
                         help="checkpoint every N sync quanta (requires "
@@ -665,11 +674,12 @@ def build_parser():
                         help="report crash-recovery events from a "
                              "checkpoint directory's recovery.json")
     health.add_argument("--chaos", default=None,
-                        choices=["storm", "stall"],
+                        choices=["storm", "stall", "thrash"],
                         help="run a seeded fault scenario the analyzer "
                              "must flag (storm: retransmission storm; "
                              "stall: stalled read + watchdog "
-                             "quarantine)")
+                             "quarantine; thrash: DMI invalidation "
+                             "storm)")
     health.add_argument("--scheme", default="all",
                         choices=["all", "gdb-wrapper", "gdb-kernel",
                                  "driver-kernel"])
@@ -689,7 +699,7 @@ def build_parser():
     bench.add_argument("--seed", type=int, default=7)
     bench.add_argument("--out-dir", default=None,
                        help="output directory (default: "
-                            "$REPRO_BENCH_DIR or .)")
+                            "$REPRO_BENCH_DIR or benchmarks/out)")
     bench.add_argument("--quantum", type=int, default=1,
                        help="sync quantum (batched timesteps per ISS "
                             "synchronisation; record names gain a _qN "
@@ -703,6 +713,10 @@ def build_parser():
     bench.add_argument("--workers", type=int, default=None,
                        help="parallel worker-pool width (default: "
                             "$REPRO_WORKERS or 2)")
+    bench.add_argument("--dmi", action="store_true",
+                       help="enable the zero-copy DMI binding tier "
+                            "(docs/dmi.md); record names gain a _dmi "
+                            "suffix")
     bench.add_argument("--compare", action="store_true",
                        help="gate counters against committed baselines; "
                             "non-zero exit on regression")

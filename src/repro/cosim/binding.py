@@ -12,6 +12,13 @@ synchronisation, :meth:`due` says when the quantum is full, and
 :meth:`drain` hands the whole bank to one sync transaction.  At the
 default ``quantum=1`` every timestep is due immediately, which is the
 classic lock-step behavior.
+
+With the DMI tier active a drained quantum may be serviced inside the
+*local time warp* (TLM-2.0 temporal decoupling): the ISS runs ahead of
+SystemC time against its direct-memory view and the synchronisation is
+reconciled locally, without an RSP status round trip.
+:meth:`note_warp` records those warped reconciliations so the warp is
+observable (and checkpointable) alongside the banked-quantum counters.
 """
 
 from repro.errors import CosimError
@@ -33,6 +40,11 @@ class ClockBinding:
         self.granted_cycles = 0
         self.pending_budget = 0
         self.pending_steps = 0
+        # Local-time-warp bookkeeping (DMI tier): synchronisations whose
+        # status exchange was reconciled locally instead of over RSP.
+        self.warped_syncs = 0
+        self.warped_cycles = 0
+        self.warped_steps = 0
 
     def cycles_for_advance(self, now_fs):
         """Cycle budget earned by advancing SystemC time to *now_fs*."""
@@ -67,6 +79,24 @@ class ClockBinding:
         self.pending_budget = 0
         self.pending_steps = 0
         return budget, steps
+
+    def note_warp(self, budget, steps):
+        """Record one synchronisation serviced inside the time warp.
+
+        Called by a scheme when the DMI tier let it reconcile a drained
+        quantum locally: the ISS ran *budget* cycles ahead over *steps*
+        banked timesteps without the RSP status exchange a transactional
+        sync would have paid.
+        """
+        self.warped_syncs += 1
+        self.warped_cycles += budget
+        self.warped_steps += steps
+
+    def warp_state(self):
+        """Checkpoint-stable image of the warp counters."""
+        return {"warped_syncs": self.warped_syncs,
+                "warped_cycles": self.warped_cycles,
+                "warped_steps": self.warped_steps}
 
     def reset(self, now_fs=0):
         """Re-base the binding at *now_fs* (discards carry and bank)."""

@@ -68,6 +68,7 @@ def _binding_state(binding):
         "granted_cycles": binding.granted_cycles,
         "pending_budget": binding.pending_budget,
         "pending_steps": binding.pending_steps,
+        "warp": binding.warp_state(),
     }
 
 
@@ -290,8 +291,9 @@ def _metrics_state(system):
     return system.metrics.as_dict()
 
 
-def _common_context_state(name, quarantined, reason, binding, cpu):
-    return {
+def _common_context_state(name, quarantined, reason, binding, cpu,
+                          dmi=None):
+    state = {
         "name": name,
         "quarantined": quarantined,
         "quarantine_reason": reason,
@@ -299,6 +301,13 @@ def _common_context_state(name, quarantined, reason, binding, cpu):
         "cpu": _cpu_state(cpu),
         "memory": _memory_state(cpu.memory),
     }
+    # The DMI grant table is part of the deterministic image: the same
+    # replay re-acquires the same windows in the same order, so a
+    # restored run's grants (ids, ranges, directions, degradation)
+    # must match the stored ones exactly.
+    if dmi is not None:
+        state["dmi"] = dmi.state()
+    return state
 
 
 def _contexts_state(system):
@@ -312,7 +321,8 @@ def _contexts_state(system):
         for entry in entries:
             state = _common_context_state(
                 entry.name, entry.quarantined, entry.quarantine_reason,
-                entry.binding, entry.cpu)
+                entry.binding, entry.cpu,
+                dmi=getattr(entry, "dmi", None))
             state["driver"] = _driver_state(entry.driver)
             state["client"] = {
                 "transactions": entry.client.transaction_count,
@@ -332,7 +342,8 @@ def _contexts_state(system):
         for entry in system.scheme.hook.contexts:
             state = _common_context_state(
                 entry.name, entry.quarantined, entry.quarantine_reason,
-                entry.binding, entry.rtos.cpu)
+                entry.binding, entry.rtos.cpu,
+                dmi=getattr(entry, "dmi", None))
             state["rtos"] = entry.rtos.state_summary()
             state["irq_inflight"] = entry.irq_inflight
             state["activity"] = entry.activity

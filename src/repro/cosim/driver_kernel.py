@@ -32,10 +32,12 @@ from repro.errors import (CosimError, CosimTransportError,
                           RecoverableCrashError)
 from repro.cosim.binding import ClockBinding
 from repro.cosim.channels import Socket
+from repro.cosim.dmi import GRANT_IN, GRANT_OUT, DmiTable
 from repro.cosim.faults import FaultyEndpoint
-from repro.cosim.messages import (DATA_PORT, INTERRUPT_PORT, Message,
-                                  MessageType, interrupt_message,
-                                  pack_message, unpack_message)
+from repro.cosim.messages import (DATA_PORT, DESCRIPTOR, INTERRUPT_PORT,
+                                  Block, Message, MessageType,
+                                  interrupt_message, pack_message,
+                                  unpack_message)
 from repro.cosim.metrics import (CosimMetrics, QUARANTINE_TRANSPORT,
                                  QUARANTINE_WATCHDOG, QUARANTINE_WORKER)
 from repro.cosim.ports import IssInPort, IssOutPort
@@ -67,6 +69,9 @@ class _RtosContext:
     # Reliable/fault-injected transports draw from seeded RNG streams
     # whose ordering a parallel prefetch cannot preserve: lock-step.
     parallel_safe: bool = True
+    # DMI grant table for zero-copy payload motion (None = pure
+    # transactional tier; mirrors the parallel-safety contract).
+    dmi: object = None
     # Graceful-degradation state.
     quarantined: bool = False
     quarantine_reason: str = None
@@ -398,6 +403,8 @@ class DriverKernelHook(KernelHook):
                 "context %r crashed: %s (%s)"
                 % (context.name, reason, detail if detail else reason),
                 context=context.name, code=reason)
+        if context.dmi is not None:
+            context.dmi.degrade()
         context.quarantined = True
         context.quarantine_reason = reason
         self.metrics.record_quarantine(context.name, reason,
@@ -414,15 +421,20 @@ class DriverKernelHook(KernelHook):
                         ports=[block.port for block in message.blocks])
             # Correlate with the guest-side issue event: the driver
             # stamps requests with its own sequence numbers, so the id
-            # needs no extra plumbing across the socket.
-            if message.type is MessageType.READ:
+            # needs no extra plumbing across the socket.  DMI message
+            # variants keep the base event names so the driver spans
+            # open and close identically in both tiers.
+            name = message.type.name.lower()
+            if message.type in (MessageType.READ, MessageType.READ_DMI):
+                name = "read"
                 args["span"] = "drv:%s:%d" % (context.rtos.name,
                                               message.sequence)
-            elif message.type is MessageType.WRITE:
+            elif message.type in (MessageType.WRITE,
+                                  MessageType.WRITE_DMI):
+                name = "write"
                 args["span"] = "drvw:%s:%d" % (context.rtos.name,
                                                message.sequence)
-            self.tracer.emit("driver", message.type.name.lower(),
-                             scope=context.name, **args)
+            self.tracer.emit("driver", name, scope=context.name, **args)
         if message.type is MessageType.WRITE:
             for block in message.blocks:
                 port = self._port(context, block.port, "iss_in")
@@ -430,28 +442,93 @@ class DriverKernelHook(KernelHook):
                     port.deliver(int.from_bytes(block.data, "little"))
                 else:
                     port.deliver(block.data)
+        elif message.type is MessageType.WRITE_DMI:
+            for block in message.blocks:
+                port = self._port(context, block.port, "iss_in")
+                address, count = DESCRIPTOR.unpack(block.data)
+                data = self._dmi_read(context, address, count)
+                if len(data) == 4:
+                    port.deliver(int.from_bytes(data, "little"))
+                else:
+                    port.deliver(data)
         elif message.type is MessageType.READ:
             reply = Message(MessageType.READ_REPLY, [], message.sequence)
             for block in message.blocks:
-                port = self._port(context, block.port, "iss_out")
-                value = port.collect()
-                if isinstance(value, int):
-                    if not 0 <= value <= 0xFFFFFFFF:
-                        raise CosimError(
-                            "iss_out port %r value %#x does not fit the "
-                            "32-bit wire format" % (block.port, value))
-                    value = value.to_bytes(4, "little")
-                elif not isinstance(value, (bytes, bytearray)):
-                    raise CosimError(
-                        "iss_out port %r holds unserialisable value %r"
-                        % (block.port, value))
-                block.data = bytes(value)
+                block.data = self._collect_bytes(context, block.port)
                 reply.blocks.append(block)
+            context.data_endpoint.send(pack_message(reply))
+            self.metrics.messages_sent += 1
+        elif message.type is MessageType.READ_DMI:
+            address, max_words = DESCRIPTOR.unpack(message.blocks[0].data)
+            payload = b"".join(self._collect_bytes(context, block.port)
+                               for block in message.blocks)
+            words = min(max_words, len(payload) // 4)
+            reply = self._dmi_reply(context, address, words, payload,
+                                    message.sequence)
             context.data_endpoint.send(pack_message(reply))
             self.metrics.messages_sent += 1
         else:
             raise CosimError("unexpected %s message from driver"
                              % message.type.name)
+
+    def _collect_bytes(self, context, port_name):
+        """Sample one ``iss_out`` port into its wire-format bytes."""
+        port = self._port(context, port_name, "iss_out")
+        value = port.collect()
+        if isinstance(value, int):
+            if not 0 <= value <= 0xFFFFFFFF:
+                raise CosimError(
+                    "iss_out port %r value %#x does not fit the "
+                    "32-bit wire format" % (port_name, value))
+            value = value.to_bytes(4, "little")
+        elif not isinstance(value, (bytes, bytearray)):
+            raise CosimError(
+                "iss_out port %r holds unserialisable value %r"
+                % (port_name, value))
+        return bytes(value)
+
+    def _dmi_read(self, context, address, count):
+        """Move a WRITE_DMI payload out of guest RAM.
+
+        Through a grant view when one can be acquired; otherwise a
+        precise in-process fallback copy, which reads the same bytes a
+        marshalled payload would carry since both happen at this drain
+        point (the guest is frozen between advances).
+        """
+        table = context.dmi
+        grant = None
+        if table is not None:
+            grant = table.acquire(address, 4 * count, GRANT_IN,
+                                  breakpoints=context.rtos.cpu.breakpoints)
+        if grant is not None:
+            words = table.read_words(grant, address, count)
+            return b"".join((word & 0xFFFFFFFF).to_bytes(4, "little")
+                            for word in words)
+        return bytes(context.rtos.cpu.memory.read_bytes(address, 4 * count))
+
+    def _dmi_reply(self, context, address, words, payload, sequence):
+        """Answer a READ_DMI: direct-to-buffer when a grant allows it.
+
+        On a grant the reply words land straight in the guest buffer
+        and a READ_REPLY_DMI descriptor confirms it; when the grant is
+        refused (watchpoints, breakpoints in the window) the reply
+        degrades to a payload-carrying READ_REPLY the driver copies,
+        exactly the transactional tier.
+        """
+        table = context.dmi
+        grant = None
+        if table is not None and words:
+            grant = table.acquire(address, 4 * words, GRANT_OUT,
+                                  breakpoints=context.rtos.cpu.breakpoints)
+        if grant is not None:
+            values = [int.from_bytes(payload[4 * i:4 * i + 4], "little")
+                      for i in range(words)]
+            table.write_words(grant, address, values)
+            return Message(MessageType.READ_REPLY_DMI,
+                           [Block("dmi", DESCRIPTOR.pack(address, words))],
+                           sequence)
+        return Message(MessageType.READ_REPLY,
+                       [Block("dmi", payload[:4 * words])], sequence)
 
     @staticmethod
     def _port(context, port_name, expected):
@@ -485,13 +562,15 @@ class DriverKernelScheme:
         kernel.add_hook(self.hook)
 
     def attach_rtos(self, rtos, ports, cpu_hz, name=None, reliability=None,
-                    faults=None):
+                    faults=None, dmi=False):
         """Connect one guest RTOS; wires both sockets.
 
         *reliability* (a :class:`~repro.cosim.reliable.ReliabilityConfig`,
         or ``True`` for the defaults) stacks the reliable framing over
         both sockets; *faults* (a :class:`~repro.cosim.faults.FaultPlan`)
-        injects link faults underneath it.
+        injects link faults underneath it.  *dmi* enables the zero-copy
+        binding tier on a *dmi-safe* context (no fault plan, no
+        reliable transport — the same contract as parallel safety).
         """
         context = _RtosContext(
             name=name or rtos.name,
@@ -499,6 +578,12 @@ class DriverKernelScheme:
             binding=ClockBinding(cpu_hz, 1, quantum=self.sync_quantum),
             parallel_safe=not reliability and faults is None,
         )
+        if dmi and context.parallel_safe:
+            context.dmi = DmiTable(context.name, rtos.cpu.memory,
+                                   self.metrics, self.tracer)
+            # The guest-side driver consults the table to pick the
+            # zero-copy message variants.
+            rtos.dmi = context.dmi
         rtos.cpu.attach_tracer(self.tracer)
         if self.dispatcher is not None and context.parallel_safe:
             # The process backend declines RTOS CPUs (their syscall

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from repro.errors import CosimTransportError, RecoverableCrashError
 from repro.cosim.binding import ClockBinding
 from repro.cosim.channels import Pipe
+from repro.cosim.dmi import DmiTable
 from repro.cosim.faults import FaultyEndpoint
 from repro.cosim.metrics import (CosimMetrics, QUARANTINE_TRANSPORT,
                                  QUARANTINE_WATCHDOG, QUARANTINE_WORKER)
@@ -52,6 +53,7 @@ class _CpuContext:
     stub: GdbStub
     client: GdbClient
     driver: TargetDriver
+    dmi: object = None          # DmiTable of the DMI binding tier, or None
     quarantined: bool = False
     quarantine_reason: str = None
     # Reliable/fault-injected transports draw from seeded RNG streams
@@ -359,6 +361,10 @@ class GdbKernelHook(KernelHook):
                 "context %r crashed: %s (%s)"
                 % (context.name, reason, detail if detail else reason),
                 context=context.name, code=reason)
+        if getattr(context, "dmi", None) is not None:
+            # Precise fallback: a quarantined context must never be
+            # served from a direct view again.
+            context.dmi.degrade()
         context.quarantined = True
         context.quarantine_reason = reason
         self.metrics.record_quarantine(context.name, reason,
@@ -388,12 +394,16 @@ class GdbKernelScheme:
         kernel.add_hook(self.hook)
 
     def attach_cpu(self, cpu, pragma_map, ports, cpu_hz, name=None,
-                   reliability=None, faults=None):
+                   reliability=None, faults=None, dmi=False):
         """Connect one ISS: its pragma map and variable->port mapping.
 
         *reliability*/*faults* stack the resilience layers over the RSP
         pipe, exactly as in
         :meth:`~repro.cosim.driver_kernel.DriverKernelScheme.attach_rtos`.
+        *dmi* enables the direct-memory binding tier; like parallel
+        eligibility it silently degrades to the transactional path when
+        the transport carries fault or reliability layers (their RSP
+        traffic is the thing under test).
         """
         label = name or cpu.name
         cpu.attach_tracer(self.tracer)
@@ -403,12 +413,15 @@ class GdbKernelScheme:
         stub = GdbStub(cpu, stub_end)
         client = GdbClient(client_end, pump=stub.service_pending,
                            name=label, tracer=self.tracer)
+        dmi_safe = not reliability and faults is None
+        dmi_table = (DmiTable(label, cpu.memory, self.metrics, self.tracer)
+                     if dmi and dmi_safe else None)
         driver = TargetDriver(client, stub, cpu, pragma_map, dict(ports),
-                              self.metrics, self.tracer)
+                              self.metrics, self.tracer, dmi=dmi_table)
         context = _CpuContext(
             label, cpu,
             ClockBinding(cpu_hz, 1, quantum=self.sync_quantum),
-            pipe, stub, client, driver,
+            pipe, stub, client, driver, dmi=dmi_table,
             parallel_safe=not reliability and faults is None)
         self.hook.contexts.append(context)
         if self.dispatcher is not None and context.parallel_safe:

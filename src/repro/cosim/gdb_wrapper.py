@@ -25,6 +25,7 @@ quarantines a stalled or transport-dead ISS so its siblings finish.
 from repro.errors import CosimTransportError, RecoverableCrashError
 from repro.cosim.binding import ClockBinding
 from repro.cosim.channels import Pipe
+from repro.cosim.dmi import DmiTable
 from repro.cosim.gdb_kernel import _wire_pipe
 from repro.cosim.metrics import (CosimMetrics, QUARANTINE_TRANSPORT,
                                  QUARANTINE_WATCHDOG, QUARANTINE_WORKER)
@@ -46,7 +47,7 @@ class GdbWrapperModule(Module):
     def __init__(self, name, clock, cpu, pragma_map, ports, cpu_hz,
                  metrics, kernel=None, watchdog_ticks=None,
                  reliability=None, faults=None, tracer=None,
-                 sync_quantum=1, coordinator=None):
+                 sync_quantum=1, coordinator=None, dmi=False):
         super().__init__(name, kernel)
         self.cpu = cpu
         self.binding = ClockBinding(cpu_hz, 1, quantum=sync_quantum)
@@ -66,6 +67,10 @@ class GdbWrapperModule(Module):
         # round (all wrappers fire in the same delta).
         self.coordinator = coordinator
         self.parallel_safe = not reliability and faults is None
+        # DMI mirrors the parallel-safety contract: fault plans and
+        # reliable transports keep the pure transactional tier.
+        self.dmi = (DmiTable(name, cpu.memory, metrics, self.tracer)
+                    if dmi and self.parallel_safe else None)
         self._watch_cycles = -1
         self._stall_ticks = 0
         cpu.attach_tracer(self.tracer)
@@ -76,7 +81,8 @@ class GdbWrapperModule(Module):
         self.client = GdbClient(client_end, pump=self.stub.service_pending,
                                 name=name, tracer=self.tracer)
         self.driver = TargetDriver(self.client, self.stub, cpu, pragma_map,
-                                   dict(ports), metrics, self.tracer)
+                                   dict(ports), metrics, self.tracer,
+                                   dmi=self.dmi)
         self.method(self._sync_cycle, sensitive=[clock.posedge],
                     dont_initialize=True, name="sync")
 
@@ -170,21 +176,46 @@ class GdbWrapperModule(Module):
         return (cpu.interrupts_enabled or cpu.irq_pending
                 or cpu.breakpoints.has_watchpoints)
 
+    def _warp_eligible(self):
+        """True when this sync may run inside the local time warp.
+
+        The DMI table must still be granting and no stop source that
+        demands transactional precision may be armed — exactly the
+        quantum-batching degradation triggers, so the warp degrades to
+        the faithful RSP sync in the same situations batching degrades
+        to lock-step.
+        """
+        return (self.dmi is not None and self.dmi.active
+                and not self._must_sync())
+
     def _sync_batch(self):
-        """One synchronisation covering every banked timestep."""
+        """One synchronisation covering every banked timestep.
+
+        Inside the local time warp (DMI tier, no precision trigger) the
+        status exchange is reconciled against the co-located stub state
+        instead of over RSP: the ISS runs ahead of SystemC time against
+        its direct-memory view and the sync costs zero transactions.
+        """
         budget, steps = self.binding.drain()
         self.metrics.quantum_syncs += 1
         self.metrics.quantum_steps_batched += steps
         if self.tracer.enabled:
             self.tracer.emit("cosim", "quantum_sync", scope=self.name,
                              steps=steps, budget=budget)
+        warp = self._warp_eligible()
         try:
-            self.metrics.sync_transactions += 2
-            status = self.client.query_status()
-            self.client.read_register(16)  # the pc, by register number
-            if status.get("Status") == "exited":
-                self.driver.finished = True
-                return
+            if warp:
+                self.binding.note_warp(budget, steps)
+                if self.stub.exited:
+                    self.driver.finished = True
+                    return
+            else:
+                self.metrics.sync_transactions += 2
+                status = self.client.query_status()
+                self.client.read_register(16)  # the pc, by register number
+                if status.get("Status") == "exited":
+                    self.driver.finished = True
+                    return
             if budget > 0:
                 self.metrics.grants += 1
                 self.driver.grant(budget)
@@ -194,20 +225,26 @@ class GdbWrapperModule(Module):
             return
         self._watchdog()
 
-    def _prefetch_job(self, budget):
+    def _prefetch_job(self, budget, warp=False):
         """The pool-side half of one synchronisation (see cosim.parallel).
 
         Reproduces the serial order of per-context work exactly: the
         RSP status round trip first (its transact events buffer in
         emission order), then the grant and the execution stretch.
         Ports, shared metrics and the kernel are never touched — the
-        commit applies those at this wrapper's slot.
+        commit applies those at this wrapper's slot.  A *warp* job
+        (DMI tier) checks the co-located stub state locally instead of
+        over RSP, matching the serial :meth:`_sync_batch` warp path.
         """
         def job():
-            status = self.client.query_status()
-            self.client.read_register(16)  # the pc, by register number
-            if status.get("Status") == "exited":
-                return ("exited", 0)
+            if warp:
+                if self.stub.exited:
+                    return ("exited", 0)
+            else:
+                status = self.client.query_status()
+                self.client.read_register(16)  # the pc, by register number
+                if status.get("Status") == "exited":
+                    return ("exited", 0)
             if budget > 0:
                 self.driver.grant(budget)
             return ("ok", self.driver.prefetch())
@@ -258,6 +295,8 @@ class GdbWrapperModule(Module):
                 "context %r crashed: %s (%s)"
                 % (self.name, reason, detail if detail else reason),
                 context=self.name, code=reason)
+        if self.dmi is not None:
+            self.dmi.degrade()
         self.quarantined = True
         self.quarantine_reason = reason
         self.metrics.record_quarantine(self.name, reason, detail=detail)
@@ -287,7 +326,7 @@ class GdbWrapperScheme:
         self._par_seq = 0
 
     def attach_cpu(self, cpu, pragma_map, ports, cpu_hz, name=None,
-                   reliability=None, faults=None):
+                   reliability=None, faults=None, dmi=False):
         """Instantiate a wrapper module for one ISS."""
         wrapper = GdbWrapperModule(
             name or ("wrapper:" + cpu.name), self.clock, cpu, pragma_map,
@@ -295,7 +334,8 @@ class GdbWrapperScheme:
             watchdog_ticks=self.watchdog_ticks, reliability=reliability,
             faults=faults, tracer=self.tracer,
             sync_quantum=self.sync_quantum,
-            coordinator=self if self.dispatcher is not None else None)
+            coordinator=self if self.dispatcher is not None else None,
+            dmi=dmi)
         self.wrappers.append(wrapper)
         if self.dispatcher is not None and wrapper.parallel_safe:
             self.dispatcher.attach_cpu(cpu)
@@ -342,9 +382,11 @@ class GdbWrapperScheme:
                 if not will_sync:
                     continue
                 budget, steps = binding.drain()
-                plans.append((wrapper, "batch", (budget, steps)))
+                warp = wrapper._warp_eligible()
+                plans.append((wrapper, "batch", (budget, steps, warp)))
                 self._trace_dispatch(wrapper, budget)
-                jobs.append((id(wrapper), wrapper._prefetch_job(budget)))
+                jobs.append((id(wrapper),
+                             wrapper._prefetch_job(budget, warp=warp)))
             else:
                 if (not wrapper.parallel_safe or wrapper._must_sync()
                         or wrapper.driver.held_at is not None
@@ -365,14 +407,17 @@ class GdbWrapperScheme:
             elif kind == "serial_cycle":
                 wrapper._lockstep_cycle()
             elif kind == "batch":
-                budget, steps = data
+                budget, steps, warp = data
                 self.metrics.quantum_syncs += 1
                 self.metrics.quantum_steps_batched += steps
                 if self.tracer.enabled:
                     self.tracer.emit("cosim", "quantum_sync",
                                      scope=wrapper.name, steps=steps,
                                      budget=budget)
-                self.metrics.sync_transactions += 2
+                if warp:
+                    wrapper.binding.note_warp(budget, steps)
+                else:
+                    self.metrics.sync_transactions += 2
                 self._commit_wrapper(wrapper, results[id(wrapper)], budget)
             else:
                 budget = data

@@ -16,7 +16,8 @@ the metrics layer can attribute.
 Layout::
 
     u32 packet_size        (whole message, bytes)
-    u8  type               (1=READ, 2=WRITE, 3=INTERRUPT, 4=READ_REPLY)
+    u8  type               (1=READ, 2=WRITE, 3=INTERRUPT, 4=READ_REPLY,
+                            5=WRITE_DMI, 6=READ_DMI, 7=READ_REPLY_DMI)
     u8  block_count
     u16 sequence
     repeated block_count times:
@@ -24,6 +25,15 @@ Layout::
         u16 data_size      (bytes; 0 for READ requests)
         bytes port_name
         bytes data
+
+The ``*_DMI`` types are the zero-copy variants of the DMI binding tier
+(``docs/dmi.md``): instead of marshalling the guest buffer into the
+message, the data field carries an 8-byte *descriptor* — ``u32
+buffer_address, u32 word_count`` packed by :data:`DESCRIPTOR` — and the
+kernel moves the words through a direct-memory grant view over the
+guest RAM.  A READ_REPLY_DMI confirms the kernel already wrote the
+reply words straight into the guest buffer, so the driver skips its
+copy.
 """
 
 import enum
@@ -47,11 +57,19 @@ _FRAME_HEADER = struct.Struct("<HBII")
 
 
 class MessageType(enum.IntEnum):
-    """Message types of the Section 4.2 protocol."""
+    """Message types of the Section 4.2 protocol (+ DMI variants)."""
     READ = 1
     WRITE = 2
     INTERRUPT = 3
     READ_REPLY = 4
+    WRITE_DMI = 5       # descriptor-carrying WRITE (zero-copy tier)
+    READ_DMI = 6        # READ whose reply lands straight in guest RAM
+    READ_REPLY_DMI = 7  # confirms a direct-to-buffer reply
+
+
+#: The ``(buffer_address, word_count)`` descriptor the DMI message
+#: variants carry in place of marshalled payload bytes.
+DESCRIPTOR = struct.Struct("<II")
 
 
 @dataclass

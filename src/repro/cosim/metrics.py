@@ -49,6 +49,9 @@ class CosimMetrics:
     blocks_compiled: int = 0        # ISS basic blocks compiled
     block_hits: int = 0             # ISS block-cache hits
     block_invalidations: int = 0    # ISS blocks dropped (SMC/bp/flush)
+    dmi_reads: int = 0              # words read through DMI grant views
+    dmi_writes: int = 0             # words written through DMI grant views
+    dmi_invalidations: int = 0      # DMI grants dropped (precise fallback)
     per_context: dict = field(default_factory=dict)  # name -> {counter: n}
     extra: dict = field(default_factory=dict)
     # Post-run latency summaries (kind -> {count,p50,p90,max}) attached
@@ -88,6 +91,9 @@ class CosimMetrics:
             "blocks_compiled": self.blocks_compiled,
             "block_hits": self.block_hits,
             "block_invalidations": self.block_invalidations,
+            "dmi_reads": self.dmi_reads,
+            "dmi_writes": self.dmi_writes,
+            "dmi_invalidations": self.dmi_invalidations,
             "per_context": {name: dict(counters) for name, counters
                             in sorted(self.per_context.items())},
             **self.extra,
@@ -134,7 +140,8 @@ class CosimMetrics:
         "sc_timesteps", "grants", "retransmits", "drops_detected",
         "corrupt_rejected", "contexts_quarantined",
         "quantum_syncs", "quantum_steps_batched",
-        "blocks_compiled", "block_hits", "block_invalidations")
+        "blocks_compiled", "block_hits", "block_invalidations",
+        "dmi_reads", "dmi_writes", "dmi_invalidations")
 
     @classmethod
     def aggregate(cls, bundles, scheme="aggregate"):

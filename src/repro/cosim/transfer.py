@@ -20,6 +20,7 @@ real system the ISS runs in a separate host process while SystemC's
 clock is frozen at the synchronisation point.
 """
 
+from repro.cosim.dmi import GRANT_IN, GRANT_OUT
 from repro.errors import CosimError
 from repro.gdb.client import StopKind
 from repro.obs.tracer import NULL_TRACER
@@ -46,13 +47,23 @@ def _binding_runs(bindings):
 
 
 def attempt_transfer(client, pragma_map, ports, breakpoint_address, metrics,
-                     tracer=NULL_TRACER, span=None):
+                     tracer=NULL_TRACER, span=None, dmi=None,
+                     breakpoints=None):
     """Try to service a breakpoint stop; returns resume-allowed.
+
+    The return value is falsy on a flow-control hold, ``"dmi"`` when
+    every binding run moved through a direct-memory grant (the caller
+    may then resume the target locally, without an RSP round trip),
+    and ``"transactional"`` when at least one run paid an ``m``/``M``
+    exchange.
 
     *span* is the correlation id of the enclosing breakpoint-sync span
     (``bp:<target>:<n>``); every transfer event emitted while servicing
     the stop carries it, so the span builder can attribute the RSP
-    exchanges to the transaction that caused them.
+    exchanges to the transaction that caused them.  *dmi* is the
+    context's :class:`~repro.cosim.dmi.DmiTable` (or None for the pure
+    transaction tiers); *breakpoints* the CPU's breakpoint set, which
+    the grant table consults for its precise-fallback triggers.
     """
     bindings = pragma_map.bindings_at(breakpoint_address)
     if not bindings:
@@ -64,7 +75,32 @@ def attempt_transfer(client, pragma_map, ports, breakpoint_address, metrics,
             port = _port_for(ports, binding.variable)
             if not port.fresh:
                 return False
+    outcome = "dmi"
     for run in _binding_runs(bindings):
+        if dmi is not None:
+            base = run[0].variable_address
+            kind = GRANT_IN if run[0].kind == "iss_in" else GRANT_OUT
+            grant = dmi.acquire(base, 4 * len(run), kind,
+                                breakpoints=breakpoints)
+            if grant is not None:
+                if kind == GRANT_IN:
+                    values = dmi.read_words(grant, base, len(run))
+                    for binding, value in zip(run, values):
+                        _port_for(ports, binding.variable).deliver(value)
+                else:
+                    dmi.write_words(
+                        grant, base,
+                        [_port_for(ports, binding.variable).collect()
+                         for binding in run])
+                if tracer.enabled:
+                    args = dict(kind=run[0].kind, first=run[0].variable,
+                                words=len(run), address=breakpoint_address)
+                    if span is not None:
+                        args["span"] = span
+                    tracer.emit("cosim", "dmi_transfer", scope=client.name,
+                                **args)
+                continue
+        outcome = "transactional"
         if len(run) == 1:
             binding = run[0]
             port = _port_for(ports, binding.variable)
@@ -106,7 +142,7 @@ def attempt_transfer(client, pragma_map, ports, breakpoint_address, metrics,
                     args["span"] = span
                 tracer.emit("cosim", "transfer_block", scope=client.name,
                             **args)
-    return True
+    return outcome
 
 
 def _port_for(ports, variable):
@@ -121,7 +157,7 @@ class TargetDriver:
     """Budget-carrying execution and stop servicing for one GDB target."""
 
     def __init__(self, client, stub, cpu, pragma_map, ports, metrics,
-                 tracer=None):
+                 tracer=None, dmi=None):
         self.client = client
         self.stub = stub
         self.cpu = cpu
@@ -129,6 +165,7 @@ class TargetDriver:
         self.ports = ports
         self.metrics = metrics
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.dmi = dmi
         self.budget_remaining = 0
         self.held_at = None
         self.finished = False
@@ -148,6 +185,19 @@ class TargetDriver:
     def grant(self, cycles):
         """Award execution budget (called as SystemC time advances)."""
         self.budget_remaining += cycles
+
+    def _resume(self, outcome):
+        """Resume a serviced stop by the tier that serviced it.
+
+        A stop whose every binding run moved through DMI grants resumes
+        the co-located stub directly — no RSP ``c`` round trip, which
+        is the loosely-timed half of the DMI tier's transaction win.
+        Any transactional exchange keeps the protocol-faithful resume.
+        """
+        if outcome == "dmi":
+            self.stub.resume_direct()
+        else:
+            self.client.continue_()
 
     def prefetch(self):
         """Run the port-free first half of :meth:`drive`; returns cycles.
@@ -194,10 +244,13 @@ class TargetDriver:
         skip_execute = skip_first_execute
         while not self.finished:
             if self.held_at is not None:
-                if not attempt_transfer(self.client, self.pragma_map,
-                                        self.ports, self.held_at,
-                                        self.metrics, self.tracer,
-                                        span=self._held_span):
+                outcome = attempt_transfer(self.client, self.pragma_map,
+                                           self.ports, self.held_at,
+                                           self.metrics, self.tracer,
+                                           span=self._held_span,
+                                           dmi=self.dmi,
+                                           breakpoints=self.cpu.breakpoints)
+                if not outcome:
                     return
                 if self.tracer.enabled and self._held_span is not None:
                     self.tracer.emit("cosim", "bp_resume",
@@ -205,7 +258,7 @@ class TargetDriver:
                                      span=self._held_span, pc=self.held_at)
                 self.held_at = None
                 self._held_span = None
-                self.client.continue_()
+                self._resume(outcome)
             if (not skip_execute and self.budget_remaining > 0
                     and self.stub.running):
                 before = self.cpu.cycles
@@ -234,14 +287,17 @@ class TargetDriver:
                 span = "bp:%s:%d" % (self.client.name, self._bp_seq)
                 self.tracer.emit("cosim", "bp_stop", scope=self.client.name,
                                  span=span, pc=event.pc)
-            if attempt_transfer(self.client, self.pragma_map, self.ports,
-                                event.pc, self.metrics, self.tracer,
-                                span=span):
+            outcome = attempt_transfer(self.client, self.pragma_map,
+                                       self.ports, event.pc, self.metrics,
+                                       self.tracer, span=span,
+                                       dmi=self.dmi,
+                                       breakpoints=self.cpu.breakpoints)
+            if outcome:
                 if span is not None:
                     self.tracer.emit("cosim", "bp_resume",
                                      scope=self.client.name, span=span,
                                      pc=event.pc)
-                self.client.continue_()
+                self._resume(outcome)
             else:
                 if self.tracer.enabled:
                     args = dict(pc=event.pc)

@@ -40,6 +40,7 @@ class Scenario:
             config.fault_plan is not None,
             config.sync_quantum,
             config.num_cpus,
+            config.dmi,
         )
 
 

@@ -76,6 +76,17 @@ class ScenarioSpace:
         watchdog = rng.choice((None, 400))
         return plan, True, watchdog
 
+    def _draw_dmi(self, rng, fault_plan):
+        """DMI binding-tier axis (docs/dmi.md): clean runs opt in.
+
+        Faulty scenarios never draw it — attach would silently fall
+        back to the transactional tier (the dmi-safe contract), so the
+        axis would add nothing but a misleading name suffix.
+        """
+        if fault_plan is not None:
+            return False
+        return rng.random() < 0.4
+
     # -- scenario assembly -------------------------------------------------
 
     def sample(self, rng, index):
@@ -84,6 +95,7 @@ class ScenarioSpace:
         num_ports, stages = self._draw_topology(rng)
         traffic, burst = self._draw_traffic(rng)
         fault_plan, reliability, watchdog = self._draw_faults(rng)
+        dmi = self._draw_dmi(rng, fault_plan)
         config = RouterConfig(
             scheme=scheme,
             num_ports=num_ports,
@@ -93,6 +105,7 @@ class ScenarioSpace:
             fault_plan=fault_plan,
             reliability=reliability,
             watchdog_ticks=watchdog,
+            dmi=dmi,
             seed=rng.randrange(1, 10_000),
             max_packets=rng.choice((1, 2)),
             producer_count=rng.choice((2, num_ports)),
@@ -110,5 +123,5 @@ class ScenarioSpace:
             index, scheme.replace("-", ""), num_ports,
             len(stages) if stages else 1,
             (traffic or {}).get("kind", "legacy"),
-            "_faulty" if fault_plan else "")
+            "_faulty" if fault_plan else ("_dmi" if dmi else ""))
         return Scenario(name=name, sim_us=sim_us, config=config)

@@ -113,6 +113,17 @@ class GdbStub:
             pass
         return reason
 
+    def resume_direct(self):
+        """Resume without an RSP ``c`` round trip (DMI binding tier).
+
+        Semantically identical to handling a ``c`` packet, but invoked
+        in-process by the master after a stop was serviced entirely
+        through direct-memory grants — the protocol-faithful resume
+        would be the only transaction left on a zero-transaction path.
+        """
+        self.running = True
+        self.cpu.resume_from_breakpoint()
+
     def _send_stop(self, text):
         self.stop_replies_sent += 1
         self.endpoint.send(rsp.frame(text))

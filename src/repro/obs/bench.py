@@ -26,6 +26,12 @@ SCHEMA = "repro-bench/1"
 #: Environment variable overriding the reporter output directory.
 OUTPUT_DIR_ENV = "REPRO_BENCH_DIR"
 
+#: Where records land when neither a directory argument nor the
+#: environment override names one.  A real directory (not ``"."``) so
+#: a benchmark run from the repository root never strands ``BENCH_*``
+#: artifacts next to tracked files.
+DEFAULT_OUTPUT_DIR = os.path.join("benchmarks", "out")
+
 
 def sanitize_name(name):
     """Collapse a test/scenario id into a safe file-name fragment."""
@@ -97,7 +103,8 @@ class BenchReporter:
 
     def __init__(self, directory=None):
         if directory is None:
-            directory = os.environ.get(OUTPUT_DIR_ENV) or "."
+            directory = (os.environ.get(OUTPUT_DIR_ENV)
+                         or DEFAULT_OUTPUT_DIR)
         self.directory = directory
         self.written = []
 

@@ -47,6 +47,11 @@ class HealthThresholds:
     #: multiplier over the baseline p90 before a latency counter
     #: counts as regressed.
     latency_regression: float = 1.5
+    #: DMI invalidations hitting one guest page of one context before
+    #: the grant/invalidate cycle counts as a storm (the zero-copy
+    #: tier thrashing against a precision trigger instead of falling
+    #: back cleanly — see docs/dmi.md).
+    dmi_invalidation_storm: int = 6
 
 
 @dataclass(frozen=True)
@@ -121,6 +126,7 @@ def analyze_run(events, metrics=None, thresholds=None, dropped=0,
     retransmits = {}
     holds = {}
     stops = {}
+    dmi_invalidations = {}
     for event in events:
         key = event.key
         if key == "transport/retransmit":
@@ -129,6 +135,9 @@ def analyze_run(events, metrics=None, thresholds=None, dropped=0,
             holds[event.scope] = holds.get(event.scope, 0) + 1
         elif key == "cosim/bp_stop":
             stops[event.scope] = stops.get(event.scope, 0) + 1
+        elif key == "cosim/dmi_invalidate":
+            spot = (event.scope, event.args.get("page", -1))
+            dmi_invalidations[spot] = dmi_invalidations.get(spot, 0) + 1
         elif key == "cosim/quarantine":
             report.add("critical", "quarantine", event.scope,
                        "context quarantined: %s"
@@ -155,8 +164,26 @@ def analyze_run(events, metrics=None, thresholds=None, dropped=0,
             report.add("info", "retransmits", scope,
                        "%d retransmission(s) recovered" % count)
 
+    for (scope, page), count in sorted(dmi_invalidations.items()):
+        if count >= thresholds.dmi_invalidation_storm:
+            report.add("critical", "dmi-storm",
+                       "%s:page%d" % (scope, page),
+                       "%d DMI invalidations on one page (threshold %d): "
+                       "the grant/invalidate cycle is thrashing against "
+                       "a precision trigger instead of degrading"
+                       % (count, thresholds.dmi_invalidation_storm))
+        else:
+            report.add("info", "dmi-invalidations",
+                       "%s:page%d" % (scope, page),
+                       "%d precise fallback(s) to the transactional tier"
+                       % count)
+
     for span in spans:
         if span.closed:
+            continue
+        if span.kind == "dmi_window":
+            # A grant still open at end of run is the tier's healthy
+            # steady state, not a stalled peer (docs/dmi.md).
             continue
         age = final_timestep - span.open_timestep
         if age >= thresholds.stall_age_timesteps:
@@ -243,6 +270,11 @@ def analyze_records(records_dir, baseline_dir=None, thresholds=None):
             report.add("critical", "retransmit-storm", subject,
                        "%d retransmissions (threshold %d)"
                        % (retransmits, thresholds.retransmit_storm))
+        invalidations = counters.get("dmi_invalidations", 0)
+        if invalidations >= thresholds.dmi_invalidation_storm:
+            report.add("critical", "dmi-storm", subject,
+                       "%d DMI invalidations (threshold %d)"
+                       % (invalidations, thresholds.dmi_invalidation_storm))
         if counters.get("trace.dropped", 0):
             report.add("warning", "trace-dropped", subject,
                        "%d trace event(s) dropped"

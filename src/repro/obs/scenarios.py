@@ -25,8 +25,11 @@ COSIM_SCHEMES = ("gdb-wrapper", "gdb-kernel", "driver-kernel")
 #: ``storm`` drops every third frame from index 8 on under the reliable
 #: transport (recovered, but far past the storm threshold); ``stall``
 #: drops everything from index 8 on an *unreliable* link, so the guest
-#: blocks on a READ_REPLY that never comes and the watchdog fires.
-CHAOS_KINDS = ("storm", "stall")
+#: blocks on a READ_REPLY that never comes and the watchdog fires;
+#: ``thrash`` toggles a watchpoint against a DMI-tier run so the same
+#: guest pages collect grant invalidations past the dmi-storm
+#: threshold (docs/dmi.md).
+CHAOS_KINDS = ("storm", "stall", "thrash")
 
 
 @dataclass
@@ -139,9 +142,36 @@ def chaos_health_scenario(kind, scheme=None, tracer=None):
     threshold.  ``stall``: an *unreliable* Driver-Kernel link that
     swallows everything from frame 8, so a guest blocks forever on its
     READ_REPLY, its driver round-trip span never closes, and the
-    watchdog quarantines the context.  Returns a :class:`TracedRun`.
+    watchdog quarantines the context.  ``thrash``: a DMI-tier run
+    whose CPU has a data watchpoint armed and disarmed on a fixed
+    simulated cadence — every disarmed stretch re-acquires the grants
+    the armed stretch killed, so one page's invalidation count sails
+    past the dmi-storm threshold without the table ever degrading.
+    Returns a :class:`TracedRun`.
     """
     from repro.cosim.faults import FaultPlan
+    if kind == "thrash":
+        from repro.iss.breakpoints import WatchKind
+        if tracer is None:
+            tracer = Tracer(capacity=200_000)
+        config = RouterConfig(
+            scheme=scheme or "gdb-kernel", seed=7, max_packets=6,
+            producer_count=2, inter_packet_delay=20 * US,
+            sync_quantum=8, dmi=True, tracer=tracer, parallel=False)
+        system = build_system(config)
+        # Armed at an address the guest never touches: the watchpoint
+        # never *fires*, but its mere existence voids every grant at
+        # the next acquire (transactional precision would be owed if
+        # it could hit), and removal lets the windows come back.
+        breakpoints = system.cpus[0].breakpoints
+        for slice_index in range(16):
+            system.run(30 * US)
+            if slice_index % 2 == 0:
+                breakpoints.add_watch(0x0FFFFFF0, kind=WatchKind.READ)
+            else:
+                breakpoints.remove_watch(0x0FFFFFF0)
+        return TracedRun(scheme=config.scheme, system=system,
+                         tracer=tracer, stats=system.stats())
     if kind == "storm":
         plan = FaultPlan(script={index: "drop"
                                  for index in range(8, 200, 3)})

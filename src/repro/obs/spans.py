@@ -21,6 +21,11 @@ span id                   transaction
                           (retransmits annotate the open span)
 ``par:<context>:<n>``     parallel dispatch → quantum-boundary
                           commit window (``trace_commits`` runs only)
+``dmi:<context>:<n>``     DMI grant window: acquisition → precise
+                          invalidation (a window still open at end of
+                          run is the healthy steady state — the
+                          health analyzer exempts it from the
+                          stalled-span rule)
 ========================  ==========================================
 
 Ids derive from kernel-state counters and message sequence numbers —
@@ -44,6 +49,7 @@ OPEN_EVENTS = {
     "driver/interrupt": "interrupt_delivery",
     "transport/send": "transport",
     "cosim/parallel_dispatch": "parallel_window",
+    "cosim/dmi_grant": "dmi_window",
 }
 
 #: event keys that CLOSE the span named by their ``span`` argument.
@@ -53,6 +59,7 @@ CLOSE_EVENTS = frozenset((
     "driver/write",
     "transport/ack",
     "cosim/parallel_commit",
+    "cosim/dmi_invalidate",
 ))
 
 #: ``rtos/isr_enter`` has no span argument: it closes every open

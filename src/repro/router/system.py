@@ -121,6 +121,12 @@ class RouterConfig:
     # Emit opt-in cosim/parallel_commit trace events (these add events
     # relative to a serial run, so they default off).
     parallel_trace_commits: bool = False
+    # DMI binding tier (docs/dmi.md): map bound guest windows directly
+    # onto guest RAM so kernel<->ISS data motion is zero-copy, with
+    # precise fallback to the transactional tier.  Ignored by the
+    # local scheme; contexts with a fault plan or reliable transport
+    # stay transactional (the dmi-safe contract).
+    dmi: bool = False
     # Observability (docs/observability.md): an obs.Tracer attached to
     # the kernel before the scheme is wired, so every layer shares it.
     tracer: Optional[object] = None
@@ -335,7 +341,8 @@ class RouterSystem:
                                    engine.variable_ports(),
                                    config.cpu_hz,
                                    reliability=config.reliability,
-                                   faults=config.fault_plan)
+                                   faults=config.fault_plan,
+                                   dmi=config.dmi)
         self.scheme.elaborate()
 
     def _wire_driver(self):
@@ -361,7 +368,8 @@ class RouterSystem:
             context = self.scheme.attach_rtos(
                 rtos, engine.socket_ports(), config.cpu_hz,
                 reliability=config.reliability,
-                faults=config.fault_plan)
+                faults=config.fault_plan,
+                dmi=config.dmi)
             driver = CosimPortDriver(
                 CHECKSUM_DEVICE_ID, "chk_dev%d" % index,
                 rx_ports=[engine.data_port.variable],
@@ -465,7 +473,7 @@ _PLAIN_CONFIG_FIELDS = (
     "local_latency", "producer_count", "num_cpus", "algorithm",
     "checksum_rounds", "blocked_transfers", "burst", "stages",
     "watchdog_ticks", "sync_quantum", "parallel", "workers",
-    "parallel_trace_commits")
+    "parallel_trace_commits", "dmi")
 
 
 def config_to_dict(config):

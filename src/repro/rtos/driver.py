@@ -13,10 +13,19 @@ SystemC ports with a READ message and blocks the caller until the
 READ_REPLY arrives; its write side marshals guest memory into a WRITE
 message addressed to an ``iss_in`` port.  All marshaling costs are
 charged in guest cycles.
+
+When the scheme attached a DMI grant table (``docs/dmi.md``) the
+driver switches to the zero-copy message variants: WRITE_DMI and
+READ_DMI carry an ``(address, word_count)`` descriptor instead of the
+payload, and the SystemC kernel moves the words through a direct view
+over guest RAM at its message-drain synchronisation point.  Guest
+cycle charges are identical in both tiers, so guest-visible behavior
+does not depend on the tier — only the host-side data motion does.
 """
 
 from repro.errors import RtosError
-from repro.cosim.messages import (Message, MessageType, Block, pack_message)
+from repro.cosim.messages import (DESCRIPTOR, Message, MessageType, Block,
+                                  pack_message)
 from repro.rtos.thread import ThreadState
 
 # ioctl command numbers understood by CosimPortDriver.
@@ -76,6 +85,19 @@ class CosimPortDriver(DeviceDriver):
         self._sequence = (self._sequence + 1) & 0xFFFF
         return self._sequence
 
+    def _dmi(self):
+        """The kernel's live DMI grant table, or None.
+
+        The scheme exposes the table on the RTOS kernel at attach time.
+        Only its ``active`` flag is read here (attach-time constant
+        until this context quarantines), so the decision is identical
+        whether the advance runs serially or on a prefetch worker.
+        """
+        table = getattr(self.kernel, "dmi", None)
+        if table is not None and table.active:
+            return table
+        return None
+
     # -- guest-facing entry points (called from trap context) ----------------
 
     def read(self, thread, buffer_address, max_words):
@@ -88,8 +110,15 @@ class CosimPortDriver(DeviceDriver):
             raise RtosError("driver %r supports one outstanding read"
                             % self.name)
         sequence = self._next_sequence()
-        message = Message(MessageType.READ,
-                          [Block(port) for port in self.rx_ports], sequence)
+        blocks = [Block(port) for port in self.rx_ports]
+        if self._dmi() is not None and blocks:
+            # Zero-copy variant: the first block carries the reply
+            # buffer descriptor so the kernel can land the words
+            # straight in guest RAM through a grant view.
+            blocks[0].data = DESCRIPTOR.pack(buffer_address, max_words)
+            message = Message(MessageType.READ_DMI, blocks, sequence)
+        else:
+            message = Message(MessageType.READ, blocks, sequence)
         tracer = self.kernel.cpu.tracer
         if tracer.enabled:
             # Opens the driver round-trip span; the kernel-side
@@ -106,12 +135,24 @@ class CosimPortDriver(DeviceDriver):
         return None
 
     def write(self, thread, buffer_address, word_count):
-        """Marshal guest memory into a WRITE message to our tx port."""
+        """Marshal guest memory into a WRITE message to our tx port.
+
+        With a DMI table attached the payload stays in guest RAM: the
+        message carries only the buffer descriptor and the kernel reads
+        the words through its grant view at the drain point.  The guest
+        must not reuse the buffer until its next driver round trip —
+        the ownership rule of any DMA-capable driver.
+        """
         memory = self.kernel.cpu.memory
-        payload = memory.read_bytes(buffer_address, 4 * word_count)
         sequence = self._next_sequence()
-        message = Message(MessageType.WRITE,
-                          [Block(self.tx_port, payload)], sequence)
+        if self._dmi() is not None:
+            payload = DESCRIPTOR.pack(buffer_address, word_count)
+            message = Message(MessageType.WRITE_DMI,
+                              [Block(self.tx_port, payload)], sequence)
+        else:
+            payload = memory.read_bytes(buffer_address, 4 * word_count)
+            message = Message(MessageType.WRITE,
+                              [Block(self.tx_port, payload)], sequence)
         tracer = self.kernel.cpu.tracer
         if tracer.enabled:
             # Opens the write span, closed by the kernel-side
@@ -135,7 +176,13 @@ class CosimPortDriver(DeviceDriver):
     # -- kernel-facing completion --------------------------------------------
 
     def complete_read(self, message):
-        """A READ_REPLY arrived: copy into the guest buffer, wake thread."""
+        """A READ_REPLY arrived: copy into the guest buffer, wake thread.
+
+        A READ_REPLY_DMI means the kernel already wrote the words
+        straight into the buffer through its grant view; the driver
+        only unblocks the thread.  The cycle charge is identical either
+        way so the guest's timing never depends on the tier.
+        """
         if self._pending_read is None:
             raise RtosError("unexpected READ_REPLY for driver %r" % self.name)
         thread, buffer_address, max_words, sequence = self._pending_read
@@ -146,10 +193,13 @@ class CosimPortDriver(DeviceDriver):
             )
         self._pending_read = None
         self.read_replies += 1
-        payload = b"".join(block.data for block in message.blocks)
-        words = min(max_words, len(payload) // 4)
-        memory = self.kernel.cpu.memory
-        memory.write_bytes(buffer_address, payload[:4 * words])
+        if message.type is MessageType.READ_REPLY_DMI:
+            __, words = DESCRIPTOR.unpack(message.blocks[0].data)
+        else:
+            payload = b"".join(block.data for block in message.blocks)
+            words = min(max_words, len(payload) // 4)
+            memory = self.kernel.cpu.memory
+            memory.write_bytes(buffer_address, payload[:4 * words])
         thread.regs[0] = words
         thread.state = ThreadState.READY
         thread.wait_object = None

@@ -59,6 +59,9 @@ class RtosKernel:
         self.handles = {}
         self.data_endpoint = None
         self.interrupt_endpoint = None
+        # DMI grant table of the zero-copy binding tier (docs/dmi.md);
+        # set by the Driver-Kernel scheme at attach when dmi-safe.
+        self.dmi = None
         self.in_isr = False
         self._isr_saved = None
         self._next_tick = self.costs.tick_period
@@ -407,7 +410,8 @@ class RtosKernel:
                 if payload is None:
                     break
                 message = unpack_message(payload)
-                if message.type is not MessageType.READ_REPLY:
+                if message.type not in (MessageType.READ_REPLY,
+                                        MessageType.READ_REPLY_DMI):
                     raise RtosError("unexpected %s message on guest data "
                                     "socket" % message.type.name)
                 self._complete_read(message)

@@ -48,3 +48,27 @@ class TestClockBinding:
         binding.cycles_for_advance(5 * US)
         binding.reset(0)
         assert binding.cycles_for_advance(1 * US) == 100
+
+    def test_note_warp_accumulates_counters(self):
+        binding = ClockBinding(100_000_000, 1, quantum=4)
+        binding.note_warp(400, 4)
+        binding.note_warp(100, 1)
+        assert binding.warped_syncs == 2
+        assert binding.warped_cycles == 500
+        assert binding.warped_steps == 5
+
+    def test_warp_state_is_a_checkpoint_image(self):
+        binding = ClockBinding(100_000_000, 1, quantum=4)
+        assert binding.warp_state() == {
+            "warped_syncs": 0, "warped_cycles": 0, "warped_steps": 0}
+        binding.note_warp(400, 4)
+        assert binding.warp_state() == {
+            "warped_syncs": 1, "warped_cycles": 400, "warped_steps": 4}
+
+    def test_warp_counters_survive_reset(self):
+        # reset() re-bases time; it must not erase the warp accounting
+        # (a checkpoint restore replays it back deterministically).
+        binding = ClockBinding(100_000_000, 1, quantum=4)
+        binding.note_warp(400, 4)
+        binding.reset(0)
+        assert binding.warped_syncs == 1

@@ -59,6 +59,16 @@ class TestCorpusCoverage:
         assert {"uniform", "bursty", "onoff", "trace"} <= kinds
         assert any(s.config.fault_plan is not None for s in scenarios)
 
+    def test_covers_the_dmi_tier(self):
+        """DMI fixtures span all three schemes (docs/dmi.md), and the
+        dmi-safe contract keeps the axis off faulty scenarios."""
+        scenarios = [load_scenario(path) for path in CORPUS]
+        dmi_schemes = {s.config.scheme for s in scenarios if s.config.dmi}
+        assert dmi_schemes == {"gdb-wrapper", "gdb-kernel",
+                               "driver-kernel"}
+        assert all(s.config.fault_plan is None for s in scenarios
+                   if s.config.dmi)
+
 
 class TestScenarioSerialization:
     def test_round_trip(self):

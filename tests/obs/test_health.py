@@ -130,6 +130,39 @@ class TestAnalyzeRunRules:
         assert _rules(report) == {"trace-dropped"}
         assert report.exit_code == 0
 
+    def test_dmi_invalidation_storm_threshold(self):
+        def trace(count):
+            return [_event(index, "cosim", "dmi_invalidate", scope="cpu0",
+                           span="dmi:cpu0:%d" % index, page=16,
+                           reason="watchpoint")
+                    for index in range(count)]
+        below = analyze_run(trace(5))
+        assert _rules(below) == {"dmi-invalidations"}
+        assert below.exit_code == 0
+        storm = analyze_run(trace(6))
+        assert "dmi-storm" in _rules(storm)
+        assert storm.exit_code == 1
+
+    def test_dmi_storm_counts_per_page(self):
+        """Fallbacks spread over different pages are the tier working,
+        not one window thrashing."""
+        events = [_event(index, "cosim", "dmi_invalidate", scope="cpu0",
+                         span="dmi:cpu0:%d" % index, page=index,
+                         reason="breakpoint")
+                  for index in range(8)]
+        report = analyze_run(events)
+        assert "dmi-storm" not in _rules(report)
+        assert report.exit_code == 0
+
+    def test_open_dmi_window_is_never_a_stall(self):
+        """A grant open at end of run is healthy steady state."""
+        events = [
+            _event(0, "cosim", "dmi_grant", span="dmi:cpu0:1",
+                   timestep=0, page=16),
+            _event(1, "kernel", "timestep", timestep=5000),
+        ]
+        assert analyze_run(events).findings == []
+
 
 class TestFuzzerShapedInputs:
     """Degenerate inputs the scenario fuzzer routinely produces
@@ -225,6 +258,14 @@ class TestAnalyzeRecords:
                 "trace-dropped"} <= _rules(report)
         assert report.exit_code == 1
 
+    def test_dmi_storm_counter_is_critical(self, tmp_path):
+        _write_record(tmp_path, "thrashy", {"dmi_invalidations": 6})
+        report = analyze_records(str(tmp_path))
+        assert "dmi-storm" in _rules(report)
+        assert report.exit_code == 1
+        _write_record(tmp_path, "thrashy", {"dmi_invalidations": 5})
+        assert analyze_records(str(tmp_path)).exit_code == 0
+
     def test_latency_regression_against_baseline(self, tmp_path):
         current, baseline = tmp_path / "now", tmp_path / "base"
         current.mkdir(), baseline.mkdir()
@@ -251,6 +292,17 @@ def test_clean_baseline_run_is_healthy(scheme):
     assert report.exit_code == 0, report.render()
 
 
+@pytest.mark.parametrize("scheme", COSIM_SCHEMES)
+def test_clean_dmi_run_is_healthy(scheme):
+    """Open grant windows at end of run must not read as stalls."""
+    run = run_traced_scenario(scheme, sim_us=60, seed=7, max_packets=1,
+                              sync_quantum=8, dmi=True)
+    report = analyze_run(run.tracer.events(), metrics=run.system.metrics,
+                         dropped=run.tracer.dropped)
+    run.system.close()
+    assert report.exit_code == 0, report.render()
+
+
 def test_chaos_storm_is_flagged():
     run = chaos_health_scenario("storm")
     report = analyze_run(run.tracer.events(), metrics=run.system.metrics,
@@ -267,6 +319,15 @@ def test_chaos_stall_is_flagged():
     rules = _rules(report)
     assert "quarantine" in rules
     assert "stalled-span" in rules
+
+
+def test_chaos_thrash_is_flagged():
+    run = chaos_health_scenario("thrash")
+    report = analyze_run(run.tracer.events(), metrics=run.system.metrics,
+                         dropped=run.tracer.dropped)
+    run.system.close()
+    assert report.exit_code == 1
+    assert "dmi-storm" in _rules(report)
 
 
 def test_unknown_chaos_kind_rejected():

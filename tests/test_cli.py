@@ -342,7 +342,7 @@ class TestFuzzCli:
     def test_fuzz_replay_fixture_corpus(self, capsys, tmp_path):
         import os
         fixture = os.path.join("tests", "fixtures", "scenarios",
-                               "s006_gdbkernel_p2_d1_onoff.json")
+                               "s001_gdbkernel_p4_d1_onoff_dmi.json")
         code = main(["fuzz", "--replay", fixture, "--no-checkpoint"])
         out = capsys.readouterr().out
         assert code == 0
