@@ -1,11 +1,14 @@
-"""Ablation: ISS dispatch strategy and synchronisation quantum.
+"""Ablation: ISS dispatch tier and synchronisation quantum.
 
 Measures the two halves of the fast-path work (docs/performance.md):
 
-- *dispatch*: instructions/second through the legacy name-dispatch
-  interpreter chain vs the closure-compiled basic-block path, on the
-  same guest workloads — the block path must hold a >=2x advantage on
-  the pure-ALU loop;
+- *dispatch*: instructions/second through the tier ladder — the
+  legacy name-dispatch interpreter chain, the closure-compiled
+  basic-block path, and the profile-guided superblock tier — on the
+  same guest workloads.  The block path must hold a >=2x advantage
+  over the interpreter on the pure-ALU loop, and the superblock tier
+  a further >=2x over blocks on the steady-state ALU and bitwise-CRC
+  checksum loops;
 - *batching*: RSP round trips per simulated clock cycle for the
   lock-step GDB-Wrapper at sync quantum 1, 8 and 64 — the deterministic
   counter ablation showing what each batched synchronisation saves.
@@ -43,15 +46,47 @@ loop:
 data: .word 0
 """
 
+# The guest's bitwise CRC-32 inner loop (repro.apps.sources), looped
+# forever over one data byte: the data-dependent forward skip around
+# the polynomial xor is the if-conversion case the superblock tier
+# must keep on the fast path.
+CHECKSUM_LOOP = """
+    la r0, data
+    li32 r2, 0xFFFFFFFF
+    li r3, 0
+outer:
+    lbu r5, [r0]
+    xor r2, r2, r5
+    li r6, 8
+crc_bit_loop:
+    andi r7, r2, 1
+    shri r2, r2, 1
+    beq r7, r3, crc_skip
+    li32 r8, 0xEDB88320
+    xor r2, r2, r8
+crc_skip:
+    addi r6, r6, -1
+    bne r6, r3, crc_bit_loop
+    b outer
+data: .word 0x12345678
+"""
+
 BUDGET = 50_000
 
+# The superblock comparison runs long enough that promotion and chain
+# compilation amortise: the tier targets steady-state hot loops, and
+# its warmup (one profile count per block entry plus one batched
+# ``exec`` per promoted chain) is a real cost the shorter budget
+# would overweight.
+TIER_BUDGET = 500_000
 
-def _rate(source, use_blocks, budget=BUDGET, repeats=3):
-    """Best-of-N instructions/second for one dispatch strategy."""
+
+def _rate(source, tier, budget=BUDGET, repeats=3):
+    """Best-of-N instructions/second for one dispatch tier."""
     best = 0.0
     for __ in range(repeats):
         cpu = Cpu()
-        cpu.use_blocks = use_blocks
+        cpu.tier = tier
         load_program(cpu, assemble(source))
         start = time.perf_counter()
         cpu.run(max_instructions=budget)
@@ -66,9 +101,9 @@ def test_block_dispatch_vs_interpreter(benchmark, bench_report, summary,
                                        workload):
     """The closure-block path must clearly beat name dispatch."""
     source = ALU_LOOP if workload == "alu" else MIXED_LOOP
-    interp = _rate(source, use_blocks=False)
+    interp = _rate(source, "interp")
     blocks = benchmark.pedantic(
-        _rate, args=(source, True), rounds=1, iterations=1)
+        _rate, args=(source, "blocks"), rounds=1, iterations=1)
     speedup = blocks / interp
     benchmark.extra_info["workload"] = workload
     benchmark.extra_info["speedup"] = round(speedup, 2)
@@ -79,6 +114,42 @@ def test_block_dispatch_vs_interpreter(benchmark, bench_report, summary,
     # The acceptance floor is 2x on the pure-ALU loop; the mixed loop
     # still does real memory work per step, so only require parity+.
     assert speedup >= (2.0 if workload == "alu" else 1.2)
+
+
+@pytest.mark.parametrize("workload", ["alu", "checksum"])
+def test_superblock_tier_vs_blocks(benchmark, bench_report, summary,
+                                   workload):
+    """The superblock tier must clearly beat per-block dispatch.
+
+    The floor is 2x on both hot-loop workloads: the pure-ALU loop
+    (fused straight-line runs plus the unrolled backward branch) and
+    the guest-shaped bitwise CRC-32 loop (if-converted data-dependent
+    skip).  Also records the superblock telemetry so the committed
+    BENCH baselines gate promotion/invalidation behaviour as
+    deterministic counters.
+    """
+    source = ALU_LOOP if workload == "alu" else CHECKSUM_LOOP
+    blocks = _rate(source, "blocks", budget=TIER_BUDGET)
+    superblocks = benchmark.pedantic(
+        _rate, args=(source, "superblocks"), kwargs={"budget": TIER_BUDGET},
+        rounds=1, iterations=1)
+    cpu = Cpu()
+    cpu.tier = "superblocks"
+    load_program(cpu, assemble(source))
+    cpu.run(max_instructions=TIER_BUDGET)
+    speedup = superblocks / blocks
+    benchmark.extra_info["workload"] = workload
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    bench_report.config["workload"] = workload
+    bench_report.record(
+        instructions=TIER_BUDGET,
+        superblocks_compiled=cpu.superblocks_compiled,
+        superblock_exits=cpu.superblock_exits)
+    summary("tier[%s]: blocks %.2fM/s, superblocks %.2fM/s (%.2fx, "
+            "%d superblocks)" % (workload, blocks / 1e6,
+                                 superblocks / 1e6, speedup,
+                                 cpu.superblocks_compiled))
+    assert speedup >= 2.0
 
 
 def test_rsp_round_trips_vs_quantum(benchmark, bench_report, summary):

@@ -37,6 +37,7 @@ shell:
   non-zero when any finding is critical, 2 with a one-line message
   when a named records/baseline/checkpoint directory is missing;
 - ``bench [--scheme S|all] [--out-dir D] [--quantum N] [--dmi]
+  [--tier T]
   [--compare]`` — machine-readable ``BENCH_*.json`` benchmark records
   (docs/observability.md), optionally over the DMI tier (docs/dmi.md),
   optionally gated against the committed baselines in
@@ -346,12 +347,19 @@ def _cmd_bench(args):
             name += "_q%d" % args.quantum
         if args.dmi:
             name += "_dmi"
+        overrides = {}
+        if args.tier is not None:
+            overrides["tier"] = args.tier
+            if args.tier == "superblocks":
+                name += "_sb"
+            elif args.tier == "interp":
+                name += "_interp"
         traced, run = bench_scenario(scheme, sim_us=args.sim_us,
                                      seed=args.seed, name=name,
                                      sync_quantum=args.quantum,
                                      parallel=parallel,
                                      workers=args.workers,
-                                     dmi=args.dmi)
+                                     dmi=args.dmi, **overrides)
         path = reporter.write(run)
         record = run.as_dict()
         print("wrote %s: wall=%.3fs timesteps=%s events=%s" % (
@@ -717,6 +725,11 @@ def build_parser():
                        help="enable the zero-copy DMI binding tier "
                             "(docs/dmi.md); record names gain a _dmi "
                             "suffix")
+    bench.add_argument("--tier", default=None,
+                       choices=["interp", "blocks", "superblocks"],
+                       help="ISS execution tier (default: $REPRO_TIER "
+                            "or blocks); record names gain a _sb/"
+                            "_interp suffix for the non-default tiers")
     bench.add_argument("--compare", action="store_true",
                        help="gate counters against committed baselines; "
                             "non-zero exit on regression")

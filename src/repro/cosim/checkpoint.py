@@ -88,6 +88,13 @@ def _cpu_state(cpu):
         "blocks_compiled": cpu.blocks_compiled,
         "block_hits": cpu.block_hits,
         "block_invalidations": cpu.block_invalidations,
+        "superblocks_compiled": cpu.superblocks_compiled,
+        "superblock_exits": cpu.superblock_exits,
+        "superblock_invalidations": cpu.superblock_invalidations,
+        # Canonical [[pc, count]] profiler state: replay must promote
+        # the same superblocks at the same points, and the verified
+        # image proves it.
+        "profile": cpu.block_profiler.state(),
     }
 
 
@@ -279,15 +286,10 @@ def _traffic_state(system):
 
 
 def _metrics_state(system):
-    # Fold the ISS block counters exactly as RouterSystem.stats() does
+    # Fold the ISS tier counters exactly as RouterSystem.stats() does
     # (idempotent assignment), so capture is consistent whether or not
     # stats() ran first.
-    system.metrics.blocks_compiled = sum(
-        cpu.blocks_compiled for cpu in system.cpus)
-    system.metrics.block_hits = sum(
-        cpu.block_hits for cpu in system.cpus)
-    system.metrics.block_invalidations = sum(
-        cpu.block_invalidations for cpu in system.cpus)
+    system.fold_cpu_counters()
     return system.metrics.as_dict()
 
 

@@ -49,6 +49,9 @@ class CosimMetrics:
     blocks_compiled: int = 0        # ISS basic blocks compiled
     block_hits: int = 0             # ISS block-cache hits
     block_invalidations: int = 0    # ISS blocks dropped (SMC/bp/flush)
+    superblocks_compiled: int = 0   # ISS superblock chains compiled
+    superblock_exits: int = 0       # superblock executions (any exit)
+    superblock_invalidations: int = 0  # superblocks dropped (SMC/bp/flush)
     dmi_reads: int = 0              # words read through DMI grant views
     dmi_writes: int = 0             # words written through DMI grant views
     dmi_invalidations: int = 0      # DMI grants dropped (precise fallback)
@@ -91,6 +94,9 @@ class CosimMetrics:
             "blocks_compiled": self.blocks_compiled,
             "block_hits": self.block_hits,
             "block_invalidations": self.block_invalidations,
+            "superblocks_compiled": self.superblocks_compiled,
+            "superblock_exits": self.superblock_exits,
+            "superblock_invalidations": self.superblock_invalidations,
             "dmi_reads": self.dmi_reads,
             "dmi_writes": self.dmi_writes,
             "dmi_invalidations": self.dmi_invalidations,
@@ -141,6 +147,8 @@ class CosimMetrics:
         "corrupt_rejected", "contexts_quarantined",
         "quantum_syncs", "quantum_steps_batched",
         "blocks_compiled", "block_hits", "block_invalidations",
+        "superblocks_compiled", "superblock_exits",
+        "superblock_invalidations",
         "dmi_reads", "dmi_writes", "dmi_invalidations")
 
     @classmethod

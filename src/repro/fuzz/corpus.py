@@ -41,6 +41,7 @@ class Scenario:
             config.sync_quantum,
             config.num_cpus,
             config.dmi,
+            config.tier,
         )
 
 
@@ -69,6 +70,10 @@ def scenario_from_dict(data):
     # the ambient REPRO_PARALLEL sweep leak into a stored scenario.
     if "parallel" not in data["config"]:
         config.parallel = None
+    # Same shield for the dispatch tier: a fixture that predates the
+    # tier axis replays on the default block tier, not REPRO_TIER.
+    if "tier" not in data["config"]:
+        config.tier = "blocks"
     validate_config(config)
     return Scenario(name=data["name"], sim_us=int(data["sim_us"]),
                     config=config)

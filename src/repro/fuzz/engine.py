@@ -7,7 +7,8 @@ is what the CI smoke leg and the determinism tests assert.
 
 Novelty is tracked by :meth:`~repro.fuzz.corpus.Scenario.signature`
 (scheme x width x depth x traffic kind x faults x quantum x MPSoC
-width): the first passing scenario of each signature is corpus-worthy;
+width x dmi x dispatch tier): the first passing scenario of each
+signature is corpus-worthy;
 failing scenarios are minimized and written unconditionally.
 """
 

@@ -33,6 +33,8 @@ _REDUCTIONS = (
     ("one-cpu", lambda c: {"num_cpus": 1} if c.num_cpus > 1 else None),
     ("lock-step", lambda c: {"sync_quantum": 1}
      if c.sync_quantum > 1 else None),
+    ("blocks-tier", lambda c: {"tier": "blocks"}
+     if c.tier != "blocks" else None),
     ("two-ports", lambda c: {"num_ports": 2,
                              "stages": ([2] * len(c.stages)
                                         if c.stages else None),

@@ -87,6 +87,23 @@ class ScenarioSpace:
             return False
         return rng.random() < 0.4
 
+    def _draw_tier(self, rng):
+        """ISS dispatch-tier axis (docs/performance.md).
+
+        The default block tier dominates, superblocks draw often (the
+        profile-guided tier must survive every composed scenario — the
+        oracle holds it to serial/parallel byte-identity and clean
+        checkpoint round-trips like any other axis), and the legacy
+        interpreter draws occasionally as the slow reference
+        configuration.
+        """
+        roll = rng.random()
+        if roll < 0.40:
+            return "superblocks"
+        if roll < 0.52:
+            return "interp"
+        return "blocks"
+
     # -- scenario assembly -------------------------------------------------
 
     def sample(self, rng, index):
@@ -96,6 +113,7 @@ class ScenarioSpace:
         traffic, burst = self._draw_traffic(rng)
         fault_plan, reliability, watchdog = self._draw_faults(rng)
         dmi = self._draw_dmi(rng, fault_plan)
+        tier = self._draw_tier(rng)
         config = RouterConfig(
             scheme=scheme,
             num_ports=num_ports,
@@ -112,16 +130,20 @@ class ScenarioSpace:
             inter_packet_delay=rng.choice((20, 40)) * US,
             sync_quantum=rng.choice(self.QUANTA),
             num_cpus=rng.choice((1, 1, 2)),
-            # Scenarios never inherit the ambient REPRO_PARALLEL sweep:
-            # the oracle runs both backends explicitly.
+            # Scenarios never inherit the ambient REPRO_PARALLEL sweep
+            # or REPRO_TIER default: the oracle runs both backends
+            # explicitly, and the tier is a sampled axis.
             parallel=None,
+            tier=tier,
             workers=rng.choice((2, 3)),
         )
         validate_config(config)
         sim_us = rng.choice((60, 80, 120))
-        name = "s%03d_%s_p%d_d%d_%s%s" % (
+        tier_tag = {"superblocks": "_sb", "interp": "_interp"}.get(tier, "")
+        name = "s%03d_%s_p%d_d%d_%s%s%s" % (
             index, scheme.replace("-", ""), num_ports,
             len(stages) if stages else 1,
             (traffic or {}).get("kind", "legacy"),
-            "_faulty" if fault_plan else ("_dmi" if dmi else ""))
+            "_faulty" if fault_plan else ("_dmi" if dmi else ""),
+            tier_tag)
         return Scenario(name=name, sim_us=sim_us, config=config)

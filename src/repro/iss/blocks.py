@@ -58,12 +58,13 @@ class BasicBlock:
     ``steps`` is a tuple of ``(closure, is_mem, static_next_pc)``;
     ``max_cycles`` is the worst-case cycle cost (taken branches
     included) used to decide whether the block fits a budget without
-    per-instruction limit checks; ``end_pc`` is the fall-through pc for
-    blocks cut short of a control transfer.
+    per-instruction limit checks; ``end`` doubles as the fall-through
+    pc for blocks cut short of a control transfer (it is the address
+    of the first instruction past the block by construction).
     """
 
     __slots__ = ("start", "end", "steps", "count", "max_cycles",
-                 "end_pc", "has_terminal")
+                 "has_terminal")
 
     def __init__(self, start, end, steps, max_cycles, has_terminal):
         self.start = start
@@ -71,7 +72,6 @@ class BasicBlock:
         self.steps = steps
         self.count = len(steps)
         self.max_cycles = max_cycles
-        self.end_pc = end
         self.has_terminal = has_terminal
 
     def __repr__(self):

@@ -17,10 +17,12 @@ import enum
 
 from repro.errors import GuestFault, IssError
 from repro.iss import blocks as _blocks
+from repro.iss import superblocks as _superblocks
 from repro.iss import isa
 from repro.obs.tracer import NULL_TRACER
 from repro.iss.breakpoints import BreakpointSet
 from repro.iss.memory import Memory
+from repro.iss.profile import BlockProfiler
 from repro.iss.syscalls import SyscallTable
 
 NUM_REGS = isa.NUM_REGS
@@ -39,6 +41,13 @@ _BRANCHES = {
     "bltu": lambda a, b: a < b,
     "bgeu": lambda a, b: a >= b,
 }
+
+
+#: The ISS execution tiers, slowest to fastest (docs/performance.md):
+#: the reference interpreter, closure-compiled basic blocks, and
+#: profile-promoted superblocks.  All three are observationally
+#: equivalent; ``Cpu.tier`` selects one.
+TIERS = ("interp", "blocks", "superblocks")
 
 
 class StopReason(enum.Enum):
@@ -77,10 +86,18 @@ class Cpu:
         self._blocks_by_page = {}       # code page -> block start pcs
         self._code_dirty = False        # guest stored into cached code
         self.use_blocks = True          # closure-block fast path enabled
-        self.block_trace = False        # opt-in iss/block_compile events
+        self.use_superblocks = False    # profile-promoted superblock tier
+        self.block_trace = False        # opt-in iss/*_compile events
         self.blocks_compiled = 0
         self.block_hits = 0
         self.block_invalidations = 0
+        self.block_profiler = BlockProfiler()
+        self._superblock_cache = {}     # start pc -> Superblock
+        self._superblocks_by_page = {}  # code page -> superblock start pcs
+        self._superblock_failed = set()  # hot pcs where no chain forms
+        self.superblocks_compiled = 0
+        self.superblock_exits = 0
+        self.superblock_invalidations = 0
         self._icache = None             # optional timing models
         self._dcache = None
         self._observers = []            # retire-callback observers
@@ -120,6 +137,23 @@ class Cpu:
         """Write general-purpose register *index* (masked to 32 bits)."""
         self.regs[index] = value & _WORD
 
+    # -- execution tiers -------------------------------------------------------
+
+    @property
+    def tier(self):
+        """The active execution tier name (one of :data:`TIERS`)."""
+        if not self.use_blocks:
+            return "interp"
+        return "superblocks" if self.use_superblocks else "blocks"
+
+    @tier.setter
+    def tier(self, value):
+        if value not in TIERS:
+            raise IssError("unknown execution tier %r (one of %s)"
+                           % (value, ", ".join(TIERS)))
+        self.use_blocks = value != "interp"
+        self.use_superblocks = value == "superblocks"
+
     # -- debugger-facing helpers ----------------------------------------------
 
     def flush_decode_cache(self):
@@ -135,6 +169,11 @@ class Cpu:
             self.block_invalidations += len(self._block_cache)
             self._block_cache.clear()
         self._blocks_by_page.clear()
+        if self._superblock_cache:
+            self.superblock_invalidations += len(self._superblock_cache)
+            self._superblock_cache.clear()
+        self._superblocks_by_page.clear()
+        self._superblock_failed.clear()
         self._code_dirty = True
 
     def _on_code_store(self, address):
@@ -165,6 +204,17 @@ class Cpu:
                 self._drop_block(start)
             if dead:
                 self._code_dirty = True
+        sb_starts = self._superblocks_by_page.get(page)
+        if sb_starts:
+            dead = [start for start in sb_starts
+                    if self._superblock_cache[start].covers(word)]
+            for start in dead:
+                self._drop_superblock(start)
+            if dead:
+                # The stored word may re-chain differently now; retry
+                # any promotion that previously failed to form a chain.
+                self._superblock_failed.clear()
+                self._code_dirty = True
 
     def _drop_block(self, start):
         """Evict one compiled block and its page-index entries."""
@@ -179,12 +229,36 @@ class Cpu:
                 if not starts:
                     del self._blocks_by_page[page]
 
+    def _drop_superblock(self, start):
+        """Evict one superblock and its page-index entries."""
+        superblock = self._superblock_cache.pop(start, None)
+        if superblock is None:
+            return
+        self.superblock_invalidations += 1
+        for page in superblock.pages:
+            starts = self._superblocks_by_page.get(page)
+            if starts is not None:
+                starts.discard(start)
+                if not starts:
+                    del self._superblocks_by_page[page]
+        if self.block_trace and self.tracer.enabled:
+            self.tracer.emit("iss", "superblock_invalidate",
+                             scope=self.name, pc=start)
+
     def _on_breakpoints_changed(self, address):
         """Drop compiled blocks so a new mid-block breakpoint is honored."""
         if self._block_cache:
             self.block_invalidations += len(self._block_cache)
             self._block_cache.clear()
             self._blocks_by_page.clear()
+        if self._superblock_cache:
+            # A superblock may chain *through* the new breakpoint
+            # address even when no single block covers it; the chain
+            # rule (never chain onto a breakpoint) must be re-applied.
+            self.superblock_invalidations += len(self._superblock_cache)
+            self._superblock_cache.clear()
+            self._superblocks_by_page.clear()
+        self._superblock_failed.clear()
         self._code_dirty = True
 
     def attach_tracer(self, tracer):
@@ -331,15 +405,70 @@ class Cpu:
 
     # -- block-compiled fast path ---------------------------------------------
 
+    def _block_at(self, pc):
+        """The cached block at *pc*, compiling and indexing on a miss.
+
+        Shared by the dispatch loop and the superblock chain builder
+        so both populate the same cache and counters.  Returns None
+        for undecodable or MMIO-resident code.
+        """
+        block = self._block_cache.get(pc)
+        if block is not None:
+            return block
+        block = _blocks.build_block(self, pc)
+        if block is None:
+            return None
+        self.blocks_compiled += 1
+        self._block_cache[pc] = block
+        for page in range(block.start >> 8, ((block.end - 1) >> 8) + 1):
+            self._blocks_by_page.setdefault(page, set()).add(pc)
+        if self.block_trace and self.tracer.enabled:
+            self.tracer.emit("iss", "block_compile", scope=self.name,
+                             pc=pc, count=block.count, end=block.end)
+        return block
+
+    def _promote(self, pc):
+        """Try to chain a superblock at hot *pc*; returns it or None.
+
+        A failed chain (no second block reachable) is remembered so
+        steady-state dispatch pays one set lookup, not a rebuild; the
+        failure set is cleared whenever code or breakpoints change.
+        """
+        if pc in self._superblock_failed:
+            return None
+        superblock = _superblocks.build_superblock(self, pc)
+        if superblock is None:
+            self._superblock_failed.add(pc)
+            return None
+        self.superblocks_compiled += 1
+        self._superblock_cache[pc] = superblock
+        for page in superblock.pages:
+            self._superblocks_by_page.setdefault(page, set()).add(pc)
+        if self.block_trace and self.tracer.enabled:
+            self.tracer.emit("iss", "superblock_compile", scope=self.name,
+                             pc=pc, blocks=len(superblock.block_starts),
+                             count=superblock.count)
+        return superblock
+
     def _run_blocks(self, instruction_limit, cycle_limit):
         """Closure-block execution loop (see :mod:`repro.iss.blocks`).
 
         Halt/irq/breakpoint checks run once per basic block instead of
         once per instruction; the limit checks are hoisted entirely
         when the remaining budget provably covers the whole block.
+        Block entries feed the execution-count profiler; on the
+        superblock tier, hot starts are promoted to superblocks
+        (:mod:`repro.iss.superblocks`) that run whenever the remaining
+        budget provably covers the whole chain — otherwise dispatch
+        degrades to per-block execution, exactly where quantum
+        batching degrades to lock-step.
         """
         block_cache = self._block_cache
         breakpoints = self.breakpoints
+        profile_counts = self.block_profiler.counts
+        hot_threshold = self.block_profiler.hot_threshold
+        use_superblocks = self.use_superblocks
+        superblock_cache = self._superblock_cache
         while True:
             if self.halted:
                 return self._stop(StopReason.HALT)
@@ -352,9 +481,32 @@ class Cpu:
                 breakpoints.record_code_hit(pc)
                 return self._stop(StopReason.BREAKPOINT)
             self._resume_skip = None
+            entries = profile_counts.get(pc, 0) + 1
+            profile_counts[pc] = entries
+            if use_superblocks and entries >= hot_threshold:
+                superblock = superblock_cache.get(pc)
+                if superblock is None:
+                    superblock = self._promote(pc)
+                if superblock is not None and \
+                        (instruction_limit is None
+                         or instruction_limit - self.instructions
+                         >= superblock.count) and \
+                        (cycle_limit is None
+                         or cycle_limit - self.cycles
+                         >= superblock.max_cycles):
+                    self._exec_superblock(superblock)
+                    if self._watch_hit is not None:
+                        return self._stop(StopReason.WATCHPOINT)
+                    if instruction_limit is not None and \
+                            self.instructions >= instruction_limit:
+                        return self._stop(StopReason.INSTRUCTION_LIMIT)
+                    if cycle_limit is not None and \
+                            self.cycles >= cycle_limit:
+                        return self._stop(StopReason.CYCLE_LIMIT)
+                    continue
             block = block_cache.get(pc)
             if block is None:
-                block = _blocks.build_block(self, pc)
+                block = self._block_at(pc)
                 if block is None:
                     # Undecodable or MMIO-resident code at pc: the
                     # interpreter reproduces the legacy fetch behavior
@@ -362,15 +514,6 @@ class Cpu:
                     # of this run() call.
                     return self._run_interpreter(instruction_limit,
                                                  cycle_limit)
-                self.blocks_compiled += 1
-                block_cache[pc] = block
-                for page in range(block.start >> 8,
-                                  ((block.end - 1) >> 8) + 1):
-                    self._blocks_by_page.setdefault(page, set()).add(pc)
-                if self.block_trace and self.tracer.enabled:
-                    self.tracer.emit("iss", "block_compile", scope=self.name,
-                                     pc=pc, count=block.count,
-                                     end=block.end)
             else:
                 self.block_hits += 1
             fits = ((instruction_limit is None
@@ -391,6 +534,66 @@ class Cpu:
                                                 cycle_limit)
                 if stop is not None:
                     return stop
+
+    def _exec_superblock(self, superblock):
+        """Run a whole superblock; limits were prechecked to cover it.
+
+        Accounting is batched in locals and committed once in the
+        ``finally`` clause, so side exits (a mispredicted branch, a
+        watchpoint/SMC/IRQ condition after a memory step, a faulting
+        step) reconcile exact cycles, instructions and pc: every
+        closure that can divert control writes ``cpu.pc`` itself
+        before the exit, and a faulting step contributes neither
+        cycles nor an instruction, exactly like the block executors.
+        """
+        regs = self.regs
+        memory = self.memory
+        self._code_dirty = False
+        cycles = 0
+        retired = 0
+        done = False
+        try:
+            for unit in superblock.units:
+                kind = unit[0]
+                if kind == 4:           # UNIT_FUSED_BRANCH
+                    retired += unit[2]
+                    if unit[1](regs):
+                        cycles += unit[3] + unit[5]
+                        self.pc = next_pc = unit[4]
+                    else:
+                        cycles += unit[3] + unit[7]
+                        self.pc = next_pc = unit[6]
+                    if next_pc != unit[8]:
+                        return
+                elif kind == 0:         # UNIT_ALU: fused pure run
+                    unit[1](regs)
+                    retired += unit[2]
+                    cycles += unit[3]
+                elif kind == 1:         # UNIT_MEM: side-exit checks
+                    cycles += unit[1](self, regs, memory)
+                    retired += 1
+                    if (self._watch_hit is not None
+                            or self._code_dirty
+                            or (self.irq_pending
+                                and self.interrupts_enabled)):
+                        return
+                elif kind == 3:         # UNIT_PRED: if-converted skip
+                    if unit[1](regs):
+                        retired += unit[2]
+                        cycles += unit[3]
+                    else:
+                        retired += unit[4]
+                        cycles += unit[5]
+                else:                   # UNIT_OP
+                    cycles += unit[1](self, regs, memory)
+                    retired += 1
+            done = True
+        finally:
+            self.cycles += cycles
+            self.instructions += retired
+            self.superblock_exits += 1
+            if done and superblock.end_static is not None:
+                self.pc = superblock.end_static
 
     def _exec_block_fast(self, block):
         """Run a whole block; limits were prechecked to cover it.
@@ -419,7 +622,7 @@ class Cpu:
             self.cycles += cycles
             self.instructions += retired
             if retired == block.count and block.steps[-1][2] is not None:
-                self.pc = block.end_pc
+                self.pc = block.end
 
     def _exec_block_checked(self, block, instruction_limit, cycle_limit):
         """Run a block with the legacy per-instruction limit checks.

@@ -11,11 +11,63 @@ Two observers attachable to a CPU:
 
 Observers cost one callback per retired instruction, so they are
 opt-in: attach with :meth:`repro.iss.cpu.Cpu.attach_observer`.
+
+:class:`BlockProfiler` is different: it is not an observer but the
+always-on execution-count profiler of the block dispatch loop — one
+dict bump per *block* entry, not per instruction — whose counts drive
+superblock promotion (:mod:`repro.iss.superblocks`) and the
+``profile.hot_blocks`` section of BENCH records.
 """
 
 from collections import deque
 
 from repro.iss.disasm import disassemble_word
+
+#: Block-entry count at which a block start is promoted to a
+#: superblock.  Low enough that steady-state loops promote almost
+#: immediately, high enough that one-shot code never pays a chain
+#: compile.
+HOT_THRESHOLD = 16
+
+
+class BlockProfiler:
+    """Execution counts by block start pc, driving tier promotion.
+
+    The counts are a deterministic function of guest execution (the
+    dispatch loop bumps them on every block entry), so they replay
+    identically across serial/parallel runs and are serialized into
+    checkpoints: a restored CPU promotes the same superblocks at the
+    same points a straight-through run would.
+    """
+
+    __slots__ = ("counts", "hot_threshold")
+
+    def __init__(self, hot_threshold=HOT_THRESHOLD):
+        self.counts = {}
+        self.hot_threshold = hot_threshold
+
+    def note_entry(self, pc):
+        """Count one entry at *pc*; True when the block is hot."""
+        count = self.counts.get(pc, 0) + 1
+        self.counts[pc] = count
+        return count >= self.hot_threshold
+
+    def hot_blocks(self, top=10):
+        """The *top* block starts by entry count, as (pc, count).
+
+        Ordered by descending count then ascending pc, so the ranking
+        is deterministic under ties.
+        """
+        ranked = sorted(self.counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:top]
+
+    def state(self):
+        """The counts in canonical serializable form: [[pc, count]]."""
+        return [[pc, count] for pc, count in sorted(self.counts.items())]
+
+    def restore(self, state):
+        """Reinstall counts captured by :meth:`state`."""
+        self.counts = {int(pc): int(count) for pc, count in state}
 
 
 class InstructionTracer:

@@ -16,8 +16,9 @@ client, ports, metrics — stays in the SystemC process:
   both ways.  Forwarding *all* runs means the worker's decode/block
   caches are the only caches that ever execute — they warm up and
   invalidate exactly like the single serial cache, which keeps
-  ``blocks_compiled``/``block_hits`` counters and breakpoint-hit trace
-  events byte-identical to serial execution;
+  ``blocks_compiled``/``block_hits`` counters — and, on the
+  superblock tier, the profiler counts, promotions and
+  ``superblock_*`` counters — byte-identical to serial execution;
 - trace events emitted inside the worker (``iss/stop``,
   ``iss/breakpoint``, ``iss/watchpoint``, ``iss/block_compile``) are
   captured in a :class:`~repro.obs.tracer.TraceBuffer` and replayed on
@@ -103,6 +104,13 @@ def _pack_result(cpu):
     result["blocks_compiled"] = cpu.blocks_compiled
     result["block_hits"] = cpu.block_hits
     result["block_invalidations"] = cpu.block_invalidations
+    result["superblocks_compiled"] = cpu.superblocks_compiled
+    result["superblock_exits"] = cpu.superblock_exits
+    result["superblock_invalidations"] = cpu.superblock_invalidations
+    # The worker's profiler is the one that executes, so its counts
+    # are authoritative; shipping them back keeps master-side
+    # checkpoints (which serialize the master CPU) tier-faithful.
+    result["profile"] = cpu.block_profiler.state()
     return result
 
 
@@ -128,6 +136,10 @@ def _apply_result(cpu, result):
     cpu.blocks_compiled = result["blocks_compiled"]
     cpu.block_hits = result["block_hits"]
     cpu.block_invalidations = result["block_invalidations"]
+    cpu.superblocks_compiled = result["superblocks_compiled"]
+    cpu.superblock_exits = result["superblock_exits"]
+    cpu.superblock_invalidations = result["superblock_invalidations"]
+    cpu.block_profiler.restore(result["profile"])
 
 
 def _worker_main(conn, cpu):
@@ -152,6 +164,14 @@ def _worker_main(conn, cpu):
             if state.pop("flush", False):
                 cpu.flush_decode_cache()
             cpu.block_trace = state.pop("block_trace", False)
+            cpu.use_superblocks = state.pop("use_superblocks", False)
+            cpu.block_profiler.hot_threshold = state.pop(
+                "hot_threshold", cpu.block_profiler.hot_threshold)
+            # The master's counts mirror this worker's own (synced
+            # every result), so reinstalling them is an idempotent
+            # assignment serially — and after a checkpoint restore it
+            # seeds the fresh worker with the restored profile.
+            cpu.block_profiler.restore(state.pop("profile", []))
             _apply_state(cpu, state)
             if kind == "sync":
                 conn.send(("ok", None, _pack_result(cpu), buffer.drain()))
@@ -192,6 +212,9 @@ class RemoteCpu:
         state = _pack_state(self.cpu)
         state["flush"] = self.pending_flush
         state["block_trace"] = self.cpu.block_trace
+        state["use_superblocks"] = self.cpu.use_superblocks
+        state["hot_threshold"] = self.cpu.block_profiler.hot_threshold
+        state["profile"] = self.cpu.block_profiler.state()
         self.pending_flush = False
         try:
             self.conn.send((kind, state, max_instructions, max_cycles))

@@ -49,6 +49,10 @@ class BenchRun:
     # Extra host-dependent entries merged into the ``wall`` object
     # (e.g. parallel-dispatcher utilization and stall counters).
     wall_extra: dict = field(default_factory=dict)
+    # The ``profile`` section: deterministic execution-profile data
+    # (e.g. ``hot_blocks``) that is informative rather than gated —
+    # compare_reports only examines ``counters``.
+    profile: dict = field(default_factory=dict)
     _start: float = None
 
     def start(self):
@@ -94,6 +98,7 @@ class BenchRun:
             "name": self.name,
             "config": dict(self.config),
             "counters": dict(self.counters),
+            "profile": dict(self.profile),
             "wall": wall,
         }
 

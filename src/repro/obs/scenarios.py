@@ -102,7 +102,8 @@ def bench_scenario(scheme, sim_us=120, seed=7, name=None, **overrides):
                                  **overrides)
     run.stop()
     run.config.update({"scheme": scheme, "sim_us": sim_us, "seed": seed,
-                       "sync_quantum": overrides.get("sync_quantum", 1)})
+                       "sync_quantum": overrides.get("sync_quantum", 1),
+                       "tier": traced.system.config.tier})
     run.record_metrics(traced.system.metrics)
     # Span latencies: deterministic integers in simulated femtoseconds,
     # derived from the trace after the run (the overhead guard keeps
@@ -123,6 +124,14 @@ def bench_scenario(scheme, sim_us=120, seed=7, name=None, **overrides):
         iss_instructions=sum(cpu.instructions
                              for cpu in traced.system.cpus),
     )
+    # Execution profile: the top block starts by entry count, per
+    # context.  Deterministic (the profiler replays identically across
+    # serial/parallel runs) but informative-only — it lives in the
+    # record's ``profile`` section, outside the gated counters.
+    run.profile["hot_blocks"] = {
+        cpu.name: [[pc, count] for pc, count
+                   in cpu.block_profiler.hot_blocks()]
+        for cpu in traced.system.cpus}
     # Host-dependent dispatcher figures (pool utilization, commit
     # stalls) belong to the wall object, never to the deterministic
     # counters the regression gate compares.

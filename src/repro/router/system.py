@@ -18,7 +18,7 @@ from repro.cosim.gdb_wrapper import GdbWrapperScheme
 from repro.cosim.metrics import CosimMetrics
 from repro.cosim.parallel import make_dispatcher
 from repro.errors import CosimError
-from repro.iss.cpu import Cpu
+from repro.iss.cpu import TIERS, Cpu
 from repro.iss.loader import load_program
 from repro.router.consumer import Consumer
 from repro.router.engines import (CHECKSUM_IRQ_VECTOR, DriverChecksumEngine,
@@ -41,6 +41,11 @@ SCHEMES = ("local", "gdb-wrapper", "gdb-kernel", "driver-kernel")
 PARALLEL_ENV = "REPRO_PARALLEL"
 WORKERS_ENV = "REPRO_WORKERS"
 
+#: Environment override for the ISS execution tier, so the same suite
+#: sweeps interp/blocks/superblocks (the CI superblock-tier leg sets
+#: this to "superblocks").
+TIER_ENV = "REPRO_TIER"
+
 
 def _env_parallel():
     value = os.environ.get(PARALLEL_ENV, "").strip().lower()
@@ -54,6 +59,11 @@ def _env_parallel():
 def _env_workers():
     value = os.environ.get(WORKERS_ENV, "").strip()
     return int(value) if value else 2
+
+
+def _env_tier():
+    value = os.environ.get(TIER_ENV, "").strip().lower()
+    return value if value else "blocks"
 
 
 @dataclass
@@ -118,6 +128,12 @@ class RouterConfig:
     # REPRO_WORKERS so an unmodified suite can be swept.
     parallel: Optional[object] = field(default_factory=_env_parallel)
     workers: int = field(default_factory=_env_workers)
+    # ISS execution tier (docs/performance.md): "interp" forces the
+    # legacy name-dispatch chain, "blocks" (default) the closure-block
+    # compiler, "superblocks" the profile-guided superblock tier on
+    # top of it.  Honors REPRO_TIER so an unmodified suite can be
+    # swept across tiers.
+    tier: str = field(default_factory=_env_tier)
     # Emit opt-in cosim/parallel_commit trace events (these add events
     # relative to a serial run, so they default off).
     parallel_trace_commits: bool = False
@@ -162,6 +178,9 @@ def validate_config(config):
                          % (config.scheme, ", ".join(SCHEMES)))
     if config.num_cpus < 1:
         raise CosimError("num_cpus must be >= 1")
+    if config.tier not in TIERS:
+        raise CosimError("unknown tier %r (one of %s)"
+                         % (config.tier, ", ".join(TIERS)))
     if config.num_ports < 2:
         raise CosimError("num_ports must be >= 2 (an NxN router needs "
                          "N >= 2), got %d" % config.num_ports)
@@ -334,6 +353,7 @@ class RouterSystem:
                                            dispatcher=self.dispatcher)
         for index, engine in enumerate(self.engines):
             cpu = Cpu(name="cpu%d" % index)
+            cpu.tier = config.tier
             load_program(cpu, self.app.program,
                          stack_top=config.stack_top)
             self.cpus.append(cpu)
@@ -356,6 +376,7 @@ class RouterSystem:
         self.drivers = []
         for index, engine in enumerate(self.engines):
             cpu = Cpu(name="cpu%d" % index)
+            cpu.tier = config.tier
             load_program(cpu, self.app.program,
                          stack_top=config.stack_top)
             self.cpus.append(cpu)
@@ -418,15 +439,36 @@ class RouterSystem:
             return None
         return self.dispatcher.stats.as_dict(wall_seconds)
 
-    def stats(self):
-        """Collect the evaluation statistics of the run so far."""
-        # Fold the ISS block-cache counters into the shared metrics
-        # (idempotent: assignment, not accumulation).
+    def fold_cpu_counters(self):
+        """Fold the ISS tier counters into the shared metrics.
+
+        Idempotent (assignment, not accumulation), so :meth:`stats`
+        and checkpoint capture can both call it in any order.  The
+        per-context tier breakdown stays numeric only:
+        ``CosimMetrics.aggregate`` folds ``per_context`` values by
+        summation.
+        """
         self.metrics.blocks_compiled = sum(
             cpu.blocks_compiled for cpu in self.cpus)
         self.metrics.block_hits = sum(cpu.block_hits for cpu in self.cpus)
         self.metrics.block_invalidations = sum(
             cpu.block_invalidations for cpu in self.cpus)
+        self.metrics.superblocks_compiled = sum(
+            cpu.superblocks_compiled for cpu in self.cpus)
+        self.metrics.superblock_exits = sum(
+            cpu.superblock_exits for cpu in self.cpus)
+        self.metrics.superblock_invalidations = sum(
+            cpu.superblock_invalidations for cpu in self.cpus)
+        for cpu in self.cpus:
+            bucket = self.metrics.per_context.setdefault(cpu.name, {})
+            bucket["blocks_compiled"] = cpu.blocks_compiled
+            bucket["block_hits"] = cpu.block_hits
+            bucket["superblocks_compiled"] = cpu.superblocks_compiled
+            bucket["superblock_exits"] = cpu.superblock_exits
+
+    def stats(self):
+        """Collect the evaluation statistics of the run so far."""
+        self.fold_cpu_counters()
         generated = sum(producer.generated for producer in self.producers)
         received = sum(consumer.received for consumer in self.consumers)
         corrupt = sum(consumer.corrupt for consumer in self.consumers)
@@ -473,7 +515,7 @@ _PLAIN_CONFIG_FIELDS = (
     "local_latency", "producer_count", "num_cpus", "algorithm",
     "checksum_rounds", "blocked_transfers", "burst", "stages",
     "watchdog_ticks", "sync_quantum", "parallel", "workers",
-    "parallel_trace_commits", "dmi")
+    "parallel_trace_commits", "dmi", "tier")
 
 
 def config_to_dict(config):

@@ -59,6 +59,18 @@ class TestCorpusCoverage:
         assert {"uniform", "bursty", "onoff", "trace"} <= kinds
         assert any(s.config.fault_plan is not None for s in scenarios)
 
+    def test_covers_the_superblock_tier(self):
+        """Superblock fixtures span all three schemes and include a
+        chaos composition; the slow interpreter reference is sampled
+        too (docs/performance.md)."""
+        scenarios = [load_scenario(path) for path in CORPUS]
+        hot = [s for s in scenarios if s.config.tier == "superblocks"]
+        assert len(hot) >= 3
+        assert {s.config.scheme for s in hot} \
+            == {"gdb-wrapper", "gdb-kernel", "driver-kernel"}
+        assert any(s.config.fault_plan is not None for s in hot)
+        assert any(s.config.tier == "interp" for s in scenarios)
+
     def test_covers_the_dmi_tier(self):
         """DMI fixtures span all three schemes (docs/dmi.md), and the
         dmi-safe contract keeps the axis off faulty scenarios."""
@@ -110,3 +122,12 @@ class TestScenarioSerialization:
         monkeypatch.setenv("REPRO_PARALLEL", "thread")
         scenario = scenario_from_dict(data)
         assert scenario.config.parallel is None
+
+    def test_stored_tier_default_shields_environment(self, monkeypatch):
+        """A fixture predating the tier axis replays on the block tier
+        regardless of the ambient REPRO_TIER default."""
+        data = scenario_to_dict(load_scenario(CORPUS[0]))
+        del data["config"]["tier"]
+        monkeypatch.setenv("REPRO_TIER", "superblocks")
+        scenario = scenario_from_dict(data)
+        assert scenario.config.tier == "blocks"

@@ -1,12 +1,16 @@
-"""Differential testing: block fast path vs the legacy interpreter.
+"""Differential testing: the tier ladder vs the legacy interpreter.
 
-Random instruction streams are executed twice — once with
-``use_blocks = False`` (the reference per-instruction interpreter) and
-once with the closure-block fast path — and every observable must
-match: registers, memory, the pc, cycle and instruction counters, and
-the exact sequence of stop reasons.  The streams mix ALU, memory,
-forward branches and faulting divides; separate properties drive the
-same comparison through breakpoints, watchpoints, mid-stream
+Random instruction streams are executed once per execution tier — the
+reference per-instruction interpreter, the closure-block fast path,
+and the profile-guided superblock tier (with the promotion threshold
+lowered so short streams promote) — and every observable must match:
+registers, memory, the pc, cycle and instruction counters, and the
+exact sequence of stop reasons.  The streams mix ALU, memory, forward
+and backward branches, jmp/jal, stores into the code region
+(self-modifying code, which must invalidate warm blocks *and*
+superblocks word-precisely), and faulting divides; separate properties
+drive the same comparison through breakpoints (pre-armed and inserted
+mid-run while superblocks are warm), watchpoints, mid-stream
 interrupts, and tight cycle/instruction budgets (which exercise the
 checked block executor and its limit ordering).
 """
@@ -14,9 +18,10 @@ checked block executor and its limit ordering).
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import GuestFault
+from repro.errors import (GuestFault, IllegalInstructionError,
+                          MemoryAccessError)
 from repro.iss.breakpoints import WatchKind
-from repro.iss.cpu import StopReason
+from repro.iss.cpu import TIERS, StopReason
 from tests.support import make_cpu
 
 _REG = st.integers(min_value=0, max_value=11)
@@ -26,7 +31,10 @@ _R3_OPS = ("add", "sub", "mul", "and", "or", "xor", "shl", "shr",
            "sar", "slt", "sltu")
 _BRANCH_OPS = ("beq", "bne", "blt", "bge", "bltu", "bgeu")
 
-# r12 is reserved as the data base pointer; the data area is 64 bytes.
+# r12 is reserved as the data base pointer (64-byte data area), r13 as
+# the code base pointer for self-modifying stores, and r14 stays zero —
+# which happens to be the nop encoding, so ``sw r14, [r13 + off]``
+# rewrites a code word to nop.
 _DATA_WORDS = 16
 
 
@@ -34,7 +42,8 @@ _DATA_WORDS = 16
 def _instruction(draw, index, length):
     """One assembly line valid at position *index* of *length*."""
     kind = draw(st.sampled_from(
-        ["r3", "r3", "ri", "li", "mem", "branch", "div", "stack"]))
+        ["r3", "r3", "ri", "li", "mem", "branch", "jump", "div",
+         "stack", "smc"]))
     rd, rs1, rs2 = draw(_REG), draw(_REG), draw(_REG)
     if kind == "r3":
         op = draw(st.sampled_from(_R3_OPS))
@@ -62,8 +71,28 @@ def _instruction(draw, index, length):
         if index + 1 >= length:
             return "nop"
         op = draw(st.sampled_from(_BRANCH_OPS))
-        target = draw(st.integers(min_value=index + 1, max_value=length))
+        # Mostly forward targets (guaranteed progress); occasionally a
+        # bounded backward target, which forms the loops the
+        # superblock tier unrolls (the run-loop budgets bound any
+        # non-terminating stream).
+        if index > 0 and draw(st.integers(min_value=0, max_value=3)) == 0:
+            target = draw(st.integers(min_value=0, max_value=index))
+        else:
+            target = draw(st.integers(min_value=index + 1,
+                                      max_value=length))
         return "%s r%d, r%d, L%d" % (op, rd, rs1, target)
+    if kind == "jump":
+        if index + 1 >= length:
+            return "nop"
+        op = draw(st.sampled_from(["jmp", "jal"]))
+        target = draw(st.integers(min_value=index + 1, max_value=length))
+        return "%s L%d" % (op, target)
+    if kind == "smc":
+        # Rewrite a code word (word OFFSET inside the labelled stream)
+        # to nop: both tiers must invalidate the covering block or
+        # superblock and execute the rewritten instruction.
+        offset = 4 * draw(st.integers(min_value=0, max_value=length))
+        return "sw r14, [r13 + %d]" % offset
     if kind == "div":
         op = draw(st.sampled_from(["divu", "remu"]))
         return "%s r%d, r%d, r%d" % (op, rd, rs1, rs2)
@@ -86,7 +115,12 @@ def _program(draw, min_size=1, max_size=24):
 
 
 _SEEDS = st.lists(_WORD, min_size=12, max_size=12)
-_BUDGETS = st.lists(st.integers(min_value=1, max_value=40),
+# Mostly tight budgets (mid-block limit stops, the checked executor),
+# with occasional large ones under which whole superblocks actually
+# execute — the budget precheck refuses a chain the remaining budget
+# does not provably cover.
+_BUDGETS = st.lists(st.one_of(st.integers(min_value=1, max_value=40),
+                              st.sampled_from([250, 2000])),
                     min_size=1, max_size=12)
 
 
@@ -94,9 +128,13 @@ def _drive(cpu, budgets, limit_kind="instructions", before_run=None):
     """Repeatedly run *cpu* on *budgets*; record every observable stop.
 
     Returns the outcome trace: one entry per ``run()`` call (stop
-    reason plus the pc it stopped at), with guest faults recorded by
-    message.  The trace and the final architectural state together are
-    what both execution paths must reproduce exactly.
+    reason plus the pc it stopped at), with guest-visible deaths —
+    faults, bad fetches and undecodable words (a stream that rewrites
+    its own ``halt`` to nop runs off the end of memory executing data
+    words as instructions) — recorded by message.  The trace and the
+    final architectural state together are what both execution paths
+    must reproduce exactly: a stream that dies must die identically
+    on every tier.
     """
     outcomes = []
     for step, budget in enumerate(budgets * 40):
@@ -109,7 +147,8 @@ def _drive(cpu, budgets, limit_kind="instructions", before_run=None):
                 reason = cpu.run(max_cycles=budget)
             else:
                 reason = cpu.run(max_instructions=budget)
-        except GuestFault as fault:
+        except (GuestFault, MemoryAccessError,
+                IllegalInstructionError) as fault:
             outcomes.append(("fault", str(fault), cpu.pc))
             break
         outcomes.append((reason.value, cpu.pc))
@@ -133,19 +172,26 @@ def _state(cpu):
 
 def _compare_paths(source, seeds, budgets, limit_kind="instructions",
                    configure=None, before_run=None):
-    results = []
-    for use_blocks in (False, True):
+    results = {}
+    for tier in TIERS:
         cpu, prog, __ = make_cpu(source)
-        cpu.use_blocks = use_blocks
+        cpu.tier = tier
+        # Promote after two entries so even short random streams form
+        # superblocks (the default threshold targets steady loops).
+        cpu.block_profiler.hot_threshold = 2
         for index, value in enumerate(seeds):
             cpu.regs[index] = value
+        cpu.regs[13] = prog.symbols.resolve("L0")
         if configure is not None:
             configure(cpu, prog)
         outcomes = _drive(cpu, budgets, limit_kind, before_run)
-        results.append((outcomes, _state(cpu)))
-    reference, fast = results
-    assert fast[0] == reference[0], "stop sequences diverged"
-    assert fast[1] == reference[1], "final state diverged"
+        results[tier] = (outcomes, _state(cpu))
+    reference = results["interp"]
+    for tier in TIERS[1:]:
+        assert results[tier][0] == reference[0], \
+            "stop sequences diverged on tier %s" % tier
+        assert results[tier][1] == reference[1], \
+            "final state diverged on tier %s" % tier
     return reference
 
 
@@ -192,6 +238,34 @@ def test_random_streams_with_watchpoint(source, seeds, budgets,
 
 
 @settings(max_examples=40, deadline=None)
+@given(source=_program(min_size=3), seeds=_SEEDS, budgets=_BUDGETS,
+       bp_index=st.integers(min_value=0, max_value=200),
+       bp_step=st.integers(min_value=1, max_value=8))
+def test_breakpoint_inserted_mid_run(source, seeds, budgets, bp_index,
+                                     bp_step):
+    """A breakpoint armed between run() calls stops all tiers alike.
+
+    By the insertion step the superblock tier has warm promoted chains
+    (threshold 2), so this drives the breakpoints-changed invalidation
+    path — every cached superblock must drop before the next dispatch.
+    """
+    def before_run(cpu, step):
+        if step == bp_step:
+            labels = sorted(name for name in
+                            cpu._bp_labels  # set by configure below
+                            if name.startswith("L"))
+            target = labels[bp_index % len(labels)]
+            cpu.breakpoints.add_code(cpu._bp_resolve(target))
+
+    def configure(cpu, prog):
+        cpu._bp_labels = list(prog.symbols.labels)
+        cpu._bp_resolve = prog.symbols.resolve
+
+    _compare_paths(source, seeds, budgets, configure=configure,
+                   before_run=before_run)
+
+
+@settings(max_examples=40, deadline=None)
 @given(source=_program(), seeds=_SEEDS, budgets=_BUDGETS,
        irq_step=st.integers(min_value=0, max_value=6))
 def test_random_streams_with_midstream_irq(source, seeds, budgets,
@@ -211,5 +285,11 @@ def test_random_streams_with_midstream_irq(source, seeds, budgets,
 @settings(max_examples=25, deadline=None)
 @given(source=_program(), seeds=_SEEDS)
 def test_single_run_to_completion(source, seeds):
-    """One unbounded run (the pure fast-path case, no budget checks)."""
-    _compare_paths(source, seeds, [10**9])
+    """One big-budget run (the pure fast-path case).
+
+    The budget provably covers every block and superblock until the
+    very end, so limit checks stay hoisted for the whole run — while
+    still bounding the wall clock when the stream loops forever (an
+    always-taken backward branch never halts).
+    """
+    _compare_paths(source, seeds, [50_000])

@@ -94,5 +94,5 @@ def test_wall_clock_isolated_to_wall_object():
     run.stop()
     record = run.as_dict()
     assert set(record) == {"schema", "name", "config", "counters",
-                           "wall"}
+                           "profile", "wall"}
     assert all(isinstance(v, int) for v in record["counters"].values())

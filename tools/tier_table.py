@@ -1,0 +1,123 @@
+"""Emit the ISS dispatch-tier comparison table (markdown).
+
+Run:  PYTHONPATH=src python tools/tier_table.py [--budget N] [-o FILE]
+
+Measures instructions/second for every execution tier of the tier
+ladder (interp / blocks / superblocks, docs/performance.md) on the two
+hot-loop workloads the superblock tier targets — the straight-line ALU
+loop and the guest-shaped bitwise CRC-32 checksum loop — and renders
+one markdown table with per-tier rates, speedups over the interpreter,
+and the superblock promotion telemetry.  CI's fast-bench job uploads
+the table as a build artifact; the wall-clock numbers are host
+figures, so the table is informative — the committed BENCH baselines
+gate the deterministic counters.
+
+The workloads mirror ``benchmarks/test_interpreter_dispatch.py`` (the
+asserted >=2x tier floors live there; this tool only reports).
+"""
+
+import argparse
+import sys
+import time
+
+from repro.iss.assembler import assemble
+from repro.iss.cpu import TIERS, Cpu
+from repro.iss.loader import load_program
+
+ALU_LOOP = "    li r0, 0\nloop:\n" + "\n".join(
+    "    addi r%d, r%d, %d\n    xor r%d, r%d, r%d"
+    % (i % 8, (i + 1) % 8, i + 1, (i + 2) % 8, i % 8, (i + 1) % 8)
+    for i in range(8)) + "\n    b loop\n"
+
+CHECKSUM_LOOP = """
+    la r0, data
+    li32 r2, 0xFFFFFFFF
+    li r3, 0
+outer:
+    lbu r5, [r0]
+    xor r2, r2, r5
+    li r6, 8
+crc_bit_loop:
+    andi r7, r2, 1
+    shri r2, r2, 1
+    beq r7, r3, crc_skip
+    li32 r8, 0xEDB88320
+    xor r2, r2, r8
+crc_skip:
+    addi r6, r6, -1
+    bne r6, r3, crc_bit_loop
+    b outer
+data: .word 0x12345678
+"""
+
+WORKLOADS = (("alu", ALU_LOOP), ("checksum", CHECKSUM_LOOP))
+
+
+def measure(source, tier, budget, repeats=3):
+    """Best-of-N (rate, cpu) for one tier on one workload."""
+    best_rate, best_cpu = 0.0, None
+    for __ in range(repeats):
+        cpu = Cpu()
+        cpu.tier = tier
+        load_program(cpu, assemble(source))
+        start = time.perf_counter()
+        cpu.run(max_instructions=budget)
+        elapsed = time.perf_counter() - start
+        assert cpu.instructions == budget
+        rate = budget / elapsed
+        if rate > best_rate:
+            best_rate, best_cpu = rate, cpu
+    return best_rate, best_cpu
+
+
+def tier_table(budget, repeats=3):
+    """The comparison as markdown lines."""
+    lines = [
+        "# ISS dispatch-tier comparison",
+        "",
+        "Best-of-%d instructions/second per tier, %s-instruction"
+        % (repeats, "{:,}".format(budget)),
+        "budget (docs/performance.md).  Host wall-clock figures:",
+        "informative, not gated.",
+        "",
+        "| workload | tier | Minstr/s | vs interp | superblocks "
+        "| sb exits |",
+        "|---|---|---:|---:|---:|---:|",
+    ]
+    for name, source in WORKLOADS:
+        base = None
+        for tier in TIERS:
+            rate, cpu = measure(source, tier, budget, repeats)
+            if base is None:
+                base = rate
+            lines.append(
+                "| %s | %s | %.2f | %.2fx | %d | %d |"
+                % (name, tier, rate / 1e6, rate / base,
+                   cpu.superblocks_compiled, cpu.superblock_exits))
+    lines.append("")
+    return lines
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="render the dispatch-tier instr/s markdown table")
+    parser.add_argument("--budget", type=int, default=200_000,
+                        help="instructions per measurement (default "
+                             "200k: past tier warmup, quick in CI)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N repeats per cell")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write to a file instead of stdout")
+    args = parser.parse_args(argv)
+    text = "\n".join(tier_table(args.budget, args.repeats)) + "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print("wrote %s" % args.output)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
