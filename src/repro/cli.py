@@ -32,10 +32,19 @@ shell:
   transaction spans reconstructed from a traced run
   (docs/observability.md), exportable as Perfetto async slices;
 - ``health [--records D [--baseline-dir D]] [--checkpoint-dir D]
-  [--chaos storm|stall|thrash]`` — the rule-based co-simulation health
-  analyzer (``--checkpoint-dir`` reports crash-recovery events); exits
-  non-zero when any finding is critical, 2 with a one-line message
-  when a named records/baseline/checkpoint directory is missing;
+  [--chaos storm|stall|thrash] [--format text|json]`` — the rule-based
+  co-simulation health analyzer (``--checkpoint-dir`` reports
+  crash-recovery events; ``--format json`` emits the machine-readable
+  report with identical exit semantics); exits non-zero when any
+  finding is critical, 2 with a one-line message when a named
+  records/baseline/checkpoint directory is missing;
+- ``metrics [--scheme S] [--format ndjson|json|prom] [-o PATH]`` —
+  the per-quantum telemetry time-series of a pinned scenario
+  (docs/observability.md): one point per committed sync quantum,
+  exportable as NDJSON, canonical JSON or Prometheus text exposition;
+- ``top [--scheme S] [--once]`` — a live ``top``-style counter view:
+  totals and windowed per-quantum rates, redrawn between simulated
+  time slices (``--once`` prints a single final snapshot for CI);
 - ``bench [--scheme S|all] [--out-dir D] [--quantum N] [--dmi]
   [--tier T]
   [--compare]`` — machine-readable ``BENCH_*.json`` benchmark records
@@ -419,6 +428,15 @@ def _cmd_spans(args):
     return 0
 
 
+def _emit_health(report, fmt):
+    """Print a health report as text or JSON; returns its exit code."""
+    if fmt == "json":
+        print(report.to_json())
+    else:
+        print(report.render())
+    return report.exit_code
+
+
 def _cmd_health(args):
     import json
     import os
@@ -441,8 +459,7 @@ def _cmd_health(args):
             return 2
         report = analyze_records(args.records,
                                  baseline_dir=args.baseline_dir)
-        print(report.render())
-        return report.exit_code
+        return _emit_health(report, args.format)
     if args.checkpoint_dir:
         if not os.path.isdir(args.checkpoint_dir):
             print("health: checkpoint directory %r does not exist; "
@@ -456,8 +473,7 @@ def _cmd_health(args):
             with open(log_path) as handle:
                 log = json.load(handle)
         report = analyze_recovery_log(log)
-        print(report.render())
-        return report.exit_code
+        return _emit_health(report, args.format)
     report = HealthReport()
     if args.chaos:
         run = chaos_health_scenario(args.chaos)
@@ -474,8 +490,108 @@ def _cmd_health(args):
                                       metrics=run.system.metrics,
                                       dropped=run.tracer.dropped))
             run.system.close()
-    print(report.render())
-    return report.exit_code
+    return _emit_health(report, args.format)
+
+
+def _cmd_metrics(args):
+    from repro.obs.metrics import prometheus_text
+    from repro.obs.scenarios import run_traced_scenario
+
+    run = run_traced_scenario(args.scheme, sim_us=args.sim_us,
+                              seed=args.seed, sync_quantum=args.quantum)
+    sampler = run.system.telemetry
+    if sampler is None:
+        print("metrics: telemetry is disabled for this configuration")
+        run.system.close()
+        return 2
+    series = sampler.series
+    if args.format == "prom":
+        sample = series.latest_sample()
+        if sample is None:
+            print("metrics: the run recorded no telemetry points")
+            run.system.close()
+            return 1
+        text = prometheus_text(sample,
+                               labels={"scheme": args.scheme,
+                                       "seed": str(args.seed),
+                                       "quantum": str(args.quantum)})
+    elif args.format == "json":
+        text = series.dump() + "\n"
+    else:
+        text = "\n".join(series.to_ndjson_lines()) + "\n"
+    run.system.close()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print("wrote %s (%d points, %d evicted)"
+              % (args.output, len(series), series.evicted))
+    else:
+        print(text, end="")
+    return 0
+
+
+def _render_top(series, scheme, window):
+    from repro.analysis.tables import render_table
+
+    sample = series.latest_sample()
+    if sample is None:
+        return "%s: no telemetry points yet" % scheme
+    rates = series.rates(window)
+    rows = []
+    for name in series.counters:
+        value = sample[name]
+        rate = rates.get(name, 0)
+        if not value and not rate:
+            continue
+        rows.append([name, "%d" % value,
+                     ("%.2f" % rate) if rates else "-"])
+    title = ("%s  t=%dfs  timestep=%d  points=%d (evicted %d)"
+             % (scheme, sample["sim_now_fs"], sample["timestep"],
+                sample["points"], sample["points_evicted"]))
+    return render_table(["counter", "total", "/quantum(w=%d)" % window],
+                        rows, title=title)
+
+
+def _cmd_top(args):
+    from repro.obs.scenarios import run_traced_scenario
+    from repro.obs.tracer import Tracer
+    from repro.router.system import RouterConfig, build_system
+
+    if args.once:
+        run = run_traced_scenario(args.scheme, sim_us=args.sim_us,
+                                  seed=args.seed,
+                                  sync_quantum=args.quantum)
+        sampler = run.system.telemetry
+        if sampler is None:
+            print("top: telemetry is disabled for this configuration")
+            run.system.close()
+            return 2
+        print(_render_top(sampler.series, args.scheme, args.window))
+        run.system.close()
+        return 0
+    # Live mode: the same pinned scenario, advanced in simulated-time
+    # slices with a redraw between each — refresh cadence is driven by
+    # simulated progress, never wall sleeps, so the view stays
+    # deterministic.
+    config = RouterConfig(scheme=args.scheme, seed=args.seed,
+                          max_packets=2, producer_count=2,
+                          inter_packet_delay=20 * US,
+                          sync_quantum=args.quantum,
+                          tracer=Tracer(capacity=200_000))
+    system = build_system(config)
+    sampler = system.telemetry
+    if sampler is None:
+        print("top: telemetry is disabled for this configuration")
+        system.close()
+        return 2
+    slices = max(1, args.refresh)
+    slice_us = max(1, args.sim_us // slices)
+    for __ in range(slices):
+        system.run(slice_us * US)
+        print("\x1b[2J\x1b[H", end="")
+        print(_render_top(sampler.series, args.scheme, args.window))
+    system.close()
+    return 0
 
 
 def _cmd_fuzz(args):
@@ -696,7 +812,55 @@ def build_parser():
     health.add_argument("--seed", type=int, default=7)
     health.add_argument("--quantum", type=int, default=1,
                         help="sync quantum (live mode)")
+    health.add_argument("--format", default="text",
+                        choices=["text", "json"],
+                        help="render the report as text or as the "
+                             "machine-readable JSON document (exit "
+                             "codes are identical)")
     health.set_defaults(func=_cmd_health)
+
+    metrics = commands.add_parser(
+        "metrics", help="per-quantum telemetry time-series export "
+                        "(docs/observability.md)")
+    metrics.add_argument("--scheme", default="gdb-kernel",
+                         choices=["gdb-wrapper", "gdb-kernel",
+                                  "driver-kernel"])
+    metrics.add_argument("--sim-us", type=int, default=120,
+                         help="simulated microseconds")
+    metrics.add_argument("--seed", type=int, default=7)
+    metrics.add_argument("--quantum", type=int, default=1,
+                         help="sync quantum (batched timesteps per ISS "
+                              "synchronisation)")
+    metrics.add_argument("--format", default="ndjson",
+                         choices=["ndjson", "json", "prom"],
+                         help="one canonical JSON object per point, "
+                              "the whole-series canonical JSON image, "
+                              "or the newest point in Prometheus text "
+                              "exposition format")
+    metrics.add_argument("-o", "--output", default=None,
+                         help="write the export to a file")
+    metrics.set_defaults(func=_cmd_metrics)
+
+    top = commands.add_parser(
+        "top", help="live top-style telemetry counter view "
+                    "(docs/observability.md)")
+    top.add_argument("--scheme", default="gdb-kernel",
+                     choices=["gdb-wrapper", "gdb-kernel",
+                              "driver-kernel"])
+    top.add_argument("--sim-us", type=int, default=240,
+                     help="total simulated microseconds")
+    top.add_argument("--seed", type=int, default=7)
+    top.add_argument("--quantum", type=int, default=1,
+                     help="sync quantum (batched timesteps per ISS "
+                          "synchronisation)")
+    top.add_argument("--window", type=int, default=8,
+                     help="points in the per-quantum rate window")
+    top.add_argument("--refresh", type=int, default=6,
+                     help="live redraws (the run advances in this many "
+                          "simulated-time slices)")
+    top.add_argument("--once", action="store_true",
+                     help="print one final snapshot and exit (CI smoke)")
+    top.set_defaults(func=_cmd_top)
 
     bench = commands.add_parser(
         "bench", help="write machine-readable BENCH_*.json records")

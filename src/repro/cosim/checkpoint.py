@@ -91,9 +91,13 @@ def _cpu_state(cpu):
         "superblocks_compiled": cpu.superblocks_compiled,
         "superblock_exits": cpu.superblock_exits,
         "superblock_invalidations": cpu.superblock_invalidations,
-        # Canonical [[pc, count]] profiler state: replay must promote
-        # the same superblocks at the same points, and the verified
-        # image proves it.
+        "superblock_side_exits": cpu.superblock_side_exits,
+        # Canonical [[pc, count]] lists (JSON would stringify int dict
+        # keys, breaking the round trip): the side-exit analytics and
+        # the profiler state.  Replay must promote the same superblocks
+        # and take the same guard exits; the verified image proves it.
+        "side_exits": sorted([pc, count] for pc, count
+                             in cpu.side_exit_sites.items()),
         "profile": cpu.block_profiler.state(),
     }
 
@@ -293,6 +297,19 @@ def _metrics_state(system):
     return system.metrics.as_dict()
 
 
+def _telemetry_state(system):
+    """The per-quantum telemetry series (repro.obs.metrics).
+
+    Replay regenerates the series point for point — the sampling gate
+    and every sampled counter derive from simulation state — so the
+    verified image proves the telemetry is deterministic too.
+    """
+    sampler = getattr(system, "telemetry", None)
+    if sampler is None:
+        return {"enabled": False}
+    return dict(sampler.series.state(), enabled=True)
+
+
 def _common_context_state(name, quarantined, reason, binding, cpu,
                           dmi=None):
     state = {
@@ -373,6 +390,7 @@ def capture_state(system):
         "kernel": system.kernel.state_summary(),
         "metrics": _metrics_state(system),
         "tracer": _tracer_state(system.tracer),
+        "telemetry": _telemetry_state(system),
         "traffic": _traffic_state(system),
         "contexts": _contexts_state(system),
     }

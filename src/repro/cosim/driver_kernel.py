@@ -113,6 +113,9 @@ class DriverKernelHook(KernelHook):
         # under serial and parallel execution.
         self._irq_seq = {}              # context name -> interrupts sent
         self._par_seq = 0
+        # Wall-time attribution profiler (repro.obs.attrib), attached
+        # post-build by attach_attrib; None = zero-cost pass-through.
+        self.attrib = None
 
     def active_contexts(self):
         """Contexts still participating in the co-simulation."""
@@ -172,6 +175,16 @@ class DriverKernelHook(KernelHook):
         interrupt message, a raised IRQ line, or a deliverable vector),
         which forces an immediate sync so ISR latency is unchanged.
         """
+        attrib = self.attrib
+        if attrib is None:
+            return self._advance_contexts(kernel)
+        # Transport attribution: ISS runs nested inside this measure
+        # charge their own iss.* buckets, so "transport" is left with
+        # the pure scheme/protocol overhead.
+        with attrib.measure("transport"):
+            return self._advance_contexts(kernel)
+
+    def _advance_contexts(self, kernel):
         self.metrics.sc_timesteps += 1
         if self.dispatcher is not None:
             self._advance_parallel(kernel)
@@ -639,6 +652,11 @@ class DriverKernelScheme:
         for context in self.hook.active_contexts():
             if context.binding.pending_steps and not context.finished:
                 self.hook.sync_context(context)
+
+    def bindings(self):
+        """``(context name, ClockBinding)`` per context, attach order."""
+        return [(context.name, context.binding)
+                for context in self.hook.contexts]
 
     @property
     def finished(self):

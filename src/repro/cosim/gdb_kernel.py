@@ -90,6 +90,9 @@ class GdbKernelHook(KernelHook):
         self.crash_policy = None
         # Dispatch-window span counter; main-thread only, traced only.
         self._par_seq = 0
+        # Wall-time attribution profiler (repro.obs.attrib), attached
+        # post-build by attach_attrib; None = zero-cost pass-through.
+        self.attrib = None
 
     def active_contexts(self):
         """Contexts still participating in the co-simulation."""
@@ -121,6 +124,16 @@ class GdbKernelHook(KernelHook):
         At larger quanta budgets bank up and one batched sync covers
         the window, unless a stop source could fire inside it.
         """
+        attrib = self.attrib
+        if attrib is None:
+            return self._advance_contexts(kernel)
+        # Transport attribution: ISS runs nested inside this measure
+        # charge their own iss.* buckets, so "transport" is left with
+        # the pure scheme/protocol overhead.
+        with attrib.measure("transport"):
+            return self._advance_contexts(kernel)
+
+    def _advance_contexts(self, kernel):
         self.metrics.sc_timesteps += 1
         if self.dispatcher is not None:
             self._advance_parallel(kernel)
@@ -438,6 +451,11 @@ class GdbKernelScheme:
         for context in self.hook.active_contexts():
             if context.binding.pending_steps and not context.finished:
                 self.hook.sync_context(context)
+
+    def bindings(self):
+        """``(context name, ClockBinding)`` per context, attach order."""
+        return [(context.name, context.binding)
+                for context in self.hook.contexts]
 
     @property
     def finished(self):

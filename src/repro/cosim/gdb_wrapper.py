@@ -73,6 +73,9 @@ class GdbWrapperModule(Module):
                     if dmi and self.parallel_safe else None)
         self._watch_cycles = -1
         self._stall_ticks = 0
+        # Wall-time attribution profiler (repro.obs.attrib), attached
+        # post-build by attach_attrib; None = zero-cost pass-through.
+        self.attrib = None
         cpu.attach_tracer(self.tracer)
         self.pipe = Pipe("gdbw:" + name)
         client_end, stub_end = _wire_pipe(self.pipe, reliability, faults,
@@ -104,6 +107,16 @@ class GdbWrapperModule(Module):
         held transfer, pending pipe data, armed watchpoints) could fire
         inside it, in which case the sync happens immediately.
         """
+        attrib = self.attrib
+        if attrib is None:
+            return self._sync_body()
+        # Transport attribution: ISS runs nested inside this measure
+        # charge their own iss.* buckets, so "transport" is left with
+        # the pure scheme/protocol overhead.
+        with attrib.measure("transport"):
+            return self._sync_body()
+
+    def _sync_body(self):
         if self.driver.finished or self.quarantined:
             return
         if self.coordinator is not None:
@@ -484,6 +497,11 @@ class GdbWrapperScheme:
         """Spend budgets still banked when the kernel run ends."""
         for wrapper in self.wrappers:
             wrapper.flush_pending()
+
+    def bindings(self):
+        """``(context name, ClockBinding)`` per wrapper, attach order."""
+        return [(wrapper.name, wrapper.binding)
+                for wrapper in self.wrappers]
 
     @property
     def finished(self):

@@ -52,6 +52,7 @@ class CosimMetrics:
     superblocks_compiled: int = 0   # ISS superblock chains compiled
     superblock_exits: int = 0       # superblock executions (any exit)
     superblock_invalidations: int = 0  # superblocks dropped (SMC/bp/flush)
+    superblock_side_exits: int = 0  # superblock exits through a guard
     dmi_reads: int = 0              # words read through DMI grant views
     dmi_writes: int = 0             # words written through DMI grant views
     dmi_invalidations: int = 0      # DMI grants dropped (precise fallback)
@@ -97,6 +98,7 @@ class CosimMetrics:
             "superblocks_compiled": self.superblocks_compiled,
             "superblock_exits": self.superblock_exits,
             "superblock_invalidations": self.superblock_invalidations,
+            "superblock_side_exits": self.superblock_side_exits,
             "dmi_reads": self.dmi_reads,
             "dmi_writes": self.dmi_writes,
             "dmi_invalidations": self.dmi_invalidations,
@@ -148,7 +150,7 @@ class CosimMetrics:
         "quantum_syncs", "quantum_steps_batched",
         "blocks_compiled", "block_hits", "block_invalidations",
         "superblocks_compiled", "superblock_exits",
-        "superblock_invalidations",
+        "superblock_invalidations", "superblock_side_exits",
         "dmi_reads", "dmi_writes", "dmi_invalidations")
 
     @classmethod

@@ -98,6 +98,8 @@ class Cpu:
         self.superblocks_compiled = 0
         self.superblock_exits = 0
         self.superblock_invalidations = 0
+        self.superblock_side_exits = 0  # exits through a guard, not the end
+        self.side_exit_sites = {}       # superblock start pc -> side exits
         self._icache = None             # optional timing models
         self._dcache = None
         self._observers = []            # retire-callback observers
@@ -105,6 +107,7 @@ class Cpu:
         self._watch_hit = None          # (watchpoint, address, value, is_write)
         self._last_stop = None
         self._remote = None             # process-backend execution proxy
+        self._attrib = None             # wall-time attribution profiler
         self.memory.add_code_listener(self._on_code_store)
         self.breakpoints.on_code_change = self._on_breakpoints_changed
 
@@ -392,6 +395,16 @@ class Cpu:
         ``use_blocks = False``).  Both paths are observationally
         equivalent.
         """
+        attrib = self._attrib
+        if attrib is None:
+            return self._run_dispatch(max_instructions, max_cycles)
+        # Per-tier wall-time attribution (repro.obs.attrib).  The
+        # remote proxy's blocking exchange counts as ISS time too —
+        # that is what the master host is spending on execution.
+        with attrib.measure("iss." + self.tier):
+            return self._run_dispatch(max_instructions, max_cycles)
+
+    def _run_dispatch(self, max_instructions=None, max_cycles=None):
         if self._remote is not None:
             return self._remote.run(max_instructions, max_cycles)
         cycle_limit = None if max_cycles is None else self.cycles + max_cycles
@@ -592,8 +605,16 @@ class Cpu:
             self.cycles += cycles
             self.instructions += retired
             self.superblock_exits += 1
-            if done and superblock.end_static is not None:
-                self.pc = superblock.end_static
+            if done:
+                if superblock.end_static is not None:
+                    self.pc = superblock.end_static
+            else:
+                # Guard exit (mispredicted branch, watchpoint/SMC/IRQ
+                # after a memory step, or a faulting step): count it
+                # and remember the site for re-profiling analytics.
+                self.superblock_side_exits += 1
+                sites = self.side_exit_sites
+                sites[superblock.start] = sites.get(superblock.start, 0) + 1
 
     def _exec_block_fast(self, block):
         """Run a whole block; limits were prechecked to cover it.

@@ -107,6 +107,8 @@ def _pack_result(cpu):
     result["superblocks_compiled"] = cpu.superblocks_compiled
     result["superblock_exits"] = cpu.superblock_exits
     result["superblock_invalidations"] = cpu.superblock_invalidations
+    result["superblock_side_exits"] = cpu.superblock_side_exits
+    result["side_exit_sites"] = dict(cpu.side_exit_sites)
     # The worker's profiler is the one that executes, so its counts
     # are authoritative; shipping them back keeps master-side
     # checkpoints (which serialize the master CPU) tier-faithful.
@@ -139,6 +141,8 @@ def _apply_result(cpu, result):
     cpu.superblocks_compiled = result["superblocks_compiled"]
     cpu.superblock_exits = result["superblock_exits"]
     cpu.superblock_invalidations = result["superblock_invalidations"]
+    cpu.superblock_side_exits = result["superblock_side_exits"]
+    cpu.side_exit_sites = dict(result["side_exit_sites"])
     cpu.block_profiler.restore(result["profile"])
 
 
@@ -151,6 +155,7 @@ def _worker_main(conn, cpu):
     """
     buffer = TraceBuffer()
     cpu._remote = None          # this copy executes locally
+    cpu._attrib = None          # wall-time attribution is master-side
     cpu.attach_tracer(buffer)   # also routes breakpoint-set emissions
     try:
         while True:

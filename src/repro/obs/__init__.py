@@ -24,38 +24,70 @@ visible without perturbing it:
   over closed spans, feeding ``latency.*`` BENCH counters;
 - :mod:`repro.obs.health` — a rule-based analyzer (stalled spans,
   retransmission storms, quarantines, hold hot spots, latency
-  regressions) with a CI-friendly exit code, behind ``repro health``.
+  regressions, windowed telemetry rates) with a CI-friendly exit
+  code, behind ``repro health``;
+- :mod:`repro.obs.metrics` — the per-quantum telemetry time-series: a
+  deterministic kernel-sink sampler feeding a bounded
+  sim-time-indexed ring, with NDJSON and Prometheus text exposition
+  (``repro metrics`` / ``repro top``);
+- :mod:`repro.obs.attrib` — wall-time attribution: an
+  injectable-clock profiler bucketing exclusive time per layer
+  (per-tier ISS, scheme transport, kernel residual, commit stalls),
+  folded into BENCH ``wall_extra`` as ``attrib.*``;
+- :mod:`repro.obs.stream_bus` — the live subscription bus publishing
+  trace/metrics/health events mid-run to NDJSON or callback sinks.
 
 Tracing is off by default and costs one attribute check when disabled:
 every instrumented hot path is guarded by ``if tracer.enabled:`` so no
 event object or argument dict is ever built for a disabled tracer.
 """
 
+from repro.obs.attrib import (AttributionProfiler, attach_attrib,
+                              attrib_summary, side_exit_profile)
 from repro.obs.bench import BenchReporter, BenchRun
 from repro.obs.health import (Finding, HealthReport, HealthThresholds,
-                              analyze_records, analyze_run)
+                              analyze_records, analyze_run,
+                              analyze_series)
 from repro.obs.hist import (LatencyHistogram, build_histograms,
                             latency_counters, latency_summaries)
+from repro.obs.metrics import (MetricsPoint, MetricsSampler,
+                               MetricsSeries, prometheus_text,
+                               sampled_counters)
 from repro.obs.profile import SchemeProfile, compare_profiles
 from repro.obs.spans import (Span, build_spans, dump_spans,
                              perfetto_spans, spans_from_tracer)
+from repro.obs.stream_bus import (CallbackSink, NdjsonSink, StreamBus,
+                                  StreamHealthMonitor, attach_stream,
+                                  publish_report)
 from repro.obs.tracer import (NULL_TRACER, TraceEvent, Tracer,
                               dump_events, strip_header, trace_header)
 
 __all__ = [
+    "AttributionProfiler",
     "BenchReporter",
     "BenchRun",
+    "CallbackSink",
     "Finding",
     "HealthReport",
     "HealthThresholds",
     "LatencyHistogram",
+    "MetricsPoint",
+    "MetricsSampler",
+    "MetricsSeries",
     "NULL_TRACER",
+    "NdjsonSink",
     "SchemeProfile",
     "Span",
+    "StreamBus",
+    "StreamHealthMonitor",
     "TraceEvent",
     "Tracer",
     "analyze_records",
     "analyze_run",
+    "analyze_series",
+    "attach_attrib",
+    "attach_stream",
+    "attrib_summary",
     "build_histograms",
     "build_spans",
     "compare_profiles",
@@ -64,6 +96,10 @@ __all__ = [
     "latency_counters",
     "latency_summaries",
     "perfetto_spans",
+    "prometheus_text",
+    "publish_report",
+    "sampled_counters",
+    "side_exit_profile",
     "spans_from_tracer",
     "strip_header",
     "trace_header",

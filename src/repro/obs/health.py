@@ -52,6 +52,16 @@ class HealthThresholds:
     #: tier thrashing against a precision trigger instead of falling
     #: back cleanly — see docs/dmi.md).
     dmi_invalidation_storm: int = 6
+    #: telemetry points of the windowed-rate rules' sliding window
+    #: (:func:`analyze_series`; one point per committed quantum).
+    rate_window: int = 8
+    #: retransmits per committed quantum, sustained over the window,
+    #: before the link counts as storming *right now* — the live
+    #: counterpart of the run-total ``retransmit_storm`` rule.
+    retransmit_rate: float = 2.0
+    #: DMI invalidations per committed quantum over the window before
+    #: the grant/invalidate cycle counts as thrashing live.
+    dmi_invalidation_rate: float = 1.5
 
 
 @dataclass(frozen=True)
@@ -67,6 +77,11 @@ class Finding:
         """The finding as one aligned plain-text line."""
         return "%-8s %-18s %-20s %s" % (self.severity.upper(), self.rule,
                                         self.subject, self.message)
+
+    def as_dict(self):
+        """The finding as a plain JSON-serialisable dict."""
+        return {"severity": self.severity, "rule": self.rule,
+                "subject": self.subject, "message": self.message}
 
 
 @dataclass
@@ -107,6 +122,30 @@ class HealthReport:
                  % (len(self.findings), len(self.by_severity("critical")))]
         lines.extend(finding.render() for finding in ordered)
         return "\n".join(lines)
+
+    def as_dict(self):
+        """The report as a plain JSON-serialisable dict.
+
+        Findings keep their stable :meth:`render` ordering (severity
+        descending, then rule/subject) so the machine-readable form of
+        one analysis is byte-stable; the summary mirrors
+        :attr:`exit_code` for consumers that only gate.
+        """
+        ordered = sorted(
+            self.findings,
+            key=lambda f: (-SEVERITIES.index(f.severity), f.rule,
+                           f.subject))
+        return {
+            "findings": [finding.as_dict() for finding in ordered],
+            "counts": {severity: len(self.by_severity(severity))
+                       for severity in SEVERITIES},
+            "exit_code": self.exit_code,
+        }
+
+    def to_json(self):
+        """:meth:`as_dict` serialised canonically (``--format json``)."""
+        import json
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2)
 
 
 def analyze_run(events, metrics=None, thresholds=None, dropped=0,
@@ -284,6 +323,57 @@ def analyze_records(records_dir, baseline_dir=None, thresholds=None):
             if os.path.exists(baseline_path):
                 _compare_latency(report, subject, counters,
                                  load_report(baseline_path), thresholds)
+    return report
+
+
+def analyze_series(series, thresholds=None):
+    """Windowed-rate rules over a telemetry time-series.
+
+    *series* is a :class:`~repro.obs.metrics.MetricsSeries` (one point
+    per committed quantum).  Where :func:`analyze_run` sees only run
+    totals, these rules evaluate the *recent* per-quantum rates over
+    the newest ``thresholds.rate_window`` points: a link can be
+    storming right now even though the whole-run retransmit total is
+    still under the storm threshold, and a run that stopped retiring
+    ISS cycles while SystemC timesteps keep advancing is wedged no
+    matter what the totals say.
+    """
+    thresholds = thresholds or HealthThresholds()
+    report = HealthReport()
+    if len(series) < 2:
+        report.add("info", "telemetry", "series",
+                   "%d telemetry point(s): too few for windowed rates"
+                   % len(series))
+        return report
+    window = min(len(series), thresholds.rate_window)
+    rates = series.rates(window)
+
+    retransmit_rate = rates.get("retransmits", 0.0)
+    if retransmit_rate >= thresholds.retransmit_rate:
+        report.add("critical", "retransmit-rate", "transport",
+                   "%.2f retransmits/quantum over the last %d point(s) "
+                   "(threshold %g): the link is storming right now"
+                   % (retransmit_rate, window, thresholds.retransmit_rate))
+
+    dmi_rate = rates.get("dmi_invalidations", 0.0)
+    if dmi_rate >= thresholds.dmi_invalidation_rate:
+        report.add("critical", "dmi-invalidation-rate", "dmi",
+                   "%.2f invalidations/quantum over the last %d point(s) "
+                   "(threshold %g): the grant/invalidate cycle is "
+                   "thrashing live"
+                   % (dmi_rate, window, thresholds.dmi_invalidation_rate))
+
+    if rates.get("iss_cycles", 0.0) == 0.0 \
+            and rates.get("sc_timesteps", 0.0) > 0.0:
+        report.add("warning", "no-execution-progress", "iss",
+                   "0 ISS cycles retired over the last %d point(s) while "
+                   "SystemC advanced: every context is parked or wedged"
+                   % window)
+
+    if not report.findings:
+        report.add("info", "telemetry", "series",
+                   "%d point(s), window %d: rates within thresholds"
+                   % (len(series), window))
     return report
 
 

@@ -1,0 +1,331 @@
+"""Per-quantum telemetry time-series (docs/observability.md).
+
+The tracer and BENCH records answer *what happened over the whole
+run*; this module answers *what was happening at each committed
+quantum boundary*.  A :class:`MetricsSampler` attaches to the SystemC
+kernel as a trace sink (``Kernel.add_trace``), so it is sampled at
+every timestep — after the scheduler hooks have run, which is exactly
+where the parallel dispatcher has already committed its quantum — and
+appends one :class:`MetricsPoint` to a bounded sim-time-indexed ring
+whenever the co-simulation made *sync progress* since the last point.
+
+Determinism contract: a point carries only counters derived from
+simulation state (:class:`~repro.cosim.metrics.CosimMetrics` totals,
+the per-CPU tier counters, the DMI warp counters, the tracer's drop
+count), and the sampling gate is itself a function of those counters —
+so two runs of the same seeded scenario, serial or parallel, thread or
+process backend, produce byte-identical series
+(``tests/obs/test_telemetry_identity.py`` asserts this across
+scheme x quantum x tier).  Checkpoints serialize the series through
+:meth:`MetricsSeries.state` and replay regenerates it identically.
+
+The module also renders any flat counter mapping in the Prometheus
+text exposition format (``repro metrics --format prom``), so the
+series doubles as a scrape surface for the ROADMAP item-1 session
+server.
+"""
+
+from collections import deque
+
+#: Default ring capacity: at one point per committed quantum this
+#: covers hours of the pinned scenarios; eviction is counted, never
+#: silent.
+DEFAULT_SERIES_CAPACITY = 4096
+
+#: Counters folded directly from the CPUs at sample time (the shared
+#: metrics fields for these lag until ``fold_cpu_counters`` runs).
+CPU_COUNTERS = (
+    "blocks_compiled", "block_hits", "block_invalidations",
+    "superblocks_compiled", "superblock_exits",
+    "superblock_invalidations", "superblock_side_exits")
+
+#: The warp counters summed over every context's ClockBinding.
+WARP_COUNTERS = ("warped_syncs", "warped_cycles", "warped_steps")
+
+#: The counters appended after the CosimMetrics numeric fields.
+_EXTRA_COUNTERS = ("trace_dropped",) + WARP_COUNTERS
+
+
+def sampled_counters():
+    """The fixed counter order of every series point: the CosimMetrics
+    numeric fields, then the tracer drop count, then the warp sums.
+
+    Resolved lazily (``repro.cosim`` imports the SystemC kernel, which
+    imports :mod:`repro.obs.tracer` — an eager import here would close
+    that cycle); also exposed as the module attribute
+    ``SAMPLED_COUNTERS`` via :pep:`562`.
+    """
+    from repro.cosim.metrics import CosimMetrics
+    return CosimMetrics._NUMERIC_FIELDS + _EXTRA_COUNTERS
+
+
+def __getattr__(name):
+    if name == "SAMPLED_COUNTERS":
+        return sampled_counters()
+    raise AttributeError("module %r has no attribute %r"
+                         % (__name__, name))
+
+#: Exposition names that are instantaneous readings, not cumulative
+#: counters (everything in SAMPLED_COUNTERS is cumulative).
+GAUGE_NAMES = frozenset(("sim_now_fs", "timestep", "points",
+                         "points_evicted"))
+
+
+class MetricsPoint:
+    """One telemetry sample: sim-time index plus the counter tuple."""
+
+    __slots__ = ("now", "timestep", "values")
+
+    def __init__(self, now, timestep, values):
+        self.now = now
+        self.timestep = timestep
+        self.values = values
+
+    def __repr__(self):
+        return "MetricsPoint(now=%d, timestep=%d)" % (self.now,
+                                                      self.timestep)
+
+    def as_list(self):
+        """The point as plain JSON types: ``[now, timestep, [...]]``."""
+        return [self.now, self.timestep, list(self.values)]
+
+
+class MetricsSeries:
+    """A bounded ring of :class:`MetricsPoint` samples.
+
+    The counter order is fixed at construction (and serialized with
+    the state image), so a point's ``values`` tuple and the series'
+    canonical dump are byte-stable across runs and code that only
+    *appends* counters.
+    """
+
+    def __init__(self, counters=None, capacity=DEFAULT_SERIES_CAPACITY):
+        if counters is None:
+            counters = sampled_counters()
+        self.counters = tuple(counters)
+        self.capacity = capacity
+        self._points = deque(maxlen=capacity if capacity else 1)
+        self._index = {name: position for position, name
+                       in enumerate(self.counters)}
+        self.evicted = 0
+
+    def __len__(self):
+        return len(self._points)
+
+    def append(self, now, timestep, values):
+        """Append one sample; evictions at capacity are counted."""
+        if len(self._points) == self._points.maxlen:
+            self.evicted += 1
+        point = MetricsPoint(now, timestep, tuple(values))
+        self._points.append(point)
+        return point
+
+    def points(self):
+        """All buffered points, oldest first."""
+        return list(self._points)
+
+    def latest(self):
+        """The newest point, or None on an empty series."""
+        return self._points[-1] if self._points else None
+
+    def value(self, name):
+        """The newest sampled value of counter *name* (0 when empty)."""
+        point = self.latest()
+        if point is None:
+            return 0
+        return point.values[self._index[name]]
+
+    def window(self, count):
+        """The newest *count* points, oldest first."""
+        if count <= 0:
+            return []
+        points = self._points
+        if count >= len(points):
+            return list(points)
+        return list(points)[-count:]
+
+    def rates(self, window):
+        """Per-point counter deltas over the newest *window* points.
+
+        Returns ``{counter: (last - first) / (points - 1)}`` — e.g.
+        retransmits per committed quantum — or ``{}`` when fewer than
+        two points exist.  The windowed health rules
+        (:func:`repro.obs.health.analyze_series`) evaluate these.
+        """
+        points = self.window(window)
+        if len(points) < 2:
+            return {}
+        span = len(points) - 1
+        first, last = points[0].values, points[-1].values
+        return {name: (last[position] - first[position]) / span
+                for position, name in enumerate(self.counters)}
+
+    def latest_sample(self):
+        """The newest point as a flat ``{name: value}`` mapping.
+
+        Includes the sim-time index under ``sim_now_fs``/``timestep``
+        and the ring accounting, so the mapping is directly
+        renderable by :func:`prometheus_text` or ``repro top``.
+        """
+        point = self.latest()
+        if point is None:
+            return None
+        sample = dict(zip(self.counters, point.values))
+        sample["sim_now_fs"] = point.now
+        sample["timestep"] = point.timestep
+        sample["points"] = len(self._points)
+        sample["points_evicted"] = self.evicted
+        return sample
+
+    def state(self):
+        """Checkpoint-stable plain-JSON image of the whole series."""
+        return {
+            "counters": list(self.counters),
+            "capacity": self.capacity,
+            "evicted": self.evicted,
+            "points": [point.as_list() for point in self._points],
+        }
+
+    def dump(self):
+        """Canonical byte-stable JSON of :meth:`state`.
+
+        The serial-vs-parallel identity tests compare these strings
+        directly.
+        """
+        import json
+        return json.dumps(self.state(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def to_ndjson_lines(self):
+        """One canonical JSON object per point (streaming export)."""
+        import json
+        lines = []
+        for point in self._points:
+            record = dict(zip(self.counters, point.values))
+            record["sim_now_fs"] = point.now
+            record["timestep"] = point.timestep
+            lines.append(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")))
+        return lines
+
+
+class MetricsSampler:
+    """The kernel trace sink feeding a :class:`MetricsSeries`.
+
+    Sampled by ``Kernel._advance_time`` after every hook has run, so a
+    parallel run's quantum commit is always complete when the sample
+    is taken.  A point is recorded only when the *sync progress*
+    composite — quantum syncs, sync transactions, grants and
+    Driver-Kernel messages — moved since the last point: idle
+    timesteps (and the local scheme, which has none of this traffic)
+    produce no points, which keeps the series per-quantum rather than
+    per-timestep and its cost off the no-progress fast path.
+    """
+
+    def __init__(self, system, capacity=DEFAULT_SERIES_CAPACITY):
+        self.system = system
+        self.metrics = system.metrics
+        self.series = MetricsSeries(capacity=capacity)
+        # Starts at the no-progress composite so a run's first point
+        # lands at the first timestep that actually synced, never at
+        # t=0 with all-zero counters.
+        self._last_progress = 0
+        self._bus = None
+
+    def attach_bus(self, bus):
+        """Publish every new point as a ``metrics`` bus event."""
+        self._bus = bus
+        return bus
+
+    def _progress(self):
+        metrics = self.metrics
+        return (metrics.quantum_syncs + metrics.sync_transactions
+                + metrics.grants + metrics.messages_sent
+                + metrics.messages_received)
+
+    def sample(self, kernel):
+        """Record one point if sync progress was made; returns it."""
+        progress = self._progress()
+        if progress == self._last_progress:
+            return None
+        self._last_progress = progress
+        point = self.series.append(kernel.now, kernel.timestep_count,
+                                   self._values())
+        bus = self._bus
+        if bus is not None:
+            payload = dict(zip(self.series.counters, point.values))
+            payload["sim_now_fs"] = point.now
+            payload["timestep"] = point.timestep
+            bus.publish("metrics", payload)
+        return point
+
+    def _values(self):
+        """The counter tuple, in :data:`SAMPLED_COUNTERS` order.
+
+        CPU tier counters are summed straight off the CPUs (the
+        shared-metrics copies lag until the next fold) and warp
+        counters off the bindings; both are synced to the master
+        before the kernel runs its sinks, so the values are committed
+        state under every backend.
+        """
+        system = self.system
+        metrics = self.metrics
+        cpu_sums = dict.fromkeys(CPU_COUNTERS, 0)
+        for cpu in system.cpus:
+            for name in CPU_COUNTERS:
+                cpu_sums[name] += getattr(cpu, name)
+        warp_sums = dict.fromkeys(WARP_COUNTERS, 0)
+        for __, binding in system.bindings():
+            warp_sums["warped_syncs"] += binding.warped_syncs
+            warp_sums["warped_cycles"] += binding.warped_cycles
+            warp_sums["warped_steps"] += binding.warped_steps
+        dropped = system.tracer.dropped
+        values = []
+        for name in self.series.counters:
+            if name in cpu_sums:
+                values.append(cpu_sums[name])
+            elif name in warp_sums:
+                values.append(warp_sums[name])
+            elif name == "trace_dropped":
+                values.append(dropped)
+            else:
+                values.append(getattr(metrics, name))
+        return values
+
+
+def _prom_escape(value):
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _prom_name(name, prefix):
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_"
+                      for ch in name)
+    return "%s_%s" % (prefix, cleaned)
+
+
+def prometheus_text(sample, labels=None, prefix="repro"):
+    """Render a flat ``{name: number}`` mapping as Prometheus text.
+
+    One ``# TYPE`` line per metric (``counter`` for the cumulative
+    simulation counters, ``gauge`` for the :data:`GAUGE_NAMES`
+    readings), names prefixed and sanitized, label sets sorted — the
+    output is byte-stable for identical samples.  Non-numeric values
+    are skipped.
+    """
+    label_text = ""
+    if labels:
+        label_text = "{%s}" % ",".join(
+            '%s="%s"' % (key, _prom_escape(value))
+            for key, value in sorted(labels.items()))
+    lines = []
+    for name in sorted(sample):
+        value = sample[name]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        metric = _prom_name(name, prefix)
+        kind = "gauge" if name in GAUGE_NAMES else "counter"
+        lines.append("# TYPE %s %s" % (metric, kind))
+        rendered = "%d" % value if isinstance(value, int) else repr(value)
+        lines.append("%s%s %s" % (metric, label_text, rendered))
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -178,6 +178,7 @@ class Tracer:
         self._seq = 0
         self._kernel = None
         self._redirects = threading.local()
+        self._taps = []
         self.dropped = 0
 
     def __repr__(self):
@@ -213,9 +214,34 @@ class Tracer:
             timestep = delta = now = 0
         if len(self._events) == self._events.maxlen:
             self.dropped += 1
-        self._events.append(TraceEvent(self._seq, timestep, delta, now,
-                                       category, name, scope, args))
+        event = TraceEvent(self._seq, timestep, delta, now,
+                           category, name, scope, args)
+        self._events.append(event)
         self._seq += 1
+        if self._taps:
+            # Live streaming (repro.obs.stream_bus).  Taps run only on
+            # main-thread emission — pool workers are redirected into a
+            # TraceBuffer above and their payloads reach the taps when
+            # replayed at the deterministic commit point.
+            for tap in self._taps:
+                tap(event)
+
+    # -- streaming taps ------------------------------------------------------
+
+    def add_tap(self, tap):
+        """Call ``tap(event)`` for every event recorded into the ring.
+
+        Taps see events in emission order (the deterministic total
+        order of the trace) and never fire on a disabled tracer or
+        inside a worker redirect.  Returns *tap* for later removal.
+        """
+        self._taps.append(tap)
+        return tap
+
+    def remove_tap(self, tap):
+        """Detach a previously added tap (no-op if absent)."""
+        if tap in self._taps:
+            self._taps.remove(tap)
 
     # -- parallel-prefetch redirect ------------------------------------------
 

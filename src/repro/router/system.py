@@ -146,6 +146,13 @@ class RouterConfig:
     # Observability (docs/observability.md): an obs.Tracer attached to
     # the kernel before the scheme is wired, so every layer shares it.
     tracer: Optional[object] = None
+    # Per-quantum telemetry time-series (docs/observability.md): a
+    # MetricsSampler attached as a kernel trace sink records one
+    # deterministic counter point per committed quantum.  Cheap (one
+    # progress check per timestep, a point only on sync progress) and
+    # byte-identical serial vs parallel; disable to shave the last
+    # percent off a hot benchmark loop.
+    telemetry: bool = True
 
 
 @dataclass
@@ -250,6 +257,16 @@ class RouterSystem:
             for index in range(config.num_ports)
         ]
         self._wire_scheme()
+        # Wall-time attribution profiler slot (repro.obs.attrib's
+        # attach_attrib fills it post-build; host-only, never gated).
+        self.attrib = None
+        # Per-quantum telemetry sampler (repro.obs.metrics).  The local
+        # scheme has no sync traffic to sample, so it stays None there.
+        self.telemetry = None
+        if config.telemetry and self.scheme is not None:
+            from repro.obs.metrics import MetricsSampler
+            self.telemetry = MetricsSampler(self)
+            self.kernel.add_trace(self.telemetry)
 
     # -- construction helpers -------------------------------------------------
 
@@ -415,6 +432,12 @@ class RouterSystem:
             # Spend any cycle budget still banked by a sync quantum > 1
             # so a run boundary never strands guest execution.
             self.scheme.flush_pending()
+        if self.telemetry is not None:
+            # Flushed budgets happen after the last timestep's sample;
+            # the progress gate makes this final sample a no-op unless
+            # the flush actually synced, so run slicing stays
+            # deterministic.
+            self.telemetry.sample(self.kernel)
         return result
 
     def close(self):
@@ -439,6 +462,12 @@ class RouterSystem:
             return None
         return self.dispatcher.stats.as_dict(wall_seconds)
 
+    def bindings(self):
+        """``(context name, ClockBinding)`` pairs (empty for local)."""
+        if self.scheme is None or not hasattr(self.scheme, "bindings"):
+            return []
+        return self.scheme.bindings()
+
     def fold_cpu_counters(self):
         """Fold the ISS tier counters into the shared metrics.
 
@@ -459,12 +488,23 @@ class RouterSystem:
             cpu.superblock_exits for cpu in self.cpus)
         self.metrics.superblock_invalidations = sum(
             cpu.superblock_invalidations for cpu in self.cpus)
+        self.metrics.superblock_side_exits = sum(
+            cpu.superblock_side_exits for cpu in self.cpus)
         for cpu in self.cpus:
             bucket = self.metrics.per_context.setdefault(cpu.name, {})
             bucket["blocks_compiled"] = cpu.blocks_compiled
             bucket["block_hits"] = cpu.block_hits
             bucket["superblocks_compiled"] = cpu.superblocks_compiled
             bucket["superblock_exits"] = cpu.superblock_exits
+            bucket["superblock_side_exits"] = cpu.superblock_side_exits
+        # DMI warp accounting per context (ClockBinding.note_warp):
+        # reconciled syncs/cycles/steps join the reads/writes/grants
+        # breakdown.  Assignment, so the fold stays idempotent.
+        for name, binding in self.bindings():
+            bucket = self.metrics.per_context.setdefault(name, {})
+            bucket["warped_syncs"] = binding.warped_syncs
+            bucket["warped_cycles"] = binding.warped_cycles
+            bucket["warped_steps"] = binding.warped_steps
 
     def stats(self):
         """Collect the evaluation statistics of the run so far."""
@@ -515,7 +555,7 @@ _PLAIN_CONFIG_FIELDS = (
     "local_latency", "producer_count", "num_cpus", "algorithm",
     "checksum_rounds", "blocked_transfers", "burst", "stages",
     "watchdog_ticks", "sync_quantum", "parallel", "workers",
-    "parallel_trace_commits", "dmi", "tier")
+    "parallel_trace_commits", "dmi", "tier", "telemetry")
 
 
 def config_to_dict(config):

@@ -110,7 +110,7 @@ class TestCheckpointFiles:
         assert report["scheme"] == "gdb-kernel"
         assert report["slice"] == 3
         assert report["sections"] == ["contexts", "kernel", "metrics",
-                                      "tracer", "traffic"]
+                                      "telemetry", "tracer", "traffic"]
 
     def test_load_is_a_pure_validated_read(self, tmp_path):
         path = _write_checkpoint(tmp_path)

@@ -30,7 +30,8 @@ TIER_COUNTERS = frozenset((
     "dmi_reads", "dmi_writes", "dmi_invalidations",
     "sync_transactions", "transfer_transactions", "transfer_blocks",
     "transfer_words",
-    "blocks_compiled", "block_hits", "block_invalidations"))
+    "blocks_compiled", "block_hits", "block_invalidations",
+    "warped_syncs", "warped_cycles", "warped_steps"))
 
 
 def _strip_tier_counters(metrics):

@@ -1,0 +1,78 @@
+"""Edge cases of the latency histogram (repro.obs.hist).
+
+The happy paths ride along every BENCH record; these tests pin the
+corners — empty and single-sample percentiles, inclusive bucket
+boundaries, the overflow bucket — because the nearest-rank arithmetic
+and the ``<=`` bucketing are exactly where an off-by-one would silently
+shift every latency counter.
+"""
+
+from repro.obs.hist import (BUCKET_BOUNDS_FS, LATENCY_KINDS,
+                            LatencyHistogram, build_histograms,
+                            latency_counters)
+
+
+def test_empty_histogram_reports_zeroes():
+    histogram = LatencyHistogram("breakpoint_sync")
+    assert len(histogram) == 0
+    assert histogram.percentile(0.50) == 0
+    assert histogram.percentile(0.90) == 0
+    assert histogram.max == 0
+    assert histogram.total == 0
+    assert histogram.summary() == {"count": 0, "p50": 0, "p90": 0,
+                                   "max": 0}
+    assert histogram.as_dict()["buckets"] == {}
+
+
+def test_single_sample_percentiles_are_the_sample():
+    histogram = LatencyHistogram("breakpoint_sync")
+    histogram.add(12345)
+    assert histogram.percentile(0.50) == 12345
+    assert histogram.percentile(0.90) == 12345
+    assert histogram.percentile(1.00) == 12345
+    assert histogram.summary() == {"count": 1, "p50": 12345,
+                                   "p90": 12345, "max": 12345}
+
+
+def test_nearest_rank_is_always_an_observed_value():
+    histogram = LatencyHistogram("breakpoint_sync")
+    for value in range(1, 11):          # 1..10
+        histogram.add(value)
+    assert histogram.percentile(0.50) == 5
+    assert histogram.percentile(0.90) == 9
+    assert histogram.percentile(1.00) == 10
+    # Never an interpolation: a bimodal distribution reports one of
+    # its modes, not their average.
+    bimodal = LatencyHistogram("breakpoint_sync")
+    bimodal.add(1)
+    bimodal.add(1000)
+    assert bimodal.percentile(0.50) in (1, 1000)
+
+
+def test_bucket_bounds_are_inclusive():
+    histogram = LatencyHistogram("breakpoint_sync")
+    first_bound = BUCKET_BOUNDS_FS[0]
+    histogram.add(first_bound)          # == bound: this bucket
+    histogram.add(first_bound + 1)      # just past: the next one
+    assert histogram.counts[0] == 1
+    assert histogram.counts[1] == 1
+    assert histogram.counts[-1] == 0
+
+
+def test_overflow_bucket_and_inf_label():
+    histogram = LatencyHistogram("breakpoint_sync")
+    top = BUCKET_BOUNDS_FS[-1]
+    histogram.add(top)                  # still inside the last bound
+    histogram.add(top + 1)              # overflow
+    assert histogram.counts[len(BUCKET_BOUNDS_FS) - 1] == 1
+    assert histogram.counts[-1] == 1
+    assert histogram.as_dict()["buckets"]["inf"] == 1
+
+
+def test_build_histograms_keeps_stable_kind_set_when_empty():
+    histograms = build_histograms([])
+    assert set(histograms) == set(LATENCY_KINDS)
+    counters = latency_counters(histograms)
+    for kind in LATENCY_KINDS:
+        assert counters["latency.%s.count" % kind] == 0
+        assert counters["latency.%s.p90" % kind] == 0

@@ -1,0 +1,213 @@
+"""The per-quantum telemetry time-series (repro.obs.metrics).
+
+Unit coverage of the ring, rates, canonical dumps and the Prometheus
+exposition, plus integration against real runs: the sampler records
+per-quantum points with monotone sim-time and cumulative counters,
+batching quanta thins the series, disabling telemetry removes the
+sink, checkpoints carry the series, and the windowed health rules
+(:func:`repro.obs.health.analyze_series`) fire on the rates.
+"""
+
+import json
+
+from repro.obs.health import HealthThresholds, analyze_series
+from repro.obs.metrics import (MetricsSeries, prometheus_text,
+                               sampled_counters)
+from repro.obs.scenarios import run_traced_scenario
+
+# ---------------------------------------------------------------------------
+# MetricsSeries units
+
+
+def _series(capacity=8):
+    return MetricsSeries(counters=("a", "b"), capacity=capacity)
+
+
+def test_series_append_latest_value_window():
+    series = _series()
+    assert len(series) == 0
+    assert series.latest() is None
+    assert series.value("a") == 0
+    series.append(10, 1, (1, 2))
+    series.append(20, 2, (3, 4))
+    assert len(series) == 2
+    assert series.latest().now == 20
+    assert series.value("a") == 3
+    assert series.value("b") == 4
+    assert [point.now for point in series.window(1)] == [20]
+    assert [point.now for point in series.window(99)] == [10, 20]
+    assert series.window(0) == []
+
+
+def test_series_eviction_is_counted():
+    series = _series(capacity=2)
+    for index in range(3):
+        series.append(index, index, (index, index))
+    assert len(series) == 2
+    assert series.evicted == 1
+    assert [point.now for point in series.points()] == [1, 2]
+    assert series.latest_sample()["points_evicted"] == 1
+
+
+def test_series_rates_are_per_point_deltas():
+    series = _series()
+    assert series.rates(4) == {}
+    series.append(10, 1, (0, 100))
+    assert series.rates(4) == {}
+    series.append(20, 2, (4, 100))
+    series.append(30, 3, (8, 106))
+    assert series.rates(3) == {"a": 4.0, "b": 3.0}
+    assert series.rates(2) == {"a": 4.0, "b": 6.0}
+
+
+def test_series_dump_is_canonical_and_round_trips():
+    first, second = _series(), _series()
+    for series in (first, second):
+        series.append(10, 1, (1, 2))
+        series.append(20, 2, (3, 4))
+    assert first.dump() == second.dump()
+    state = json.loads(first.dump())
+    assert state["counters"] == ["a", "b"]
+    assert state["points"] == [[10, 1, [1, 2]], [20, 2, [3, 4]]]
+    assert state["evicted"] == 0
+
+
+def test_series_ndjson_lines_parse_with_sim_index():
+    series = _series()
+    series.append(10, 1, (1, 2))
+    series.append(20, 2, (3, 4))
+    lines = series.to_ndjson_lines()
+    assert len(lines) == 2
+    last = json.loads(lines[-1])
+    assert last == {"a": 3, "b": 4, "sim_now_fs": 20, "timestep": 2}
+
+
+def test_default_counter_order_is_stable():
+    assert MetricsSeries().counters == sampled_counters()
+    assert "superblock_side_exits" in sampled_counters()
+    assert "warped_syncs" in sampled_counters()
+    assert "trace_dropped" in sampled_counters()
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition
+
+
+def test_prometheus_text_types_labels_and_escaping():
+    text = prometheus_text(
+        {"retransmits": 3, "sim_now_fs": 500, "note": "skip-me",
+         "flag": True},
+        labels={"scheme": 'gdb "kernel"', "seed": "7"})
+    lines = text.splitlines()
+    assert "# TYPE repro_retransmits counter" in lines
+    assert "# TYPE repro_sim_now_fs gauge" in lines
+    expected_labels = '{scheme="gdb \\"kernel\\"",seed="7"}'
+    assert ("repro_retransmits%s 3" % expected_labels) in lines
+    # Non-numeric and boolean values are skipped entirely.
+    assert not any("note" in line or "flag" in line for line in lines)
+    assert text.endswith("\n")
+    assert prometheus_text({}) == ""
+
+
+# ---------------------------------------------------------------------------
+# Sampler integration (real runs)
+
+
+def test_sampler_records_monotone_per_quantum_points():
+    run = run_traced_scenario("gdb-kernel", sim_us=60)
+    series = run.system.telemetry.series
+    points = series.points()
+    assert len(points) > 0
+    nows = [point.now for point in points]
+    assert nows == sorted(nows) and len(set(nows)) == len(nows)
+    # Every sampled counter is cumulative: values never decrease.
+    for earlier, later in zip(points, points[1:]):
+        assert all(b >= a for a, b in zip(earlier.values, later.values))
+    sample = series.latest_sample()
+    assert sample["iss_cycles"] > 0
+    assert sample["sim_now_fs"] == run.system.kernel.now
+    run.system.close()
+
+
+def test_quantum_batching_thins_the_series():
+    lockstep = run_traced_scenario("gdb-wrapper", sim_us=60)
+    batched = run_traced_scenario("gdb-wrapper", sim_us=60,
+                                  sync_quantum=8)
+    assert len(batched.system.telemetry.series) \
+        < len(lockstep.system.telemetry.series)
+    lockstep.system.close()
+    batched.system.close()
+
+
+def test_telemetry_config_flag_disables_the_sampler():
+    run = run_traced_scenario("gdb-kernel", sim_us=40, telemetry=False)
+    assert run.system.telemetry is None
+    run.system.close()
+
+
+def test_checkpoint_state_carries_the_series():
+    from repro.cosim.checkpoint import capture_state
+
+    run = run_traced_scenario("gdb-kernel", sim_us=40)
+    state = capture_state(run.system)
+    telemetry = state["telemetry"]
+    assert telemetry["enabled"] is True
+    assert len(telemetry["points"]) == len(run.system.telemetry.series)
+    assert telemetry["counters"] == list(sampled_counters())
+    run.system.close()
+
+
+# ---------------------------------------------------------------------------
+# Windowed health rules over a series
+
+
+def _rate_series(counters, rows):
+    series = MetricsSeries(counters=counters, capacity=64)
+    for index, row in enumerate(rows):
+        series.append(10 * (index + 1), index + 1, row)
+    return series
+
+
+def test_analyze_series_too_few_points_is_info():
+    report = analyze_series(_rate_series(("retransmits",), [(0,)]))
+    assert report.exit_code == 0
+    assert report.findings[0].severity == "info"
+    assert "too few" in report.findings[0].message
+
+
+def test_analyze_series_flags_retransmit_rate():
+    series = _rate_series(
+        ("retransmits", "iss_cycles", "sc_timesteps"),
+        [(0, 10, 1), (3, 20, 2), (6, 30, 3), (9, 40, 4)])
+    report = analyze_series(series)
+    assert report.exit_code == 1
+    assert [finding.rule for finding in report.findings] \
+        == ["retransmit-rate"]
+
+
+def test_analyze_series_flags_stalled_execution():
+    series = _rate_series(
+        ("retransmits", "iss_cycles", "sc_timesteps"),
+        [(0, 50, 1), (0, 50, 2), (0, 50, 3)])
+    report = analyze_series(series)
+    assert report.exit_code == 0
+    assert [finding.rule for finding in report.findings] \
+        == ["no-execution-progress"]
+    assert report.findings[0].severity == "warning"
+
+
+def test_analyze_series_quiet_run_is_info():
+    series = _rate_series(
+        ("retransmits", "dmi_invalidations", "iss_cycles",
+         "sc_timesteps"),
+        [(0, 0, 10, 1), (1, 0, 20, 2), (1, 1, 30, 3)])
+    report = analyze_series(series, HealthThresholds())
+    assert report.exit_code == 0
+    assert [finding.severity for finding in report.findings] == ["info"]
+
+
+def test_analyze_series_on_a_real_run_is_healthy():
+    run = run_traced_scenario("driver-kernel", sim_us=60)
+    report = analyze_series(run.system.telemetry.series)
+    assert report.exit_code == 0
+    run.system.close()

@@ -1,0 +1,63 @@
+"""Serial-vs-parallel byte-identity of the telemetry time-series.
+
+The sampler runs as a kernel trace sink after every scheduler hook has
+committed, and each point derives only from simulation state — so the
+canonical series dump must be byte-identical between serial and
+parallel execution of the same seeded scenario, across schemes, sync
+quanta and ISS tiers, on both pool backends.  This is the telemetry
+counterpart of the trace/metrics identity argument in
+docs/parallel.md.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.scenarios import run_traced_scenario
+from tests.support import SIM_SETTINGS, quanta, schemes, seeds
+
+tiers = st.sampled_from(["blocks", "superblocks"])
+
+
+def _series_dump(scheme, seed, quantum, tier, parallel, workers=2):
+    run = run_traced_scenario(scheme, sim_us=60, seed=seed,
+                              sync_quantum=quantum, tier=tier,
+                              parallel=parallel, workers=workers)
+    dump = run.system.telemetry.series.dump()
+    run.system.close()
+    return dump
+
+
+@settings(**SIM_SETTINGS)
+@given(scheme=schemes, seed=seeds, quantum=quanta, tier=tiers)
+def test_thread_parallel_series_matches_serial(scheme, seed, quantum,
+                                               tier):
+    serial = _series_dump(scheme, seed, quantum, tier, parallel=False)
+    threaded = _series_dump(scheme, seed, quantum, tier,
+                            parallel="thread")
+    assert threaded == serial
+
+
+def test_process_parallel_series_matches_serial():
+    serial = _series_dump("gdb-kernel", 7, 8, "blocks", parallel=False)
+    forked = _series_dump("gdb-kernel", 7, 8, "blocks",
+                          parallel="process")
+    assert forked == serial
+
+
+def test_dmi_tier_series_matches_serial():
+    run_kwargs = dict(sim_us=60, seed=7, sync_quantum=8, dmi=True)
+    serial = run_traced_scenario("gdb-kernel", parallel=False,
+                                 **run_kwargs)
+    threaded = run_traced_scenario("gdb-kernel", parallel="thread",
+                                   workers=2, **run_kwargs)
+    assert serial.system.telemetry.series.dump() \
+        == threaded.system.telemetry.series.dump()
+    serial.system.close()
+    threaded.system.close()
+
+
+def test_repeat_runs_are_byte_identical():
+    first = _series_dump("driver-kernel", 7, 4, "blocks", parallel=False)
+    second = _series_dump("driver-kernel", 7, 4, "blocks",
+                          parallel=False)
+    assert first == second
